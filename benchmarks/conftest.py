@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark suite.
+
+Every table and figure of the paper's evaluation has one benchmark file
+here.  Benchmarks run the corresponding experiment at a reduced scale
+(so ``pytest benchmarks/ --benchmark-only`` completes in minutes),
+attach the regenerated rows/series as ``extra_info``, and assert the
+paper's qualitative *shape* — who wins, by roughly what factor, where
+the crossovers fall.  Full-scale regeneration is available through
+``python -m repro.bench <experiment> --scale paper``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(20150601)  # SIGMOD'15, for luck

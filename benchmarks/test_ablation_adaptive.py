@@ -1,0 +1,47 @@
+"""Ablation A3 — adaptive learner hyper-parameters (Section 4.1).
+
+The paper settles on mini-batch size N=10 ("a value around 10 works
+well"); the ablation sweeps N and the loss choice to show the error is
+robust in that neighbourhood.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_adaptive_parameter_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_adaptive_parameter_ablation(
+        batch_sizes=(1, 5, 10, 20),
+        losses=("squared", "absolute", "squared_q"),
+        repetitions=2,
+        rows=15_000,
+    )
+
+
+def test_ablation_adaptive_parameters(benchmark, ablation):
+    def regenerate():
+        return run_adaptive_parameter_ablation(
+            batch_sizes=(10,), losses=("squared",), repetitions=1, rows=8_000
+        )
+
+    benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    benchmark.extra_info["batch_size_errors"] = {
+        str(k): round(v, 4) for k, v in ablation.batch_size_errors.items()
+    }
+    benchmark.extra_info["loss_errors"] = {
+        k: round(v, 4) for k, v in ablation.loss_errors.items()
+    }
+
+
+def test_paper_default_batch_size_competitive(ablation):
+    """N=10 performs within 2x of the best swept value."""
+    best = min(ablation.batch_size_errors.values())
+    assert ablation.batch_size_errors[10] <= 2.0 * best
+
+
+def test_all_losses_learn(ablation):
+    """Every differentiable loss yields a working estimator."""
+    for loss, error in ablation.loss_errors.items():
+        assert error < 0.2, loss

@@ -1,0 +1,41 @@
+"""Ablation A2 — Karma sample maintenance on/off (Section 4.2).
+
+Isolates the contribution of the Karma machinery (and of the Appendix E
+empty-region shortcut) on the dynamic workload: without maintenance the
+sample goes stale after deletions and the error grows.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_karma_ablation
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_karma_ablation(
+        dimensions=5, runs=2, cycles=5, queries_per_cycle=40
+    )
+
+
+def test_ablation_karma(benchmark, ablation):
+    def regenerate():
+        return run_karma_ablation(
+            dimensions=3, runs=1, cycles=3, queries_per_cycle=15
+        )
+
+    benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    benchmark.extra_info["with_karma"] = round(ablation.with_karma, 4)
+    benchmark.extra_info["without_karma"] = round(ablation.without_karma, 4)
+    benchmark.extra_info["no_shortcut"] = round(
+        ablation.with_karma_no_shortcut, 4
+    )
+
+
+def test_karma_reduces_error_under_updates(ablation):
+    assert ablation.with_karma <= ablation.without_karma
+
+
+def test_shortcut_does_not_hurt(ablation):
+    """The empty-region shortcut accelerates convergence; at worst it is
+    neutral."""
+    assert ablation.with_karma <= ablation.with_karma_no_shortcut * 1.25

@@ -1,0 +1,61 @@
+"""Figure 5 — estimation quality on static 8-D datasets.
+
+Same protocol as Figure 4 on the 8-dimensional projections.  The paper's
+shape carries over: feedback-optimised bandwidths beat the Scott
+heuristic, and KDE variants remain competitive with STHoles in higher
+dimensions (where histogram bucketisation suffers most).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import run_static_quality
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_static_quality(
+        dimensions=8,
+        datasets=("forest", "synthetic"),
+        workloads=("DT", "UV"),
+        repetitions=2,
+        rows=20_000,
+        train_queries=40,
+        test_queries=80,
+        batch_starts=3,
+    )
+
+
+def test_fig5_static_quality_8d(benchmark, figure5):
+    def regenerate():
+        return run_static_quality(
+            dimensions=8,
+            datasets=("synthetic",),
+            workloads=("DT",),
+            repetitions=1,
+            rows=10_000,
+            train_queries=30,
+            test_queries=50,
+            batch_starts=2,
+        )
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    benchmark.extra_info["cells"] = {
+        f"{d}/{w}": {k: round(float(np.mean(v)), 4) for k, v in cell.items()}
+        for (d, w), cell in result.errors.items()
+    }
+
+
+def test_fig5_shape_batch_beats_heuristic(figure5):
+    wins = sum(
+        1
+        for experiment in figure5.experiments
+        if experiment["Batch"] < experiment["Heuristic"]
+    )
+    assert wins / len(figure5.experiments) >= 0.6
+
+
+def test_fig5_shape_kde_competitive_with_stholes(figure5):
+    batch_mean = np.mean([e["Batch"] for e in figure5.experiments])
+    stholes_mean = np.mean([e["STHoles"] for e in figure5.experiments])
+    assert batch_mean <= stholes_mean * 1.1

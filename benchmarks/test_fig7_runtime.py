@@ -1,0 +1,74 @@
+"""Figure 7 — estimator runtime with growing model size.
+
+Paper shape (on the modelled device clock; see DESIGN.md substitution 1):
+
+* flat runtime until ~16-32K sample points (launch/transfer latency),
+  then linear scaling;
+* GPU about 4x faster than the CPU on large models, estimating a 128K
+  model in under ~1 ms;
+* *Adaptive* costs a constant offset over *Heuristic* (its extra kernels
+  are hidden behind query execution);
+* STHoles is faster for small models but 7-10x slower than GPU KDE (and
+  ~3x slower than CPU KDE) on large models.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_runtime_scaling
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    return run_runtime_scaling(
+        sizes=(1024, 4096, 16384, 65536, 131072),
+        queries=25,
+        data_rows=140_000,
+    )
+
+
+def test_fig7_runtime(benchmark, figure7):
+    def regenerate():
+        return run_runtime_scaling(
+            sizes=(1024, 16384), queries=5, data_rows=20_000
+        )
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    benchmark.extra_info["series_ms"] = {
+        name: [round(v * 1e3, 3) for v in values]
+        for name, values in figure7.seconds.items()
+    }
+
+
+def test_fig7_shape_flat_then_linear(figure7):
+    gpu = figure7.series("Heuristic GPU")
+    # 16x growth from 1K to 16K costs < 3x; 8x growth from 16K to 128K
+    # costs > 3x.
+    assert gpu[2] < 3 * gpu[0]
+    assert gpu[4] > 3 * gpu[2]
+
+
+def test_fig7_shape_gpu_beats_cpu_large(figure7):
+    ratio = figure7.series("Heuristic CPU")[-1] / figure7.series("Heuristic GPU")[-1]
+    assert 2.5 <= ratio <= 6.0
+
+
+def test_fig7_shape_gpu_under_1_2ms_at_128k(figure7):
+    assert figure7.series("Heuristic GPU")[-1] < 1.2e-3
+
+
+def test_fig7_shape_adaptive_constant_offset(figure7):
+    gap = figure7.series("Adaptive GPU") - figure7.series("Heuristic GPU")
+    assert (gap > 0).all()
+    assert gap.max() < 2 * gap.min() + 1e-9
+
+
+def test_fig7_shape_stholes_crossover(figure7):
+    stholes = figure7.series("STHoles")
+    gpu = figure7.series("Heuristic GPU")
+    cpu = figure7.series("Heuristic CPU")
+    # Faster than KDE on the smallest models...
+    assert stholes[0] < gpu[0]
+    # ... but 7-10x slower than GPU KDE and ~2-4x slower than CPU KDE on
+    # the largest.
+    assert 5.0 <= stholes[-1] / gpu[-1] <= 12.0
+    assert 1.5 <= stholes[-1] / cpu[-1] <= 4.0

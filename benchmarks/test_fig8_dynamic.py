@@ -1,0 +1,60 @@
+"""Figure 8 — estimation quality on changing data.
+
+Paper shape: under the evolving-cluster workload *Heuristic* cannot keep
+up with the database changes, *STHoles* adjusts but cannot compete, and
+*Adaptive* (online bandwidth learning + Karma sample maintenance +
+reservoir sampling) tracks the changes and delivers the lowest error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import run_dynamic_quality
+
+
+@pytest.fixture(scope="module")
+def figure8():
+    return run_dynamic_quality(
+        dimensions=5,
+        runs=3,
+        cycles=6,
+        queries_per_cycle=50,
+    )
+
+
+def test_fig8_dynamic(benchmark, figure8):
+    def regenerate():
+        return run_dynamic_quality(
+            dimensions=5,
+            runs=1,
+            cycles=3,
+            queries_per_cycle=20,
+        )
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    benchmark.extra_info["final_errors"] = {
+        name: round(figure8.final_error(name), 4) for name in figure8.traces
+    }
+
+
+def test_fig8_shape_adaptive_beats_heuristic(figure8):
+    assert figure8.final_error("Adaptive") < figure8.final_error("Heuristic")
+
+
+def test_fig8_shape_adaptive_beats_stholes(figure8):
+    assert figure8.final_error("Adaptive") < figure8.final_error("STHoles")
+
+
+def test_fig8_shape_adaptive_improves_over_time(figure8):
+    trace = figure8.mean_trace("Adaptive")
+    early = trace[: len(trace) // 4].mean()
+    late = trace[-len(trace) // 4 :].mean()
+    assert late < early
+
+
+def test_fig8_shape_heuristic_never_adapts(figure8):
+    """Heuristic's error stays at (or drifts above) its initial level."""
+    trace = figure8.mean_trace("Heuristic")
+    early = trace[: len(trace) // 4].mean()
+    late = trace[-len(trace) // 4 :].mean()
+    assert late > 0.6 * early

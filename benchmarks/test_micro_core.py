@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the core operations (real wall-clock, not modelled).
+
+These complement the Figure 7 device-model numbers with genuine numpy
+timings on this machine: estimate latency at growing sample sizes, the
+gradient kernel, STHoles estimation, and the Karma update pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.core import KernelDensityEstimator, KarmaTracker, scott_bandwidth
+from repro.baselines import STHolesHistogram
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(0).normal(size=(200_000, 8))
+
+
+@pytest.fixture(scope="module")
+def query():
+    return Box(np.full(8, -1.0), np.full(8, 1.0))
+
+
+@pytest.mark.parametrize("sample_size", [1024, 8192, 65536])
+def test_estimate_latency(benchmark, data, query, sample_size):
+    sample = data[:sample_size]
+    estimator = KernelDensityEstimator(sample, scott_bandwidth(sample))
+    result = benchmark(estimator.selectivity, query)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.parametrize("sample_size", [1024, 8192])
+def test_gradient_latency(benchmark, data, query, sample_size):
+    sample = data[:sample_size]
+    estimator = KernelDensityEstimator(sample, scott_bandwidth(sample))
+    gradient = benchmark(estimator.selectivity_gradient, query)
+    assert gradient.shape == (8,)
+
+
+def test_stholes_estimate_latency(benchmark, data, query):
+    bounds = Box.bounding(data[:20_000])
+    rng = np.random.default_rng(1)
+
+    def count(box):
+        return int(box.contains_points(data[:20_000]).sum())
+
+    histogram = STHolesHistogram(
+        bounds, 20_000, max_buckets=256, region_count=count
+    )
+    for _ in range(40):
+        center = data[rng.integers(20_000)]
+        box = Box(center - 0.5, center + 0.5).clip_to(bounds)
+        histogram.estimate(box)
+        histogram.feedback(box, count(box) / 20_000)
+    result = benchmark(histogram.estimate, query.clip_to(bounds))
+    assert 0.0 <= result <= 1.0
+
+
+def test_karma_update_latency(benchmark, data, query):
+    sample = data[:8192]
+    estimator = KernelDensityEstimator(sample, scott_bandwidth(sample))
+    contributions = estimator.contributions(query)
+    tracker = KarmaTracker(8192)
+
+    def update():
+        return tracker.update(
+            contributions,
+            0.01,
+            query=query,
+            bandwidth=estimator.bandwidth,
+        )
+
+    benchmark(update)
+
+
+def test_scott_bandwidth_latency(benchmark, data):
+    result = benchmark(scott_bandwidth, data[:65536])
+    assert result.shape == (8,)

@@ -1,0 +1,65 @@
+"""Table 1 — pairwise win percentages across all static experiments.
+
+Paper values: Batch beats Heuristic in 90.8% of experiments, beats SCV
+in 63.0%, beats STHoles in 84.1%; Adaptive beats STHoles in 71.3%.  The
+benchmark regenerates the matrix at reduced scale and checks the ordinal
+relationships.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_static_quality
+from repro.bench.metrics import win_matrix
+from repro.bench.reporting import render_win_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    experiments = []
+    for dimensions in (3, 8):
+        result = run_static_quality(
+            dimensions=dimensions,
+            datasets=("power", "synthetic"),
+            workloads=("DT", "UV"),
+            repetitions=2,
+            rows=20_000,
+            train_queries=40,
+            test_queries=80,
+            batch_starts=3,
+        )
+        experiments.extend(result.experiments)
+    return win_matrix(experiments)
+
+
+def test_table1_win_matrix(benchmark, matrix):
+    def regenerate():
+        result = run_static_quality(
+            dimensions=3,
+            datasets=("synthetic",),
+            workloads=("DT", "UV"),
+            repetitions=1,
+            rows=10_000,
+            train_queries=30,
+            test_queries=50,
+            batch_starts=2,
+        )
+        return win_matrix(result.experiments)
+
+    small = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    benchmark.extra_info["matrix"] = small.percentages
+    benchmark.extra_info["full_matrix"] = matrix.percentages
+    benchmark.extra_info["rendered"] = render_win_matrix(matrix)
+
+
+def test_table1_shape_batch_dominates_heuristic(matrix):
+    assert matrix.wins("Batch", "Heuristic") >= 60.0
+
+
+def test_table1_shape_batch_vs_scv(matrix):
+    # Paper: 63% — Batch wins a majority against SCV.
+    assert matrix.wins("Batch", "SCV") >= matrix.wins("SCV", "Batch")
+
+
+def test_table1_shape_optimised_kde_beats_stholes(matrix):
+    assert matrix.wins("Batch", "STHoles") >= 50.0
+    assert matrix.wins("Adaptive", "STHoles") >= 50.0

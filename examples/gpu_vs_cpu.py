@@ -1,0 +1,62 @@
+"""GPU acceleration: the device layer and the Figure 7 story.
+
+Runs the device-resident estimator on the simulated GTX-460 and Xeon
+E5620 (see DESIGN.md substitution 1: math exact, clock modelled), prints
+the per-query overhead across model sizes, and shows the transfer
+metering that backs the paper's "the sample is kept on the graphics card
+at all times" claim (footnote 2).
+
+Run:  python examples/gpu_vs_cpu.py
+"""
+
+import numpy as np
+
+from repro.geometry import Box
+from repro.datasets import gunopulos_synthetic
+from repro.device import DeviceContext, DeviceKDE
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    data = gunopulos_synthetic(rows=150_000, dimensions=8, seed=0)
+    query = Box(np.full(8, 0.2), np.full(8, 0.4))
+
+    print(f"{'model size':>10} {'GPU [ms]':>10} {'CPU [ms]':>10} {'speedup':>8}")
+    for size in (1024, 4096, 16384, 65536, 131072):
+        sample = data[rng.choice(len(data), size=size, replace=False)]
+        times = {}
+        for device in ("gpu", "cpu"):
+            context = DeviceContext.for_device(device)
+            kde = DeviceKDE(sample, context, adaptive=True)
+            context.reset_clock()
+            for _ in range(10):
+                kde.estimate(query)
+                kde.feedback(query, 0.01)
+            times[device] = context.elapsed_seconds / 10
+        print(
+            f"{size:>10} {times['gpu'] * 1e3:>10.3f} "
+            f"{times['cpu'] * 1e3:>10.3f} "
+            f"{times['cpu'] / times['gpu']:>7.1f}x"
+        )
+
+    # Transfer accounting: after construction, per-query traffic is just
+    # bounds in / estimate out (plus the tiny feedback scalar).
+    context = DeviceContext.for_device("gpu")
+    sample = data[:16384]
+    kde = DeviceKDE(sample, context, adaptive=True)
+    construction_bytes = context.transfers.total_bytes
+    context.transfers.clear()
+    for _ in range(100):
+        kde.estimate(query)
+        kde.feedback(query, 0.01)
+    print(f"\nPCIe traffic:")
+    print(f"  model construction : {construction_bytes / 1024:.0f} kB "
+          "(the one big transfer, Section 5.2)")
+    print(f"  100 queries        : {context.transfers.total_bytes / 1024:.1f} kB total"
+          f" ({context.transfers.total_bytes / 100:.0f} bytes/query)")
+    for label in ("query_bounds", "estimate", "loss_factor"):
+        print(f"    {label:<15}: {context.transfers.bytes_for_label(label)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""The Section 8 estimator extensions: discrete attributes and variable
+bandwidths.
+
+Part 1 — mixed continuous/discrete data: a Wang-van Ryzin kernel on an
+integer-coded category column, side by side with the paper's observation
+that even a pure Gaussian model degrades gracefully (its optimised
+bandwidth collapses and it "counts matching tuples").
+
+Part 2 — variable (sample-point) KDE: per-point Abramson bandwidth
+factors let one model serve a dataset mixing a needle-sharp cluster with
+a diffuse background, where any single fixed bandwidth must compromise.
+
+Run:  python examples/mixed_and_variable_kde.py
+"""
+
+import numpy as np
+
+from repro.geometry import Box
+from repro.core import (
+    KernelDensityEstimator,
+    QueryFeedback,
+    VariableKernelDensityEstimator,
+    optimize_bandwidth,
+    scott_bandwidth,
+)
+from repro.core.optimize import BandwidthOptimizer
+
+
+def mixed_data_demo(rng) -> None:
+    print("=== Mixed continuous/discrete estimation ===")
+    # An orders table: amount (continuous) correlated with priority class
+    # (discrete 0..4) — higher priorities carry larger amounts.
+    priority = rng.integers(0, 5, size=40_000).astype(np.float64)
+    amount = rng.gamma(2.0, 10.0 * (1.0 + priority), size=40_000)
+    data = np.column_stack([amount, priority])
+    sample = data[rng.choice(len(data), 1024, replace=False)]
+
+    def truth(box):
+        return float(box.contains_points(data).mean())
+
+    workload = []
+    for _ in range(100):
+        cls = float(rng.integers(0, 5))
+        lo = rng.uniform(0, 100)
+        # "priority = cls" expressed as the integer range [cls-.5, cls+.5]
+        # — equivalent on integer data, and it gives the continuous
+        # kernel a non-degenerate interval to work with.
+        box = Box([lo, cls - 0.5], [lo + 60.0, cls + 0.5])
+        workload.append(QueryFeedback(box, truth(box)))
+    test = workload[60:]
+    train = workload[:60]
+
+    configs = {
+        "gaussian, Scott": (None, "gaussian"),
+        "gaussian, optimised": ("opt", "gaussian"),
+        "mixed kernels, optimised": ("opt", ["gaussian", "ordered_discrete"]),
+    }
+    for label, (mode, kernel) in configs.items():
+        if mode is None:
+            est = KernelDensityEstimator(sample, scott_bandwidth(sample), kernel)
+        else:
+            optimizer = BandwidthOptimizer(starts=4, seed=0)
+            result = optimizer.optimize(sample, train, kernel=kernel)
+            est = KernelDensityEstimator(sample, result.bandwidth, kernel)
+        error = np.mean(
+            [abs(est.selectivity(fb.query) - fb.selectivity) for fb in test]
+        )
+        bandwidth = np.round(est.bandwidth, 4)
+        print(f"  {label:<26} error {error:.4f}   h = {bandwidth}")
+    print("  (the optimiser shrinks the discrete dimension's bandwidth "
+          "towards exact counting)\n")
+
+
+def variable_kde_demo(rng) -> None:
+    print("=== Variable (sample-point) bandwidths ===")
+    spike = rng.normal(loc=0.0, scale=0.02, size=(15_000, 2))
+    background = rng.normal(loc=0.0, scale=2.0, size=(15_000, 2))
+    data = np.vstack([spike, background])
+    sample = data[rng.choice(len(data), 1024, replace=False)]
+    h = scott_bandwidth(sample)
+
+    fixed = KernelDensityEstimator(sample, h)
+    variable = VariableKernelDensityEstimator(sample, h)
+
+    def mean_error(est, widths):
+        errors = []
+        for _ in range(100):
+            center = data[rng.integers(len(data))]
+            w = rng.uniform(*widths, size=2)
+            box = Box(center - w, center + w)
+            truth = float(box.contains_points(data).mean())
+            errors.append(abs(est.selectivity(box) - truth))
+        return float(np.mean(errors))
+
+    for label, widths in (("narrow queries", (0.01, 0.1)),
+                          ("wide queries", (0.5, 2.0))):
+        fixed_err = mean_error(fixed, widths)
+        variable_err = mean_error(variable, widths)
+        print(f"  {label:<15} fixed {fixed_err:.4f}   "
+              f"variable {variable_err:.4f}")
+    factors = variable.local_factors
+    print(f"  local factors span {factors.min():.2f} .. {factors.max():.2f} "
+          "(small = dense spike, large = diffuse tail)")
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    mixed_data_demo(rng)
+    variable_kde_demo(rng)
+
+
+if __name__ == "__main__":
+    main()

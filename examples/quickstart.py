@@ -1,0 +1,77 @@
+"""Quickstart: build, use, and optimise a KDE selectivity estimator.
+
+Walks through the three steps of Section 3.4: collect a sample, estimate
+range selectivities with Scott's-rule initialisation, then optimise the
+bandwidth on observed query feedback and watch the error drop.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Box, KernelDensityEstimator, optimize_bandwidth, scott_bandwidth
+from repro.core import QueryFeedback
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # A correlated, bimodal "table" that a normal-reference bandwidth
+    # handles badly — 50,000 rows over three attributes.
+    cluster_a = rng.normal(loc=0.0, scale=0.15, size=(25_000, 3))
+    cluster_b = rng.normal(loc=2.0, scale=0.15, size=(25_000, 3))
+    table = np.vstack([cluster_a, cluster_b])
+
+    def true_selectivity(box: Box) -> float:
+        return float(box.contains_points(table).mean())
+
+    # Step 1 — collect a random sample (what ANALYZE does).
+    sample = table[rng.choice(len(table), size=1024, replace=False)]
+
+    # Step 2 — a KDE model is just the sample plus a bandwidth.
+    estimator = KernelDensityEstimator(sample, scott_bandwidth(sample))
+    query = Box([-0.3, -0.3, -0.3], [0.3, 0.3, 0.3])
+    print(f"Scott's rule bandwidth : {np.round(estimator.bandwidth, 4)}")
+    print(f"  estimate {estimator.selectivity(query):.4f}"
+          f" vs true {true_selectivity(query):.4f}")
+
+    # Step 3 — optimise the bandwidth over query feedback (problem (5)).
+    workload = []
+    for _ in range(100):
+        center = table[rng.integers(len(table))]
+        widths = rng.uniform(0.1, 0.8, size=3)
+        box = Box(center - widths / 2, center + widths / 2)
+        workload.append(QueryFeedback(box, true_selectivity(box)))
+    result = optimize_bandwidth(sample, workload, seed=0)
+    print(f"\nOptimised bandwidth    : {np.round(result.bandwidth, 4)}")
+    print(f"  training loss {result.initial_loss:.2e} -> {result.loss:.2e}"
+          f" ({100 * result.improvement:.0f}% better)")
+
+    # Compare on held-out queries.
+    test_queries = []
+    for _ in range(200):
+        center = table[rng.integers(len(table))]
+        widths = rng.uniform(0.1, 0.8, size=3)
+        test_queries.append(Box(center - widths / 2, center + widths / 2))
+
+    def mean_error(bandwidth):
+        estimator.bandwidth = bandwidth
+        return float(
+            np.mean(
+                [
+                    abs(estimator.selectivity(q) - true_selectivity(q))
+                    for q in test_queries
+                ]
+            )
+        )
+
+    scott_error = mean_error(scott_bandwidth(sample))
+    optimized_error = mean_error(result.bandwidth)
+    print(f"\nHeld-out mean absolute error:")
+    print(f"  Scott's rule : {scott_error:.4f}")
+    print(f"  optimised    : {optimized_error:.4f}"
+          f"  ({scott_error / max(optimized_error, 1e-12):.1f}x better)")
+
+
+if __name__ == "__main__":
+    main()

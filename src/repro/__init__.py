@@ -1,0 +1,47 @@
+"""repro — Self-tuning, GPU-accelerated KDE selectivity estimation.
+
+A from-scratch Python reproduction of Heimel, Kiefer & Markl,
+*Self-Tuning, GPU-Accelerated Kernel Density Models for Multidimensional
+Selectivity Estimation*, SIGMOD 2015.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the KDE range-selectivity estimator,
+    feedback-driven bandwidth optimisation (batch and online), and
+    Karma/reservoir sample maintenance.
+``repro.baselines``
+    The compared estimators: STHoles, SCV-tuned KDE, plus AVI-histogram
+    and naive-sampling extension baselines.
+``repro.db``
+    In-memory relational substrate standing in for the paper's Postgres
+    integration (ANALYZE sampling, range queries, feedback events).
+``repro.device``
+    Simulated OpenCL-like device layer (buffers, transfers, launches,
+    analytic cost model) standing in for the paper's GPU.
+``repro.datasets`` / ``repro.workloads``
+    Evaluation datasets and the DT/DV/UT/UV workload generators.
+``repro.bench``
+    The experiment harness regenerating every table and figure of the
+    paper's evaluation (Section 6).
+"""
+
+from .geometry import Box, RangeQuery
+from .core import (
+    KernelDensityEstimator,
+    SelfTuningKDE,
+    optimize_bandwidth,
+    scott_bandwidth,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "KernelDensityEstimator",
+    "RangeQuery",
+    "SelfTuningKDE",
+    "__version__",
+    "optimize_bandwidth",
+    "scott_bandwidth",
+]

@@ -1,0 +1,38 @@
+"""Baseline estimators and the common estimator interface.
+
+Contains every estimator of the evaluation besides the core self-tuning
+model: the STHoles multidimensional histogram [7], the SCV-tuned KDE
+(standing in for R's ``ks::Hscv.diag``), and the extension baselines
+(attribute-value independence, naive sampling).
+"""
+
+from .avi import AVIEstimator, Histogram1D
+from .base import (
+    SelectivityEstimator,
+    kde_sample_size,
+    memory_budget_bytes,
+)
+from .kde_variants import AdaptiveKDE, BatchKDE, HeuristicKDE, PluginKDE, SCVKDE
+from .plugin import plugin_bandwidth
+from .sampling import SampleCountEstimator
+from .scv import lscv_bandwidth, scv_bandwidth
+from .stholes import STHolesHistogram, sthole_bucket_budget
+
+__all__ = [
+    "AVIEstimator",
+    "AdaptiveKDE",
+    "BatchKDE",
+    "HeuristicKDE",
+    "Histogram1D",
+    "PluginKDE",
+    "SCVKDE",
+    "STHolesHistogram",
+    "SampleCountEstimator",
+    "SelectivityEstimator",
+    "kde_sample_size",
+    "lscv_bandwidth",
+    "memory_budget_bytes",
+    "plugin_bandwidth",
+    "scv_bandwidth",
+    "sthole_bucket_budget",
+]

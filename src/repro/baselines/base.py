@@ -1,0 +1,80 @@
+"""Common interface for all compared selectivity estimators (Section 6.1.1).
+
+The evaluation harness drives every estimator — the paper's KDE variants
+and the baselines — through the same three-call protocol:
+
+1. construction (with whatever training data the estimator needs),
+2. :meth:`SelectivityEstimator.estimate` for a query region,
+3. :meth:`SelectivityEstimator.feedback` with the true selectivity once
+   the query has executed (self-tuning estimators learn from this; static
+   ones ignore it).
+
+Estimators also report their model footprint so experiments can enforce
+the paper's fair-comparison memory budget of ``d * 4 kB`` (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import Box
+
+__all__ = ["SelectivityEstimator", "memory_budget_bytes", "kde_sample_size"]
+
+#: Bytes per stored attribute value; the paper's device buffers use
+#: single-precision floats (Section 5.1).
+FLOAT_BYTES = 4
+
+#: The paper's per-estimator memory budget: d * 4 kB (Section 6.2).
+BUDGET_PER_DIMENSION = 4 * 1024
+
+
+def memory_budget_bytes(dimensions: int) -> int:
+    """The Section 6.2 memory budget for a ``dimensions``-dimensional model."""
+    if dimensions < 1:
+        raise ValueError("dimensions must be at least 1")
+    return dimensions * BUDGET_PER_DIMENSION
+
+
+def kde_sample_size(dimensions: int, budget_bytes: int = 0) -> int:
+    """Sample size a KDE model may hold within a memory budget.
+
+    A KDE model is essentially its sample: ``s`` points of ``d``
+    single-precision values, so ``s = budget / (d * 4)``.  With the
+    default budget of ``d * 4 kB`` this is 1024 points regardless of
+    dimensionality — the configuration of the static-quality experiments.
+    """
+    budget = budget_bytes or memory_budget_bytes(dimensions)
+    return max(1, budget // (dimensions * FLOAT_BYTES))
+
+
+class SelectivityEstimator(ABC):
+    """Abstract base class of every estimator in the evaluation."""
+
+    #: Display name used in experiment reports ("Heuristic", "STHoles", ...).
+    name: str = "unnamed"
+
+    @abstractmethod
+    def estimate(self, query: Box) -> float:
+        """Estimated selectivity of ``query`` in ``[0, 1]``."""
+
+    def feedback(self, query: Box, true_selectivity: float) -> None:
+        """True-selectivity feedback after query execution.
+
+        Static estimators inherit this no-op; self-tuning estimators
+        override it.
+        """
+
+    def estimate_many(self, queries: Sequence[Box]) -> np.ndarray:
+        """Vector of estimates for a sequence of queries."""
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+
+    def memory_bytes(self) -> int:
+        """Approximate model footprint in bytes (for budget accounting)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

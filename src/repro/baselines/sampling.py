@@ -1,0 +1,45 @@
+"""Naive sampling estimator (Section 2.3, [25, 28]).
+
+The estimator KDE generalises: evaluate the query predicate directly on a
+random sample and report the matching fraction.  Equivalent to a KDE
+whose bandwidth tends to zero — every sample point is a Dirac spike — so
+it anchors the bandwidth-matters story of the paper (KDE "has been shown
+to consistently offer superior estimation quality" over it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Box
+from .base import FLOAT_BYTES, SelectivityEstimator
+
+__all__ = ["SampleCountEstimator"]
+
+
+class SampleCountEstimator(SelectivityEstimator):
+    """Selectivity = fraction of sample points inside the query box."""
+
+    name = "Sampling"
+
+    def __init__(self, sample: np.ndarray) -> None:
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 2 or sample.shape[0] == 0:
+            raise ValueError("sample must be a non-empty (s, d) array")
+        self._sample = sample.copy()
+
+    @property
+    def sample_size(self) -> int:
+        return self._sample.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self._sample.shape[1]
+
+    def estimate(self, query: Box) -> float:
+        if query.dimensions != self.dimensions:
+            raise ValueError("query dimensionality mismatch")
+        return float(query.contains_points(self._sample).mean())
+
+    def memory_bytes(self) -> int:
+        return self._sample.size * FLOAT_BYTES

@@ -1,0 +1,173 @@
+"""Cross-validation bandwidth selection for diagonal Gaussian KDE.
+
+The paper's *KDE SCV* baseline picks its bandwidth with the smoothed
+cross-validation (SCV) selector of Duong & Hazelton [11] (``Hscv.diag``
+from the R package ``ks``).  R is not available offline, so this module
+implements the same criterion family from scratch, specialised to
+diagonal bandwidths and Gaussian product kernels, where every term has a
+closed form built from pairwise coordinate differences.
+
+Two criteria are provided:
+
+* **SCV** — smoothed cross-validation with a normal-reference pilot
+  bandwidth ``g``:
+
+  .. math::
+      SCV(h) = \\frac{(4\\pi)^{-d/2}}{n \\prod_k h_k}
+             + \\frac{1}{n^2} \\sum_{i,j}
+               \\left[ \\phi_{\\sqrt{2h^2+2g^2}}
+                     - 2\\phi_{\\sqrt{h^2+2g^2}}
+                     + \\phi_{\\sqrt{2g^2}} \\right] (x_i - x_j)
+
+  with :math:`\\phi_s` the product of one-dimensional normal densities
+  with per-dimension scale :math:`s_k`.
+
+* **LSCV** (least-squares / unbiased CV) — the classic Bowman [5]
+  criterion, an unbiased estimate of the integrated squared error up to a
+  constant:
+
+  .. math::
+      LSCV(h) = \\frac{1}{n^2} \\sum_{i,j} \\phi_{\\sqrt{2} h}(x_i - x_j)
+              - \\frac{2}{n(n-1)} \\sum_{i \\ne j} \\phi_h(x_i - x_j)
+
+Both are minimised numerically over ``log h`` with L-BFGS-B.  The
+criteria cost :math:`O(d n^2)` per evaluation, so the selector caps the
+points it uses (``max_points``), matching the practical behaviour of CV
+selectors on large samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy import optimize as _sciopt
+
+from ..core.bandwidth import MIN_BANDWIDTH, scott_bandwidth
+
+__all__ = ["scv_bandwidth", "lscv_bandwidth"]
+
+
+def _pairwise_squared_differences(points: np.ndarray) -> np.ndarray:
+    """``(d, n, n)`` array of squared per-dimension pairwise differences."""
+    n, d = points.shape
+    out = np.empty((d, n, n), dtype=np.float64)
+    for k in range(d):
+        diff = points[:, k, None] - points[None, :, k]
+        out[k] = diff * diff
+    return out
+
+
+def _gaussian_pair_sum(sq_diffs: np.ndarray, scales: np.ndarray) -> float:
+    """``sum_{i,j} prod_k N(x_ik - x_jk; 0, scales_k^2)`` for all pairs."""
+    d, n, _ = sq_diffs.shape
+    log_norm = -0.5 * d * math.log(2.0 * math.pi) - float(
+        np.log(scales).sum()
+    )
+    exponent = np.zeros((n, n), dtype=np.float64)
+    for k in range(d):
+        exponent -= sq_diffs[k] / (2.0 * scales[k] * scales[k])
+    return float(np.exp(exponent + log_norm).sum())
+
+
+def _subsample(
+    sample: np.ndarray, max_points: int, seed: Optional[int]
+) -> np.ndarray:
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.ndim != 2 or sample.shape[0] < 2:
+        raise ValueError("sample must be an (n >= 2, d) array")
+    if sample.shape[0] <= max_points:
+        return sample
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(sample.shape[0], size=max_points, replace=False)
+    return sample[indices]
+
+
+def _minimize_criterion(
+    criterion, initial: np.ndarray, maxiter: int
+) -> np.ndarray:
+    log_initial = np.log(np.maximum(initial, MIN_BANDWIDTH))
+    bounds = [(lo - 8.0, lo + 8.0) for lo in log_initial]
+    result = _sciopt.minimize(
+        lambda log_h: criterion(np.exp(log_h)),
+        log_initial,
+        method="L-BFGS-B",
+        bounds=bounds,
+        options={"maxiter": maxiter},
+    )
+    best = np.exp(result.x)
+    if criterion(best) > criterion(initial):
+        return initial
+    return np.maximum(best, MIN_BANDWIDTH)
+
+
+def scv_bandwidth(
+    sample: np.ndarray,
+    pilot: Optional[np.ndarray] = None,
+    max_points: int = 512,
+    maxiter: int = 60,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Diagonal SCV-optimal bandwidth for a Gaussian product-kernel KDE.
+
+    Parameters
+    ----------
+    sample:
+        ``(n, d)`` data sample.
+    pilot:
+        Pilot bandwidth ``g``; defaults to Scott's normal reference on the
+        (sub)sample, the standard pilot choice.
+    max_points:
+        Cap on the points used to evaluate the ``O(n^2)`` criterion.
+    maxiter / seed:
+        Optimiser budget and subsampling seed.
+    """
+    points = _subsample(sample, max_points, seed)
+    n, d = points.shape
+    sq_diffs = _pairwise_squared_differences(points)
+    g = (
+        np.asarray(pilot, dtype=np.float64)
+        if pilot is not None
+        else scott_bandwidth(points)
+    )
+    if g.shape != (d,) or np.any(g <= 0):
+        raise ValueError("pilot bandwidth must be a positive (d,) vector")
+    constant_term = float(
+        _gaussian_pair_sum(sq_diffs, np.sqrt(2.0) * g)
+    )  # phi_{sqrt(2 g^2)} double sum, independent of h
+
+    def criterion(h: np.ndarray) -> float:
+        roughness = (4.0 * math.pi) ** (-d / 2.0) / (n * float(np.prod(h)))
+        s_a = np.sqrt(2.0 * h * h + 2.0 * g * g)
+        s_b = np.sqrt(h * h + 2.0 * g * g)
+        pair_part = (
+            _gaussian_pair_sum(sq_diffs, s_a)
+            - 2.0 * _gaussian_pair_sum(sq_diffs, s_b)
+            + constant_term
+        )
+        return roughness + pair_part / (n * n)
+
+    return _minimize_criterion(criterion, scott_bandwidth(points), maxiter)
+
+
+def lscv_bandwidth(
+    sample: np.ndarray,
+    max_points: int = 512,
+    maxiter: int = 60,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Diagonal least-squares cross-validation bandwidth (Bowman [5])."""
+    points = _subsample(sample, max_points, seed)
+    n, d = points.shape
+    sq_diffs = _pairwise_squared_differences(points)
+    # The diagonal (i == j) of the phi_h sum contributes the fixed value
+    # n * prod_k N(0; 0, h_k^2); subtract it to get the i != j sum.
+
+    def criterion(h: np.ndarray) -> float:
+        integral_sq = _gaussian_pair_sum(sq_diffs, np.sqrt(2.0) * h) / (n * n)
+        diag = n * (2.0 * math.pi) ** (-d / 2.0) / float(np.prod(h))
+        off_diag = _gaussian_pair_sum(sq_diffs, h) - diag
+        return integral_sq - 2.0 * off_diag / (n * (n - 1))
+
+    return _minimize_criterion(criterion, scott_bandwidth(points), maxiter)

@@ -1,0 +1,20 @@
+"""Experiment harness regenerating the paper's evaluation (Section 6).
+
+Run ``python -m repro.bench <experiment>`` to regenerate a table or
+figure (see :mod:`repro.bench.cli`), or drive the runners in
+:mod:`repro.bench.experiments` programmatically.
+"""
+
+from .metrics import ErrorSummary, WinMatrix, summarize, win_matrix
+from .protocol import ALL_ESTIMATORS, TrialConfig, TrialResult, run_static_trial
+
+__all__ = [
+    "ALL_ESTIMATORS",
+    "ErrorSummary",
+    "TrialConfig",
+    "TrialResult",
+    "WinMatrix",
+    "run_static_trial",
+    "summarize",
+    "win_matrix",
+]

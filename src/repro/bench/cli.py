@@ -1,0 +1,231 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench fig4   [--scale smoke|small|paper]
+    python -m repro.bench fig5   [--scale ...]
+    python -m repro.bench table1 [--scale ...]
+    python -m repro.bench fig6   [--scale ...]
+    python -m repro.bench fig7
+    python -m repro.bench fig8   [--scale ...]
+    python -m repro.bench ablations [--scale ...]
+    python -m repro.bench all    [--scale ...]
+
+Scales trade fidelity for runtime: ``smoke`` finishes in well under a
+minute per experiment (CI-sized), ``small`` (the default) reproduces the
+paper's qualitative shapes in minutes, ``paper`` runs the full protocol
+(25 repetitions, all datasets, all workloads) and can take hours.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict
+
+from .experiments import (
+    run_adaptive_parameter_ablation,
+    run_dynamic_quality,
+    run_karma_ablation,
+    run_log_update_ablation,
+    run_model_size_quality,
+    run_runtime_scaling,
+    run_selector_shootout,
+    run_static_quality,
+)
+from .metrics import win_matrix
+from .reporting import (
+    render_dynamic,
+    render_model_size,
+    render_runtime,
+    render_static_quality,
+    render_win_matrix,
+)
+
+__all__ = ["main", "SCALES"]
+
+#: Scale presets: (datasets, workloads, repetitions, rows, test queries).
+SCALES: Dict[str, Dict] = {
+    "smoke": dict(
+        datasets=("power", "synthetic"),
+        workloads=("DT", "UV"),
+        repetitions=1,
+        rows=20_000,
+        train_queries=30,
+        test_queries=60,
+        model_sizes=(1024, 4096),
+        dynamic_runs=1,
+        dynamic_cycles=3,
+        dynamic_queries=30,
+        batch_starts=3,
+    ),
+    "small": dict(
+        datasets=("bike", "forest", "power", "protein", "synthetic"),
+        workloads=("DT", "DV", "UT", "UV"),
+        repetitions=3,
+        rows=50_000,
+        train_queries=100,
+        test_queries=150,
+        model_sizes=(1024, 2048, 4096, 8192, 16384, 32768),
+        dynamic_runs=3,
+        dynamic_cycles=10,
+        dynamic_queries=60,
+        batch_starts=6,
+    ),
+    "paper": dict(
+        datasets=("bike", "forest", "power", "protein", "synthetic"),
+        workloads=("DT", "DV", "UT", "UV"),
+        repetitions=25,
+        rows=None,
+        train_queries=100,
+        test_queries=300,
+        model_sizes=(1024, 2048, 4096, 8192, 16384, 32768),
+        dynamic_runs=10,
+        dynamic_cycles=10,
+        dynamic_queries=100,
+        batch_starts=8,
+    ),
+}
+
+EXPERIMENTS = (
+    "fig4",
+    "fig5",
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablations",
+    "all",
+)
+
+
+def _static(scale: Dict, dimensions: int, progress: bool):
+    return run_static_quality(
+        dimensions=dimensions,
+        datasets=scale["datasets"],
+        workloads=scale["workloads"],
+        repetitions=scale["repetitions"],
+        rows=scale["rows"],
+        train_queries=scale["train_queries"],
+        test_queries=scale["test_queries"],
+        batch_starts=scale["batch_starts"],
+        progress=progress,
+    )
+
+
+def run_experiment(name: str, scale_name: str, progress: bool = True) -> str:
+    """Run one experiment and return its rendered report."""
+    scale = SCALES[scale_name]
+    started = time.time()
+    if name == "fig4":
+        report = render_static_quality(_static(scale, 3, progress))
+        title = "Figure 4 - estimation quality on static datasets (3D)"
+    elif name == "fig5":
+        report = render_static_quality(_static(scale, 8, progress))
+        title = "Figure 5 - estimation quality on static datasets (8D)"
+    elif name == "table1":
+        experiments = []
+        for dimensions in (3, 8):
+            experiments.extend(_static(scale, dimensions, progress).experiments)
+        report = render_win_matrix(win_matrix(experiments))
+        title = "Table 1 - pairwise win percentages (3D + 8D)"
+    elif name == "fig6":
+        result = run_model_size_quality(
+            sizes=scale["model_sizes"],
+            repetitions=max(1, scale["repetitions"] * 2),
+            rows=scale["rows"] or 100_000,
+            batch_starts=scale["batch_starts"],
+            progress=progress,
+        )
+        report = render_model_size(result)
+        title = "Figure 6 - estimation quality with growing model size"
+    elif name == "fig7":
+        report = render_runtime(run_runtime_scaling(progress=progress))
+        title = "Figure 7 - estimator runtime with growing model size"
+    elif name == "fig8":
+        sections = []
+        for dimensions in (5, 8):
+            result = run_dynamic_quality(
+                dimensions=dimensions,
+                runs=scale["dynamic_runs"],
+                cycles=scale["dynamic_cycles"],
+                queries_per_cycle=scale["dynamic_queries"],
+                progress=progress,
+            )
+            sections.append(
+                f"[{dimensions}D]\n" + render_dynamic(result)
+            )
+        report = "\n\n".join(sections)
+        title = "Figure 8 - estimation quality on changing data"
+    elif name == "ablations":
+        log_result = run_log_update_ablation(
+            repetitions=scale["repetitions"]
+        )
+        karma_result = run_karma_ablation(runs=scale["dynamic_runs"])
+        params = run_adaptive_parameter_ablation(
+            repetitions=scale["repetitions"]
+        )
+        shootout = run_selector_shootout(repetitions=scale["repetitions"])
+        report = "\n".join(
+            [
+                "A1 log-space updates: better in "
+                f"{100 * log_result.log_win_fraction:.0f}% of paired trials "
+                "(paper: 68%)",
+                "A2 karma maintenance on dynamic data: "
+                f"error {karma_result.with_karma:.4f} with, "
+                f"{karma_result.without_karma:.4f} without, "
+                f"{karma_result.with_karma_no_shortcut:.4f} without shortcut "
+                f"(improvement {100 * karma_result.karma_improvement:.0f}%)",
+                "A3 mini-batch sizes: "
+                + ", ".join(
+                    f"N={n}: {e:.4f}"
+                    for n, e in params.batch_size_errors.items()
+                ),
+                "A3 losses: "
+                + ", ".join(
+                    f"{loss}: {e:.4f}" for loss, e in params.loss_errors.items()
+                ),
+                "A4 selector shootout (mean abs error): "
+                + ", ".join(
+                    f"{name}: {shootout.errors[name]:.4f}"
+                    for name in shootout.ranking()
+                ),
+            ]
+        )
+        title = "Ablations - design choices called out by the paper"
+    else:
+        raise ValueError(f"unknown experiment {name!r}")
+    elapsed = time.time() - started
+    banner = "=" * len(title)
+    return f"{title}\n{banner}\n{report}\n[{elapsed:.1f}s @ scale={scale_name}]"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="fidelity/runtime preset (default: small)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-trial progress"
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        print(run_experiment(name, args.scale, progress=not args.quiet))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Experiment runners, one per table/figure of the paper's evaluation."""
+
+from .ablations import (
+    AdaptiveParameterAblation,
+    KarmaAblation,
+    LogUpdateAblation,
+    SelectorShootout,
+    run_adaptive_parameter_ablation,
+    run_karma_ablation,
+    run_log_update_ablation,
+    run_selector_shootout,
+)
+from .dynamic_quality import DynamicQualityResult, run_dynamic_quality
+from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
+from .runtime import PAPER_MODEL_SIZES, RuntimeResult, run_runtime_scaling
+from .static_quality import StaticQualityResult, run_static_quality
+
+__all__ = [
+    "AdaptiveParameterAblation",
+    "DynamicQualityResult",
+    "KarmaAblation",
+    "LogUpdateAblation",
+    "ModelSizeResult",
+    "PAPER_MODEL_SIZES",
+    "PAPER_SIZES",
+    "RuntimeResult",
+    "SelectorShootout",
+    "StaticQualityResult",
+    "run_adaptive_parameter_ablation",
+    "run_dynamic_quality",
+    "run_karma_ablation",
+    "run_log_update_ablation",
+    "run_model_size_quality",
+    "run_runtime_scaling",
+    "run_selector_shootout",
+    "run_static_quality",
+]

@@ -1,0 +1,338 @@
+"""Ablation studies for the design choices the paper calls out.
+
+* **A1 — logarithmic bandwidth updates** (Section 5.5): the paper reports
+  improvements over linear updates in 68% of experiments; the ablation
+  reruns the adaptive estimator with both settings on identical trials.
+* **A2 — Karma maintenance** (Section 4.2): the dynamic workload with the
+  maintenance machinery on/off, isolating its contribution.
+* **A3 — adaptive hyper-parameters** (Section 4.1): mini-batch size and
+  loss sweeps on a static workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...baselines import AdaptiveKDE, kde_sample_size
+from ...core.config import AdaptiveConfig, KarmaConfig, SelfTuningConfig
+from ...datasets import load_dataset
+from ...db import Table
+from ...geometry import Box
+from ...workloads import (
+    DeleteClusterEvent,
+    EvolvingClusterWorkload,
+    InsertEvent,
+    QueryEvent,
+    generate_workload,
+)
+
+__all__ = [
+    "LogUpdateAblation",
+    "run_log_update_ablation",
+    "KarmaAblation",
+    "run_karma_ablation",
+    "AdaptiveParameterAblation",
+    "run_adaptive_parameter_ablation",
+    "SelectorShootout",
+    "run_selector_shootout",
+]
+
+
+def _adaptive_trial_error(
+    data: np.ndarray,
+    config: SelfTuningConfig,
+    workload_kind: str,
+    train_queries: int,
+    test_queries: int,
+    seed: int,
+) -> float:
+    """Mean absolute test error of one Adaptive configuration."""
+    rng = np.random.default_rng(seed)
+    table = Table(data.shape[1], initial_rows=data)
+    sample = table.analyze(kde_sample_size(data.shape[1]), rng)
+    queries = generate_workload(
+        data,
+        workload_kind,
+        train_queries + test_queries,
+        rng,
+        bounds=Box.bounding(data, margin=1e-9),
+        search_data=data[
+            rng.choice(len(data), size=min(20_000, len(data)), replace=False)
+        ],
+    )
+    estimator = AdaptiveKDE(
+        sample,
+        config=config,
+        row_source=table,
+        population_size=len(table),
+        seed=seed,
+    )
+    for query in queries[:train_queries]:
+        estimator.estimate(query)
+        estimator.feedback(query, table.selectivity(query))
+    errors = []
+    for query in queries[train_queries:]:
+        truth = table.selectivity(query)
+        errors.append(abs(estimator.estimate(query) - truth))
+        estimator.feedback(query, truth)
+    return float(np.mean(errors))
+
+
+# ----------------------------------------------------------------------
+# A1: logarithmic vs linear bandwidth updates
+# ----------------------------------------------------------------------
+@dataclass
+class LogUpdateAblation:
+    """Paired errors of log-space vs linear-space adaptive updates."""
+
+    log_errors: List[float]
+    linear_errors: List[float]
+
+    @property
+    def log_win_fraction(self) -> float:
+        """Fraction of paired trials where log updates were better."""
+        wins = sum(
+            1
+            for log_error, linear_error in zip(
+                self.log_errors, self.linear_errors
+            )
+            if log_error < linear_error
+        )
+        return wins / len(self.log_errors)
+
+
+def run_log_update_ablation(
+    datasets: Sequence[str] = ("forest", "power", "bike"),
+    workloads: Sequence[str] = ("DT", "DV"),
+    dimensions: int = 3,
+    repetitions: int = 3,
+    rows: Optional[int] = 30_000,
+    seed: int = 0,
+) -> LogUpdateAblation:
+    """Rerun Adaptive with log updates on/off over identical trials."""
+    log_errors: List[float] = []
+    linear_errors: List[float] = []
+    base = SelfTuningConfig()
+    for dataset in datasets:
+        data = load_dataset(dataset, dimensions=dimensions, rows=rows, seed=seed)
+        for workload in workloads:
+            for repetition in range(repetitions):
+                trial_seed = seed + repetition * 7919
+                log_errors.append(
+                    _adaptive_trial_error(
+                        data,
+                        replace(
+                            base,
+                            adaptive=AdaptiveConfig(log_updates=True),
+                        ),
+                        workload,
+                        100,
+                        100,
+                        trial_seed,
+                    )
+                )
+                linear_errors.append(
+                    _adaptive_trial_error(
+                        data,
+                        replace(
+                            base,
+                            adaptive=AdaptiveConfig(log_updates=False),
+                        ),
+                        workload,
+                        100,
+                        100,
+                        trial_seed,
+                    )
+                )
+    return LogUpdateAblation(log_errors=log_errors, linear_errors=linear_errors)
+
+
+# ----------------------------------------------------------------------
+# A2: karma maintenance on/off under data changes
+# ----------------------------------------------------------------------
+@dataclass
+class KarmaAblation:
+    """Mean error on the dynamic workload with maintenance on/off."""
+
+    with_karma: float
+    without_karma: float
+    with_karma_no_shortcut: float
+
+    @property
+    def karma_improvement(self) -> float:
+        """Relative error reduction attributable to the maintenance."""
+        if self.without_karma == 0.0:
+            return 0.0
+        return 1.0 - self.with_karma / self.without_karma
+
+
+def _dynamic_error(
+    workload: EvolvingClusterWorkload, config: SelfTuningConfig, seed: int
+) -> float:
+    rng = np.random.default_rng(seed)
+    table = Table(workload.dimensions, initial_rows=workload.initial_data())
+    sample = table.analyze(
+        min(kde_sample_size(workload.dimensions), len(table)), rng
+    )
+    estimator = AdaptiveKDE(
+        sample,
+        config=config,
+        row_source=table,
+        population_size=len(table),
+        seed=seed,
+    )
+    errors: List[float] = []
+    for event in workload.events():
+        if isinstance(event, InsertEvent):
+            table.insert(event.row)
+            estimator.on_insert(event.row)
+        elif isinstance(event, DeleteClusterEvent):
+            deleted = table.delete_in(event.region)
+            for _ in range(deleted):
+                estimator.on_delete()
+        elif isinstance(event, QueryEvent):
+            truth = table.selectivity(event.query)
+            errors.append(abs(estimator.estimate(event.query) - truth))
+            estimator.feedback(event.query, truth)
+    return float(np.mean(errors))
+
+
+def run_karma_ablation(
+    dimensions: int = 5,
+    runs: int = 3,
+    cycles: int = 6,
+    queries_per_cycle: int = 60,
+    seed: int = 0,
+) -> KarmaAblation:
+    """Dynamic workload with the three maintenance configurations."""
+    configurations = {
+        "with": SelfTuningConfig(maintain_sample=True),
+        "without": SelfTuningConfig(maintain_sample=False),
+        "no_shortcut": SelfTuningConfig(
+            maintain_sample=True,
+            karma=KarmaConfig(empty_region_shortcut=False),
+        ),
+    }
+    totals = {name: 0.0 for name in configurations}
+    for run in range(runs):
+        workload = EvolvingClusterWorkload(
+            dimensions=dimensions,
+            cycles=cycles,
+            queries_per_cycle=queries_per_cycle,
+            seed=seed + run,
+        )
+        for name, config in configurations.items():
+            totals[name] += _dynamic_error(workload, config, seed * 31 + run)
+    return KarmaAblation(
+        with_karma=totals["with"] / runs,
+        without_karma=totals["without"] / runs,
+        with_karma_no_shortcut=totals["no_shortcut"] / runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# A3: adaptive hyper-parameters
+# ----------------------------------------------------------------------
+@dataclass
+class AdaptiveParameterAblation:
+    """Mean error per mini-batch size and per loss function."""
+
+    batch_size_errors: Dict[int, float]
+    loss_errors: Dict[str, float]
+
+
+@dataclass
+class SelectorShootout:
+    """Mean error per estimator across the bandwidth-selector sweep."""
+
+    errors: Dict[str, float]
+
+    def ranking(self) -> List[str]:
+        """Estimator names, best (lowest error) first."""
+        return sorted(self.errors, key=self.errors.get)
+
+
+def run_selector_shootout(
+    datasets: Sequence[str] = ("power", "synthetic"),
+    workloads: Sequence[str] = ("DT", "DV"),
+    dimensions: int = 3,
+    repetitions: int = 2,
+    rows: Optional[int] = 30_000,
+    seed: int = 0,
+) -> SelectorShootout:
+    """A4 — every bandwidth selection route on the same trials.
+
+    Extends Table 1's cast with the extension baselines: the plug-in
+    selector (the second sophisticated class of Section 3.2), the AVI
+    histogram product, and the naive sampling estimator KDE generalises.
+    """
+    from ..protocol import EXTENDED_ESTIMATORS, TrialConfig, run_static_trial
+
+    estimator_names = tuple(
+        name for name in EXTENDED_ESTIMATORS if name != "STHoles"
+    )
+    totals: Dict[str, float] = {name: 0.0 for name in estimator_names}
+    count = 0
+    for dataset in datasets:
+        data = load_dataset(
+            dataset, dimensions=dimensions, rows=rows, seed=seed
+        )
+        for workload in workloads:
+            config = TrialConfig(
+                dataset=data,
+                workload=workload,
+                train_queries=60,
+                test_queries=100,
+                estimators=estimator_names,
+                batch_starts=4,
+            )
+            for repetition in range(repetitions):
+                trial = run_static_trial(config, seed=seed + repetition * 101)
+                for name, error in trial.errors.items():
+                    totals[name] += error
+                count += 1
+    return SelectorShootout(
+        errors={name: total / count for name, total in totals.items()}
+    )
+
+
+def run_adaptive_parameter_ablation(
+    batch_sizes: Sequence[int] = (1, 5, 10, 20),
+    losses: Sequence[str] = ("squared", "absolute", "squared_q"),
+    dataset: str = "power",
+    dimensions: int = 3,
+    workload: str = "DT",
+    repetitions: int = 3,
+    rows: Optional[int] = 30_000,
+    seed: int = 0,
+) -> AdaptiveParameterAblation:
+    """Sweep mini-batch size and loss for the adaptive learner."""
+    data = load_dataset(dataset, dimensions=dimensions, rows=rows, seed=seed)
+    batch_size_errors: Dict[int, float] = {}
+    for batch_size in batch_sizes:
+        config = SelfTuningConfig(
+            adaptive=AdaptiveConfig(batch_size=batch_size)
+        )
+        errors = [
+            _adaptive_trial_error(
+                data, config, workload, 100, 100, seed + rep * 7919
+            )
+            for rep in range(repetitions)
+        ]
+        batch_size_errors[batch_size] = float(np.mean(errors))
+    loss_errors: Dict[str, float] = {}
+    for loss in losses:
+        config = SelfTuningConfig(loss=loss)
+        errors = [
+            _adaptive_trial_error(
+                data, config, workload, 100, 100, seed + rep * 7919
+            )
+            for rep in range(repetitions)
+        ]
+        loss_errors[loss] = float(np.mean(errors))
+    return AdaptiveParameterAblation(
+        batch_size_errors=batch_size_errors, loss_errors=loss_errors
+    )

@@ -1,0 +1,149 @@
+"""Figure 8: estimation quality on changing data.
+
+Section 6.5's setup: the evolving-cluster workload (insertions of new
+clusters, deletions of old ones, recency-biased DT queries) replayed
+against *Heuristic*, *STHoles* and *Adaptive*, with every estimator
+restricted to the usual ``d * 4 kB`` budget.  The experiment records the
+progression of the absolute estimation error over the query stream,
+averaged over several runs — Figure 8 plots exactly this trace, plus the
+table cardinality over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ...baselines import (
+    AdaptiveKDE,
+    HeuristicKDE,
+    STHolesHistogram,
+    kde_sample_size,
+    memory_budget_bytes,
+    sthole_bucket_budget,
+)
+from ...db import Table
+from ...workloads import (
+    DeleteClusterEvent,
+    EvolvingClusterWorkload,
+    InsertEvent,
+    QueryEvent,
+)
+
+__all__ = ["DynamicQualityResult", "run_dynamic_quality"]
+
+_ESTIMATORS = ("Heuristic", "STHoles", "Adaptive")
+
+
+@dataclass
+class DynamicQualityResult:
+    """Error traces over the dynamic query stream."""
+
+    dimensions: int
+    #: estimator -> (runs, queries) absolute error matrix.
+    traces: Dict[str, np.ndarray]
+    #: Table cardinality after each query (one run's worth; identical
+    #: across runs of the same seed progression up to cluster randomness).
+    cardinality: np.ndarray
+
+    def mean_trace(self, estimator: str) -> np.ndarray:
+        return self.traces[estimator].mean(axis=0)
+
+    def final_error(self, estimator: str, window: int = 50) -> float:
+        """Mean error over the last ``window`` queries, across runs."""
+        return float(self.traces[estimator][:, -window:].mean())
+
+
+def _run_single(
+    workload: EvolvingClusterWorkload, seed: int
+) -> Dict[str, List[float]]:
+    """Replay one event stream against all three estimators."""
+    rng = np.random.default_rng(seed)
+    dimensions = workload.dimensions
+    budget = memory_budget_bytes(dimensions)
+    initial = workload.initial_data()
+    table = Table(dimensions, initial_rows=initial)
+
+    sample = table.analyze(
+        min(kde_sample_size(dimensions, budget), len(table)), rng
+    )
+    heuristic = HeuristicKDE(sample)
+    adaptive = AdaptiveKDE(
+        sample, row_source=table, population_size=len(table), seed=seed
+    )
+    stholes = STHolesHistogram(
+        workload.domain(),
+        row_count=len(table),
+        max_buckets=sthole_bucket_budget(dimensions, budget),
+        region_count=table.count,
+    )
+
+    errors: Dict[str, List[float]] = {name: [] for name in _ESTIMATORS}
+    cardinality: List[int] = []
+    for event in workload.events():
+        if isinstance(event, InsertEvent):
+            table.insert(event.row)
+            adaptive.on_insert(event.row)
+            stholes.row_count = len(table)
+        elif isinstance(event, DeleteClusterEvent):
+            deleted = table.delete_in(event.region)
+            for _ in range(deleted):
+                adaptive.on_delete()
+            stholes.row_count = len(table)
+        elif isinstance(event, QueryEvent):
+            truth = table.selectivity(event.query)
+            for name, estimator in (
+                ("Heuristic", heuristic),
+                ("STHoles", stholes),
+                ("Adaptive", adaptive),
+            ):
+                estimate = estimator.estimate(event.query)
+                errors[name].append(abs(estimate - truth))
+                estimator.feedback(event.query, truth)
+            cardinality.append(len(table))
+    errors["_cardinality"] = cardinality  # type: ignore[assignment]
+    return errors
+
+
+def run_dynamic_quality(
+    dimensions: int = 5,
+    runs: int = 10,
+    cycles: int = 10,
+    queries_per_cycle: int = 100,
+    tuples_per_cycle: int = 1500,
+    initial_tuples: int = 4500,
+    seed: int = 0,
+    progress: bool = False,
+) -> DynamicQualityResult:
+    """Run the Figure 8 experiment (5-D by default; pass 8 for Fig 8b)."""
+    all_traces: Dict[str, List[List[float]]] = {
+        name: [] for name in _ESTIMATORS
+    }
+    cardinality: Sequence[int] = []
+    for run in range(runs):
+        workload = EvolvingClusterWorkload(
+            dimensions=dimensions,
+            initial_tuples=initial_tuples,
+            tuples_per_cycle=tuples_per_cycle,
+            cycles=cycles,
+            queries_per_cycle=queries_per_cycle,
+            seed=seed + run,
+        )
+        outcome = _run_single(workload, seed=seed * 100 + run)
+        cardinality = outcome.pop("_cardinality")  # type: ignore[arg-type]
+        for name in _ESTIMATORS:
+            all_traces[name].append(outcome[name])
+        if progress:
+            means = {
+                name: f"{np.mean(outcome[name]):.4f}" for name in _ESTIMATORS
+            }
+            print(f"  run {run + 1}/{runs}: {means}", flush=True)
+    return DynamicQualityResult(
+        dimensions=dimensions,
+        traces={
+            name: np.array(traces) for name, traces in all_traces.items()
+        },
+        cardinality=np.array(cardinality),
+    )

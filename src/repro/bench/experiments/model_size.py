@@ -1,0 +1,86 @@
+"""Figure 6: estimation quality with growing model size.
+
+Section 6.3's setup: the 8-D Forest dataset under a DT workload,
+estimators built on 100 training queries and evaluated on another 100,
+model (sample) sizes swept from 1,024 to 32,768 points, ten repetitions.
+STHoles is excluded, as in the paper (its scaling is discussed in [7]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...datasets import load_dataset
+from ..metrics import ErrorSummary, summarize
+from ..protocol import TrialConfig, run_static_trial
+
+__all__ = ["ModelSizeResult", "run_model_size_quality", "PAPER_SIZES"]
+
+#: The paper's sweep: powers of two from 1K to 32K sample points.
+PAPER_SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
+
+_ESTIMATORS = ("Heuristic", "Batch", "Adaptive")
+
+
+@dataclass
+class ModelSizeResult:
+    """Per-sample-size error summaries for the three KDE variants."""
+
+    sizes: List[int]
+    #: estimator -> size -> per-repetition mean errors.
+    errors: Dict[str, Dict[int, List[float]]]
+
+    def summary(self, estimator: str, size: int) -> ErrorSummary:
+        return summarize(self.errors[estimator][size])
+
+    def mean_curve(self, estimator: str) -> np.ndarray:
+        return np.array(
+            [np.mean(self.errors[estimator][size]) for size in self.sizes]
+        )
+
+
+def run_model_size_quality(
+    sizes: Sequence[int] = PAPER_SIZES,
+    dataset: str = "forest",
+    dimensions: int = 8,
+    workload: str = "DT",
+    repetitions: int = 10,
+    rows: Optional[int] = 50_000,
+    train_queries: int = 100,
+    test_queries: int = 100,
+    batch_starts: int = 4,
+    seed: int = 0,
+    progress: bool = False,
+) -> ModelSizeResult:
+    """Run the Figure 6 sweep."""
+    data = load_dataset(dataset, dimensions=dimensions, rows=rows, seed=seed)
+    d = data.shape[1]
+    result = ModelSizeResult(
+        sizes=list(sizes),
+        errors={name: {size: [] for size in sizes} for name in _ESTIMATORS},
+    )
+    for size in sizes:
+        # The budget determines the KDE sample size: budget = size * d * 4.
+        config = TrialConfig(
+            dataset=data,
+            workload=workload,
+            train_queries=train_queries,
+            test_queries=test_queries,
+            budget_bytes=size * d * 4,
+            estimators=_ESTIMATORS,
+            batch_starts=batch_starts,
+        )
+        for repetition in range(repetitions):
+            trial = run_static_trial(config, seed=seed * 1000 + repetition)
+            for name, error in trial.errors.items():
+                result.errors[name][size].append(error)
+            if progress:
+                print(
+                    f"  size {size} rep {repetition + 1}/{repetitions}: "
+                    + " ".join(f"{k}={v:.4f}" for k, v in trial.errors.items()),
+                    flush=True,
+                )
+    return result

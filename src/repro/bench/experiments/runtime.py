@@ -1,0 +1,111 @@
+"""Figure 7: estimator runtime with growing model size.
+
+Section 6.4 measures the total estimation overhead of 100 random UV
+queries on a synthetic 8-D table, sweeping the model size, comparing:
+
+* *Heuristic* and *Adaptive* KDE on the GPU and the CPU (through the
+  simulated device layer — the substitution documented in DESIGN.md),
+* the *full* STHoles model with an equivalent memory budget, priced by
+  the sequential-traversal cost model.
+
+The numbers are modelled, not measured — the point of the figure is the
+*shape*: flat launch-latency-dominated start, linear scaling afterwards,
+a roughly constant GPU/CPU gap, a constant Adaptive offset, and STHoles
+winning small models but losing large ones by the paper's 7-10x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ...baselines.stholes import sthole_bucket_budget
+from ...datasets import gunopulos_synthetic
+from ...device import DeviceContext, DeviceKDE, STHolesCostModel
+from ...geometry import Box
+from ...workloads import generate_workload
+
+__all__ = ["RuntimeResult", "run_runtime_scaling", "PAPER_MODEL_SIZES"]
+
+#: Model sizes (sample points) swept by the paper's Figure 7.
+PAPER_MODEL_SIZES = (1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
+
+
+@dataclass
+class RuntimeResult:
+    """Modelled per-query estimation overhead (seconds) per configuration."""
+
+    sizes: List[int]
+    #: series name -> per-size seconds/query.  Series: "Heuristic GPU",
+    #: "Adaptive GPU", "Heuristic CPU", "Adaptive CPU", "STHoles".
+    seconds: Dict[str, List[float]]
+
+    def series(self, name: str) -> np.ndarray:
+        return np.array(self.seconds[name], dtype=np.float64)
+
+
+def _kde_seconds_per_query(
+    sample: np.ndarray,
+    queries: Sequence[Box],
+    device: str,
+    adaptive: bool,
+) -> float:
+    context = DeviceContext.for_device(device)
+    kde = DeviceKDE(sample, context, adaptive=adaptive)
+    context.reset_clock()
+    for query in queries:
+        kde.estimate(query)
+        if adaptive:
+            kde.feedback(query, 0.0 if query.volume() == 0 else 0.001)
+    return context.elapsed_seconds / len(queries)
+
+
+def run_runtime_scaling(
+    sizes: Sequence[int] = PAPER_MODEL_SIZES,
+    dimensions: int = 8,
+    queries: int = 100,
+    data_rows: int = 100_000,
+    seed: int = 0,
+    progress: bool = False,
+) -> RuntimeResult:
+    """Run the Figure 7 sweep.
+
+    ``data_rows`` only bounds the pool the samples and query centers are
+    drawn from (the paper's table has three million rows; the estimation
+    cost depends on the model size, not the table size).
+    """
+    rng = np.random.default_rng(seed)
+    data = gunopulos_synthetic(
+        rows=max(data_rows, max(sizes)), dimensions=dimensions, seed=seed
+    )
+    workload = generate_workload(data, "UV", queries, rng)
+    result = RuntimeResult(sizes=list(sizes), seconds={
+        "Heuristic GPU": [],
+        "Adaptive GPU": [],
+        "Heuristic CPU": [],
+        "Adaptive CPU": [],
+        "STHoles": [],
+    })
+    sthole_model = STHolesCostModel()
+    for size in sizes:
+        sample = data[rng.choice(data.shape[0], size=size, replace=False)]
+        for device in ("gpu", "cpu"):
+            for adaptive in (False, True):
+                label = f"{'Adaptive' if adaptive else 'Heuristic'} {device.upper()}"
+                seconds = _kde_seconds_per_query(
+                    sample, workload, device, adaptive
+                )
+                result.seconds[label].append(seconds)
+        # STHoles with the same memory budget, full model (paper: the
+        # estimation time of the fully built histogram).
+        budget_bytes = size * dimensions * 4
+        buckets = sthole_bucket_budget(dimensions, budget_bytes)
+        result.seconds["STHoles"].append(
+            sthole_model.estimate_seconds(buckets)
+        )
+        if progress:
+            row = {k: f"{v[-1] * 1e3:.3f}ms" for k, v in result.seconds.items()}
+            print(f"  size {size}: {row}", flush=True)
+    return result

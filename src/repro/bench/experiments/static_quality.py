@@ -1,0 +1,99 @@
+"""Figures 4 & 5: estimation quality on static datasets.
+
+For every (dataset, workload) pair, run the Section 6.2 protocol for a
+number of repetitions and summarise the per-repetition mean absolute
+errors — one box plot of the paper's figure per cell.  Figure 4 is the
+3-dimensional sweep, Figure 5 the 8-dimensional one; both share this
+runner and differ only in the projection dimensionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...datasets import DATASET_NAMES, load_dataset
+from ...workloads import WORKLOAD_KINDS
+from ..metrics import ErrorSummary, summarize
+from ..protocol import ALL_ESTIMATORS, TrialConfig, run_static_trial
+
+__all__ = ["StaticQualityResult", "run_static_quality"]
+
+
+@dataclass
+class StaticQualityResult:
+    """All repetitions of the static-quality sweep."""
+
+    dimensions: int
+    #: (dataset, workload) -> estimator -> per-repetition mean errors.
+    errors: Dict[Tuple[str, str], Dict[str, List[float]]]
+    #: Flat per-experiment error mappings, for the Table 1 win matrix.
+    experiments: List[Dict[str, float]] = field(default_factory=list)
+
+    def summary(
+        self, dataset: str, workload: str
+    ) -> Dict[str, ErrorSummary]:
+        """Box-plot statistics for one figure cell."""
+        cell = self.errors[(dataset, workload)]
+        return {name: summarize(values) for name, values in cell.items()}
+
+    def mean_error(self, dataset: str, workload: str, estimator: str) -> float:
+        return float(np.mean(self.errors[(dataset, workload)][estimator]))
+
+
+def run_static_quality(
+    dimensions: int,
+    datasets: Sequence[str] = DATASET_NAMES,
+    workloads: Sequence[str] = WORKLOAD_KINDS,
+    repetitions: int = 25,
+    rows: Optional[int] = 50_000,
+    train_queries: int = 100,
+    test_queries: int = 300,
+    estimators: Sequence[str] = ALL_ESTIMATORS,
+    batch_starts: int = 8,
+    scv_points: int = 1024,
+    seed: int = 0,
+    progress: bool = False,
+) -> StaticQualityResult:
+    """Run the Figure 4/5 sweep.
+
+    Parameters mirror Section 6.2; ``rows`` caps dataset cardinality for
+    scaled-down runs (``None`` uses the original sizes), and
+    ``repetitions`` defaults to the paper's 25.
+    """
+    result = StaticQualityResult(dimensions=dimensions, errors={})
+    for dataset_name in datasets:
+        data = load_dataset(
+            dataset_name, dimensions=dimensions, rows=rows, seed=seed
+        )
+        for workload in workloads:
+            cell: Dict[str, List[float]] = {name: [] for name in estimators}
+            config = TrialConfig(
+                dataset=data,
+                workload=workload,
+                train_queries=train_queries,
+                test_queries=test_queries,
+                estimators=tuple(estimators),
+                batch_starts=batch_starts,
+                scv_points=scv_points,
+            )
+            for repetition in range(repetitions):
+                trial = run_static_trial(
+                    config, seed=seed * 10_000 + repetition
+                )
+                for name, error in trial.errors.items():
+                    cell[name].append(error)
+                result.experiments.append(dict(trial.errors))
+                if progress:
+                    print(
+                        f"  {dataset_name}({dimensions}D) {workload} "
+                        f"rep {repetition + 1}/{repetitions}: "
+                        + " ".join(
+                            f"{k}={v:.4f}" for k, v in trial.errors.items()
+                        ),
+                        flush=True,
+                    )
+            result.errors[(dataset_name, workload)] = cell
+    return result

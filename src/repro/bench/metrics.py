@@ -1,0 +1,94 @@
+"""Metric aggregation for the experiment harness.
+
+The paper reports absolute selectivity estimation errors as box plots
+(Figures 4-6, 8) and pairwise win percentages (Table 1).  This module
+provides the two corresponding aggregations: five-number summaries of
+error samples and the win matrix over paired experiment outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ErrorSummary", "summarize", "WinMatrix", "win_matrix"]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Five-number summary (plus mean) of an error sample — one box plot."""
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def as_row(self) -> List[float]:
+        return [self.mean, self.minimum, self.p25, self.median, self.p75, self.maximum]
+
+
+def summarize(errors: Sequence[float]) -> ErrorSummary:
+    """Summary statistics of a sequence of per-repetition errors."""
+    values = np.asarray(list(errors), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty error sample")
+    return ErrorSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        minimum=float(values.min()),
+        p25=float(np.percentile(values, 25)),
+        median=float(np.percentile(values, 50)),
+        p75=float(np.percentile(values, 75)),
+        maximum=float(values.max()),
+    )
+
+
+@dataclass
+class WinMatrix:
+    """Pairwise win percentages over paired experiment outcomes (Table 1).
+
+    ``percentages[a][b]`` is the percentage of experiments in which
+    estimator ``a`` produced a strictly lower error than estimator ``b``.
+    Ties count for neither side, matching the paper's "performed better"
+    reading.
+    """
+
+    estimators: List[str]
+    percentages: Dict[str, Dict[str, float]]
+    experiments: int
+
+    def wins(self, row: str, column: str) -> float:
+        return self.percentages[row][column]
+
+
+def win_matrix(results: Sequence[Mapping[str, float]]) -> WinMatrix:
+    """Build the Table 1 win matrix from per-experiment error mappings.
+
+    Parameters
+    ----------
+    results:
+        One mapping ``estimator name -> error`` per experiment run.  All
+        mappings must cover the same estimator set.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("win_matrix requires at least one experiment")
+    names = sorted(results[0])
+    for result in results:
+        if sorted(result) != names:
+            raise ValueError("all experiments must cover the same estimators")
+    percentages: Dict[str, Dict[str, float]] = {}
+    total = len(results)
+    for a in names:
+        percentages[a] = {}
+        for b in names:
+            if a == b:
+                continue
+            wins = sum(1 for result in results if result[a] < result[b])
+            percentages[a][b] = 100.0 * wins / total
+    return WinMatrix(estimators=names, percentages=percentages, experiments=total)

@@ -1,0 +1,215 @@
+"""The experimental protocol of Section 6.2.
+
+One *static trial* follows the paper's recipe exactly:
+
+1. draw training and test queries from the selected workload,
+2. collect one random sample shared by every KDE variant, sized to the
+   ``d * 4 kB`` memory budget,
+3. initialise the estimators and — where applicable — tune them on the
+   training queries (Batch optimises its bandwidth; Adaptive and STHoles
+   consume the training queries as feedback),
+4. measure the average absolute selectivity estimation error on the test
+   queries (self-tuning estimators keep receiving feedback during the
+   test phase, as they would in production).
+
+Every estimator sees the exact same queries and every KDE variant the
+exact same sample, so differences are attributable to the methods alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Box
+from ..baselines import (
+    AdaptiveKDE,
+    AVIEstimator,
+    BatchKDE,
+    HeuristicKDE,
+    PluginKDE,
+    SCVKDE,
+    STHolesHistogram,
+    SampleCountEstimator,
+    SelectivityEstimator,
+    kde_sample_size,
+    memory_budget_bytes,
+    sthole_bucket_budget,
+)
+from ..core.gradient import QueryFeedback
+from ..db import Table
+from ..workloads import generate_workload
+
+__all__ = [
+    "TrialConfig",
+    "TrialResult",
+    "run_static_trial",
+    "ALL_ESTIMATORS",
+    "EXTENDED_ESTIMATORS",
+]
+
+#: The five estimators of the paper's evaluation (Section 6.1.1).
+ALL_ESTIMATORS = ("STHoles", "Heuristic", "SCV", "Batch", "Adaptive")
+
+#: Everything the harness can run, including the extension baselines.
+EXTENDED_ESTIMATORS = ALL_ESTIMATORS + ("Plugin", "AVI", "Sampling")
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """Parameters of one static-quality trial (defaults: Section 6.2)."""
+
+    dataset: np.ndarray
+    workload: str
+    train_queries: int = 100
+    test_queries: int = 300
+    #: Memory budget per estimator; ``d * 4 kB`` when omitted.
+    budget_bytes: Optional[int] = None
+    #: Which estimators to run (a subset of :data:`ALL_ESTIMATORS`).
+    estimators: Sequence[str] = ALL_ESTIMATORS
+    #: Subsample size used by the selectivity-target bisection.
+    search_points: int = 20_000
+    target: float = 0.01
+    #: Number of restarts for the Batch global phase.
+    batch_starts: int = 8
+    #: Cap on points used by the SCV criterion.  The default covers the
+    #: whole d*4kB sample (1024 points), so the selector sees exactly the
+    #: model it tunes; lower it for speed on bigger budgets.
+    scv_points: int = 1024
+
+
+@dataclass
+class TrialResult:
+    """Mean absolute test error per estimator for one trial."""
+
+    errors: Dict[str, float]
+    #: Per-query absolute errors (estimator -> (test_queries,) array).
+    per_query: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _make_queries(
+    config: TrialConfig, rng: np.random.Generator
+) -> Tuple[List[Box], List[Box], Box]:
+    data = config.dataset
+    bounds = Box.bounding(data, margin=1e-9)
+    search = data
+    if data.shape[0] > config.search_points:
+        indices = rng.choice(
+            data.shape[0], size=config.search_points, replace=False
+        )
+        search = data[indices]
+    queries = generate_workload(
+        data,
+        config.workload,
+        config.train_queries + config.test_queries,
+        rng,
+        target=config.target,
+        bounds=bounds,
+        search_data=search,
+    )
+    return (
+        queries[: config.train_queries],
+        queries[config.train_queries :],
+        bounds,
+    )
+
+
+def build_estimators(
+    config: TrialConfig,
+    table: Table,
+    sample: np.ndarray,
+    train_feedback: Sequence[QueryFeedback],
+    bounds: Box,
+    seed: int,
+) -> Dict[str, SelectivityEstimator]:
+    """Construct and train the requested estimators (Section 6.1.1)."""
+    dimensions = sample.shape[1]
+    budget = config.budget_bytes or memory_budget_bytes(dimensions)
+    estimators: Dict[str, SelectivityEstimator] = {}
+
+    for name in config.estimators:
+        if name == "Heuristic":
+            estimators[name] = HeuristicKDE(sample)
+        elif name == "SCV":
+            estimators[name] = SCVKDE(
+                sample, max_points=config.scv_points, seed=seed
+            )
+        elif name == "Batch":
+            estimators[name] = BatchKDE(
+                sample,
+                train_feedback,
+                starts=config.batch_starts,
+                seed=seed,
+            )
+        elif name == "Adaptive":
+            adaptive = AdaptiveKDE(
+                sample,
+                row_source=table,
+                population_size=len(table),
+                seed=seed,
+            )
+            # Training queries arrive as ordinary feedback (Section 4).
+            for feedback in train_feedback:
+                adaptive.estimate(feedback.query)
+                adaptive.feedback(feedback.query, feedback.selectivity)
+            estimators[name] = adaptive
+        elif name == "STHoles":
+            histogram = STHolesHistogram(
+                bounds,
+                row_count=len(table),
+                max_buckets=sthole_bucket_budget(dimensions, budget),
+                region_count=table.count,
+            )
+            for feedback in train_feedback:
+                histogram.estimate(feedback.query)
+                histogram.feedback(feedback.query, feedback.selectivity)
+            estimators[name] = histogram
+        elif name == "Plugin":
+            estimators[name] = PluginKDE(sample, seed=seed)
+        elif name == "AVI":
+            # One full-table pass per attribute, like a real ANALYZE;
+            # bucket count chosen to respect the shared memory budget
+            # (two floats per bucket per dimension).
+            buckets = max(4, budget // (dimensions * 2 * 4))
+            estimators[name] = AVIEstimator(
+                table.rows(), buckets_per_dimension=buckets
+            )
+        elif name == "Sampling":
+            estimators[name] = SampleCountEstimator(sample)
+        else:
+            raise ValueError(f"unknown estimator {name!r}")
+    return estimators
+
+
+def run_static_trial(config: TrialConfig, seed: int) -> TrialResult:
+    """Run one full repetition of the static-quality protocol."""
+    rng = np.random.default_rng(seed)
+    data = np.asarray(config.dataset, dtype=np.float64)
+    dimensions = data.shape[1]
+    budget = config.budget_bytes or memory_budget_bytes(dimensions)
+
+    train, test, bounds = _make_queries(config, rng)
+    table = Table(dimensions, initial_rows=data)
+    sample = table.analyze(kde_sample_size(dimensions, budget), rng)
+    train_feedback = [
+        QueryFeedback(q, table.selectivity(q)) for q in train
+    ]
+    estimators = build_estimators(
+        config, table, sample, train_feedback, bounds, seed
+    )
+
+    truths = np.array([table.selectivity(q) for q in test])
+    per_query: Dict[str, np.ndarray] = {}
+    errors: Dict[str, float] = {}
+    for name, estimator in estimators.items():
+        estimates = np.empty(len(test))
+        for i, query in enumerate(test):
+            estimates[i] = estimator.estimate(query)
+            # Self-tuning estimators keep learning from the stream.
+            estimator.feedback(query, float(truths[i]))
+        absolute = np.abs(estimates - truths)
+        per_query[name] = absolute
+        errors[name] = float(absolute.mean())
+    return TrialResult(errors=errors, per_query=per_query)

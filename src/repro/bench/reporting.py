@@ -1,0 +1,131 @@
+"""Plain-text rendering of experiment results.
+
+Each function turns one experiment's result object into the same
+rows/series the paper's table or figure reports, printed as aligned text
+tables — the harness's equivalent of the published plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .experiments.dynamic_quality import DynamicQualityResult
+from .experiments.model_size import ModelSizeResult
+from .experiments.runtime import RuntimeResult
+from .experiments.static_quality import StaticQualityResult
+from .metrics import WinMatrix
+
+__all__ = [
+    "format_table",
+    "render_static_quality",
+    "render_win_matrix",
+    "render_model_size",
+    "render_runtime",
+    "render_dynamic",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Align a list of string rows under headers."""
+    columns = [list(column) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_static_quality(result: StaticQualityResult) -> str:
+    """Figure 4/5 as a text table: one row per (dataset, workload)."""
+    estimators = sorted(
+        next(iter(result.errors.values())).keys()
+    ) if result.errors else []
+    headers = ["dataset", "workload"] + [
+        f"{name} (mean/med)" for name in estimators
+    ]
+    rows: List[List[str]] = []
+    for (dataset, workload), cell in sorted(result.errors.items()):
+        row = [f"{dataset}({result.dimensions}D)", workload]
+        for name in estimators:
+            values = np.asarray(cell[name])
+            row.append(f"{values.mean():.4f}/{np.median(values):.4f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def render_win_matrix(matrix: WinMatrix) -> str:
+    """Table 1: row estimator's win percentage against each column."""
+    headers = ["estimator"] + matrix.estimators
+    rows = []
+    for row_name in matrix.estimators:
+        row = [row_name]
+        for column_name in matrix.estimators:
+            if row_name == column_name:
+                row.append("-")
+            else:
+                row.append(f"{matrix.wins(row_name, column_name):.1f}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    return (
+        f"{table}\n({matrix.experiments} experiments; cells: % of runs the "
+        "row estimator beat the column estimator)"
+    )
+
+
+def render_model_size(result: ModelSizeResult) -> str:
+    """Figure 6: error vs sample size, one column per estimator."""
+    estimators = sorted(result.errors)
+    headers = ["sample size"] + estimators
+    rows = []
+    for size in result.sizes:
+        row = [str(size)]
+        for name in estimators:
+            row.append(f"{np.mean(result.errors[name][size]):.4f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def render_runtime(result: RuntimeResult) -> str:
+    """Figure 7: modelled per-query overhead (ms) vs model size."""
+    series = list(result.seconds)
+    headers = ["model size"] + [f"{name} [ms]" for name in series]
+    rows = []
+    for index, size in enumerate(result.sizes):
+        row = [str(size)]
+        for name in series:
+            row.append(f"{result.seconds[name][index] * 1e3:.3f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def render_dynamic(result: DynamicQualityResult, bins: int = 20) -> str:
+    """Figure 8: windowed mean error progression per estimator."""
+    names = sorted(result.traces)
+    total = result.traces[names[0]].shape[1]
+    edges = np.linspace(0, total, bins + 1).astype(int)
+    headers = ["queries", "tuples"] + names
+    rows = []
+    for i in range(bins):
+        lo, hi = edges[i], edges[i + 1]
+        if hi <= lo:
+            continue
+        row = [
+            f"{lo}-{hi}",
+            str(int(result.cardinality[lo:hi].mean())),
+        ]
+        for name in names:
+            window = result.traces[name][:, lo:hi]
+            row.append(f"{window.mean():.4f}")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,86 @@
+"""Core library: the paper's self-tuning KDE selectivity estimator.
+
+Public surface:
+
+* :class:`~repro.core.estimator.KernelDensityEstimator` — Eq. (1)/(13).
+* :func:`~repro.core.bandwidth.scott_bandwidth` — Eq. (3).
+* :class:`~repro.core.optimize.BandwidthOptimizer` — problem (5).
+* :class:`~repro.core.adaptive.RMSpropTuner` — Listing 1.
+* :class:`~repro.core.karma.KarmaTracker` — Eq. (6)-(8) & Appendix E.
+* :class:`~repro.core.model.SelfTuningKDE` — the full feedback loop.
+"""
+
+from .adaptive import RMSpropTuner
+from .bandwidth import scott_bandwidth, silverman_bandwidth
+from .categorical import OrderedDiscreteKernel, encode_categories
+from .config import AdaptiveConfig, KarmaConfig, SelfTuningConfig
+from .estimator import KernelDensityEstimator
+from .join import (
+    band_join_selectivity,
+    equi_join_density,
+    independence_band_join_selectivity,
+)
+from .variable import VariableKernelDensityEstimator, abramson_factors
+from .gradient import (
+    QueryFeedback,
+    loss_and_gradient,
+    to_log_space_gradient,
+    workload_loss_and_gradient,
+)
+from .karma import KarmaTracker, certified_inside_mask, leave_one_out_estimates
+from .kernels import EpanechnikovKernel, GaussianKernel, Kernel, get_kernel
+from .losses import (
+    AbsoluteLoss,
+    Loss,
+    RelativeLoss,
+    SquaredLoss,
+    SquaredQLoss,
+    SquaredRelativeLoss,
+    get_loss,
+)
+from .model import ArrayRowSource, RowSource, SelfTuningKDE
+from .optimize import BandwidthOptimizer, OptimizationResult, optimize_bandwidth
+from .reservoir import ReservoirSampler, SkipReservoirSampler
+
+__all__ = [
+    "AbsoluteLoss",
+    "AdaptiveConfig",
+    "ArrayRowSource",
+    "BandwidthOptimizer",
+    "EpanechnikovKernel",
+    "GaussianKernel",
+    "KarmaConfig",
+    "KarmaTracker",
+    "Kernel",
+    "KernelDensityEstimator",
+    "Loss",
+    "OptimizationResult",
+    "OrderedDiscreteKernel",
+    "QueryFeedback",
+    "RMSpropTuner",
+    "RelativeLoss",
+    "ReservoirSampler",
+    "RowSource",
+    "SelfTuningConfig",
+    "SelfTuningKDE",
+    "SkipReservoirSampler",
+    "SquaredLoss",
+    "SquaredQLoss",
+    "SquaredRelativeLoss",
+    "VariableKernelDensityEstimator",
+    "abramson_factors",
+    "band_join_selectivity",
+    "certified_inside_mask",
+    "encode_categories",
+    "equi_join_density",
+    "get_kernel",
+    "independence_band_join_selectivity",
+    "get_loss",
+    "leave_one_out_estimates",
+    "loss_and_gradient",
+    "optimize_bandwidth",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "to_log_space_gradient",
+    "workload_loss_and_gradient",
+]

@@ -1,0 +1,176 @@
+"""Online bandwidth adaptation via mini-batch RMSprop (Section 4.1).
+
+This module implements Listing 1 of the paper: after every query the
+estimator receives feedback, computes the loss gradient with respect to
+the bandwidth, and accumulates it into a mini-batch.  Once the batch is
+full, the averaged gradient drives an RMSprop update with Rprop-style
+per-dimension learning-rate adaptation:
+
+* the running average ``r`` of squared gradient magnitudes rescales each
+  step (RMSprop proper), and
+* the per-dimension learning rate grows by ``lambda_inc`` while successive
+  averaged gradients agree in sign and shrinks by ``lambda_dec`` when they
+  flip (the Rprop heritage), clamped to ``[lambda_min, lambda_max]``.
+
+Positivity of the bandwidth (the constraint of problem (5)) is enforced by
+restricting any update *towards zero* to at most half the current value.
+In logarithmic-update mode (Appendix D) the safeguard is dropped — the
+exponential map keeps the bandwidth positive by construction — and the
+gradient is pre-scaled by ``h`` (Eq. 18) by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .config import AdaptiveConfig
+
+__all__ = ["RMSpropTuner"]
+
+
+class RMSpropTuner:
+    """Mini-batch RMSprop learner for per-dimension bandwidths.
+
+    The tuner is deliberately decoupled from the estimator: callers feed it
+    per-query gradients (already in log space when ``config.log_updates``)
+    together with the current bandwidth, and receive a new bandwidth back
+    whenever a mini-batch completes.
+
+    Parameters
+    ----------
+    dimensions:
+        Number of bandwidth parameters.
+    config:
+        Learner constants; defaults are the paper's (Listing 1 discussion).
+    """
+
+    def __init__(
+        self, dimensions: int, config: Optional[AdaptiveConfig] = None
+    ) -> None:
+        if dimensions < 1:
+            raise ValueError("dimensions must be at least 1")
+        self.config = config or AdaptiveConfig()
+        self.dimensions = dimensions
+        self._accumulated = np.zeros(dimensions, dtype=np.float64)
+        self._batch_count = 0
+        self._running_magnitude = np.zeros(dimensions, dtype=np.float64)
+        self._previous_gradient = np.zeros(dimensions, dtype=np.float64)
+        self._learning_rate = np.full(
+            dimensions, self.config.initial_learning_rate, dtype=np.float64
+        )
+        self._updates_applied = 0
+        self._observations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def learning_rates(self) -> np.ndarray:
+        """Current per-dimension learning rates (copy)."""
+        return self._learning_rate.copy()
+
+    @property
+    def updates_applied(self) -> int:
+        """Number of completed mini-batch updates."""
+        return self._updates_applied
+
+    @property
+    def observations(self) -> int:
+        """Number of gradients observed."""
+        return self._observations
+
+    @property
+    def pending(self) -> int:
+        """Gradients accumulated in the current (incomplete) mini-batch."""
+        return self._batch_count
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def observe(
+        self, gradient: np.ndarray, bandwidth: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Feed one query's gradient; returns a new bandwidth on batch end.
+
+        Parameters
+        ----------
+        gradient:
+            Loss gradient for the current query.  In logarithmic-update
+            mode this must already be the log-space gradient (Eq. 18).
+        bandwidth:
+            The estimator's current bandwidth.
+
+        Returns
+        -------
+        The updated bandwidth vector when this observation completed a
+        mini-batch, else ``None``.
+        """
+        gradient = np.asarray(gradient, dtype=np.float64)
+        bandwidth = np.asarray(bandwidth, dtype=np.float64)
+        if gradient.shape != (self.dimensions,):
+            raise ValueError(
+                f"gradient must have shape ({self.dimensions},), got {gradient.shape}"
+            )
+        if not np.all(np.isfinite(gradient)):
+            raise ValueError("gradient contains non-finite entries")
+        self._observations += 1
+        self._accumulated += gradient
+        self._batch_count += 1
+        if self._batch_count < self.config.batch_size:
+            return None
+        return self._apply_update(bandwidth)
+
+    def _apply_update(self, bandwidth: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        averaged = self._accumulated / self._batch_count
+        self._accumulated[:] = 0.0
+        self._batch_count = 0
+
+        # Running average of squared gradient magnitudes (RMSprop), with
+        # the standard warm-up bias correction: without it the first
+        # update normalises by sqrt((1 - alpha) g^2), inflating the step
+        # by 1/sqrt(1 - alpha) and kicking the bandwidth far off target.
+        self._running_magnitude = (
+            cfg.smoothing * self._running_magnitude
+            + (1.0 - cfg.smoothing) * averaged * averaged
+        )
+        correction = 1.0 - cfg.smoothing ** (self._updates_applied + 1)
+        corrected_magnitude = self._running_magnitude / correction
+
+        # Rprop-style learning-rate adaptation on sign agreement.
+        agreement = averaged * self._previous_gradient
+        increase = agreement > 0.0
+        decrease = agreement < 0.0
+        self._learning_rate[increase] *= cfg.learning_rate_increase
+        self._learning_rate[decrease] *= cfg.learning_rate_decrease
+        np.clip(
+            self._learning_rate,
+            cfg.learning_rate_min,
+            cfg.learning_rate_max,
+            out=self._learning_rate,
+        )
+        self._previous_gradient = averaged
+
+        step = self._learning_rate * averaged / (
+            np.sqrt(corrected_magnitude) + cfg.epsilon
+        )
+        self._updates_applied += 1
+
+        if cfg.log_updates:
+            # Exponential-map update keeps bandwidths positive; the trust
+            # region bounds each update to a factor exp(max_log_step).
+            step = np.clip(step, -cfg.max_log_step, cfg.max_log_step)
+            log_h = np.log(bandwidth) - step
+            return np.exp(np.clip(log_h, -80.0, 80.0))
+
+        # Linear update with the positivity safeguard: never move more
+        # than half-way towards zero in a single step.
+        updated = bandwidth - step
+        return np.maximum(updated, bandwidth / 2.0)
+
+    def reset_batch(self) -> None:
+        """Drop the partially accumulated mini-batch (e.g. after a rebuild)."""
+        self._accumulated[:] = 0.0
+        self._batch_count = 0

@@ -1,0 +1,102 @@
+"""Configuration dataclasses for the self-tuning estimator.
+
+Defaults reproduce the constants reported in the paper: the adaptive
+learner's parameters come from Section 4.1 / Listing 1 (mini-batch size 10,
+smoothing 0.9, learning rates in ``[1e-6, 50]``, factors 1.2 / 0.5 — the
+RMSprop suggestions of Tieleman & Hinton), the Karma parameters from
+Section 4.2 (saturation ``K_max = 4``), and logarithmic bandwidth updates
+are on by default per Section 5.5 (improvements in 68% of experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdaptiveConfig", "KarmaConfig", "SelfTuningConfig"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Parameters of the online RMSprop bandwidth learner (Listing 1)."""
+
+    #: Mini-batch size N: gradients averaged per model update.
+    batch_size: int = 10
+    #: Smoothing rate alpha of the running gradient-magnitude average.
+    smoothing: float = 0.9
+    #: Smallest allowed per-dimension learning rate (lambda_min).
+    learning_rate_min: float = 1e-6
+    #: Largest allowed per-dimension learning rate (lambda_max).
+    learning_rate_max: float = 50.0
+    #: Multiplicative increase on consistent gradient direction (lambda_inc).
+    learning_rate_increase: float = 1.2
+    #: Multiplicative decrease on direction change (lambda_dec).
+    learning_rate_decrease: float = 0.5
+    #: Initial per-dimension learning rate.
+    initial_learning_rate: float = 1.0
+    #: Update log(h) instead of h (Appendix D).  Removes the positivity
+    #: safeguard, which only applies to linear-space updates.
+    log_updates: bool = True
+    #: Trust region for logarithmic updates: the bandwidth changes by at
+    #: most a factor of exp(max_log_step) per mini-batch.  This is the
+    #: log-space analogue of the linear-space positivity safeguard
+    #: ("at most half the current value towards zero").
+    max_log_step: float = 0.7
+    #: Numerical floor inside the RMS normalisation.
+    epsilon: float = 1e-8
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if not 0.0 <= self.smoothing < 1.0:
+            raise ValueError("smoothing must lie in [0, 1)")
+        if self.learning_rate_min <= 0:
+            raise ValueError("learning_rate_min must be positive")
+        if self.learning_rate_max < self.learning_rate_min:
+            raise ValueError("learning_rate_max must be >= learning_rate_min")
+        if self.learning_rate_increase <= 1.0:
+            raise ValueError("learning_rate_increase must exceed 1")
+        if not 0.0 < self.learning_rate_decrease < 1.0:
+            raise ValueError("learning_rate_decrease must lie in (0, 1)")
+        if not (
+            self.learning_rate_min
+            <= self.initial_learning_rate
+            <= self.learning_rate_max
+        ):
+            raise ValueError("initial_learning_rate outside the allowed range")
+        if self.max_log_step <= 0:
+            raise ValueError("max_log_step must be positive")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+
+
+@dataclass(frozen=True)
+class KarmaConfig:
+    """Parameters of Karma-based sample maintenance (Section 4.2)."""
+
+    #: Saturation constant K_max of Eq. (8); the paper found 4 works well.
+    k_max: float = 4.0
+    #: Cumulative-karma threshold below which a point is declared outdated.
+    threshold: float = -2.0
+    #: Enable the empty-region replacement shortcut of Appendix E.
+    empty_region_shortcut: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold >= self.k_max:
+            raise ValueError("threshold must lie below k_max")
+
+
+@dataclass(frozen=True)
+class SelfTuningConfig:
+    """Top-level configuration of :class:`repro.core.model.SelfTuningKDE`."""
+
+    kernel: str = "gaussian"
+    #: Loss driving both the adaptive updates and the karma scores.
+    loss: str = "squared"
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    karma: KarmaConfig = field(default_factory=KarmaConfig)
+    #: Enable the online bandwidth learner.
+    adapt_bandwidth: bool = True
+    #: Enable karma-based sample maintenance.
+    maintain_sample: bool = True
+    #: Enable reservoir sampling for inserts.
+    reservoir_inserts: bool = True

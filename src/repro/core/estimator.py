@@ -1,0 +1,267 @@
+"""The multivariate KDE range-selectivity estimator (Eqs. 1, 2 and 13).
+
+A :class:`KernelDensityEstimator` holds a data sample, a per-dimension
+(diagonal) bandwidth vector and a product kernel.  The selectivity of a
+hyper-rectangular query region is the average over the sample of each
+point's *individual probability mass contribution* — the closed form of
+Appendix B:
+
+.. math::
+    \\hat p_H^{(i)}(\\Omega) = \\prod_{j=1}^{d}
+        \\left[ F\\left(\\frac{u_j - t_j^{(i)}}{h_j}\\right)
+              - F\\left(\\frac{l_j - t_j^{(i)}}{h_j}\\right) \\right]
+
+with ``F`` the kernel CDF (for the Gaussian this is exactly Eq. (13),
+``F(z) = (1 + erf(z / sqrt(2))) / 2``).
+
+The per-point contributions are first-class citizens here because the
+self-tuning machinery needs them: the Karma maintenance of Section 4.2
+re-derives leave-one-out estimates from them (Eq. 6), and the paper's GPU
+implementation explicitly retains the contribution buffer between the
+estimate and the feedback step (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry import Box
+from .kernels import Kernel, get_kernel
+
+__all__ = ["KernelDensityEstimator"]
+
+
+class KernelDensityEstimator:
+    """Product-kernel density model over a data sample.
+
+    Parameters
+    ----------
+    sample:
+        ``(s, d)`` array of sampled tuples.  A copy is stored; the sample
+        is mutable through :meth:`replace_points` (sample maintenance).
+    bandwidth:
+        Per-dimension bandwidth vector ``(d,)``; all entries must be
+        strictly positive (the constraint of optimisation problem (5)).
+    kernel:
+        Kernel name or instance; defaults to the Gaussian of Eq. (9).
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        bandwidth: Union[Sequence[float], np.ndarray],
+        kernel: Union[str, Kernel, Sequence[Union[str, Kernel]]] = "gaussian",
+    ) -> None:
+        sample = np.array(sample, dtype=np.float64, copy=True)
+        if sample.ndim != 2:
+            raise ValueError("sample must be a two-dimensional (s, d) array")
+        if sample.shape[0] == 0:
+            raise ValueError("sample must contain at least one point")
+        if not np.all(np.isfinite(sample)):
+            raise ValueError("sample contains non-finite values")
+        self._sample = sample
+        if isinstance(kernel, (str, Kernel)):
+            self._kernels = tuple([get_kernel(kernel)] * sample.shape[1])
+        else:
+            kernels = tuple(get_kernel(k) for k in kernel)
+            if len(kernels) != sample.shape[1]:
+                raise ValueError(
+                    f"need one kernel per dimension ({sample.shape[1]}), "
+                    f"got {len(kernels)}"
+                )
+            self._kernels = kernels
+        self._bandwidth = np.empty(sample.shape[1], dtype=np.float64)
+        self.bandwidth = bandwidth  # runs validation
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+    @property
+    def sample(self) -> np.ndarray:
+        """The underlying sample (read-only view)."""
+        view = self._sample.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def sample_size(self) -> int:
+        return self._sample.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self._sample.shape[1]
+
+    @property
+    def kernel(self) -> Kernel:
+        """The shared kernel (raises for mixed per-dimension kernels)."""
+        first = self._kernels[0]
+        if any(k is not first for k in self._kernels):
+            raise ValueError(
+                "estimator uses mixed per-dimension kernels; use kernel_for()"
+            )
+        return first
+
+    @property
+    def kernels(self) -> tuple:
+        """Per-dimension kernel tuple (mixed-data support, Section 8)."""
+        return self._kernels
+
+    def kernel_for(self, dimension: int) -> Kernel:
+        """The kernel applied along ``dimension``."""
+        return self._kernels[dimension]
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        """Per-dimension bandwidth vector (copy)."""
+        return self._bandwidth.copy()
+
+    @bandwidth.setter
+    def bandwidth(self, value: Union[Sequence[float], np.ndarray]) -> None:
+        value = np.asarray(value, dtype=np.float64)
+        if value.ndim == 0:
+            value = np.full(self.dimensions, float(value))
+        if value.shape != (self.dimensions,):
+            raise ValueError(
+                f"bandwidth must have shape ({self.dimensions},), got {value.shape}"
+            )
+        if np.any(~np.isfinite(value)) or np.any(value <= 0.0):
+            raise ValueError("bandwidth entries must be positive and finite")
+        self._bandwidth = value.copy()
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def _check_query(self, query: Box) -> None:
+        if query.dimensions != self.dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} dimensions, "
+                f"estimator has {self.dimensions}"
+            )
+
+    def contributions(self, query: Box) -> np.ndarray:
+        """Per-point probability mass contributions ``p_H^(i)(query)``.
+
+        Returns an ``(s,)`` vector with entries in ``[0, 1]``; the
+        selectivity estimate is its mean (Eq. 2).
+        """
+        self._check_query(query)
+        result = np.ones(self.sample_size, dtype=np.float64)
+        for j in range(self.dimensions):
+            result *= self._kernels[j].interval_mass(
+                query.low[j], query.high[j], self._sample[:, j], self._bandwidth[j]
+            )
+        return result
+
+    def selectivity(self, query: Box) -> float:
+        """Selectivity estimate for ``query``: mean per-point contribution."""
+        return float(self.contributions(query).mean())
+
+    def selectivity_many(self, queries: Sequence[Box]) -> np.ndarray:
+        """Selectivity estimates for a sequence of queries."""
+        return np.array([self.selectivity(q) for q in queries], dtype=np.float64)
+
+    def density(self, points: np.ndarray) -> np.ndarray:
+        """Pointwise density estimate ``p_hat(x)`` of Eq. (1).
+
+        Not used for selectivity estimation itself (which integrates the
+        density) but handy for diagnostics, plotting and tests.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dimensions:
+            raise ValueError("points have the wrong dimensionality")
+        h = self._bandwidth
+        # (n, s, d) standardised distances; evaluated chunk-wise to bound memory.
+        out = np.empty(points.shape[0], dtype=np.float64)
+        norm = float(np.prod(h)) * self.sample_size
+        chunk = max(1, int(4_000_000 / max(1, self.sample_size * self.dimensions)))
+        for start in range(0, points.shape[0], chunk):
+            block = points[start : start + chunk]
+            z = (block[:, None, :] - self._sample[None, :, :]) / h
+            k = np.ones(z.shape[:2], dtype=np.float64)
+            for j in range(self.dimensions):
+                k *= self._kernels[j].pdf(z[:, :, j])
+            out[start : start + chunk] = k.sum(axis=1) / norm
+        return out
+
+    # ------------------------------------------------------------------
+    # Gradient (Eq. 15-17)
+    # ------------------------------------------------------------------
+    def selectivity_gradient(
+        self, query: Box, dimension_masses: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Gradient ``d p_hat(query) / d h`` — the closed form of Eq. (17).
+
+        Parameters
+        ----------
+        query:
+            The query region.
+        dimension_masses:
+            Optional precomputed ``(s, d)`` matrix of per-dimension interval
+            masses (see :meth:`dimension_masses`); pass it when computing
+            both the estimate and the gradient for the same query to avoid
+            recomputing the erf terms.
+        """
+        self._check_query(query)
+        if dimension_masses is None:
+            dimension_masses = self.dimension_masses(query)
+        s, d = dimension_masses.shape
+        grad = np.empty(d, dtype=np.float64)
+        # Product over all dimensions except i, computed stably even when
+        # individual factors are zero (prefix/suffix products).
+        prefix = np.ones((s, d + 1), dtype=np.float64)
+        suffix = np.ones((s, d + 1), dtype=np.float64)
+        for j in range(d):
+            prefix[:, j + 1] = prefix[:, j] * dimension_masses[:, j]
+        for j in range(d - 1, -1, -1):
+            suffix[:, j] = suffix[:, j + 1] * dimension_masses[:, j]
+        for i in range(d):
+            others = prefix[:, i] * suffix[:, i + 1]
+            dmass = self._kernels[i].interval_mass_grad(
+                query.low[i], query.high[i], self._sample[:, i], self._bandwidth[i]
+            )
+            grad[i] = float((dmass * others).mean())
+        return grad
+
+    def dimension_masses(self, query: Box) -> np.ndarray:
+        """``(s, d)`` matrix of per-dimension interval masses for ``query``.
+
+        Row products give :meth:`contributions`; the matrix is shared
+        between the estimate and gradient computations (mirroring the
+        retained temporary buffer of Section 5.4).
+        """
+        self._check_query(query)
+        masses = np.empty((self.sample_size, self.dimensions), dtype=np.float64)
+        for j in range(self.dimensions):
+            masses[:, j] = self._kernels[j].interval_mass(
+                query.low[j], query.high[j], self._sample[:, j], self._bandwidth[j]
+            )
+        return masses
+
+    # ------------------------------------------------------------------
+    # Sample maintenance hooks
+    # ------------------------------------------------------------------
+    def replace_points(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite sample points in place (single-transfer row updates).
+
+        This mirrors the paper's row-major device buffer, where replacing a
+        sample point is one PCIe write (Section 5.1).
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape != (indices.size, self.dimensions):
+            raise ValueError(
+                f"rows must have shape ({indices.size}, {self.dimensions})"
+            )
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.sample_size
+        ):
+            raise IndexError("replacement index out of range")
+        self._sample[indices] = rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KernelDensityEstimator(s={self.sample_size}, d={self.dimensions}, "
+            f"kernel={self._kernels[0].name!r})"
+        )

@@ -1,0 +1,208 @@
+"""Chain-rule assembly of the loss gradient (Appendix C, Eq. 14).
+
+The gradient of the training objective with respect to the bandwidth
+factors into a loss-dependent scalar and a model-dependent vector:
+
+.. math::
+    \\frac{\\partial \\mathcal{L}}{\\partial h_i}
+    = \\underbrace{\\frac{\\partial \\mathcal{L}}
+                        {\\partial \\hat p_H(\\Omega)}}_{\\text{loss}}
+      \\cdot
+      \\underbrace{\\frac{\\partial \\hat p_H(\\Omega)}
+                        {\\partial h_i}}_{\\text{estimator, Eq. 17}}
+
+This module combines the two factors, averages them over training
+workloads (objective (5)), and applies the logarithmic reparameterisation
+of Appendix D when requested (``dL/d log h = dL/dh * h``, Eq. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..geometry import Box
+from .estimator import KernelDensityEstimator
+from .losses import Loss, get_loss
+
+__all__ = [
+    "QueryFeedback",
+    "loss_and_gradient",
+    "workload_loss_and_gradient",
+    "to_log_space_gradient",
+]
+
+
+@dataclass(frozen=True)
+class QueryFeedback:
+    """A single piece of query feedback: the region and its true selectivity.
+
+    This is exactly what the database hands back to the estimator after a
+    query finishes (Figure 3, step 7).
+    """
+
+    query: Box
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ValueError(
+                f"true selectivity must lie in [0, 1], got {self.selectivity}"
+            )
+
+
+def loss_and_gradient(
+    estimator: KernelDensityEstimator,
+    feedback: QueryFeedback,
+    loss: Union[str, Loss],
+    log_space: bool = False,
+) -> Tuple[float, np.ndarray, float]:
+    """Loss value and bandwidth gradient for one observed query.
+
+    Returns ``(loss_value, gradient, estimate)`` where ``gradient`` has one
+    entry per dimension.  With ``log_space=True`` the gradient is with
+    respect to ``log h`` (Appendix D).
+    """
+    loss = get_loss(loss)
+    masses = estimator.dimension_masses(feedback.query)
+    estimate = float(np.prod(masses, axis=1).mean())
+    model_grad = estimator.selectivity_gradient(feedback.query, masses)
+    loss_value = float(loss.value(estimate, feedback.selectivity))
+    loss_derivative = float(loss.derivative(estimate, feedback.selectivity))
+    gradient = loss_derivative * model_grad
+    if log_space:
+        gradient = to_log_space_gradient(gradient, estimator.bandwidth)
+    return loss_value, gradient, estimate
+
+
+#: Soft cap on the intermediate (queries x sample x dims) tensor size used
+#: by the vectorised workload gradient; larger workloads are chunked.
+_BATCH_ELEMENT_BUDGET = 20_000_000
+
+
+def workload_loss_and_gradient(
+    estimator: KernelDensityEstimator,
+    workload: Sequence[QueryFeedback],
+    loss: Union[str, Loss],
+    log_space: bool = False,
+) -> Tuple[float, np.ndarray]:
+    """Average loss and gradient over a training workload (objective (5)).
+
+    This is the function the batch optimiser hands to the numerical
+    solver: for a candidate bandwidth it reports the mean training error
+    and its gradient across all collected queries.  The computation is
+    vectorised across queries (mirroring the paper's device kernel that
+    assigns one thread per training query, Section 5.3) and chunked to
+    bound the intermediate tensor size.
+    """
+    if not workload:
+        raise ValueError("workload must contain at least one query")
+    loss = get_loss(loss)
+    # The vectorised fast path below inlines the *fixed-bandwidth* mass
+    # and gradient formulas.  Estimator subclasses that override them
+    # (e.g. the variable-bandwidth model) go through the generic
+    # per-query path, which delegates to the estimator's own methods.
+    overrides_kernels = (
+        type(estimator).dimension_masses
+        is not KernelDensityEstimator.dimension_masses
+        or type(estimator).selectivity_gradient
+        is not KernelDensityEstimator.selectivity_gradient
+    )
+    if overrides_kernels:
+        return _workload_loss_and_gradient_generic(
+            estimator, workload, loss, log_space
+        )
+    s = estimator.sample_size
+    d = estimator.dimensions
+    q = len(workload)
+    lows = np.array([fb.query.low for fb in workload])
+    highs = np.array([fb.query.high for fb in workload])
+    truths = np.array([fb.selectivity for fb in workload])
+
+    sample = estimator.sample  # (s, d) read-only view
+    bandwidth = estimator.bandwidth
+    kernels = estimator.kernels
+
+    chunk = max(1, _BATCH_ELEMENT_BUDGET // max(1, s * (d + 1)))
+    total_loss = 0.0
+    total_grad = np.zeros(d, dtype=np.float64)
+    for start in range(0, q, chunk):
+        low_block = lows[start : start + chunk]  # (b, d)
+        high_block = highs[start : start + chunk]
+        truth_block = truths[start : start + chunk]
+        b = low_block.shape[0]
+
+        # Per-dimension interval masses, (b, s, d).
+        masses = np.empty((b, s, d), dtype=np.float64)
+        for j in range(d):
+            masses[:, :, j] = kernels[j].interval_mass(
+                low_block[:, j, None],
+                high_block[:, j, None],
+                sample[None, :, j],
+                bandwidth[j],
+            )
+        # Prefix/suffix products over dimensions for zero-safe
+        # leave-one-dimension-out products.
+        prefix = np.ones((b, s, d + 1), dtype=np.float64)
+        suffix = np.ones((b, s, d + 1), dtype=np.float64)
+        for j in range(d):
+            prefix[:, :, j + 1] = prefix[:, :, j] * masses[:, :, j]
+        for j in range(d - 1, -1, -1):
+            suffix[:, :, j] = suffix[:, :, j + 1] * masses[:, :, j]
+
+        estimates = prefix[:, :, d].mean(axis=1)  # (b,)
+        loss_values = np.asarray(loss.value(estimates, truth_block))
+        loss_derivs = np.asarray(loss.derivative(estimates, truth_block))
+        total_loss += float(loss_values.sum())
+
+        for i in range(d):
+            dmass = kernels[i].interval_mass_grad(
+                low_block[:, i, None],
+                high_block[:, i, None],
+                sample[None, :, i],
+                bandwidth[i],
+            )
+            others = prefix[:, :, i] * suffix[:, :, i + 1]
+            model_grad = (dmass * others).mean(axis=1)  # (b,)
+            total_grad[i] += float((loss_derivs * model_grad).sum())
+
+    if log_space:
+        total_grad = to_log_space_gradient(total_grad, bandwidth)
+    return total_loss / q, total_grad / q
+
+
+def _workload_loss_and_gradient_generic(
+    estimator: KernelDensityEstimator,
+    workload: Sequence[QueryFeedback],
+    loss: Loss,
+    log_space: bool,
+) -> Tuple[float, np.ndarray]:
+    """Per-query fallback delegating to the estimator's own methods."""
+    total_loss = 0.0
+    total_grad = np.zeros(estimator.dimensions, dtype=np.float64)
+    for feedback in workload:
+        value, gradient, _ = loss_and_gradient(
+            estimator, feedback, loss, log_space=log_space
+        )
+        total_loss += value
+        total_grad += gradient
+    count = float(len(workload))
+    return total_loss / count, total_grad / count
+
+
+def to_log_space_gradient(
+    gradient: np.ndarray, bandwidth: np.ndarray
+) -> np.ndarray:
+    """Reparameterise a bandwidth gradient to log-bandwidth space (Eq. 18).
+
+    ``dL/d(log h_i) = dL/dh_i * h_i``.  Updating ``log h`` keeps the
+    bandwidth positive by construction and — per Section 5.5 — improved
+    estimates in 68% of the paper's experiments.
+    """
+    gradient = np.asarray(gradient, dtype=np.float64)
+    bandwidth = np.asarray(bandwidth, dtype=np.float64)
+    if gradient.shape != bandwidth.shape:
+        raise ValueError("gradient and bandwidth shapes differ")
+    return gradient * bandwidth

@@ -1,0 +1,233 @@
+"""Karma-based sample maintenance (Section 4.2, Appendix E).
+
+Under deletions and updates the data sample backing the estimator goes
+stale.  Traditional sample maintenance would stream every database change
+to the device; the paper instead piggybacks on query feedback: for every
+query it asks, per sample point, *"would the estimate have been better
+without this point?"* via the leave-one-out estimate of Eq. (6)
+
+.. math::
+    \\hat p_H^{-(i)}(\\Omega)
+    = \\frac{\\hat p_H(\\Omega) \\cdot s - \\hat p_H^{(i)}(\\Omega)}{s - 1}
+
+and scores each point with the Karma of Eq. (7) — the loss change caused
+by the point's presence.  Cumulative Karma (Eq. 8) saturates at ``K_max``
+so long-lived points cannot bank unlimited goodwill; points whose
+cumulative Karma sinks below a threshold are declared outdated and
+replaced with fresh rows.
+
+The module also implements the Appendix E shortcut: when a query returns
+*zero* tuples, every sample point provably inside the region is stale and
+can be replaced immediately.  Membership is certified from the probability
+contributions alone via the bound of Eq. (20), avoiding a scan of the
+sample coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry import Box
+from .config import KarmaConfig
+from .kernels import Kernel, get_kernel
+from .losses import Loss, get_loss
+
+__all__ = ["KarmaTracker", "leave_one_out_estimates", "certified_inside_mask"]
+
+
+def leave_one_out_estimates(
+    contributions: np.ndarray, estimate: Optional[float] = None
+) -> np.ndarray:
+    """Leave-one-out estimates ``p_hat^{-(i)}`` of Eq. (6) for all points.
+
+    Parameters
+    ----------
+    contributions:
+        Per-point contributions ``p_hat^{(i)}`` for the query.
+    estimate:
+        The full estimate (their mean); recomputed when omitted.
+    """
+    contributions = np.asarray(contributions, dtype=np.float64)
+    s = contributions.shape[0]
+    if s < 2:
+        raise ValueError("leave-one-out requires at least two sample points")
+    if estimate is None:
+        estimate = float(contributions.mean())
+    return (estimate * s - contributions) / (s - 1)
+
+
+def certified_inside_mask(
+    contributions: np.ndarray,
+    query: Box,
+    bandwidth: np.ndarray,
+    kernel: Union[str, Kernel, Sequence[Union[str, Kernel]]] = "gaussian",
+) -> np.ndarray:
+    """Certify sample points as inside ``query`` from contributions alone.
+
+    Implements the bound of Eqs. (19)-(20): the largest contribution any
+    point *outside* the region can produce is the centre-point maximum with
+    one dimension degraded to its boundary value.  Any contribution
+    strictly above that bound must come from a point within the region.
+
+    Returns a boolean mask; ``True`` entries are guaranteed to lie inside
+    the region (the certificate is sound but not complete — interior
+    points near the boundary may be missed).
+    """
+    if isinstance(kernel, (str, Kernel)):
+        kernels = [get_kernel(kernel)] * query.dimensions
+    else:
+        kernels = [get_kernel(k) for k in kernel]
+        if len(kernels) != query.dimensions:
+            raise ValueError("need one kernel per query dimension")
+    contributions = np.asarray(contributions, dtype=np.float64)
+    bandwidth = np.asarray(bandwidth, dtype=np.float64)
+    if bandwidth.shape != (query.dimensions,):
+        raise ValueError("bandwidth / query dimensionality mismatch")
+
+    center = query.center
+    center_masses = np.array(
+        [
+            kernels[j].interval_mass(
+                query.low[j], query.high[j], center[j], bandwidth[j]
+            )
+            for j in range(query.dimensions)
+        ],
+        dtype=np.float64,
+    )
+    boundary_masses = np.array(
+        [
+            kernels[j].interval_mass(
+                query.low[j], query.high[j], query.low[j], bandwidth[j]
+            )
+            for j in range(query.dimensions)
+        ],
+        dtype=np.float64,
+    )
+    max_inside = float(np.prod(center_masses))
+    if max_inside <= 0.0:
+        # The region is too narrow for the current bandwidth to certify
+        # anything; fall back to certifying nothing.
+        return np.zeros_like(contributions, dtype=bool)
+    # Degrade each dimension in turn to its boundary value; the loosest of
+    # those products bounds the contribution of any outside point.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(
+            center_masses > 0.0, boundary_masses / center_masses, 0.0
+        )
+    outside_bound = max_inside * float(ratios.max())
+    return contributions > outside_bound
+
+
+class KarmaTracker:
+    """Tracks cumulative per-point Karma and flags outdated sample points.
+
+    Parameters
+    ----------
+    sample_size:
+        Number of points in the estimator's sample.
+    loss:
+        Error metric used for the Karma scores (normally the same loss the
+        adaptive learner minimises).
+    config:
+        Saturation constant, replacement threshold and shortcut toggle.
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        loss: Union[str, Loss] = "squared",
+        config: Optional[KarmaConfig] = None,
+    ) -> None:
+        if sample_size < 2:
+            raise ValueError("karma tracking requires at least two points")
+        self.config = config or KarmaConfig()
+        self.loss = get_loss(loss)
+        self._karma = np.zeros(sample_size, dtype=np.float64)
+        self._replacements = 0
+        self._queries_observed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def karma(self) -> np.ndarray:
+        """Current cumulative Karma scores (copy)."""
+        return self._karma.copy()
+
+    @property
+    def sample_size(self) -> int:
+        return self._karma.shape[0]
+
+    @property
+    def replacements(self) -> int:
+        """Total number of points flagged for replacement so far."""
+        return self._replacements
+
+    @property
+    def queries_observed(self) -> int:
+        return self._queries_observed
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        contributions: np.ndarray,
+        true_selectivity: float,
+        query: Optional[Box] = None,
+        bandwidth: Optional[np.ndarray] = None,
+        kernel: Union[str, Kernel, Sequence[Union[str, Kernel]]] = "gaussian",
+    ) -> np.ndarray:
+        """Score one query's feedback; returns indices of outdated points.
+
+        Parameters
+        ----------
+        contributions:
+            Per-point contributions retained from the estimate (Fig. 3).
+        true_selectivity:
+            Feedback from the database.
+        query, bandwidth, kernel:
+            Required only for the Appendix E empty-result shortcut; when
+            omitted (or when the shortcut is disabled) only the Karma
+            threshold triggers replacements.
+
+        The caller is responsible for actually replacing the returned
+        indices in the sample and then calling :meth:`reset`.
+        """
+        contributions = np.asarray(contributions, dtype=np.float64)
+        if contributions.shape != (self.sample_size,):
+            raise ValueError(
+                f"expected {self.sample_size} contributions, "
+                f"got {contributions.shape}"
+            )
+        if not 0.0 <= true_selectivity <= 1.0:
+            raise ValueError("true selectivity must lie in [0, 1]")
+        self._queries_observed += 1
+
+        estimate = float(contributions.mean())
+        loo = leave_one_out_estimates(contributions, estimate)
+        karma_delta = self.loss.value(loo, true_selectivity) - self.loss.value(
+            estimate, true_selectivity
+        )
+        self._karma = np.minimum(self._karma + karma_delta, self.config.k_max)
+
+        outdated = self._karma < self.config.threshold
+        if (
+            self.config.empty_region_shortcut
+            and true_selectivity == 0.0
+            and query is not None
+            and bandwidth is not None
+        ):
+            outdated |= certified_inside_mask(
+                contributions, query, bandwidth, kernel
+            )
+        indices = np.flatnonzero(outdated)
+        self._replacements += indices.size
+        return indices
+
+    def reset(self, indices: np.ndarray) -> None:
+        """Reset Karma of freshly replaced points to zero."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (
+            indices.min() < 0 or indices.max() >= self.sample_size
+        ):
+            raise IndexError("karma reset index out of range")
+        self._karma[indices] = 0.0

@@ -1,0 +1,190 @@
+"""Loss functions for feedback-driven bandwidth optimisation.
+
+Appendix C.1 of the paper lists the differentiable error metrics the
+bandwidth optimiser can target.  Each loss knows its value and its partial
+derivative with respect to the *estimated* selectivity — the first factor
+of the chain-rule gradient in Eq. (14):
+
+.. math::
+    \\frac{\\partial \\mathcal{L}}{\\partial h_i}
+    = \\frac{\\partial \\mathcal{L}}{\\partial \\hat p_H(\\Omega)}
+      \\cdot \\frac{\\partial \\hat p_H(\\Omega)}{\\partial h_i}
+
+Every method is fully vectorised: ``estimated`` and ``actual`` may be
+scalars or same-shaped arrays of selectivities in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "SquaredLoss",
+    "AbsoluteLoss",
+    "RelativeLoss",
+    "SquaredRelativeLoss",
+    "SquaredQLoss",
+    "get_loss",
+    "register_loss",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Default smoothing constant preventing division by zero for the relative
+#: and Q-error metrics (the paper's lambda; footnote 6).
+DEFAULT_SMOOTHING = 1e-5
+
+
+class Loss:
+    """Base class: a differentiable error metric on (estimated, actual)."""
+
+    name: str = ""
+
+    def value(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        """Loss value; broadcasts over array inputs."""
+        raise NotImplementedError
+
+    def derivative(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        """Partial derivative of :meth:`value` w.r.t. ``estimated``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SquaredLoss(Loss):
+    """Quadratic (L2) error: ``(p_hat - p)^2``."""
+
+    name = "squared"
+
+    def value(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        diff = np.asarray(estimated, dtype=np.float64) - actual
+        return diff * diff
+
+    def derivative(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        return 2.0 * (np.asarray(estimated, dtype=np.float64) - actual)
+
+
+class AbsoluteLoss(Loss):
+    """Absolute (L1) error: ``|p_hat - p|``.
+
+    The derivative is the sign of the residual (zero at equality), exactly
+    as listed in Appendix C.1.
+    """
+
+    name = "absolute"
+
+    def value(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        return np.abs(np.asarray(estimated, dtype=np.float64) - actual)
+
+    def derivative(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        return np.sign(np.asarray(estimated, dtype=np.float64) - actual)
+
+
+class RelativeLoss(Loss):
+    """Relative error ``|p_hat - p| / (lambda + p)``."""
+
+    name = "relative"
+
+    def __init__(self, smoothing: float = DEFAULT_SMOOTHING) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing constant must be positive")
+        self.smoothing = smoothing
+
+    def value(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        actual = np.asarray(actual, dtype=np.float64)
+        diff = np.abs(np.asarray(estimated, dtype=np.float64) - actual)
+        return diff / (self.smoothing + actual)
+
+    def derivative(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        actual = np.asarray(actual, dtype=np.float64)
+        sign = np.sign(np.asarray(estimated, dtype=np.float64) - actual)
+        return sign / (self.smoothing + actual)
+
+
+class SquaredRelativeLoss(Loss):
+    """Squared relative error ``((p_hat - p) / (lambda + p))^2``."""
+
+    name = "squared_relative"
+
+    def __init__(self, smoothing: float = DEFAULT_SMOOTHING) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing constant must be positive")
+        self.smoothing = smoothing
+
+    def value(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        actual = np.asarray(actual, dtype=np.float64)
+        ratio = (np.asarray(estimated, dtype=np.float64) - actual) / (
+            self.smoothing + actual
+        )
+        return ratio * ratio
+
+    def derivative(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        actual = np.asarray(actual, dtype=np.float64)
+        denom = self.smoothing + actual
+        return 2.0 * (np.asarray(estimated, dtype=np.float64) - actual) / (denom * denom)
+
+
+class SquaredQLoss(Loss):
+    """Squared Q-error ``(log(lambda + p_hat) - log(lambda + p))^2``.
+
+    This is the log-space factor-error metric of Moerkotte et al. [31],
+    which penalises over- and under-estimation symmetrically in the
+    multiplicative sense.
+    """
+
+    name = "squared_q"
+
+    def __init__(self, smoothing: float = DEFAULT_SMOOTHING) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing constant must be positive")
+        self.smoothing = smoothing
+
+    def value(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        est = np.asarray(estimated, dtype=np.float64)
+        diff = np.log(self.smoothing + est) - np.log(
+            self.smoothing + np.asarray(actual, dtype=np.float64)
+        )
+        return diff * diff
+
+    def derivative(self, estimated: ArrayLike, actual: ArrayLike) -> np.ndarray:
+        est = np.asarray(estimated, dtype=np.float64)
+        diff = np.log(self.smoothing + est) - np.log(
+            self.smoothing + np.asarray(actual, dtype=np.float64)
+        )
+        return 2.0 * diff / (self.smoothing + est)
+
+
+_REGISTRY: Dict[str, Loss] = {}
+
+
+def register_loss(loss: Loss) -> Loss:
+    """Register a loss instance for lookup by its ``name``."""
+    if not loss.name:
+        raise ValueError("losses must define a non-empty name")
+    _REGISTRY[loss.name] = loss
+    return loss
+
+
+for _loss in (
+    SquaredLoss(),
+    AbsoluteLoss(),
+    RelativeLoss(),
+    SquaredRelativeLoss(),
+    SquaredQLoss(),
+):
+    register_loss(_loss)
+
+
+def get_loss(loss: Union[str, Loss]) -> Loss:
+    """Resolve a loss instance from a name or pass an instance through."""
+    if isinstance(loss, Loss):
+        return loss
+    try:
+        return _REGISTRY[loss]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown loss {loss!r}; known losses: {known}")

@@ -1,0 +1,292 @@
+"""The self-tuning KDE selectivity estimator facade (Sections 3-5, Fig. 3).
+
+:class:`SelfTuningKDE` wires together every component of the paper's
+estimator around the query-feedback loop of Figure 3:
+
+1. ``estimate(query)`` computes the selectivity and *retains* the
+   per-point contribution buffer (Section 5.4) plus the model-dependent
+   gradient factor, which the paper computes on the device while the
+   database executes the query (Section 5.5).
+2. ``feedback(query, true_selectivity)`` closes the loop: it assembles the
+   full loss gradient (Eq. 14), feeds it to the mini-batch RMSprop learner
+   (Listing 1), updates the per-point Karma scores (Eq. 7-8), and replaces
+   outdated sample points with fresh rows from the row source.
+3. ``on_insert(row)`` keeps the sample representative under insertions via
+   reservoir sampling.
+
+The facade is deliberately independent of any concrete database: anything
+satisfying the :class:`RowSource` protocol (the in-memory table of
+:mod:`repro.db`, or a plain array-backed source) can back it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..geometry import Box
+from .adaptive import RMSpropTuner
+from .bandwidth import scott_bandwidth
+from .config import SelfTuningConfig
+from .estimator import KernelDensityEstimator
+from .gradient import to_log_space_gradient
+from .karma import KarmaTracker
+from .losses import get_loss
+from .reservoir import ReservoirSampler
+
+__all__ = ["RowSource", "ArrayRowSource", "SelfTuningKDE"]
+
+
+class RowSource(Protocol):
+    """Anything that can hand out fresh random rows for sample maintenance."""
+
+    def sample_rows(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``(count, d)`` random rows of the current population."""
+        ...  # pragma: no cover - protocol
+
+
+class ArrayRowSource:
+    """A :class:`RowSource` over a plain in-memory array of rows."""
+
+    def __init__(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ValueError("rows must be a non-empty (n, d) array")
+        self._rows = rows
+
+    def sample_rows(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        indices = rng.integers(self._rows.shape[0], size=count)
+        return self._rows[indices]
+
+
+@dataclass
+class _PendingQuery:
+    """Retained state between ``estimate`` and ``feedback`` (Fig. 3)."""
+
+    query: Box
+    contributions: np.ndarray
+    estimate: float
+    model_gradient: np.ndarray
+
+
+class SelfTuningKDE:
+    """Self-tuning KDE selectivity estimator with feedback-driven tuning.
+
+    Parameters
+    ----------
+    sample:
+        Initial ``(s, d)`` random sample of the relation (what ANALYZE
+        collects in Section 5.2).
+    config:
+        Component configuration; defaults reproduce the paper's constants.
+    row_source:
+        Source of replacement rows for Karma maintenance.  When omitted,
+        Karma still scores points but replacements are skipped.
+    population_size:
+        Cardinality of the relation at construction time (seeds the
+        reservoir counter).
+    bandwidth:
+        Initial bandwidth; defaults to Scott's rule (Eq. 3), matching the
+        initialisation of both *Heuristic* and *Adaptive*.
+    seed:
+        Seed for replacement sampling and reservoir decisions.
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        config: Optional[SelfTuningConfig] = None,
+        row_source: Optional[RowSource] = None,
+        population_size: Optional[int] = None,
+        bandwidth: Optional[np.ndarray] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        sample = np.asarray(sample, dtype=np.float64)
+        self.config = config or SelfTuningConfig()
+        if bandwidth is None:
+            bandwidth = scott_bandwidth(sample)
+        self._estimator = KernelDensityEstimator(
+            sample, bandwidth, self.config.kernel
+        )
+        self._loss = get_loss(self.config.loss)
+        self._rng = np.random.default_rng(seed)
+        self._row_source = row_source
+        self._tuner = RMSpropTuner(
+            self._estimator.dimensions, self.config.adaptive
+        )
+        self._karma = KarmaTracker(
+            self._estimator.sample_size, self._loss, self.config.karma
+        )
+        self._reservoir = ReservoirSampler(
+            self._estimator.sample_size,
+            population_size
+            if population_size is not None
+            else self._estimator.sample_size,
+            seed=None if seed is None else seed + 1,
+        )
+        self._pending: Optional[_PendingQuery] = None
+        self._points_replaced = 0
+        self._feedback_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def estimator(self) -> KernelDensityEstimator:
+        """The underlying KDE model."""
+        return self._estimator
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        return self._estimator.bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: np.ndarray) -> None:
+        self._estimator.bandwidth = value
+
+    @property
+    def sample_size(self) -> int:
+        return self._estimator.sample_size
+
+    @property
+    def dimensions(self) -> int:
+        return self._estimator.dimensions
+
+    @property
+    def points_replaced(self) -> int:
+        """Sample points replaced by Karma maintenance so far."""
+        return self._points_replaced
+
+    @property
+    def feedback_count(self) -> int:
+        return self._feedback_count
+
+    @property
+    def tuner(self) -> RMSpropTuner:
+        return self._tuner
+
+    @property
+    def karma_tracker(self) -> KarmaTracker:
+        return self._karma
+
+    @property
+    def reservoir(self) -> ReservoirSampler:
+        return self._reservoir
+
+    # ------------------------------------------------------------------
+    # The feedback loop
+    # ------------------------------------------------------------------
+    def estimate(self, query: Box) -> float:
+        """Selectivity estimate; retains buffers for the feedback step."""
+        masses = self._estimator.dimension_masses(query)
+        contributions = np.prod(masses, axis=1)
+        estimate = float(contributions.mean())
+        model_gradient = (
+            self._estimator.selectivity_gradient(query, masses)
+            if self.config.adapt_bandwidth
+            else np.zeros(self.dimensions)
+        )
+        self._pending = _PendingQuery(
+            query=query,
+            contributions=contributions,
+            estimate=estimate,
+            model_gradient=model_gradient,
+        )
+        return estimate
+
+    def feedback(self, query: Box, true_selectivity: float) -> None:
+        """Process true-selectivity feedback for the most recent estimate.
+
+        If ``query`` does not match the retained pending query (or there is
+        none), the buffers are recomputed — semantics identical, just
+        without the saved work.
+        """
+        if not 0.0 <= true_selectivity <= 1.0:
+            raise ValueError("true selectivity must lie in [0, 1]")
+        pending = self._pending
+        if pending is None or pending.query != query:
+            self.estimate(query)
+            pending = self._pending
+        assert pending is not None
+        self._pending = None
+        self._feedback_count += 1
+
+        if self.config.adapt_bandwidth:
+            self._adapt_bandwidth(pending, true_selectivity)
+        if self.config.maintain_sample:
+            self._maintain_sample(pending, true_selectivity)
+
+    def _adapt_bandwidth(
+        self, pending: _PendingQuery, true_selectivity: float
+    ) -> None:
+        loss_derivative = float(
+            self._loss.derivative(pending.estimate, true_selectivity)
+        )
+        gradient = loss_derivative * pending.model_gradient
+        if self.config.adaptive.log_updates:
+            gradient = to_log_space_gradient(
+                gradient, self._estimator.bandwidth
+            )
+        updated = self._tuner.observe(gradient, self._estimator.bandwidth)
+        if updated is not None:
+            self._estimator.bandwidth = updated
+
+    def _maintain_sample(
+        self, pending: _PendingQuery, true_selectivity: float
+    ) -> None:
+        indices = self._karma.update(
+            pending.contributions,
+            true_selectivity,
+            query=pending.query,
+            bandwidth=self._estimator.bandwidth,
+            kernel=self._estimator.kernels,
+        )
+        if indices.size == 0 or self._row_source is None:
+            return
+        rows = self._row_source.sample_rows(indices.size, self._rng)
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[0] < indices.size:
+            # Source could not provide enough rows (tiny relation); replace
+            # as many points as we received fresh rows for.
+            indices = indices[: rows.shape[0]]
+        self._estimator.replace_points(indices, rows[: indices.size])
+        self._karma.reset(indices)
+        self._points_replaced += indices.size
+
+    # ------------------------------------------------------------------
+    # Insert maintenance (reservoir sampling)
+    # ------------------------------------------------------------------
+    def on_insert(self, row: np.ndarray) -> bool:
+        """Notify the estimator of a newly inserted tuple.
+
+        Returns ``True`` when the tuple entered the sample (one simulated
+        PCIe transfer), ``False`` when it was rejected host-side.
+        """
+        if not self.config.reservoir_inserts:
+            self._reservoir.population_size += 1
+            return False
+        slot = self._reservoir.on_insert()
+        if slot is None:
+            return False
+        row = np.asarray(row, dtype=np.float64).reshape(1, -1)
+        self._estimator.replace_points(np.array([slot]), row)
+        self._karma.reset(np.array([slot]))
+        return True
+
+    def on_delete(self) -> None:
+        """Notify the estimator of a deleted tuple.
+
+        Deletions are handled lazily by Karma maintenance (Section 4.2);
+        the only bookkeeping is the population counter that drives future
+        reservoir acceptance probabilities.
+        """
+        if self._reservoir.population_size > 0:
+            self._reservoir.population_size -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SelfTuningKDE(s={self.sample_size}, d={self.dimensions}, "
+            f"feedback={self._feedback_count}, replaced={self._points_replaced})"
+        )

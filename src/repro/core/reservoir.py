@@ -1,0 +1,148 @@
+"""Reservoir sampling for insert-only maintenance (Section 4.2, [43]).
+
+For pure insert workloads the paper keeps the device-resident sample
+representative with Vitter's classic reservoir algorithm: the ``n``-th
+inserted tuple enters the sample with probability ``s / n``, evicting a
+uniformly random victim.  All randomness happens on the host; only tuples
+that actually enter the sample cross the PCIe bus, which makes the scheme
+transfer-optimal.
+
+Two variants are provided:
+
+* :class:`ReservoirSampler` — Algorithm R, one decision per insert.
+* :class:`SkipReservoirSampler` — the skip-based formulation (in the
+  spirit of Vitter's Algorithms X/Z): instead of flipping a coin per
+  insert it draws the number of inserts to *skip* before the next
+  acceptance, reducing per-insert work to a counter decrement.
+
+Both produce uniform samples; the property-based tests verify this with a
+chi-squared check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ReservoirSampler", "SkipReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Vitter's Algorithm R over an insert stream.
+
+    Parameters
+    ----------
+    sample_size:
+        Capacity ``s`` of the reservoir.
+    population_size:
+        Number of rows already represented by the initial sample (the
+        table cardinality when the estimator was built).  When smaller
+        than ``sample_size`` the caller must fill initial slots through
+        :meth:`on_insert`, which returns consecutive slots until full.
+    seed:
+        Seed for the acceptance decisions.
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        population_size: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        if population_size < 0:
+            raise ValueError("population_size must be non-negative")
+        self.sample_size = sample_size
+        self.population_size = population_size
+        self._rng = np.random.default_rng(seed)
+        self._accepted = 0
+
+    @property
+    def accepted(self) -> int:
+        """Number of inserts that entered the reservoir (PCIe transfers)."""
+        return self._accepted
+
+    def on_insert(self) -> Optional[int]:
+        """Register one inserted tuple; returns the slot to overwrite.
+
+        Returns ``None`` when the tuple is rejected.  While the reservoir
+        is still filling (``population < sample_size``) every insert is
+        accepted into the next free slot.
+        """
+        self.population_size += 1
+        if self.population_size <= self.sample_size:
+            self._accepted += 1
+            return self.population_size - 1
+        if self._rng.random() < self.sample_size / self.population_size:
+            self._accepted += 1
+            return int(self._rng.integers(self.sample_size))
+        return None
+
+
+class SkipReservoirSampler:
+    """Skip-based reservoir sampling: O(1) work per skipped insert.
+
+    Draws, after each acceptance, the count of subsequent inserts to
+    reject outright.  The skip length ``G`` for a reservoir of size ``s``
+    at population ``n`` follows ``P(G >= g) = prod_{k=1..g} (1 - s/(n+k))``
+    which we sample by inversion on the product form.
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        population_size: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        if population_size < 0:
+            raise ValueError("population_size must be non-negative")
+        self.sample_size = sample_size
+        self.population_size = population_size
+        self._rng = np.random.default_rng(seed)
+        self._accepted = 0
+        self._skip_remaining = 0
+        self._skip_valid = False
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    def _draw_skip(self) -> int:
+        """Inversion sampling of the skip length at the current population."""
+        u = self._rng.random()
+        skip = 0
+        n = self.population_size
+        survival = 1.0
+        # Survival probability of skipping yet another record; the loop
+        # terminates quickly because survival decays geometrically at rate
+        # roughly (1 - s/n).
+        while True:
+            survival *= 1.0 - self.sample_size / (n + skip + 1)
+            if u >= survival or survival <= 0.0:
+                return skip
+            skip += 1
+
+    def on_insert(self) -> Optional[int]:
+        """Register one inserted tuple; returns the slot to overwrite."""
+        self.population_size += 1
+        if self.population_size <= self.sample_size:
+            self._accepted += 1
+            self._skip_valid = False
+            return self.population_size - 1
+        if not self._skip_valid:
+            # Populate the skip counter lazily; _draw_skip conditions on the
+            # population *before* this insert.
+            self.population_size -= 1
+            self._skip_remaining = self._draw_skip()
+            self.population_size += 1
+            self._skip_valid = True
+        if self._skip_remaining > 0:
+            self._skip_remaining -= 1
+            return None
+        self._accepted += 1
+        self._skip_valid = False
+        return int(self._rng.integers(self.sample_size))

@@ -1,0 +1,24 @@
+"""In-memory relational substrate (the Postgres stand-in).
+
+Provides the three database services the paper's estimator consumes:
+ANALYZE-style sampling (:meth:`Table.analyze`), range-query execution
+with true-selectivity feedback (:meth:`Table.execute`,
+:class:`FeedbackLoop`), and modification notifications
+(:class:`TableListener`).
+"""
+
+from .feedback import EstimatorTableBridge, FeedbackLoop, Observation
+from .join import band_join_count, hash_join, pk_fk_join_sample
+from .table import QueryResult, Table, TableListener
+
+__all__ = [
+    "EstimatorTableBridge",
+    "FeedbackLoop",
+    "Observation",
+    "QueryResult",
+    "Table",
+    "TableListener",
+    "band_join_count",
+    "hash_join",
+    "pk_fk_join_sample",
+]

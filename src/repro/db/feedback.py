@@ -1,0 +1,116 @@
+"""The query-feedback loop between database and estimator (Figure 3).
+
+:class:`FeedbackLoop` wires any :class:`~repro.baselines.base.SelectivityEstimator`
+to a :class:`~repro.db.table.Table`: each :meth:`FeedbackLoop.run_query`
+asks the estimator for a selectivity first (what the query optimizer
+would consume), executes the query against the table, and hands the true
+selectivity back as feedback — exactly the estimate → execute → feedback
+cycle of the paper's Postgres integration.
+
+The loop also records every observation, giving experiments the error
+trace they plot (e.g. the error progression of Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry import Box
+from ..baselines.base import SelectivityEstimator
+from .table import Table, TableListener
+
+__all__ = ["FeedbackLoop", "Observation", "EstimatorTableBridge"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One completed estimate/execute/feedback cycle."""
+
+    query: Box
+    estimated: float
+    actual: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.estimated - self.actual)
+
+
+class EstimatorTableBridge(TableListener):
+    """Forwards table modification events to an estimator's hooks.
+
+    Registers on a table and calls the estimator's ``on_insert`` /
+    ``on_delete`` methods when present (the Adaptive estimator has them,
+    static estimators do not).
+    """
+
+    def __init__(self, estimator: SelectivityEstimator) -> None:
+        self._estimator = estimator
+
+    def on_insert(self, row: np.ndarray) -> None:
+        hook = getattr(self._estimator, "on_insert", None)
+        if hook is not None:
+            hook(row)
+
+    def on_delete(self, row: np.ndarray) -> None:
+        hook = getattr(self._estimator, "on_delete", None)
+        if hook is not None:
+            hook()
+
+
+@dataclass
+class FeedbackLoop:
+    """Drives the estimate → execute → feedback cycle for one estimator."""
+
+    table: Table
+    estimator: SelectivityEstimator
+    #: Full trace of observations, in execution order.
+    observations: List[Observation] = field(default_factory=list)
+    _bridge: Optional[EstimatorTableBridge] = None
+
+    def attach(self) -> "FeedbackLoop":
+        """Subscribe the estimator to table modification events."""
+        if self._bridge is None:
+            self._bridge = EstimatorTableBridge(self.estimator)
+            self.table.add_listener(self._bridge)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from table events."""
+        if self._bridge is not None:
+            self.table.remove_listener(self._bridge)
+            self._bridge = None
+
+    def run_query(self, query: Box) -> Observation:
+        """One full cycle; returns the recorded observation."""
+        estimated = self.estimator.estimate(query)
+        result = self.table.execute(query)
+        actual = result.selectivity
+        self.estimator.feedback(query, actual)
+        observation = Observation(query=query, estimated=estimated, actual=actual)
+        self.observations.append(observation)
+        return observation
+
+    def run_workload(self, queries) -> List[Observation]:
+        """Run a sequence of queries through the loop."""
+        return [self.run_query(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Error reporting
+    # ------------------------------------------------------------------
+    def mean_absolute_error(self, last: Optional[int] = None) -> float:
+        """Mean absolute error over all (or the last ``last``) observations."""
+        observations = (
+            self.observations[-last:] if last else self.observations
+        )
+        if not observations:
+            raise ValueError("no observations recorded yet")
+        return float(np.mean([o.absolute_error for o in observations]))
+
+    def error_trace(self) -> np.ndarray:
+        """Per-query absolute errors, in execution order."""
+        return np.array(
+            [o.absolute_error for o in self.observations], dtype=np.float64
+        )

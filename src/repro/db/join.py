@@ -1,0 +1,121 @@
+"""Join support for the relational substrate.
+
+Implements the machinery behind the paper's first join-estimation route
+(Section 8): for joins whose predicate is known beforehand — above all
+PK-FK joins — "build the estimator based on a sample collected directly
+from the join result".  The sampler here follows the spirit of Chaudhuri
+et al. [9]: sample the foreign-key side and look each sampled tuple's
+match up in a hash index on the primary-key side, which produces an
+unbiased sample of the join result without materialising it.
+
+A full (hash-) join executor is also provided for ground truth in tests
+and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["hash_join", "pk_fk_join_sample", "band_join_count"]
+
+
+def _key_index(table: Table, key_column: int) -> Dict[float, int]:
+    """Hash index mapping key value -> row position (PK side: unique)."""
+    rows = table.rows()
+    index: Dict[float, int] = {}
+    for position, value in enumerate(rows[:, key_column]):
+        index[float(value)] = position
+    return index
+
+
+def hash_join(
+    left: Table, right: Table, left_key: int, right_key: int
+) -> np.ndarray:
+    """Equi-join two tables, returning concatenated matching rows.
+
+    Builds a hash table on the right input (values may repeat) and
+    probes with the left — the textbook hash join.  The result schema is
+    the left columns followed by the right columns.
+    """
+    if not 0 <= left_key < left.dimensions:
+        raise ValueError("left_key out of range")
+    if not 0 <= right_key < right.dimensions:
+        raise ValueError("right_key out of range")
+    right_rows = right.rows()
+    buckets: Dict[float, list] = {}
+    for position, value in enumerate(right_rows[:, right_key]):
+        buckets.setdefault(float(value), []).append(position)
+    matches = []
+    for row in left.rows():
+        for position in buckets.get(float(row[left_key]), ()):
+            matches.append(np.concatenate([row, right_rows[position]]))
+    if not matches:
+        return np.empty((0, left.dimensions + right.dimensions))
+    return np.vstack(matches)
+
+
+def pk_fk_join_sample(
+    fact: Table,
+    dimension: Table,
+    fact_key: int,
+    dimension_key: int,
+    sample_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Random sample of a PK-FK join result, without materialising it.
+
+    Every fact (foreign-key) tuple joins with exactly one dimension
+    (primary-key) tuple, so uniformly sampling fact tuples and looking
+    their partner up yields a uniform sample of the join result [9].
+    Fact rows with dangling keys are skipped (and re-drawn).
+
+    Returns ``(sample_size, d_fact + d_dim)`` rows; fewer if the join is
+    highly selective and the fact table runs out of matching tuples.
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be at least 1")
+    if len(fact) == 0 or len(dimension) == 0:
+        raise ValueError("cannot sample a join of empty tables")
+    rng = rng or np.random.default_rng()
+    index = _key_index(dimension, dimension_key)
+    dimension_rows = dimension.rows()
+    fact_rows = fact.rows()
+
+    out = []
+    attempts = 0
+    max_attempts = 50 * sample_size
+    while len(out) < sample_size and attempts < max_attempts:
+        attempts += 1
+        row = fact_rows[rng.integers(len(fact))]
+        position = index.get(float(row[fact_key]))
+        if position is None:
+            continue
+        out.append(np.concatenate([row, dimension_rows[position]]))
+    if not out:
+        return np.empty((0, fact.dimensions + dimension.dimensions))
+    return np.vstack(out)
+
+
+def band_join_count(
+    left: Table,
+    right: Table,
+    left_key: int,
+    right_key: int,
+    epsilon: float,
+) -> int:
+    """True count of pairs with ``|left.key - right.key| <= epsilon``.
+
+    Ground truth for the band-join estimators; computed by sorting the
+    right keys and binary-searching the band per left tuple.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    left_values = left.rows()[:, left_key]
+    right_values = np.sort(right.rows()[:, right_key])
+    low = np.searchsorted(right_values, left_values - epsilon, side="left")
+    high = np.searchsorted(right_values, left_values + epsilon, side="right")
+    return int((high - low).sum())

@@ -1,0 +1,304 @@
+"""In-memory relation with the interfaces the estimator needs.
+
+The paper integrates its estimator into Postgres 9.3.1, using exactly
+three database services (Section 5): ANALYZE-style random sampling for
+model construction, query execution with true-selectivity feedback, and
+notifications about inserted tuples for reservoir sampling.  This module
+provides those services over an in-memory, real-valued relation.
+
+The table stores rows in a capacity-doubling dense array.  Deletions
+compact lazily through a free-list-free swap-with-last scheme, keeping
+``rows()`` a contiguous view at all times — the simplest layout that
+makes brute-force range counts (the ground truth of every experiment)
+cheap numpy reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Box
+
+__all__ = ["Table", "TableListener", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of executing a range query against a table."""
+
+    query: Box
+    #: Number of matching tuples.
+    count: int
+    #: Table cardinality at execution time.
+    table_size: int
+
+    @property
+    def selectivity(self) -> float:
+        """Matching fraction; zero for an empty table."""
+        if self.table_size == 0:
+            return 0.0
+        return self.count / self.table_size
+
+
+class TableListener:
+    """Observer interface for table modifications.
+
+    The estimator's maintenance hooks (reservoir sampling, population
+    counters) subscribe through this interface — the stand-in for the
+    paper's "sample maintenance routine gets notified by the database
+    engine" (Section 5.6).
+    """
+
+    def on_insert(self, row: np.ndarray) -> None:  # pragma: no cover
+        """Called after a row was inserted."""
+
+    def on_delete(self, row: np.ndarray) -> None:  # pragma: no cover
+        """Called after a row was deleted."""
+
+
+class Table:
+    """A relation over ``d`` real-valued attributes.
+
+    Parameters
+    ----------
+    dimensions:
+        Number of attributes.
+    column_names:
+        Optional attribute names (defaults to ``a0 .. a{d-1}``).
+    initial_rows:
+        Optional ``(n, d)`` array to bulk-load (no listener notifications,
+        like a bulk COPY).
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        column_names: Optional[Sequence[str]] = None,
+        initial_rows: Optional[np.ndarray] = None,
+    ) -> None:
+        if dimensions < 1:
+            raise ValueError("dimensions must be at least 1")
+        if column_names is not None and len(column_names) != dimensions:
+            raise ValueError("column_names length must equal dimensions")
+        self.dimensions = dimensions
+        self.column_names: List[str] = (
+            list(column_names)
+            if column_names is not None
+            else [f"a{i}" for i in range(dimensions)]
+        )
+        self._capacity = 1024
+        self._rows = np.empty((self._capacity, dimensions), dtype=np.float64)
+        self._size = 0
+        self._listeners: List[TableListener] = []
+        self._inserts = 0
+        self._deletes = 0
+        if initial_rows is not None:
+            self.bulk_load(initial_rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def row_count(self) -> int:
+        return self._size
+
+    @property
+    def inserts(self) -> int:
+        """Total single-row inserts (excludes bulk loads)."""
+        return self._inserts
+
+    @property
+    def deletes(self) -> int:
+        return self._deletes
+
+    def rows(self) -> np.ndarray:
+        """Read-only view of the live rows."""
+        view = self._rows[: self._size].view()
+        view.flags.writeable = False
+        return view
+
+    def bounds(self, margin: float = 0.0) -> Box:
+        """Bounding box of the live rows."""
+        if self._size == 0:
+            raise ValueError("cannot compute bounds of an empty table")
+        return Box.bounding(self._rows[: self._size], margin=margin)
+
+    # ------------------------------------------------------------------
+    # Modification
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: TableListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: TableListener) -> None:
+        self._listeners.remove(listener)
+
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= self._capacity:
+            return
+        while self._capacity < needed:
+            self._capacity *= 2
+        grown = np.empty((self._capacity, self.dimensions), dtype=np.float64)
+        grown[: self._size] = self._rows[: self._size]
+        self._rows = grown
+
+    def bulk_load(self, rows: np.ndarray) -> None:
+        """Append rows without listener notifications (initial load)."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[1] != self.dimensions:
+            raise ValueError(
+                f"rows have {rows.shape[1]} columns, table has {self.dimensions}"
+            )
+        if not np.all(np.isfinite(rows)):
+            raise ValueError(
+                "rows contain non-finite values; the substrate models "
+                "real-valued attributes without NULLs"
+            )
+        self._ensure_capacity(rows.shape[0])
+        self._rows[self._size : self._size + rows.shape[0]] = rows
+        self._size += rows.shape[0]
+
+    def insert(self, row: Sequence[float]) -> None:
+        """Insert one tuple and notify listeners."""
+        row = np.asarray(row, dtype=np.float64).reshape(-1)
+        if row.shape != (self.dimensions,):
+            raise ValueError(
+                f"row must have {self.dimensions} values, got {row.shape}"
+            )
+        if not np.all(np.isfinite(row)):
+            raise ValueError("row contains non-finite values")
+        self._ensure_capacity(1)
+        self._rows[self._size] = row
+        self._size += 1
+        self._inserts += 1
+        for listener in self._listeners:
+            listener.on_insert(row.copy())
+
+    def insert_many(self, rows: np.ndarray) -> None:
+        """Insert several tuples, notifying listeners per row."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        for row in rows:
+            self.insert(row)
+
+    def delete_where(self, predicate: Callable[[np.ndarray], np.ndarray]) -> int:
+        """Delete rows for which ``predicate(rows) -> bool mask`` is true.
+
+        Returns the number of deleted rows.  Listeners receive one
+        ``on_delete`` per removed row.
+        """
+        live = self._rows[: self._size]
+        mask = np.asarray(predicate(live), dtype=bool)
+        if mask.shape != (self._size,):
+            raise ValueError("predicate must return one boolean per row")
+        doomed = live[mask].copy()
+        keep = live[~mask]
+        self._rows[: keep.shape[0]] = keep
+        self._size = keep.shape[0]
+        self._deletes += doomed.shape[0]
+        for row in doomed:
+            for listener in self._listeners:
+                listener.on_delete(row)
+        return doomed.shape[0]
+
+    def delete_in(self, region: Box) -> int:
+        """Delete every row inside ``region``."""
+        return self.delete_where(lambda rows: region.contains_points(rows))
+
+    def update_where(
+        self,
+        predicate: Callable[[np.ndarray], np.ndarray],
+        transform: Callable[[np.ndarray], np.ndarray],
+    ) -> int:
+        """Update matching rows in place: ``rows[mask] = transform(rows[mask])``.
+
+        Modeled as delete+insert for listener purposes, which is how the
+        sample maintenance of Section 4.2 perceives updates.
+        """
+        live = self._rows[: self._size]
+        mask = np.asarray(predicate(live), dtype=bool)
+        if mask.shape != (self._size,):
+            raise ValueError("predicate must return one boolean per row")
+        old_rows = live[mask].copy()
+        if old_rows.shape[0] == 0:
+            return 0
+        new_rows = np.atleast_2d(
+            np.asarray(transform(old_rows), dtype=np.float64)
+        )
+        if new_rows.shape != old_rows.shape:
+            raise ValueError("transform must preserve the row shape")
+        live[mask] = new_rows
+        for old, new in zip(old_rows, new_rows):
+            for listener in self._listeners:
+                listener.on_delete(old)
+                listener.on_insert(new.copy())
+        return old_rows.shape[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self, region: Box) -> int:
+        """True number of tuples inside ``region``."""
+        if region.dimensions != self.dimensions:
+            raise ValueError("query dimensionality mismatch")
+        if self._size == 0:
+            return 0
+        return int(region.contains_points(self._rows[: self._size]).sum())
+
+    def select(self, region: Box) -> np.ndarray:
+        """Rows inside ``region`` (copy)."""
+        live = self._rows[: self._size]
+        return live[region.contains_points(live)].copy()
+
+    def execute(self, query: Box) -> QueryResult:
+        """Run a range query, returning count and selectivity feedback."""
+        return QueryResult(
+            query=query, count=self.count(query), table_size=self._size
+        )
+
+    def selectivity(self, region: Box) -> float:
+        """True selectivity of ``region``."""
+        return self.execute(region).selectivity
+
+    # ------------------------------------------------------------------
+    # Sampling (the ANALYZE path, Section 5.2)
+    # ------------------------------------------------------------------
+    def sample_rows(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``count`` rows drawn uniformly with replacement.
+
+        This is the row source for Karma replacements; sampling *with*
+        replacement keeps it well-defined even when ``count`` exceeds the
+        table size.
+        """
+        if self._size == 0:
+            return np.empty((0, self.dimensions), dtype=np.float64)
+        indices = rng.integers(self._size, size=count)
+        return self._rows[indices].copy()
+
+    def analyze(
+        self, sample_size: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Collect a simple random sample without replacement (ANALYZE).
+
+        Mirrors the paper's model construction: Postgres' internal
+        sampling routines gather the requested number of rows, which are
+        then shipped to the device in one bulk transfer.
+        """
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        if self._size == 0:
+            raise ValueError("cannot ANALYZE an empty table")
+        rng = rng or np.random.default_rng()
+        size = min(sample_size, self._size)
+        indices = rng.choice(self._size, size=size, replace=False)
+        return self._rows[indices].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table(d={self.dimensions}, rows={self._size})"

@@ -1,0 +1,43 @@
+"""Simulated OpenCL-like device layer (the GPU substitution).
+
+The paper offloads estimation onto a GTX-460 through OpenCL; this
+package replaces the hardware with an analytic device model: numpy
+executes every kernel's math exactly, while
+:class:`~repro.device.runtime.DeviceContext` meters transfers/launches
+and advances a modelled clock calibrated to the paper's reported
+performance envelope (see DESIGN.md, substitution 1).
+"""
+
+from .buffers import DeviceBuffer, TransferLog, TransferRecord
+from .codegen import (
+    clear_kernel_cache,
+    compile_contribution_kernel,
+    compile_gradient_kernel,
+    kernel_cache_size,
+)
+from .costmodel import DeviceCostModel, STHolesCostModel
+from .kde_device import DeviceKDE
+from .partition import MultiDeviceKDE, fission
+from .runtime import DeviceContext, LaunchRecord
+from .specs import GTX460, XEON_E5620, DeviceSpec, named_device
+
+__all__ = [
+    "DeviceBuffer",
+    "DeviceContext",
+    "DeviceCostModel",
+    "DeviceKDE",
+    "DeviceSpec",
+    "GTX460",
+    "LaunchRecord",
+    "MultiDeviceKDE",
+    "STHolesCostModel",
+    "TransferLog",
+    "TransferRecord",
+    "XEON_E5620",
+    "clear_kernel_cache",
+    "compile_contribution_kernel",
+    "compile_gradient_kernel",
+    "fission",
+    "kernel_cache_size",
+    "named_device",
+]

@@ -1,0 +1,107 @@
+"""Device buffer management with transfer accounting.
+
+Mirrors the memory story of Section 5.1: the sample lives in a row-major
+device buffer in a configurable floating-point precision, and the *only*
+recurring host<->device traffic is query bounds in, estimates out, plus
+single-row sample replacements.  Every transfer is logged so experiments
+(and tests) can assert the transfer-efficiency claims of Sections 4.2
+and 5.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["DeviceBuffer", "TransferLog", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host<->device transfer."""
+
+    direction: str  # "to_device" | "to_host"
+    bytes: int
+    label: str
+
+
+@dataclass
+class TransferLog:
+    """Accumulates every transfer issued through a device context."""
+
+    records: List[TransferRecord] = field(default_factory=list)
+
+    def record(self, direction: str, nbytes: int, label: str) -> None:
+        self.records.append(TransferRecord(direction, int(nbytes), label))
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.bytes for r in self.records)
+
+    def bytes_in_direction(self, direction: str) -> int:
+        return sum(r.bytes for r in self.records if r.direction == direction)
+
+    def bytes_for_label(self, label: str) -> int:
+        return sum(r.bytes for r in self.records if r.label == label)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class DeviceBuffer:
+    """A named device-resident array.
+
+    The backing store is an ordinary numpy array (the simulation computes
+    with it directly); what makes it a *device* buffer is that all writes
+    from the host must go through the context's transfer methods, which
+    meter the PCIe traffic.
+    """
+
+    def __init__(self, name: str, data: np.ndarray) -> None:
+        self.name = name
+        self._data = np.array(data, copy=True)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The device-side array (mutable by kernels, not the host)."""
+        return self._data
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    @property
+    def shape(self):
+        return self._data.shape
+
+    @property
+    def dtype(self):
+        return self._data.dtype
+
+    def write(self, data: np.ndarray) -> int:
+        """Overwrite the whole buffer; returns bytes written."""
+        data = np.asarray(data, dtype=self._data.dtype)
+        if data.shape != self._data.shape:
+            raise ValueError(
+                f"shape mismatch writing buffer {self.name!r}: "
+                f"{data.shape} vs {self._data.shape}"
+            )
+        self._data[...] = data
+        return self.nbytes
+
+    def write_rows(self, indices: np.ndarray, rows: np.ndarray) -> int:
+        """Overwrite selected rows (single-transfer row updates, §5.1)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        rows = np.asarray(rows, dtype=self._data.dtype)
+        self._data[indices] = rows
+        return int(rows.nbytes)
+
+    def read(self) -> np.ndarray:
+        """Copy the buffer contents back to the host."""
+        return self._data.copy()

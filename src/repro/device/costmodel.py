@@ -1,0 +1,69 @@
+"""Analytic cost model converting operation counts into modelled time.
+
+Separating *what ran* (kernel-term counts, transferred bytes, launches)
+from *how long it takes on a given device* lets the same execution trace
+be priced for the GPU and the CPU — which is exactly the experiment of
+Figure 7.  The model is deliberately simple: every operation costs a
+fixed scheduling latency plus work proportional to its size.
+
+A second model prices the STHoles baseline, whose estimation is a
+sequential traversal of the bucket tree on the host (the paper measures
+the sequential implementation of [7] and reports it 7-10x slower than
+GPU KDE on large models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import DeviceSpec
+
+__all__ = ["DeviceCostModel", "STHolesCostModel"]
+
+
+@dataclass(frozen=True)
+class DeviceCostModel:
+    """Prices kernel launches and transfers for one device."""
+
+    spec: DeviceSpec
+
+    def kernel_seconds(self, term_count: int) -> float:
+        """One kernel evaluating ``term_count`` kernel terms."""
+        if term_count < 0:
+            raise ValueError("term_count must be non-negative")
+        return (
+            self.spec.kernel_launch_latency
+            + term_count / self.spec.compute_throughput
+        )
+
+    def reduction_seconds(self, element_count: int) -> float:
+        """A parallel binary reduction over ``element_count`` values.
+
+        Priced as one kernel touching each element once: the tree depth
+        is hidden by the device's parallelism, so the work term is linear
+        and the launch latency dominates for small inputs.
+        """
+        return self.kernel_seconds(element_count)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """One host<->device transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return (
+            self.spec.transfer_latency + nbytes / self.spec.transfer_bandwidth
+        )
+
+
+@dataclass(frozen=True)
+class STHolesCostModel:
+    """Prices the sequential host-side STHoles estimation of [7]."""
+
+    #: Seconds per visited bucket (box intersection + arithmetic).
+    seconds_per_bucket: float = 150e-9
+    #: Fixed per-estimate overhead.
+    base_seconds: float = 2e-6
+
+    def estimate_seconds(self, bucket_count: int) -> float:
+        if bucket_count < 0:
+            raise ValueError("bucket_count must be non-negative")
+        return self.base_seconds + bucket_count * self.seconds_per_bucket

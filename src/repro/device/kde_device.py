@@ -1,0 +1,242 @@
+"""The KDE estimator executed on the (simulated) device (Section 5).
+
+:class:`DeviceKDE` is the device-resident incarnation of the estimator:
+its sample lives in a device buffer, every estimate follows the
+transfer/launch choreography of Figure 3, and the context's modelled
+clock prices the run for the configured device.  The math itself is
+executed exactly by the runtime-specialised kernels of
+:mod:`repro.device.codegen`.
+
+Per-query choreography (numbers match Figure 3):
+
+1. upload the query bounds (one small transfer),
+2. launch the contribution kernel over the sample (``s*d`` terms),
+3. reduce the contribution buffer to the estimate,
+4. download the estimate (one small transfer),
+5. *while the database executes the query*: launch the gradient kernel
+   and its reduction — their compute is hidden behind query runtime
+   (Section 5.5), so only launch latency is priced,
+6. on feedback: upload the loss factor, update the mini-batch, and run
+   the Karma kernel over the retained contribution buffer, downloading
+   the replacement bitmap when points fell below the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry import Box
+from ..core.adaptive import RMSpropTuner
+from ..core.bandwidth import scott_bandwidth
+from ..core.config import AdaptiveConfig, KarmaConfig
+from ..core.karma import KarmaTracker
+from ..core.losses import Loss, get_loss
+from .codegen import compile_contribution_kernel, compile_gradient_kernel
+from .runtime import DeviceContext
+
+__all__ = ["DeviceKDE"]
+
+
+class DeviceKDE:
+    """Device-resident self-tuning KDE with modelled timing.
+
+    Parameters
+    ----------
+    sample:
+        ``(s, d)`` sample; uploaded to the device once at construction
+        (the single big transfer of Section 5.2).
+    context:
+        The simulated device to run on.
+    bandwidth:
+        Initial bandwidth; Scott's rule when omitted.
+    precision:
+        Device float precision (``"float32"`` like the paper's default,
+        or ``"float64"``).
+    adaptive:
+        Enable the online tuning path (gradient + karma kernels).
+    loss:
+        Loss for adaptive updates and karma scoring.
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        context: DeviceContext,
+        bandwidth: Optional[np.ndarray] = None,
+        precision: str = "float32",
+        adaptive: bool = True,
+        loss: str = "squared",
+        adaptive_config: Optional[AdaptiveConfig] = None,
+        karma_config: Optional[KarmaConfig] = None,
+    ) -> None:
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 2 or sample.shape[0] < 2:
+            raise ValueError("sample must be an (s >= 2, d) array")
+        if precision not in ("float32", "float64"):
+            raise ValueError("precision must be 'float32' or 'float64'")
+        self.context = context
+        self.precision = precision
+        self.adaptive = adaptive
+        self._loss: Loss = get_loss(loss)
+        self._dtype = np.dtype(precision)
+        s, d = sample.shape
+
+        # Model construction (Section 5.2): one bulk transfer of the
+        # sample, plus the standard-deviation reductions for Scott's rule.
+        self._sample_buffer = context.upload(
+            "sample", sample.astype(self._dtype), label="sample"
+        )
+        context.reduce("column_sums", s * d)
+        context.reduce("column_squares", s * d)
+        if bandwidth is None:
+            bandwidth = scott_bandwidth(sample)
+        self._bandwidth = np.asarray(bandwidth, dtype=np.float64).copy()
+        if self._bandwidth.shape != (d,) or np.any(self._bandwidth <= 0):
+            raise ValueError("bandwidth must be a positive (d,) vector")
+        context.upload("bandwidth", self._bandwidth.astype(self._dtype),
+                       label="bandwidth")
+
+        self._contribution_kernel = compile_contribution_kernel(d, precision)
+        self._gradient_kernel = compile_gradient_kernel(d, precision)
+        self._tuner = RMSpropTuner(d, adaptive_config or AdaptiveConfig())
+        self._karma = KarmaTracker(
+            s, self._loss, karma_config or KarmaConfig()
+        )
+        self._pending_query: Optional[Box] = None
+        self._pending_contributions: Optional[np.ndarray] = None
+        self._pending_estimate: float = 0.0
+        self._pending_gradient: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_size(self) -> int:
+        return self._sample_buffer.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self._sample_buffer.shape[1]
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        return self._bandwidth.copy()
+
+    @property
+    def karma_tracker(self) -> KarmaTracker:
+        return self._karma
+
+    @property
+    def tuner(self) -> RMSpropTuner:
+        return self._tuner
+
+    def set_bandwidth(self, bandwidth: np.ndarray) -> None:
+        bandwidth = np.asarray(bandwidth, dtype=np.float64)
+        if bandwidth.shape != (self.dimensions,) or np.any(bandwidth <= 0):
+            raise ValueError("bandwidth must be a positive (d,) vector")
+        self._bandwidth = bandwidth.copy()
+        self.context.upload(
+            "bandwidth", bandwidth.astype(self._dtype), label="bandwidth"
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation (Figure 3, steps 1-4)
+    # ------------------------------------------------------------------
+    def estimate(self, query: Box) -> float:
+        if query.dimensions != self.dimensions:
+            raise ValueError("query dimensionality mismatch")
+        s, d = self._sample_buffer.shape
+        bounds = np.concatenate([query.low, query.high]).astype(self._dtype)
+        self.context.upload("query_bounds", bounds, label="query_bounds")
+
+        sample = self._sample_buffer.data
+        contributions = self._contribution_kernel(
+            sample, query.low, query.high, self._bandwidth
+        ).astype(np.float64)
+        self.context.launch("contribution", s * d)
+        estimate = float(contributions.mean())
+        self.context.reduce("estimate_reduction", s)
+        self.context.download_value(
+            estimate, self._dtype.itemsize, label="estimate"
+        )
+
+        self._pending_query = query
+        self._pending_contributions = contributions
+        self._pending_estimate = estimate
+
+        if self.adaptive:
+            # Gradient pre-computation (Figure 3, steps 5-6).  The compute
+            # overlaps with query execution in the database, so only the
+            # scheduling latency is visible to the caller (Section 5.5);
+            # we therefore price the launches with zero work terms.
+            partials = self._gradient_kernel(
+                sample, query.low, query.high, self._bandwidth
+            ).astype(np.float64)
+            self._pending_gradient = partials.mean(axis=0)
+            self.context.launch("gradient", 0)
+            self.context.reduce("gradient_reduction", 0)
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Feedback (Figure 3, steps 7-9)
+    # ------------------------------------------------------------------
+    def feedback(self, query: Box, true_selectivity: float) -> np.ndarray:
+        """Process feedback; returns indices of sample points to replace.
+
+        The caller (the database glue) is responsible for sampling fresh
+        rows and pushing them through :meth:`replace_rows`.
+        """
+        if not self.adaptive:
+            return np.array([], dtype=np.intp)
+        if not 0.0 <= true_selectivity <= 1.0:
+            raise ValueError("true selectivity must lie in [0, 1]")
+        if self._pending_query is None or self._pending_query != query:
+            self.estimate(query)
+        assert self._pending_contributions is not None
+        assert self._pending_gradient is not None
+
+        # Host ships the scalar loss factor to the device (step 7).
+        loss_factor = float(
+            self._loss.derivative(self._pending_estimate, true_selectivity)
+        )
+        self.context.upload(
+            "loss_factor",
+            np.array([loss_factor], dtype=self._dtype),
+            label="loss_factor",
+        )
+        gradient = loss_factor * self._pending_gradient
+        if self._tuner.config.log_updates:
+            gradient = gradient * self._bandwidth
+        updated = self._tuner.observe(gradient, self._bandwidth)
+        if updated is not None:
+            self.set_bandwidth(updated)
+
+        # Karma kernel over the retained contribution buffer (step 9).
+        self.context.launch("karma", 0)
+        flagged = self._karma.update(
+            self._pending_contributions,
+            true_selectivity,
+            query=query,
+            bandwidth=self._bandwidth,
+        )
+        if flagged.size:
+            # Replacement bitmap back to the host (two-step procedure of
+            # Section 5.6).
+            self.context.download_value(
+                None, (self.sample_size + 7) // 8, label="replacement_bitmap"
+            )
+        self._pending_query = None
+        self._pending_contributions = None
+        self._pending_gradient = None
+        return flagged
+
+    def replace_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Push replacement rows to the device sample buffer."""
+        indices = np.asarray(indices, dtype=np.intp)
+        rows = np.asarray(rows, dtype=self._dtype).reshape(
+            indices.size, self.dimensions
+        )
+        self.context.upload_rows(
+            "sample", indices, rows, label="sample_replacement"
+        )
+        self._karma.reset(indices)

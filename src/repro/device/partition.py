@@ -1,0 +1,152 @@
+"""Device fission and multi-device estimation (Section 8, future work).
+
+The paper's final future-work direction: integrating the estimator with
+a GPU-accelerated DBMS requires *resource sharing* — e.g. using device
+fission to give selectivity estimation a fixed fraction (say 10%) of the
+graphics card — and possibly *scaling across multiple graphics cards*.
+
+Both are natural in the analytic device model:
+
+* :func:`fission` derives a sub-device whose compute throughput is the
+  requested fraction of the parent's (latencies are per-call properties
+  of the driver stack and stay unchanged), answering the what-if
+  question "how much estimation quality can we afford at X% of the GPU?"
+  when combined with the Figure 6 quality-vs-model-size curves.
+
+* :class:`MultiDeviceKDE` shards the sample across several device
+  contexts.  Each device computes the contribution sum of its shard; the
+  combined estimate is the shard-size-weighted average.  Devices run
+  concurrently, so the modelled wall-clock of an estimate is the *slowest
+  shard* plus a constant host-side combine step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Box
+from ..core.bandwidth import scott_bandwidth
+from .kde_device import DeviceKDE
+from .runtime import DeviceContext
+from .specs import DeviceSpec
+
+__all__ = ["fission", "MultiDeviceKDE"]
+
+
+def fission(spec: DeviceSpec, fraction: float) -> DeviceSpec:
+    """A sub-device owning ``fraction`` of the parent's compute units.
+
+    Kernel launch and transfer latencies are unchanged — they are
+    driver-stack costs, not compute-unit costs — so small models get
+    *no* cheaper, while large-model estimation slows down by
+    ``1 / fraction``.  That asymmetry is exactly the resource-sharing
+    trade-off the paper wants to explore.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    return replace(
+        spec,
+        name=f"{spec.name} ({fraction:.0%} fission)",
+        compute_throughput=spec.compute_throughput * fraction,
+    )
+
+
+class MultiDeviceKDE:
+    """A KDE model sharded across several (simulated) devices.
+
+    Parameters
+    ----------
+    sample:
+        Full ``(s, d)`` sample; split into contiguous shards, one per
+        context.
+    contexts:
+        One :class:`DeviceContext` per device.
+    bandwidth:
+        Shared global bandwidth; Scott's rule on the *full* sample when
+        omitted (every shard must smooth identically for the weighted
+        average to equal the single-device estimate).
+    precision:
+        Device float precision, as for :class:`DeviceKDE`.
+    """
+
+    #: Host-side cost of combining the per-device partial estimates.
+    COMBINE_SECONDS = 2e-6
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        contexts: Sequence[DeviceContext],
+        bandwidth: Optional[np.ndarray] = None,
+        precision: str = "float32",
+    ) -> None:
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 2 or sample.shape[0] < 2 * max(1, len(contexts)):
+            raise ValueError(
+                "sample must provide at least two points per device"
+            )
+        if not contexts:
+            raise ValueError("at least one device context is required")
+        if bandwidth is None:
+            bandwidth = scott_bandwidth(sample)
+        shards = np.array_split(sample, len(contexts))
+        self._weights = np.array(
+            [shard.shape[0] for shard in shards], dtype=np.float64
+        )
+        self._weights /= self._weights.sum()
+        self._models: List[DeviceKDE] = [
+            DeviceKDE(
+                shard,
+                context,
+                bandwidth=bandwidth,
+                precision=precision,
+                adaptive=False,
+            )
+            for shard, context in zip(shards, contexts)
+        ]
+        self._contexts = list(contexts)
+        self._parallel_elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def device_count(self) -> int:
+        return len(self._models)
+
+    @property
+    def sample_size(self) -> int:
+        return sum(model.sample_size for model in self._models)
+
+    @property
+    def bandwidth(self) -> np.ndarray:
+        return self._models[0].bandwidth
+
+    @property
+    def parallel_elapsed_seconds(self) -> float:
+        """Modelled wall-clock with all devices running concurrently."""
+        return self._parallel_elapsed
+
+    def reset_clock(self) -> None:
+        self._parallel_elapsed = 0.0
+        for context in self._contexts:
+            context.reset_clock()
+
+    # ------------------------------------------------------------------
+    def set_bandwidth(self, bandwidth: np.ndarray) -> None:
+        """Broadcast a new global bandwidth to every shard."""
+        for model in self._models:
+            model.set_bandwidth(bandwidth)
+
+    def estimate(self, query: Box) -> float:
+        """Shard-parallel estimate; wall-clock is the slowest shard."""
+        before = [context.elapsed_seconds for context in self._contexts]
+        partials = np.array(
+            [model.estimate(query) for model in self._models]
+        )
+        deltas = [
+            context.elapsed_seconds - start
+            for context, start in zip(self._contexts, before)
+        ]
+        self._parallel_elapsed += max(deltas) + self.COMBINE_SECONDS
+        return float((partials * self._weights).sum())

@@ -1,0 +1,145 @@
+"""The simulated OpenCL-like device runtime.
+
+A :class:`DeviceContext` owns named device buffers, meters every
+host<->device transfer and kernel launch, and keeps a *modelled clock*:
+numpy performs each operation's math exactly, while the analytic cost
+model of :mod:`repro.device.costmodel` advances the clock by what the
+operation would have cost on the configured device.
+
+This is the substitution for the paper's GPU (see DESIGN.md): numerical
+behaviour is bit-faithful to a direct implementation, and the timing
+experiments of Section 6.4 run against the modelled clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .buffers import DeviceBuffer, TransferLog
+from .costmodel import DeviceCostModel
+from .specs import DeviceSpec, named_device
+
+__all__ = ["DeviceContext", "LaunchRecord"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One kernel launch: name and work size, for trace assertions."""
+
+    kernel: str
+    term_count: int
+
+
+@dataclass
+class DeviceContext:
+    """Buffers + transfer metering + a modelled clock for one device."""
+
+    spec: DeviceSpec
+    cost: DeviceCostModel = field(init=False)
+    transfers: TransferLog = field(default_factory=TransferLog)
+    launches: List[LaunchRecord] = field(default_factory=list)
+    _buffers: Dict[str, DeviceBuffer] = field(default_factory=dict)
+    _clock: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.cost = DeviceCostModel(self.spec)
+
+    @classmethod
+    def for_device(cls, name: str) -> "DeviceContext":
+        """Create a context for a preset device (``"gpu"`` / ``"cpu"``)."""
+        return cls(spec=named_device(name))
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_seconds(self) -> float:
+        """Modelled time spent on device operations so far."""
+        return self._clock
+
+    def reset_clock(self) -> None:
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Buffers & transfers
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, data: np.ndarray) -> DeviceBuffer:
+        """Allocate a device buffer *without* pricing a transfer.
+
+        Use :meth:`upload` for metered host-to-device copies; allocation
+        alone models ``clCreateBuffer`` without ``COPY_HOST_PTR``.
+        """
+        if name in self._buffers:
+            raise ValueError(f"buffer {name!r} already allocated")
+        buffer = DeviceBuffer(name, data)
+        self._buffers[name] = buffer
+        return buffer
+
+    def buffer(self, name: str) -> DeviceBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise KeyError(f"no buffer named {name!r}")
+
+    def free(self, name: str) -> None:
+        del self._buffers[name]
+
+    def upload(
+        self, name: str, data: np.ndarray, label: Optional[str] = None
+    ) -> DeviceBuffer:
+        """Host-to-device copy; allocates the buffer on first use."""
+        data = np.asarray(data)
+        if name in self._buffers:
+            nbytes = self._buffers[name].write(data)
+        else:
+            self._buffers[name] = DeviceBuffer(name, data)
+            nbytes = self._buffers[name].nbytes
+        self.transfers.record("to_device", nbytes, label or name)
+        self._clock += self.cost.transfer_seconds(nbytes)
+        return self._buffers[name]
+
+    def upload_rows(
+        self,
+        name: str,
+        indices: np.ndarray,
+        rows: np.ndarray,
+        label: Optional[str] = None,
+    ) -> None:
+        """Partial row update of an existing buffer (one transfer)."""
+        nbytes = self.buffer(name).write_rows(indices, rows)
+        self.transfers.record("to_device", nbytes, label or f"{name}:rows")
+        self._clock += self.cost.transfer_seconds(nbytes)
+
+    def download(self, name: str, label: Optional[str] = None) -> np.ndarray:
+        """Device-to-host copy of a whole buffer."""
+        buffer = self.buffer(name)
+        self.transfers.record("to_host", buffer.nbytes, label or name)
+        self._clock += self.cost.transfer_seconds(buffer.nbytes)
+        return buffer.read()
+
+    def download_value(self, value, nbytes: int, label: str):
+        """Device-to-host copy of a scalar/small result (metered)."""
+        self.transfers.record("to_host", nbytes, label)
+        self._clock += self.cost.transfer_seconds(nbytes)
+        return value
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def launch(self, kernel: str, term_count: int) -> None:
+        """Meter one kernel launch of ``term_count`` kernel terms."""
+        self.launches.append(LaunchRecord(kernel, int(term_count)))
+        self._clock += self.cost.kernel_seconds(term_count)
+
+    def reduce(self, kernel: str, element_count: int) -> None:
+        """Meter one parallel binary reduction."""
+        self.launches.append(LaunchRecord(kernel, int(element_count)))
+        self._clock += self.cost.reduction_seconds(element_count)
+
+    def launch_count(self, kernel: Optional[str] = None) -> int:
+        if kernel is None:
+            return len(self.launches)
+        return sum(1 for record in self.launches if record.kernel == kernel)

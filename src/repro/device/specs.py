@@ -1,0 +1,93 @@
+"""Device descriptors for the simulated OpenCL-like runtime.
+
+The paper runs its estimator through OpenCL on two devices (Section 6.4):
+an NVIDIA GTX-460 consumer GPU and a quad-core Intel Xeon E5620 CPU.
+Neither is available here, so the performance experiments run against an
+*analytic device model*: each device is described by a handful of
+latency/throughput constants, and the runtime converts operation counts
+into modelled wall-clock time.
+
+The constants below are calibrated against the envelope the paper
+reports for Figure 7:
+
+* GPU ≈ 4× faster than the CPU on large models,
+* GPU evaluates a 128K-point 8-D model in just under 1 ms,
+* runtime is flat (dominated by per-call launch/transfer latency) until
+  roughly 16-32K sample points, linear afterwards,
+* *Adaptive* costs a constant extra latency over *Heuristic* (its extra
+  kernels run concurrently with the query; only launch overhead remains).
+
+The numeric *results* of every kernel are computed exactly (numpy);
+only the clock is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "GTX460", "XEON_E5620", "named_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Analytic performance model of one OpenCL device."""
+
+    #: Human-readable device name.
+    name: str
+    #: ``"gpu"`` or ``"cpu"``.
+    kind: str
+    #: Kernel-term evaluations per second (one erf-difference term per
+    #: sample point and dimension).  The dominant cost of estimation.
+    compute_throughput: float
+    #: Fixed cost of scheduling one kernel, seconds.
+    kernel_launch_latency: float
+    #: Fixed cost of scheduling one host<->device transfer, seconds.
+    transfer_latency: float
+    #: Host<->device bandwidth, bytes per second (PCIe for the GPU; for
+    #: the CPU "transfers" are host-memory copies).
+    transfer_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError("kind must be 'gpu' or 'cpu'")
+        for attribute in (
+            "compute_throughput",
+            "kernel_launch_latency",
+            "transfer_latency",
+            "transfer_bandwidth",
+        ):
+            if getattr(self, attribute) <= 0:
+                raise ValueError(f"{attribute} must be positive")
+
+
+#: The paper's GPU: NVIDIA GTX-460 (2 GB), driven over PCI Express.
+GTX460 = DeviceSpec(
+    name="NVIDIA GTX-460 (simulated)",
+    kind="gpu",
+    compute_throughput=1.4e9,
+    kernel_launch_latency=50e-6,
+    transfer_latency=20e-6,
+    transfer_bandwidth=6e9,
+)
+
+#: The paper's CPU: quad-core Intel Xeon E5620 @ 2.4 GHz via Intel's
+#: OpenCL SDK.  Roughly 4x less kernel throughput, far cheaper calls.
+XEON_E5620 = DeviceSpec(
+    name="Intel Xeon E5620 (simulated)",
+    kind="cpu",
+    compute_throughput=3.5e8,
+    kernel_launch_latency=15e-6,
+    transfer_latency=2e-6,
+    transfer_bandwidth=20e9,
+)
+
+_NAMED = {"gpu": GTX460, "cpu": XEON_E5620}
+
+
+def named_device(name: str) -> DeviceSpec:
+    """Look up a preset device by short name (``"gpu"`` or ``"cpu"``)."""
+    try:
+        return _NAMED[name]
+    except KeyError:
+        known = ", ".join(sorted(_NAMED))
+        raise ValueError(f"unknown device {name!r}; known devices: {known}")

@@ -1,0 +1,206 @@
+"""Shared geometric vocabulary: hyper-rectangular query regions.
+
+The paper (Section 2.1) restricts the estimation problem to query regions
+that are hyper-rectangles, i.e. Cartesian products of per-attribute
+intervals ``(l_1, u_1) x ... x (l_d, u_d)``.  Every component of this
+library — the KDE estimator, the STHoles histogram, the workload
+generators, and the relational substrate — communicates in terms of the
+:class:`Box` type defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Box", "RangeQuery", "intersect", "union_bounds"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned hyper-rectangle ``[low_i, high_i]`` per dimension.
+
+    Parameters
+    ----------
+    low:
+        Lower bounds, one per dimension.
+    high:
+        Upper bounds, one per dimension.  Must satisfy ``high >= low``
+        element-wise.
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+
+    def __post_init__(self) -> None:
+        low = np.asarray(self.low, dtype=np.float64)
+        high = np.asarray(self.high, dtype=np.float64)
+        if low.ndim != 1 or high.ndim != 1:
+            raise ValueError("Box bounds must be one-dimensional arrays")
+        if low.shape != high.shape:
+            raise ValueError(
+                f"bound shapes differ: {low.shape} vs {high.shape}"
+            )
+        if low.size == 0:
+            raise ValueError("Box must have at least one dimension")
+        if np.any(high < low):
+            raise ValueError("Box requires high >= low in every dimension")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(cls, center: Sequence[float], widths: Sequence[float]) -> "Box":
+        """Build a box from its center point and per-dimension widths."""
+        center = np.asarray(center, dtype=np.float64)
+        widths = np.asarray(widths, dtype=np.float64)
+        if np.any(widths < 0):
+            raise ValueError("widths must be non-negative")
+        half = widths / 2.0
+        return cls(center - half, center + half)
+
+    @classmethod
+    def unit(cls, dimensions: int) -> "Box":
+        """The unit cube ``[0, 1]^d``."""
+        return cls(np.zeros(dimensions), np.ones(dimensions))
+
+    @classmethod
+    def bounding(cls, points: np.ndarray, margin: float = 0.0) -> "Box":
+        """Tightest box containing every row of ``points``, padded by ``margin``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        low = points.min(axis=0) - margin
+        high = points.max(axis=0) + margin
+        return cls(low, high)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> int:
+        return self.low.shape[0]
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.high - self.low
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) / 2.0
+
+    def volume(self) -> float:
+        """Product of the side lengths (zero for degenerate boxes).
+
+        Cached after the first call — boxes are immutable, and volume is
+        on the hot path of the STHoles merge planner.
+        """
+        cached = self.__dict__.get("_volume")
+        if cached is None:
+            cached = float(np.prod(self.widths))
+            object.__setattr__(self, "_volume", cached)
+        return cached
+
+    def is_degenerate(self) -> bool:
+        """True when at least one side has zero length."""
+        return bool(np.any(self.widths == 0.0))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows of ``points`` that lie inside the box."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.all((points >= self.low) & (points <= self.high), axis=1)
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` lies fully inside this box."""
+        return bool(
+            np.all(other.low >= self.low) and np.all(other.high <= self.high)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the boxes share at least a boundary point."""
+        return bool(
+            np.all(self.low <= other.high) and np.all(other.low <= self.high)
+        )
+
+    def intersect(self, other: "Box") -> Optional["Box"]:
+        """Intersection box, or ``None`` when the boxes are disjoint."""
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        if np.any(high < low):
+            return None
+        return Box(low, high)
+
+    def clip_to(self, bounds: "Box") -> "Box":
+        """Clip this box to ``bounds`` (which must intersect it)."""
+        clipped = self.intersect(bounds)
+        if clipped is None:
+            raise ValueError("box does not intersect the clipping bounds")
+        return clipped
+
+    def expand(self, factor: float) -> "Box":
+        """Scale the box about its center by ``factor`` per dimension."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return Box.from_center(self.center, self.widths * factor)
+
+    def translate(self, offset: Sequence[float]) -> "Box":
+        offset = np.asarray(offset, dtype=np.float64)
+        return Box(self.low + offset, self.high + offset)
+
+    def corners(self) -> np.ndarray:
+        """All ``2^d`` corner points (only sensible for small ``d``)."""
+        d = self.dimensions
+        if d > 20:
+            raise ValueError("too many dimensions to enumerate corners")
+        grids = np.meshgrid(*[(self.low[i], self.high[i]) for i in range(d)])
+        return np.stack([g.ravel() for g in grids], axis=1)
+
+    def sample_uniform(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``count`` points uniformly from the box."""
+        return rng.uniform(self.low, self.high, size=(count, self.dimensions))
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        """Iterate over per-dimension ``(low, high)`` interval tuples."""
+        for lo, hi in zip(self.low, self.high):
+            yield (float(lo), float(hi))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low.tobytes(), self.high.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"[{lo:g}, {hi:g}]" for lo, hi in self)
+        return f"Box({parts})"
+
+
+# A range query *is* a box; the alias exists so call sites can say what
+# they mean ("the query region" vs "a bucket's bounding box").
+RangeQuery = Box
+
+
+def intersect(a: Box, b: Box) -> Optional[Box]:
+    """Module-level convenience wrapper around :meth:`Box.intersect`."""
+    return a.intersect(b)
+
+
+def union_bounds(boxes: Iterable[Box]) -> Box:
+    """Tightest box containing every box in ``boxes``."""
+    boxes = list(boxes)
+    if not boxes:
+        raise ValueError("union_bounds requires at least one box")
+    low = np.min([b.low for b in boxes], axis=0)
+    high = np.max([b.high for b in boxes], axis=0)
+    return Box(low, high)

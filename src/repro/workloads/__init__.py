@@ -1,0 +1,21 @@
+"""Query workload generators (static DT/DV/UT/UV and the dynamic stream)."""
+
+from .dynamic import (
+    DeleteClusterEvent,
+    DynamicEvent,
+    EvolvingClusterWorkload,
+    InsertEvent,
+    QueryEvent,
+)
+from .generators import WORKLOAD_KINDS, WorkloadSpec, generate_workload
+
+__all__ = [
+    "DeleteClusterEvent",
+    "DynamicEvent",
+    "EvolvingClusterWorkload",
+    "InsertEvent",
+    "QueryEvent",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "generate_workload",
+]

@@ -1,0 +1,248 @@
+"""The evolving-database workload of the dynamic-data experiment (§6.5).
+
+The scenario mirrors an archiving database: new data arrives in fresh
+clusters and is queried frequently; old clusters are eventually deleted
+(moved to an archive) and queried rarely.
+
+Structure (faithful to the paper's description):
+
+* Load 4,500 tuples evenly distributed over three random clusters.
+* Run ten cycles.  Each cycle gradually inserts 1,500 tuples into a new
+  cluster — interleaved with queries — and then deletes all tuples of
+  the oldest remaining cluster.
+* The interleaved query workload is DT-style (data-centred, 1% target
+  selectivity) with centers biased towards *newer* clusters.
+
+The generator emits a deterministic event stream (:class:`InsertEvent`,
+:class:`DeleteClusterEvent`, :class:`QueryEvent`) and internally tracks
+the live point set, so query boxes can be sized against the *current*
+data.  The harness applies the events to the relational substrate and to
+each estimator under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..geometry import Box
+
+__all__ = [
+    "DeleteClusterEvent",
+    "DynamicEvent",
+    "EvolvingClusterWorkload",
+    "InsertEvent",
+    "QueryEvent",
+]
+
+
+@dataclass(frozen=True)
+class InsertEvent:
+    """One tuple arriving in the newest cluster."""
+
+    row: np.ndarray
+
+
+@dataclass(frozen=True)
+class DeleteClusterEvent:
+    """Archive (delete) every tuple of one cluster."""
+
+    region: Box
+    cluster_id: int
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """A range query with its true selectivity at emission time."""
+
+    query: Box
+    true_selectivity: float
+
+
+DynamicEvent = Union[InsertEvent, DeleteClusterEvent, QueryEvent]
+
+
+class EvolvingClusterWorkload:
+    """Generator of the Section 6.5 insert/delete/query event stream.
+
+    Parameters
+    ----------
+    dimensions:
+        Attribute count (the paper runs 5-D and 8-D versions).
+    initial_tuples:
+        Tuples loaded before the first cycle (default 4,500 over three
+        clusters).
+    tuples_per_cycle:
+        Tuples inserted into the new cluster each cycle (default 1,500).
+    cycles:
+        Number of grow/archive cycles (default 10).
+    queries_per_cycle:
+        DT queries interleaved with each cycle's inserts.
+    cluster_scale:
+        Standard deviation of the isotropic Gaussian clusters.
+    recency_bias:
+        Geometric decay of query interest per cluster age: the newest
+        live cluster is queried with weight 1, the next with
+        ``recency_bias``, then ``recency_bias**2`` and so on.
+    target_selectivity:
+        Query target selectivity (the paper's DT default of 1%).
+    seed:
+        Seed for the whole stream; runs are deterministic.
+    """
+
+    INITIAL_CLUSTERS = 3
+
+    def __init__(
+        self,
+        dimensions: int = 5,
+        initial_tuples: int = 4500,
+        tuples_per_cycle: int = 1500,
+        cycles: int = 10,
+        queries_per_cycle: int = 100,
+        cluster_scale: float = 0.03,
+        recency_bias: float = 0.5,
+        target_selectivity: float = 0.01,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if dimensions < 1:
+            raise ValueError("dimensions must be at least 1")
+        if initial_tuples < self.INITIAL_CLUSTERS:
+            raise ValueError("initial_tuples must cover the initial clusters")
+        if tuples_per_cycle < 1 or cycles < 1 or queries_per_cycle < 0:
+            raise ValueError("cycle parameters must be positive")
+        if not 0.0 < recency_bias <= 1.0:
+            raise ValueError("recency_bias must lie in (0, 1]")
+        self.dimensions = dimensions
+        self.initial_tuples = initial_tuples
+        self.tuples_per_cycle = tuples_per_cycle
+        self.cycles = cycles
+        self.queries_per_cycle = queries_per_cycle
+        self.cluster_scale = cluster_scale
+        self.recency_bias = recency_bias
+        self.target_selectivity = target_selectivity
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def initial_data(self) -> np.ndarray:
+        """The 4,500-tuple initial load (three even clusters)."""
+        rng = np.random.default_rng(self.seed)
+        centers = self._cluster_centers(rng)
+        parts = []
+        per_cluster = self.initial_tuples // self.INITIAL_CLUSTERS
+        remainder = self.initial_tuples % self.INITIAL_CLUSTERS
+        for index in range(self.INITIAL_CLUSTERS):
+            count = per_cluster + (1 if index < remainder else 0)
+            parts.append(
+                centers[index]
+                + rng.normal(
+                    scale=self.cluster_scale, size=(count, self.dimensions)
+                )
+            )
+        return np.vstack(parts)
+
+    def _cluster_centers(self, rng: np.random.Generator) -> List[np.ndarray]:
+        """Centers for every cluster the stream will ever create."""
+        total = self.INITIAL_CLUSTERS + self.cycles
+        # Keep clusters comfortably inside the unit domain and apart.
+        return [rng.uniform(0.15, 0.85, self.dimensions) for _ in range(total)]
+
+    def domain(self) -> Box:
+        """The data-space box the stream stays within."""
+        return Box(
+            np.zeros(self.dimensions) - 0.5, np.ones(self.dimensions) + 0.5
+        )
+
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[DynamicEvent]:
+        """Yield the full event stream (deterministic for a given seed).
+
+        The initial load is *not* part of the stream; apply
+        :meth:`initial_data` via a bulk load first.
+        """
+        rng = np.random.default_rng(self.seed)
+        centers = self._cluster_centers(rng)
+
+        # Internal mirror of the live data, per cluster, so query sizing
+        # can target the current distribution.
+        live: dict = {}
+        parts = []
+        per_cluster = self.initial_tuples // self.INITIAL_CLUSTERS
+        remainder = self.initial_tuples % self.INITIAL_CLUSTERS
+        for index in range(self.INITIAL_CLUSTERS):
+            count = per_cluster + (1 if index < remainder else 0)
+            live[index] = centers[index] + rng.normal(
+                scale=self.cluster_scale, size=(count, self.dimensions)
+            )
+
+        for cycle in range(self.cycles):
+            new_cluster = self.INITIAL_CLUSTERS + cycle
+            live[new_cluster] = np.empty((0, self.dimensions))
+            inserts = centers[new_cluster] + rng.normal(
+                scale=self.cluster_scale,
+                size=(self.tuples_per_cycle, self.dimensions),
+            )
+            # Interleave queries evenly between the inserts.
+            query_positions = set(
+                np.linspace(
+                    0, self.tuples_per_cycle - 1, self.queries_per_cycle
+                )
+                .astype(int)
+                .tolist()
+            )
+            for position in range(self.tuples_per_cycle):
+                row = inserts[position]
+                live[new_cluster] = np.vstack([live[new_cluster], row[None, :]])
+                yield InsertEvent(row=row.copy())
+                if position in query_positions:
+                    yield self._query_event(live, rng)
+            # Archive the oldest remaining cluster.
+            oldest = min(live)
+            region = self._cluster_region(live[oldest], centers[oldest])
+            del live[oldest]
+            yield DeleteClusterEvent(region=region, cluster_id=oldest)
+
+    def _cluster_region(
+        self, points: np.ndarray, center: np.ndarray
+    ) -> Box:
+        """A box covering a cluster's points (for the delete statement)."""
+        if points.shape[0] == 0:
+            return Box.from_center(center, np.full(self.dimensions, 1e-6))
+        return Box.bounding(points, margin=1e-9)
+
+    def _query_event(
+        self, live: dict, rng: np.random.Generator
+    ) -> QueryEvent:
+        """A DT query biased towards newer clusters, sized on live data."""
+        cluster_ids = sorted(live, reverse=True)  # newest first
+        weights = np.array(
+            [
+                self.recency_bias ** age if live[cid].shape[0] > 0 else 0.0
+                for age, cid in enumerate(cluster_ids)
+            ]
+        )
+        if weights.sum() == 0.0:
+            raise RuntimeError("no live clusters to query")
+        weights /= weights.sum()
+        chosen = cluster_ids[int(rng.choice(len(cluster_ids), p=weights))]
+        cluster_points = live[chosen]
+        center = cluster_points[rng.integers(cluster_points.shape[0])]
+
+        all_points = np.vstack([live[cid] for cid in live])
+        total = all_points.shape[0]
+        target_count = max(1.0, self.target_selectivity * total)
+
+        # Bisection on the query half-width against the live point set.
+        lo, hi = 0.0, 1.0
+        for _ in range(30):
+            mid = (lo + hi) / 2.0
+            box = Box(center - mid, center + mid)
+            count = int(box.contains_points(all_points).sum())
+            if count < target_count:
+                lo = mid
+            else:
+                hi = mid
+        box = Box(center - hi, center + hi)
+        selectivity = float(box.contains_points(all_points).mean())
+        return QueryEvent(query=box, true_selectivity=selectivity)

@@ -1,0 +1,179 @@
+"""Query workload generators (Section 6.1.3, following Bruno et al. [7]).
+
+A workload is specified by the distribution of query *centers* and a
+*target measure* every query has to meet:
+
+* **DT** — data-distributed centers, target selectivity (1% of tuples):
+  well-defined user queries returning similar tuple counts.
+* **DV** — data-distributed centers, target volume (1% of the data
+  space): explorative queries with widely varying selectivities.
+* **UT** — uniform centers, target selectivity: random workload with
+  highly diverse query volumes.
+* **UV** — uniform centers, target volume: random workload, mostly
+  empty queries.
+
+Selectivity targets are met by bisection on a scale factor around the
+center (the matching fraction grows monotonically with the box size);
+volume targets are met in closed form by splitting the target volume
+across dimensions with random (Dirichlet-distributed) proportions, so
+query shapes vary like real workloads do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry import Box
+
+__all__ = ["WORKLOAD_KINDS", "WorkloadSpec", "generate_workload"]
+
+WORKLOAD_KINDS = ("DT", "DV", "UT", "UV")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Decoded workload kind: center distribution x target measure."""
+
+    #: ``"data"`` or ``"uniform"``.
+    centers: str
+    #: ``"selectivity"`` or ``"volume"``.
+    target: str
+
+    @classmethod
+    def from_kind(cls, kind: str) -> "WorkloadSpec":
+        kind = kind.upper()
+        if kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {kind!r}; expected one of {WORKLOAD_KINDS}"
+            )
+        return cls(
+            centers="data" if kind[0] == "D" else "uniform",
+            target="selectivity" if kind[1] == "T" else "volume",
+        )
+
+
+def _volume_box(
+    center: np.ndarray,
+    bounds: Box,
+    target_volume_fraction: float,
+    rng: np.random.Generator,
+) -> Box:
+    """A box of the requested volume fraction with random side proportions."""
+    d = bounds.dimensions
+    ranges = bounds.widths
+    # Split log-volume across dimensions via a Dirichlet draw, so boxes
+    # are not always cubes; concentration > 1 keeps aspect ratios sane.
+    shares = rng.dirichlet(np.full(d, 4.0))
+    widths = ranges * target_volume_fraction ** shares
+    low = np.clip(center - widths / 2.0, bounds.low, bounds.high)
+    high = np.clip(center + widths / 2.0, bounds.low, bounds.high)
+    return Box(low, high)
+
+
+def _selectivity_box(
+    center: np.ndarray,
+    bounds: Box,
+    data: np.ndarray,
+    target_selectivity: float,
+    rng: np.random.Generator,
+    tolerance: float,
+    max_iterations: int = 40,
+) -> Box:
+    """Bisection on the box scale until the selectivity target is met."""
+    d = bounds.dimensions
+    shares = rng.dirichlet(np.full(d, 4.0))
+    # Base half-widths with random proportions; at scale factor 1 the box
+    # roughly spans the domain (clipped to the bounds below).
+    base_half = bounds.widths * shares * d / 2.0
+
+    def box_at(scale: float) -> Box:
+        low = np.maximum(center - scale * base_half, bounds.low)
+        high = np.minimum(center + scale * base_half, bounds.high)
+        return Box(low, high)
+
+    def selectivity_at(scale: float) -> float:
+        return float(box_at(scale).contains_points(data).mean())
+
+    lo, hi = 0.0, 1.0
+    # Ensure the upper bracket reaches the target (it may not if the
+    # center sits in a sparse corner); expand a few times, then accept.
+    for _ in range(8):
+        if selectivity_at(hi) >= target_selectivity:
+            break
+        hi *= 2.0
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2.0
+        value = selectivity_at(mid)
+        if abs(value - target_selectivity) <= tolerance * target_selectivity:
+            return box_at(mid)
+        if value < target_selectivity:
+            lo = mid
+        else:
+            hi = mid
+    return box_at((lo + hi) / 2.0)
+
+
+def generate_workload(
+    data: np.ndarray,
+    kind: str,
+    count: int,
+    rng: np.random.Generator,
+    target: float = 0.01,
+    bounds: Optional[Box] = None,
+    tolerance: float = 0.1,
+    search_data: Optional[np.ndarray] = None,
+) -> List[Box]:
+    """Generate ``count`` queries of the given workload ``kind``.
+
+    Parameters
+    ----------
+    data:
+        The dataset the workload runs against (used for data-distributed
+        centers and selectivity-target search).
+    kind:
+        One of ``DT``, ``DV``, ``UT``, ``UV``.
+    count:
+        Number of queries.
+    rng:
+        Source of randomness.
+    target:
+        Target selectivity or volume fraction (the paper uses 1%).
+    bounds:
+        Data-space box; derived from ``data`` when omitted.
+    tolerance:
+        Relative tolerance for selectivity targets.
+    search_data:
+        Optional subsample used for the bisection counts (a speed knob
+        for very large datasets; queries remain valid boxes either way).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError("data must be a non-empty (n, d) array")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must lie in (0, 1]")
+    spec = WorkloadSpec.from_kind(kind)
+    bounds = bounds or Box.bounding(data)
+    search = (
+        np.asarray(search_data, dtype=np.float64)
+        if search_data is not None
+        else data
+    )
+
+    queries: List[Box] = []
+    for _ in range(count):
+        if spec.centers == "data":
+            center = data[rng.integers(data.shape[0])]
+        else:
+            center = rng.uniform(bounds.low, bounds.high)
+        if spec.target == "volume":
+            queries.append(_volume_box(center, bounds, target, rng))
+        else:
+            queries.append(
+                _selectivity_box(center, bounds, search, target, rng, tolerance)
+            )
+    return queries

@@ -1,0 +1,94 @@
+"""Tests for the cross-validation bandwidth selectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.geometry import Box
+from repro.baselines.scv import lscv_bandwidth, scv_bandwidth
+
+from ..conftest import true_selectivity
+
+
+@pytest.fixture
+def bimodal(rng):
+    return np.vstack(
+        [
+            rng.normal(loc=0.0, scale=0.2, size=(2000, 2)),
+            rng.normal(loc=4.0, scale=0.2, size=(2000, 2)),
+        ]
+    )
+
+
+@pytest.mark.parametrize("selector", [scv_bandwidth, lscv_bandwidth])
+class TestSelectorContract:
+    def test_positive(self, selector, small_sample):
+        h = selector(small_sample)
+        assert h.shape == (3,)
+        assert (h > 0).all()
+
+    def test_deterministic(self, selector, small_sample):
+        np.testing.assert_array_equal(
+            selector(small_sample, seed=3), selector(small_sample, seed=3)
+        )
+
+    def test_rejects_tiny_sample(self, selector):
+        with pytest.raises(ValueError):
+            selector(np.zeros((1, 2)))
+
+    def test_subsampling_cap(self, selector, rng):
+        data = rng.normal(size=(5000, 2))
+        h = selector(data, max_points=128, seed=0)
+        assert (h > 0).all()
+
+    def test_scale_equivariance(self, selector, rng):
+        """Scaling the data by c scales the selected bandwidth by ~c."""
+        data = rng.normal(size=(400, 2))
+        h1 = selector(data, seed=0)
+        h2 = selector(data * 10.0, seed=0)
+        np.testing.assert_allclose(h2, h1 * 10.0, rtol=0.15)
+
+
+class TestSCVQuality:
+    def test_narrower_than_scott_on_bimodal(self, bimodal, rng):
+        """On multi-modal data the normal reference oversmooths; CV must
+        select a clearly smaller bandwidth."""
+        sample = bimodal[rng.choice(len(bimodal), size=400, replace=False)]
+        h_scv = scv_bandwidth(sample, seed=0)
+        h_scott = scott_bandwidth(sample)
+        assert (h_scv < 0.7 * h_scott).all()
+
+    def test_close_to_scott_on_gaussian(self, rng):
+        """On truly normal data the normal reference is near-optimal, so
+        CV should stay within a small factor of it."""
+        data = rng.normal(size=(600, 2))
+        h_scv = scv_bandwidth(data, seed=0)
+        h_scott = scott_bandwidth(data[:512])
+        ratio = h_scv / h_scott
+        assert (ratio > 0.3).all() and (ratio < 2.0).all()
+
+    def test_improves_selectivity_estimates_on_bimodal(self, bimodal, rng):
+        sample = bimodal[rng.choice(len(bimodal), size=400, replace=False)]
+        h_scv = scv_bandwidth(sample, seed=0)
+        est_scv = KernelDensityEstimator(sample, h_scv)
+        est_scott = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        errors_scv, errors_scott = [], []
+        for _ in range(40):
+            center = bimodal[rng.integers(len(bimodal))]
+            box = Box(center - 0.3, center + 0.3)
+            truth = true_selectivity(bimodal, box)
+            errors_scv.append(abs(est_scv.selectivity(box) - truth))
+            errors_scott.append(abs(est_scott.selectivity(box) - truth))
+        assert np.mean(errors_scv) < np.mean(errors_scott)
+
+    def test_pilot_override(self, small_sample):
+        pilot = scott_bandwidth(small_sample) * 0.5
+        h = scv_bandwidth(small_sample, pilot=pilot, seed=0)
+        assert (h > 0).all()
+
+    def test_rejects_bad_pilot(self, small_sample):
+        with pytest.raises(ValueError):
+            scv_bandwidth(small_sample, pilot=np.array([1.0]))
+        with pytest.raises(ValueError):
+            scv_bandwidth(small_sample, pilot=np.array([1.0, -1.0, 1.0]))

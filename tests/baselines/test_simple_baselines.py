@@ -1,0 +1,135 @@
+"""Tests for the AVI and naive-sampling baselines plus budget helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.baselines.avi import AVIEstimator, Histogram1D
+from repro.baselines.base import kde_sample_size, memory_budget_bytes
+from repro.baselines.sampling import SampleCountEstimator
+
+
+class TestHistogram1D:
+    def test_full_range_is_one(self, rng):
+        values = rng.normal(size=1000)
+        hist = Histogram1D(values, 32)
+        assert hist.selectivity(values.min(), values.max()) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_disjoint_range_is_zero(self, rng):
+        hist = Histogram1D(rng.uniform(0, 1, 500), 16)
+        assert hist.selectivity(5.0, 6.0) == 0.0
+        assert hist.selectivity(2.0, 1.0) == 0.0
+
+    def test_uniform_data_linear(self, rng):
+        values = rng.uniform(0, 10, 50_000)
+        hist = Histogram1D(values, 64)
+        assert hist.selectivity(0.0, 5.0) == pytest.approx(0.5, abs=0.02)
+        assert hist.selectivity(2.0, 3.0) == pytest.approx(0.1, abs=0.02)
+
+    @pytest.mark.parametrize("equi_depth", [True, False])
+    def test_bucketisations(self, rng, equi_depth):
+        values = rng.exponential(size=5000)
+        hist = Histogram1D(values, 32, equi_depth=equi_depth)
+        median = float(np.median(values))
+        assert hist.selectivity(0.0, median) == pytest.approx(0.5, abs=0.05)
+
+    def test_constant_column(self):
+        hist = Histogram1D(np.full(100, 7.0), 8)
+        assert hist.selectivity(6.0, 8.0) == pytest.approx(1.0, abs=1e-9)
+        assert hist.selectivity(8.0, 9.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram1D(np.array([]), 8)
+        with pytest.raises(ValueError):
+            Histogram1D(np.ones(10), 0)
+
+    def test_memory(self, rng):
+        hist = Histogram1D(rng.normal(size=100), 16)
+        assert hist.memory_bytes() > 0
+
+
+class TestAVI:
+    def test_exact_on_independent_data(self, rng):
+        data = rng.uniform(0, 1, size=(100_000, 2))
+        est = AVIEstimator(data, buckets_per_dimension=64)
+        query = Box([0.2, 0.3], [0.6, 0.8])
+        truth = float(query.contains_points(data).mean())
+        assert est.estimate(query) == pytest.approx(truth, abs=0.01)
+
+    def test_underestimates_correlated_data(self, rng):
+        """The motivating failure: independence breaks on correlated data."""
+        x = rng.normal(size=50_000)
+        data = np.column_stack([x, x + rng.normal(scale=0.01, size=50_000)])
+        est = AVIEstimator(data)
+        query = Box([-0.5, -0.5], [0.5, 0.5])
+        truth = float(query.contains_points(data).mean())
+        assert est.estimate(query) < truth / 2
+
+    def test_dimension_mismatch(self, rng):
+        est = AVIEstimator(rng.normal(size=(100, 2)))
+        with pytest.raises(ValueError):
+            est.estimate(Box([0.0], [1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AVIEstimator(np.empty((0, 2)))
+
+    def test_memory(self, rng):
+        est = AVIEstimator(rng.normal(size=(100, 3)), buckets_per_dimension=8)
+        assert est.memory_bytes() > 0
+
+
+class TestSampleCount:
+    def test_exact_on_sample(self, rng):
+        sample = rng.uniform(0, 1, size=(1000, 2))
+        est = SampleCountEstimator(sample)
+        query = Box([0.0, 0.0], [0.5, 1.0])
+        expected = float(query.contains_points(sample).mean())
+        assert est.estimate(query) == expected
+
+    def test_unbiasedness(self, rng):
+        data = rng.normal(size=(20_000, 2))
+        query = Box([-1.0, -1.0], [1.0, 1.0])
+        truth = float(query.contains_points(data).mean())
+        estimates = []
+        for seed in range(30):
+            inner = np.random.default_rng(seed)
+            sample = data[inner.choice(len(data), size=256, replace=False)]
+            estimates.append(SampleCountEstimator(sample).estimate(query))
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.02)
+
+    def test_zero_for_empty_region(self, rng):
+        est = SampleCountEstimator(rng.normal(size=(100, 2)))
+        assert est.estimate(Box([100.0, 100.0], [101.0, 101.0])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleCountEstimator(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            SampleCountEstimator(np.zeros(5))
+
+    def test_dimension_mismatch(self, rng):
+        est = SampleCountEstimator(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            est.estimate(Box([0.0], [1.0]))
+
+
+class TestBudgets:
+    def test_paper_budget(self):
+        assert memory_budget_bytes(3) == 3 * 4096
+        assert memory_budget_bytes(8) == 8 * 4096
+
+    def test_kde_sample_size_is_1024_under_default_budget(self):
+        # s = d*4096 / (d*4) = 1024 for every d — the Section 6.2 setup.
+        for d in (2, 3, 5, 8, 10):
+            assert kde_sample_size(d) == 1024
+
+    def test_explicit_budget(self):
+        assert kde_sample_size(4, 4 * 4 * 2048) == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_budget_bytes(0)

@@ -1,0 +1,225 @@
+"""Tests for the STHoles multidimensional histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box
+from repro.baselines.stholes import STHolesHistogram, sthole_bucket_budget
+
+
+@pytest.fixture
+def bimodal_data(rng):
+    return np.vstack(
+        [
+            rng.normal(loc=0.0, scale=0.3, size=(5000, 2)),
+            rng.normal(loc=3.0, scale=0.3, size=(5000, 2)),
+        ]
+    )
+
+
+def make_histogram(data, max_buckets=64):
+    bounds = Box.bounding(data, margin=0.1)
+
+    def count(box):
+        return int(box.contains_points(data).sum())
+
+    return (
+        STHolesHistogram(
+            bounds, len(data), max_buckets=max_buckets, region_count=count
+        ),
+        count,
+        bounds,
+    )
+
+
+def run_feedback(histogram, data, count, bounds, queries, rng):
+    for _ in range(queries):
+        center = data[rng.integers(len(data))]
+        widths = rng.uniform(0.2, 1.0, data.shape[1])
+        query = Box(center - widths, center + widths).clip_to(bounds)
+        histogram.estimate(query)
+        histogram.feedback(query, count(query) / len(data))
+
+
+class TestConstruction:
+    def test_initial_uniform_model(self):
+        h = STHolesHistogram(Box([0.0, 0.0], [10.0, 10.0]), row_count=1000)
+        # Uniformity: a quarter of the space holds a quarter of the rows.
+        assert h.estimate(Box([0.0, 0.0], [5.0, 5.0])) == pytest.approx(0.25)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            STHolesHistogram(Box([0.0], [1.0]), row_count=-1)
+        with pytest.raises(ValueError):
+            STHolesHistogram(Box([0.0], [1.0]), row_count=10, max_buckets=0)
+
+    def test_degenerate_bounds_padded(self):
+        h = STHolesHistogram(Box([0.0, 1.0], [5.0, 1.0]), row_count=100)
+        assert not h.root_box.is_degenerate()
+
+    def test_initial_frequency_override(self):
+        h = STHolesHistogram(
+            Box([0.0], [1.0]), row_count=100, initial_frequency=0.0
+        )
+        assert h.estimate(Box([0.0], [1.0])) == 0.0
+
+    def test_zero_rows(self):
+        h = STHolesHistogram(Box([0.0], [1.0]), row_count=0)
+        assert h.estimate(Box([0.0], [0.5])) == 0.0
+
+    def test_bucket_budget_helper(self):
+        assert sthole_bucket_budget(8, 8 * 4096) >= 2
+        # More budget, more buckets; higher dimension, fewer buckets.
+        assert sthole_bucket_budget(4, 32768) > sthole_bucket_budget(4, 8192)
+        assert sthole_bucket_budget(2, 8192) > sthole_bucket_budget(10, 8192)
+
+
+class TestEstimation:
+    def test_estimates_in_unit_interval(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 50, rng)
+        for _ in range(30):
+            center = rng.uniform(bounds.low, bounds.high)
+            query = Box(center - 0.3, center + 0.3).clip_to(bounds)
+            assert 0.0 <= h.estimate(query) <= 1.0
+
+    def test_disjoint_query_zero(self):
+        h = STHolesHistogram(Box([0.0, 0.0], [1.0, 1.0]), row_count=100)
+        assert h.estimate(Box([5.0, 5.0], [6.0, 6.0])) == 0.0
+
+    def test_full_space_estimates_all_rows(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 30, rng)
+        assert h.estimate(bounds) == pytest.approx(1.0, abs=0.15)
+
+    def test_monotone_in_query(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 30, rng)
+        small = Box([-0.5, -0.5], [0.5, 0.5])
+        large = Box([-1.0, -1.0], [1.0, 1.0])
+        assert h.estimate(large) >= h.estimate(small) - 1e-12
+
+
+class TestRefinement:
+    def test_feedback_improves_estimates(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        test_queries = []
+        for _ in range(30):
+            center = bimodal_data[rng.integers(len(bimodal_data))]
+            widths = rng.uniform(0.2, 0.8, 2)
+            q = Box(center - widths, center + widths).clip_to(bounds)
+            test_queries.append((q, count(q) / len(bimodal_data)))
+
+        def error():
+            return float(
+                np.mean([abs(h.estimate(q) - t) for q, t in test_queries])
+            )
+
+        before = error()
+        run_feedback(h, bimodal_data, count, bounds, 120, rng)
+        after = error()
+        assert after < before / 2
+
+    def test_exact_repeat_query(self, bimodal_data, rng):
+        """After feedback on a query, re-estimating it is near-exact."""
+        h, count, bounds = make_histogram(bimodal_data)
+        query = Box([-0.5, -0.5], [0.5, 0.5])
+        truth = count(query) / len(bimodal_data)
+        h.estimate(query)
+        h.feedback(query, truth)
+        assert h.estimate(query) == pytest.approx(truth, abs=0.02)
+
+    def test_rejects_bad_selectivity(self):
+        h = STHolesHistogram(Box([0.0], [1.0]), row_count=10)
+        with pytest.raises(ValueError):
+            h.feedback(Box([0.0], [0.5]), -0.1)
+
+    def test_drills_holes(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 20, rng)
+        assert h.holes_drilled > 0
+        assert h.bucket_count > 1
+
+    def test_works_without_region_count(self, bimodal_data, rng):
+        """The volume-scaled fallback keeps the histogram functional."""
+        bounds = Box.bounding(bimodal_data, margin=0.1)
+        h = STHolesHistogram(bounds, len(bimodal_data), max_buckets=64)
+        test_query = Box([-0.6, -0.6], [0.6, 0.6])
+        truth = float(
+            test_query.contains_points(bimodal_data).mean()
+        )
+        before = abs(h.estimate(test_query) - truth)
+        for _ in range(80):
+            center = bimodal_data[rng.integers(len(bimodal_data))]
+            widths = rng.uniform(0.2, 1.0, 2)
+            q = Box(center - widths, center + widths).clip_to(bounds)
+            t = float(q.contains_points(bimodal_data).mean())
+            h.estimate(q)
+            h.feedback(q, t)
+        after = abs(h.estimate(test_query) - truth)
+        assert after <= before
+
+
+class TestInvariants:
+    def test_budget_respected(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data, max_buckets=20)
+        run_feedback(h, bimodal_data, count, bounds, 100, rng)
+        assert h.bucket_count <= 20
+        assert h.merges_performed > 0
+
+    def test_frequencies_non_negative(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 100, rng)
+        for _, frequency in h.buckets():
+            assert frequency >= 0.0
+
+    def test_children_nested_in_parents(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 100, rng)
+        for bucket, parent in h._root.walk():
+            if parent is not None:
+                assert parent.box.contains_box(bucket.box)
+
+    def test_sibling_boxes_disjoint_or_nested(self, bimodal_data, rng):
+        """Exclusive volumes stay non-negative: holes never overlap."""
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 100, rng)
+        for bucket, _ in h._root.walk():
+            assert bucket.exclusive_volume() >= 0.0
+
+    def test_total_frequency_tracks_row_count(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data)
+        run_feedback(h, bimodal_data, count, bounds, 100, rng)
+        assert h.total_frequency() == pytest.approx(
+            len(bimodal_data), rel=0.35
+        )
+
+    def test_memory_accounting(self, bimodal_data, rng):
+        h, count, bounds = make_histogram(bimodal_data, max_buckets=30)
+        run_feedback(h, bimodal_data, count, bounds, 60, rng)
+        assert h.memory_bytes() == h.bucket_count * (2 * 2 * 4 + 16)
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_budget_and_positivity_random_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(0, 10, size=(2000, 2))
+        bounds = Box([0.0, 0.0], [10.0, 10.0])
+
+        def count(box):
+            return int(box.contains_points(data).sum())
+
+        h = STHolesHistogram(bounds, len(data), max_buckets=16,
+                             region_count=count)
+        for _ in range(40):
+            center = rng.uniform(0, 10, 2)
+            widths = rng.uniform(0.1, 3.0, 2)
+            q = Box(center - widths, center + widths).clip_to(bounds)
+            estimate = h.estimate(q)
+            assert 0.0 <= estimate <= 1.0
+            h.feedback(q, count(q) / len(data))
+            assert h.bucket_count <= 16
+            for _, frequency in h.buckets():
+                assert frequency >= 0.0

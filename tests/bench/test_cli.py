@@ -1,0 +1,52 @@
+"""Tests for the benchmark command-line interface."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, SCALES, main, run_experiment
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+
+    def test_paper_scale_matches_protocol(self):
+        paper = SCALES["paper"]
+        assert paper["repetitions"] == 25
+        assert paper["test_queries"] == 300
+        assert paper["train_queries"] == 100
+        assert paper["rows"] is None  # full dataset cardinalities
+        assert len(paper["datasets"]) == 5
+        assert len(paper["workloads"]) == 4
+
+    def test_scales_ordered_by_fidelity(self):
+        assert (
+            SCALES["smoke"]["repetitions"]
+            <= SCALES["small"]["repetitions"]
+            <= SCALES["paper"]["repetitions"]
+        )
+
+
+class TestCLI:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--scale", "galactic"])
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99", "smoke")
+
+    def test_experiment_list(self):
+        assert "fig4" in EXPERIMENTS
+        assert "all" in EXPERIMENTS
+
+    def test_fig7_smoke_end_to_end(self):
+        """fig7 is pure cost-model arithmetic, cheap enough for a unit
+        test; it exercises the whole run_experiment plumbing."""
+        report = run_experiment("fig7", "smoke", progress=False)
+        assert "Figure 7" in report
+        assert "STHoles" in report
+        assert "scale=smoke" in report

@@ -1,0 +1,178 @@
+"""Smoke tests for every experiment runner (tiny configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    run_adaptive_parameter_ablation,
+    run_dynamic_quality,
+    run_karma_ablation,
+    run_log_update_ablation,
+    run_model_size_quality,
+    run_runtime_scaling,
+    run_static_quality,
+)
+from repro.bench.metrics import win_matrix
+from repro.bench.reporting import (
+    render_dynamic,
+    render_model_size,
+    render_runtime,
+    render_static_quality,
+    render_win_matrix,
+)
+
+
+class TestStaticQuality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_static_quality(
+            dimensions=3,
+            datasets=("synthetic",),
+            workloads=("DT", "UV"),
+            repetitions=2,
+            rows=8_000,
+            train_queries=15,
+            test_queries=30,
+            batch_starts=2,
+        )
+
+    def test_structure(self, result):
+        assert set(result.errors) == {("synthetic", "DT"), ("synthetic", "UV")}
+        cell = result.errors[("synthetic", "DT")]
+        assert all(len(v) == 2 for v in cell.values())
+        assert len(result.experiments) == 4
+
+    def test_summary(self, result):
+        summary = result.summary("synthetic", "DT")
+        assert summary["Heuristic"].count == 2
+
+    def test_win_matrix_integration(self, result):
+        matrix = win_matrix(result.experiments)
+        assert matrix.experiments == 4
+        text = render_win_matrix(matrix)
+        assert "Heuristic" in text
+
+    def test_rendering(self, result):
+        text = render_static_quality(result)
+        assert "synthetic(3D)" in text
+        assert "DT" in text
+
+
+class TestModelSize:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_model_size_quality(
+            sizes=(256, 1024),
+            repetitions=2,
+            rows=8_000,
+            train_queries=15,
+            test_queries=20,
+            batch_starts=2,
+        )
+
+    def test_structure(self, result):
+        assert result.sizes == [256, 1024]
+        assert set(result.errors) == {"Heuristic", "Batch", "Adaptive"}
+
+    def test_larger_models_not_worse(self, result):
+        """Figure 6's shape: bigger samples help (allowing noise slack)."""
+        curve = result.mean_curve("Heuristic")
+        assert curve[-1] <= curve[0] * 1.5
+
+    def test_rendering(self, result):
+        text = render_model_size(result)
+        assert "1024" in text
+
+
+class TestRuntime:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_runtime_scaling(
+            sizes=(1024, 8192, 65536), queries=10, data_rows=70_000
+        )
+
+    def test_series_present(self, result):
+        assert set(result.seconds) == {
+            "Heuristic GPU",
+            "Adaptive GPU",
+            "Heuristic CPU",
+            "Adaptive CPU",
+            "STHoles",
+        }
+        assert all(len(v) == 3 for v in result.seconds.values())
+
+    def test_figure7_shape(self, result):
+        gpu = result.series("Heuristic GPU")
+        cpu = result.series("Heuristic CPU")
+        stholes = result.series("STHoles")
+        # Linear tail, flat start.
+        assert gpu[-1] > gpu[0]
+        # GPU wins on large models.
+        assert cpu[-1] > 2 * gpu[-1]
+        # STHoles cheap when small, expensive when large.
+        assert stholes[0] < gpu[0]
+        assert stholes[-1] > gpu[-1]
+
+    def test_adaptive_offset(self, result):
+        gap = result.series("Adaptive GPU") - result.series("Heuristic GPU")
+        assert (gap > 0).all()
+        assert gap.max() < 2 * gap.min() + 1e-9
+
+    def test_rendering(self, result):
+        assert "STHoles" in render_runtime(result)
+
+
+class TestDynamic:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dynamic_quality(
+            dimensions=3,
+            runs=2,
+            cycles=3,
+            queries_per_cycle=20,
+            tuples_per_cycle=400,
+            initial_tuples=1200,
+        )
+
+    def test_structure(self, result):
+        assert set(result.traces) == {"Heuristic", "STHoles", "Adaptive"}
+        assert result.traces["Adaptive"].shape == (2, 60)
+        assert result.cardinality.shape == (60,)
+
+    def test_adaptive_wins_figure8(self, result):
+        assert result.final_error("Adaptive", window=20) < result.final_error(
+            "Heuristic", window=20
+        )
+
+    def test_rendering(self, result):
+        text = render_dynamic(result, bins=5)
+        assert "Adaptive" in text
+
+
+class TestAblations:
+    def test_log_update_ablation(self):
+        result = run_log_update_ablation(
+            datasets=("synthetic",),
+            workloads=("DT",),
+            repetitions=2,
+            rows=6_000,
+        )
+        assert len(result.log_errors) == 2
+        assert 0.0 <= result.log_win_fraction <= 1.0
+
+    def test_karma_ablation(self):
+        result = run_karma_ablation(
+            dimensions=3, runs=1, cycles=3, queries_per_cycle=20
+        )
+        assert result.with_karma <= result.without_karma
+        assert result.with_karma >= 0.0
+
+    def test_parameter_ablation(self):
+        result = run_adaptive_parameter_ablation(
+            batch_sizes=(5, 10),
+            losses=("squared",),
+            repetitions=1,
+            rows=6_000,
+        )
+        assert set(result.batch_size_errors) == {5, 10}
+        assert set(result.loss_errors) == {"squared"}

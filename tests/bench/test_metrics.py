@@ -1,0 +1,61 @@
+"""Tests for metric aggregation (error summaries and the win matrix)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.metrics import summarize, win_matrix
+
+
+class TestSummarize:
+    def test_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p25 == 2.0
+        assert summary.p75 == 4.0
+
+    def test_single_value(self):
+        summary = summarize([0.5])
+        assert summary.mean == summary.median == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row(self):
+        assert len(summarize([1.0, 2.0]).as_row()) == 6
+
+
+class TestWinMatrix:
+    def test_basic(self):
+        results = [
+            {"A": 0.1, "B": 0.2},
+            {"A": 0.3, "B": 0.2},
+            {"A": 0.1, "B": 0.5},
+            {"A": 0.1, "B": 0.9},
+        ]
+        matrix = win_matrix(results)
+        assert matrix.wins("A", "B") == 75.0
+        assert matrix.wins("B", "A") == 25.0
+        assert matrix.experiments == 4
+
+    def test_ties_count_for_neither(self):
+        matrix = win_matrix([{"A": 0.5, "B": 0.5}])
+        assert matrix.wins("A", "B") == 0.0
+        assert matrix.wins("B", "A") == 0.0
+
+    def test_three_estimators(self):
+        results = [{"A": 1.0, "B": 2.0, "C": 3.0}] * 3
+        matrix = win_matrix(results)
+        assert matrix.wins("A", "C") == 100.0
+        assert matrix.wins("C", "A") == 0.0
+        assert matrix.wins("B", "C") == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            win_matrix([])
+        with pytest.raises(ValueError):
+            win_matrix([{"A": 1.0}, {"B": 1.0}])

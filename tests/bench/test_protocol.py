@@ -1,0 +1,108 @@
+"""Tests for the Section 6.2 experimental protocol."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gunopulos_synthetic
+from repro.bench.protocol import ALL_ESTIMATORS, TrialConfig, run_static_trial
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gunopulos_synthetic(rows=10_000, dimensions=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trial(data):
+    config = TrialConfig(
+        dataset=data,
+        workload="DT",
+        train_queries=20,
+        test_queries=40,
+        batch_starts=2,
+        scv_points=128,
+    )
+    return run_static_trial(config, seed=0)
+
+
+class TestStaticTrial:
+    def test_all_estimators_reported(self, trial):
+        assert sorted(trial.errors) == sorted(ALL_ESTIMATORS)
+
+    def test_errors_in_unit_interval(self, trial):
+        for name, error in trial.errors.items():
+            assert 0.0 <= error <= 1.0, name
+
+    def test_per_query_consistency(self, trial):
+        for name, per_query in trial.per_query.items():
+            assert per_query.shape == (40,)
+            assert trial.errors[name] == pytest.approx(float(per_query.mean()))
+
+    def test_deterministic(self, data):
+        config = TrialConfig(
+            dataset=data,
+            workload="UV",
+            train_queries=10,
+            test_queries=20,
+            estimators=("Heuristic", "Batch"),
+            batch_starts=2,
+        )
+        a = run_static_trial(config, seed=5)
+        b = run_static_trial(config, seed=5)
+        assert a.errors == b.errors
+
+    def test_estimator_subset(self, data):
+        config = TrialConfig(
+            dataset=data,
+            workload="UV",
+            train_queries=10,
+            test_queries=10,
+            estimators=("Heuristic",),
+        )
+        result = run_static_trial(config, seed=0)
+        assert list(result.errors) == ["Heuristic"]
+
+    def test_unknown_estimator(self, data):
+        config = TrialConfig(
+            dataset=data,
+            workload="UV",
+            train_queries=5,
+            test_queries=5,
+            estimators=("Oracle",),
+        )
+        with pytest.raises(ValueError):
+            run_static_trial(config, seed=0)
+
+    def test_batch_beats_heuristic_on_clustered_data(self, trial):
+        """The headline Figure 4 relationship on the synthetic dataset."""
+        assert trial.errors["Batch"] <= trial.errors["Heuristic"] * 1.05
+
+
+class TestExtendedEstimators:
+    def test_extended_trial(self, data):
+        from repro.bench.protocol import EXTENDED_ESTIMATORS
+
+        config = TrialConfig(
+            dataset=data,
+            workload="DT",
+            train_queries=10,
+            test_queries=15,
+            estimators=EXTENDED_ESTIMATORS,
+            batch_starts=2,
+            scv_points=128,
+        )
+        result = run_static_trial(config, seed=1)
+        assert sorted(result.errors) == sorted(EXTENDED_ESTIMATORS)
+        for name, error in result.errors.items():
+            assert 0.0 <= error <= 1.0, name
+
+    def test_plugin_only(self, data):
+        config = TrialConfig(
+            dataset=data,
+            workload="UV",
+            train_queries=5,
+            test_queries=10,
+            estimators=("Plugin",),
+        )
+        result = run_static_trial(config, seed=2)
+        assert list(result.errors) == ["Plugin"]

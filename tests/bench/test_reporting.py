@@ -1,0 +1,100 @@
+"""Tests for the plain-text result rendering."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments.dynamic_quality import DynamicQualityResult
+from repro.bench.experiments.model_size import ModelSizeResult
+from repro.bench.experiments.runtime import RuntimeResult
+from repro.bench.experiments.static_quality import StaticQualityResult
+from repro.bench.metrics import win_matrix
+from repro.bench.reporting import (
+    format_table,
+    render_dynamic,
+    render_model_size,
+    render_runtime,
+    render_static_quality,
+    render_win_matrix,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", "1"], ["longer", "22"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # All rows padded to the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderers:
+    def test_static_quality(self):
+        result = StaticQualityResult(
+            dimensions=3,
+            errors={
+                ("power", "DT"): {
+                    "Heuristic": [0.01, 0.02],
+                    "Batch": [0.005, 0.006],
+                }
+            },
+        )
+        text = render_static_quality(result)
+        assert "power(3D)" in text
+        assert "0.0150" in text  # heuristic mean
+
+    def test_win_matrix(self):
+        matrix = win_matrix(
+            [{"A": 0.1, "B": 0.2}, {"A": 0.1, "B": 0.05}]
+        )
+        text = render_win_matrix(matrix)
+        assert "50.0" in text
+        assert "2 experiments" in text
+
+    def test_model_size(self):
+        result = ModelSizeResult(
+            sizes=[1024, 2048],
+            errors={
+                "Heuristic": {1024: [0.02], 2048: [0.01]},
+                "Batch": {1024: [0.01], 2048: [0.005]},
+            },
+        )
+        text = render_model_size(result)
+        assert "1024" in text and "0.0050" in text
+
+    def test_runtime(self):
+        result = RuntimeResult(
+            sizes=[1024],
+            seconds={"Heuristic GPU": [0.0001], "STHoles": [0.0002]},
+        )
+        text = render_runtime(result)
+        assert "0.100" in text  # 0.0001 s = 0.100 ms
+        assert "[ms]" in text
+
+    def test_dynamic(self):
+        result = DynamicQualityResult(
+            dimensions=5,
+            traces={
+                "Adaptive": np.full((2, 40), 0.01),
+                "Heuristic": np.full((2, 40), 0.05),
+            },
+            cardinality=np.arange(40),
+        )
+        text = render_dynamic(result, bins=4)
+        assert "Adaptive" in text
+        assert "0.0500" in text
+
+    def test_dynamic_more_bins_than_queries(self):
+        result = DynamicQualityResult(
+            dimensions=2,
+            traces={"Adaptive": np.full((1, 3), 0.02)},
+            cardinality=np.arange(3),
+        )
+        text = render_dynamic(result, bins=10)
+        assert "Adaptive" in text

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests needing different streams reseed locally."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_data(rng: np.random.Generator) -> np.ndarray:
+    """Correlated 3-D Gaussian dataset (20k rows) used across core tests."""
+    mixing = np.array([[1.0, 0.5, 0.0], [0.0, 1.0, 0.3], [0.0, 0.0, 1.0]])
+    return rng.normal(size=(20_000, 3)) @ mixing
+
+
+@pytest.fixture
+def small_sample(gaussian_data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A 256-point random sample of :func:`gaussian_data`."""
+    indices = rng.choice(gaussian_data.shape[0], size=256, replace=False)
+    return gaussian_data[indices]
+
+
+def true_selectivity(data: np.ndarray, box: Box) -> float:
+    """Brute-force fraction of rows of ``data`` inside ``box``."""
+    inside = np.all((data >= box.low) & (data <= box.high), axis=1)
+    return float(inside.mean())
+
+
+def random_data_centered_queries(
+    data: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    width_range=(0.5, 2.0),
+):
+    """Boxes centred on random data points with random widths."""
+    queries = []
+    for _ in range(count):
+        center = data[rng.integers(data.shape[0])]
+        widths = rng.uniform(*width_range, size=data.shape[1])
+        queries.append(Box(center - widths / 2, center + widths / 2))
+    return queries

@@ -1,0 +1,257 @@
+"""Tests for the online RMSprop bandwidth learner (Listing 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import RMSpropTuner
+from repro.core.config import AdaptiveConfig
+
+
+def make_tuner(dimensions=2, **overrides):
+    defaults = dict(batch_size=3, log_updates=False)
+    defaults.update(overrides)
+    return RMSpropTuner(dimensions, AdaptiveConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        cfg = AdaptiveConfig()
+        assert cfg.batch_size == 10
+        assert cfg.smoothing == 0.9
+        assert cfg.learning_rate_min == 1e-6
+        assert cfg.learning_rate_max == 50.0
+        assert cfg.learning_rate_increase == 1.2
+        assert cfg.learning_rate_decrease == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(batch_size=0),
+            dict(smoothing=1.0),
+            dict(smoothing=-0.1),
+            dict(learning_rate_min=0.0),
+            dict(learning_rate_max=1e-9),
+            dict(learning_rate_increase=1.0),
+            dict(learning_rate_decrease=1.0),
+            dict(learning_rate_decrease=0.0),
+            dict(initial_learning_rate=100.0),
+            dict(epsilon=0.0),
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(**kwargs)
+
+
+class TestBatching:
+    def test_no_update_until_batch_full(self):
+        tuner = make_tuner(batch_size=3)
+        h = np.array([1.0, 1.0])
+        assert tuner.observe(np.array([0.1, 0.1]), h) is None
+        assert tuner.observe(np.array([0.1, 0.1]), h) is None
+        assert tuner.observe(np.array([0.1, 0.1]), h) is not None
+
+    def test_pending_counter(self):
+        tuner = make_tuner(batch_size=4)
+        h = np.ones(2)
+        for expected in (1, 2, 3):
+            tuner.observe(np.array([0.1, 0.1]), h)
+            assert tuner.pending == expected
+        tuner.observe(np.array([0.1, 0.1]), h)
+        assert tuner.pending == 0
+
+    def test_counters(self):
+        tuner = make_tuner(batch_size=2)
+        h = np.ones(2)
+        for _ in range(5):
+            tuner.observe(np.array([0.1, -0.1]), h)
+        assert tuner.observations == 5
+        assert tuner.updates_applied == 2
+
+    def test_reset_batch(self):
+        tuner = make_tuner(batch_size=2)
+        h = np.ones(2)
+        tuner.observe(np.array([1.0, 1.0]), h)
+        tuner.reset_batch()
+        assert tuner.pending == 0
+        assert tuner.observe(np.array([0.1, 0.1]), h) is None
+
+    def test_batch_size_one_updates_every_query(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.ones(2)
+        assert tuner.observe(np.array([0.1, 0.1]), h) is not None
+
+
+class TestUpdateDirection:
+    def test_positive_gradient_shrinks_bandwidth(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.array([1.0, 1.0])
+        updated = tuner.observe(np.array([0.5, 0.5]), h)
+        assert (updated < h).all()
+
+    def test_negative_gradient_grows_bandwidth(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.array([1.0, 1.0])
+        updated = tuner.observe(np.array([-0.5, -0.5]), h)
+        assert (updated > h).all()
+
+    def test_zero_gradient_no_change(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.array([2.0, 3.0])
+        updated = tuner.observe(np.zeros(2), h)
+        np.testing.assert_allclose(updated, h)
+
+    def test_per_dimension_independence(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.array([1.0, 1.0])
+        updated = tuner.observe(np.array([0.5, -0.5]), h)
+        assert updated[0] < 1.0 < updated[1]
+
+
+class TestPositivity:
+    def test_linear_safeguard_half_bandwidth(self):
+        # A huge positive gradient may not push the bandwidth below half
+        # its current value (Section 4.1).
+        tuner = make_tuner(batch_size=1, initial_learning_rate=50.0)
+        h = np.array([1.0, 1.0])
+        updated = tuner.observe(np.array([100.0, 100.0]), h)
+        np.testing.assert_allclose(updated, h / 2.0)
+        assert (updated > 0).all()
+
+    def test_log_updates_always_positive(self):
+        tuner = make_tuner(batch_size=1, log_updates=True,
+                           initial_learning_rate=50.0)
+        h = np.array([1.0, 1.0])
+        for _ in range(20):
+            h = tuner.observe(np.array([100.0, 100.0]), h)
+            assert (h > 0).all()
+
+    def test_repeated_attacks_never_reach_zero(self):
+        tuner = make_tuner(batch_size=1, initial_learning_rate=50.0)
+        h = np.array([1.0, 1.0])
+        for _ in range(100):
+            h = tuner.observe(np.array([1000.0, 1000.0]), h)
+        assert (h > 0).all()
+
+
+class TestLearningRateAdaptation:
+    def test_rate_grows_on_agreement(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.ones(2)
+        initial = tuner.learning_rates.copy()
+        # First update has prev gradient zero -> no adaptation yet.
+        h = tuner.observe(np.array([0.1, 0.1]), h)
+        h = tuner.observe(np.array([0.1, 0.1]), h)
+        assert (tuner.learning_rates > initial).all()
+
+    def test_rate_shrinks_on_flip(self):
+        tuner = make_tuner(batch_size=1)
+        h = np.ones(2)
+        h = tuner.observe(np.array([0.1, 0.1]), h)
+        before = tuner.learning_rates.copy()
+        h = tuner.observe(np.array([-0.1, -0.1]), h)
+        assert (tuner.learning_rates < before).all()
+
+    def test_rate_clamped_to_max(self):
+        tuner = make_tuner(
+            batch_size=1, initial_learning_rate=40.0, learning_rate_max=50.0
+        )
+        h = np.ones(2)
+        for _ in range(10):
+            h = tuner.observe(np.array([1e-3, 1e-3]), h)
+        assert (tuner.learning_rates <= 50.0).all()
+
+    def test_rate_clamped_to_min(self):
+        tuner = make_tuner(batch_size=1, learning_rate_min=1e-6)
+        h = np.ones(2)
+        sign = 1.0
+        for _ in range(100):
+            h = tuner.observe(np.array([sign * 0.1, sign * 0.1]), h)
+            sign = -sign
+        assert (tuner.learning_rates >= 1e-6).all()
+
+
+class TestConvergence:
+    def test_converges_on_quadratic(self):
+        """Minimise (h - 2)^2 per dimension through gradient feedback."""
+        tuner = make_tuner(dimensions=1, batch_size=1, log_updates=False,
+                           initial_learning_rate=0.5)
+        h = np.array([8.0])
+        target = 2.0
+        for _ in range(300):
+            gradient = 2.0 * (h - target)
+            h = tuner.observe(gradient, h) or h
+        assert h[0] == pytest.approx(target, abs=0.3)
+
+    def test_converges_in_log_space(self):
+        """Same quadratic, optimised through log-bandwidth updates."""
+        tuner = make_tuner(dimensions=1, batch_size=1, log_updates=True,
+                           initial_learning_rate=0.1)
+        h = np.array([8.0])
+        target = 2.0
+        for _ in range(500):
+            gradient = 2.0 * (h - target) * h  # chain rule for log h
+            h = tuner.observe(gradient, h) or h
+        assert h[0] == pytest.approx(target, abs=0.3)
+
+    def test_mini_batch_averages_outliers(self):
+        """One extreme gradient inside a batch is damped by averaging."""
+        tuner = make_tuner(batch_size=10, initial_learning_rate=1.0)
+        h = np.array([1.0, 1.0])
+        gradients = [np.array([0.01, 0.01])] * 9 + [np.array([100.0, 100.0])]
+        updated = None
+        for g in gradients:
+            updated = tuner.observe(g, h)
+        # Averaged gradient ~10; RMS normalisation bounds the step size, and
+        # the positivity safeguard caps it at h/2.
+        assert updated is not None
+        assert updated[0] >= 0.5
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        tuner = make_tuner(dimensions=3)
+        with pytest.raises(ValueError):
+            tuner.observe(np.zeros(2), np.ones(3))
+
+    def test_rejects_nan_gradient(self):
+        tuner = make_tuner(dimensions=2)
+        with pytest.raises(ValueError):
+            tuner.observe(np.array([np.nan, 0.0]), np.ones(2))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            RMSpropTuner(0)
+
+
+class TestTrustRegion:
+    def test_max_log_step_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(max_log_step=0.0)
+
+    def test_single_update_bounded_by_trust_region(self):
+        """One log-space mini-batch update changes the bandwidth by at
+        most exp(max_log_step) in either direction."""
+        cfg = AdaptiveConfig(
+            batch_size=1, log_updates=True, initial_learning_rate=50.0,
+            max_log_step=0.7,
+        )
+        tuner = RMSpropTuner(2, cfg)
+        h = np.array([1.0, 1.0])
+        updated = tuner.observe(np.array([1e6, -1e6]), h)
+        ratio = updated / h
+        assert (ratio >= np.exp(-0.7) - 1e-12).all()
+        assert (ratio <= np.exp(0.7) + 1e-12).all()
+
+    def test_first_update_bias_corrected(self):
+        """Without bias correction the first update would be inflated by
+        1/sqrt(1 - alpha); with it, the first step is ~lambda * sign."""
+        cfg = AdaptiveConfig(
+            batch_size=1, log_updates=True, initial_learning_rate=0.1,
+            smoothing=0.9, max_log_step=10.0,
+        )
+        tuner = RMSpropTuner(1, cfg)
+        h = np.array([1.0])
+        updated = tuner.observe(np.array([0.5]), h)
+        # Expected log step ~ lambda = 0.1 (not 0.1 / sqrt(0.1) ~ 0.316).
+        assert np.log(h / updated)[0] == pytest.approx(0.1, rel=0.01)

@@ -1,0 +1,92 @@
+"""Tests for the rule-based bandwidth selectors (Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import (
+    MIN_BANDWIDTH,
+    sample_std,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+
+
+class TestSampleStd:
+    def test_matches_numpy(self, small_sample):
+        np.testing.assert_allclose(
+            sample_std(small_sample), small_sample.std(axis=0), atol=1e-10
+        )
+
+    def test_constant_column_zero(self):
+        sample = np.column_stack([np.ones(100), np.arange(100.0)])
+        std = sample_std(sample)
+        assert std[0] == pytest.approx(0.0, abs=1e-12)
+        assert std[1] > 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sample_std(np.empty((0, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            sample_std(np.zeros(10))
+
+    def test_numerically_stable_large_offset(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=(1000, 1))
+        shifted = base + 1e6
+        np.testing.assert_allclose(
+            sample_std(shifted), base.std(axis=0), rtol=1e-3
+        )
+
+
+class TestScott:
+    def test_formula(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(size=(400, 2)) * np.array([1.0, 3.0])
+        h = scott_bandwidth(sample)
+        expected = 400 ** (-1.0 / 6.0) * sample.std(axis=0)
+        np.testing.assert_allclose(h, expected, rtol=1e-10)
+
+    def test_wider_data_wider_bandwidth(self):
+        rng = np.random.default_rng(1)
+        narrow = rng.normal(size=(500, 3))
+        wide = narrow * 10.0
+        np.testing.assert_allclose(
+            scott_bandwidth(wide), 10.0 * scott_bandwidth(narrow), rtol=1e-10
+        )
+
+    def test_larger_sample_smaller_bandwidth(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(10_000, 2))
+        h_small = scott_bandwidth(data[:100])
+        h_large = scott_bandwidth(data)
+        assert (h_large < h_small).all()
+
+    def test_positive_even_for_constant_dimension(self):
+        sample = np.column_stack([np.ones(50), np.arange(50.0)])
+        h = scott_bandwidth(sample)
+        assert h[0] == MIN_BANDWIDTH
+        assert h[1] > MIN_BANDWIDTH
+
+    @given(st.integers(2, 500), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_always_positive(self, n, d):
+        rng = np.random.default_rng(n * 7 + d)
+        sample = rng.normal(size=(n, d))
+        assert (scott_bandwidth(sample) > 0).all()
+
+
+class TestSilverman:
+    def test_close_to_scott(self):
+        rng = np.random.default_rng(5)
+        sample = rng.normal(size=(1000, 3))
+        ratio = silverman_bandwidth(sample) / scott_bandwidth(sample)
+        # (4/(d+2))^(1/(d+4)) for d=3 -> (4/5)^(1/7) ~ 0.9686
+        np.testing.assert_allclose(ratio, (4.0 / 5.0) ** (1.0 / 7.0), rtol=1e-10)
+
+    def test_positive(self):
+        sample = np.column_stack([np.zeros(10), np.arange(10.0)])
+        assert (silverman_bandwidth(sample) > 0).all()

@@ -1,0 +1,217 @@
+"""Tests for the ordered-discrete kernel and mixed-data estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.categorical import (
+    OrderedDiscreteKernel,
+    encode_categories,
+)
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.gradient import QueryFeedback
+from repro.core.kernels import get_kernel
+from repro.core.optimize import BandwidthOptimizer
+
+
+@pytest.fixture
+def kernel():
+    return OrderedDiscreteKernel()
+
+
+class TestKernelBasics:
+    def test_registered(self):
+        assert isinstance(
+            get_kernel("ordered_discrete"), OrderedDiscreteKernel
+        )
+
+    def test_whole_line_mass_one(self, kernel):
+        points = np.array([0.0, 3.0, -7.0])
+        mass = kernel.interval_mass(-1e9, 1e9, points, 0.5)
+        np.testing.assert_allclose(mass, 1.0, atol=1e-12)
+
+    def test_single_integer_interval(self, kernel):
+        # [2, 2] contains one integer; for a centre at 2 the mass is the
+        # self-weight 1 - lambda.
+        h = 0.5
+        lam = h / (1 + h)
+        mass = kernel.interval_mass(2.0, 2.0, np.array([2.0]), h)
+        assert mass[0] == pytest.approx(1 - lam)
+
+    def test_neighbor_mass(self, kernel):
+        h = 0.5
+        lam = h / (1 + h)
+        mass = kernel.interval_mass(3.0, 3.0, np.array([2.0]), h)
+        assert mass[0] == pytest.approx(0.5 * (1 - lam) * lam)
+
+    def test_matches_direct_summation(self, kernel):
+        """Closed forms agree with the brute-force kernel sum."""
+        h = 0.8
+        lam = h / (1 + h)
+
+        def k_direct(v, t):
+            return (1 - lam) if v == t else 0.5 * (1 - lam) * lam ** abs(v - t)
+
+        points = np.array([-3.0, 0.0, 2.0, 5.0, 11.0])
+        low, high = -1.0, 4.0
+        expected = [
+            sum(k_direct(v, t) for v in range(-1, 5)) for t in points
+        ]
+        mass = kernel.interval_mass(low, high, points, h)
+        np.testing.assert_allclose(mass, expected, atol=1e-12)
+
+    def test_empty_interval(self, kernel):
+        mass = kernel.interval_mass(2.4, 2.6, np.array([2.0]), 0.5)
+        assert mass[0] == 0.0
+
+    def test_non_integer_bounds_rounded_inward(self, kernel):
+        full = kernel.interval_mass(1.0, 3.0, np.array([2.0]), 0.5)
+        padded = kernel.interval_mass(0.6, 3.4, np.array([2.0]), 0.5)
+        np.testing.assert_allclose(full, padded)
+
+    def test_counting_limit(self, kernel):
+        """h -> 0 degrades to exact counting (Section 8's observation)."""
+        points = np.array([1.0, 2.0, 3.0, 7.0])
+        mass = kernel.interval_mass(2.0, 3.0, points, 1e-12)
+        np.testing.assert_allclose(mass, [0.0, 1.0, 1.0, 0.0], atol=1e-9)
+
+    def test_grad_matches_finite_difference(self, kernel):
+        points = np.array([-2.0, 0.0, 1.0, 3.0, 8.0])
+        h = 0.6
+        eps = 1e-6
+        grad = kernel.interval_mass_grad(0.0, 2.0, points, h)
+        fd = (
+            kernel.interval_mass(0.0, 2.0, points, h + eps)
+            - kernel.interval_mass(0.0, 2.0, points, h - eps)
+        ) / (2 * eps)
+        np.testing.assert_allclose(grad, fd, atol=1e-6)
+
+    def test_no_continuous_density(self, kernel):
+        with pytest.raises(NotImplementedError):
+            kernel.pdf(np.array([0.0]))
+        with pytest.raises(NotImplementedError):
+            kernel.cdf(np.array([0.0]))
+
+    # The kernel is stateless, so these property tests construct their
+    # own instance (hypothesis forbids function-scoped fixtures in @given).
+    @given(
+        st.integers(-5, 5),
+        st.integers(0, 8),
+        st.floats(0.01, 5.0),
+        st.integers(-10, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mass_in_unit_interval(self, start, width, h, center):
+        mass = OrderedDiscreteKernel().interval_mass(
+            float(start), float(start + width), np.array([float(center)]), h
+        )
+        assert 0.0 <= mass[0] <= 1.0
+
+    @given(st.floats(0.05, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_mass_additive(self, h):
+        kernel = OrderedDiscreteKernel()
+        points = np.arange(-3.0, 4.0)
+        whole = kernel.interval_mass(-2.0, 5.0, points, h)
+        parts = kernel.interval_mass(-2.0, 1.0, points, h) + kernel.interval_mass(
+            2.0, 5.0, points, h
+        )
+        np.testing.assert_allclose(whole, parts, atol=1e-12)
+
+
+class TestMixedEstimator:
+    @pytest.fixture
+    def mixed_data(self, rng):
+        """Continuous value correlated with an integer category 0..4."""
+        category = rng.integers(0, 5, size=20_000).astype(np.float64)
+        value = category * 2.0 + rng.normal(scale=0.3, size=20_000)
+        return np.column_stack([value, category])
+
+    def test_mixed_kernels_estimate(self, mixed_data, rng):
+        sample = mixed_data[rng.choice(len(mixed_data), 512, replace=False)]
+        est = KernelDensityEstimator(
+            sample,
+            [0.3, 0.2],
+            kernel=["gaussian", "ordered_discrete"],
+        )
+        query = Box([3.0, 2.0], [5.0, 2.0])  # value in [3,5] AND cat == 2
+        truth = float(query.contains_points(mixed_data).mean())
+        assert est.selectivity(query) == pytest.approx(truth, abs=0.05)
+
+    def test_kernel_accessors(self, mixed_data):
+        est = KernelDensityEstimator(
+            mixed_data[:100], [0.3, 0.2],
+            kernel=["gaussian", "ordered_discrete"],
+        )
+        assert est.kernel_for(0).name == "gaussian"
+        assert est.kernel_for(1).name == "ordered_discrete"
+        with pytest.raises(ValueError):
+            est.kernel  # mixed kernels have no single shared kernel
+
+    def test_kernel_count_mismatch(self, mixed_data):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(
+                mixed_data[:100], [0.3, 0.2], kernel=["gaussian"]
+            )
+
+    def test_gradient_matches_fd_mixed(self, mixed_data, rng):
+        sample = mixed_data[:256]
+        est = KernelDensityEstimator(
+            sample, [0.4, 0.5], kernel=["gaussian", "ordered_discrete"]
+        )
+        query = Box([1.0, 1.0], [5.0, 3.0])
+        grad = est.selectivity_gradient(query)
+        h0 = est.bandwidth
+        eps = 1e-6
+        for i in range(2):
+            hp, hm = h0.copy(), h0.copy()
+            hp[i] += eps
+            hm[i] -= eps
+            est.bandwidth = hp
+            up = est.selectivity(query)
+            est.bandwidth = hm
+            down = est.selectivity(query)
+            est.bandwidth = h0
+            assert grad[i] == pytest.approx((up - down) / (2 * eps), rel=1e-4,
+                                            abs=1e-8)
+
+    def test_optimizer_shrinks_discrete_bandwidth(self, mixed_data, rng):
+        """The paper's Section 8 claim: optimisation observes that a
+        discrete attribute does not profit from smoothing and drives its
+        bandwidth towards the counting regime."""
+        sample = mixed_data[rng.choice(len(mixed_data), 512, replace=False)]
+        workload = []
+        for _ in range(60):
+            cat = float(rng.integers(0, 5))
+            lo = cat * 2.0 - 1.0
+            box = Box([lo, cat], [lo + 2.0, cat])
+            workload.append(
+                QueryFeedback(box, float(box.contains_points(mixed_data).mean()))
+            )
+        optimizer = BandwidthOptimizer(starts=4, seed=0)
+        result = optimizer.optimize(
+            sample,
+            workload,
+            kernel=["gaussian", "ordered_discrete"],
+            initial_bandwidth=np.array([0.5, 1.0]),
+        )
+        # lambda = h/(1+h): h well below 1 means most mass on the exact
+        # category value.
+        assert result.bandwidth[1] < 0.5
+        assert result.loss < result.initial_loss
+
+
+class TestEncodeCategories:
+    def test_roundtrip(self):
+        values = np.array(["red", "blue", "red", "green"])
+        codes, categories = encode_categories(values)
+        assert codes.dtype == np.float64
+        np.testing.assert_array_equal(categories[codes.astype(int)], values)
+
+    def test_numeric_input(self):
+        codes, categories = encode_categories(np.array([10, 20, 10]))
+        np.testing.assert_array_equal(codes, [0.0, 1.0, 0.0])
+        np.testing.assert_array_equal(categories, [10, 20])

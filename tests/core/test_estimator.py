@@ -1,0 +1,256 @@
+"""Tests for the KDE range-selectivity estimator (Eqs. 1, 2, 13, 17)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+
+from ..conftest import true_selectivity
+
+
+@pytest.fixture
+def estimator(small_sample):
+    return KernelDensityEstimator(small_sample, scott_bandwidth(small_sample))
+
+
+class TestConstruction:
+    def test_rejects_1d_sample(self):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(np.zeros(5), [1.0])
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(np.empty((0, 2)), [1.0, 1.0])
+
+    def test_rejects_non_positive_bandwidth(self, small_sample):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(small_sample, [1.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(small_sample, [1.0, -1.0, 1.0])
+
+    def test_rejects_nan_bandwidth(self, small_sample):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(small_sample, [1.0, np.nan, 1.0])
+
+    def test_rejects_wrong_bandwidth_shape(self, small_sample):
+        with pytest.raises(ValueError):
+            KernelDensityEstimator(small_sample, [1.0, 1.0])
+
+    def test_scalar_bandwidth_broadcasts(self, small_sample):
+        est = KernelDensityEstimator(small_sample, 0.5)
+        np.testing.assert_array_equal(est.bandwidth, [0.5, 0.5, 0.5])
+
+    def test_sample_is_copied(self, small_sample):
+        est = KernelDensityEstimator(small_sample, 1.0)
+        small_sample[0, 0] = 999.0
+        assert est.sample[0, 0] != 999.0
+
+    def test_sample_view_read_only(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.sample[0, 0] = 1.0
+
+
+class TestEstimation:
+    def test_estimate_in_unit_interval(self, estimator, rng):
+        for _ in range(20):
+            center = rng.normal(size=3)
+            widths = rng.uniform(0.1, 3.0, size=3)
+            box = Box(center - widths, center + widths)
+            assert 0.0 <= estimator.selectivity(box) <= 1.0
+
+    def test_whole_space_estimates_one(self, estimator):
+        box = Box([-1e8] * 3, [1e8] * 3)
+        assert estimator.selectivity(box) == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_far_region_estimates_zero(self, estimator):
+        box = Box([100.0] * 3, [101.0] * 3)
+        assert estimator.selectivity(box) == pytest.approx(0.0, abs=1e-9)
+
+    def test_monotone_in_region(self, estimator):
+        small = Box([-0.5] * 3, [0.5] * 3)
+        large = Box([-1.5] * 3, [1.5] * 3)
+        assert estimator.selectivity(large) >= estimator.selectivity(small)
+
+    def test_contributions_mean_is_estimate(self, estimator):
+        box = Box([-1.0] * 3, [1.0] * 3)
+        contributions = estimator.contributions(box)
+        assert contributions.shape == (estimator.sample_size,)
+        assert estimator.selectivity(box) == pytest.approx(
+            float(contributions.mean())
+        )
+
+    def test_dimension_masses_products(self, estimator):
+        box = Box([-1.0, -0.5, 0.0], [1.0, 0.5, 2.0])
+        masses = estimator.dimension_masses(box)
+        np.testing.assert_allclose(
+            np.prod(masses, axis=1), estimator.contributions(box), atol=1e-14
+        )
+
+    def test_close_to_true_selectivity(self, gaussian_data, rng):
+        indices = rng.choice(gaussian_data.shape[0], size=2048, replace=False)
+        sample = gaussian_data[indices]
+        est = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        box = Box([-1.0, -1.0, -1.0], [1.0, 1.0, 1.0])
+        truth = true_selectivity(gaussian_data, box)
+        assert est.selectivity(box) == pytest.approx(truth, abs=0.05)
+
+    def test_selectivity_many(self, estimator):
+        boxes = [Box([-1.0] * 3, [1.0] * 3), Box([0.0] * 3, [2.0] * 3)]
+        results = estimator.selectivity_many(boxes)
+        assert results.shape == (2,)
+        assert results[0] == pytest.approx(estimator.selectivity(boxes[0]))
+
+    def test_dimension_mismatch_raises(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.selectivity(Box([0.0], [1.0]))
+
+    def test_epanechnikov_kernel(self, small_sample):
+        est = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample), kernel="epanechnikov"
+        )
+        box = Box([-1.0] * 3, [1.0] * 3)
+        assert 0.0 < est.selectivity(box) < 1.0
+        everything = Box([-1e6] * 3, [1e6] * 3)
+        assert est.selectivity(everything) == pytest.approx(1.0, abs=1e-12)
+
+    def test_single_point_sample(self):
+        est = KernelDensityEstimator(np.array([[0.0, 0.0]]), [1.0, 1.0])
+        box = Box([-10.0, -10.0], [10.0, 10.0])
+        assert est.selectivity(box) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDensity:
+    def test_density_integrates_via_monte_carlo(self, estimator, rng):
+        # MC integral of the density over a big box should approximate the
+        # selectivity estimate for that box.
+        box = Box([-4.0] * 3, [4.0] * 3)
+        points = box.sample_uniform(20_000, rng)
+        mc = float(estimator.density(points).mean()) * box.volume()
+        direct = estimator.selectivity(box)
+        assert mc == pytest.approx(direct, rel=0.1)
+
+    def test_density_non_negative(self, estimator, rng):
+        points = rng.normal(size=(100, 3)) * 3
+        assert (estimator.density(points) >= 0.0).all()
+
+    def test_density_wrong_dims(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.density(np.zeros((4, 2)))
+
+
+class TestGradient:
+    @pytest.mark.parametrize("kernel", ["gaussian", "epanechnikov"])
+    def test_matches_finite_differences(self, small_sample, kernel):
+        est = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample) * 1.3, kernel=kernel
+        )
+        box = Box([-1.0, -0.5, 0.0], [1.0, 1.5, 2.0])
+        grad = est.selectivity_gradient(box)
+        h0 = est.bandwidth
+        eps = 1e-6
+        for i in range(3):
+            hp, hm = h0.copy(), h0.copy()
+            hp[i] += eps
+            hm[i] -= eps
+            est.bandwidth = hp
+            up = est.selectivity(box)
+            est.bandwidth = hm
+            down = est.selectivity(box)
+            est.bandwidth = h0
+            fd = (up - down) / (2 * eps)
+            assert grad[i] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_gradient_with_precomputed_masses(self, estimator):
+        box = Box([-1.0] * 3, [1.0] * 3)
+        masses = estimator.dimension_masses(box)
+        np.testing.assert_allclose(
+            estimator.selectivity_gradient(box, masses),
+            estimator.selectivity_gradient(box),
+            atol=1e-14,
+        )
+
+    def test_gradient_zero_for_whole_space(self, estimator):
+        # The estimate is exactly 1 regardless of bandwidth, so the
+        # gradient must vanish.
+        box = Box([-1e9] * 3, [1e9] * 3)
+        np.testing.assert_allclose(
+            estimator.selectivity_gradient(box), 0.0, atol=1e-12
+        )
+
+    @given(st.floats(0.2, 3.0), st.floats(-2.0, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_finite(self, scale, offset):
+        rng = np.random.default_rng(7)
+        sample = rng.normal(size=(64, 2))
+        est = KernelDensityEstimator(sample, [scale, scale])
+        box = Box([offset - 0.5, offset - 0.5], [offset + 0.5, offset + 0.5])
+        grad = est.selectivity_gradient(box)
+        assert np.all(np.isfinite(grad))
+
+
+class TestReplacePoints:
+    def test_replace(self, estimator):
+        rows = np.array([[9.0, 9.0, 9.0], [8.0, 8.0, 8.0]])
+        estimator.replace_points(np.array([0, 5]), rows)
+        np.testing.assert_array_equal(estimator.sample[0], rows[0])
+        np.testing.assert_array_equal(estimator.sample[5], rows[1])
+
+    def test_replace_changes_estimate(self, estimator):
+        box = Box([7.0] * 3, [10.0] * 3)
+        before = estimator.selectivity(box)
+        rows = np.full((10, 3), 8.5)
+        estimator.replace_points(np.arange(10), rows)
+        assert estimator.selectivity(box) > before
+
+    def test_replace_shape_mismatch(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.replace_points(np.array([0]), np.zeros((2, 3)))
+
+    def test_replace_index_out_of_range(self, estimator):
+        with pytest.raises(IndexError):
+            estimator.replace_points(
+                np.array([estimator.sample_size]), np.zeros((1, 3))
+            )
+
+    def test_replace_empty_noop(self, estimator):
+        before = estimator.sample.copy()
+        estimator.replace_points(np.array([], dtype=int), np.empty((0, 3)))
+        np.testing.assert_array_equal(estimator.sample, before)
+
+
+class TestFailureInjection:
+    def test_rejects_nan_sample(self):
+        sample = np.array([[0.0, np.nan, 0.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            KernelDensityEstimator(sample, [1.0, 1.0, 1.0])
+
+    def test_rejects_inf_sample(self):
+        sample = np.array([[0.0, np.inf, 0.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            KernelDensityEstimator(sample, [1.0, 1.0, 1.0])
+
+    def test_degenerate_dimension_still_works(self):
+        """A constant column (zero variance) must not break estimation."""
+        sample = np.column_stack([np.full(50, 7.0), np.linspace(0, 1, 50)])
+        est = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        box = Box([6.0, 0.2], [8.0, 0.8])
+        assert 0.0 <= est.selectivity(box) <= 1.0
+        outside = Box([8.0, 0.2], [9.0, 0.8])
+        assert est.selectivity(outside) == pytest.approx(0.0, abs=1e-6)
+
+    def test_extreme_bandwidth_magnitudes(self, small_sample):
+        for h in (1e-12, 1e12):
+            est = KernelDensityEstimator(small_sample, np.full(3, h))
+            box = Box([-1.0] * 3, [1.0] * 3)
+            estimate = est.selectivity(box)
+            assert np.isfinite(estimate)
+            assert 0.0 <= estimate <= 1.0
+
+    def test_duplicate_sample_points(self):
+        sample = np.zeros((100, 2))
+        est = KernelDensityEstimator(sample, [0.5, 0.5])
+        assert est.selectivity(Box([-1.0, -1.0], [1.0, 1.0])) > 0.5

@@ -1,0 +1,151 @@
+"""Tests for the chain-rule loss gradient (Eq. 14) and log-space variant."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.gradient import (
+    QueryFeedback,
+    loss_and_gradient,
+    to_log_space_gradient,
+    workload_loss_and_gradient,
+)
+from repro.core.losses import get_loss
+
+
+@pytest.fixture
+def estimator(small_sample):
+    return KernelDensityEstimator(small_sample, scott_bandwidth(small_sample))
+
+
+@pytest.fixture
+def feedback():
+    return QueryFeedback(Box([-1.0, -1.0, -1.0], [1.0, 1.0, 1.0]), 0.25)
+
+
+class TestQueryFeedback:
+    def test_valid(self):
+        fb = QueryFeedback(Box([0.0], [1.0]), 0.5)
+        assert fb.selectivity == 0.5
+
+    @pytest.mark.parametrize("sel", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range(self, sel):
+        with pytest.raises(ValueError):
+            QueryFeedback(Box([0.0], [1.0]), sel)
+
+    def test_boundary_values_allowed(self):
+        QueryFeedback(Box([0.0], [1.0]), 0.0)
+        QueryFeedback(Box([0.0], [1.0]), 1.0)
+
+
+class TestLossAndGradient:
+    @pytest.mark.parametrize(
+        "loss_name", ["squared", "absolute", "relative", "squared_relative", "squared_q"]
+    )
+    def test_matches_finite_difference(self, estimator, feedback, loss_name):
+        loss = get_loss(loss_name)
+        value, grad, estimate = loss_and_gradient(estimator, feedback, loss)
+        assert value == pytest.approx(
+            float(loss.value(estimate, feedback.selectivity))
+        )
+        h0 = estimator.bandwidth
+        eps = 1e-6
+        for i in range(3):
+            hp, hm = h0.copy(), h0.copy()
+            hp[i] += eps
+            hm[i] -= eps
+            estimator.bandwidth = hp
+            up = float(
+                loss.value(estimator.selectivity(feedback.query), feedback.selectivity)
+            )
+            estimator.bandwidth = hm
+            down = float(
+                loss.value(estimator.selectivity(feedback.query), feedback.selectivity)
+            )
+            estimator.bandwidth = h0
+            fd = (up - down) / (2 * eps)
+            assert grad[i] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_estimate_returned(self, estimator, feedback):
+        _, _, estimate = loss_and_gradient(estimator, feedback, "squared")
+        assert estimate == pytest.approx(estimator.selectivity(feedback.query))
+
+    def test_log_space_scaling(self, estimator, feedback):
+        _, grad_lin, _ = loss_and_gradient(estimator, feedback, "squared")
+        _, grad_log, _ = loss_and_gradient(
+            estimator, feedback, "squared", log_space=True
+        )
+        np.testing.assert_allclose(
+            grad_log, grad_lin * estimator.bandwidth, atol=1e-14
+        )
+
+    def test_zero_gradient_at_perfect_estimate(self, estimator):
+        box = Box([-1.0] * 3, [1.0] * 3)
+        perfect = estimator.selectivity(box)
+        _, grad, _ = loss_and_gradient(
+            estimator, QueryFeedback(box, perfect), "squared"
+        )
+        np.testing.assert_allclose(grad, 0.0, atol=1e-10)
+
+
+class TestWorkloadGradient:
+    def test_average_of_single_queries(self, estimator):
+        boxes = [
+            Box([-1.0] * 3, [1.0] * 3),
+            Box([0.0] * 3, [2.0] * 3),
+            Box([-2.0] * 3, [0.0] * 3),
+        ]
+        workload = [QueryFeedback(b, 0.1 * (i + 1)) for i, b in enumerate(boxes)]
+        total_value, total_grad = workload_loss_and_gradient(
+            estimator, workload, "squared"
+        )
+        values, grads = [], []
+        for fb in workload:
+            v, g, _ = loss_and_gradient(estimator, fb, "squared")
+            values.append(v)
+            grads.append(g)
+        assert total_value == pytest.approx(np.mean(values))
+        np.testing.assert_allclose(total_grad, np.mean(grads, axis=0), atol=1e-14)
+
+    def test_empty_workload_raises(self, estimator):
+        with pytest.raises(ValueError):
+            workload_loss_and_gradient(estimator, [], "squared")
+
+
+class TestLogSpaceTransform:
+    def test_elementwise_product(self):
+        grad = np.array([1.0, -2.0, 0.5])
+        h = np.array([0.1, 2.0, 4.0])
+        np.testing.assert_allclose(
+            to_log_space_gradient(grad, h), [0.1, -4.0, 2.0]
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            to_log_space_gradient(np.ones(2), np.ones(3))
+
+    def test_log_space_fd_consistency(self, estimator, feedback):
+        """d L / d log h computed analytically matches FD in log space."""
+        _, grad_log, _ = loss_and_gradient(
+            estimator, feedback, "squared", log_space=True
+        )
+        loss = get_loss("squared")
+        log_h0 = np.log(estimator.bandwidth)
+        eps = 1e-6
+        for i in range(3):
+            up_h, down_h = log_h0.copy(), log_h0.copy()
+            up_h[i] += eps
+            down_h[i] -= eps
+            estimator.bandwidth = np.exp(up_h)
+            up = float(
+                loss.value(estimator.selectivity(feedback.query), feedback.selectivity)
+            )
+            estimator.bandwidth = np.exp(down_h)
+            down = float(
+                loss.value(estimator.selectivity(feedback.query), feedback.selectivity)
+            )
+            estimator.bandwidth = np.exp(log_h0)
+            fd = (up - down) / (2 * eps)
+            assert grad_log[i] == pytest.approx(fd, rel=1e-4, abs=1e-8)

@@ -1,0 +1,229 @@
+"""Tests for KDE-based join selectivity estimation (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KernelDensityEstimator, scott_bandwidth
+from repro.core.join import (
+    band_join_selectivity,
+    equi_join_density,
+    independence_band_join_selectivity,
+)
+from repro.db import Table
+from repro.db.join import band_join_count, hash_join, pk_fk_join_sample
+
+
+@pytest.fixture
+def key_tables(rng):
+    r = np.column_stack([rng.normal(0.0, 1.0, 8000), rng.normal(size=8000)])
+    s = np.column_stack([rng.normal(0.5, 1.2, 6000), rng.normal(size=6000)])
+    return Table(2, initial_rows=r), Table(2, initial_rows=s)
+
+
+def make_kde(table, rng, size=512):
+    sample = table.analyze(size, rng)
+    return KernelDensityEstimator(sample, scott_bandwidth(sample))
+
+
+class TestBandJoin:
+    def test_close_to_truth(self, key_tables, rng):
+        left, right = key_tables
+        epsilon = 0.05
+        truth = band_join_count(left, right, 0, 0, epsilon) / (
+            len(left) * len(right)
+        )
+        estimate = band_join_selectivity(
+            make_kde(left, rng), make_kde(right, rng), [0], [0], epsilon
+        )
+        assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_in_unit_interval(self, key_tables, rng):
+        left, right = key_tables
+        estimate = band_join_selectivity(
+            make_kde(left, rng), make_kde(right, rng), [0], [0], 0.1
+        )
+        assert 0.0 <= estimate <= 1.0
+
+    def test_monotone_in_epsilon(self, key_tables, rng):
+        left, right = key_tables
+        kde_l, kde_r = make_kde(left, rng), make_kde(right, rng)
+        narrow = band_join_selectivity(kde_l, kde_r, [0], [0], 0.01)
+        wide = band_join_selectivity(kde_l, kde_r, [0], [0], 0.5)
+        assert wide > narrow
+
+    def test_huge_band_is_cross_product(self, key_tables, rng):
+        left, right = key_tables
+        estimate = band_join_selectivity(
+            make_kde(left, rng), make_kde(right, rng), [0], [0], 1e6
+        )
+        assert estimate == pytest.approx(1.0, abs=1e-9)
+
+    def test_multi_key(self, rng):
+        data_l = rng.normal(size=(4000, 3))
+        data_r = rng.normal(size=(4000, 3))
+        left = Table(3, initial_rows=data_l)
+        right = Table(3, initial_rows=data_r)
+        kde_l, kde_r = make_kde(left, rng), make_kde(right, rng)
+        two_keys = band_join_selectivity(
+            kde_l, kde_r, [0, 1], [0, 1], 0.2
+        )
+        one_key = band_join_selectivity(kde_l, kde_r, [0], [0], 0.2)
+        assert 0.0 < two_keys < one_key
+
+    def test_validation(self, key_tables, rng):
+        left, right = key_tables
+        kde_l, kde_r = make_kde(left, rng), make_kde(right, rng)
+        with pytest.raises(ValueError):
+            band_join_selectivity(kde_l, kde_r, [], [], 0.1)
+        with pytest.raises(ValueError):
+            band_join_selectivity(kde_l, kde_r, [0], [0, 1], 0.1)
+        with pytest.raises(ValueError):
+            band_join_selectivity(kde_l, kde_r, [5], [0], 0.1)
+        with pytest.raises(ValueError):
+            band_join_selectivity(kde_l, kde_r, [0], [0], 0.0)
+
+    def test_requires_gaussian(self, key_tables, rng):
+        left, right = key_tables
+        sample = left.analyze(128, rng)
+        epan = KernelDensityEstimator(
+            sample, scott_bandwidth(sample), kernel="epanechnikov"
+        )
+        with pytest.raises(ValueError, match="Gaussian"):
+            band_join_selectivity(epan, make_kde(right, rng), [0], [0], 0.1)
+
+
+class TestEquiJoinDensity:
+    def test_matches_band_limit(self, key_tables, rng):
+        """density * 2 eps approximates the small-band selectivity."""
+        left, right = key_tables
+        kde_l, kde_r = make_kde(left, rng), make_kde(right, rng)
+        epsilon = 0.01
+        band = band_join_selectivity(kde_l, kde_r, [0], [0], epsilon)
+        density = equi_join_density(kde_l, kde_r, [0], [0])
+        assert density * 2 * epsilon == pytest.approx(band, rel=0.02)
+
+    def test_positive(self, key_tables, rng):
+        left, right = key_tables
+        assert equi_join_density(
+            make_kde(left, rng), make_kde(right, rng), [0], [0]
+        ) > 0.0
+
+    def test_disjoint_keys_near_zero(self, rng):
+        left = Table(1, initial_rows=rng.normal(0.0, 0.1, (2000, 1)))
+        right = Table(1, initial_rows=rng.normal(100.0, 0.1, (2000, 1)))
+        density = equi_join_density(
+            make_kde(left, rng), make_kde(right, rng), [0], [0]
+        )
+        assert density < 1e-12
+
+
+class TestIndependenceBaseline:
+    def test_reasonable_on_smooth_keys(self, key_tables):
+        left, right = key_tables
+        epsilon = 0.05
+        truth = band_join_count(left, right, 0, 0, epsilon) / (
+            len(left) * len(right)
+        )
+        estimate = independence_band_join_selectivity(
+            left.rows()[:, 0], right.rows()[:, 0], epsilon
+        )
+        assert estimate == pytest.approx(truth, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            independence_band_join_selectivity(np.array([]), np.ones(3), 0.1)
+        with pytest.raises(ValueError):
+            independence_band_join_selectivity(np.ones(3), np.ones(3), 0.0)
+
+
+class TestHashJoin:
+    def test_simple_join(self):
+        left = Table(2, initial_rows=np.array([[1.0, 10.0], [2.0, 20.0]]))
+        right = Table(2, initial_rows=np.array([[2.0, 200.0], [3.0, 300.0]]))
+        result = hash_join(left, right, 0, 0)
+        assert result.shape == (1, 4)
+        np.testing.assert_array_equal(result[0], [2.0, 20.0, 2.0, 200.0])
+
+    def test_duplicate_keys(self):
+        left = Table(1, initial_rows=np.array([[1.0], [1.0]]))
+        right = Table(1, initial_rows=np.array([[1.0], [1.0], [1.0]]))
+        assert hash_join(left, right, 0, 0).shape == (6, 2)
+
+    def test_empty_result(self):
+        left = Table(1, initial_rows=np.array([[1.0]]))
+        right = Table(1, initial_rows=np.array([[2.0]]))
+        assert hash_join(left, right, 0, 0).shape == (0, 2)
+
+    def test_key_validation(self):
+        left = Table(1, initial_rows=np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            hash_join(left, left, 3, 0)
+
+
+class TestPkFkJoinSample:
+    @pytest.fixture
+    def star(self, rng):
+        keys = np.arange(500.0)
+        dimension = Table(
+            2, initial_rows=np.column_stack([keys, rng.normal(size=500)])
+        )
+        fk = rng.integers(0, 500, size=4000).astype(np.float64)
+        fact = Table(2, initial_rows=np.column_stack([fk, rng.normal(size=4000)]))
+        return fact, dimension
+
+    def test_sample_shape_and_keys_match(self, star, rng):
+        fact, dimension = star
+        sample = pk_fk_join_sample(fact, dimension, 0, 0, 128, rng)
+        assert sample.shape == (128, 4)
+        np.testing.assert_allclose(sample[:, 0], sample[:, 2])
+
+    def test_post_join_estimator(self, star, rng):
+        """The paper's PK-FK route: a KDE over the join sample answers
+        post-join range predicates.
+
+        The duplicated key column is dropped before building the model —
+        keeping two perfectly correlated copies would compound the
+        product kernel's boundary loss.
+        """
+        from repro.geometry import Box
+
+        fact, dimension = star
+        columns = [0, 1, 3]  # key, fact value, dimension value
+        full = hash_join(fact, dimension, 0, 0)[:, columns]
+        sample = pk_fk_join_sample(fact, dimension, 0, 0, 512, rng)[:, columns]
+        est = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        box = Box([0.0, -1.0, -0.5], [250.0, 1.0, 10.0])
+        truth = float(box.contains_points(full).mean())
+        assert est.selectivity(box) == pytest.approx(truth, abs=0.08)
+
+    def test_dangling_keys_skipped(self, rng):
+        dimension = Table(1, initial_rows=np.array([[1.0]]))
+        fact = Table(
+            1, initial_rows=np.array([[1.0], [99.0], [99.0], [99.0]])
+        )
+        sample = pk_fk_join_sample(fact, dimension, 0, 0, 8, rng)
+        assert (sample[:, 0] == 1.0).all()
+
+    def test_validation(self, star, rng):
+        fact, dimension = star
+        with pytest.raises(ValueError):
+            pk_fk_join_sample(fact, dimension, 0, 0, 0, rng)
+        with pytest.raises(ValueError):
+            pk_fk_join_sample(Table(1), dimension, 0, 0, 5, rng)
+
+
+class TestBandJoinCount:
+    def test_matches_brute_force(self, rng):
+        left = Table(1, initial_rows=rng.normal(size=(300, 1)))
+        right = Table(1, initial_rows=rng.normal(size=(200, 1)))
+        epsilon = 0.1
+        expected = sum(
+            int(np.sum(np.abs(right.rows()[:, 0] - v) <= epsilon))
+            for v in left.rows()[:, 0]
+        )
+        assert band_join_count(left, right, 0, 0, epsilon) == expected
+
+    def test_validation(self, rng):
+        table = Table(1, initial_rows=rng.normal(size=(10, 1)))
+        with pytest.raises(ValueError):
+            band_join_count(table, table, 0, 0, -1.0)

@@ -1,0 +1,255 @@
+"""Tests for Karma-based sample maintenance (Eqs. 6-8, Appendix E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import Box
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.config import KarmaConfig
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.karma import (
+    KarmaTracker,
+    certified_inside_mask,
+    leave_one_out_estimates,
+)
+
+
+class TestLeaveOneOut:
+    def test_identity_eq6(self):
+        """Removing point i and re-averaging matches the Eq. (6) shortcut."""
+        rng = np.random.default_rng(0)
+        contributions = rng.uniform(0, 1, size=50)
+        loo = leave_one_out_estimates(contributions)
+        for i in range(50):
+            expected = np.delete(contributions, i).mean()
+            assert loo[i] == pytest.approx(expected, abs=1e-12)
+
+    def test_with_precomputed_estimate(self):
+        contributions = np.array([0.1, 0.5, 0.9])
+        estimate = float(contributions.mean())
+        np.testing.assert_allclose(
+            leave_one_out_estimates(contributions, estimate),
+            leave_one_out_estimates(contributions),
+        )
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            leave_one_out_estimates(np.array([0.5]))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(2, 100),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_loo_in_unit_interval(self, contributions):
+        loo = leave_one_out_estimates(contributions)
+        assert (loo >= -1e-12).all() and (loo <= 1.0 + 1e-12).all()
+
+
+class TestCertifiedInsideMask:
+    def _setup(self, rng, bandwidth_scale=1.0):
+        sample = rng.uniform(-5, 5, size=(200, 2))
+        bandwidth = np.array([0.3, 0.3]) * bandwidth_scale
+        est = KernelDensityEstimator(sample, bandwidth)
+        return sample, bandwidth, est
+
+    def test_soundness(self, rng):
+        """Every certified point must actually lie inside the region."""
+        sample, bandwidth, est = self._setup(rng)
+        query = Box([-1.0, -1.0], [1.0, 1.0])
+        contributions = est.contributions(query)
+        mask = certified_inside_mask(contributions, query, bandwidth)
+        actually_inside = query.contains_points(sample)
+        assert (~mask | actually_inside).all()
+
+    def test_catches_deep_interior_points(self, rng):
+        """With a small bandwidth, points well inside must be certified."""
+        sample, bandwidth, est = self._setup(rng, bandwidth_scale=0.3)
+        query = Box([-2.0, -2.0], [2.0, 2.0])
+        contributions = est.contributions(query)
+        mask = certified_inside_mask(contributions, query, bandwidth)
+        deep = Box([-1.0, -1.0], [1.0, 1.0]).contains_points(sample)
+        # All deep-interior points produce contributions near 1, well above
+        # the outside bound.
+        assert mask[deep].all()
+
+    def test_huge_bandwidth_certifies_nothing_wrong(self, rng):
+        sample, bandwidth, est = self._setup(rng, bandwidth_scale=50.0)
+        query = Box([-0.5, -0.5], [0.5, 0.5])
+        contributions = est.contributions(query)
+        mask = certified_inside_mask(contributions, query, bandwidth)
+        actually_inside = query.contains_points(sample)
+        assert (~mask | actually_inside).all()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            certified_inside_mask(
+                np.array([0.5]), Box([0.0, 0.0], [1.0, 1.0]), np.array([1.0])
+            )
+
+    @given(st.floats(0.05, 5.0), st.floats(0.1, 4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_soundness_property(self, bandwidth, width):
+        rng = np.random.default_rng(int(bandwidth * 1000 + width * 100))
+        sample = rng.uniform(-6, 6, size=(100, 2))
+        bw = np.array([bandwidth, bandwidth])
+        est = KernelDensityEstimator(sample, bw)
+        query = Box([-width, -width], [width, width])
+        contributions = est.contributions(query)
+        mask = certified_inside_mask(contributions, query, bw)
+        inside = query.contains_points(sample)
+        assert (~mask | inside).all()
+
+
+class TestKarmaConfig:
+    def test_defaults(self):
+        cfg = KarmaConfig()
+        assert cfg.k_max == 4.0
+        assert cfg.empty_region_shortcut
+
+    def test_threshold_below_kmax(self):
+        with pytest.raises(ValueError):
+            KarmaConfig(k_max=1.0, threshold=2.0)
+
+
+class TestKarmaTracker:
+    def test_initial_state(self):
+        tracker = KarmaTracker(10)
+        np.testing.assert_array_equal(tracker.karma, np.zeros(10))
+        assert tracker.replacements == 0
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            KarmaTracker(1)
+
+    def test_rejects_bad_selectivity(self):
+        tracker = KarmaTracker(4)
+        with pytest.raises(ValueError):
+            tracker.update(np.zeros(4), 1.5)
+
+    def test_rejects_wrong_contribution_count(self):
+        tracker = KarmaTracker(4)
+        with pytest.raises(ValueError):
+            tracker.update(np.zeros(5), 0.5)
+
+    def test_helpful_points_gain_karma(self):
+        # True selectivity 0.5; three points contribute 0.5 (good), one
+        # contributes 0.9 (bad: its absence improves the estimate).
+        tracker = KarmaTracker(4)
+        contributions = np.array([0.5, 0.5, 0.5, 0.9])
+        tracker.update(contributions, 0.5)
+        karma = tracker.karma
+        assert karma[3] < 0.0
+        assert (karma[:3] > 0.0).all()
+
+    def test_saturation_at_kmax(self):
+        tracker = KarmaTracker(3, config=KarmaConfig(k_max=0.001))
+        contributions = np.array([0.5, 0.5, 0.0])
+        for _ in range(50):
+            tracker.update(contributions, 0.5)
+        assert (tracker.karma <= 0.001 + 1e-15).all()
+
+    def test_bad_points_eventually_flagged(self):
+        tracker = KarmaTracker(
+            4, config=KarmaConfig(threshold=-0.01, empty_region_shortcut=False)
+        )
+        contributions = np.array([0.1, 0.1, 0.1, 1.0])
+        flagged = np.array([], dtype=int)
+        for _ in range(200):
+            flagged = tracker.update(contributions, 0.1)
+            if flagged.size:
+                break
+        assert 3 in flagged
+
+    def test_reset(self):
+        tracker = KarmaTracker(3, config=KarmaConfig(threshold=-1e-6))
+        tracker.update(np.array([0.0, 0.0, 1.0]), 0.0)
+        assert tracker.karma[2] < 0
+        tracker.reset(np.array([2]))
+        assert tracker.karma[2] == 0.0
+
+    def test_reset_out_of_range(self):
+        tracker = KarmaTracker(3)
+        with pytest.raises(IndexError):
+            tracker.reset(np.array([5]))
+
+    def test_empty_region_shortcut_flags_inside_points(self, rng):
+        sample = rng.uniform(-5, 5, size=(100, 2))
+        bandwidth = np.array([0.2, 0.2])
+        est = KernelDensityEstimator(sample, bandwidth)
+        query = Box([-2.0, -2.0], [2.0, 2.0])
+        contributions = est.contributions(query)
+        tracker = KarmaTracker(100)
+        flagged = tracker.update(
+            contributions, 0.0, query=query, bandwidth=bandwidth
+        )
+        deep_inside = Box([-1.0, -1.0], [1.0, 1.0]).contains_points(sample)
+        flagged_mask = np.zeros(100, dtype=bool)
+        flagged_mask[flagged] = True
+        # Every deep-interior point is flagged on the very first query.
+        assert flagged_mask[deep_inside].all()
+        # And nothing outside the region is flagged.
+        inside = query.contains_points(sample)
+        assert (~flagged_mask | inside).all()
+
+    def test_shortcut_disabled(self, rng):
+        sample = rng.uniform(-1, 1, size=(50, 2))
+        bandwidth = np.array([0.1, 0.1])
+        est = KernelDensityEstimator(sample, bandwidth)
+        query = Box([-1.0, -1.0], [1.0, 1.0])
+        contributions = est.contributions(query)
+        tracker = KarmaTracker(
+            50, config=KarmaConfig(empty_region_shortcut=False)
+        )
+        flagged = tracker.update(
+            contributions, 0.0, query=query, bandwidth=bandwidth
+        )
+        # One query is never enough to cross the default threshold without
+        # the shortcut.
+        assert flagged.size == 0
+
+    def test_shortcut_only_on_zero_selectivity(self, rng):
+        sample = rng.uniform(-1, 1, size=(50, 2))
+        bandwidth = np.array([0.1, 0.1])
+        est = KernelDensityEstimator(sample, bandwidth)
+        query = Box([-1.0, -1.0], [1.0, 1.0])
+        contributions = est.contributions(query)
+        tracker = KarmaTracker(50)
+        flagged = tracker.update(
+            contributions, 0.4, query=query, bandwidth=bandwidth
+        )
+        assert flagged.size == 0
+
+    def test_replacements_counter(self, rng):
+        sample = rng.uniform(-5, 5, size=(100, 2))
+        bandwidth = np.array([0.2, 0.2])
+        est = KernelDensityEstimator(sample, bandwidth)
+        query = Box([-2.0, -2.0], [2.0, 2.0])
+        tracker = KarmaTracker(100)
+        flagged = tracker.update(
+            est.contributions(query), 0.0, query=query, bandwidth=bandwidth
+        )
+        assert tracker.replacements == flagged.size
+        assert tracker.queries_observed == 1
+
+    def test_good_estimates_accumulate_no_flags(self, rng):
+        """When estimates are accurate, karma stays near zero for all."""
+        sample = rng.normal(size=(64, 2))
+        bandwidth = scott_bandwidth(sample)
+        est = KernelDensityEstimator(sample, bandwidth)
+        tracker = KarmaTracker(64)
+        for _ in range(50):
+            center = rng.normal(size=2)
+            query = Box(center - 0.5, center + 0.5)
+            contributions = est.contributions(query)
+            estimate = float(contributions.mean())
+            flagged = tracker.update(
+                contributions, estimate, query=query, bandwidth=bandwidth
+            )
+            assert flagged.size == 0

@@ -1,0 +1,176 @@
+"""Tests for the kernel functions and their interval integrals."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import integrate
+
+from repro.core.kernels import (
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    get_kernel,
+    register_kernel,
+)
+
+KERNELS = [GaussianKernel(), EpanechnikovKernel()]
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+class TestKernelBasics:
+    def test_pdf_non_negative(self, kernel):
+        z = np.linspace(-5, 5, 201)
+        assert (kernel.pdf(z) >= 0.0).all()
+
+    def test_pdf_symmetric(self, kernel):
+        z = np.linspace(0, 5, 101)
+        np.testing.assert_allclose(kernel.pdf(z), kernel.pdf(-z), atol=1e-12)
+
+    def test_pdf_integrates_to_one(self, kernel):
+        total, _ = integrate.quad(lambda z: float(kernel.pdf(z)), -10, 10)
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    def test_cdf_monotone(self, kernel):
+        z = np.linspace(-5, 5, 500)
+        cdf = kernel.cdf(z)
+        assert (np.diff(cdf) >= -1e-15).all()
+
+    def test_cdf_limits(self, kernel):
+        assert kernel.cdf(np.array(-100.0)) == pytest.approx(0.0, abs=1e-12)
+        assert kernel.cdf(np.array(100.0)) == pytest.approx(1.0, abs=1e-12)
+        assert kernel.cdf(np.array(0.0)) == pytest.approx(0.5, abs=1e-12)
+
+    def test_cdf_matches_pdf_integral(self, kernel):
+        for z in (-1.5, -0.3, 0.0, 0.7, 2.0):
+            expected, _ = integrate.quad(lambda t: float(kernel.pdf(t)), -10, z)
+            assert float(kernel.cdf(np.array(z))) == pytest.approx(
+                expected, abs=1e-8
+            )
+
+    def test_interval_mass_in_unit_range(self, kernel):
+        points = np.linspace(-3, 3, 50)
+        mass = kernel.interval_mass(-1.0, 1.0, points, 0.5)
+        assert ((mass >= 0.0) & (mass <= 1.0)).all()
+
+    def test_interval_mass_whole_line(self, kernel):
+        mass = kernel.interval_mass(-1e6, 1e6, np.array([0.0, 3.0]), 1.0)
+        np.testing.assert_allclose(mass, 1.0, atol=1e-12)
+
+    def test_interval_mass_empty_interval(self, kernel):
+        mass = kernel.interval_mass(0.5, 0.5, np.array([0.0]), 1.0)
+        assert mass[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_interval_mass_peaks_at_center(self, kernel):
+        points = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        mass = kernel.interval_mass(-1.0, 1.0, points, 0.8)
+        assert mass[2] == mass.max()
+
+    def test_interval_mass_grad_matches_finite_difference(self, kernel):
+        points = np.linspace(-2, 2, 9)
+        h = 0.7
+        eps = 1e-6
+        grad = kernel.interval_mass_grad(-1.0, 0.5, points, h)
+        fd = (
+            kernel.interval_mass(-1.0, 0.5, points, h + eps)
+            - kernel.interval_mass(-1.0, 0.5, points, h - eps)
+        ) / (2 * eps)
+        np.testing.assert_allclose(grad, fd, atol=1e-6)
+
+    def test_interval_mass_grad_sign(self, kernel):
+        # A point far outside the interval gains mass from a larger
+        # bandwidth; a point at the centre loses mass.
+        outside = kernel.interval_mass_grad(-1.0, 1.0, np.array([10.0]), 3.0)
+        center = kernel.interval_mass_grad(-1.0, 1.0, np.array([0.0]), 3.0)
+        assert outside[0] >= 0.0
+        assert center[0] <= 0.0
+
+
+class TestGaussianSpecifics:
+    def test_matches_scipy_normal(self):
+        from scipy.stats import norm
+
+        kernel = GaussianKernel()
+        z = np.linspace(-4, 4, 101)
+        np.testing.assert_allclose(kernel.pdf(z), norm.pdf(z), atol=1e-12)
+        np.testing.assert_allclose(kernel.cdf(z), norm.cdf(z), atol=1e-12)
+
+    def test_eq13_closed_form(self):
+        """interval_mass equals the explicit erf expression of Eq. (13)."""
+        from scipy.special import erf
+
+        kernel = GaussianKernel()
+        t = np.array([0.3, -1.2, 2.0])
+        low, high, h = -0.5, 1.5, 0.8
+        expected = 0.5 * (
+            erf((high - t) / (math.sqrt(2) * h))
+            - erf((low - t) / (math.sqrt(2) * h))
+        )
+        np.testing.assert_allclose(
+            kernel.interval_mass(low, high, t, h), expected, atol=1e-14
+        )
+
+
+class TestEpanechnikovSpecifics:
+    def test_compact_support(self):
+        kernel = EpanechnikovKernel()
+        assert kernel.pdf(np.array(1.5)) == 0.0
+        assert kernel.cdf(np.array(1.5)) == pytest.approx(1.0)
+        assert kernel.cdf(np.array(-1.5)) == pytest.approx(0.0)
+
+    def test_peak_value(self):
+        kernel = EpanechnikovKernel()
+        assert kernel.pdf(np.array(0.0)) == pytest.approx(0.75)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_kernel("gaussian"), GaussianKernel)
+        assert isinstance(get_kernel("epanechnikov"), EpanechnikovKernel)
+
+    def test_get_passthrough(self):
+        kernel = GaussianKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("boxcar")
+
+    def test_register_requires_name(self):
+        class Nameless(Kernel):
+            name = ""
+
+        with pytest.raises(ValueError):
+            register_kernel(Nameless)
+
+
+class TestKernelProperties:
+    @given(
+        st.floats(-10, 10),
+        st.floats(0.01, 10),
+        st.floats(0.05, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mass_additivity(self, start, width, bandwidth):
+        """Mass over [a, c] equals mass over [a, b] plus mass over [b, c]."""
+        kernel = GaussianKernel()
+        a, b, c = start, start + width / 2, start + width
+        points = np.array([0.0, 1.0, -3.0])
+        whole = kernel.interval_mass(a, c, points, bandwidth)
+        parts = kernel.interval_mass(a, b, points, bandwidth) + kernel.interval_mass(
+            b, c, points, bandwidth
+        )
+        np.testing.assert_allclose(whole, parts, atol=1e-12)
+
+    @given(st.floats(0.05, 5), st.floats(-5, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_mass_translation_invariance(self, bandwidth, shift):
+        kernel = EpanechnikovKernel()
+        points = np.array([0.2, -0.7])
+        base = kernel.interval_mass(-1.0, 1.0, points, bandwidth)
+        shifted = kernel.interval_mass(
+            -1.0 + shift, 1.0 + shift, points + shift, bandwidth
+        )
+        np.testing.assert_allclose(base, shifted, atol=1e-12)

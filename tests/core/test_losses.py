@@ -1,0 +1,135 @@
+"""Tests for the loss functions of Appendix C.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import (
+    AbsoluteLoss,
+    Loss,
+    RelativeLoss,
+    SquaredLoss,
+    SquaredQLoss,
+    SquaredRelativeLoss,
+    get_loss,
+    register_loss,
+)
+
+ALL_LOSSES = [
+    SquaredLoss(),
+    AbsoluteLoss(),
+    RelativeLoss(),
+    SquaredRelativeLoss(),
+    SquaredQLoss(),
+]
+
+selectivities = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+class TestCommonContract:
+    def test_zero_at_equality(self, loss):
+        for p in (0.0, 0.2, 1.0):
+            assert float(loss.value(p, p)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_negative(self, loss):
+        grid = np.linspace(0, 1, 11)
+        est, act = np.meshgrid(grid, grid)
+        assert (loss.value(est, act) >= 0.0).all()
+
+    def test_vectorised(self, loss):
+        est = np.array([0.1, 0.5, 0.9])
+        act = np.array([0.2, 0.5, 0.1])
+        values = loss.value(est, act)
+        assert values.shape == (3,)
+        for i in range(3):
+            assert values[i] == pytest.approx(float(loss.value(est[i], act[i])))
+
+    @given(selectivities, selectivities)
+    @settings(max_examples=50, deadline=None)
+    def test_derivative_matches_finite_difference(self, loss, est, act):
+        eps = 1e-7
+        lo, hi = max(est - eps, 0.0), min(est + eps, 1.0)
+        if hi - lo < eps:  # too close to the boundary for a centred diff
+            return
+        fd = (float(loss.value(hi, act)) - float(loss.value(lo, act))) / (hi - lo)
+        deriv = float(loss.derivative(est, act))
+        # The absolute/relative losses have a kink at est == act where the
+        # subgradient is sign-valued; skip a small neighbourhood.  The
+        # Q-error loss has extreme curvature as est -> 0 (1/(lambda+est)
+        # factor), where a centred difference is inaccurate; skip it too.
+        if abs(est - act) < 1e-5 or est < 1e-3:
+            return
+        assert deriv == pytest.approx(fd, rel=1e-3, abs=1e-3)
+
+    def test_derivative_sign(self, loss):
+        # Overestimation must have non-negative derivative, underestimation
+        # non-positive: pushing the estimate down/up reduces the loss.
+        assert float(loss.derivative(0.8, 0.2)) >= 0.0
+        assert float(loss.derivative(0.1, 0.6)) <= 0.0
+
+
+class TestSpecificValues:
+    def test_squared(self):
+        assert float(SquaredLoss().value(0.5, 0.2)) == pytest.approx(0.09)
+        assert float(SquaredLoss().derivative(0.5, 0.2)) == pytest.approx(0.6)
+
+    def test_absolute(self):
+        loss = AbsoluteLoss()
+        assert float(loss.value(0.5, 0.2)) == pytest.approx(0.3)
+        assert float(loss.derivative(0.5, 0.2)) == 1.0
+        assert float(loss.derivative(0.2, 0.5)) == -1.0
+        assert float(loss.derivative(0.3, 0.3)) == 0.0
+
+    def test_relative(self):
+        loss = RelativeLoss(smoothing=0.1)
+        assert float(loss.value(0.5, 0.4)) == pytest.approx(0.1 / 0.5)
+        assert float(loss.derivative(0.5, 0.4)) == pytest.approx(1.0 / 0.5)
+
+    def test_squared_relative(self):
+        loss = SquaredRelativeLoss(smoothing=0.1)
+        assert float(loss.value(0.5, 0.4)) == pytest.approx((0.1 / 0.5) ** 2)
+
+    def test_squared_q_symmetric_in_log(self):
+        loss = SquaredQLoss(smoothing=1e-3)
+        # Over- and under-estimating by the same *factor* costs the same.
+        over = float(loss.value(0.4, 0.1))
+        under = float(loss.value(0.1, 0.4))
+        assert over == pytest.approx(under, rel=1e-12)
+
+    def test_relative_penalises_small_actuals_more(self):
+        loss = RelativeLoss(smoothing=1e-6)
+        assert float(loss.value(0.11, 0.01)) > float(loss.value(0.6, 0.5))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "cls", [RelativeLoss, SquaredRelativeLoss, SquaredQLoss]
+    )
+    def test_rejects_non_positive_smoothing(self, cls):
+        with pytest.raises(ValueError):
+            cls(smoothing=0.0)
+        with pytest.raises(ValueError):
+            cls(smoothing=-1.0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        for loss in ALL_LOSSES:
+            assert get_loss(loss.name).name == loss.name
+
+    def test_passthrough(self):
+        loss = SquaredLoss()
+        assert get_loss(loss) is loss
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("hinge")
+
+    def test_register_requires_name(self):
+        class Nameless(Loss):
+            name = ""
+
+        with pytest.raises(ValueError):
+            register_loss(Nameless())

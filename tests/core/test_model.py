@@ -1,0 +1,243 @@
+"""Tests for the SelfTuningKDE facade (the Figure 3 feedback loop)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.core.config import AdaptiveConfig, KarmaConfig, SelfTuningConfig
+from repro.core.model import ArrayRowSource, SelfTuningKDE
+
+from ..conftest import true_selectivity
+
+
+@pytest.fixture
+def data(rng):
+    return rng.normal(size=(10_000, 2))
+
+
+@pytest.fixture
+def model(data, rng):
+    sample = data[rng.choice(len(data), size=128, replace=False)]
+    return SelfTuningKDE(
+        sample,
+        row_source=ArrayRowSource(data),
+        population_size=len(data),
+        seed=7,
+    )
+
+
+class TestArrayRowSource:
+    def test_shapes(self, data):
+        source = ArrayRowSource(data)
+        rows = source.sample_rows(5, np.random.default_rng(0))
+        assert rows.shape == (5, 2)
+
+    def test_rows_from_population(self, data):
+        source = ArrayRowSource(data)
+        rows = source.sample_rows(20, np.random.default_rng(1))
+        for row in rows:
+            assert (data == row).all(axis=1).any()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ArrayRowSource(np.empty((0, 2)))
+
+
+class TestEstimation:
+    def test_estimate_in_unit_interval(self, model, rng):
+        for _ in range(10):
+            center = rng.normal(size=2)
+            box = Box(center - 0.5, center + 0.5)
+            assert 0.0 <= model.estimate(box) <= 1.0
+
+    def test_estimate_matches_underlying(self, model):
+        box = Box([-1.0, -1.0], [1.0, 1.0])
+        assert model.estimate(box) == pytest.approx(
+            model.estimator.selectivity(box)
+        )
+
+    def test_scott_initialisation(self, data, rng):
+        from repro.core.bandwidth import scott_bandwidth
+
+        sample = data[:64]
+        model = SelfTuningKDE(sample)
+        np.testing.assert_allclose(model.bandwidth, scott_bandwidth(sample))
+
+    def test_explicit_bandwidth(self, data):
+        model = SelfTuningKDE(data[:64], bandwidth=np.array([0.5, 0.7]))
+        np.testing.assert_array_equal(model.bandwidth, [0.5, 0.7])
+
+
+class TestFeedbackLoop:
+    def test_feedback_updates_bandwidth_after_batch(self, model, data, rng):
+        cfg = model.config.adaptive
+        before = model.bandwidth
+        for _ in range(cfg.batch_size):
+            center = data[rng.integers(len(data))]
+            box = Box(center - 0.3, center + 0.3)
+            model.estimate(box)
+            model.feedback(box, true_selectivity(data, box))
+        assert model.tuner.updates_applied == 1
+        assert not np.array_equal(model.bandwidth, before)
+
+    def test_feedback_without_estimate_recomputes(self, model, data):
+        box = Box([-0.5, -0.5], [0.5, 0.5])
+        model.feedback(box, true_selectivity(data, box))
+        assert model.feedback_count == 1
+
+    def test_feedback_with_mismatched_query_recomputes(self, model, data):
+        model.estimate(Box([-1.0, -1.0], [1.0, 1.0]))
+        other = Box([0.0, 0.0], [0.5, 0.5])
+        model.feedback(other, true_selectivity(data, other))
+        assert model.feedback_count == 1
+
+    def test_feedback_rejects_bad_selectivity(self, model):
+        box = Box([-1.0, -1.0], [1.0, 1.0])
+        model.estimate(box)
+        with pytest.raises(ValueError):
+            model.feedback(box, 1.5)
+
+    def test_adaptation_reduces_error(self, rng):
+        """Online learning shrinks the error on a stable query workload."""
+        clusters = np.vstack(
+            [
+                rng.normal(loc=0.0, scale=0.05, size=(5000, 2)),
+                rng.normal(loc=3.0, scale=0.05, size=(5000, 2)),
+            ]
+        )
+        sample = clusters[rng.choice(len(clusters), size=256, replace=False)]
+        model = SelfTuningKDE(
+            sample,
+            row_source=ArrayRowSource(clusters),
+            population_size=len(clusters),
+            seed=3,
+        )
+
+        def workload_error():
+            errors = []
+            inner = np.random.default_rng(99)
+            for _ in range(50):
+                center = clusters[inner.integers(len(clusters))]
+                box = Box(center - 0.1, center + 0.1)
+                errors.append(
+                    abs(model.estimate(box) - true_selectivity(clusters, box))
+                )
+            return float(np.mean(errors))
+
+        before = workload_error()
+        for _ in range(300):
+            center = clusters[rng.integers(len(clusters))]
+            box = Box(center - 0.1, center + 0.1)
+            model.estimate(box)
+            model.feedback(box, true_selectivity(clusters, box))
+        after = workload_error()
+        assert after < before
+
+    def test_positivity_invariant_under_long_run(self, model, data, rng):
+        for _ in range(150):
+            center = data[rng.integers(len(data))]
+            box = Box(center - rng.uniform(0.05, 1.0, 2),
+                      center + rng.uniform(0.05, 1.0, 2))
+            model.estimate(box)
+            model.feedback(box, true_selectivity(data, box))
+            assert (model.bandwidth > 0).all()
+
+    def test_disabled_adaptation(self, data, rng):
+        cfg = SelfTuningConfig(adapt_bandwidth=False)
+        sample = data[:128]
+        model = SelfTuningKDE(sample, config=cfg)
+        before = model.bandwidth
+        for _ in range(30):
+            box = Box([-0.5, -0.5], [0.5, 0.5])
+            model.estimate(box)
+            model.feedback(box, true_selectivity(data, box))
+        np.testing.assert_array_equal(model.bandwidth, before)
+
+
+class TestSampleMaintenance:
+    def test_stale_points_replaced_after_mass_deletion(self, rng):
+        """Delete a cluster; karma maintenance flushes its sample points."""
+        cluster_a = rng.normal(loc=0.0, scale=0.1, size=(3000, 2))
+        cluster_b = rng.normal(loc=5.0, scale=0.1, size=(3000, 2))
+        data = np.vstack([cluster_a, cluster_b])
+        sample = data[rng.choice(len(data), size=128, replace=False)]
+        # Simulate deleting cluster B: the row source only serves cluster A.
+        model = SelfTuningKDE(
+            sample,
+            row_source=ArrayRowSource(cluster_a),
+            population_size=len(cluster_a),
+            seed=11,
+        )
+        in_b_before = int(
+            Box([4.0, 4.0], [6.0, 6.0]).contains_points(model.estimator.sample).sum()
+        )
+        assert in_b_before > 0
+        # Queries over the deleted cluster now return zero tuples.
+        for _ in range(40):
+            center = rng.normal(loc=5.0, scale=0.1, size=2)
+            box = Box(center - 0.4, center + 0.4)
+            model.estimate(box)
+            model.feedback(box, 0.0)
+        in_b_after = int(
+            Box([4.0, 4.0], [6.0, 6.0]).contains_points(model.estimator.sample).sum()
+        )
+        assert in_b_after < in_b_before
+        assert model.points_replaced > 0
+
+    def test_no_row_source_no_replacement(self, data, rng):
+        sample = data[:64]
+        model = SelfTuningKDE(sample, seed=0)
+        box = Box([-0.2, -0.2], [0.2, 0.2])
+        for _ in range(30):
+            model.estimate(box)
+            model.feedback(box, 0.0)
+        assert model.points_replaced == 0
+
+    def test_maintenance_disabled(self, data, rng):
+        cfg = SelfTuningConfig(maintain_sample=False)
+        sample = data[:64]
+        model = SelfTuningKDE(
+            sample, config=cfg, row_source=ArrayRowSource(data), seed=0
+        )
+        before = model.estimator.sample.copy()
+        box = Box([-0.2, -0.2], [0.2, 0.2])
+        for _ in range(30):
+            model.estimate(box)
+            model.feedback(box, 0.0)
+        np.testing.assert_array_equal(model.estimator.sample, before)
+
+
+class TestInsertDelete:
+    def test_insert_enters_sample_during_fill(self, data):
+        model = SelfTuningKDE(data[:64], population_size=64, seed=0)
+        # population == sample size: acceptance probability s/(n+1) < 1, so
+        # run many inserts and require at least one acceptance.
+        accepted = sum(
+            model.on_insert(np.array([50.0, 50.0])) for _ in range(100)
+        )
+        assert accepted > 0
+        assert Box([49.0, 49.0], [51.0, 51.0]).contains_points(
+            model.estimator.sample
+        ).any()
+
+    def test_insert_updates_population(self, data):
+        model = SelfTuningKDE(data[:64], population_size=1000, seed=0)
+        for _ in range(10):
+            model.on_insert(np.zeros(2))
+        assert model.reservoir.population_size == 1010
+
+    def test_insert_disabled(self, data):
+        cfg = SelfTuningConfig(reservoir_inserts=False)
+        model = SelfTuningKDE(data[:64], config=cfg, population_size=100)
+        assert model.on_insert(np.array([9.0, 9.0])) is False
+        assert model.reservoir.population_size == 101
+
+    def test_delete_decrements_population(self, data):
+        model = SelfTuningKDE(data[:64], population_size=100)
+        model.on_delete()
+        assert model.reservoir.population_size == 99
+
+    def test_delete_never_negative(self, data):
+        model = SelfTuningKDE(data[:64], population_size=0)
+        model.on_delete()
+        assert model.reservoir.population_size == 0

@@ -1,0 +1,171 @@
+"""Tests for batch bandwidth optimisation (problem (5), Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.gradient import QueryFeedback
+from repro.core.optimize import (
+    BandwidthOptimizer,
+    OptimizationResult,
+    optimize_bandwidth,
+)
+
+from ..conftest import random_data_centered_queries, true_selectivity
+
+
+@pytest.fixture
+def training_workload(gaussian_data, rng):
+    queries = random_data_centered_queries(gaussian_data, 40, rng)
+    return [
+        QueryFeedback(q, true_selectivity(gaussian_data, q)) for q in queries
+    ]
+
+
+class TestValidation:
+    def test_rejects_zero_starts(self):
+        with pytest.raises(ValueError):
+            BandwidthOptimizer(starts=0)
+
+    def test_rejects_small_bounds_factor(self):
+        with pytest.raises(ValueError):
+            BandwidthOptimizer(bounds_factor=1.0)
+
+    def test_rejects_empty_workload(self, small_sample):
+        with pytest.raises(ValueError):
+            BandwidthOptimizer().optimize(small_sample, [])
+
+
+class TestOptimization:
+    def test_improves_over_scott(self, small_sample, training_workload):
+        result = optimize_bandwidth(
+            small_sample, training_workload, starts=4, seed=0
+        )
+        assert result.loss <= result.initial_loss
+        assert result.improvement >= 0.0
+
+    def test_never_worse_than_initial(self, small_sample, training_workload):
+        # Even with a single start and almost no iterations the result must
+        # not regress below the Scott initialisation.
+        optimizer = BandwidthOptimizer(
+            starts=1, global_maxiter=1, local_maxiter=1, seed=0
+        )
+        result = optimizer.optimize(small_sample, training_workload)
+        assert result.loss <= result.initial_loss
+
+    def test_substantial_improvement_on_skewed_data(self, rng):
+        # Bimodal data where Scott's normal assumption badly oversmooths.
+        cluster_a = rng.normal(loc=0.0, scale=0.05, size=(5000, 2))
+        cluster_b = rng.normal(loc=5.0, scale=0.05, size=(5000, 2))
+        data = np.vstack([cluster_a, cluster_b])
+        sample = data[rng.choice(len(data), size=256, replace=False)]
+        queries = random_data_centered_queries(
+            data, 30, rng, width_range=(0.05, 0.3)
+        )
+        workload = [
+            QueryFeedback(q, true_selectivity(data, q)) for q in queries
+        ]
+        result = optimize_bandwidth(sample, workload, starts=4, seed=1)
+        assert result.improvement > 0.3
+
+    def test_deterministic_given_seed(self, small_sample, training_workload):
+        a = optimize_bandwidth(small_sample, training_workload, starts=4, seed=9)
+        b = optimize_bandwidth(small_sample, training_workload, starts=4, seed=9)
+        np.testing.assert_array_equal(a.bandwidth, b.bandwidth)
+        assert a.loss == b.loss
+
+    def test_positive_bandwidth(self, small_sample, training_workload):
+        result = optimize_bandwidth(
+            small_sample, training_workload, starts=3, seed=2
+        )
+        assert (result.bandwidth > 0).all()
+
+    def test_respects_initial_bandwidth(self, small_sample, training_workload):
+        initial = scott_bandwidth(small_sample) * 2.0
+        optimizer = BandwidthOptimizer(starts=1, seed=0)
+        result = optimizer.optimize(
+            small_sample, training_workload, initial_bandwidth=initial
+        )
+        est = KernelDensityEstimator(small_sample, initial)
+        expected_initial = np.mean(
+            [
+                float(
+                    (est.selectivity(fb.query) - fb.selectivity) ** 2
+                )
+                for fb in training_workload
+            ]
+        )
+        assert result.initial_loss == pytest.approx(expected_initial, rel=1e-9)
+
+    def test_result_metadata(self, small_sample, training_workload):
+        result = optimize_bandwidth(
+            small_sample, training_workload, starts=4, seed=3
+        )
+        assert isinstance(result, OptimizationResult)
+        assert result.starts == 4
+        assert len(result.start_losses) == 4
+        assert result.evaluations > 4
+
+    @pytest.mark.parametrize("loss", ["absolute", "squared_q"])
+    def test_other_losses(self, small_sample, training_workload, loss):
+        result = optimize_bandwidth(
+            small_sample, training_workload, loss=loss, starts=2, seed=4
+        )
+        assert result.loss <= result.initial_loss
+
+    def test_reduces_test_error_vs_scott(self, gaussian_data, rng):
+        """End-to-end: optimised bandwidth generalises to held-out queries."""
+        sample = gaussian_data[
+            rng.choice(len(gaussian_data), size=512, replace=False)
+        ]
+        train = random_data_centered_queries(gaussian_data, 50, rng)
+        test = random_data_centered_queries(gaussian_data, 50, rng)
+        workload = [
+            QueryFeedback(q, true_selectivity(gaussian_data, q)) for q in train
+        ]
+        result = optimize_bandwidth(sample, workload, starts=4, seed=5)
+
+        def mean_abs_error(bandwidth):
+            est = KernelDensityEstimator(sample, bandwidth)
+            return np.mean(
+                [
+                    abs(est.selectivity(q) - true_selectivity(gaussian_data, q))
+                    for q in test
+                ]
+            )
+
+        scott_error = mean_abs_error(scott_bandwidth(sample))
+        optimized_error = mean_abs_error(result.bandwidth)
+        # Allow a little generalisation slack, but the optimised bandwidth
+        # should be at least competitive with Scott out of sample.
+        assert optimized_error <= scott_error * 1.25
+
+
+class TestRestartPoints:
+    def test_count(self, small_sample):
+        optimizer = BandwidthOptimizer(starts=5, seed=0)
+        log_ref = np.zeros(3)
+        points = optimizer._restart_points(
+            log_ref, log_ref - 2, log_ref + 2, np.random.default_rng(0)
+        )
+        assert len(points) == 5
+        np.testing.assert_array_equal(points[0], log_ref)
+
+    def test_within_bounds(self):
+        optimizer = BandwidthOptimizer(starts=10, seed=0)
+        log_ref = np.zeros(4)
+        lower, upper = log_ref - 3, log_ref + 3
+        points = optimizer._restart_points(
+            log_ref, lower, upper, np.random.default_rng(1)
+        )
+        for p in points:
+            assert (p >= lower).all() and (p <= upper).all()
+
+    def test_single_start(self):
+        optimizer = BandwidthOptimizer(starts=1, seed=0)
+        points = optimizer._restart_points(
+            np.zeros(2), -np.ones(2), np.ones(2), np.random.default_rng(2)
+        )
+        assert len(points) == 1

@@ -1,0 +1,112 @@
+"""Tests for reservoir sampling (Algorithm R and the skip-based variant)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.reservoir import ReservoirSampler, SkipReservoirSampler
+
+SAMPLERS = [ReservoirSampler, SkipReservoirSampler]
+
+
+@pytest.mark.parametrize("cls", SAMPLERS, ids=lambda c: c.__name__)
+class TestCommonBehaviour:
+    def test_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+        with pytest.raises(ValueError):
+            cls(5, population_size=-1)
+
+    def test_fill_phase_sequential(self, cls):
+        sampler = cls(4, population_size=0, seed=0)
+        slots = [sampler.on_insert() for _ in range(4)]
+        assert slots == [0, 1, 2, 3]
+        assert sampler.accepted == 4
+
+    def test_population_counter(self, cls):
+        sampler = cls(4, population_size=10, seed=0)
+        for _ in range(25):
+            sampler.on_insert()
+        assert sampler.population_size == 35
+
+    def test_slots_in_range(self, cls):
+        sampler = cls(8, population_size=8, seed=1)
+        for _ in range(1000):
+            slot = sampler.on_insert()
+            if slot is not None:
+                assert 0 <= slot < 8
+
+    def test_acceptance_rate_declines(self, cls):
+        sampler = cls(10, population_size=10, seed=2)
+        accepted_early = 0
+        for _ in range(200):
+            if sampler.on_insert() is not None:
+                accepted_early += 1
+        accepted_late = 0
+        for _ in range(200):
+            if sampler.on_insert() is not None:
+                accepted_late += 1
+        assert accepted_early >= accepted_late
+
+    def test_expected_acceptance_count(self, cls):
+        """E[acceptances] = sum over inserts of s/n; check within 4 sigma."""
+        s, inserts = 20, 2000
+        expected = sum(s / n for n in range(s + 1, s + inserts + 1))
+        variance = sum(
+            (s / n) * (1 - s / n) for n in range(s + 1, s + inserts + 1)
+        )
+        counts = []
+        for seed in range(10):
+            sampler = cls(s, population_size=s, seed=seed)
+            count = sum(
+                1 for _ in range(inserts) if sampler.on_insert() is not None
+            )
+            counts.append(count)
+        mean = np.mean(counts)
+        sigma = np.sqrt(variance / len(counts))
+        assert abs(mean - expected) < 4 * sigma
+
+
+@pytest.mark.parametrize("cls", SAMPLERS, ids=lambda c: c.__name__)
+def test_uniformity_chi_squared(cls):
+    """Every stream element ends up in the final sample equally often.
+
+    Run many independent streams of length ``n`` through a reservoir of
+    size ``s``, track which elements survive, and chi-squared test the
+    survival counts against the uniform expectation ``trials * s / n``.
+    """
+    s, n, trials = 8, 40, 800
+    survival = np.zeros(n, dtype=int)
+    for seed in range(trials):
+        sampler = cls(s, population_size=0, seed=seed)
+        reservoir = [-1] * s
+        for element in range(n):
+            slot = sampler.on_insert()
+            if slot is not None:
+                reservoir[slot] = element
+        for element in reservoir:
+            survival[element] += 1
+    expected = trials * s / n
+    chi2 = float(((survival - expected) ** 2 / expected).sum())
+    # dof = n - 1; reject only at the 0.1% level to keep the test stable.
+    critical = stats.chi2.ppf(0.999, df=n - 1)
+    assert chi2 < critical, f"chi2={chi2:.1f} critical={critical:.1f}"
+
+
+class TestSkipSamplerAgainstAlgorithmR:
+    def test_same_acceptance_distribution(self):
+        """Skip-based acceptance counts match Algorithm R statistically."""
+        s, inserts, trials = 16, 500, 60
+        counts_r, counts_skip = [], []
+        for seed in range(trials):
+            r = ReservoirSampler(s, population_size=s, seed=seed)
+            z = SkipReservoirSampler(s, population_size=s, seed=seed + 10_000)
+            counts_r.append(
+                sum(1 for _ in range(inserts) if r.on_insert() is not None)
+            )
+            counts_skip.append(
+                sum(1 for _ in range(inserts) if z.on_insert() is not None)
+            )
+        # Two-sample t-test should not reject equality of means.
+        result = stats.ttest_ind(counts_r, counts_skip)
+        assert result.pvalue > 0.001

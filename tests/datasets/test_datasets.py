@@ -1,0 +1,154 @@
+"""Tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.datasets import (
+    DATASET_NAMES,
+    gaussian_clusters,
+    gunopulos_synthetic,
+    load_dataset,
+    project_dimensions,
+    uniform_noise,
+)
+
+
+class TestGunopulosSynthetic:
+    def test_shape_and_domain(self):
+        data = gunopulos_synthetic(rows=5000, dimensions=4, seed=0)
+        assert data.shape == (5000, 4)
+        assert Box.unit(4).contains_points(data).all()
+
+    def test_deterministic(self):
+        a = gunopulos_synthetic(rows=1000, dimensions=3, seed=7)
+        b = gunopulos_synthetic(rows=1000, dimensions=3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_clustered_structure(self):
+        """Clustered data is far from uniform: the densest small cell holds
+        much more than the uniform share."""
+        data = gunopulos_synthetic(
+            rows=20_000, dimensions=2, clusters=3, noise_fraction=0.05, seed=1
+        )
+        # 10x10 grid: uniform data would put ~1% in each cell.
+        hist, _, _ = np.histogram2d(
+            data[:, 0], data[:, 1], bins=10, range=[[0, 1], [0, 1]]
+        )
+        assert hist.max() / data.shape[0] > 0.05
+
+    def test_pure_noise(self):
+        data = gunopulos_synthetic(
+            rows=5000, dimensions=2, noise_fraction=1.0, seed=2
+        )
+        hist, _, _ = np.histogram2d(
+            data[:, 0], data[:, 1], bins=4, range=[[0, 1], [0, 1]]
+        )
+        # Uniform: every 1/16 cell near 312 points.
+        assert hist.min() > 200
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rows=0),
+            dict(noise_fraction=1.5),
+            dict(clusters=0),
+            dict(cluster_extent=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            gunopulos_synthetic(rows=kwargs.pop("rows", 100), **kwargs)
+
+
+class TestGaussianClusters:
+    def test_even_split(self):
+        centers = [np.zeros(2), np.full(2, 10.0)]
+        data = gaussian_clusters(1001, 2, centers, scale=0.1, seed=0)
+        assert data.shape == (1001, 2)
+        near_first = Box.from_center(centers[0], [2.0, 2.0]).contains_points(data)
+        assert 450 <= int(near_first.sum()) <= 551
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(0, 2, [np.zeros(2)])
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 2, [])
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 2, [np.zeros(3)])
+
+    def test_uniform_noise(self, rng):
+        box = Box([0.0, 5.0], [1.0, 6.0])
+        points = uniform_noise(100, box, rng)
+        assert box.contains_points(points).all()
+        assert uniform_noise(0, box, rng).shape == (0, 2)
+        with pytest.raises(ValueError):
+            uniform_noise(-1, box, rng)
+
+
+class TestStandins:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_shapes(self, name):
+        data = load_dataset(name, rows=2000, seed=0)
+        assert data.shape[0] == 2000
+        assert data.shape[1] >= 8
+        assert np.isfinite(data).all()
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic(self, name):
+        a = load_dataset(name, rows=500, seed=3)
+        b = load_dataset(name, rows=500, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_cardinalities(self):
+        # Spot-check the defaults match the paper without generating the
+        # giant ones.
+        assert load_dataset("bike", seed=0).shape == (17_379, 16)
+        assert load_dataset("protein", seed=0).shape == (45_730, 9)
+
+    @pytest.mark.parametrize("name", ["bike", "forest", "power", "protein"])
+    def test_correlated_attributes(self, name):
+        """Every stand-in must have substantial inter-attribute
+        correlation — the property that breaks AVI estimators."""
+        data = load_dataset(name, rows=5000, seed=0)
+        corr = np.corrcoef(data, rowvar=False)
+        np.fill_diagonal(corr, 0.0)
+        corr = np.nan_to_num(corr)
+        assert np.abs(corr).max() > 0.4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("imdb")
+
+
+class TestProjection:
+    def test_dimension_count(self, rng):
+        data = load_dataset("bike", rows=1000, seed=0)
+        projected = project_dimensions(data, 3, rng)
+        assert projected.shape == (1000, 3)
+
+    def test_columns_from_original(self, rng):
+        data = rng.normal(size=(100, 5)) * np.arange(1, 6)
+        projected = project_dimensions(data, 2, np.random.default_rng(0))
+        for j in range(2):
+            matches = [
+                np.allclose(projected[:, j], data[:, k]) for k in range(5)
+            ]
+            assert any(matches)
+
+    def test_prefers_informative_columns(self):
+        rng = np.random.default_rng(0)
+        data = np.column_stack([np.ones(100), rng.normal(size=(100, 3))])
+        for seed in range(5):
+            projected = project_dimensions(
+                data, 3, np.random.default_rng(seed)
+            )
+            assert (projected.std(axis=0) > 0).all()
+
+    def test_too_many_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            project_dimensions(np.zeros((10, 2)), 3, rng)
+
+    def test_load_with_projection(self):
+        data = load_dataset("forest", dimensions=3, rows=1000, seed=0)
+        assert data.shape == (1000, 3)

@@ -1,0 +1,86 @@
+"""Tests for the estimate/execute/feedback loop glue."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.baselines import AdaptiveKDE, HeuristicKDE
+from repro.db import FeedbackLoop, Table
+
+
+@pytest.fixture
+def table(rng):
+    return Table(2, initial_rows=rng.normal(size=(5000, 2)))
+
+
+class TestFeedbackLoop:
+    def test_run_query_records_observation(self, table, rng):
+        sample = table.analyze(256, rng)
+        loop = FeedbackLoop(table, HeuristicKDE(sample))
+        box = Box([-1.0, -1.0], [1.0, 1.0])
+        observation = loop.run_query(box)
+        assert observation.actual == table.selectivity(box)
+        assert 0.0 <= observation.estimated <= 1.0
+        assert len(loop.observations) == 1
+
+    def test_error_helpers(self, table, rng):
+        sample = table.analyze(256, rng)
+        loop = FeedbackLoop(table, HeuristicKDE(sample))
+        queries = [
+            Box(c - 0.5, c + 0.5)
+            for c in rng.normal(size=(20, 2))
+        ]
+        loop.run_workload(queries)
+        trace = loop.error_trace()
+        assert trace.shape == (20,)
+        assert loop.mean_absolute_error() == pytest.approx(float(trace.mean()))
+        assert loop.mean_absolute_error(last=5) == pytest.approx(
+            float(trace[-5:].mean())
+        )
+
+    def test_error_helpers_require_observations(self, table, rng):
+        loop = FeedbackLoop(table, HeuristicKDE(table.analyze(64, rng)))
+        with pytest.raises(ValueError):
+            loop.mean_absolute_error()
+
+    def test_adaptive_estimator_learns_through_loop(self, table, rng):
+        sample = table.analyze(256, rng)
+        estimator = AdaptiveKDE(
+            sample, row_source=table, population_size=len(table), seed=0
+        )
+        loop = FeedbackLoop(table, estimator).attach()
+        queries = [
+            Box(c - 0.4, c + 0.4)
+            for c in table.rows()[rng.integers(len(table), size=200)]
+        ]
+        loop.run_workload(queries)
+        early = float(loop.error_trace()[:50].mean())
+        late = float(loop.error_trace()[-50:].mean())
+        assert late <= early * 1.1  # no drift upward; usually improves
+
+    def test_bridge_forwards_inserts(self, table, rng):
+        sample = table.analyze(64, rng)
+        estimator = AdaptiveKDE(
+            sample, row_source=table, population_size=len(table), seed=0
+        )
+        loop = FeedbackLoop(table, estimator).attach()
+        population = estimator.model.reservoir.population_size
+        table.insert([0.0, 0.0])
+        assert estimator.model.reservoir.population_size == population + 1
+        table.delete_in(Box([-0.001, -0.001], [0.001, 0.001]))
+        loop.detach()
+        table.insert([1.0, 1.0])
+        # After detach, no more forwarding.
+        assert estimator.model.reservoir.population_size <= population + 1
+
+    def test_bridge_tolerates_static_estimators(self, table, rng):
+        loop = FeedbackLoop(table, HeuristicKDE(table.analyze(64, rng)))
+        loop.attach()
+        table.insert([0.0, 0.0])  # must not raise
+        table.delete_in(Box([-0.001, -0.001], [0.001, 0.001]))
+
+    def test_attach_idempotent(self, table, rng):
+        loop = FeedbackLoop(table, HeuristicKDE(table.analyze(64, rng)))
+        loop.attach().attach()
+        loop.detach()
+        loop.detach()  # second detach is a no-op

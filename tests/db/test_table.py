@@ -1,0 +1,237 @@
+"""Tests for the in-memory relational substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.db.table import QueryResult, Table, TableListener
+
+
+class RecordingListener(TableListener):
+    def __init__(self):
+        self.inserted = []
+        self.deleted = []
+
+    def on_insert(self, row):
+        self.inserted.append(row.copy())
+
+    def on_delete(self, row):
+        self.deleted.append(row.copy())
+
+
+@pytest.fixture
+def table(rng):
+    t = Table(2)
+    t.bulk_load(rng.uniform(0, 10, size=(1000, 2)))
+    return t
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = Table(3)
+        assert len(t) == 0
+        assert t.column_names == ["a0", "a1", "a2"]
+
+    def test_column_names(self):
+        t = Table(2, column_names=["x", "y"])
+        assert t.column_names == ["x", "y"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Table(0)
+        with pytest.raises(ValueError):
+            Table(2, column_names=["only_one"])
+
+    def test_initial_rows(self, rng):
+        rows = rng.normal(size=(50, 3))
+        t = Table(3, initial_rows=rows)
+        assert len(t) == 50
+        np.testing.assert_array_equal(t.rows(), rows)
+
+
+class TestModification:
+    def test_insert(self, table):
+        n = len(table)
+        table.insert([5.0, 5.0])
+        assert len(table) == n + 1
+        assert table.inserts == 1
+
+    def test_insert_shape_check(self, table):
+        with pytest.raises(ValueError):
+            table.insert([1.0])
+
+    def test_insert_many(self, table):
+        n = len(table)
+        table.insert_many(np.zeros((5, 2)))
+        assert len(table) == n + 5
+
+    def test_capacity_growth(self):
+        t = Table(2)
+        t.bulk_load(np.zeros((5000, 2)))
+        assert len(t) == 5000
+
+    def test_bulk_load_no_notifications(self):
+        t = Table(2)
+        listener = RecordingListener()
+        t.add_listener(listener)
+        t.bulk_load(np.zeros((10, 2)))
+        assert listener.inserted == []
+
+    def test_delete_in(self, table):
+        region = Box([0.0, 0.0], [5.0, 5.0])
+        expected = table.count(region)
+        deleted = table.delete_in(region)
+        assert deleted == expected
+        assert table.count(region) == 0
+        assert table.deletes == expected
+
+    def test_delete_where_shape_check(self, table):
+        with pytest.raises(ValueError):
+            table.delete_where(lambda rows: np.array([True]))
+
+    def test_update_where(self, table):
+        region = Box([0.0, 0.0], [5.0, 5.0])
+        count_before = table.count(region)
+        changed = table.update_where(
+            lambda rows: region.contains_points(rows),
+            lambda rows: rows + 100.0,
+        )
+        assert changed == count_before
+        assert table.count(region) == 0
+        shifted = Box([100.0, 100.0], [105.0, 105.0])
+        assert table.count(shifted) == count_before
+
+    def test_update_preserves_cardinality(self, table):
+        n = len(table)
+        table.update_where(
+            lambda rows: rows[:, 0] > 5.0, lambda rows: rows * 2.0
+        )
+        assert len(table) == n
+
+    def test_update_shape_check(self, table):
+        with pytest.raises(ValueError):
+            table.update_where(
+                lambda rows: rows[:, 0] > 5.0,
+                lambda rows: rows[:, :1],
+            )
+
+
+class TestListeners:
+    def test_insert_notification(self, table):
+        listener = RecordingListener()
+        table.add_listener(listener)
+        table.insert([1.0, 2.0])
+        assert len(listener.inserted) == 1
+        np.testing.assert_array_equal(listener.inserted[0], [1.0, 2.0])
+
+    def test_delete_notification(self, table):
+        listener = RecordingListener()
+        table.add_listener(listener)
+        deleted = table.delete_in(Box([0.0, 0.0], [3.0, 3.0]))
+        assert len(listener.deleted) == deleted
+
+    def test_update_notifies_delete_then_insert(self, table):
+        listener = RecordingListener()
+        table.add_listener(listener)
+        changed = table.update_where(
+            lambda rows: rows[:, 0] < 1.0, lambda rows: rows + 50.0
+        )
+        assert len(listener.deleted) == changed
+        assert len(listener.inserted) == changed
+
+    def test_remove_listener(self, table):
+        listener = RecordingListener()
+        table.add_listener(listener)
+        table.remove_listener(listener)
+        table.insert([0.0, 0.0])
+        assert listener.inserted == []
+
+
+class TestQueries:
+    def test_count_matches_brute_force(self, table, rng):
+        for _ in range(10):
+            center = rng.uniform(0, 10, 2)
+            box = Box(center - 1.0, center + 1.0)
+            expected = int(box.contains_points(table.rows()).sum())
+            assert table.count(box) == expected
+
+    def test_select(self, table):
+        box = Box([2.0, 2.0], [4.0, 4.0])
+        rows = table.select(box)
+        assert rows.shape[0] == table.count(box)
+        assert box.contains_points(rows).all()
+
+    def test_execute_result(self, table):
+        box = Box([0.0, 0.0], [10.0, 10.0])
+        result = table.execute(box)
+        assert isinstance(result, QueryResult)
+        assert result.count == len(table)
+        assert result.selectivity == pytest.approx(1.0)
+
+    def test_selectivity_empty_table(self):
+        t = Table(2)
+        assert t.execute(Box([0.0, 0.0], [1.0, 1.0])).selectivity == 0.0
+
+    def test_dimension_mismatch(self, table):
+        with pytest.raises(ValueError):
+            table.count(Box([0.0], [1.0]))
+
+    def test_bounds(self, table):
+        bounds = table.bounds()
+        assert bounds.contains_points(table.rows()).all()
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            Table(2).bounds()
+
+    def test_rows_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.rows()[0, 0] = 1.0
+
+
+class TestSampling:
+    def test_analyze_size(self, table, rng):
+        sample = table.analyze(100, rng)
+        assert sample.shape == (100, 2)
+
+    def test_analyze_without_replacement(self, table, rng):
+        sample = table.analyze(len(table), rng)
+        assert sample.shape[0] == len(table)
+        # All rows distinct (no replacement).
+        assert np.unique(sample, axis=0).shape[0] == len(table)
+
+    def test_analyze_caps_at_table_size(self, rng):
+        t = Table(2, initial_rows=rng.normal(size=(10, 2)))
+        assert t.analyze(100, rng).shape[0] == 10
+
+    def test_analyze_validation(self, table, rng):
+        with pytest.raises(ValueError):
+            table.analyze(0, rng)
+        with pytest.raises(ValueError):
+            Table(2).analyze(10, rng)
+
+    def test_sample_rows_with_replacement(self, rng):
+        t = Table(2, initial_rows=rng.normal(size=(5, 2)))
+        rows = t.sample_rows(50, rng)
+        assert rows.shape == (50, 2)
+
+    def test_sample_rows_empty_table(self, rng):
+        assert Table(2).sample_rows(5, rng).shape == (0, 2)
+
+
+class TestFailureInjection:
+    def test_rejects_nan_bulk_load(self):
+        t = Table(2)
+        with pytest.raises(ValueError, match="non-finite"):
+            t.bulk_load(np.array([[1.0, np.nan]]))
+
+    def test_rejects_nan_insert(self):
+        t = Table(2)
+        with pytest.raises(ValueError, match="non-finite"):
+            t.insert([np.inf, 0.0])
+
+    def test_table_unchanged_after_rejected_insert(self, table):
+        n = len(table)
+        with pytest.raises(ValueError):
+            t = table.insert([np.nan, 0.0])
+        assert len(table) == n

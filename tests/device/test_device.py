@@ -1,0 +1,217 @@
+"""Tests for the simulated device layer: specs, buffers, runtime, costs."""
+
+import numpy as np
+import pytest
+
+from repro.device.buffers import DeviceBuffer, TransferLog
+from repro.device.costmodel import DeviceCostModel, STHolesCostModel
+from repro.device.runtime import DeviceContext
+from repro.device.specs import GTX460, XEON_E5620, DeviceSpec, named_device
+
+
+class TestSpecs:
+    def test_presets(self):
+        assert GTX460.kind == "gpu"
+        assert XEON_E5620.kind == "cpu"
+        # The paper's headline: the GPU has ~4x the kernel throughput.
+        ratio = GTX460.compute_throughput / XEON_E5620.compute_throughput
+        assert 3.0 <= ratio <= 5.0
+
+    def test_named_lookup(self):
+        assert named_device("gpu") is GTX460
+        assert named_device("cpu") is XEON_E5620
+        with pytest.raises(ValueError):
+            named_device("tpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "fpga", 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "gpu", -1.0, 1.0, 1.0, 1.0)
+
+
+class TestCostModel:
+    def test_kernel_cost_linear(self):
+        model = DeviceCostModel(GTX460)
+        base = model.kernel_seconds(0)
+        assert base == GTX460.kernel_launch_latency
+        assert model.kernel_seconds(10_000_000) > 10 * base
+
+    def test_transfer_cost(self):
+        model = DeviceCostModel(GTX460)
+        assert model.transfer_seconds(0) == GTX460.transfer_latency
+        one_gb = model.transfer_seconds(10 ** 9)
+        assert one_gb == pytest.approx(
+            GTX460.transfer_latency + 1e9 / GTX460.transfer_bandwidth
+        )
+
+    def test_validation(self):
+        model = DeviceCostModel(GTX460)
+        with pytest.raises(ValueError):
+            model.kernel_seconds(-1)
+        with pytest.raises(ValueError):
+            model.transfer_seconds(-1)
+
+    def test_stholes_model(self):
+        model = STHolesCostModel()
+        assert model.estimate_seconds(0) == model.base_seconds
+        assert model.estimate_seconds(1000) > model.estimate_seconds(10)
+        with pytest.raises(ValueError):
+            model.estimate_seconds(-1)
+
+
+class TestBuffers:
+    def test_write_read_roundtrip(self):
+        buffer = DeviceBuffer("b", np.arange(6.0).reshape(2, 3))
+        data = buffer.read()
+        np.testing.assert_array_equal(data, np.arange(6.0).reshape(2, 3))
+        buffer.write(np.ones((2, 3)))
+        np.testing.assert_array_equal(buffer.read(), np.ones((2, 3)))
+
+    def test_write_shape_check(self):
+        buffer = DeviceBuffer("b", np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            buffer.write(np.zeros((3, 2)))
+
+    def test_write_rows(self):
+        buffer = DeviceBuffer("b", np.zeros((4, 2)))
+        nbytes = buffer.write_rows(np.array([1, 3]), np.ones((2, 2)))
+        assert nbytes == 2 * 2 * 8
+        np.testing.assert_array_equal(buffer.data[1], [1.0, 1.0])
+        np.testing.assert_array_equal(buffer.data[0], [0.0, 0.0])
+
+    def test_transfer_log(self):
+        log = TransferLog()
+        log.record("to_device", 100, "sample")
+        log.record("to_host", 8, "estimate")
+        log.record("to_device", 50, "sample")
+        assert log.count == 3
+        assert log.total_bytes == 158
+        assert log.bytes_in_direction("to_device") == 150
+        assert log.bytes_for_label("sample") == 150
+        log.clear()
+        assert log.count == 0
+
+
+class TestContext:
+    def test_clock_accumulates(self):
+        ctx = DeviceContext.for_device("gpu")
+        assert ctx.elapsed_seconds == 0.0
+        ctx.launch("k", 1000)
+        first = ctx.elapsed_seconds
+        assert first > 0
+        ctx.launch("k", 1000)
+        assert ctx.elapsed_seconds == pytest.approx(2 * first)
+        ctx.reset_clock()
+        assert ctx.elapsed_seconds == 0.0
+
+    def test_upload_download_metered(self):
+        ctx = DeviceContext.for_device("gpu")
+        ctx.upload("buf", np.zeros(100, dtype=np.float32))
+        assert ctx.transfers.bytes_in_direction("to_device") == 400
+        data = ctx.download("buf")
+        assert data.shape == (100,)
+        assert ctx.transfers.bytes_in_direction("to_host") == 400
+
+    def test_upload_overwrites(self):
+        ctx = DeviceContext.for_device("cpu")
+        ctx.upload("buf", np.zeros(4))
+        ctx.upload("buf", np.ones(4))
+        np.testing.assert_array_equal(ctx.buffer("buf").data, np.ones(4))
+        assert ctx.transfers.count == 2
+
+    def test_allocate_not_metered(self):
+        ctx = DeviceContext.for_device("gpu")
+        ctx.allocate("scratch", np.zeros(1000))
+        assert ctx.transfers.count == 0
+        with pytest.raises(ValueError):
+            ctx.allocate("scratch", np.zeros(1))
+
+    def test_upload_rows(self):
+        ctx = DeviceContext.for_device("gpu")
+        ctx.upload("sample", np.zeros((10, 2)))
+        ctx.upload_rows("sample", np.array([0]), np.ones((1, 2)))
+        np.testing.assert_array_equal(ctx.buffer("sample").data[0], [1.0, 1.0])
+        assert ctx.transfers.count == 2
+
+    def test_missing_buffer(self):
+        ctx = DeviceContext.for_device("gpu")
+        with pytest.raises(KeyError):
+            ctx.buffer("nope")
+
+    def test_free(self):
+        ctx = DeviceContext.for_device("gpu")
+        ctx.allocate("tmp", np.zeros(2))
+        ctx.free("tmp")
+        with pytest.raises(KeyError):
+            ctx.buffer("tmp")
+
+    def test_launch_counting(self):
+        ctx = DeviceContext.for_device("gpu")
+        ctx.launch("contribution", 10)
+        ctx.launch("contribution", 10)
+        ctx.reduce("sum", 10)
+        assert ctx.launch_count() == 3
+        assert ctx.launch_count("contribution") == 2
+        assert ctx.launch_count("sum") == 1
+
+
+class TestCodegen:
+    def test_contribution_matches_core(self, rng):
+        from repro.core import KernelDensityEstimator
+        from repro.device.codegen import compile_contribution_kernel
+        from repro.geometry import Box
+
+        sample = rng.normal(size=(128, 3))
+        h = np.array([0.4, 0.6, 0.8])
+        kernel = compile_contribution_kernel(3, "float64")
+        box = Box([-1.0, -0.5, 0.0], [1.0, 0.5, 2.0])
+        generated = kernel(sample, box.low, box.high, h)
+        expected = KernelDensityEstimator(sample, h).contributions(box)
+        np.testing.assert_allclose(generated, expected, atol=1e-14)
+
+    def test_gradient_matches_core(self, rng):
+        from repro.core import KernelDensityEstimator
+        from repro.device.codegen import compile_gradient_kernel
+        from repro.geometry import Box
+
+        sample = rng.normal(size=(128, 3))
+        h = np.array([0.4, 0.6, 0.8])
+        kernel = compile_gradient_kernel(3, "float64")
+        box = Box([-1.0, -0.5, 0.0], [1.0, 0.5, 2.0])
+        generated = kernel(sample, box.low, box.high, h).mean(axis=0)
+        expected = KernelDensityEstimator(sample, h).selectivity_gradient(box)
+        np.testing.assert_allclose(generated, expected, atol=1e-12)
+
+    def test_one_dimensional(self, rng):
+        from repro.device.codegen import (
+            compile_contribution_kernel,
+            compile_gradient_kernel,
+        )
+
+        sample = rng.normal(size=(64, 1))
+        h = np.array([0.5])
+        c = compile_contribution_kernel(1, "float64")
+        g = compile_gradient_kernel(1, "float64")
+        low, high = np.array([-1.0]), np.array([1.0])
+        assert c(sample, low, high, h).shape == (64,)
+        assert g(sample, low, high, h).shape == (64, 1)
+
+    def test_cache(self):
+        from repro.device.codegen import (
+            clear_kernel_cache,
+            compile_contribution_kernel,
+            kernel_cache_size,
+        )
+
+        clear_kernel_cache()
+        k1 = compile_contribution_kernel(4, "float32")
+        k2 = compile_contribution_kernel(4, "float32")
+        assert k1 is k2
+        assert kernel_cache_size() == 1
+
+    def test_validation(self):
+        from repro.device.codegen import compile_contribution_kernel
+
+        with pytest.raises(ValueError):
+            compile_contribution_kernel(0)

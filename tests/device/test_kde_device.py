@@ -1,0 +1,184 @@
+"""Tests for the device-resident KDE and the Figure 7 timing shape."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.core import KernelDensityEstimator, scott_bandwidth
+from repro.device import DeviceContext, DeviceKDE
+
+
+@pytest.fixture
+def sample(rng):
+    return rng.normal(size=(1024, 4))
+
+
+@pytest.fixture
+def query():
+    return Box(np.full(4, -1.0), np.full(4, 1.0))
+
+
+def make_kde(sample, device="gpu", **kwargs):
+    ctx = DeviceContext.for_device(device)
+    return DeviceKDE(sample, ctx, **kwargs), ctx
+
+
+class TestCorrectness:
+    def test_float64_matches_core_exactly(self, sample, query):
+        kde, _ = make_kde(sample, precision="float64", adaptive=False)
+        core = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        assert kde.estimate(query) == pytest.approx(
+            core.selectivity(query), abs=1e-15
+        )
+
+    def test_float32_close_to_core(self, sample, query):
+        kde, _ = make_kde(sample, precision="float32", adaptive=False)
+        core = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        assert kde.estimate(query) == pytest.approx(
+            core.selectivity(query), abs=1e-5
+        )
+
+    def test_validation(self, sample):
+        ctx = DeviceContext.for_device("gpu")
+        with pytest.raises(ValueError):
+            DeviceKDE(np.zeros((1, 2)), ctx)
+        with pytest.raises(ValueError):
+            DeviceKDE(sample, ctx, precision="float16")
+        with pytest.raises(ValueError):
+            DeviceKDE(sample, ctx, bandwidth=np.array([1.0, -1.0, 1.0, 1.0]))
+
+    def test_query_dimension_check(self, sample):
+        kde, _ = make_kde(sample)
+        with pytest.raises(ValueError):
+            kde.estimate(Box([0.0], [1.0]))
+
+    def test_set_bandwidth(self, sample, query):
+        kde, ctx = make_kde(sample, precision="float64", adaptive=False)
+        new_h = np.full(4, 0.5)
+        kde.set_bandwidth(new_h)
+        core = KernelDensityEstimator(sample, new_h)
+        assert kde.estimate(query) == pytest.approx(core.selectivity(query))
+        with pytest.raises(ValueError):
+            kde.set_bandwidth(np.array([1.0]))
+
+
+class TestChoreography:
+    def test_construction_is_one_bulk_transfer(self, sample):
+        kde, ctx = make_kde(sample, adaptive=False)
+        sample_bytes = ctx.transfers.bytes_for_label("sample")
+        assert sample_bytes == 1024 * 4 * 4  # float32 row-major sample
+        # Scott initialisation: two reduction launches (sums and squares).
+        assert ctx.launch_count("column_sums") == 1
+        assert ctx.launch_count("column_squares") == 1
+
+    def test_estimate_transfer_pattern(self, sample, query):
+        kde, ctx = make_kde(sample, adaptive=False)
+        ctx.transfers.clear()
+        kde.estimate(query)
+        # Exactly: query bounds in, estimate out (footnote 2 of the paper).
+        assert ctx.transfers.bytes_for_label("query_bounds") == 8 * 4
+        assert ctx.transfers.bytes_for_label("estimate") == 4
+        assert ctx.transfers.count == 2
+
+    def test_adaptive_adds_hidden_kernels(self, sample, query):
+        kde, ctx = make_kde(sample, adaptive=True)
+        kde.estimate(query)
+        assert ctx.launch_count("gradient") == 1
+        assert ctx.launch_count("gradient_reduction") == 1
+        # Hidden behind query runtime: priced with zero work terms.
+        gradient_launches = [
+            r for r in ctx.launches if r.kernel == "gradient"
+        ]
+        assert gradient_launches[0].term_count == 0
+
+    def test_feedback_updates_bandwidth_after_batch(self, sample, query):
+        kde, ctx = make_kde(sample, adaptive=True, precision="float64")
+        before = kde.bandwidth
+        for _ in range(kde.tuner.config.batch_size):
+            kde.estimate(query)
+            kde.feedback(query, 0.9)
+        assert kde.tuner.updates_applied == 1
+        assert not np.array_equal(kde.bandwidth, before)
+
+    def test_feedback_returns_flagged_points(self, rng):
+        sample = rng.uniform(-5, 5, size=(256, 2))
+        ctx = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(
+            sample, ctx, bandwidth=np.array([0.2, 0.2]), adaptive=True
+        )
+        query = Box([-2.0, -2.0], [2.0, 2.0])
+        kde.estimate(query)
+        flagged = kde.feedback(query, 0.0)  # empty region: shortcut fires
+        assert flagged.size > 0
+        assert ctx.transfers.bytes_for_label("replacement_bitmap") > 0
+
+    def test_replace_rows(self, rng):
+        sample = rng.uniform(-5, 5, size=(256, 2))
+        ctx = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(sample, ctx, adaptive=True)
+        kde.replace_rows(np.array([0, 1]), np.full((2, 2), 3.0))
+        np.testing.assert_allclose(
+            ctx.buffer("sample").data[0], [3.0, 3.0], atol=1e-6
+        )
+        assert ctx.transfers.bytes_for_label("sample_replacement") == 2 * 2 * 4
+
+    def test_feedback_without_estimate_recomputes(self, sample, query):
+        kde, _ = make_kde(sample, adaptive=True)
+        flagged = kde.feedback(query, 0.5)
+        assert flagged.size == 0
+
+    def test_non_adaptive_feedback_noop(self, sample, query):
+        kde, ctx = make_kde(sample, adaptive=False)
+        kde.estimate(query)
+        assert kde.feedback(query, 0.5).size == 0
+
+    def test_feedback_validation(self, sample, query):
+        kde, _ = make_kde(sample, adaptive=True)
+        kde.estimate(query)
+        with pytest.raises(ValueError):
+            kde.feedback(query, 2.0)
+
+
+class TestTimingShape:
+    """The qualitative runtime claims of Section 6.4 / Figure 7."""
+
+    @staticmethod
+    def _per_query_seconds(device, sample_size, adaptive, rng):
+        data = rng.normal(size=(sample_size, 8))
+        ctx = DeviceContext.for_device(device)
+        kde = DeviceKDE(data, ctx, adaptive=adaptive)
+        query = Box(np.full(8, -1.0), np.full(8, 1.0))
+        ctx.reset_clock()
+        repeats = 5
+        for _ in range(repeats):
+            kde.estimate(query)
+            if adaptive:
+                kde.feedback(query, 0.3)
+        return ctx.elapsed_seconds / repeats
+
+    def test_flat_then_linear(self, rng):
+        small = self._per_query_seconds("gpu", 1024, False, rng)
+        mid = self._per_query_seconds("gpu", 16_384, False, rng)
+        large = self._per_query_seconds("gpu", 131_072, False, rng)
+        # Flat start: 16x the points costs less than 3x the time.
+        assert mid < 3 * small
+        # Linear tail: 8x the points costs at least 3x the time.
+        assert large > 3 * mid
+
+    def test_gpu_faster_than_cpu_on_large_models(self, rng):
+        gpu = self._per_query_seconds("gpu", 131_072, False, rng)
+        cpu = self._per_query_seconds("cpu", 131_072, False, rng)
+        assert 2.5 <= cpu / gpu <= 6.0
+
+    def test_adaptive_overhead_constant(self, rng):
+        gaps = []
+        for size in (1024, 16_384, 131_072):
+            heuristic = self._per_query_seconds("gpu", size, False, rng)
+            adaptive = self._per_query_seconds("gpu", size, True, rng)
+            gaps.append(adaptive - heuristic)
+        # The adaptive overhead does not grow with the model size.
+        assert max(gaps) < 2.0 * min(gaps) + 1e-6
+
+    def test_gpu_under_1point5ms_at_128k(self, rng):
+        adaptive = self._per_query_seconds("gpu", 131_072, True, rng)
+        assert adaptive < 1.5e-3

@@ -1,0 +1,127 @@
+"""Tests for device fission and multi-device estimation (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.core import KernelDensityEstimator, scott_bandwidth
+from repro.device import DeviceContext, DeviceKDE, GTX460
+from repro.device.partition import MultiDeviceKDE, fission
+from repro.device.runtime import DeviceContext as Context
+
+
+@pytest.fixture
+def sample(rng):
+    return rng.normal(size=(4096, 4))
+
+
+@pytest.fixture
+def query():
+    return Box(np.full(4, -1.0), np.full(4, 1.0))
+
+
+class TestFission:
+    def test_scales_compute_only(self):
+        sub = fission(GTX460, 0.1)
+        assert sub.compute_throughput == pytest.approx(
+            GTX460.compute_throughput * 0.1
+        )
+        assert sub.kernel_launch_latency == GTX460.kernel_launch_latency
+        assert sub.transfer_latency == GTX460.transfer_latency
+        assert "10%" in sub.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fission(GTX460, 0.0)
+        with pytest.raises(ValueError):
+            fission(GTX460, 1.5)
+
+    def test_large_models_slow_down_proportionally(self, sample, query):
+        """At 10% of the device, compute-bound estimation is ~10x slower,
+        while latency-bound small models barely change."""
+
+        def per_query(spec, points):
+            context = Context(spec=spec)
+            kde = DeviceKDE(sample[:points] if points <= len(sample) else
+                            np.tile(sample, (points // len(sample) + 1, 1))[:points],
+                            context, adaptive=False)
+            context.reset_clock()
+            kde.estimate(query)
+            return context.elapsed_seconds
+
+        full_large = per_query(GTX460, 131_072)
+        sub_large = per_query(fission(GTX460, 0.1), 131_072)
+        assert 5.0 <= sub_large / full_large <= 11.0
+
+        full_small = per_query(GTX460, 1024)
+        sub_small = per_query(fission(GTX460, 0.1), 1024)
+        assert sub_small / full_small < 1.5
+
+    def test_numerics_unchanged(self, sample, query):
+        context = Context(spec=fission(GTX460, 0.25))
+        kde = DeviceKDE(sample, context, precision="float64", adaptive=False)
+        core = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        assert kde.estimate(query) == pytest.approx(
+            core.selectivity(query), abs=1e-15
+        )
+
+
+class TestMultiDevice:
+    def make(self, sample, devices=2, **kwargs):
+        contexts = [DeviceContext.for_device("gpu") for _ in range(devices)]
+        return MultiDeviceKDE(sample, contexts, **kwargs), contexts
+
+    def test_matches_single_device_estimate(self, sample, query):
+        multi, _ = self.make(sample, devices=4, precision="float64")
+        single = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        assert multi.estimate(query) == pytest.approx(
+            single.selectivity(query), abs=1e-12
+        )
+
+    def test_uneven_shards_weighted_correctly(self, rng, query):
+        sample = rng.normal(size=(1001, 4))  # not divisible by 3
+        multi, _ = self.make(sample, devices=3, precision="float64")
+        single = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        assert multi.sample_size == 1001
+        assert multi.estimate(query) == pytest.approx(
+            single.selectivity(query), abs=1e-12
+        )
+
+    def test_parallel_speedup_on_large_models(self, rng, query):
+        sample = rng.normal(size=(131_072, 4))
+        single, single_ctx = self.make(sample, devices=1)
+        single_ctx[0].reset_clock()
+        single.reset_clock()
+        single.estimate(query)
+        one = single.parallel_elapsed_seconds
+
+        quad, _ = self.make(sample, devices=4)
+        quad.reset_clock()
+        quad.estimate(query)
+        four = quad.parallel_elapsed_seconds
+        # Compute-bound regime: near-linear scaling (latency overheads
+        # keep it below 4x).
+        assert 2.0 <= one / four <= 4.2
+
+    def test_set_bandwidth_broadcasts(self, sample, query):
+        multi, _ = self.make(sample, devices=2, precision="float64")
+        new_h = np.full(4, 0.5)
+        multi.set_bandwidth(new_h)
+        single = KernelDensityEstimator(sample, new_h)
+        assert multi.estimate(query) == pytest.approx(
+            single.selectivity(query), abs=1e-12
+        )
+        np.testing.assert_array_equal(multi.bandwidth, new_h)
+
+    def test_validation(self, sample):
+        with pytest.raises(ValueError):
+            MultiDeviceKDE(sample, [])
+        with pytest.raises(ValueError):
+            MultiDeviceKDE(
+                np.zeros((3, 2)),
+                [DeviceContext.for_device("gpu") for _ in range(2)],
+            )
+
+    def test_device_count(self, sample):
+        multi, _ = self.make(sample, devices=3)
+        assert multi.device_count == 3

@@ -1,0 +1,221 @@
+"""Tests for the shared Box / RangeQuery geometry type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import Box, RangeQuery, intersect, union_bounds
+
+
+def boxes(dimensions: int = 3):
+    """Hypothesis strategy generating valid boxes."""
+    coords = hnp.arrays(
+        np.float64,
+        shape=(2, dimensions),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    )
+    return coords.map(
+        lambda pair: Box(np.minimum(pair[0], pair[1]), np.maximum(pair[0], pair[1]))
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = Box([0.0, 0.0], [1.0, 2.0])
+        assert box.dimensions == 2
+        assert box.volume() == pytest.approx(2.0)
+        np.testing.assert_array_equal(box.center, [0.5, 1.0])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Box([1.0], [0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Box([0.0, 0.0], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box([], [])
+
+    def test_rejects_matrix_bounds(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_from_center(self):
+        box = Box.from_center([1.0, 1.0], [2.0, 4.0])
+        np.testing.assert_array_equal(box.low, [0.0, -1.0])
+        np.testing.assert_array_equal(box.high, [2.0, 3.0])
+
+    def test_from_center_rejects_negative_width(self):
+        with pytest.raises(ValueError):
+            Box.from_center([0.0], [-1.0])
+
+    def test_unit(self):
+        box = Box.unit(4)
+        assert box.volume() == pytest.approx(1.0)
+        assert box.dimensions == 4
+
+    def test_bounding(self):
+        points = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        box = Box.bounding(points)
+        np.testing.assert_array_equal(box.low, [0.0, 1.0])
+        np.testing.assert_array_equal(box.high, [2.0, 5.0])
+
+    def test_bounding_margin(self):
+        box = Box.bounding(np.array([[1.0]]), margin=0.5)
+        np.testing.assert_array_equal(box.low, [0.5])
+        np.testing.assert_array_equal(box.high, [1.5])
+
+    def test_bounding_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box.bounding(np.empty((0, 2)))
+
+    def test_range_query_alias(self):
+        assert RangeQuery is Box
+
+
+class TestPredicates:
+    def test_contains_points(self):
+        box = Box([0.0, 0.0], [1.0, 1.0])
+        points = np.array([[0.5, 0.5], [1.5, 0.5], [1.0, 1.0]])
+        np.testing.assert_array_equal(
+            box.contains_points(points), [True, False, True]
+        )
+
+    def test_contains_points_single(self):
+        box = Box([0.0], [1.0])
+        assert box.contains_points(np.array([0.5]))[0]
+
+    def test_contains_box(self):
+        outer = Box([0.0, 0.0], [2.0, 2.0])
+        inner = Box([0.5, 0.5], [1.0, 1.0])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_intersects(self):
+        a = Box([0.0], [1.0])
+        b = Box([0.5], [2.0])
+        c = Box([1.5], [2.0])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert b.intersects(c)
+
+    def test_intersects_at_boundary(self):
+        a = Box([0.0], [1.0])
+        b = Box([1.0], [2.0])
+        assert a.intersects(b)
+
+    def test_degenerate(self):
+        assert Box([0.0, 0.0], [0.0, 1.0]).is_degenerate()
+        assert not Box([0.0, 0.0], [0.1, 1.0]).is_degenerate()
+
+
+class TestOperations:
+    def test_intersect(self):
+        a = Box([0.0, 0.0], [2.0, 2.0])
+        b = Box([1.0, -1.0], [3.0, 1.0])
+        result = a.intersect(b)
+        assert result == Box([1.0, 0.0], [2.0, 1.0])
+
+    def test_intersect_disjoint(self):
+        assert Box([0.0], [1.0]).intersect(Box([2.0], [3.0])) is None
+
+    def test_module_level_intersect(self):
+        assert intersect(Box([0.0], [2.0]), Box([1.0], [3.0])) == Box([1.0], [2.0])
+
+    def test_clip_to(self):
+        box = Box([-1.0], [5.0])
+        assert box.clip_to(Box([0.0], [1.0])) == Box([0.0], [1.0])
+
+    def test_clip_to_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Box([0.0], [1.0]).clip_to(Box([2.0], [3.0]))
+
+    def test_expand(self):
+        box = Box([0.0], [2.0]).expand(2.0)
+        assert box == Box([-1.0], [3.0])
+
+    def test_expand_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Box([0.0], [1.0]).expand(-1.0)
+
+    def test_translate(self):
+        assert Box([0.0], [1.0]).translate([2.0]) == Box([2.0], [3.0])
+
+    def test_corners(self):
+        corners = Box([0.0, 0.0], [1.0, 1.0]).corners()
+        assert corners.shape == (4, 2)
+        assert {tuple(c) for c in corners} == {
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+        }
+
+    def test_sample_uniform(self):
+        rng = np.random.default_rng(0)
+        box = Box([0.0, 10.0], [1.0, 20.0])
+        points = box.sample_uniform(500, rng)
+        assert points.shape == (500, 2)
+        assert box.contains_points(points).all()
+
+    def test_iter(self):
+        intervals = list(Box([0.0, 1.0], [2.0, 3.0]))
+        assert intervals == [(0.0, 2.0), (1.0, 3.0)]
+
+    def test_union_bounds(self):
+        result = union_bounds([Box([0.0], [1.0]), Box([-1.0], [0.5])])
+        assert result == Box([-1.0], [1.0])
+
+    def test_union_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_bounds([])
+
+    def test_hash_and_eq(self):
+        a = Box([0.0], [1.0])
+        b = Box([0.0], [1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Box([0.0], [2.0])
+        assert len({a, b}) == 1
+
+    def test_eq_other_type(self):
+        assert Box([0.0], [1.0]) != "box"
+
+
+class TestProperties:
+    @given(boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_center_inside(self, box):
+        assert box.contains_points(box.center[None, :])[0]
+
+    @given(boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_volume_non_negative(self, box):
+        assert box.volume() >= 0.0
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_within_both(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert a.contains_box(result)
+            assert b.contains_box(result)
+            assert result.volume() <= min(a.volume(), b.volume()) + 1e-9
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_symmetric(self, a, b):
+        ab = a.intersect(b)
+        ba = b.intersect(a)
+        assert (ab is None) == (ba is None)
+        if ab is not None:
+            assert ab == ba
+
+    @given(boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_union_of_one(self, box):
+        assert union_bounds([box]) == box

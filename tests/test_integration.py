@@ -1,0 +1,174 @@
+"""End-to-end integration tests across the whole public API.
+
+Each test tells one complete story a downstream user would live through:
+load data into the substrate, build estimators, run workloads through
+the feedback loop, mutate the database, and consume the estimates from
+the query optimizer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Box, KernelDensityEstimator, SelfTuningKDE, scott_bandwidth
+from repro.baselines import (
+    AdaptiveKDE,
+    BatchKDE,
+    HeuristicKDE,
+    STHolesHistogram,
+    kde_sample_size,
+    memory_budget_bytes,
+    sthole_bucket_budget,
+)
+from repro.core import QueryFeedback
+from repro.datasets import gunopulos_synthetic
+from repro.db import FeedbackLoop, Table
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    """A populated table shared by the integration stories."""
+    data = gunopulos_synthetic(rows=20_000, dimensions=3, seed=42)
+    return Table(3, initial_rows=data)
+
+
+class TestFullLifecycle:
+    def test_analyze_estimate_feedback_maintain(self, warehouse, rng):
+        """The complete Figure 3 loop, including database mutations."""
+        sample = warehouse.analyze(512, rng)
+        model = SelfTuningKDE(
+            sample,
+            row_source=warehouse,
+            population_size=len(warehouse),
+            seed=0,
+        )
+        loop = FeedbackLoop(warehouse, AdaptiveKDE(
+            sample, row_source=warehouse,
+            population_size=len(warehouse), seed=0,
+        )).attach()
+
+        queries = generate_workload(
+            warehouse.rows(), "DT", 60, rng, target=0.01
+        )
+        loop.run_workload(queries)
+        baseline_error = loop.mean_absolute_error(last=30)
+        assert baseline_error < 0.05
+
+        # Mutate: bulk-delete one corner, insert a new cluster.
+        warehouse.delete_in(Box([0.0, 0.0, 0.0], [0.2, 0.2, 0.2]))
+        new_cluster = 0.9 + rng.normal(scale=0.01, size=(500, 3))
+        warehouse.insert_many(np.clip(new_cluster, 0, 1))
+        # The estimator is still functional and bounded after the churn.
+        for query in queries[:10]:
+            estimate = loop.estimator.estimate(query)
+            assert 0.0 <= estimate <= 1.0
+
+    def test_all_estimators_one_budget(self, warehouse, rng):
+        """Every estimator is constructible under the shared budget and
+        produces sane estimates on the same workload."""
+        budget = memory_budget_bytes(3)
+        sample = warehouse.analyze(kde_sample_size(3, budget), rng)
+        train = generate_workload(warehouse.rows(), "DV", 30, rng)
+        feedback = [
+            QueryFeedback(q, warehouse.selectivity(q)) for q in train
+        ]
+        estimators = [
+            HeuristicKDE(sample),
+            BatchKDE(sample, feedback, starts=2, seed=0),
+            STHolesHistogram(
+                warehouse.bounds(margin=1e-9),
+                row_count=len(warehouse),
+                max_buckets=sthole_bucket_budget(3, budget),
+                region_count=warehouse.count,
+            ),
+        ]
+        test = generate_workload(warehouse.rows(), "DV", 20, rng)
+        for estimator in estimators:
+            for query in test:
+                estimate = estimator.estimate(query)
+                assert 0.0 <= estimate <= 1.0
+            assert estimator.memory_bytes() <= budget * 1.1
+
+    def test_join_pipeline(self, warehouse, rng):
+        """PK-FK sample -> post-join KDE -> optimizer consumption."""
+        from repro.db import pk_fk_join_sample
+        from repro.db.optimizer import (
+            EstimatedCostModel,
+            JoinQuery,
+            optimize_join_order,
+            plan_quality_ratio,
+        )
+
+        keys = np.arange(1000.0)
+        dimension = Table(
+            2, initial_rows=np.column_stack([keys, rng.normal(size=1000)])
+        )
+        fact = Table(
+            2,
+            initial_rows=np.column_stack(
+                [
+                    rng.integers(0, 1000, 15_000).astype(float),
+                    rng.normal(size=15_000),
+                ]
+            ),
+        )
+        join_sample = pk_fk_join_sample(fact, dimension, 0, 0, 256, rng)
+        assert join_sample.shape == (256, 4)
+
+        query = JoinQuery(
+            tables={"fact": fact, "dim": dimension},
+            predicates={"dim": Box([0.0, -0.5], [100.0, 0.5])},
+            joins=[("fact", 0, "dim", 0)],
+        )
+        model = EstimatedCostModel(
+            {
+                "fact": HeuristicKDE(fact.analyze(256, rng)),
+                "dim": HeuristicKDE(dimension.analyze(256, rng)),
+            },
+            {("fact", 0, "dim", 0): 1.0 / 1000.0},
+        )
+        plan = optimize_join_order(query, model)
+        assert plan_quality_ratio(query, plan) < 2.0
+
+
+class TestInvariances:
+    @given(st.floats(-100.0, 100.0), st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_translation_and_scale_equivariance(self, shift, scale):
+        """Shifting/scaling data, query and bandwidth together leaves the
+        selectivity estimate unchanged — the estimator has no hidden
+        dependence on the coordinate frame."""
+        rng = np.random.default_rng(99)
+        sample = rng.normal(size=(128, 2))
+        h = scott_bandwidth(sample)
+        box = Box([-1.0, -0.5], [1.0, 0.5])
+        base = KernelDensityEstimator(sample, h).selectivity(box)
+        transformed = KernelDensityEstimator(
+            sample * scale + shift, h * scale
+        ).selectivity(
+            Box(box.low * scale + shift, box.high * scale + shift)
+        )
+        assert transformed == pytest.approx(base, abs=1e-9)
+
+    def test_estimate_independent_of_sample_order(self, rng):
+        sample = rng.normal(size=(200, 2))
+        h = scott_bandwidth(sample)
+        box = Box([-0.5, -0.5], [0.5, 0.5])
+        shuffled = sample[rng.permutation(200)]
+        a = KernelDensityEstimator(sample, h).selectivity(box)
+        b = KernelDensityEstimator(shuffled, h).selectivity(box)
+        assert a == pytest.approx(b, abs=1e-12)
+
+    def test_duplicate_points_weighting(self, rng):
+        """Duplicating every sample point changes nothing: the estimate
+        is an average, not a sum."""
+        sample = rng.normal(size=(100, 2))
+        h = scott_bandwidth(sample)
+        box = Box([-1.0, -1.0], [1.0, 1.0])
+        single = KernelDensityEstimator(sample, h).selectivity(box)
+        doubled = KernelDensityEstimator(
+            np.vstack([sample, sample]), h
+        ).selectivity(box)
+        assert doubled == pytest.approx(single, abs=1e-12)

@@ -1,0 +1,164 @@
+"""Tests for the evolving-cluster workload of the Section 6.5 experiment."""
+
+import numpy as np
+import pytest
+
+from repro.db import Table
+from repro.workloads.dynamic import (
+    DeleteClusterEvent,
+    EvolvingClusterWorkload,
+    InsertEvent,
+    QueryEvent,
+)
+
+
+@pytest.fixture
+def small_workload():
+    return EvolvingClusterWorkload(
+        dimensions=2,
+        initial_tuples=600,
+        tuples_per_cycle=200,
+        cycles=3,
+        queries_per_cycle=15,
+        seed=0,
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dimensions=0),
+            dict(initial_tuples=1),
+            dict(tuples_per_cycle=0),
+            dict(cycles=0),
+            dict(queries_per_cycle=-1),
+            dict(recency_bias=0.0),
+            dict(recency_bias=1.5),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EvolvingClusterWorkload(**kwargs)
+
+
+class TestInitialData:
+    def test_shape(self, small_workload):
+        data = small_workload.initial_data()
+        assert data.shape == (600, 2)
+
+    def test_deterministic(self, small_workload):
+        np.testing.assert_array_equal(
+            small_workload.initial_data(), small_workload.initial_data()
+        )
+
+    def test_paper_defaults(self):
+        workload = EvolvingClusterWorkload(dimensions=5)
+        assert workload.initial_data().shape == (4500, 5)
+        assert workload.cycles == 10
+        assert workload.tuples_per_cycle == 1500
+
+    def test_three_clusters(self, small_workload):
+        """The initial load forms exactly three tight groups."""
+        data = small_workload.initial_data()
+        # Points within 0.15 of each other belong to the same cluster at
+        # scale 0.03; count distinct groups greedily.
+        groups = []
+        for point in data:
+            for group in groups:
+                if np.linalg.norm(point - group) < 0.3:
+                    break
+            else:
+                groups.append(point)
+        assert len(groups) == 3
+
+
+class TestEventStream:
+    def test_event_counts(self, small_workload):
+        events = list(small_workload.events())
+        inserts = [e for e in events if isinstance(e, InsertEvent)]
+        deletes = [e for e in events if isinstance(e, DeleteClusterEvent)]
+        queries = [e for e in events if isinstance(e, QueryEvent)]
+        assert len(inserts) == 3 * 200
+        assert len(deletes) == 3
+        assert len(queries) == 3 * 15
+
+    def test_deterministic(self, small_workload):
+        first = [
+            type(e).__name__ for e in small_workload.events()
+        ]
+        second = [
+            type(e).__name__ for e in small_workload.events()
+        ]
+        assert first == second
+
+    def test_queries_hit_target_selectivity(self, small_workload):
+        selectivities = [
+            e.true_selectivity
+            for e in small_workload.events()
+            if isinstance(e, QueryEvent)
+        ]
+        assert np.median(selectivities) == pytest.approx(0.01, abs=0.01)
+
+    def test_deletes_oldest_first(self, small_workload):
+        deletes = [
+            e for e in small_workload.events() if isinstance(e, DeleteClusterEvent)
+        ]
+        assert [d.cluster_id for d in deletes] == [0, 1, 2]
+
+    def test_replay_against_table(self, small_workload):
+        """The event stream is consistent with an actual table replay:
+        the recorded true selectivity matches the table's count."""
+        table = Table(2, initial_rows=small_workload.initial_data())
+        for event in small_workload.events():
+            if isinstance(event, InsertEvent):
+                table.insert(event.row)
+            elif isinstance(event, DeleteClusterEvent):
+                table.delete_in(event.region)
+            else:
+                assert table.selectivity(event.query) == pytest.approx(
+                    event.true_selectivity, abs=1e-9
+                )
+
+    def test_population_returns_to_start_each_cycle(self, small_workload):
+        """Insert 200, delete one ~200-point cluster: net size roughly
+        constant across cycles (the paper's sawtooth)."""
+        table = Table(2, initial_rows=small_workload.initial_data())
+        sizes = []
+        for event in small_workload.events():
+            if isinstance(event, InsertEvent):
+                table.insert(event.row)
+            elif isinstance(event, DeleteClusterEvent):
+                table.delete_in(event.region)
+                sizes.append(len(table))
+        assert all(500 <= s <= 700 for s in sizes)
+
+    def test_queries_favor_new_clusters(self):
+        workload = EvolvingClusterWorkload(
+            dimensions=2,
+            initial_tuples=300,
+            tuples_per_cycle=300,
+            cycles=4,
+            queries_per_cycle=40,
+            recency_bias=0.3,
+            seed=1,
+        )
+        rng = np.random.default_rng(1)
+        centers = workload._cluster_centers(rng)
+        # Track which cluster each query centers on, per cycle.
+        cycle = 0
+        newest_hits = total = 0
+        for event in workload.events():
+            if isinstance(event, DeleteClusterEvent):
+                cycle += 1
+            elif isinstance(event, QueryEvent):
+                distances = [
+                    np.linalg.norm(event.query.center - c) for c in centers
+                ]
+                nearest = int(np.argmin(distances))
+                newest_live = workload.INITIAL_CLUSTERS + cycle
+                total += 1
+                if nearest == newest_live:
+                    newest_hits += 1
+        # With bias 0.3 the newest cluster should dominate the queries.
+        assert newest_hits / total > 0.4

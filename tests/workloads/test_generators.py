@@ -1,0 +1,150 @@
+"""Tests for the DT/DV/UT/UV workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.workloads import WORKLOAD_KINDS, WorkloadSpec, generate_workload
+
+
+@pytest.fixture
+def clustered_data(rng):
+    return np.vstack(
+        [
+            rng.normal(loc=0.0, scale=0.5, size=(10_000, 2)),
+            rng.normal(loc=5.0, scale=0.5, size=(10_000, 2)),
+        ]
+    )
+
+
+class TestWorkloadSpec:
+    def test_decoding(self):
+        assert WorkloadSpec.from_kind("DT") == WorkloadSpec("data", "selectivity")
+        assert WorkloadSpec.from_kind("DV") == WorkloadSpec("data", "volume")
+        assert WorkloadSpec.from_kind("UT") == WorkloadSpec("uniform", "selectivity")
+        assert WorkloadSpec.from_kind("UV") == WorkloadSpec("uniform", "volume")
+
+    def test_case_insensitive(self):
+        assert WorkloadSpec.from_kind("dt") == WorkloadSpec.from_kind("DT")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec.from_kind("XX")
+
+
+class TestValidation:
+    def test_bad_inputs(self, clustered_data, rng):
+        with pytest.raises(ValueError):
+            generate_workload(np.empty((0, 2)), "DT", 5, rng)
+        with pytest.raises(ValueError):
+            generate_workload(clustered_data, "DT", -1, rng)
+        with pytest.raises(ValueError):
+            generate_workload(clustered_data, "DT", 5, rng, target=0.0)
+        with pytest.raises(ValueError):
+            generate_workload(clustered_data, "ZZ", 5, rng)
+
+    def test_zero_count(self, clustered_data, rng):
+        assert generate_workload(clustered_data, "DT", 0, rng) == []
+
+
+class TestTargets:
+    @pytest.mark.parametrize("kind", ["DT", "UT"])
+    def test_selectivity_targets_met(self, clustered_data, rng, kind):
+        queries = generate_workload(
+            clustered_data, kind, 25, rng, target=0.01
+        )
+        selectivities = [
+            float(q.contains_points(clustered_data).mean()) for q in queries
+        ]
+        # Centers in empty corners (UT) may not reach the target exactly;
+        # the bulk of the workload must.
+        near_target = [
+            s for s in selectivities if 0.005 <= s <= 0.02
+        ]
+        assert len(near_target) >= len(queries) * 0.7
+
+    @pytest.mark.parametrize("kind", ["DV", "UV"])
+    def test_volume_targets_met(self, clustered_data, rng, kind):
+        bounds = Box.bounding(clustered_data)
+        queries = generate_workload(
+            clustered_data, kind, 25, rng, target=0.01, bounds=bounds
+        )
+        for q in queries:
+            fraction = q.volume() / bounds.volume()
+            # Clipping at the domain boundary can only shrink the box.
+            assert fraction <= 0.011
+            assert fraction > 0.0005
+
+    def test_dt_returns_similar_counts(self, clustered_data, rng):
+        """The DT characterisation: roughly the same number of tuples."""
+        queries = generate_workload(clustered_data, "DT", 20, rng, target=0.01)
+        counts = np.array(
+            [int(q.contains_points(clustered_data).sum()) for q in queries]
+        )
+        assert counts.std() < counts.mean()
+
+    def test_uv_mostly_empty(self, clustered_data, rng):
+        """The UV characterisation: mostly empty queries."""
+        queries = generate_workload(clustered_data, "UV", 40, rng, target=0.01)
+        selectivities = np.array(
+            [float(q.contains_points(clustered_data).mean()) for q in queries]
+        )
+        assert np.median(selectivities) < 0.001
+
+    def test_dv_diverse_selectivities(self, clustered_data, rng):
+        """The DV characterisation: a wide spectrum of selectivities."""
+        queries = generate_workload(clustered_data, "DV", 40, rng, target=0.01)
+        selectivities = np.array(
+            [float(q.contains_points(clustered_data).mean()) for q in queries]
+        )
+        # Wide spectrum: an order of magnitude between extremes and a
+        # large coefficient of variation.
+        assert selectivities.max() > 10 * selectivities.min()
+        assert selectivities.std() > 0.3 * selectivities.mean()
+
+
+class TestCenters:
+    def test_data_centers_in_clusters(self, clustered_data, rng):
+        queries = generate_workload(clustered_data, "DV", 30, rng)
+        near_cluster = 0
+        for q in queries:
+            center = q.center
+            if (
+                np.linalg.norm(center - 0.0) < 2.0
+                or np.linalg.norm(center - 5.0) < 2.0
+            ):
+                near_cluster += 1
+        assert near_cluster >= 25
+
+    def test_uniform_centers_spread(self, clustered_data, rng):
+        bounds = Box.bounding(clustered_data)
+        queries = generate_workload(
+            clustered_data, "UV", 60, rng, bounds=bounds
+        )
+        centers = np.array([q.center for q in queries])
+        # Uniform centers cover most of the domain in every dimension,
+        # unlike data-distributed centers which stick to the clusters.
+        span = centers.max(axis=0) - centers.min(axis=0)
+        assert (span > 0.6 * bounds.widths).all()
+
+    def test_queries_within_bounds(self, clustered_data, rng):
+        bounds = Box.bounding(clustered_data)
+        for kind in WORKLOAD_KINDS:
+            for q in generate_workload(
+                clustered_data, kind, 10, rng, bounds=bounds
+            ):
+                assert bounds.contains_box(q)
+
+    def test_search_data_subsample(self, clustered_data, rng):
+        """Queries built against a subsample remain near-target on the
+        full dataset."""
+        subsample = clustered_data[
+            rng.choice(len(clustered_data), size=2000, replace=False)
+        ]
+        queries = generate_workload(
+            clustered_data, "DT", 15, rng, search_data=subsample
+        )
+        selectivities = [
+            float(q.contains_points(clustered_data).mean()) for q in queries
+        ]
+        assert np.median(selectivities) == pytest.approx(0.01, abs=0.008)
