@@ -26,7 +26,7 @@ Subpackages
     paper's evaluation (Section 6).
 """
 
-from .geometry import Box, RangeQuery
+from .geometry import Box, QueryBatch, RangeQuery
 from .core import (
     KernelDensityEstimator,
     SelfTuningKDE,
@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Box",
     "KernelDensityEstimator",
+    "QueryBatch",
     "RangeQuery",
     "SelfTuningKDE",
     "__version__",

@@ -69,8 +69,30 @@ class SelectivityEstimator(ABC):
         """
 
     def estimate_many(self, queries: Sequence[Box]) -> np.ndarray:
-        """Vector of estimates for a sequence of queries."""
+        """Vector of estimates for a sequence of queries.
+
+        The default is the straightforward per-query loop; estimators
+        with a vectorised engine (the KDE variants) override it with a
+        single batched evaluation.
+        """
         return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+
+    def feedback_many(
+        self, queries: Sequence[Box], true_selectivities: Sequence[float]
+    ) -> None:
+        """Feedback for a whole batch of executed queries, in order.
+
+        The default forwards to :meth:`feedback` per query; self-tuning
+        estimators with a batched gradient accumulator override it.
+        """
+        queries = list(queries)
+        if len(queries) != len(true_selectivities):
+            raise ValueError(
+                "need exactly one true selectivity per query, got "
+                f"{len(queries)} queries and {len(true_selectivities)} values"
+            )
+        for query, truth in zip(queries, true_selectivities):
+            self.feedback(query, float(truth))
 
     def memory_bytes(self) -> int:
         """Approximate model footprint in bytes (for budget accounting)."""

@@ -50,6 +50,10 @@ class _StaticKDE(SelectivityEstimator):
     def estimate(self, query: Box) -> float:
         return self._model.selectivity(query)
 
+    def estimate_many(self, queries: Sequence[Box]) -> np.ndarray:
+        """Batched override: one vectorised pass instead of ``q`` loops."""
+        return self._model.selectivity_many(queries)
+
     def memory_bytes(self) -> int:
         return self._model.sample_size * self._model.dimensions * FLOAT_BYTES
 
@@ -156,8 +160,29 @@ class AdaptiveKDE(SelectivityEstimator):
     def estimate(self, query: Box) -> float:
         return self._model.estimate(query)
 
+    def estimate_many(self, queries: Sequence[Box]) -> np.ndarray:
+        """Batched estimates (no per-query buffers are retained)."""
+        queries = list(queries)
+        if not queries:
+            return np.empty(0, dtype=np.float64)
+        return self._model.estimate_batch(queries)
+
     def feedback(self, query: Box, true_selectivity: float) -> None:
         self._model.feedback(query, true_selectivity)
+
+    def feedback_many(
+        self, queries: Sequence[Box], true_selectivities: Sequence[float]
+    ) -> None:
+        """Batched override consuming the whole feedback batch at once."""
+        queries = list(queries)
+        if len(queries) != len(true_selectivities):
+            raise ValueError(
+                "need exactly one true selectivity per query, got "
+                f"{len(queries)} queries and {len(true_selectivities)} values"
+            )
+        if not queries:
+            return
+        self._model.feedback_batch(queries, true_selectivities)
 
     def on_insert(self, row: np.ndarray) -> bool:
         """Forward an insert notification to the reservoir sampler."""

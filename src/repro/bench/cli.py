@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench fig7
     python -m repro.bench fig8   [--scale ...]
     python -m repro.bench ablations [--scale ...]
+    python -m repro.bench batch
     python -m repro.bench all    [--scale ...]
 
 Scales trade fidelity for runtime: ``smoke`` finishes in well under a
@@ -26,6 +27,7 @@ from typing import Dict
 
 from .experiments import (
     run_adaptive_parameter_ablation,
+    run_batch_scaling,
     run_dynamic_quality,
     run_karma_ablation,
     run_log_update_ablation,
@@ -96,6 +98,7 @@ EXPERIMENTS = (
     "fig7",
     "fig8",
     "ablations",
+    "batch",
     "all",
 )
 
@@ -194,6 +197,28 @@ def run_experiment(name: str, scale_name: str, progress: bool = True) -> str:
             ]
         )
         title = "Ablations - design choices called out by the paper"
+    elif name == "batch":
+        result = run_batch_scaling(adaptive=True)
+        lines = []
+        for device in ("gpu", "cpu"):
+            speedups = result.speedup(device)
+            lines.append(
+                f"{device.upper()}: per-query protocol "
+                f"{result.per_query_seconds[device] * 1e6:.0f}us/query; "
+                + ", ".join(
+                    f"q={size}: {seconds * 1e6:.0f}us ({speedup:.2f}x)"
+                    for size, seconds, speedup in zip(
+                        result.batch_sizes,
+                        result.batched_seconds[device],
+                        speedups,
+                    )
+                )
+            )
+        report = "\n".join(lines)
+        title = (
+            "Batched evaluation - modelled per-query cost vs batch size "
+            "(adaptive estimate+feedback)"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -217,7 +242,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     names = (
-        ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations"]
+        ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
+         "batch"]
         if args.experiment == "all"
         else [args.experiment]
     )

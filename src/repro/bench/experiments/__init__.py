@@ -12,11 +12,20 @@ from .ablations import (
 )
 from .dynamic_quality import DynamicQualityResult, run_dynamic_quality
 from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
-from .runtime import PAPER_MODEL_SIZES, RuntimeResult, run_runtime_scaling
+from .runtime import (
+    DEFAULT_BATCH_SIZES,
+    PAPER_MODEL_SIZES,
+    BatchScalingResult,
+    RuntimeResult,
+    run_batch_scaling,
+    run_runtime_scaling,
+)
 from .static_quality import StaticQualityResult, run_static_quality
 
 __all__ = [
     "AdaptiveParameterAblation",
+    "BatchScalingResult",
+    "DEFAULT_BATCH_SIZES",
     "DynamicQualityResult",
     "KarmaAblation",
     "LogUpdateAblation",
@@ -27,6 +36,7 @@ __all__ = [
     "SelectorShootout",
     "StaticQualityResult",
     "run_adaptive_parameter_ablation",
+    "run_batch_scaling",
     "run_dynamic_quality",
     "run_karma_ablation",
     "run_log_update_ablation",

@@ -70,9 +70,11 @@ def _adaptive_trial_error(
         population_size=len(table),
         seed=seed,
     )
-    for query in queries[:train_queries]:
-        estimator.estimate(query)
-        estimator.feedback(query, table.selectivity(query))
+    # Training: one batched feedback pass (numerically equivalent to the
+    # per-query estimate/feedback loop — see SelfTuningKDE.feedback_batch).
+    train = queries[:train_queries]
+    truths = [table.selectivity(query) for query in train]
+    estimator.feedback_many(train, truths)
     errors = []
     for query in queries[train_queries:]:
         truth = table.selectivity(query)

@@ -27,7 +27,14 @@ from ...device import DeviceContext, DeviceKDE, STHolesCostModel
 from ...geometry import Box
 from ...workloads import generate_workload
 
-__all__ = ["RuntimeResult", "run_runtime_scaling", "PAPER_MODEL_SIZES"]
+__all__ = [
+    "RuntimeResult",
+    "run_runtime_scaling",
+    "BatchScalingResult",
+    "run_batch_scaling",
+    "PAPER_MODEL_SIZES",
+    "DEFAULT_BATCH_SIZES",
+]
 
 #: Model sizes (sample points) swept by the paper's Figure 7.
 PAPER_MODEL_SIZES = (1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
@@ -46,19 +53,36 @@ class RuntimeResult:
         return np.array(self.seconds[name], dtype=np.float64)
 
 
+def _feedback_selectivities(queries: Sequence[Box]) -> list:
+    return [0.0 if query.volume() == 0 else 0.001 for query in queries]
+
+
 def _kde_seconds_per_query(
     sample: np.ndarray,
     queries: Sequence[Box],
     device: str,
     adaptive: bool,
+    batched: bool = False,
 ) -> float:
+    """Modelled seconds per query, per-query or batched choreography.
+
+    The per-query path reproduces the paper's Figure 7 protocol (one
+    transfer/launch sequence per query).  The batched path serves the
+    whole workload through ``estimate_batch``/``feedback_batch`` — same
+    math, but launch and transfer overhead paid once per batch.
+    """
     context = DeviceContext.for_device(device)
     kde = DeviceKDE(sample, context, adaptive=adaptive)
     context.reset_clock()
-    for query in queries:
-        kde.estimate(query)
+    if batched:
+        kde.estimate_batch(queries)
         if adaptive:
-            kde.feedback(query, 0.0 if query.volume() == 0 else 0.001)
+            kde.feedback_batch(queries, _feedback_selectivities(queries))
+    else:
+        for query, truth in zip(queries, _feedback_selectivities(queries)):
+            kde.estimate(query)
+            if adaptive:
+                kde.feedback(query, truth)
     return context.elapsed_seconds / len(queries)
 
 
@@ -69,12 +93,16 @@ def run_runtime_scaling(
     data_rows: int = 100_000,
     seed: int = 0,
     progress: bool = False,
+    batched: bool = False,
 ) -> RuntimeResult:
     """Run the Figure 7 sweep.
 
     ``data_rows`` only bounds the pool the samples and query centers are
     drawn from (the paper's table has three million rows; the estimation
-    cost depends on the model size, not the table size).
+    cost depends on the model size, not the table size).  ``batched``
+    serves each workload through the batched device path instead of the
+    paper's query-at-a-time protocol (see :func:`run_batch_scaling` for
+    the dedicated batching experiment).
     """
     rng = np.random.default_rng(seed)
     data = gunopulos_synthetic(
@@ -95,7 +123,7 @@ def run_runtime_scaling(
             for adaptive in (False, True):
                 label = f"{'Adaptive' if adaptive else 'Heuristic'} {device.upper()}"
                 seconds = _kde_seconds_per_query(
-                    sample, workload, device, adaptive
+                    sample, workload, device, adaptive, batched=batched
                 )
                 result.seconds[label].append(seconds)
         # STHoles with the same memory budget, full model (paper: the
@@ -108,4 +136,67 @@ def run_runtime_scaling(
         if progress:
             row = {k: f"{v[-1] * 1e3:.3f}ms" for k, v in result.seconds.items()}
             print(f"  size {size}: {row}", flush=True)
+    return result
+
+
+#: Batch sizes swept by the batched-evaluation experiment.
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256, 1024)
+
+
+@dataclass
+class BatchScalingResult:
+    """Modelled per-query overhead versus batch size, per device.
+
+    ``per_query_seconds[device]`` is the (constant) query-at-a-time
+    baseline; ``batched_seconds[device]`` the per-size batched costs.
+    The amortisation factor at the largest batch is the headline number
+    of the SIMD-batched KDE formulation (Andrzejewski et al.).
+    """
+
+    batch_sizes: List[int]
+    per_query_seconds: Dict[str, float]
+    batched_seconds: Dict[str, List[float]]
+
+    def speedup(self, device: str) -> np.ndarray:
+        """Per-batch-size speedup of the batched path over the loop."""
+        batched = np.array(self.batched_seconds[device], dtype=np.float64)
+        return self.per_query_seconds[device] / batched
+
+
+def run_batch_scaling(
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    model_size: int = 4096,
+    dimensions: int = 4,
+    devices: Sequence[str] = ("gpu", "cpu"),
+    adaptive: bool = False,
+    seed: int = 0,
+) -> BatchScalingResult:
+    """Sweep the batch size at a fixed model size on the modelled clock.
+
+    Launch latency and per-query transfers dominate small models, so the
+    batched path's modelled per-query cost falls towards the pure
+    kernel-work floor as the batch grows — the motivation for the batched
+    query-evaluation engine.
+    """
+    rng = np.random.default_rng(seed)
+    data = gunopulos_synthetic(
+        rows=max(10 * model_size, 10_000), dimensions=dimensions, seed=seed
+    )
+    sample = data[rng.choice(data.shape[0], size=model_size, replace=False)]
+    workload = generate_workload(data, "UV", max(batch_sizes), rng)
+    result = BatchScalingResult(
+        batch_sizes=list(batch_sizes),
+        per_query_seconds={},
+        batched_seconds={device: [] for device in devices},
+    )
+    for device in devices:
+        result.per_query_seconds[device] = _kde_seconds_per_query(
+            sample, workload, device, adaptive, batched=False
+        )
+        for batch_size in batch_sizes:
+            result.batched_seconds[device].append(
+                _kde_seconds_per_query(
+                    sample, workload[:batch_size], device, adaptive, batched=True
+                )
+            )
     return result

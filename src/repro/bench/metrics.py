@@ -79,9 +79,17 @@ def win_matrix(results: Sequence[Mapping[str, float]]) -> WinMatrix:
     if not results:
         raise ValueError("win_matrix requires at least one experiment")
     names = sorted(results[0])
-    for result in results:
+    for index, result in enumerate(results):
         if sorted(result) != names:
             raise ValueError("all experiments must cover the same estimators")
+        for name in names:
+            if not np.isfinite(result[name]):
+                # A silent NaN would count as a loss for *both* sides of
+                # every comparison, skewing the Table 1 percentages.
+                raise ValueError(
+                    f"non-finite error {result[name]!r} for estimator "
+                    f"{name!r} in experiment {index}"
+                )
     percentages: Dict[str, Dict[str, float]] = {}
     total = len(results)
     for a in names:

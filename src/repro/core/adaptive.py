@@ -122,6 +122,56 @@ class RMSpropTuner:
             return None
         return self._apply_update(bandwidth)
 
+    @property
+    def batch_room(self) -> int:
+        """Observations the current mini-batch still accepts before an
+        update fires — the exact segment length a batched caller may feed
+        while staying equivalent to query-at-a-time :meth:`observe`."""
+        return self.config.batch_size - self._batch_count
+
+    def observe_batch(
+        self, gradients: np.ndarray, bandwidth: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Feed a whole batch of per-query gradients at once.
+
+        Equivalent to calling :meth:`observe` once per row: gradients are
+        accumulated in row order and an update is applied at every
+        mini-batch boundary crossed, each update consuming the bandwidth
+        produced by the previous one.
+
+        Callers in logarithmic-update mode should feed at most
+        :attr:`batch_room` rows per call (all rows of one call share the
+        gradients' pre-scaling bandwidth; after an update fires,
+        subsequent gradients must be rebuilt against the new bandwidth to
+        match the per-query semantics exactly).
+
+        Returns the bandwidth after the *last* completed mini-batch, or
+        ``None`` when no boundary was crossed.
+        """
+        gradients = np.atleast_2d(np.asarray(gradients, dtype=np.float64))
+        bandwidth = np.asarray(bandwidth, dtype=np.float64)
+        if gradients.ndim != 2 or gradients.shape[1] != self.dimensions:
+            raise ValueError(
+                f"gradients must have shape (m, {self.dimensions}), "
+                f"got {gradients.shape}"
+            )
+        if not np.all(np.isfinite(gradients)):
+            raise ValueError("gradients contain non-finite entries")
+        current = bandwidth
+        updated: Optional[np.ndarray] = None
+        consumed = 0
+        while consumed < gradients.shape[0]:
+            take = min(self.batch_room, gradients.shape[0] - consumed)
+            block = gradients[consumed : consumed + take]
+            self._accumulated += block.sum(axis=0)
+            self._batch_count += take
+            self._observations += take
+            consumed += take
+            if self._batch_count >= self.config.batch_size:
+                current = self._apply_update(current)
+                updated = current
+        return updated
+
     def _apply_update(self, bandwidth: np.ndarray) -> np.ndarray:
         cfg = self.config
         averaged = self._accumulated / self._batch_count

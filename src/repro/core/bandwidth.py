@@ -25,15 +25,22 @@ MIN_BANDWIDTH = 1e-9
 def sample_std(sample: np.ndarray) -> np.ndarray:
     """Per-dimension standard deviation of the sample.
 
-    Computed via the identity ``sigma^2 = E[x^2] - E[x]^2`` — the same
-    formulation the paper evaluates with two parallel binary reductions on
-    the device (Section 5.2).
+    Computed via the shifted identity
+    ``sigma^2 = E[(x - x_0)^2] - E[x - x_0]^2`` with ``x_0`` the first
+    sample row.  The shift is free on the device (each work-item subtracts
+    a constant before squaring) and the evaluation remains the paper's two
+    *parallel* binary reductions — sums of the shifted values and of their
+    squares (Section 5.2) — but, unlike the unshifted ``E[x^2] - E[x]^2``,
+    it does not catastrophically cancel for data with a large common
+    offset (e.g. all values near 1e8, where the naive identity collapses
+    the variance to zero and Scott bandwidths to the floor).
     """
     sample = np.asarray(sample, dtype=np.float64)
     if sample.ndim != 2 or sample.shape[0] == 0:
         raise ValueError("sample must be a non-empty (s, d) array")
-    mean = sample.mean(axis=0)
-    mean_sq = (sample * sample).mean(axis=0)
+    shifted = sample - sample[0]
+    mean = shifted.mean(axis=0)
+    mean_sq = (shifted * shifted).mean(axis=0)
     variance = np.maximum(mean_sq - mean * mean, 0.0)
     return np.sqrt(variance)
 

@@ -23,7 +23,7 @@ from typing import Sequence, Tuple, Union
 
 import numpy as np
 
-from ..geometry import Box
+from ..geometry import Box, QueryBatch
 from .estimator import KernelDensityEstimator
 from .losses import Loss, get_loss
 
@@ -92,104 +92,47 @@ def workload_loss_and_gradient(
 
     This is the function the batch optimiser hands to the numerical
     solver: for a candidate bandwidth it reports the mean training error
-    and its gradient across all collected queries.  The computation is
-    vectorised across queries (mirroring the paper's device kernel that
-    assigns one thread per training query, Section 5.3) and chunked to
-    bound the intermediate tensor size.
+    and its gradient across all collected queries.  The heavy lifting is
+    the batched evaluation engine of the estimator
+    (:meth:`~repro.core.estimator.KernelDensityEstimator.dimension_masses_batch`
+    and friends, mirroring the paper's device kernel that assigns one
+    thread per training query, Section 5.3); this wrapper only chunks the
+    workload to bound the intermediate tensor size and folds in the loss.
+    Subclasses overriding the per-query mass/gradient methods (e.g. the
+    variable-bandwidth model) are handled by the engine's own fallback.
     """
     if not workload:
         raise ValueError("workload must contain at least one query")
     loss = get_loss(loss)
-    # The vectorised fast path below inlines the *fixed-bandwidth* mass
-    # and gradient formulas.  Estimator subclasses that override them
-    # (e.g. the variable-bandwidth model) go through the generic
-    # per-query path, which delegates to the estimator's own methods.
-    overrides_kernels = (
-        type(estimator).dimension_masses
-        is not KernelDensityEstimator.dimension_masses
-        or type(estimator).selectivity_gradient
-        is not KernelDensityEstimator.selectivity_gradient
-    )
-    if overrides_kernels:
-        return _workload_loss_and_gradient_generic(
-            estimator, workload, loss, log_space
-        )
     s = estimator.sample_size
     d = estimator.dimensions
     q = len(workload)
-    lows = np.array([fb.query.low for fb in workload])
-    highs = np.array([fb.query.high for fb in workload])
+    batch = QueryBatch.from_boxes([fb.query for fb in workload])
     truths = np.array([fb.selectivity for fb in workload])
-
-    sample = estimator.sample  # (s, d) read-only view
     bandwidth = estimator.bandwidth
-    kernels = estimator.kernels
 
     chunk = max(1, _BATCH_ELEMENT_BUDGET // max(1, s * (d + 1)))
     total_loss = 0.0
     total_grad = np.zeros(d, dtype=np.float64)
     for start in range(0, q, chunk):
-        low_block = lows[start : start + chunk]  # (b, d)
-        high_block = highs[start : start + chunk]
-        truth_block = truths[start : start + chunk]
-        b = low_block.shape[0]
+        stop = min(q, start + chunk)
+        sub = batch[start:stop]
+        truth_block = truths[start:stop]
 
-        # Per-dimension interval masses, (b, s, d).
-        masses = np.empty((b, s, d), dtype=np.float64)
-        for j in range(d):
-            masses[:, :, j] = kernels[j].interval_mass(
-                low_block[:, j, None],
-                high_block[:, j, None],
-                sample[None, :, j],
-                bandwidth[j],
-            )
-        # Prefix/suffix products over dimensions for zero-safe
-        # leave-one-dimension-out products.
-        prefix = np.ones((b, s, d + 1), dtype=np.float64)
-        suffix = np.ones((b, s, d + 1), dtype=np.float64)
-        for j in range(d):
-            prefix[:, :, j + 1] = prefix[:, :, j] * masses[:, :, j]
-        for j in range(d - 1, -1, -1):
-            suffix[:, :, j] = suffix[:, :, j + 1] * masses[:, :, j]
+        # One (b, s, d) mass tensor shared between estimate and gradient
+        # (the retained buffer of Section 5.4).
+        masses = estimator.dimension_masses_batch(sub)
+        estimates = np.prod(masses, axis=2).mean(axis=1)  # (b,)
+        model_grads = estimator.selectivity_gradient_batch(sub, masses)
 
-        estimates = prefix[:, :, d].mean(axis=1)  # (b,)
         loss_values = np.asarray(loss.value(estimates, truth_block))
         loss_derivs = np.asarray(loss.derivative(estimates, truth_block))
         total_loss += float(loss_values.sum())
-
-        for i in range(d):
-            dmass = kernels[i].interval_mass_grad(
-                low_block[:, i, None],
-                high_block[:, i, None],
-                sample[None, :, i],
-                bandwidth[i],
-            )
-            others = prefix[:, :, i] * suffix[:, :, i + 1]
-            model_grad = (dmass * others).mean(axis=1)  # (b,)
-            total_grad[i] += float((loss_derivs * model_grad).sum())
+        total_grad += (loss_derivs[:, None] * model_grads).sum(axis=0)
 
     if log_space:
         total_grad = to_log_space_gradient(total_grad, bandwidth)
     return total_loss / q, total_grad / q
-
-
-def _workload_loss_and_gradient_generic(
-    estimator: KernelDensityEstimator,
-    workload: Sequence[QueryFeedback],
-    loss: Loss,
-    log_space: bool,
-) -> Tuple[float, np.ndarray]:
-    """Per-query fallback delegating to the estimator's own methods."""
-    total_loss = 0.0
-    total_grad = np.zeros(estimator.dimensions, dtype=np.float64)
-    for feedback in workload:
-        value, gradient, _ = loss_and_gradient(
-            estimator, feedback, loss, log_space=log_space
-        )
-        total_loss += value
-        total_grad += gradient
-    count = float(len(workload))
-    return total_loss / count, total_grad / count
 
 
 def to_log_space_gradient(

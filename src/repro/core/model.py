@@ -26,7 +26,7 @@ from typing import Optional, Protocol
 
 import numpy as np
 
-from ..geometry import Box
+from ..geometry import Box, QueryBatch
 from .adaptive import RMSpropTuner
 from .bandwidth import scott_bandwidth
 from .config import SelfTuningConfig
@@ -217,6 +217,124 @@ class SelfTuningKDE:
             self._adapt_bandwidth(pending, true_selectivity)
         if self.config.maintain_sample:
             self._maintain_sample(pending, true_selectivity)
+
+    # ------------------------------------------------------------------
+    # Batched feedback (the batched query-evaluation engine)
+    # ------------------------------------------------------------------
+    def estimate_batch(self, queries) -> np.ndarray:
+        """``(q,)`` selectivity estimates for a whole batch of queries.
+
+        Unlike :meth:`estimate`, no per-query buffers are retained — the
+        batched path is meant for throughput serving where feedback (if
+        any) arrives as a batch through :meth:`feedback_batch`, which
+        recomputes what it needs.
+        """
+        return self._estimator.selectivity_batch(queries)
+
+    def feedback_batch(self, queries, true_selectivities) -> None:
+        """Process a whole batch of (query, true selectivity) feedback.
+
+        Numerically equivalent to calling ``estimate``/``feedback`` per
+        query in order: the batch is consumed in segments whose length
+        never crosses a mini-batch boundary of the RMSprop tuner, so every
+        gradient is computed (and log-scaled) against the exact bandwidth
+        the looped path would have used; a Karma replacement mid-segment
+        truncates the segment so later queries see the refreshed sample.
+        Only the per-query Python/dispatch overhead is batched away.
+        """
+        batch = QueryBatch.coerce(queries)
+        if batch.dimensions != self.dimensions:
+            raise ValueError("query batch dimensionality mismatch")
+        truths = np.asarray(true_selectivities, dtype=np.float64).reshape(-1)
+        if truths.shape[0] != len(batch):
+            raise ValueError(
+                f"need one true selectivity per query ({len(batch)}), "
+                f"got {truths.shape[0]}"
+            )
+        if np.any(truths < 0.0) or np.any(truths > 1.0):
+            raise ValueError("true selectivities must lie in [0, 1]")
+        self._pending = None
+        adapt = self.config.adapt_bandwidth
+        maintain = self.config.maintain_sample
+        start = 0
+        while start < len(batch):
+            room = self._tuner.batch_room if adapt else len(batch) - start
+            stop = min(len(batch), start + room)
+            sub = batch[start:stop]
+            masses = self._estimator.dimension_masses_batch(sub)
+            contributions = np.prod(masses, axis=2)  # (m, s)
+            estimates = contributions.mean(axis=1)
+            gradients = None
+            if adapt:
+                model_grads = self._estimator.selectivity_gradient_batch(
+                    sub, masses
+                )
+                loss_derivs = np.asarray(
+                    self._loss.derivative(estimates, truths[start:stop])
+                )
+                gradients = loss_derivs[:, None] * model_grads
+                if self.config.adaptive.log_updates:
+                    gradients = gradients * self._estimator.bandwidth
+
+            # Mirror the looped order exactly.  Within a segment the tuner
+            # only updates after the *last* gradient, so Karma for queries
+            # 0..m-2 runs against the pre-update bandwidth, the gradients
+            # are then fed in one batched accumulation (sums commute), and
+            # Karma for the final query sees any freshly updated bandwidth
+            # — precisely the per-query interleaving.
+            m = stop - start
+            consumed = m
+            if maintain:
+                consumed = self._maintain_batch_prefix(
+                    sub, contributions, truths[start:stop], m - 1
+                )
+            if adapt and consumed > 0:
+                updated = self._tuner.observe_batch(
+                    gradients[:consumed], self._estimator.bandwidth
+                )
+                if updated is not None:
+                    self._estimator.bandwidth = updated
+            if maintain and consumed == m:
+                self._maintain_batch_prefix(
+                    sub[m - 1 : m], contributions[m - 1 :], truths[stop - 1 :stop], 1
+                )
+            self._feedback_count += consumed
+            start += consumed
+
+    def _maintain_batch_prefix(
+        self,
+        sub: QueryBatch,
+        contributions: np.ndarray,
+        truths: np.ndarray,
+        count: int,
+    ) -> int:
+        """Run Karma maintenance for the first ``count`` queries of a segment.
+
+        Returns how many queries of the segment were consumed: a
+        replacement at query ``k`` refreshes the sample, invalidating the
+        remaining precomputed contributions, so the caller re-evaluates
+        from ``k + 1`` (matching the looped semantics where query ``k+1``
+        is estimated against the post-replacement sample).
+        """
+        for k in range(count):
+            indices = self._karma.update(
+                contributions[k],
+                float(truths[k]),
+                query=sub.box(k),
+                bandwidth=self._estimator.bandwidth,
+                kernel=self._estimator.kernels,
+            )
+            if indices.size == 0 or self._row_source is None:
+                continue
+            rows = self._row_source.sample_rows(indices.size, self._rng)
+            rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+            if rows.shape[0] < indices.size:
+                indices = indices[: rows.shape[0]]
+            self._estimator.replace_points(indices, rows[: indices.size])
+            self._karma.reset(indices)
+            self._points_replaced += indices.size
+            return k + 1
+        return len(contributions)
 
     def _adapt_bandwidth(
         self, pending: _PendingQuery, true_selectivity: float

@@ -97,6 +97,50 @@ class FeedbackLoop:
         """Run a sequence of queries through the loop."""
         return [self.run_query(q) for q in queries]
 
+    def run_workload_batched(self, queries) -> List[Observation]:
+        """Run a workload in throughput mode: estimate all, then feed back.
+
+        All estimates are produced in one :meth:`estimate_many` call
+        before any query executes, then the true selectivities are handed
+        back in one :meth:`feedback_many` call.  Unlike
+        :meth:`run_workload`, a self-tuning estimator's estimate for
+        query *i* therefore never sees feedback from earlier queries of
+        the same batch — the trade the batched device path makes for
+        amortised launch and transfer overhead.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        # Estimators expose the batched entry points under different
+        # names per layer (baselines: ``*_many``; the core self-tuning
+        # model: ``*_batch``); plain estimators fall back to the loop.
+        estimate_many = getattr(
+            self.estimator,
+            "estimate_many",
+            getattr(self.estimator, "estimate_batch", None),
+        )
+        if estimate_many is not None:
+            estimates = estimate_many(queries)
+        else:
+            estimates = [self.estimator.estimate(q) for q in queries]
+        actuals = [self.table.execute(query).selectivity for query in queries]
+        feedback_many = getattr(
+            self.estimator,
+            "feedback_many",
+            getattr(self.estimator, "feedback_batch", None),
+        )
+        if feedback_many is not None:
+            feedback_many(queries, actuals)
+        else:
+            for query, actual in zip(queries, actuals):
+                self.estimator.feedback(query, actual)
+        batch = [
+            Observation(query=query, estimated=float(estimated), actual=actual)
+            for query, estimated, actual in zip(queries, estimates, actuals)
+        ]
+        self.observations.extend(batch)
+        return batch
+
     # ------------------------------------------------------------------
     # Error reporting
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from scipy.special import erf  # noqa: F401  (used by generated code)
 
 __all__ = [
     "compile_contribution_kernel",
+    "compile_batch_contribution_kernel",
     "compile_gradient_kernel",
     "clear_kernel_cache",
     "kernel_cache_size",
@@ -67,6 +68,46 @@ def compile_contribution_kernel(
         lines.append(f"    out = out * ({_dim_factor(j)})")
     lines.append(f"    return out.astype(np.{precision}, copy=False)")
     kernel = _compile("_contribution_kernel", "\n".join(lines))
+    _CACHE[key] = kernel
+    return kernel
+
+
+def _batch_dim_factor(j: int) -> str:
+    """Source of the per-dimension Eq. (13) factor over a ``(q, s)`` grid."""
+    return (
+        f"0.5 * (erf((high[:, {j}, None] - sample[None, :, {j}])"
+        f" / (SQRT2 * bandwidth[{j}]))"
+        f" - erf((low[:, {j}, None] - sample[None, :, {j}])"
+        f" / (SQRT2 * bandwidth[{j}])))"
+    )
+
+
+def compile_batch_contribution_kernel(
+    dimensions: int, precision: str = "float32"
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray]:
+    """Specialised *batched* contribution kernel: one launch, many queries.
+
+    Returns ``kernel(sample, lows, highs, bandwidth) -> (q, s)``
+    contributions, where ``lows``/``highs`` are the stacked ``(q, d)``
+    bounds of a :class:`~repro.geometry.QueryBatch`.  Each element is
+    computed by the exact per-element operations of the per-query kernel
+    of :func:`compile_contribution_kernel` (one virtual thread per
+    (query, sample point) pair), so the batched results are identical to
+    ``q`` individual launches.
+    """
+    if dimensions < 1:
+        raise ValueError("dimensions must be at least 1")
+    key = ("batch_contribution", dimensions, precision)
+    if key in _CACHE:
+        return _CACHE[key]
+    lines = [
+        "def _batch_contribution_kernel(sample, low, high, bandwidth):",
+        f"    out = {_batch_dim_factor(0)}",
+    ]
+    for j in range(1, dimensions):
+        lines.append(f"    out = out * ({_batch_dim_factor(j)})")
+    lines.append(f"    return out.astype(np.{precision}, copy=False)")
+    kernel = _compile("_batch_contribution_kernel", "\n".join(lines))
     _CACHE[key] = kernel
     return kernel
 

@@ -23,17 +23,21 @@ Per-query choreography (numbers match Figure 3):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from ..geometry import Box
+from ..geometry import Box, QueryBatch
 from ..core.adaptive import RMSpropTuner
 from ..core.bandwidth import scott_bandwidth
 from ..core.config import AdaptiveConfig, KarmaConfig
 from ..core.karma import KarmaTracker
 from ..core.losses import Loss, get_loss
-from .codegen import compile_contribution_kernel, compile_gradient_kernel
+from .codegen import (
+    compile_batch_contribution_kernel,
+    compile_contribution_kernel,
+    compile_gradient_kernel,
+)
 from .runtime import DeviceContext
 
 __all__ = ["DeviceKDE"]
@@ -99,6 +103,9 @@ class DeviceKDE:
                        label="bandwidth")
 
         self._contribution_kernel = compile_contribution_kernel(d, precision)
+        self._batch_contribution_kernel = compile_batch_contribution_kernel(
+            d, precision
+        )
         self._gradient_kernel = compile_gradient_kernel(d, precision)
         self._tuner = RMSpropTuner(d, adaptive_config or AdaptiveConfig())
         self._karma = KarmaTracker(
@@ -108,6 +115,10 @@ class DeviceKDE:
         self._pending_contributions: Optional[np.ndarray] = None
         self._pending_estimate: float = 0.0
         self._pending_gradient: Optional[np.ndarray] = None
+        self._pending_batch: Optional[QueryBatch] = None
+        self._pending_batch_contributions: Optional[np.ndarray] = None
+        self._pending_batch_estimates: Optional[np.ndarray] = None
+        self._pending_batch_gradients: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -163,6 +174,10 @@ class DeviceKDE:
         self._pending_query = query
         self._pending_contributions = contributions
         self._pending_estimate = estimate
+        self._pending_batch = None
+        self._pending_batch_contributions = None
+        self._pending_batch_estimates = None
+        self._pending_batch_gradients = None
 
         if self.adaptive:
             # Gradient pre-computation (Figure 3, steps 5-6).  The compute
@@ -176,6 +191,128 @@ class DeviceKDE:
             self.context.launch("gradient", 0)
             self.context.reduce("gradient_reduction", 0)
         return estimate
+
+    # ------------------------------------------------------------------
+    # Batched estimation (one launch for a whole query batch)
+    # ------------------------------------------------------------------
+    def estimate_batch(self, queries) -> np.ndarray:
+        """``(q,)`` estimates for a whole batch with batched choreography.
+
+        The batched path replaces the per-query transfer/launch sequence
+        with one of each: a single upload of all ``2 q d`` query bounds,
+        a single ``estimate`` kernel launch covering the batch's
+        ``q * s * d`` kernel terms (the ``q * s`` per-point contribution
+        terms of ``d`` factors each — one virtual thread per (query,
+        point) pair), one per-query reduction, and a single download of
+        all ``q`` estimates.  Per-query results are identical to
+        :meth:`estimate`; only launch and transfer overhead is amortised.
+        """
+        batch = QueryBatch.coerce(queries)
+        if batch.dimensions != self.dimensions:
+            raise ValueError("query batch dimensionality mismatch")
+        s, d = self._sample_buffer.shape
+        q = len(batch)
+        bounds = np.concatenate(
+            [batch.low.ravel(), batch.high.ravel()]
+        ).astype(self._dtype)
+        self.context.upload("query_bounds", bounds, label="query_bounds")
+
+        sample = self._sample_buffer.data
+        contributions = self._batch_contribution_kernel(
+            sample, batch.low, batch.high, self._bandwidth
+        ).astype(np.float64)
+        self.context.launch("estimate", q * s * d)
+        estimates = contributions.mean(axis=1)
+        for _ in range(q):
+            self.context.reduce("estimate_reduction", s)
+        self.context.download_value(
+            estimates, q * self._dtype.itemsize, label="estimates"
+        )
+
+        self._pending_query = None
+        self._pending_contributions = None
+        self._pending_gradient = None
+        self._pending_batch = batch
+        self._pending_batch_contributions = contributions
+        self._pending_batch_estimates = estimates
+        self._pending_batch_gradients = None
+
+        if self.adaptive:
+            # Batched gradient pre-computation: compute still overlaps
+            # with query execution (Section 5.5), so the batch costs one
+            # zero-work launch + reduction instead of one per query.
+            gradients = np.empty((q, d), dtype=np.float64)
+            for index in range(q):
+                partials = self._gradient_kernel(
+                    sample, batch.low[index], batch.high[index], self._bandwidth
+                ).astype(np.float64)
+                gradients[index] = partials.mean(axis=0)
+            self._pending_batch_gradients = gradients
+            self.context.launch("gradient", 0)
+            self.context.reduce("gradient_reduction", 0)
+        return estimates
+
+    def feedback_batch(self, queries, true_selectivities) -> List[np.ndarray]:
+        """Batched feedback for a batch estimated via :meth:`estimate_batch`.
+
+        Returns one array of flagged sample indices per query (the caller
+        replaces rows via :meth:`replace_rows`, as with :meth:`feedback`).
+        Numerically this matches calling :meth:`feedback` query-by-query
+        after a batched estimate; on the modelled device it uploads all
+        loss factors in one transfer, runs one Karma launch over the
+        retained contribution buffer, and downloads a single combined
+        replacement bitmap.
+        """
+        batch = QueryBatch.coerce(queries)
+        truths = np.asarray(true_selectivities, dtype=np.float64).reshape(-1)
+        if truths.shape[0] != len(batch):
+            raise ValueError("need one true selectivity per query")
+        if not self.adaptive:
+            return [np.array([], dtype=np.intp) for _ in range(len(batch))]
+        if np.any(truths < 0.0) or np.any(truths > 1.0):
+            raise ValueError("true selectivities must lie in [0, 1]")
+        if self._pending_batch is None or self._pending_batch != batch:
+            self.estimate_batch(batch)
+        assert self._pending_batch_contributions is not None
+        assert self._pending_batch_estimates is not None
+        assert self._pending_batch_gradients is not None
+
+        loss_factors = np.asarray(
+            self._loss.derivative(self._pending_batch_estimates, truths),
+            dtype=np.float64,
+        )
+        self.context.upload(
+            "loss_factor",
+            loss_factors.astype(self._dtype),
+            label="loss_factor",
+        )
+        self.context.launch("karma", 0)
+        flagged: List[np.ndarray] = []
+        any_flagged = False
+        for index in range(len(batch)):
+            gradient = loss_factors[index] * self._pending_batch_gradients[index]
+            if self._tuner.config.log_updates:
+                gradient = gradient * self._bandwidth
+            updated = self._tuner.observe(gradient, self._bandwidth)
+            if updated is not None:
+                self.set_bandwidth(updated)
+            indices = self._karma.update(
+                self._pending_batch_contributions[index],
+                float(truths[index]),
+                query=batch.box(index),
+                bandwidth=self._bandwidth,
+            )
+            any_flagged = any_flagged or bool(indices.size)
+            flagged.append(indices)
+        if any_flagged:
+            self.context.download_value(
+                None, (self.sample_size + 7) // 8, label="replacement_bitmap"
+            )
+        self._pending_batch = None
+        self._pending_batch_contributions = None
+        self._pending_batch_estimates = None
+        self._pending_batch_gradients = None
+        return flagged
 
     # ------------------------------------------------------------------
     # Feedback (Figure 3, steps 7-9)

@@ -85,15 +85,24 @@ class DeviceContext:
             raise KeyError(f"no buffer named {name!r}")
 
     def free(self, name: str) -> None:
+        self.buffer(name)  # same descriptive KeyError as lookups
         del self._buffers[name]
 
     def upload(
         self, name: str, data: np.ndarray, label: Optional[str] = None
     ) -> DeviceBuffer:
-        """Host-to-device copy; allocates the buffer on first use."""
+        """Host-to-device copy; allocates the buffer on first use.
+
+        A copy whose shape or dtype differs from the existing buffer
+        reallocates it (release + create-with-copy), as when a batch of a
+        different size reuses a bound buffer's name.
+        """
         data = np.asarray(data)
-        if name in self._buffers:
-            nbytes = self._buffers[name].write(data)
+        existing = self._buffers.get(name)
+        if existing is not None and (
+            existing.shape == data.shape and existing.data.dtype == data.dtype
+        ):
+            nbytes = existing.write(data)
         else:
             self._buffers[name] = DeviceBuffer(name, data)
             nbytes = self._buffers[name].nbytes

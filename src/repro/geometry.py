@@ -6,16 +6,22 @@ intervals ``(l_1, u_1) x ... x (l_d, u_d)``.  Every component of this
 library — the KDE estimator, the STHoles histogram, the workload
 generators, and the relational substrate — communicates in terms of the
 :class:`Box` type defined here.
+
+:class:`QueryBatch` is the plural form: a whole workload of boxes stacked
+into two ``(q, d)`` bound matrices, validated once at construction.  The
+batched evaluation engine (``KernelDensityEstimator.selectivity_batch``
+and the device layer's batched launches) consumes this type directly, so
+per-query Python overhead is paid exactly once per batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Box", "RangeQuery", "intersect", "union_bounds"]
+__all__ = ["Box", "QueryBatch", "RangeQuery", "intersect", "union_bounds"]
 
 
 @dataclass(frozen=True)
@@ -184,6 +190,118 @@ class Box:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"[{lo:g}, {hi:g}]" for lo, hi in self)
         return f"Box({parts})"
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """A stack of ``q`` axis-aligned query boxes sharing one dimensionality.
+
+    Parameters
+    ----------
+    low:
+        ``(q, d)`` matrix of lower bounds, one row per query.
+    high:
+        ``(q, d)`` matrix of upper bounds.  Must satisfy ``high >= low``
+        element-wise (degenerate zero-width queries are allowed, exactly
+        as for :class:`Box`).
+
+    The bounds are validated once here; the batched evaluation paths then
+    operate on the raw arrays without re-checking every query.
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+
+    def __post_init__(self) -> None:
+        low = np.atleast_2d(np.asarray(self.low, dtype=np.float64))
+        high = np.atleast_2d(np.asarray(self.high, dtype=np.float64))
+        if low.ndim != 2 or high.ndim != 2:
+            raise ValueError("QueryBatch bounds must be (q, d) matrices")
+        if low.shape != high.shape:
+            raise ValueError(
+                f"bound shapes differ: {low.shape} vs {high.shape}"
+            )
+        if low.shape[0] == 0:
+            raise ValueError("QueryBatch must contain at least one query")
+        if low.shape[1] == 0:
+            raise ValueError("QueryBatch must have at least one dimension")
+        if not (np.all(np.isfinite(low)) and np.all(np.isfinite(high))):
+            raise ValueError("QueryBatch bounds must be finite")
+        if np.any(high < low):
+            raise ValueError("QueryBatch requires high >= low everywhere")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_boxes(cls, boxes: Iterable[Box]) -> "QueryBatch":
+        """Stack a sequence of :class:`Box` es into one batch."""
+        boxes = list(boxes)
+        if not boxes:
+            raise ValueError("QueryBatch.from_boxes requires at least one box")
+        dims = boxes[0].dimensions
+        for box in boxes:
+            if box.dimensions != dims:
+                raise ValueError(
+                    f"all boxes must share one dimensionality; "
+                    f"got {box.dimensions} after {dims}"
+                )
+        low = np.stack([box.low for box in boxes])
+        high = np.stack([box.high for box in boxes])
+        return cls(low, high)
+
+    @classmethod
+    def coerce(cls, queries: Union["QueryBatch", Box, Sequence[Box]]) -> "QueryBatch":
+        """Accept a batch, a single box, or a box sequence uniformly."""
+        if isinstance(queries, QueryBatch):
+            return queries
+        if isinstance(queries, Box):
+            return cls.from_boxes([queries])
+        return cls.from_boxes(queries)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.low.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self.low.shape[1]
+
+    def box(self, index: int) -> Box:
+        """The ``index``-th query as a :class:`Box`."""
+        return Box(self.low[index].copy(), self.high[index].copy())
+
+    def __iter__(self) -> Iterator[Box]:
+        for index in range(len(self)):
+            yield self.box(index)
+
+    def __getitem__(self, index) -> Union[Box, "QueryBatch"]:
+        """Integer indexing yields a :class:`Box`, slicing a sub-batch."""
+        if isinstance(index, slice):
+            return QueryBatch(self.low[index].copy(), self.high[index].copy())
+        return self.box(int(index))
+
+    def widths(self) -> np.ndarray:
+        """``(q, d)`` matrix of per-query side lengths."""
+        return self.high - self.low
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryBatch):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low.tobytes(), self.high.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryBatch(q={len(self)}, d={self.dimensions})"
 
 
 # A range query *is* a box; the alias exists so call sites can say what

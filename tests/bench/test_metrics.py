@@ -59,3 +59,19 @@ class TestWinMatrix:
             win_matrix([])
         with pytest.raises(ValueError):
             win_matrix([{"A": 1.0}, {"B": 1.0}])
+
+    def test_nan_error_raises(self):
+        # A silent NaN counts as a loss for both sides of every pairwise
+        # comparison; the matrix must refuse it instead.
+        results = [{"A": 0.1, "B": 0.2}, {"A": float("nan"), "B": 0.3}]
+        with pytest.raises(ValueError, match="non-finite error"):
+            win_matrix(results)
+
+    def test_inf_error_raises(self):
+        with pytest.raises(ValueError, match="non-finite error"):
+            win_matrix([{"A": float("inf"), "B": 0.3}])
+
+    def test_error_names_estimator_and_experiment(self):
+        results = [{"A": 0.1, "B": 0.2}, {"A": 0.2, "B": float("nan")}]
+        with pytest.raises(ValueError, match="'B' in experiment 1"):
+            win_matrix(results)

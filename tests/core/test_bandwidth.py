@@ -41,6 +41,36 @@ class TestSampleStd:
             sample_std(shifted), base.std(axis=0), rtol=1e-3
         )
 
+    def test_catastrophic_cancellation_regression(self):
+        # The naive E[x^2] - E[x]^2 identity collapses this to zero in
+        # float64: 1e8**2 = 1e16 leaves no mantissa room for the unit gap.
+        std = sample_std(np.array([[1e8], [1e8 + 1]]))
+        assert std[0] == pytest.approx(0.5, rel=1e-12)
+
+    def test_large_offset_exact_small_set(self):
+        # Shifted two-pass form is exact for exactly representable inputs.
+        offsets = [0.0, 1e8, -1e8, 1e12]
+        for offset in offsets:
+            sample = np.array([[offset], [offset + 2.0], [offset + 4.0]])
+            np.testing.assert_allclose(
+                sample_std(sample), [np.sqrt(8.0 / 3.0)], rtol=1e-12
+            )
+
+    @given(
+        st.floats(-1e10, 1e10, allow_nan=False),
+        st.integers(2, 64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, offset, n):
+        rng = np.random.default_rng(n)
+        base = rng.normal(size=(n, 2))
+        np.testing.assert_allclose(
+            sample_std(base + offset),
+            sample_std(base),
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
 
 class TestScott:
     def test_formula(self):

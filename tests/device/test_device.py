@@ -146,6 +146,18 @@ class TestContext:
         with pytest.raises(KeyError):
             ctx.buffer("tmp")
 
+    def test_free_unknown_buffer_is_descriptive(self):
+        ctx = DeviceContext.for_device("gpu")
+        with pytest.raises(KeyError, match="no buffer named 'nope'"):
+            ctx.free("nope")
+
+    def test_double_free_is_descriptive(self):
+        ctx = DeviceContext.for_device("gpu")
+        ctx.allocate("tmp", np.zeros(2))
+        ctx.free("tmp")
+        with pytest.raises(KeyError, match="no buffer named 'tmp'"):
+            ctx.free("tmp")
+
     def test_launch_counting(self):
         ctx = DeviceContext.for_device("gpu")
         ctx.launch("contribution", 10)

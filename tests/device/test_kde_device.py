@@ -139,6 +139,117 @@ class TestChoreography:
             kde.feedback(query, 2.0)
 
 
+class TestBatchedChoreography:
+    """The batched path: one launch per batch, per-query identical results."""
+
+    @pytest.fixture
+    def queries(self, rng):
+        centers = rng.normal(size=(16, 4))
+        widths = rng.uniform(0.2, 2.0, size=(16, 4))
+        return [Box(c - w / 2, c + w / 2) for c, w in zip(centers, widths)]
+
+    def test_results_match_per_query_estimates(self, sample, queries):
+        batched, _ = make_kde(sample, precision="float64", adaptive=False)
+        looped, _ = make_kde(sample, precision="float64", adaptive=False)
+        estimates = batched.estimate_batch(queries)
+        expected = np.array([looped.estimate(q) for q in queries])
+        np.testing.assert_array_equal(estimates, expected)
+
+    def test_float32_results_match_per_query(self, sample, queries):
+        batched, _ = make_kde(sample, precision="float32", adaptive=False)
+        looped, _ = make_kde(sample, precision="float32", adaptive=False)
+        np.testing.assert_array_equal(
+            batched.estimate_batch(queries),
+            np.array([looped.estimate(q) for q in queries]),
+        )
+
+    def test_single_launch_per_batch(self, sample, queries):
+        kde, ctx = make_kde(sample, adaptive=False)
+        kde.estimate_batch(queries)
+        assert ctx.launch_count("estimate") == 1
+        assert ctx.launch_count("contribution") == 0
+        # One reduction per query, each over the s contribution terms.
+        reductions = [r for r in ctx.launches if r.kernel == "estimate_reduction"]
+        assert len(reductions) == len(queries)
+        assert all(r.term_count == 1024 for r in reductions)
+
+    def test_launch_covers_all_kernel_terms(self, sample, queries):
+        kde, ctx = make_kde(sample, adaptive=False)
+        kde.estimate_batch(queries)
+        launches = [r for r in ctx.launches if r.kernel == "estimate"]
+        assert launches[0].term_count == len(queries) * 1024 * 4  # q * s * d
+
+    def test_single_transfer_each_way(self, sample, queries):
+        kde, ctx = make_kde(sample, adaptive=False)
+        ctx.transfers.clear()
+        kde.estimate_batch(queries)
+        # One upload of all 2qd bounds, one download of all q estimates.
+        assert ctx.transfers.count == 2
+        assert ctx.transfers.bytes_for_label("query_bounds") == (
+            2 * len(queries) * 4 * 4
+        )
+        assert ctx.transfers.bytes_for_label("estimates") == len(queries) * 4
+
+    def test_batching_amortises_modelled_cost(self, sample, queries):
+        batched, batched_ctx = make_kde(sample, adaptive=False)
+        looped, looped_ctx = make_kde(sample, adaptive=False)
+        batched_ctx.reset_clock()
+        looped_ctx.reset_clock()
+        batched.estimate_batch(queries)
+        for query in queries:
+            looped.estimate(query)
+        # Same kernel work, 1/16th the launch + transfer overhead.
+        assert batched_ctx.elapsed_seconds < looped_ctx.elapsed_seconds
+
+    def test_feedback_batch_matches_per_query_feedback(self, sample, queries):
+        batched, _ = make_kde(sample, precision="float64", adaptive=True)
+        looped, _ = make_kde(sample, precision="float64", adaptive=True)
+        truths = [0.2 + 0.02 * i for i in range(len(queries))]
+        batched.estimate_batch(queries)
+        flagged_batched = batched.feedback_batch(queries, truths)
+        flagged_looped = []
+        for query, truth in zip(queries, truths):
+            looped.estimate(query)
+            flagged_looped.append(looped.feedback(query, truth))
+        np.testing.assert_array_equal(batched.bandwidth, looped.bandwidth)
+        assert batched.tuner.updates_applied == looped.tuner.updates_applied
+        for a, b in zip(flagged_batched, flagged_looped):
+            np.testing.assert_array_equal(a, b)
+
+    def test_feedback_batch_choreography(self, sample, queries):
+        kde, ctx = make_kde(sample, adaptive=True)
+        kde.estimate_batch(queries)
+        ctx.transfers.clear()
+        karma_before = ctx.launch_count("karma")
+        kde.feedback_batch(queries, [0.3] * len(queries))
+        # One loss-factor upload and one Karma launch for the whole batch.
+        assert ctx.launch_count("karma") == karma_before + 1
+        assert ctx.transfers.bytes_for_label("loss_factor") == len(queries) * 4
+
+    def test_feedback_batch_recomputes_stale_batch(self, sample, queries):
+        kde, ctx = make_kde(sample, adaptive=True)
+        kde.estimate_batch(queries)
+        kde.estimate(queries[0])  # invalidates the retained batch buffers
+        before = ctx.launch_count("estimate")
+        kde.feedback_batch(queries, [0.3] * len(queries))
+        assert ctx.launch_count("estimate") == before + 1
+
+    def test_feedback_batch_non_adaptive_noop(self, sample, queries):
+        kde, _ = make_kde(sample, adaptive=False)
+        kde.estimate_batch(queries)
+        flagged = kde.feedback_batch(queries, [0.3] * len(queries))
+        assert all(f.size == 0 for f in flagged)
+
+    def test_validation(self, sample, queries):
+        kde, _ = make_kde(sample, adaptive=True)
+        with pytest.raises(ValueError):
+            kde.estimate_batch([Box([0.0], [1.0])])
+        with pytest.raises(ValueError):
+            kde.feedback_batch(queries, [0.3])
+        with pytest.raises(ValueError):
+            kde.feedback_batch(queries, [2.0] * len(queries))
+
+
 class TestTimingShape:
     """The qualitative runtime claims of Section 6.4 / Figure 7."""
 
