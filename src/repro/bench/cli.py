@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench fig8   [--scale ...]
     python -m repro.bench ablations [--scale ...]
     python -m repro.bench batch
+    python -m repro.bench backends [--scale ...] [--shards N [N ...]]
     python -m repro.bench all    [--scale ...]
 
 Scales trade fidelity for runtime: ``smoke`` finishes in well under a
@@ -27,6 +28,7 @@ from typing import Dict
 
 from .experiments import (
     run_adaptive_parameter_ablation,
+    run_backend_scaling,
     run_batch_scaling,
     run_dynamic_quality,
     run_karma_ablation,
@@ -99,8 +101,18 @@ EXPERIMENTS = (
     "fig8",
     "ablations",
     "batch",
+    "backends",
     "all",
 )
+
+#: Per-scale sweep parameters for the ``backends`` experiment.
+BACKEND_SCALE = {
+    "smoke": dict(sample_sizes=(4096, 16384), batch_size=64, repeats=1),
+    "small": dict(sample_sizes=(16384, 65536), batch_size=128, repeats=2),
+    "paper": dict(
+        sample_sizes=(16384, 65536, 262144), batch_size=256, repeats=3
+    ),
+}
 
 
 def _static(scale: Dict, dimensions: int, progress: bool):
@@ -117,7 +129,9 @@ def _static(scale: Dict, dimensions: int, progress: bool):
     )
 
 
-def run_experiment(name: str, scale_name: str, progress: bool = True) -> str:
+def run_experiment(
+    name: str, scale_name: str, progress: bool = True, shards=None
+) -> str:
     """Run one experiment and return its rendered report."""
     scale = SCALES[scale_name]
     started = time.time()
@@ -219,6 +233,52 @@ def run_experiment(name: str, scale_name: str, progress: bool = True) -> str:
             "Batched evaluation - modelled per-query cost vs batch size "
             "(adaptive estimate+feedback)"
         )
+    elif name == "backends":
+        params = dict(BACKEND_SCALE[scale_name])
+        if shards:
+            params["shard_counts"] = tuple(shards)
+        result = run_backend_scaling(progress=progress, **params)
+        lines = []
+        for series, values in result.wall_seconds.items():
+            speedups = result.speedup(series)
+            lines.append(
+                f"{series}: "
+                + ", ".join(
+                    f"s={size}: {seconds * 1e3:.1f}ms ({speedup:.2f}x)"
+                    for size, seconds, speedup in zip(
+                        result.sample_sizes, values, speedups
+                    )
+                )
+            )
+        lines.append(
+            "cache hit rate: "
+            + ", ".join(
+                f"s={size}: {rate:.2f}"
+                for size, rate in zip(
+                    result.sample_sizes, result.cache_hit_rates
+                )
+            )
+        )
+        lines.append(
+            f"max |deviation| vs numpy backend: "
+            f"{result.max_abs_deviation:.2e}"
+        )
+        profile = result.device_profile
+        lines.append(
+            f"modelled device profile ({profile['device']}): "
+            f"kernels {profile['kernel_seconds'] * 1e3:.2f}ms, "
+            f"transfers {profile['transfer_seconds'] * 1e3:.2f}ms; "
+            + ", ".join(
+                f"{kernel}: {entry['launches']}x/"
+                f"{entry['seconds'] * 1e6:.0f}us"
+                for kernel, entry in sorted(profile["kernels"].items())
+            )
+        )
+        report = "\n".join(lines)
+        title = (
+            "Execution backends - measured wall clock, shards x sample "
+            "size (speedups vs the numpy backend)"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -239,16 +299,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-trial progress"
     )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=None,
+        help="shard counts swept by the backends experiment",
+    )
     args = parser.parse_args(argv)
 
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
-         "batch"]
+         "batch", "backends"]
         if args.experiment == "all"
         else [args.experiment]
     )
     for name in names:
-        print(run_experiment(name, args.scale, progress=not args.quiet))
+        print(
+            run_experiment(
+                name, args.scale, progress=not args.quiet, shards=args.shards
+            )
+        )
         print()
     return 0
 

@@ -15,8 +15,10 @@ from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
 from .runtime import (
     DEFAULT_BATCH_SIZES,
     PAPER_MODEL_SIZES,
+    BackendScalingResult,
     BatchScalingResult,
     RuntimeResult,
+    run_backend_scaling,
     run_batch_scaling,
     run_runtime_scaling,
 )
@@ -24,6 +26,7 @@ from .static_quality import StaticQualityResult, run_static_quality
 
 __all__ = [
     "AdaptiveParameterAblation",
+    "BackendScalingResult",
     "BatchScalingResult",
     "DEFAULT_BATCH_SIZES",
     "DynamicQualityResult",
@@ -36,6 +39,7 @@ __all__ = [
     "SelectorShootout",
     "StaticQualityResult",
     "run_adaptive_parameter_ablation",
+    "run_backend_scaling",
     "run_batch_scaling",
     "run_dynamic_quality",
     "run_karma_ablation",

@@ -16,15 +16,18 @@ winning small models but losing large ones by the paper's 7-10x.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ...baselines.stholes import sthole_bucket_budget
+from ...core import KernelDensityEstimator, scott_bandwidth
+from ...core.backends import CachedBackend, ShardedBackend
 from ...datasets import gunopulos_synthetic
 from ...device import DeviceContext, DeviceKDE, STHolesCostModel
-from ...geometry import Box
+from ...geometry import Box, QueryBatch
 from ...workloads import generate_workload
 
 __all__ = [
@@ -32,6 +35,8 @@ __all__ = [
     "run_runtime_scaling",
     "BatchScalingResult",
     "run_batch_scaling",
+    "BackendScalingResult",
+    "run_backend_scaling",
     "PAPER_MODEL_SIZES",
     "DEFAULT_BATCH_SIZES",
 ]
@@ -199,4 +204,192 @@ def run_batch_scaling(
                     sample, workload[:batch_size], device, adaptive, batched=True
                 )
             )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Execution-backend scaling (wall clock + cache hit rate)
+# ----------------------------------------------------------------------
+@dataclass
+class BackendScalingResult:
+    """Measured wall-clock per backend across the sweep.
+
+    ``wall_seconds[series]`` holds one entry per sample size (best of
+    ``repeats`` timed runs of one full ``selectivity_batch`` over the
+    workload).  Series are ``"numpy"``, ``"sharded[n]"`` per shard
+    count, and ``"cached"``/``"cached-warm"`` (cold first pass vs fully
+    warmed cache).  ``max_abs_deviation`` is the largest absolute
+    estimate difference of any backend against the ``numpy`` reference
+    (the 1e-12 equivalence budget); ``device_profile`` is the modelled
+    where-time-goes summary of a batched :class:`DeviceKDE` run at the
+    largest sample size (:meth:`DeviceContext.profile`).
+    """
+
+    sample_sizes: List[int]
+    batch_size: int
+    shard_counts: List[int]
+    repeats: int
+    wall_seconds: Dict[str, List[float]] = field(default_factory=dict)
+    cache_hit_rates: List[float] = field(default_factory=list)
+    max_abs_deviation: float = 0.0
+    device_profile: Dict[str, object] = field(default_factory=dict)
+
+    def series(self, name: str) -> np.ndarray:
+        return np.array(self.wall_seconds[name], dtype=np.float64)
+
+    def speedup(self, name: str, baseline: str = "numpy") -> np.ndarray:
+        """Per-sample-size wall-clock speedup of ``name`` over ``baseline``."""
+        return self.series(baseline) / self.series(name)
+
+
+def templated_workload(
+    data: np.ndarray,
+    queries: int,
+    rng: np.random.Generator,
+    template_pool: int = 8,
+) -> QueryBatch:
+    """A bound-reusing workload: per-dimension interval templates.
+
+    Each dimension draws ``template_pool`` candidate ``(lo, hi)``
+    intervals from the data's range; every query picks one template per
+    dimension independently.  Distinct boxes abound (up to
+    ``template_pool ** d``), but any single dimension only ever sees
+    ``template_pool`` bounds — the reuse pattern (templated predicates,
+    dashboards sweeping one attribute) that the per-dimension CDF-term
+    cache exploits.
+    """
+    d = data.shape[1]
+    lows = np.empty((queries, d))
+    highs = np.empty((queries, d))
+    for j in range(d):
+        lo_candidates = rng.uniform(
+            data[:, j].min(), data[:, j].max(), size=template_pool
+        )
+        widths = rng.uniform(
+            0.05, 0.5, size=template_pool
+        ) * (data[:, j].max() - data[:, j].min())
+        choice = rng.integers(template_pool, size=queries)
+        lows[:, j] = lo_candidates[choice]
+        highs[:, j] = lo_candidates[choice] + widths[choice]
+    return QueryBatch(lows, highs)
+
+
+def _best_wall_seconds(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` (after it ran once)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_backend_scaling(
+    sample_sizes: Sequence[int] = (16384, 65536),
+    batch_size: int = 128,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    dimensions: int = 4,
+    template_pool: int = 8,
+    repeats: int = 2,
+    seed: int = 0,
+    progress: bool = False,
+) -> BackendScalingResult:
+    """Sweep execution backends over shards x sample size (wall clock).
+
+    Unlike the modelled-clock experiments, this one measures *real* host
+    wall time: the sharded backend's speedup is whatever the machine's
+    cores actually deliver (expect ~1x on a single-core host — the
+    partials pipeline still works, it just has nothing to parallelise
+    over), and the cached backend's speedup tracks the workload's bound
+    reuse (reported as the cache hit rate).
+    """
+    rng = np.random.default_rng(seed)
+    data = gunopulos_synthetic(
+        rows=max(2 * max(sample_sizes), 10_000),
+        dimensions=dimensions,
+        seed=seed,
+    )
+    batch = templated_workload(data, batch_size, rng, template_pool)
+    result = BackendScalingResult(
+        sample_sizes=list(sample_sizes),
+        batch_size=batch_size,
+        shard_counts=list(shard_counts),
+        repeats=repeats,
+    )
+    series_names = (
+        ["numpy"]
+        + [f"sharded[{n}]" for n in shard_counts]
+        + ["cached", "cached-warm"]
+    )
+    for name in series_names:
+        result.wall_seconds[name] = []
+
+    for size in sample_sizes:
+        sample = data[rng.choice(data.shape[0], size=size, replace=False)]
+        bandwidth = scott_bandwidth(sample)
+
+        reference = KernelDensityEstimator(sample, bandwidth)
+        reference.selectivity_batch(batch)  # warm numpy/BLAS paths
+        result.wall_seconds["numpy"].append(
+            _best_wall_seconds(
+                lambda: reference.selectivity_batch(batch), repeats
+            )
+        )
+        expected = reference.selectivity_batch(batch)
+
+        for shards in shard_counts:
+            kde = KernelDensityEstimator(
+                sample, bandwidth, backend=ShardedBackend(shards=shards)
+            )
+            estimates = kde.selectivity_batch(batch)  # spins up the pool
+            result.max_abs_deviation = max(
+                result.max_abs_deviation,
+                float(np.abs(estimates - expected).max()),
+            )
+            result.wall_seconds[f"sharded[{shards}]"].append(
+                _best_wall_seconds(
+                    lambda: kde.selectivity_batch(batch), repeats
+                )
+            )
+            kde.backend.close()
+
+        kde = KernelDensityEstimator(
+            sample, bandwidth, backend=CachedBackend()
+        )
+        cold = _best_wall_seconds(
+            lambda: kde.selectivity_batch(batch), 1
+        )
+        result.wall_seconds["cached"].append(cold)
+        estimates = kde.selectivity_batch(batch)
+        result.max_abs_deviation = max(
+            result.max_abs_deviation,
+            float(np.abs(estimates - expected).max()),
+        )
+        result.wall_seconds["cached-warm"].append(
+            _best_wall_seconds(
+                lambda: kde.selectivity_batch(batch), repeats
+            )
+        )
+        result.cache_hit_rates.append(kde.backend.stats.cache_hit_rate)
+        if progress:
+            row = {
+                name: f"{values[-1] * 1e3:.1f}ms"
+                for name, values in result.wall_seconds.items()
+            }
+            print(
+                f"  size {size}: {row} "
+                f"(hit rate {result.cache_hit_rates[-1]:.2f})",
+                flush=True,
+            )
+
+    # Where the modelled device time goes for the same workload shape at
+    # the largest size (per-kernel seconds from DeviceContext.profile).
+    sample = data[
+        rng.choice(data.shape[0], size=max(sample_sizes), replace=False)
+    ]
+    context = DeviceContext.for_device("gpu")
+    device_kde = DeviceKDE(sample, context, adaptive=True)
+    device_kde.estimate_batch(batch)
+    device_kde.feedback_batch(batch, [0.001] * len(batch))
+    result.device_profile = context.profile()
     return result

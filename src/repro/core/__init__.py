@@ -11,7 +11,19 @@ Public surface:
 """
 
 from .adaptive import RMSpropTuner
+from .backends import (
+    BackendStats,
+    CachedBackend,
+    ExecutionBackend,
+    NumpyBackend,
+    ShardedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from .bandwidth import scott_bandwidth, silverman_bandwidth
+from .chunking import get_chunk_budget, set_chunk_budget
 from .categorical import OrderedDiscreteKernel, encode_categories
 from .config import AdaptiveConfig, KarmaConfig, SelfTuningConfig
 from .estimator import KernelDensityEstimator
@@ -46,8 +58,13 @@ __all__ = [
     "AbsoluteLoss",
     "AdaptiveConfig",
     "ArrayRowSource",
+    "BackendStats",
     "BandwidthOptimizer",
+    "CachedBackend",
     "EpanechnikovKernel",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "ShardedBackend",
     "GaussianKernel",
     "KarmaConfig",
     "KarmaTracker",
@@ -69,13 +86,19 @@ __all__ = [
     "SquaredRelativeLoss",
     "VariableKernelDensityEstimator",
     "abramson_factors",
+    "available_backends",
     "band_join_selectivity",
     "certified_inside_mask",
     "encode_categories",
     "equi_join_density",
+    "get_backend",
+    "get_chunk_budget",
     "get_kernel",
     "independence_band_join_selectivity",
     "get_loss",
+    "register_backend",
+    "resolve_backend",
+    "set_chunk_budget",
     "leave_one_out_estimates",
     "loss_and_gradient",
     "optimize_bandwidth",

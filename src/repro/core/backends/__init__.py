@@ -1,0 +1,105 @@
+"""Pluggable execution backends for the KDE batch hot path.
+
+Three strategies ship with the library (motivated by the GPU mapping of
+Sections 5.1-5.4 and the CPU data-parallel formulation of Andrzejewski
+et al.):
+
+``numpy`` (default)
+    The reference single-thread chunked evaluation — bitwise identical
+    to the seed per-query loop.
+``sharded``
+    Row shards of the sample evaluated on a ``concurrent.futures``
+    process pool over ``multiprocessing.shared_memory`` views, reduced
+    host-side like the paper's two-phase estimate+sum kernel.
+``cached``
+    A per-dimension CDF-term LRU exploiting the Eq. (13) product form:
+    column masses are memoised on ``(dimension, lo, hi, bandwidth_epoch,
+    sample_epoch)`` and reused across queries sharing bounds.
+
+Select one with the ``backend=`` knob on
+:class:`~repro.core.estimator.KernelDensityEstimator`,
+:class:`~repro.core.model.SelfTuningKDE`,
+:class:`~repro.device.kde_device.DeviceKDE`, or
+:meth:`~repro.db.feedback.FeedbackLoop.run_workload_batched` — by name,
+or as a configured instance (e.g. ``ShardedBackend(shards=4)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from .base import BackendStats, ExecutionBackend
+from .cache import CachedBackend, CDFTermCache
+from .numpy_backend import NumpyBackend
+from .sharded import ShardedBackend, ShardedSampleExecutor, default_shard_count
+
+__all__ = [
+    "BackendStats",
+    "CDFTermCache",
+    "CachedBackend",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "ShardedBackend",
+    "ShardedSampleExecutor",
+    "available_backends",
+    "default_shard_count",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Default backend name used when the knob is left unset.
+DEFAULT_BACKEND = "numpy"
+
+_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {
+    "numpy": NumpyBackend,
+    "sharded": ShardedBackend,
+    "cached": CachedBackend,
+}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ExecutionBackend]
+) -> None:
+    """Register a backend factory under ``name`` for lookup by string."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Instantiate a fresh backend by registry name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise ValueError(
+            f"unknown execution backend {name!r}; known backends: {known}"
+        )
+    return factory()
+
+
+def resolve_backend(
+    backend: Union[str, ExecutionBackend, None],
+) -> ExecutionBackend:
+    """Coerce the user-facing ``backend=`` knob into an instance.
+
+    ``None`` yields a fresh default (``numpy``) backend; strings go
+    through the registry; instances pass through unchanged (they must
+    not already be bound to a different estimator).
+    """
+    if backend is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise TypeError(
+        "backend must be None, a registry name, or an ExecutionBackend "
+        f"instance; got {type(backend).__name__}"
+    )

@@ -1,0 +1,71 @@
+"""The reference single-thread numpy backend.
+
+This is the seed evaluation strategy, factored behind the
+:class:`~repro.core.backends.base.ExecutionBackend` contract: chunked
+``(b, s)`` whole-array numpy blocks, sized by the chunk-budget policy of
+:mod:`repro.core.chunking` so the working set stays cache-resident.  It
+delegates to the estimator's reference block helpers, so its results are
+bitwise identical to the seed per-query loop (same factors, same
+multiplication order, same reductions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import ExecutionBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ExecutionBackend):
+    """Inline chunked numpy evaluation (the default backend)."""
+
+    name = "numpy"
+
+    def contribution_block(
+        self, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        estimator = self.estimator
+        self._count(low.shape[0])
+        out = np.empty(
+            (low.shape[0], estimator.sample_size), dtype=np.float64
+        )
+        chunk = estimator._batch_chunk()
+        for start in range(0, low.shape[0], chunk):
+            stop = min(low.shape[0], start + chunk)
+            out[start:stop] = estimator._contribution_block(
+                low[start:stop], high[start:stop]
+            )
+        return out
+
+    def selectivity_block(
+        self, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        estimator = self.estimator
+        self._count(low.shape[0])
+        out = np.empty(low.shape[0], dtype=np.float64)
+        chunk = estimator._batch_chunk()
+        for start in range(0, low.shape[0], chunk):
+            stop = min(low.shape[0], start + chunk)
+            out[start:stop] = estimator._contribution_block(
+                low[start:stop], high[start:stop]
+            ).mean(axis=1)
+        return out
+
+    def masses_block(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        estimator = self.estimator
+        self._count(low.shape[0])
+        return estimator._masses_block(low, high)
+
+    def gradient_block(
+        self,
+        low: np.ndarray,
+        high: np.ndarray,
+        dimension_masses: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        estimator = self.estimator
+        self._count(low.shape[0])
+        return estimator._gradient_block(low, high, dimension_masses)

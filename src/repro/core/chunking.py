@@ -1,0 +1,134 @@
+"""Chunk-budget policy for the memory-bounded evaluation paths.
+
+The batched estimation kernels of :mod:`repro.core.estimator` never
+materialise a full ``(q, s, d)`` intermediate: they walk the query batch
+in chunks sized so each per-dimension ``(b, s)`` float64 block stays
+cache-resident.  Historically the chunk budgets were hard-coded module
+constants (``131_072`` elements for the batch paths, ``4_000_000`` for
+:meth:`~repro.core.estimator.KernelDensityEstimator.density`); this
+module makes them a single tunable policy so execution backends and
+benchmarks can adjust chunking without editing source.
+
+Resolution order for the batch budget:
+
+1. an explicit :func:`set_chunk_budget` call,
+2. the ``REPRO_CHUNK_BUDGET`` environment variable (elements),
+3. an L2-cache-derived default: ``l2_bytes // 16`` elements, i.e. two
+   float64 ``(b, s)`` working blocks per L2 slice (the running product
+   and the incoming per-dimension masses), read from sysfs on Linux and
+   falling back to a 2 MiB L2 (which yields the historical ``131_072``).
+
+The density budget scales proportionally (the historical ratio of the
+two constants, ``x32``) unless overridden explicitly.
+
+Chunk sizes never change results — every batched path computes each
+query row independently and reduces along the sample axis only — so this
+is purely a performance knob.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "DENSITY_BUDGET_RATIO",
+    "default_chunk_budget",
+    "detect_l2_cache_bytes",
+    "get_chunk_budget",
+    "get_density_chunk_budget",
+    "set_chunk_budget",
+]
+
+#: Environment override (batch budget, in ``(b, s, d)`` float64 elements).
+ENV_VAR = "REPRO_CHUNK_BUDGET"
+
+#: Historical ratio between the ``density()`` chunk budget (4_000_000)
+#: and the batch budget (131_072), kept so one knob scales both paths.
+DENSITY_BUDGET_RATIO = 32
+
+#: Fallback L2 size when the platform exposes no cache topology.
+_FALLBACK_L2_BYTES = 2 * 1024 * 1024
+
+#: Clamp for derived defaults, so exotic cache reports cannot produce
+#: degenerate (chunk == 1) or memory-hostile budgets.
+_MIN_BUDGET = 16_384
+_MAX_BUDGET = 8_388_608
+
+_override: Optional[int] = None
+
+
+def detect_l2_cache_bytes() -> Optional[int]:
+    """Best-effort L2 data-cache size in bytes (``None`` when unknown)."""
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    try:
+        indexes = sorted(os.listdir(base))
+    except OSError:
+        return None
+    for index in indexes:
+        if not index.startswith("index"):
+            continue
+        try:
+            with open(os.path.join(base, index, "level")) as fh:
+                level = fh.read().strip()
+            if level != "2":
+                continue
+            with open(os.path.join(base, index, "size")) as fh:
+                size = fh.read().strip()
+        except OSError:
+            continue
+        try:
+            if size.endswith("K"):
+                return int(size[:-1]) * 1024
+            if size.endswith("M"):
+                return int(size[:-1]) * 1024 * 1024
+            return int(size)
+        except ValueError:
+            continue
+    return None
+
+
+def default_chunk_budget() -> int:
+    """The L2-derived (or fallback) batch chunk budget, in elements."""
+    l2 = detect_l2_cache_bytes() or _FALLBACK_L2_BYTES
+    return int(min(_MAX_BUDGET, max(_MIN_BUDGET, l2 // 16)))
+
+
+def get_chunk_budget() -> int:
+    """Current batch chunk budget (``(b, s, d)`` elements per chunk)."""
+    if _override is not None:
+        return _override
+    env = os.environ.get(ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_VAR} must be a positive integer, got {env!r}"
+            )
+        if value <= 0:
+            raise ValueError(f"{ENV_VAR} must be positive, got {value}")
+        return value
+    return default_chunk_budget()
+
+
+def get_density_chunk_budget() -> int:
+    """Chunk budget for ``density()``'s ``(n, s, d)`` intermediates."""
+    return get_chunk_budget() * DENSITY_BUDGET_RATIO
+
+
+def set_chunk_budget(elements: Optional[int]) -> None:
+    """Override the chunk budget process-wide; ``None`` restores defaults.
+
+    The value is the soft cap on the batched paths' per-chunk
+    ``(b, s, d)`` float64 element count; the ``density()`` budget scales
+    with it by :data:`DENSITY_BUDGET_RATIO`.
+    """
+    global _override
+    if elements is None:
+        _override = None
+        return
+    elements = int(elements)
+    if elements <= 0:
+        raise ValueError("chunk budget must be a positive element count")
+    _override = elements

@@ -28,16 +28,18 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..geometry import Box, QueryBatch
+from . import chunking
+from .backends import ExecutionBackend, resolve_backend
 from .kernels import Kernel, get_kernel
 
 __all__ = ["KernelDensityEstimator"]
 
-#: Soft cap on the per-chunk ``(b, s, d)`` intermediate of the batched
-#: evaluation paths; batches whose full tensor would exceed it are
-#: processed in query chunks (same memory-bounding idea as ``density``).
-#: Sized so each per-dimension ``(b, s)`` float64 block stays around the
-#: L2 cache (~256 KiB) — larger chunks thrash the cache and run slower.
-_BATCH_ELEMENT_BUDGET = 131_072
+#: Legacy override for the per-chunk ``(b, s, d)`` element cap of the
+#: batched evaluation paths.  ``None`` (the default) defers to the
+#: tunable policy of :mod:`repro.core.chunking` (env override +
+#: L2-cache-derived default); setting an integer here pins the budget
+#: for this module, which tests use to force tiny chunks.
+_BATCH_ELEMENT_BUDGET: Optional[int] = None
 
 
 class KernelDensityEstimator:
@@ -53,6 +55,13 @@ class KernelDensityEstimator:
         strictly positive (the constraint of optimisation problem (5)).
     kernel:
         Kernel name or instance; defaults to the Gaussian of Eq. (9).
+    backend:
+        Execution backend for the batched evaluation paths: a registry
+        name (``"numpy"``, ``"sharded"``, ``"cached"``), a configured
+        :class:`~repro.core.backends.ExecutionBackend` instance, or
+        ``None`` for the default single-thread numpy strategy.  All
+        backends are numerically equivalent (within 1e-12); the knob
+        only changes how the work is scheduled.
     """
 
     def __init__(
@@ -60,6 +69,7 @@ class KernelDensityEstimator:
         sample: np.ndarray,
         bandwidth: Union[Sequence[float], np.ndarray],
         kernel: Union[str, Kernel, Sequence[Union[str, Kernel]]] = "gaussian",
+        backend: Union[str, ExecutionBackend, None] = None,
     ) -> None:
         sample = np.array(sample, dtype=np.float64, copy=True)
         if sample.ndim != 2:
@@ -79,8 +89,12 @@ class KernelDensityEstimator:
                     f"got {len(kernels)}"
                 )
             self._kernels = kernels
+        self._bandwidth_epoch = 0
+        self._sample_epoch = 0
+        self._backend: Optional[ExecutionBackend] = None
         self._bandwidth = np.empty(sample.shape[1], dtype=np.float64)
         self.bandwidth = bandwidth  # runs validation
+        self._backend = resolve_backend(backend).bind(self)
 
     # ------------------------------------------------------------------
     # Attributes
@@ -136,6 +150,42 @@ class KernelDensityEstimator:
         if np.any(~np.isfinite(value)) or np.any(value <= 0.0):
             raise ValueError("bandwidth entries must be positive and finite")
         self._bandwidth = value.copy()
+        self._bandwidth_epoch += 1
+        if self._backend is not None:
+            self._backend.invalidate("bandwidth")
+
+    # ------------------------------------------------------------------
+    # Execution backend & epochs
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend serving the batched evaluation paths."""
+        assert self._backend is not None
+        return self._backend
+
+    @backend.setter
+    def backend(self, value: Union[str, ExecutionBackend, None]) -> None:
+        """Swap the execution backend (closing the previous one)."""
+        new = resolve_backend(value).bind(self)
+        old = self._backend
+        self._backend = new
+        if old is not None and old is not new:
+            old.close()
+
+    @property
+    def bandwidth_epoch(self) -> int:
+        """Monotone counter bumped on every bandwidth replacement.
+
+        Backends key derived state (e.g. cached CDF terms) on the epoch
+        pair so entries from superseded model states can never be
+        returned.
+        """
+        return self._bandwidth_epoch
+
+    @property
+    def sample_epoch(self) -> int:
+        """Monotone counter bumped on every in-place sample rewrite."""
+        return self._sample_epoch
 
     # ------------------------------------------------------------------
     # Estimation
@@ -165,11 +215,23 @@ class KernelDensityEstimator:
         """Selectivity estimate for ``query``: mean per-point contribution."""
         return float(self.contributions(query).mean())
 
-    def selectivity_many(self, queries: Sequence[Box]) -> np.ndarray:
-        """Selectivity estimates for a sequence of queries (batched)."""
-        queries = list(queries) if not isinstance(queries, QueryBatch) else queries
-        if len(queries) == 0:
-            return np.empty(0, dtype=np.float64)
+    def selectivity_many(
+        self, queries: Union[QueryBatch, Sequence[Box]]
+    ) -> np.ndarray:
+        """Selectivity estimates for a sequence of queries (batched).
+
+        :class:`~repro.geometry.QueryBatch` instances are dispatched
+        directly (no list round-trip); box sequences are stacked once.
+        Dimensionality is validated *before* dispatch, so a batch of the
+        wrong dimensionality fails loudly instead of silently producing
+        empty or nonsense results.
+        """
+        if not isinstance(queries, QueryBatch):
+            queries = list(queries)
+            if not queries:
+                return np.empty(0, dtype=np.float64)
+            queries = QueryBatch.from_boxes(queries)
+        self._check_batch(queries)
         return self.selectivity_batch(queries)
 
     # ------------------------------------------------------------------
@@ -203,9 +265,12 @@ class KernelDensityEstimator:
         )
 
     def _batch_chunk(self) -> int:
-        return max(
-            1, _BATCH_ELEMENT_BUDGET // max(1, self.sample_size * self.dimensions)
+        budget = (
+            _BATCH_ELEMENT_BUDGET
+            if _BATCH_ELEMENT_BUDGET is not None
+            else chunking.get_chunk_budget()
         )
+        return max(1, budget // max(1, self.sample_size * self.dimensions))
 
     def _masses_block(
         self, low_block: np.ndarray, high_block: np.ndarray
@@ -262,7 +327,7 @@ class KernelDensityEstimator:
         batch = self._check_batch(queries)
         if not self._uses_batch_fast_path():
             return np.stack([self.dimension_masses(box) for box in batch])
-        return self._masses_block(batch.low, batch.high)
+        return self.backend.masses_block(batch.low, batch.high)
 
     def contributions_batch(
         self, queries: Union[QueryBatch, Sequence[Box]]
@@ -275,14 +340,7 @@ class KernelDensityEstimator:
         batch = self._check_batch(queries)
         if not self._uses_batch_fast_path():
             return np.stack([self.contributions(box) for box in batch])
-        out = np.empty((len(batch), self.sample_size), dtype=np.float64)
-        chunk = self._batch_chunk()
-        for start in range(0, len(batch), chunk):
-            stop = min(len(batch), start + chunk)
-            out[start:stop] = self._contribution_block(
-                batch.low[start:stop], batch.high[start:stop]
-            )
-        return out
+        return self.backend.contribution_block(batch.low, batch.high)
 
     def selectivity_batch(
         self, queries: Union[QueryBatch, Sequence[Box]]
@@ -299,14 +357,7 @@ class KernelDensityEstimator:
             return np.array(
                 [self.selectivity(box) for box in batch], dtype=np.float64
             )
-        out = np.empty(len(batch), dtype=np.float64)
-        chunk = self._batch_chunk()
-        for start in range(0, len(batch), chunk):
-            stop = min(len(batch), start + chunk)
-            out[start:stop] = self._contribution_block(
-                batch.low[start:stop], batch.high[start:stop]
-            ).mean(axis=1)
-        return out
+        return self.backend.selectivity_block(batch.low, batch.high)
 
     def selectivity_gradient_batch(
         self,
@@ -336,13 +387,29 @@ class KernelDensityEstimator:
                 )
                 rows.append(self.selectivity_gradient(box, masses))
             return np.stack(rows)
+        return self.backend.gradient_block(
+            batch.low, batch.high, dimension_masses
+        )
+
+    def _gradient_block(
+        self,
+        low: np.ndarray,
+        high: np.ndarray,
+        dimension_masses: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Reference ``(q, d)`` gradient evaluation over raw bound arrays.
+
+        The chunked whole-array implementation behind the fast path;
+        backends delegate here (``numpy``) or reproduce the same math on
+        their own schedule (``sharded``).
+        """
         s, d = self.sample_size, self.dimensions
-        out = np.empty((len(batch), d), dtype=np.float64)
+        out = np.empty((low.shape[0], d), dtype=np.float64)
         chunk = self._batch_chunk()
-        for start in range(0, len(batch), chunk):
-            stop = min(len(batch), start + chunk)
-            low_block = batch.low[start:stop]
-            high_block = batch.high[start:stop]
+        for start in range(0, low.shape[0], chunk):
+            stop = min(low.shape[0], start + chunk)
+            low_block = low[start:stop]
+            high_block = high[start:stop]
             if dimension_masses is not None:
                 masses = dimension_masses[start:stop]
             else:
@@ -380,7 +447,8 @@ class KernelDensityEstimator:
         # (n, s, d) standardised distances; evaluated chunk-wise to bound memory.
         out = np.empty(points.shape[0], dtype=np.float64)
         norm = float(np.prod(h)) * self.sample_size
-        chunk = max(1, int(4_000_000 / max(1, self.sample_size * self.dimensions)))
+        budget = chunking.get_density_chunk_budget()
+        chunk = max(1, budget // max(1, self.sample_size * self.dimensions))
         for start in range(0, points.shape[0], chunk):
             block = points[start : start + chunk]
             z = (block[:, None, :] - self._sample[None, :, :]) / h
@@ -464,6 +532,9 @@ class KernelDensityEstimator:
         ):
             raise IndexError("replacement index out of range")
         self._sample[indices] = rows
+        self._sample_epoch += 1
+        if self._backend is not None:
+            self._backend.invalidate("sample")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

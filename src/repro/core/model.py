@@ -92,6 +92,10 @@ class SelfTuningKDE:
         initialisation of both *Heuristic* and *Adaptive*.
     seed:
         Seed for replacement sampling and reservoir decisions.
+    backend:
+        Execution backend for the batched evaluation paths (see
+        :mod:`repro.core.backends`); forwarded to the underlying
+        :class:`KernelDensityEstimator`.
     """
 
     def __init__(
@@ -102,13 +106,14 @@ class SelfTuningKDE:
         population_size: Optional[int] = None,
         bandwidth: Optional[np.ndarray] = None,
         seed: Optional[int] = None,
+        backend=None,
     ) -> None:
         sample = np.asarray(sample, dtype=np.float64)
         self.config = config or SelfTuningConfig()
         if bandwidth is None:
             bandwidth = scott_bandwidth(sample)
         self._estimator = KernelDensityEstimator(
-            sample, bandwidth, self.config.kernel
+            sample, bandwidth, self.config.kernel, backend=backend
         )
         self._loss = get_loss(self.config.loss)
         self._rng = np.random.default_rng(seed)
@@ -145,6 +150,15 @@ class SelfTuningKDE:
     @bandwidth.setter
     def bandwidth(self, value: np.ndarray) -> None:
         self._estimator.bandwidth = value
+
+    @property
+    def backend(self):
+        """The estimator's execution backend (see :mod:`repro.core.backends`)."""
+        return self._estimator.backend
+
+    @backend.setter
+    def backend(self, value) -> None:
+        self._estimator.backend = value
 
     @property
     def sample_size(self) -> int:

@@ -97,7 +97,7 @@ class FeedbackLoop:
         """Run a sequence of queries through the loop."""
         return [self.run_query(q) for q in queries]
 
-    def run_workload_batched(self, queries) -> List[Observation]:
+    def run_workload_batched(self, queries, backend=None) -> List[Observation]:
         """Run a workload in throughput mode: estimate all, then feed back.
 
         All estimates are produced in one :meth:`estimate_many` call
@@ -107,10 +107,28 @@ class FeedbackLoop:
         query *i* therefore never sees feedback from earlier queries of
         the same batch — the trade the batched device path makes for
         amortised launch and transfer overhead.
+
+        ``backend`` selects an execution backend (see
+        :mod:`repro.core.backends`) for the duration of this workload on
+        estimators that expose the ``backend`` knob (the KDE family);
+        the previous backend is restored afterwards.  It is ignored for
+        estimators without the knob.
         """
         queries = list(queries)
         if not queries:
             return []
+        if backend is not None and hasattr(
+            type(self.estimator), "backend"
+        ):
+            previous = self.estimator.backend
+            self.estimator.backend = backend
+            try:
+                return self._run_batched(queries)
+            finally:
+                self.estimator.backend = previous
+        return self._run_batched(queries)
+
+    def _run_batched(self, queries: List[Box]) -> List[Observation]:
         # Estimators expose the batched entry points under different
         # names per layer (baselines: ``*_many``; the core self-tuning
         # model: ``*_batch``); plain estimators fall back to the loop.

@@ -25,6 +25,8 @@ class TransferRecord:
     direction: str  # "to_device" | "to_host"
     bytes: int
     label: str
+    #: Modelled transfer time (seconds); 0.0 when the caller didn't price it.
+    seconds: float = 0.0
 
 
 @dataclass
@@ -33,8 +35,12 @@ class TransferLog:
 
     records: List[TransferRecord] = field(default_factory=list)
 
-    def record(self, direction: str, nbytes: int, label: str) -> None:
-        self.records.append(TransferRecord(direction, int(nbytes), label))
+    def record(
+        self, direction: str, nbytes: int, label: str, seconds: float = 0.0
+    ) -> None:
+        self.records.append(
+            TransferRecord(direction, int(nbytes), label, float(seconds))
+        )
 
     @property
     def count(self) -> int:
@@ -49,6 +55,11 @@ class TransferLog:
 
     def bytes_for_label(self, label: str) -> int:
         return sum(r.bytes for r in self.records if r.label == label)
+
+    def seconds_in_direction(self, direction: str) -> float:
+        return sum(
+            r.seconds for r in self.records if r.direction == direction
+        )
 
     def clear(self) -> None:
         self.records.clear()

@@ -23,12 +23,14 @@ Per-query choreography (numbers match Figure 3):
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 import numpy as np
 
 from ..geometry import Box, QueryBatch
 from ..core.adaptive import RMSpropTuner
+from ..core.backends.sharded import ShardedSampleExecutor
 from ..core.bandwidth import scott_bandwidth
 from ..core.config import AdaptiveConfig, KarmaConfig
 from ..core.karma import KarmaTracker
@@ -41,6 +43,20 @@ from .codegen import (
 from .runtime import DeviceContext
 
 __all__ = ["DeviceKDE"]
+
+
+def _sharded_batch_contributions(sample, start, stop, payload):
+    """Worker-side shard of the batched contribution kernel.
+
+    Each worker compiles (and process-locally caches) the same
+    runtime-specialised kernel the inline path uses and evaluates it on
+    its contiguous row shard of the shared-memory sample, so the
+    concatenated ``(q, s)`` contribution matrix is bitwise identical to
+    one inline launch.
+    """
+    low, high, bandwidth, precision = payload
+    kernel = compile_batch_contribution_kernel(low.shape[1], precision)
+    return kernel(sample[start:stop], low, high, bandwidth)
 
 
 class DeviceKDE:
@@ -62,6 +78,16 @@ class DeviceKDE:
         Enable the online tuning path (gradient + karma kernels).
     loss:
         Loss for adaptive updates and karma scoring.
+    backend:
+        Host execution strategy for the *batched* contribution kernel:
+        ``"numpy"`` (inline, default) or ``"sharded"`` (row shards of
+        the device sample buffer evaluated on a process pool over
+        shared memory; bitwise-identical results).  The modelled clock
+        is unaffected — the knob only changes which host cores do the
+        simulation's math.
+    shards:
+        Shard count for the ``"sharded"`` backend (default: one per
+        core).
     """
 
     def __init__(
@@ -74,15 +100,26 @@ class DeviceKDE:
         loss: str = "squared",
         adaptive_config: Optional[AdaptiveConfig] = None,
         karma_config: Optional[KarmaConfig] = None,
+        backend: str = "numpy",
+        shards: Optional[int] = None,
     ) -> None:
         sample = np.asarray(sample, dtype=np.float64)
         if sample.ndim != 2 or sample.shape[0] < 2:
             raise ValueError("sample must be an (s >= 2, d) array")
         if precision not in ("float32", "float64"):
             raise ValueError("precision must be 'float32' or 'float64'")
+        if backend not in ("numpy", "sharded"):
+            raise ValueError(
+                "DeviceKDE backend must be 'numpy' or 'sharded', "
+                f"got {backend!r}"
+            )
         self.context = context
         self.precision = precision
         self.adaptive = adaptive
+        self.backend = backend
+        self._executor: Optional[ShardedSampleExecutor] = None
+        if backend == "sharded":
+            self._executor = ShardedSampleExecutor(shards=shards)
         self._loss: Loss = get_loss(loss)
         self._dtype = np.dtype(precision)
         s, d = sample.shape
@@ -195,6 +232,35 @@ class DeviceKDE:
     # ------------------------------------------------------------------
     # Batched estimation (one launch for a whole query batch)
     # ------------------------------------------------------------------
+    def _batch_contributions(self, batch: QueryBatch) -> np.ndarray:
+        """``(q, s)`` contributions via the configured host backend.
+
+        The sharded path concatenates per-shard slabs of the same
+        compiled kernel along the sample axis — bitwise identical to
+        the inline launch; it falls back to inline evaluation (with a
+        warning) when worker infrastructure is unavailable.
+        """
+        sample = self._sample_buffer.data
+        if self._executor is not None:
+            payload = (batch.low, batch.high, self._bandwidth, self.precision)
+            try:
+                slabs = self._executor.run(
+                    _sharded_batch_contributions, sample, payload
+                )
+                return np.concatenate(slabs, axis=1)
+            except (OSError, ValueError, RuntimeError) as error:
+                warnings.warn(
+                    "DeviceKDE sharded backend falling back to inline "
+                    f"evaluation: {error}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                self._executor.close()
+                self._executor = None
+        return self._batch_contribution_kernel(
+            sample, batch.low, batch.high, self._bandwidth
+        )
+
     def estimate_batch(self, queries) -> np.ndarray:
         """``(q,)`` estimates for a whole batch with batched choreography.
 
@@ -218,9 +284,7 @@ class DeviceKDE:
         self.context.upload("query_bounds", bounds, label="query_bounds")
 
         sample = self._sample_buffer.data
-        contributions = self._batch_contribution_kernel(
-            sample, batch.low, batch.high, self._bandwidth
-        ).astype(np.float64)
+        contributions = self._batch_contributions(batch).astype(np.float64)
         self.context.launch("estimate", q * s * d)
         estimates = contributions.mean(axis=1)
         for _ in range(q):
@@ -376,4 +440,12 @@ class DeviceKDE:
         self.context.upload_rows(
             "sample", indices, rows, label="sample_replacement"
         )
+        if self._executor is not None:
+            self._executor.mark_dirty()
         self._karma.reset(indices)
+
+    def close(self) -> None:
+        """Release host worker-pool resources (sharded backend only)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None

@@ -27,10 +27,12 @@ __all__ = ["DeviceContext", "LaunchRecord"]
 
 @dataclass(frozen=True)
 class LaunchRecord:
-    """One kernel launch: name and work size, for trace assertions."""
+    """One kernel launch: name, work size and modelled time."""
 
     kernel: str
     term_count: int
+    #: Modelled execution time of this launch (seconds).
+    seconds: float = 0.0
 
 
 @dataclass
@@ -106,8 +108,9 @@ class DeviceContext:
         else:
             self._buffers[name] = DeviceBuffer(name, data)
             nbytes = self._buffers[name].nbytes
-        self.transfers.record("to_device", nbytes, label or name)
-        self._clock += self.cost.transfer_seconds(nbytes)
+        seconds = self.cost.transfer_seconds(nbytes)
+        self.transfers.record("to_device", nbytes, label or name, seconds)
+        self._clock += seconds
         return self._buffers[name]
 
     def upload_rows(
@@ -119,20 +122,25 @@ class DeviceContext:
     ) -> None:
         """Partial row update of an existing buffer (one transfer)."""
         nbytes = self.buffer(name).write_rows(indices, rows)
-        self.transfers.record("to_device", nbytes, label or f"{name}:rows")
-        self._clock += self.cost.transfer_seconds(nbytes)
+        seconds = self.cost.transfer_seconds(nbytes)
+        self.transfers.record(
+            "to_device", nbytes, label or f"{name}:rows", seconds
+        )
+        self._clock += seconds
 
     def download(self, name: str, label: Optional[str] = None) -> np.ndarray:
         """Device-to-host copy of a whole buffer."""
         buffer = self.buffer(name)
-        self.transfers.record("to_host", buffer.nbytes, label or name)
-        self._clock += self.cost.transfer_seconds(buffer.nbytes)
+        seconds = self.cost.transfer_seconds(buffer.nbytes)
+        self.transfers.record("to_host", buffer.nbytes, label or name, seconds)
+        self._clock += seconds
         return buffer.read()
 
     def download_value(self, value, nbytes: int, label: str):
         """Device-to-host copy of a scalar/small result (metered)."""
-        self.transfers.record("to_host", nbytes, label)
-        self._clock += self.cost.transfer_seconds(nbytes)
+        seconds = self.cost.transfer_seconds(nbytes)
+        self.transfers.record("to_host", nbytes, label, seconds)
+        self._clock += seconds
         return value
 
     # ------------------------------------------------------------------
@@ -140,15 +148,69 @@ class DeviceContext:
     # ------------------------------------------------------------------
     def launch(self, kernel: str, term_count: int) -> None:
         """Meter one kernel launch of ``term_count`` kernel terms."""
-        self.launches.append(LaunchRecord(kernel, int(term_count)))
-        self._clock += self.cost.kernel_seconds(term_count)
+        seconds = self.cost.kernel_seconds(term_count)
+        self.launches.append(LaunchRecord(kernel, int(term_count), seconds))
+        self._clock += seconds
 
     def reduce(self, kernel: str, element_count: int) -> None:
         """Meter one parallel binary reduction."""
-        self.launches.append(LaunchRecord(kernel, int(element_count)))
-        self._clock += self.cost.reduction_seconds(element_count)
+        seconds = self.cost.reduction_seconds(element_count)
+        self.launches.append(LaunchRecord(kernel, int(element_count), seconds))
+        self._clock += seconds
 
     def launch_count(self, kernel: Optional[str] = None) -> int:
         if kernel is None:
             return len(self.launches)
         return sum(1 for record in self.launches if record.kernel == kernel)
+
+    def kernel_seconds(self, kernel: Optional[str] = None) -> float:
+        """Modelled seconds spent in kernel launches/reductions so far."""
+        if kernel is None:
+            return sum(record.seconds for record in self.launches)
+        return sum(
+            record.seconds
+            for record in self.launches
+            if record.kernel == kernel
+        )
+
+    def profile(self) -> Dict[str, object]:
+        """Where the modelled time went, summarised from the trace logs.
+
+        Returns a dict with one entry per kernel (launch count + total
+        modelled seconds), per-direction transfer totals (bytes +
+        seconds), and the aggregate split between compute and transfer
+        time.  Derived entirely from the launch/transfer records, so it
+        reflects everything metered since construction (``reset_clock``
+        only rewinds the clock, not the trace).
+        """
+        kernels: Dict[str, Dict[str, float]] = {}
+        for record in self.launches:
+            entry = kernels.setdefault(
+                record.kernel, {"launches": 0, "seconds": 0.0}
+            )
+            entry["launches"] += 1
+            entry["seconds"] += record.seconds
+        transfers = {
+            direction: {
+                "count": sum(
+                    1
+                    for r in self.transfers.records
+                    if r.direction == direction
+                ),
+                "bytes": self.transfers.bytes_in_direction(direction),
+                "seconds": self.transfers.seconds_in_direction(direction),
+            }
+            for direction in ("to_device", "to_host")
+        }
+        kernel_total = sum(entry["seconds"] for entry in kernels.values())
+        transfer_total = sum(
+            entry["seconds"] for entry in transfers.values()
+        )
+        return {
+            "device": self.spec.name,
+            "kernels": kernels,
+            "transfers": transfers,
+            "kernel_seconds": kernel_total,
+            "transfer_seconds": transfer_total,
+            "total_seconds": kernel_total + transfer_total,
+        }

@@ -1,0 +1,312 @@
+"""Execution backends: registry, equivalence and cache invalidation.
+
+The correctness contract of :mod:`repro.core.backends` is strict:
+
+* the cached backend must be *bitwise* identical to the uncached numpy
+  backend — it evaluates exactly the same elementwise kernel math, only
+  deduplicated — and must stay identical across bandwidth updates and
+  in-place sample replacements (epoch keys + eager invalidation);
+* the sharded backend must be invariant to the shard count and within
+  the 1e-12 budget of the numpy backend (its only deviation is the
+  partial-sum reduction order of ``selectivity_block``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KernelDensityEstimator,
+    SelfTuningKDE,
+    scott_bandwidth,
+)
+from repro.core.backends import (
+    CachedBackend,
+    ExecutionBackend,
+    NumpyBackend,
+    ShardedBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.geometry import Box, QueryBatch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def sample(rng):
+    return rng.normal(size=(400, 3))
+
+
+@pytest.fixture
+def batch(rng):
+    # Deliberately reuse per-dimension bounds so the cache sees hits.
+    pool = rng.uniform(-2.0, 0.0, size=(6, 3))
+    choice = rng.integers(6, size=(50, 3))
+    lows = np.take_along_axis(pool, choice, axis=0)
+    widths = rng.uniform(0.5, 2.5, size=(6, 3))
+    highs = lows + np.take_along_axis(widths, choice, axis=0)
+    return QueryBatch(lows, highs)
+
+
+def _make(sample, backend=None):
+    return KernelDensityEstimator(
+        sample, scott_bandwidth(sample), backend=backend
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry / resolution
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert {"numpy", "sharded", "cached"} <= set(names)
+
+    def test_get_backend_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("no-such-backend")
+
+    def test_resolve_default_is_numpy(self):
+        assert isinstance(resolve_backend(None), NumpyBackend)
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_backend("cached"), CachedBackend)
+
+    def test_resolve_instance_passthrough(self):
+        backend = CachedBackend(capacity=17)
+        assert resolve_backend(backend) is backend
+
+    def test_bind_rejects_second_estimator(self, sample):
+        backend = NumpyBackend()
+        _make(sample, backend)
+        with pytest.raises(ValueError, match="already bound"):
+            _make(sample, backend)
+
+    def test_estimator_backend_property_and_setter(self, sample, batch):
+        kde = _make(sample)
+        assert isinstance(kde.backend, NumpyBackend)
+        before = kde.selectivity_batch(batch)
+        kde.backend = "cached"
+        assert isinstance(kde.backend, CachedBackend)
+        np.testing.assert_array_equal(kde.selectivity_batch(batch), before)
+
+    def test_model_forwards_backend(self, sample):
+        model = SelfTuningKDE(sample, backend="cached")
+        assert isinstance(model.backend, CachedBackend)
+
+
+# ----------------------------------------------------------------------
+# Cached backend: bitwise identity + invalidation
+# ----------------------------------------------------------------------
+class TestCachedBackend:
+    def test_bitwise_identical_to_numpy(self, sample, batch):
+        plain = _make(sample)
+        cached = _make(sample, CachedBackend())
+        np.testing.assert_array_equal(
+            cached.selectivity_batch(batch), plain.selectivity_batch(batch)
+        )
+        np.testing.assert_array_equal(
+            cached.contributions_batch(batch),
+            plain.contributions_batch(batch),
+        )
+        np.testing.assert_array_equal(
+            cached.dimension_masses_batch(batch),
+            plain.dimension_masses_batch(batch),
+        )
+        np.testing.assert_array_equal(
+            cached.selectivity_gradient_batch(batch),
+            plain.selectivity_gradient_batch(batch),
+        )
+
+    def test_warm_pass_is_bitwise_identical_and_hits(self, sample, batch):
+        cached = _make(sample, CachedBackend())
+        first = cached.selectivity_batch(batch)
+        second = cached.selectivity_batch(batch)
+        np.testing.assert_array_equal(first, second)
+        # Unique bounds are deduplicated within a pass, so the second
+        # pass hits every column the first one missed: rate exactly 1/2.
+        assert cached.backend.stats.cache_hits > 0
+        assert cached.backend.stats.cache_hit_rate >= 0.5
+
+    def test_bandwidth_update_invalidates(self, sample, batch):
+        plain = _make(sample)
+        cached = _make(sample, CachedBackend())
+        cached.selectivity_batch(batch)  # fill the cache
+
+        new_bandwidth = plain.bandwidth * 1.3
+        plain.bandwidth = new_bandwidth
+        cached.bandwidth = new_bandwidth
+
+        assert cached.backend.stats.invalidations.get("bandwidth") == 1
+        np.testing.assert_array_equal(
+            cached.selectivity_batch(batch), plain.selectivity_batch(batch)
+        )
+
+    def test_replace_points_invalidates(self, rng, sample, batch):
+        plain = _make(sample)
+        cached = _make(sample, CachedBackend())
+        cached.selectivity_batch(batch)  # fill the cache
+
+        indices = np.array([0, 7, 311])
+        rows = rng.normal(size=(3, 3))
+        plain.replace_points(indices, rows)
+        cached.replace_points(indices, rows)
+
+        assert cached.backend.stats.invalidations.get("sample") == 1
+        np.testing.assert_array_equal(
+            cached.selectivity_batch(batch), plain.selectivity_batch(batch)
+        )
+
+    def test_epoch_counters_bump(self, rng, sample):
+        kde = _make(sample)
+        b_epoch, s_epoch = kde.bandwidth_epoch, kde.sample_epoch
+        kde.bandwidth = kde.bandwidth * 1.1
+        assert kde.bandwidth_epoch == b_epoch + 1
+        assert kde.sample_epoch == s_epoch
+        kde.replace_points(np.array([1]), rng.normal(size=(1, 3)))
+        assert kde.sample_epoch == s_epoch + 1
+
+    def test_many_epochs_interleaved(self, rng, sample, batch):
+        """Fuzz: random interleaving of updates never desyncs the cache."""
+        plain = _make(sample)
+        cached = _make(sample, CachedBackend())
+        for _ in range(5):
+            action = rng.integers(3)
+            if action == 0:
+                bandwidth = plain.bandwidth * rng.uniform(0.8, 1.2)
+                plain.bandwidth = bandwidth
+                cached.bandwidth = bandwidth
+            elif action == 1:
+                indices = rng.choice(len(sample), size=4, replace=False)
+                rows = rng.normal(size=(4, 3))
+                plain.replace_points(indices, rows)
+                cached.replace_points(indices, rows)
+            np.testing.assert_array_equal(
+                cached.selectivity_batch(batch),
+                plain.selectivity_batch(batch),
+            )
+
+    def test_lru_eviction_bounds_size(self, sample, batch):
+        backend = CachedBackend(capacity=8)
+        kde = _make(sample, backend)
+        kde.selectivity_batch(batch)
+        assert len(backend.cache) <= 8
+        assert backend.stats.cache_evictions > 0
+
+    def test_stats_as_dict(self, sample, batch):
+        kde = _make(sample, CachedBackend())
+        kde.selectivity_batch(batch)
+        stats = kde.backend.stats.as_dict()
+        assert stats["queries_evaluated"] == len(batch)
+        assert stats["cache_misses"] > 0
+
+
+# ----------------------------------------------------------------------
+# Sharded backend: shard-count invariance
+# ----------------------------------------------------------------------
+class TestShardedBackend:
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_selectivity_matches_numpy(self, sample, batch, shards):
+        plain = _make(sample)
+        kde = _make(sample, ShardedBackend(shards=shards))
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch),
+            plain.selectivity_batch(batch),
+            rtol=0,
+            atol=1e-12,
+        )
+        kde.backend.close()
+
+    @pytest.mark.parametrize("shards", [2, 7])
+    def test_slabs_are_bitwise_identical(self, sample, batch, shards):
+        """Concatenated per-shard slabs carry no reduction reordering."""
+        plain = _make(sample)
+        kde = _make(sample, ShardedBackend(shards=shards))
+        np.testing.assert_array_equal(
+            kde.contributions_batch(batch),
+            plain.contributions_batch(batch),
+        )
+        np.testing.assert_array_equal(
+            kde.dimension_masses_batch(batch),
+            plain.dimension_masses_batch(batch),
+        )
+        kde.backend.close()
+
+    def test_gradient_matches_numpy(self, sample, batch):
+        plain = _make(sample)
+        kde = _make(sample, ShardedBackend(shards=3))
+        np.testing.assert_allclose(
+            kde.selectivity_gradient_batch(batch),
+            plain.selectivity_gradient_batch(batch),
+            rtol=0,
+            atol=1e-12,
+        )
+        kde.backend.close()
+
+    def test_replace_points_reaches_workers(self, rng, sample, batch):
+        """Sample mutations propagate into the shared-memory shards."""
+        plain = _make(sample)
+        kde = _make(sample, ShardedBackend(shards=2))
+        kde.selectivity_batch(batch)  # spin up pool + shared memory
+
+        indices = rng.choice(len(sample), size=10, replace=False)
+        rows = rng.normal(size=(10, 3))
+        plain.replace_points(indices, rows)
+        kde.replace_points(indices, rows)
+
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch),
+            plain.selectivity_batch(batch),
+            rtol=0,
+            atol=1e-12,
+        )
+        kde.backend.close()
+
+    def test_close_then_reuse_respawns(self, sample, batch):
+        kde = _make(sample, ShardedBackend(shards=2))
+        expected = kde.selectivity_batch(batch)
+        kde.backend.close()
+        np.testing.assert_array_equal(
+            kde.selectivity_batch(batch), expected
+        )
+        kde.backend.close()
+
+
+# ----------------------------------------------------------------------
+# selectivity_many dispatch (satellite 2)
+# ----------------------------------------------------------------------
+class TestSelectivityMany:
+    def test_query_batch_dispatches_directly(self, sample, batch):
+        kde = _make(sample)
+        np.testing.assert_array_equal(
+            kde.selectivity_many(batch), kde.selectivity_batch(batch)
+        )
+
+    def test_box_sequence(self, sample, batch):
+        kde = _make(sample)
+        boxes = [Box(lo, hi) for lo, hi in zip(batch.low, batch.high)]
+        np.testing.assert_array_equal(
+            kde.selectivity_many(boxes), kde.selectivity_batch(batch)
+        )
+
+    def test_empty_sequence(self, sample):
+        kde = _make(sample)
+        result = kde.selectivity_many([])
+        assert result.shape == (0,)
+
+    def test_dimension_mismatch_raises(self, sample, rng):
+        kde = _make(sample)
+        bad = QueryBatch(rng.normal(size=(4, 5)), rng.normal(size=(4, 5)) + 3)
+        with pytest.raises(ValueError, match="dimensions"):
+            kde.selectivity_many(bad)
+
+
+class TestBaseProtocol:
+    def test_unbound_backend_raises(self):
+        backend = ExecutionBackend()
+        with pytest.raises(RuntimeError, match="not bound"):
+            backend.estimator

@@ -1,0 +1,113 @@
+"""Per-kernel timing in the device trace + the ``profile()`` summary,
+and the sharded host backend of :class:`DeviceKDE`."""
+
+import numpy as np
+import pytest
+
+from repro.device import DeviceContext, DeviceKDE
+from repro.geometry import Box, QueryBatch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def sample(rng):
+    return rng.normal(size=(256, 3))
+
+
+@pytest.fixture
+def queries(rng):
+    lows = rng.uniform(-2, 0, size=(20, 3))
+    return QueryBatch(lows, lows + rng.uniform(0.5, 2, size=(20, 3)))
+
+
+class TestProfile:
+    def test_records_carry_seconds(self, sample, queries):
+        context = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(sample, context, adaptive=True)
+        kde.estimate_batch(queries)
+        assert all(r.seconds > 0 for r in context.launches)
+        assert all(r.seconds > 0 for r in context.transfers.records)
+
+    def test_profile_partitions_the_clock(self, sample, queries):
+        """kernel + transfer seconds in the profile == the modelled clock."""
+        context = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(sample, context, adaptive=True)
+        kde.estimate_batch(queries)
+        kde.feedback_batch(queries, [0.001] * len(queries))
+        profile = context.profile()
+        assert profile["device"] == context.spec.name
+        assert profile["total_seconds"] == pytest.approx(
+            context.elapsed_seconds
+        )
+        assert profile["kernel_seconds"] == pytest.approx(
+            sum(entry["seconds"] for entry in profile["kernels"].values())
+        )
+        assert "estimate" in profile["kernels"]
+        assert profile["kernels"]["estimate"]["launches"] >= 1
+        to_device = profile["transfers"]["to_device"]
+        assert to_device["count"] > 0
+        assert to_device["bytes"] > 0
+
+    def test_kernel_seconds_filter(self, sample, queries):
+        context = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(sample, context, adaptive=False)
+        kde.estimate_batch(queries)
+        total = context.kernel_seconds()
+        estimate_only = context.kernel_seconds("estimate")
+        assert 0 < estimate_only <= total
+
+    def test_profile_survives_reset_clock(self, sample, queries):
+        """reset_clock rewinds the clock but keeps the trace (and thus
+        the profile) intact — experiments reset between phases."""
+        context = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(sample, context, adaptive=False)
+        kde.estimate_batch(queries)
+        before = context.profile()
+        context.reset_clock()
+        assert context.elapsed_seconds == 0.0
+        assert context.profile() == before
+
+
+class TestShardedDeviceKDE:
+    def test_rejects_unknown_backend(self, sample):
+        context = DeviceContext.for_device("gpu")
+        with pytest.raises(ValueError, match="backend"):
+            DeviceKDE(sample, context, backend="no-such-backend")
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_sharded_estimates_match_numpy(self, sample, queries, shards):
+        plain = DeviceKDE(sample, DeviceContext.for_device("gpu"))
+        sharded = DeviceKDE(
+            sample,
+            DeviceContext.for_device("gpu"),
+            backend="sharded",
+            shards=shards,
+        )
+        np.testing.assert_array_equal(
+            sharded.estimate_batch(queries), plain.estimate_batch(queries)
+        )
+        sharded.close()
+
+    def test_sharded_sees_row_replacements(self, rng, sample, queries):
+        plain = DeviceKDE(sample, DeviceContext.for_device("gpu"))
+        sharded = DeviceKDE(
+            sample,
+            DeviceContext.for_device("gpu"),
+            backend="sharded",
+            shards=2,
+        )
+        sharded.estimate_batch(queries)  # spin up the pool
+
+        indices = np.array([3, 99])
+        rows = rng.normal(size=(2, 3))
+        plain.replace_rows(indices, rows)
+        sharded.replace_rows(indices, rows)
+
+        np.testing.assert_array_equal(
+            sharded.estimate_batch(queries), plain.estimate_batch(queries)
+        )
+        sharded.close()
