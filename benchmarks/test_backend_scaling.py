@@ -19,7 +19,8 @@ import pytest
 
 from repro.bench.experiments import run_backend_scaling
 from repro.bench.experiments.runtime import templated_workload
-from repro.core import KernelDensityEstimator, scott_bandwidth
+from repro import create_estimator
+from repro.core import scott_bandwidth
 from repro.core.backends import CachedBackend, ShardedBackend
 from repro.geometry import Box, QueryBatch
 
@@ -64,7 +65,7 @@ def test_all_backends_match_seed_loop_to_1e12(setup):
     query (no batching, no backend dispatch beyond the default).
     """
     sample, bandwidth, batch = setup
-    reference = KernelDensityEstimator(sample, bandwidth)
+    reference = create_estimator(sample, bandwidth=bandwidth)
     queries = [
         Box(lo, hi) for lo, hi in zip(batch.low, batch.high)
     ]
@@ -77,7 +78,7 @@ def test_all_backends_match_seed_loop_to_1e12(setup):
         "cached": CachedBackend(),
     }
     for name, backend in backends.items():
-        kde = KernelDensityEstimator(sample, bandwidth, backend=backend)
+        kde = create_estimator(sample, bandwidth=bandwidth, backend=backend)
         estimates = kde.selectivity_batch(batch)
         np.testing.assert_allclose(
             estimates, looped, rtol=0, atol=1e-12,
@@ -95,13 +96,13 @@ def test_sharded_beats_numpy_on_large_sample(setup):
     sample, bandwidth, batch = setup
     shards = min(_cpu_count(), 4)
 
-    numpy_kde = KernelDensityEstimator(sample, bandwidth)
+    numpy_kde = create_estimator(sample, bandwidth=bandwidth)
     numpy_seconds = _best_seconds(
         lambda: numpy_kde.selectivity_batch(batch)
     )
 
-    sharded_kde = KernelDensityEstimator(
-        sample, bandwidth, backend=ShardedBackend(shards=shards)
+    sharded_kde = create_estimator(
+        sample, bandwidth=bandwidth, backend=ShardedBackend(shards=shards)
     )
     sharded_seconds = _best_seconds(
         lambda: sharded_kde.selectivity_batch(batch)
@@ -124,13 +125,13 @@ def test_cached_beats_numpy_on_templated_workload(setup):
     """
     sample, bandwidth, batch = setup
 
-    numpy_kde = KernelDensityEstimator(sample, bandwidth)
+    numpy_kde = create_estimator(sample, bandwidth=bandwidth)
     numpy_seconds = _best_seconds(
         lambda: numpy_kde.selectivity_batch(batch)
     )
 
-    cached_kde = KernelDensityEstimator(
-        sample, bandwidth, backend=CachedBackend()
+    cached_kde = create_estimator(
+        sample, bandwidth=bandwidth, backend=CachedBackend()
     )
     cached_seconds = _best_seconds(
         lambda: cached_kde.selectivity_batch(batch)

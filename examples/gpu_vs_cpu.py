@@ -11,9 +11,10 @@ Run:  python examples/gpu_vs_cpu.py
 
 import numpy as np
 
+from repro import create_estimator
 from repro.geometry import Box
 from repro.datasets import gunopulos_synthetic
-from repro.device import DeviceContext, DeviceKDE
+from repro.device import DeviceContext
 
 
 def main() -> None:
@@ -26,8 +27,10 @@ def main() -> None:
         sample = data[rng.choice(len(data), size=size, replace=False)]
         times = {}
         for device in ("gpu", "cpu"):
-            context = DeviceContext.for_device(device)
-            kde = DeviceKDE(sample, context, adaptive=True)
+            kde = create_estimator(
+                sample, kind="device", device=device, adaptive=True
+            )
+            context = kde.context
             context.reset_clock()
             for _ in range(10):
                 kde.estimate(query)
@@ -43,7 +46,9 @@ def main() -> None:
     # bounds in / estimate out (plus the tiny feedback scalar).
     context = DeviceContext.for_device("gpu")
     sample = data[:16384]
-    kde = DeviceKDE(sample, context, adaptive=True)
+    kde = create_estimator(
+        sample, kind="device", context=context, adaptive=True
+    )
     construction_bytes = context.transfers.total_bytes
     context.transfers.clear()
     for _ in range(100):

@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Box, KernelDensityEstimator, optimize_bandwidth, scott_bandwidth
+from repro import Box, create_estimator, optimize_bandwidth, scott_bandwidth
 from repro.core import QueryFeedback
 
 
@@ -28,11 +28,12 @@ def main() -> None:
     # Step 1 — collect a random sample (what ANALYZE does).
     sample = table[rng.choice(len(table), size=1024, replace=False)]
 
-    # Step 2 — a KDE model is just the sample plus a bandwidth.
-    estimator = KernelDensityEstimator(sample, scott_bandwidth(sample))
+    # Step 2 — a KDE model is just the sample plus a bandwidth
+    # (Scott's rule by default).
+    estimator = create_estimator(sample, kind="kde")
     query = Box([-0.3, -0.3, -0.3], [0.3, 0.3, 0.3])
     print(f"Scott's rule bandwidth : {np.round(estimator.bandwidth, 4)}")
-    print(f"  estimate {estimator.selectivity(query):.4f}"
+    print(f"  estimate {estimator.estimate(query):.4f}"
           f" vs true {true_selectivity(query):.4f}")
 
     # Step 3 — optimise the bandwidth over query feedback (problem (5)).

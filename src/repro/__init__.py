@@ -24,6 +24,15 @@ Subpackages
 ``repro.bench``
     The experiment harness regenerating every table and figure of the
     paper's evaluation (Section 6).
+``repro.obs``
+    Observability: metrics registry, span tracing, estimation traces,
+    JSON/Prometheus exporters (see :func:`repro.obs.enable_metrics`).
+
+Most workflows start with :func:`create_estimator`::
+
+    import repro
+    estimator = repro.create_estimator(sample, kind="self_tuning",
+                                       backend="cached")
 """
 
 from .geometry import Box, QueryBatch, RangeQuery
@@ -33,16 +42,31 @@ from .core import (
     optimize_bandwidth,
     scott_bandwidth,
 )
+from .factory import ESTIMATOR_KINDS, create_estimator
+from .obs import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Box",
+    "ESTIMATOR_KINDS",
     "KernelDensityEstimator",
+    "MetricsRegistry",
     "QueryBatch",
     "RangeQuery",
     "SelfTuningKDE",
     "__version__",
+    "create_estimator",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "metrics_enabled",
     "optimize_bandwidth",
     "scott_bandwidth",
 ]

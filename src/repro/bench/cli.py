@@ -11,7 +11,12 @@ Usage::
     python -m repro.bench ablations [--scale ...]
     python -m repro.bench batch
     python -m repro.bench backends [--scale ...] [--shards N [N ...]]
+    python -m repro.bench metrics
     python -m repro.bench all    [--scale ...]
+
+Any invocation accepts ``--metrics-json PATH``: the process-wide
+metrics registry is enabled for the run and its full snapshot
+(counters, histograms, spans, estimation traces) is dumped as JSON.
 
 Scales trade fidelity for runtime: ``smoke`` finishes in well under a
 minute per experiment (CI-sized), ``small`` (the default) reproduces the
@@ -26,6 +31,7 @@ import sys
 import time
 from typing import Dict
 
+from ..obs import disable_metrics, dump_json, enable_metrics, get_registry
 from .experiments import (
     run_adaptive_parameter_ablation,
     run_backend_scaling,
@@ -34,6 +40,7 @@ from .experiments import (
     run_karma_ablation,
     run_log_update_ablation,
     run_model_size_quality,
+    run_observability,
     run_runtime_scaling,
     run_selector_shootout,
     run_static_quality,
@@ -42,12 +49,13 @@ from .metrics import win_matrix
 from .reporting import (
     render_dynamic,
     render_model_size,
+    render_observability,
     render_runtime,
     render_static_quality,
     render_win_matrix,
 )
 
-__all__ = ["main", "SCALES"]
+__all__ = ["main", "run_experiment", "EXPERIMENTS", "SCALES"]
 
 #: Scale presets: (datasets, workloads, repetitions, rows, test queries).
 SCALES: Dict[str, Dict] = {
@@ -102,6 +110,7 @@ EXPERIMENTS = (
     "ablations",
     "batch",
     "backends",
+    "metrics",
     "all",
 )
 
@@ -279,6 +288,12 @@ def run_experiment(
             "Execution backends - measured wall clock, shards x sample "
             "size (speedups vs the numpy backend)"
         )
+    elif name == "metrics":
+        report = render_observability(run_observability())
+        title = (
+            "Observability - metrics/span/trace summary of one "
+            "instrumented serving loop"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -303,21 +318,36 @@ def main(argv=None) -> int:
         "--shards", type=int, nargs="+", default=None,
         help="shard counts swept by the backends experiment",
     )
+    parser.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="enable the metrics registry and dump its snapshot "
+        "(counters, spans, estimation traces) to PATH as JSON",
+    )
     args = parser.parse_args(argv)
 
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
-         "batch", "backends"]
+         "batch", "backends", "metrics"]
         if args.experiment == "all"
         else [args.experiment]
     )
-    for name in names:
-        print(
-            run_experiment(
-                name, args.scale, progress=not args.quiet, shards=args.shards
+    if args.metrics_json:
+        enable_metrics()
+    try:
+        for name in names:
+            print(
+                run_experiment(
+                    name, args.scale, progress=not args.quiet,
+                    shards=args.shards,
+                )
             )
-        )
-        print()
+            print()
+        if args.metrics_json:
+            dump_json(get_registry(), args.metrics_json)
+            print(f"metrics snapshot written to {args.metrics_json}")
+    finally:
+        if args.metrics_json:
+            disable_metrics()
     return 0
 
 

@@ -12,6 +12,7 @@ from .ablations import (
 )
 from .dynamic_quality import DynamicQualityResult, run_dynamic_quality
 from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
+from .observability import ObservabilityResult, run_observability
 from .runtime import (
     DEFAULT_BATCH_SIZES,
     PAPER_MODEL_SIZES,
@@ -33,6 +34,7 @@ __all__ = [
     "KarmaAblation",
     "LogUpdateAblation",
     "ModelSizeResult",
+    "ObservabilityResult",
     "PAPER_MODEL_SIZES",
     "PAPER_SIZES",
     "RuntimeResult",
@@ -45,6 +47,7 @@ __all__ = [
     "run_karma_ablation",
     "run_log_update_ablation",
     "run_model_size_quality",
+    "run_observability",
     "run_runtime_scaling",
     "run_selector_shootout",
     "run_static_quality",

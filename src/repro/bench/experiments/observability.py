@@ -1,0 +1,136 @@
+"""Observability demo experiment: one instrumented serving loop.
+
+Runs the same templated workload through each execution backend and the
+simulated device with metrics enabled, then summarises what the
+observability layer captured — per-backend span timings, cache
+effectiveness, estimation traces, and the modelled device kernel split.
+It doubles as an end-to-end check that every instrumented component
+reports into one registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...core.estimator import KernelDensityEstimator
+from ...core.bandwidth import scott_bandwidth
+from ...core.model import SelfTuningKDE
+from ...db.feedback import FeedbackLoop
+from ...db.table import Table
+from ...device.kde_device import DeviceKDE
+from ...device.runtime import DeviceContext
+from ...geometry import Box
+from ...obs.metrics import MetricsRegistry, get_registry
+from .runtime import templated_workload
+
+__all__ = ["ObservabilityResult", "run_observability"]
+
+BACKENDS = ("numpy", "sharded", "cached")
+
+
+@dataclass
+class ObservabilityResult:
+    """What one instrumented workload left in the registry."""
+
+    registry: MetricsRegistry
+    backends: Tuple[str, ...]
+    queries: int
+    #: ``{backend: (span count, total span seconds)}`` for the batched
+    #: estimate span.
+    span_seconds: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    trace_count: int = 0
+    feedback_traces: int = 0
+    #: ``{kernel: (launches, modelled seconds)}`` on the simulated gpu.
+    device_kernels: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+
+
+def run_observability(
+    sample_size: int = 2048,
+    dimensions: int = 3,
+    queries: int = 32,
+    rows: int = 20_000,
+    seed: int = 20150601,
+    registry: Optional[MetricsRegistry] = None,
+) -> ObservabilityResult:
+    """Run an instrumented mini-workload and summarise the registry.
+
+    Reports into ``registry`` when given, the process-wide registry when
+    that is enabled (so ``--metrics-json`` captures everything), or a
+    fresh private registry otherwise — the experiment never mutates the
+    process-wide registry state.
+    """
+    if registry is None:
+        ambient = get_registry()
+        registry = ambient if ambient.enabled else MetricsRegistry()
+
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, dimensions))
+    sample = data[rng.choice(rows, size=sample_size, replace=False)]
+    bandwidth = scott_bandwidth(sample)
+    batch = templated_workload(data, queries, rng, template_pool=4)
+    boxes = [Box(lo, hi) for lo, hi in zip(batch.low, batch.high)]
+
+    def true_selectivity(box: Box) -> float:
+        return float(box.contains_points(data).mean())
+
+    for backend in BACKENDS:
+        estimator = KernelDensityEstimator(
+            sample, bandwidth, backend=backend, metrics=registry
+        )
+        # Two passes so the cached backend's second pass is warm.
+        estimator.selectivity_batch(batch)
+        estimator.selectivity_batch(batch)
+        estimator.backend.close()
+
+    # The device path: estimate + feedback on the modelled gpu.
+    context = DeviceContext.for_device("gpu", metrics=registry)
+    device = DeviceKDE(sample, context, metrics=registry)
+    for box in boxes[: min(8, len(boxes))]:
+        device.estimate(box)
+        device.feedback(box, true_selectivity(box))
+
+    # One instrumented feedback loop (completed traces with loss).
+    table = Table(dimensions, initial_rows=data)
+    model = SelfTuningKDE(
+        sample,
+        row_source=table,
+        population_size=len(table),
+        seed=seed % (2**31),
+        metrics=registry,
+    )
+    loop = FeedbackLoop(table, model, metrics=registry).attach()
+    loop.run_workload(boxes[: min(8, len(boxes))])
+    loop.detach()
+
+    result = ObservabilityResult(
+        registry=registry,
+        backends=BACKENDS,
+        queries=queries,
+    )
+    for key, entry in registry.span_summary().items():
+        for backend in BACKENDS:
+            if key == f"estimate_batch{{backend={backend}}}":
+                result.span_seconds[backend] = (
+                    int(entry["count"]), float(entry["seconds"])
+                )
+    result.cache_hits = int(registry.sum_counters("cache.hits"))
+    result.cache_misses = int(registry.sum_counters("cache.misses"))
+    result.trace_count = len(registry.traces)
+    result.feedback_traces = sum(
+        1 for trace in registry.traces if trace.stage == "feedback"
+    )
+    for histogram in registry.iter_histograms():
+        if histogram.name != "device.kernel.seconds":
+            continue
+        labels = dict(histogram.labels)
+        if labels.get("device") != context.spec.name:
+            continue
+        result.device_kernels[labels["kernel"]] = (
+            histogram.count, histogram.sum
+        )
+    return result

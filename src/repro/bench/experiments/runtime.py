@@ -37,6 +37,7 @@ __all__ = [
     "run_batch_scaling",
     "BackendScalingResult",
     "run_backend_scaling",
+    "templated_workload",
     "PAPER_MODEL_SIZES",
     "DEFAULT_BATCH_SIZES",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "TrialConfig",
     "TrialResult",
     "run_static_trial",
+    "build_estimators",
     "ALL_ESTIMATORS",
     "EXTENDED_ESTIMATORS",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 
 from .experiments.dynamic_quality import DynamicQualityResult
 from .experiments.model_size import ModelSizeResult
+from .experiments.observability import ObservabilityResult
 from .experiments.runtime import RuntimeResult
 from .experiments.static_quality import StaticQualityResult
 from .metrics import WinMatrix
@@ -22,6 +23,7 @@ __all__ = [
     "render_static_quality",
     "render_win_matrix",
     "render_model_size",
+    "render_observability",
     "render_runtime",
     "render_dynamic",
 ]
@@ -129,3 +131,42 @@ def render_dynamic(result: DynamicQualityResult, bins: int = 20) -> str:
             row.append(f"{window.mean():.4f}")
         rows.append(row)
     return format_table(headers, rows)
+
+
+def render_observability(result: ObservabilityResult) -> str:
+    """Summary of what the metrics layer captured in one serving loop."""
+    backend_rows = []
+    for backend in result.backends:
+        count, seconds = result.span_seconds.get(backend, (0, 0.0))
+        backend_rows.append(
+            [backend, str(count), f"{seconds * 1e3:.2f}"]
+        )
+    sections = [
+        format_table(
+            ["backend", "batch spans", "span total [ms]"], backend_rows
+        )
+    ]
+    total_lookups = result.cache_hits + result.cache_misses
+    hit_rate = result.cache_hits / total_lookups if total_lookups else 0.0
+    sections.append(
+        f"cache: {result.cache_hits} hits / {result.cache_misses} misses "
+        f"(hit rate {hit_rate:.2f})"
+    )
+    sections.append(
+        f"traces: {result.trace_count} recorded "
+        f"({result.feedback_traces} completed feedback cycles) "
+        f"for {result.queries} workload queries"
+    )
+    if result.device_kernels:
+        kernel_rows = [
+            [kernel, str(launches), f"{seconds * 1e6:.1f}"]
+            for kernel, (launches, seconds) in sorted(
+                result.device_kernels.items()
+            )
+        ]
+        sections.append(
+            format_table(
+                ["device kernel", "launches", "modelled [us]"], kernel_rows
+            )
+        )
+    return "\n".join(sections)

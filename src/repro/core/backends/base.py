@@ -135,6 +135,18 @@ class ExecutionBackend:
     def _count(self, queries: int) -> None:
         self.stats.blocks_evaluated += 1
         self.stats.queries_evaluated += int(queries)
+        registry = self._registry()
+        if registry is not None and registry.enabled:
+            labels = {"backend": self.name}
+            registry.counter("backend.blocks", labels).inc()
+            registry.counter("backend.queries", labels).inc(int(queries))
+
+    def _registry(self):
+        """The bound estimator's metrics registry (None when unbound)."""
+        estimator = self._estimator
+        if estimator is None:
+            return None
+        return getattr(estimator, "obs", None)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         bound = "bound" if self._estimator is not None else "unbound"

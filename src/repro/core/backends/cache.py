@@ -98,6 +98,9 @@ class CachedBackend(ExecutionBackend):
     def __init__(self, capacity: int = 4096) -> None:
         super().__init__()
         self.cache = CDFTermCache(capacity)
+        self._emitted_hits = 0
+        self._emitted_misses = 0
+        self._emitted_evictions = 0
 
     # -- lifecycle -----------------------------------------------------
     def invalidate(self, reason: str) -> None:
@@ -110,6 +113,27 @@ class CachedBackend(ExecutionBackend):
         self.stats.cache_hits = self.cache.hits
         self.stats.cache_misses = self.cache.misses
         self.stats.cache_evictions = self.cache.evictions
+        registry = self._registry()
+        if registry is not None and registry.enabled:
+            # Counters are monotonic, the cache's totals are too; emit
+            # only the delta since the last sync.
+            labels = {"backend": self.name}
+            if self.cache.hits > self._emitted_hits:
+                registry.counter("cache.hits", labels).inc(
+                    self.cache.hits - self._emitted_hits
+                )
+                self._emitted_hits = self.cache.hits
+            if self.cache.misses > self._emitted_misses:
+                registry.counter("cache.misses", labels).inc(
+                    self.cache.misses - self._emitted_misses
+                )
+                self._emitted_misses = self.cache.misses
+            if self.cache.evictions > self._emitted_evictions:
+                registry.counter("cache.evictions", labels).inc(
+                    self.cache.evictions - self._emitted_evictions
+                )
+                self._emitted_evictions = self.cache.evictions
+            registry.gauge("cache.entries", labels).set(len(self.cache))
 
     # -- column assembly -----------------------------------------------
     def _column_masses(

@@ -26,6 +26,7 @@ see stale rows and the pool never restarts.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -34,6 +35,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ...obs.spans import SpanContext, current_span_context
 from ..chunking import get_chunk_budget
 from .base import ExecutionBackend
 
@@ -83,6 +85,28 @@ def _run_shard(fn: Callable, start: int, stop: int, payload) -> np.ndarray:
     """Generic worker entry: run a shard function over [start, stop)."""
     assert _WORKER_SAMPLE is not None, "worker sample segment not attached"
     return fn(_WORKER_SAMPLE, start, stop, payload)
+
+
+def _run_shard_traced(
+    fn: Callable,
+    start: int,
+    stop: int,
+    payload,
+    context: SpanContext,
+    index: int,
+):
+    """Traced worker entry: run a shard and report its span by value.
+
+    Workers hold no registry; the host's :class:`SpanContext` arrives in
+    the task arguments and the worker returns ``(result, path, seconds)``
+    for the host to fold into its registry (see module docstring of
+    :mod:`repro.obs.spans`).
+    """
+    assert _WORKER_SAMPLE is not None, "worker sample segment not attached"
+    path = context.child(f"shard[{index}]")
+    started = time.perf_counter()
+    result = fn(_WORKER_SAMPLE, start, stop, payload)
+    return result, path, time.perf_counter() - started
 
 
 def _fold_contribution_block(shard, low, high, bandwidth, kernels):
@@ -239,15 +263,27 @@ class ShardedSampleExecutor:
             return
         self.close()
         shm = shared_memory.SharedMemory(create=True, size=sample.nbytes)
-        view = np.ndarray(sample.shape, dtype=sample.dtype, buffer=shm.buf)
-        np.copyto(view, sample)
-        method = self._start_method or _start_method()
-        pool = ProcessPoolExecutor(
-            max_workers=self.max_workers,
-            mp_context=get_context(method),
-            initializer=_attach_worker,
-            initargs=(shm.name, sample.shape, sample.dtype.str),
-        )
+        view = None
+        try:
+            view = np.ndarray(
+                sample.shape, dtype=sample.dtype, buffer=shm.buf
+            )
+            np.copyto(view, sample)
+            method = self._start_method or _start_method()
+            pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=get_context(method),
+                initializer=_attach_worker,
+                initargs=(shm.name, sample.shape, sample.dtype.str),
+            )
+        except BaseException:
+            # Pool startup can fail after the segment exists (bad start
+            # method, fork limits); without this the segment would leak
+            # until interpreter exit — or past it, under /dev/shm.
+            view = None  # release the buffer export before closing
+            shm.close()
+            shm.unlink()
+            raise
         self._shm, self._view, self._pool = shm, view, pool
         self._dirty = False
         self._finalizer = weakref.finalize(self, _release, shm, pool)
@@ -278,6 +314,30 @@ class ShardedSampleExecutor:
         futures = [
             self._pool.submit(_run_shard, fn, start, stop, payload)
             for start, stop in self.shard_bounds(sample.shape[0])
+        ]
+        return [future.result() for future in futures]
+
+    def run_traced(
+        self,
+        fn: Callable,
+        sample: np.ndarray,
+        payload,
+        context: SpanContext,
+    ) -> List[Tuple[np.ndarray, Tuple[str, ...], float]]:
+        """Like :meth:`run`, returning ``(result, path, seconds)`` per shard.
+
+        ``context`` is the host's span snapshot; each worker parents its
+        timing on it so the host can fold shard spans into the registry.
+        """
+        self.ensure(sample)
+        assert self._pool is not None
+        futures = [
+            self._pool.submit(
+                _run_shard_traced, fn, start, stop, payload, context, index
+            )
+            for index, (start, stop) in enumerate(
+                self.shard_bounds(sample.shape[0])
+            )
         ]
         return [future.result() for future in futures]
 
@@ -316,6 +376,9 @@ class ShardedBackend(ExecutionBackend):
         )
         self._fallback_inline = fallback_inline
         self._inline = False
+        #: Per-shard wall-clock seconds of the most recent traced run
+        #: (``None`` until a run happens with metrics enabled).
+        self.last_shard_seconds: Optional[Tuple[float, ...]] = None
 
     @property
     def shards(self) -> int:
@@ -347,8 +410,16 @@ class ShardedBackend(ExecutionBackend):
         estimator = self.estimator
         sample = estimator._sample
         payload = self._payload(low, high)
+        registry = self._registry()
+        traced = registry is not None and registry.enabled
         if not self._inline:
             try:
+                if traced:
+                    context = current_span_context()
+                    records = self.executor.run_traced(
+                        fn, sample, payload, context
+                    )
+                    return self._fold_traced(registry, records)
                 return self.executor.run(fn, sample, payload)
             except (OSError, ValueError, RuntimeError) as error:
                 if not self._fallback_inline:
@@ -360,10 +431,37 @@ class ShardedBackend(ExecutionBackend):
                     stacklevel=3,
                 )
                 self._inline = True
-        return [
-            fn(sample, start, stop, payload)
-            for start, stop in self.executor.shard_bounds(sample.shape[0])
-        ]
+        bounds = self.executor.shard_bounds(sample.shape[0])
+        if traced:
+            context = current_span_context()
+            records = []
+            for index, (start, stop) in enumerate(bounds):
+                started = time.perf_counter()
+                result = fn(sample, start, stop, payload)
+                records.append(
+                    (
+                        result,
+                        context.child(f"shard[{index}]"),
+                        time.perf_counter() - started,
+                    )
+                )
+            return self._fold_traced(registry, records)
+        return [fn(sample, start, stop, payload) for start, stop in bounds]
+
+    def _fold_traced(self, registry, records) -> List[np.ndarray]:
+        """Record shard spans/metrics; return results in shard order."""
+        results: List[np.ndarray] = []
+        seconds: List[float] = []
+        labels = {"backend": self.name}
+        for result, path, shard_seconds in records:
+            registry.record_span(path, shard_seconds, labels)
+            registry.histogram("backend.shard_seconds", labels).observe(
+                shard_seconds
+            )
+            results.append(result)
+            seconds.append(shard_seconds)
+        self.last_shard_seconds = tuple(seconds)
+        return results
 
     def selectivity_block(
         self, low: np.ndarray, high: np.ndarray

@@ -23,11 +23,15 @@ estimate and the feedback step (Section 5.4).
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..geometry import Box, QueryBatch
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import span
+from ..obs.trace import EstimationTrace
 from . import chunking
 from .backends import ExecutionBackend, resolve_backend
 from .kernels import Kernel, get_kernel
@@ -49,7 +53,7 @@ class KernelDensityEstimator:
     ----------
     sample:
         ``(s, d)`` array of sampled tuples.  A copy is stored; the sample
-        is mutable through :meth:`replace_points` (sample maintenance).
+        is mutable through :meth:`replace_rows` (sample maintenance).
     bandwidth:
         Per-dimension bandwidth vector ``(d,)``; all entries must be
         strictly positive (the constraint of optimisation problem (5)).
@@ -62,7 +66,16 @@ class KernelDensityEstimator:
         ``None`` for the default single-thread numpy strategy.  All
         backends are numerically equivalent (within 1e-12); the knob
         only changes how the work is scheduled.
+    metrics:
+        Metrics registry the estimation entry points report into (see
+        :mod:`repro.obs`).  ``None`` (the default) defers to the
+        process-wide registry *at call time*, so
+        :func:`repro.obs.enable_metrics` instruments existing models;
+        pass a registry to scope this model's signals explicitly.
     """
+
+    #: Display name used by the evaluation harness reports.
+    name = "KDE"
 
     def __init__(
         self,
@@ -70,6 +83,7 @@ class KernelDensityEstimator:
         bandwidth: Union[Sequence[float], np.ndarray],
         kernel: Union[str, Kernel, Sequence[Union[str, Kernel]]] = "gaussian",
         backend: Union[str, ExecutionBackend, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         sample = np.array(sample, dtype=np.float64, copy=True)
         if sample.ndim != 2:
@@ -91,6 +105,7 @@ class KernelDensityEstimator:
             self._kernels = kernels
         self._bandwidth_epoch = 0
         self._sample_epoch = 0
+        self._metrics = metrics
         self._backend: Optional[ExecutionBackend] = None
         self._bandwidth = np.empty(sample.shape[1], dtype=np.float64)
         self.bandwidth = bandwidth  # runs validation
@@ -173,6 +188,16 @@ class KernelDensityEstimator:
             old.close()
 
     @property
+    def obs(self) -> MetricsRegistry:
+        """The metrics registry this model reports into.
+
+        Resolves the process-wide registry dynamically when no registry
+        was injected at construction, so enabling metrics after the model
+        exists still instruments it.
+        """
+        return self._metrics if self._metrics is not None else get_registry()
+
+    @property
     def bandwidth_epoch(self) -> int:
         """Monotone counter bumped on every bandwidth replacement.
 
@@ -213,7 +238,38 @@ class KernelDensityEstimator:
 
     def selectivity(self, query: Box) -> float:
         """Selectivity estimate for ``query``: mean per-point contribution."""
-        return float(self.contributions(query).mean())
+        registry = self.obs
+        if not registry.enabled:
+            return float(self.contributions(query).mean())
+        backend_name = self.backend.name
+        snapshot = self._cache_snapshot()
+        with span("estimate", registry, backend=backend_name):
+            value = float(self.contributions(query).mean())
+        self._emit_traces(registry, (value,), snapshot)
+        return value
+
+    # ------------------------------------------------------------------
+    # Estimator-protocol facade (the harness's three-call protocol)
+    # ------------------------------------------------------------------
+    def estimate(self, query: Box) -> float:
+        """Selectivity estimate — the estimator-protocol spelling.
+
+        Makes the plain KDE model satisfy the
+        :class:`~repro.baselines.base.SelectivityEstimator` protocol, so
+        the same harness code drives it and every baseline.
+        """
+        return self.selectivity(query)
+
+    def feedback(self, query: Box, true_selectivity: float) -> None:
+        """True-selectivity feedback — a no-op for the static model.
+
+        The plain KDE model does not tune itself; the self-tuning
+        subclasses/facades (:class:`~repro.core.model.SelfTuningKDE`)
+        override the loop with their learning machinery.  Validation
+        still applies, so miswired feedback fails loudly.
+        """
+        if not 0.0 <= true_selectivity <= 1.0:
+            raise ValueError("true selectivity must lie in [0, 1]")
 
     def selectivity_many(
         self, queries: Union[QueryBatch, Sequence[Box]]
@@ -357,7 +413,59 @@ class KernelDensityEstimator:
             return np.array(
                 [self.selectivity(box) for box in batch], dtype=np.float64
             )
-        return self.backend.selectivity_block(batch.low, batch.high)
+        registry = self.obs
+        if not registry.enabled:
+            return self.backend.selectivity_block(batch.low, batch.high)
+        backend_name = self.backend.name
+        snapshot = self._cache_snapshot()
+        with span(
+            "estimate_batch", registry, backend=backend_name
+        ) as batch_span:
+            estimates = self.backend.selectivity_block(batch.low, batch.high)
+        registry.counter(
+            "estimator.queries", {"backend": backend_name}
+        ).inc(len(batch))
+        registry.histogram(
+            "estimator.batch_seconds", {"backend": backend_name}
+        ).observe(batch_span.seconds)
+        self._emit_traces(registry, estimates, snapshot)
+        return estimates
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+    def _cache_snapshot(self):
+        """``(hits, misses)`` of the backend's cache counters right now."""
+        stats = self.backend.stats
+        return stats.cache_hits, stats.cache_misses
+
+    def _emit_traces(self, registry, estimates, cache_snapshot) -> None:
+        """Record one :class:`~repro.obs.trace.EstimationTrace` per query.
+
+        Cache hit/miss counts are the *evaluation's* delta against
+        ``cache_snapshot``; queries evaluated in the same batch share it
+        (per-query attribution inside one fused block is meaningless).
+        Per-shard worker seconds, when the sharded backend just ran,
+        likewise describe the whole evaluation.
+        """
+        stats = self.backend.stats
+        hits = stats.cache_hits - cache_snapshot[0]
+        misses = stats.cache_misses - cache_snapshot[1]
+        shard_seconds = getattr(self.backend, "last_shard_seconds", None)
+        backend_name = self.backend.name
+        for value in estimates:
+            registry.record_trace(
+                EstimationTrace(
+                    query_id=registry.next_query_id(),
+                    predicted=float(value),
+                    backend=backend_name,
+                    bandwidth_epoch=self._bandwidth_epoch,
+                    sample_epoch=self._sample_epoch,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                    shard_seconds=shard_seconds,
+                )
+            )
 
     def selectivity_gradient_batch(
         self,
@@ -515,11 +623,12 @@ class KernelDensityEstimator:
     # ------------------------------------------------------------------
     # Sample maintenance hooks
     # ------------------------------------------------------------------
-    def replace_points(self, indices: np.ndarray, rows: np.ndarray) -> None:
-        """Overwrite sample points in place (single-transfer row updates).
+    def replace_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite sample rows in place (single-transfer row updates).
 
         This mirrors the paper's row-major device buffer, where replacing a
-        sample point is one PCIe write (Section 5.1).
+        sample point is one PCIe write (Section 5.1).  The device-resident
+        estimator exposes the same operation under the same name.
         """
         indices = np.asarray(indices, dtype=np.intp)
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
@@ -535,6 +644,16 @@ class KernelDensityEstimator:
         self._sample_epoch += 1
         if self._backend is not None:
             self._backend.invalidate("sample")
+
+    def replace_points(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Deprecated alias of :meth:`replace_rows` (pre-1.1 spelling)."""
+        warnings.warn(
+            "KernelDensityEstimator.replace_points is deprecated; "
+            "use replace_rows",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.replace_rows(indices, rows)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

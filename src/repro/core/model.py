@@ -96,6 +96,10 @@ class SelfTuningKDE:
         Execution backend for the batched evaluation paths (see
         :mod:`repro.core.backends`); forwarded to the underlying
         :class:`KernelDensityEstimator`.
+    metrics:
+        Metrics registry (see :mod:`repro.obs`); forwarded to the
+        underlying :class:`KernelDensityEstimator`.  ``None`` defers to
+        the process-wide registry at call time.
     """
 
     def __init__(
@@ -107,13 +111,15 @@ class SelfTuningKDE:
         bandwidth: Optional[np.ndarray] = None,
         seed: Optional[int] = None,
         backend=None,
+        metrics=None,
     ) -> None:
         sample = np.asarray(sample, dtype=np.float64)
         self.config = config or SelfTuningConfig()
         if bandwidth is None:
             bandwidth = scott_bandwidth(sample)
         self._estimator = KernelDensityEstimator(
-            sample, bandwidth, self.config.kernel, backend=backend
+            sample, bandwidth, self.config.kernel, backend=backend,
+            metrics=metrics,
         )
         self._loss = get_loss(self.config.loss)
         self._rng = np.random.default_rng(seed)
@@ -159,6 +165,21 @@ class SelfTuningKDE:
     @backend.setter
     def backend(self, value) -> None:
         self._estimator.backend = value
+
+    @property
+    def obs(self):
+        """The metrics registry the underlying estimator reports into."""
+        return self._estimator.obs
+
+    @property
+    def bandwidth_epoch(self) -> int:
+        """Bandwidth generation of the underlying estimator."""
+        return self._estimator.bandwidth_epoch
+
+    @property
+    def sample_epoch(self) -> int:
+        """Sample generation of the underlying estimator."""
+        return self._estimator.sample_epoch
 
     @property
     def sample_size(self) -> int:
@@ -344,7 +365,7 @@ class SelfTuningKDE:
             rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
             if rows.shape[0] < indices.size:
                 indices = indices[: rows.shape[0]]
-            self._estimator.replace_points(indices, rows[: indices.size])
+            self._estimator.replace_rows(indices, rows[: indices.size])
             self._karma.reset(indices)
             self._points_replaced += indices.size
             return k + 1
@@ -383,7 +404,7 @@ class SelfTuningKDE:
             # Source could not provide enough rows (tiny relation); replace
             # as many points as we received fresh rows for.
             indices = indices[: rows.shape[0]]
-        self._estimator.replace_points(indices, rows[: indices.size])
+        self._estimator.replace_rows(indices, rows[: indices.size])
         self._karma.reset(indices)
         self._points_replaced += indices.size
 
@@ -403,7 +424,7 @@ class SelfTuningKDE:
         if slot is None:
             return False
         row = np.asarray(row, dtype=np.float64).reshape(1, -1)
-        self._estimator.replace_points(np.array([slot]), row)
+        self._estimator.replace_rows(np.array([slot]), row)
         self._karma.reset(np.array([slot]))
         return True
 

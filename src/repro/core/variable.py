@@ -184,15 +184,15 @@ class VariableKernelDensityEstimator(KernelDensityEstimator):
             out[start : start + chunk] = (k / norms[None, :]).sum(axis=1)
         return out
 
-    def replace_points(self, indices: np.ndarray, rows: np.ndarray) -> None:
-        """Replace sample points; fresh points get the neutral factor 1.
+    def replace_rows(self, indices: np.ndarray, rows: np.ndarray) -> None:
+        """Replace sample rows; fresh points get the neutral factor 1.
 
         Recomputing pilot densities per replacement would defeat the
         transfer-thrift of Karma maintenance, so replacements start at
         the fixed-bandwidth behaviour; call :meth:`refresh_factors`
         periodically to re-estimate all factors.
         """
-        super().replace_points(indices, rows)
+        super().replace_rows(indices, rows)
         self._local_factors[np.asarray(indices, dtype=np.intp)] = 1.0
 
     def refresh_factors(self, alpha: float = 0.5) -> None:

@@ -20,6 +20,9 @@ import numpy as np
 
 from ..geometry import Box
 from ..baselines.base import SelectivityEstimator
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import span
+from ..obs.trace import EstimationTrace
 from .table import Table, TableListener
 
 __all__ = ["FeedbackLoop", "Observation", "EstimatorTableBridge"]
@@ -68,7 +71,19 @@ class FeedbackLoop:
     estimator: SelectivityEstimator
     #: Full trace of observations, in execution order.
     observations: List[Observation] = field(default_factory=list)
+    #: Registry to report into; ``None`` defers to the estimator's (or
+    #: the process-wide) registry at call time.
+    metrics: Optional[MetricsRegistry] = None
     _bridge: Optional[EstimatorTableBridge] = None
+
+    @property
+    def obs(self) -> MetricsRegistry:
+        if self.metrics is not None:
+            return self.metrics
+        estimator_registry = getattr(self.estimator, "obs", None)
+        if estimator_registry is not None:
+            return estimator_registry
+        return get_registry()
 
     def attach(self) -> "FeedbackLoop":
         """Subscribe the estimator to table modification events."""
@@ -85,12 +100,16 @@ class FeedbackLoop:
 
     def run_query(self, query: Box) -> Observation:
         """One full cycle; returns the recorded observation."""
-        estimated = self.estimator.estimate(query)
-        result = self.table.execute(query)
-        actual = result.selectivity
-        self.estimator.feedback(query, actual)
+        registry = self.obs
+        with span("feedback_cycle", registry):
+            estimated = self.estimator.estimate(query)
+            result = self.table.execute(query)
+            actual = result.selectivity
+            self.estimator.feedback(query, actual)
         observation = Observation(query=query, estimated=estimated, actual=actual)
         self.observations.append(observation)
+        if registry.enabled:
+            self._record_completed(registry, [observation])
         return observation
 
     def run_workload(self, queries) -> List[Observation]:
@@ -157,7 +176,50 @@ class FeedbackLoop:
             for query, estimated, actual in zip(queries, estimates, actuals)
         ]
         self.observations.extend(batch)
+        registry = self.obs
+        if registry.enabled:
+            self._record_completed(registry, batch)
         return batch
+
+    def _record_completed(
+        self, registry: MetricsRegistry, batch: List[Observation]
+    ) -> None:
+        """Emit one completed (predicted + actual + loss) trace per cycle.
+
+        These complement the predicted-only ``stage="estimate"`` traces
+        the estimator itself emits; the loop is the first place the true
+        selectivity is known, so the completed record is emitted here.
+        """
+        backend = getattr(self.estimator, "backend", None)
+        backend_name = backend if isinstance(backend, str) else (
+            getattr(backend, "name", type(self.estimator).__name__)
+        )
+        loss = getattr(self.estimator, "_loss", None)
+        for observation in batch:
+            if loss is not None:
+                loss_value = float(
+                    loss.value(observation.estimated, observation.actual)
+                )
+            else:
+                loss_value = (observation.estimated - observation.actual) ** 2
+            registry.counter("feedback.cycles").inc()
+            registry.histogram("feedback.absolute_error").observe(
+                observation.absolute_error
+            )
+            registry.record_trace(
+                EstimationTrace(
+                    query_id=registry.next_query_id(),
+                    predicted=observation.estimated,
+                    backend=str(backend_name),
+                    actual=observation.actual,
+                    loss=loss_value,
+                    bandwidth_epoch=getattr(
+                        self.estimator, "bandwidth_epoch", 0
+                    ),
+                    sample_epoch=getattr(self.estimator, "sample_epoch", 0),
+                    stage="feedback",
+                )
+            )
 
     # ------------------------------------------------------------------
     # Error reporting

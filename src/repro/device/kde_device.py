@@ -35,6 +35,9 @@ from ..core.bandwidth import scott_bandwidth
 from ..core.config import AdaptiveConfig, KarmaConfig
 from ..core.karma import KarmaTracker
 from ..core.losses import Loss, get_loss
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.spans import span
+from ..obs.trace import EstimationTrace
 from .codegen import (
     compile_batch_contribution_kernel,
     compile_contribution_kernel,
@@ -102,6 +105,7 @@ class DeviceKDE:
         karma_config: Optional[KarmaConfig] = None,
         backend: str = "numpy",
         shards: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         sample = np.asarray(sample, dtype=np.float64)
         if sample.ndim != 2 or sample.shape[0] < 2:
@@ -117,6 +121,7 @@ class DeviceKDE:
         self.precision = precision
         self.adaptive = adaptive
         self.backend = backend
+        self._metrics = metrics
         self._executor: Optional[ShardedSampleExecutor] = None
         if backend == "sharded":
             self._executor = ShardedSampleExecutor(shards=shards)
@@ -170,15 +175,9 @@ class DeviceKDE:
     def bandwidth(self) -> np.ndarray:
         return self._bandwidth.copy()
 
-    @property
-    def karma_tracker(self) -> KarmaTracker:
-        return self._karma
-
-    @property
-    def tuner(self) -> RMSpropTuner:
-        return self._tuner
-
-    def set_bandwidth(self, bandwidth: np.ndarray) -> None:
+    @bandwidth.setter
+    def bandwidth(self, bandwidth: np.ndarray) -> None:
+        """Replace the bandwidth vector (one small metered upload)."""
         bandwidth = np.asarray(bandwidth, dtype=np.float64)
         if bandwidth.shape != (self.dimensions,) or np.any(bandwidth <= 0):
             raise ValueError("bandwidth must be a positive (d,) vector")
@@ -187,10 +186,79 @@ class DeviceKDE:
             "bandwidth", bandwidth.astype(self._dtype), label="bandwidth"
         )
 
+    @property
+    def karma_tracker(self) -> KarmaTracker:
+        return self._karma
+
+    @property
+    def tuner(self) -> RMSpropTuner:
+        return self._tuner
+
+    @property
+    def obs(self) -> MetricsRegistry:
+        """The metrics registry this model reports into."""
+        return self._metrics if self._metrics is not None else get_registry()
+
+    def set_bandwidth(self, bandwidth: np.ndarray) -> None:
+        """Deprecated: assign to the :attr:`bandwidth` property instead."""
+        warnings.warn(
+            "DeviceKDE.set_bandwidth is deprecated; assign to the "
+            "bandwidth property instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.bandwidth = bandwidth
+
+    def _record_device_traces(
+        self, registry: MetricsRegistry, estimates, launch_mark: int
+    ) -> None:
+        """One trace per estimate, with its share of modelled kernel time.
+
+        ``launch_mark`` is ``len(context.launches)`` before the run; the
+        modelled seconds of the launches appended since are split evenly
+        across the batch (a batched run prices one launch for all
+        queries, so per-query attribution is necessarily a share).
+        """
+        device = self.context.spec.name
+        totals: dict = {}
+        for record in self.context.launches[launch_mark:]:
+            totals[record.kernel] = (
+                totals.get(record.kernel, 0.0) + record.seconds
+            )
+        queries = max(1, len(estimates))
+        share = {kernel: s / queries for kernel, s in totals.items()}
+        registry.counter("device.queries", {"device": device}).inc(
+            len(estimates)
+        )
+        for estimate in estimates:
+            registry.record_trace(
+                EstimationTrace(
+                    query_id=registry.next_query_id(),
+                    predicted=float(estimate),
+                    backend=f"device-{self.backend}",
+                    device_kernel_seconds=share,
+                )
+            )
+
     # ------------------------------------------------------------------
     # Estimation (Figure 3, steps 1-4)
     # ------------------------------------------------------------------
     def estimate(self, query: Box) -> float:
+        registry = self.obs
+        if not registry.enabled:
+            return self._estimate_impl(query)
+        launch_mark = len(self.context.launches)
+        with span(
+            "device_estimate",
+            registry,
+            device=self.context.spec.name,
+            backend=self.backend,
+        ):
+            estimate = self._estimate_impl(query)
+        self._record_device_traces(registry, [estimate], launch_mark)
+        return estimate
+
+    def _estimate_impl(self, query: Box) -> float:
         if query.dimensions != self.dimensions:
             raise ValueError("query dimensionality mismatch")
         s, d = self._sample_buffer.shape
@@ -273,6 +341,21 @@ class DeviceKDE:
         all ``q`` estimates.  Per-query results are identical to
         :meth:`estimate`; only launch and transfer overhead is amortised.
         """
+        registry = self.obs
+        if not registry.enabled:
+            return self._estimate_batch_impl(queries)
+        launch_mark = len(self.context.launches)
+        with span(
+            "device_estimate_batch",
+            registry,
+            device=self.context.spec.name,
+            backend=self.backend,
+        ):
+            estimates = self._estimate_batch_impl(queries)
+        self._record_device_traces(registry, estimates, launch_mark)
+        return estimates
+
+    def _estimate_batch_impl(self, queries) -> np.ndarray:
         batch = QueryBatch.coerce(queries)
         if batch.dimensions != self.dimensions:
             raise ValueError("query batch dimensionality mismatch")
@@ -359,7 +442,7 @@ class DeviceKDE:
                 gradient = gradient * self._bandwidth
             updated = self._tuner.observe(gradient, self._bandwidth)
             if updated is not None:
-                self.set_bandwidth(updated)
+                self.bandwidth = updated
             indices = self._karma.update(
                 self._pending_batch_contributions[index],
                 float(truths[index]),
@@ -410,7 +493,7 @@ class DeviceKDE:
             gradient = gradient * self._bandwidth
         updated = self._tuner.observe(gradient, self._bandwidth)
         if updated is not None:
-            self.set_bandwidth(updated)
+            self.bandwidth = updated
 
         # Karma kernel over the retained contribution buffer (step 9).
         self.context.launch("karma", 0)

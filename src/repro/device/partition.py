@@ -22,6 +22,7 @@ Both are natural in the analytic device model:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
@@ -122,6 +123,12 @@ class MultiDeviceKDE:
     def bandwidth(self) -> np.ndarray:
         return self._models[0].bandwidth
 
+    @bandwidth.setter
+    def bandwidth(self, bandwidth: np.ndarray) -> None:
+        """Broadcast a new global bandwidth to every shard."""
+        for model in self._models:
+            model.bandwidth = bandwidth
+
     @property
     def parallel_elapsed_seconds(self) -> float:
         """Modelled wall-clock with all devices running concurrently."""
@@ -134,9 +141,14 @@ class MultiDeviceKDE:
 
     # ------------------------------------------------------------------
     def set_bandwidth(self, bandwidth: np.ndarray) -> None:
-        """Broadcast a new global bandwidth to every shard."""
-        for model in self._models:
-            model.set_bandwidth(bandwidth)
+        """Deprecated: assign to the :attr:`bandwidth` property instead."""
+        warnings.warn(
+            "MultiDeviceKDE.set_bandwidth is deprecated; assign to the "
+            "bandwidth property instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.bandwidth = bandwidth
 
     def estimate(self, query: Box) -> float:
         """Shard-parallel estimate; wall-clock is the slowest shard."""

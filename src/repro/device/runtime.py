@@ -14,10 +14,11 @@ experiments of Section 6.4 run against the modelled clock.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, get_registry
 from .buffers import DeviceBuffer, TransferLog
 from .costmodel import DeviceCostModel
 from .specs import DeviceSpec, named_device
@@ -37,12 +38,22 @@ class LaunchRecord:
 
 @dataclass
 class DeviceContext:
-    """Buffers + transfer metering + a modelled clock for one device."""
+    """Buffers + transfer metering + a modelled clock for one device.
+
+    Accounting is metrics-first: every launch and transfer is emitted
+    into the context's own :class:`~repro.obs.metrics.MetricsRegistry`
+    (``metrics``, injectable — each context defaults to a private one so
+    :meth:`profile` never mixes devices) and mirrored into the process-
+    wide registry when that is enabled.  The ``launches`` list and the
+    :class:`~repro.device.buffers.TransferLog` remain as the per-event
+    trace; :meth:`profile` itself is a thin view over the registry.
+    """
 
     spec: DeviceSpec
     cost: DeviceCostModel = field(init=False)
     transfers: TransferLog = field(default_factory=TransferLog)
     launches: List[LaunchRecord] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     _buffers: Dict[str, DeviceBuffer] = field(default_factory=dict)
     _clock: float = 0.0
 
@@ -50,9 +61,40 @@ class DeviceContext:
         self.cost = DeviceCostModel(self.spec)
 
     @classmethod
-    def for_device(cls, name: str) -> "DeviceContext":
+    def for_device(
+        cls, name: str, metrics: Optional[MetricsRegistry] = None
+    ) -> "DeviceContext":
         """Create a context for a preset device (``"gpu"`` / ``"cpu"``)."""
-        return cls(spec=named_device(name))
+        if metrics is None:
+            return cls(spec=named_device(name))
+        return cls(spec=named_device(name), metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Metrics emission
+    # ------------------------------------------------------------------
+    def _emit_targets(self) -> Iterator[MetricsRegistry]:
+        """The context's own registry, plus the ambient one when live."""
+        yield self.metrics
+        ambient = get_registry()
+        if ambient.enabled and ambient is not self.metrics:
+            yield ambient
+
+    def _emit_launch(self, kernel: str, seconds: float) -> None:
+        labels = {"device": self.spec.name, "kernel": kernel}
+        for registry in self._emit_targets():
+            registry.histogram("device.kernel.seconds", labels).observe(
+                seconds
+            )
+
+    def _emit_transfer(
+        self, direction: str, nbytes: int, seconds: float
+    ) -> None:
+        labels = {"device": self.spec.name, "direction": direction}
+        for registry in self._emit_targets():
+            registry.histogram("device.transfer.seconds", labels).observe(
+                seconds
+            )
+            registry.counter("device.transfer.bytes", labels).inc(nbytes)
 
     # ------------------------------------------------------------------
     # Clock
@@ -110,6 +152,7 @@ class DeviceContext:
             nbytes = self._buffers[name].nbytes
         seconds = self.cost.transfer_seconds(nbytes)
         self.transfers.record("to_device", nbytes, label or name, seconds)
+        self._emit_transfer("to_device", nbytes, seconds)
         self._clock += seconds
         return self._buffers[name]
 
@@ -126,6 +169,7 @@ class DeviceContext:
         self.transfers.record(
             "to_device", nbytes, label or f"{name}:rows", seconds
         )
+        self._emit_transfer("to_device", nbytes, seconds)
         self._clock += seconds
 
     def download(self, name: str, label: Optional[str] = None) -> np.ndarray:
@@ -133,6 +177,7 @@ class DeviceContext:
         buffer = self.buffer(name)
         seconds = self.cost.transfer_seconds(buffer.nbytes)
         self.transfers.record("to_host", buffer.nbytes, label or name, seconds)
+        self._emit_transfer("to_host", buffer.nbytes, seconds)
         self._clock += seconds
         return buffer.read()
 
@@ -140,6 +185,7 @@ class DeviceContext:
         """Device-to-host copy of a scalar/small result (metered)."""
         seconds = self.cost.transfer_seconds(nbytes)
         self.transfers.record("to_host", nbytes, label, seconds)
+        self._emit_transfer("to_host", nbytes, seconds)
         self._clock += seconds
         return value
 
@@ -150,12 +196,14 @@ class DeviceContext:
         """Meter one kernel launch of ``term_count`` kernel terms."""
         seconds = self.cost.kernel_seconds(term_count)
         self.launches.append(LaunchRecord(kernel, int(term_count), seconds))
+        self._emit_launch(kernel, seconds)
         self._clock += seconds
 
     def reduce(self, kernel: str, element_count: int) -> None:
         """Meter one parallel binary reduction."""
         seconds = self.cost.reduction_seconds(element_count)
         self.launches.append(LaunchRecord(kernel, int(element_count), seconds))
+        self._emit_launch(kernel, seconds)
         self._clock += seconds
 
     def launch_count(self, kernel: Optional[str] = None) -> int:
@@ -174,40 +222,49 @@ class DeviceContext:
         )
 
     def profile(self) -> Dict[str, object]:
-        """Where the modelled time went, summarised from the trace logs.
+        """Where the modelled time went — a thin view over ``metrics``.
 
         Returns a dict with one entry per kernel (launch count + total
         modelled seconds), per-direction transfer totals (bytes +
         seconds), and the aggregate split between compute and transfer
-        time.  Derived entirely from the launch/transfer records, so it
-        reflects everything metered since construction (``reset_clock``
-        only rewinds the clock, not the trace).
+        time.  Every number is read back from the context's registry
+        (``device.kernel.seconds`` / ``device.transfer.*`` aggregates),
+        so it reflects everything metered since construction
+        (``reset_clock`` only rewinds the clock, not the registry).
         """
+        device = self.spec.name
         kernels: Dict[str, Dict[str, float]] = {}
-        for record in self.launches:
-            entry = kernels.setdefault(
-                record.kernel, {"launches": 0, "seconds": 0.0}
-            )
-            entry["launches"] += 1
-            entry["seconds"] += record.seconds
-        transfers = {
-            direction: {
-                "count": sum(
-                    1
-                    for r in self.transfers.records
-                    if r.direction == direction
-                ),
-                "bytes": self.transfers.bytes_in_direction(direction),
-                "seconds": self.transfers.seconds_in_direction(direction),
-            }
+        transfers: Dict[str, Dict[str, float]] = {
+            direction: {"count": 0, "bytes": 0, "seconds": 0.0}
             for direction in ("to_device", "to_host")
         }
+        for histogram in self.metrics.iter_histograms():
+            labels = dict(histogram.labels)
+            if labels.get("device") != device:
+                continue
+            if histogram.name == "device.kernel.seconds":
+                kernels[labels["kernel"]] = {
+                    "launches": histogram.count,
+                    "seconds": histogram.sum,
+                }
+            elif histogram.name == "device.transfer.seconds":
+                entry = transfers.get(labels.get("direction"))
+                if entry is not None:
+                    entry["count"] = histogram.count
+                    entry["seconds"] = histogram.sum
+        for direction, entry in transfers.items():
+            entry["bytes"] = int(
+                self.metrics.counter_value(
+                    "device.transfer.bytes",
+                    {"device": device, "direction": direction},
+                )
+            )
         kernel_total = sum(entry["seconds"] for entry in kernels.values())
         transfer_total = sum(
             entry["seconds"] for entry in transfers.values()
         )
         return {
-            "device": self.spec.name,
+            "device": device,
             "kernels": kernels,
             "transfers": transfers,
             "kernel_seconds": kernel_total,

@@ -1,0 +1,105 @@
+"""One-call construction of the estimator family.
+
+:func:`create_estimator` is the library's front door: pick a model kind,
+an execution backend and (optionally) a metrics registry without
+importing from three subpackages.  Examples and benchmarks use it so the
+"build an estimator" incantation is written down exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .core.bandwidth import scott_bandwidth
+from .core.estimator import KernelDensityEstimator
+from .core.model import SelfTuningKDE
+from .obs.metrics import MetricsRegistry
+
+__all__ = ["create_estimator", "ESTIMATOR_KINDS"]
+
+#: Model kinds :func:`create_estimator` understands.
+ESTIMATOR_KINDS = ("kde", "self_tuning", "device")
+
+
+def create_estimator(
+    sample: np.ndarray,
+    kind: str = "kde",
+    *,
+    bandwidth: Optional[np.ndarray] = None,
+    backend: Union[str, object, None] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    device: str = "gpu",
+    **kwargs,
+):
+    """Build an estimator of the requested ``kind`` from a sample.
+
+    Parameters
+    ----------
+    sample:
+        ``(s, d)`` random sample of the relation (what ANALYZE collects).
+    kind:
+        ``"kde"`` — the static :class:`~repro.core.estimator.
+        KernelDensityEstimator`; ``"self_tuning"`` — the full
+        :class:`~repro.core.model.SelfTuningKDE` (feedback-driven
+        bandwidth tuning + Karma sample maintenance); ``"device"`` — a
+        :class:`~repro.device.kde_device.DeviceKDE` running on the
+        simulated device.
+    bandwidth:
+        Initial bandwidth vector; Scott's rule when omitted.
+    backend:
+        Execution backend knob (``"numpy"`` / ``"sharded"`` /
+        ``"cached"`` or an :class:`~repro.core.backends.
+        ExecutionBackend` instance) for the host kinds; for
+        ``kind="device"`` it selects the host strategy of the batched
+        contribution kernel (``"numpy"`` / ``"sharded"``).
+    metrics:
+        Metrics registry to report into; ``None`` defers to the
+        process-wide registry (see :func:`repro.obs.enable_metrics`).
+    device:
+        Preset device name for ``kind="device"`` (``"gpu"`` / ``"cpu"``);
+        ignored otherwise.  Pass ``context=`` to supply a configured
+        :class:`~repro.device.runtime.DeviceContext` instead.
+    kwargs:
+        Forwarded to the model constructor (``kernel=``, ``config=``,
+        ``row_source=``, ``precision=``, ...).
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    if kind == "kde":
+        if bandwidth is None:
+            bandwidth = scott_bandwidth(sample)
+        return KernelDensityEstimator(
+            sample, bandwidth, backend=backend, metrics=metrics, **kwargs
+        )
+    if kind == "self_tuning":
+        return SelfTuningKDE(
+            sample,
+            bandwidth=bandwidth,
+            backend=backend,
+            metrics=metrics,
+            **kwargs,
+        )
+    if kind == "device":
+        # Imported lazily: the device layer is optional at import time
+        # for host-only workflows.
+        from .device.kde_device import DeviceKDE
+        from .device.runtime import DeviceContext
+
+        context = kwargs.pop("context", None)
+        if context is None:
+            context = DeviceContext.for_device(device)
+        if backend is None:
+            backend = "numpy"
+        return DeviceKDE(
+            sample,
+            context,
+            bandwidth=bandwidth,
+            backend=backend,
+            metrics=metrics,
+            **kwargs,
+        )
+    known = ", ".join(ESTIMATOR_KINDS)
+    raise ValueError(
+        f"unknown estimator kind {kind!r}; known kinds: {known}"
+    )

@@ -1,0 +1,65 @@
+"""``repro.obs`` — the observability layer (metrics, spans, traces).
+
+One instrumentation layer that every component reports into:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed log-bucket
+  histograms and timers; process-wide by default, injectable everywhere
+  (``metrics=`` knobs), and a zero-overhead :class:`NullRegistry` when
+  disabled.
+* :func:`span` — lightweight nestable tracing with thread-local context
+  and picklable :class:`SpanContext` propagation into sharded workers.
+* :class:`EstimationTrace` — the structured per-query record (predicted
+  vs. true selectivity, loss, model epochs, backend, cache counters,
+  per-shard / per-device-kernel seconds).
+* :func:`to_json` / :func:`to_prometheus` — exporters.
+
+Enable with :func:`enable_metrics`; everything instrumented picks the
+live registry up on its next operation::
+
+    from repro import obs
+    registry = obs.enable_metrics()
+    ...  # run queries
+    print(obs.to_prometheus(registry))
+"""
+
+from .export import dump_json, to_json, to_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
+from .spans import Span, SpanContext, current_span_context, span
+from .trace import EstimationTrace, TraceLog
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EstimationTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "SpanContext",
+    "Timer",
+    "TraceLog",
+    "current_span_context",
+    "disable_metrics",
+    "dump_json",
+    "enable_metrics",
+    "get_registry",
+    "metrics_enabled",
+    "set_registry",
+    "span",
+    "to_json",
+    "to_prometheus",
+]

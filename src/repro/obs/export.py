@@ -1,0 +1,119 @@
+"""Exporters: JSON dump and Prometheus text exposition format.
+
+Both render a :class:`~repro.obs.metrics.MetricsRegistry` snapshot —
+JSON for offline analysis (the bench CLI's ``--metrics-json``) and the
+Prometheus `text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ for
+scraping a long-lived serving process.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["to_json", "dump_json", "to_prometheus"]
+
+
+def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=False)
+
+
+def dump_json(
+    registry: MetricsRegistry, path: str, indent: Optional[int] = 2
+) -> str:
+    """Write the JSON snapshot to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(registry, indent=indent))
+        handle.write("\n")
+    return path
+
+
+_NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitised = _NAME_SANITISER.sub("_", name)
+    return sanitised if not sanitised[:1].isdigit() else f"_{sanitised}"
+
+
+def _prom_labels(labels, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(_prom_name(k), str(v).replace('"', '\\"'))
+        for k, v in pairs
+    )
+    return f"{{{rendered}}}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render counters, gauges and histograms in the text format.
+
+    Spans are exposed as ``span_seconds_total`` / ``span_count`` pairs
+    labelled by path; traces are a log, not a metric, and are omitted
+    (export them with :func:`to_json`).
+    """
+    lines = []
+    seen_types: Dict[str, str] = {}
+
+    def _type_line(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in sorted(
+        registry.iter_counters(), key=lambda c: (c.name, c.labels)
+    ):
+        name = _prom_name(counter.name)
+        _type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(counter.labels)} {counter.value:g}")
+
+    for gauge in sorted(
+        registry.iter_gauges(), key=lambda g: (g.name, g.labels)
+    ):
+        name = _prom_name(gauge.name)
+        _type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.value:g}")
+
+    for histogram in sorted(
+        registry.iter_histograms(), key=lambda h: (h.name, h.labels)
+    ):
+        name = _prom_name(histogram.name)
+        _type_line(name, "histogram")
+        cumulative = 0
+        for index, bucket_count in enumerate(histogram.bucket_counts):
+            cumulative += bucket_count
+            bound = (
+                "+Inf"
+                if index == len(histogram.bounds)
+                else f"{histogram.bounds[index]:g}"
+            )
+            labels = _prom_labels(histogram.labels, {"le": bound})
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        lines.append(
+            f"{name}_sum{_prom_labels(histogram.labels)} {histogram.sum:g}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(histogram.labels)} {histogram.count}"
+        )
+
+    for key, entry in registry.span_summary().items():
+        labels = {"path": key}
+        _type_line("span_seconds_total", "counter")
+        lines.append(
+            "span_seconds_total"
+            + _prom_labels((), labels)
+            + f" {entry['seconds']:g}"
+        )
+        _type_line("span_count", "counter")
+        lines.append(
+            "span_count" + _prom_labels((), labels) + f" {entry['count']:g}"
+        )
+
+    return "\n".join(lines) + ("\n" if lines else "")

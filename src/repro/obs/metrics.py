@@ -1,0 +1,453 @@
+"""Process-wide but injectable metrics: counters, gauges, histograms, timers.
+
+The observability layer every component of the estimator reports into —
+the same shape learned-estimator serving stacks use to monitor drift
+(per-query error traces, cache effectiveness, modelled kernel time).
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  The default process registry is a
+   :class:`NullRegistry` whose instruments are shared do-nothing
+   singletons; hot paths pay one attribute read and one ``enabled``
+   branch, and allocate nothing.
+2. **Injectable.**  Every instrumented component takes a ``metrics=``
+   knob; ``None`` defers to the process-wide registry *at call time*, so
+   :func:`enable_metrics` flips instrumentation on for models that
+   already exist.
+3. **Fixed log-scale histogram buckets.**  Latencies span six orders of
+   magnitude between a cache hit and a cold sharded evaluation; the
+   default buckets form a geometric ladder so one layout serves every
+   timer and exports cleanly to Prometheus.
+
+Instruments are keyed on ``(name, labels)``; asking for the same pair
+twice returns the same instrument, so callers never cache them unless
+they are on a hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .trace import EstimationTrace, TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+]
+
+#: Fixed log-scale histogram buckets (seconds): a geometric ladder from
+#: one microsecond to ~268 s with factor 4, plus the implicit +Inf
+#: bucket.  Fixed so every exported histogram is mergeable.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 4.0 ** i for i in range(15))
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (queries served, cache hits, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (cache size, pool width, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Distribution over fixed log-scale buckets.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the final
+    slot is the +Inf bucket.  Counts are cumulative only at export time
+    (Prometheus semantics); internally each slot is independent.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: _LabelKey = (),
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("buckets must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Timer:
+    """Context manager observing elapsed wall seconds into a histogram."""
+
+    __slots__ = ("histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.histogram.observe(time.perf_counter() - self._started)
+        return False
+
+
+class _SpanAggregate:
+    """Per-(path, labels) span accumulation (count + total seconds)."""
+
+    __slots__ = ("count", "seconds")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.seconds = 0.0
+
+
+class MetricsRegistry:
+    """Holds every instrument, span aggregate and estimation trace.
+
+    One registry per logical scope: the process-wide default (see
+    :func:`enable_metrics`), or injected per component (each
+    :class:`~repro.device.runtime.DeviceContext` owns one so its
+    ``profile()`` never mixes devices).
+    """
+
+    #: Hot paths branch on this; the null registry sets it ``False``.
+    enabled: bool = True
+
+    def __init__(self, trace_capacity: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+        self._spans: Dict[Tuple[str, _LabelKey], _SpanAggregate] = {}
+        self.traces = TraceLog(capacity=trace_capacity)
+        self._query_seq = 0
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    key, Counter(name, key[1])
+                )
+        return instrument
+
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, key[1], buckets)
+                )
+        return instrument
+
+    def timer(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Timer:
+        return Timer(self.histogram(name, labels))
+
+    # ------------------------------------------------------------------
+    # Spans & traces
+    # ------------------------------------------------------------------
+    def record_span(
+        self,
+        path: Tuple[str, ...],
+        seconds: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold one finished span into the per-path aggregate."""
+        key = ("/".join(path), _label_key(labels))
+        aggregate = self._spans.get(key)
+        if aggregate is None:
+            with self._lock:
+                aggregate = self._spans.setdefault(key, _SpanAggregate())
+        aggregate.count += 1
+        aggregate.seconds += seconds
+
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """``{path{labels}: {count, seconds}}`` over all finished spans."""
+        return {
+            _format_key(path, labels): {
+                "count": agg.count,
+                "seconds": agg.seconds,
+            }
+            for (path, labels), agg in sorted(self._spans.items())
+        }
+
+    def next_query_id(self) -> int:
+        """Monotone per-registry query id for estimation traces."""
+        with self._lock:
+            self._query_seq += 1
+            return self._query_seq
+
+    def record_trace(self, trace: EstimationTrace) -> None:
+        self.traces.append(trace)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def iter_counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def iter_gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def iter_histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def counter_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> float:
+        """Current value of a counter (0 if it never incremented)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def sum_counters(self, name: str) -> float:
+        """Sum of a counter over all label sets (e.g. total cache hits)."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict snapshot of everything (the JSON export payload)."""
+        return {
+            "counters": {
+                _format_key(n, l): c.value
+                for (n, l), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _format_key(n, l): g.value
+                for (n, l), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _format_key(n, l): {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "buckets": {
+                        _bucket_label(h.bounds, i): count
+                        for i, count in enumerate(h.bucket_counts)
+                        if count
+                    },
+                }
+                for (n, l), h in sorted(self._histograms.items())
+            },
+            "spans": self.span_summary(),
+            "traces": [trace.as_dict() for trace in self.traces],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)}, spans={len(self._spans)}, "
+            f"traces={len(self.traces)})"
+        )
+
+
+def _format_key(name: str, labels: _LabelKey) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def _bucket_label(bounds: Tuple[float, ...], index: int) -> str:
+    return "+Inf" if index == len(bounds) else f"{bounds[index]:.3g}"
+
+
+# ----------------------------------------------------------------------
+# The disabled registry: shared no-op singletons, zero allocation
+# ----------------------------------------------------------------------
+class _NullInstrument:
+    """One object stands in for every disabled counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    labels: _LabelKey = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    bounds: Tuple[float, ...] = ()
+    bucket_counts: List[int] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-overhead disabled registry (the process default).
+
+    Every accessor returns the same inert singleton; nothing is stored,
+    nothing is allocated, and :attr:`enabled` lets hot paths skip their
+    instrumentation blocks entirely.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(trace_capacity=1)
+
+    def counter(self, name, labels=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, labels=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, labels=None, buckets=DEFAULT_BUCKETS):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def timer(self, name, labels=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def record_span(self, path, seconds, labels=None) -> None:
+        pass
+
+    def record_trace(self, trace: EstimationTrace) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# The process-wide registry
+# ----------------------------------------------------------------------
+_NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-wide registry (a no-op one when disabled)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide registry; returns it."""
+    global _registry
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(
+            "registry must be a MetricsRegistry, "
+            f"got {type(registry).__name__}"
+        )
+    _registry = registry
+    return registry
+
+
+def enable_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Turn process-wide instrumentation on; returns the live registry.
+
+    Components constructed *before* this call pick the new registry up on
+    their next operation (they resolve ``metrics=None`` dynamically).
+    """
+    return set_registry(registry if registry is not None else MetricsRegistry())
+
+
+def disable_metrics() -> None:
+    """Restore the zero-overhead null registry."""
+    global _registry
+    _registry = _NULL_REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return _registry.enabled

@@ -1,0 +1,137 @@
+"""Lightweight span-based tracing with context propagation.
+
+A span times one named stage of the hot path::
+
+    with span("estimate_batch", backend="cached"):
+        with span("column_masses"):
+            ...
+
+Spans nest through a thread-local stack: the inner span's recorded path
+is ``estimate_batch/column_masses``.  When the active registry is the
+disabled null registry, :func:`span` returns a shared inert singleton —
+no allocation, no clock read.
+
+Cross-process propagation (the sharded backend) works by value, not by
+ambient state: :func:`current_span_context` snapshots the active path
+into a picklable :class:`SpanContext`, the host ships it to the worker
+inside the shard payload, the worker times its work and returns a plain
+``(path, seconds)`` record parented on that context, and the host folds
+it into the registry.  Worker processes therefore never need a live
+registry of their own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["Span", "SpanContext", "span", "current_span_context"]
+
+
+_ACTIVE = threading.local()
+
+
+def _stack():
+    stack = getattr(_ACTIVE, "spans", None)
+    if stack is None:
+        stack = _ACTIVE.spans = []
+    return stack
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Picklable snapshot of the active span path.
+
+    Ships across process boundaries in the sharded backend's payload so
+    worker-side timings re-attach under the host's span tree.
+    """
+
+    path: Tuple[str, ...] = ()
+
+    def child(self, name: str) -> Tuple[str, ...]:
+        """The path a child span of ``name`` would record under."""
+        return self.path + (name,)
+
+
+def current_span_context() -> SpanContext:
+    """Snapshot of the calling thread's active span path (may be empty)."""
+    stack = _stack()
+    return SpanContext(path=stack[-1].path if stack else ())
+
+
+class Span:
+    """A live timed span; use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "registry", "labels", "path", "seconds", "_started")
+
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry,
+        labels: Optional[Dict[str, str]],
+    ) -> None:
+        self.name = name
+        self.registry = registry
+        self.labels = labels
+        self.path: Tuple[str, ...] = ()
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        parent: Tuple[str, ...] = stack[-1].path if stack else ()
+        self.path = parent + (self.name,)
+        stack.append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - exit out of order (generator misuse)
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        self.registry.record_span(self.path, self.seconds, self.labels)
+        return False
+
+
+class _NullSpan:
+    """Shared inert span for the disabled path."""
+
+    __slots__ = ()
+    name = ""
+    path: Tuple[str, ...] = ()
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(
+    name: str,
+    registry: Optional[MetricsRegistry] = None,
+    **labels: str,
+):
+    """A context manager timing ``name`` under the active span path.
+
+    ``registry=None`` resolves the process-wide registry at entry; when
+    that registry is disabled the shared no-op span is returned.
+    """
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return _NULL_SPAN
+    return Span(name, registry, labels or None)

@@ -1,0 +1,108 @@
+"""Structured per-query estimation traces.
+
+An :class:`EstimationTrace` is the unit record of the serving loop: one
+query's predicted (and, once feedback arrived, true) selectivity plus
+the model state it was answered from — the drift signal that learned
+cardinality estimators log to detect staleness (cf. Yang et al. 2019).
+
+Traces are append-only and bounded: :class:`TraceLog` keeps the most
+recent ``capacity`` records so a long-lived serving process never grows
+its trace memory without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["EstimationTrace", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class EstimationTrace:
+    """One per-query estimation record.
+
+    ``actual`` and ``loss`` are ``None`` for estimate-only traces (no
+    feedback yet); feedback-loop traces fill them in.  Cache counters are
+    deltas attributable to this trace's evaluation, not running totals;
+    ``shard_seconds`` holds per-shard worker wall seconds (sharded
+    backend only) and ``device_kernel_seconds`` the per-kernel modelled
+    seconds of a device evaluation (device layer only).
+    """
+
+    query_id: int
+    predicted: float
+    backend: str
+    actual: Optional[float] = None
+    loss: Optional[float] = None
+    bandwidth_epoch: int = 0
+    sample_epoch: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    shard_seconds: Optional[Tuple[float, ...]] = None
+    device_kernel_seconds: Optional[Dict[str, float]] = None
+    stage: str = "estimate"
+
+    @property
+    def absolute_error(self) -> Optional[float]:
+        if self.actual is None:
+            return None
+        return abs(self.predicted - self.actual)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (drops ``None`` optionals for compactness)."""
+        record: Dict[str, object] = {
+            "query_id": self.query_id,
+            "stage": self.stage,
+            "predicted": self.predicted,
+            "backend": self.backend,
+            "bandwidth_epoch": self.bandwidth_epoch,
+            "sample_epoch": self.sample_epoch,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+        if self.actual is not None:
+            record["actual"] = self.actual
+            record["absolute_error"] = self.absolute_error
+        if self.loss is not None:
+            record["loss"] = self.loss
+        if self.shard_seconds is not None:
+            record["shard_seconds"] = list(self.shard_seconds)
+        if self.device_kernel_seconds is not None:
+            record["device_kernel_seconds"] = dict(self.device_kernel_seconds)
+        return record
+
+
+@dataclass
+class TraceLog:
+    """Bounded append-only log of the most recent estimation traces."""
+
+    capacity: int = 4096
+    _records: deque = field(init=False, repr=False)
+    #: Total traces ever appended (including ones evicted by the bound).
+    total: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("trace capacity must be at least 1")
+        self._records = deque(maxlen=self.capacity)
+
+    def append(self, trace: EstimationTrace) -> None:
+        self._records.append(trace)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EstimationTrace]:
+        return iter(self._records)
+
+    def __getitem__(self, index) -> EstimationTrace:
+        return list(self._records)[index]
+
+    def last(self) -> Optional[EstimationTrace]:
+        return self._records[-1] if self._records else None
+
+    def clear(self) -> None:
+        self._records.clear()

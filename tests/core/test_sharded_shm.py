@@ -1,0 +1,66 @@
+"""Shared-memory lifecycle regressions for the sharded executor."""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.backends import sharded
+from repro.core.backends.sharded import (
+    START_METHOD_ENV,
+    ShardedSampleExecutor,
+)
+
+
+def test_ensure_unlinks_segment_when_pool_startup_fails(monkeypatch):
+    """A bad start method must not leak the freshly created segment.
+
+    The segment is created before the pool; if the pool constructor (or
+    the start-method lookup) raises, ``ensure`` has to close *and unlink*
+    the segment — otherwise it survives in /dev/shm until reboot.
+    """
+    created = []
+    real_cls = shared_memory.SharedMemory
+
+    class RecordingSharedMemory(real_cls):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(self.name)
+
+    monkeypatch.setattr(
+        sharded.shared_memory, "SharedMemory", RecordingSharedMemory
+    )
+    monkeypatch.setenv(START_METHOD_ENV, "definitely-not-a-start-method")
+
+    executor = ShardedSampleExecutor(shards=2)
+    sample = np.zeros((64, 3), dtype=np.float64)
+    with pytest.raises(ValueError, match=START_METHOD_ENV):
+        executor.ensure(sample)
+
+    assert len(created) == 1, "exactly one segment should have been created"
+    # The failed ensure() left no state behind ...
+    assert executor._shm is None
+    assert executor._view is None
+    assert executor._pool is None
+    # ... and the segment itself is gone from the system.
+    with pytest.raises(FileNotFoundError):
+        real_cls(name=created[0])
+
+
+def test_ensure_recovers_after_failed_startup(monkeypatch):
+    """The executor stays usable once the bad configuration is fixed."""
+    monkeypatch.setenv(START_METHOD_ENV, "definitely-not-a-start-method")
+    executor = ShardedSampleExecutor(shards=2, max_workers=1)
+    sample = np.arange(12, dtype=np.float64).reshape(4, 3)
+    with pytest.raises(ValueError):
+        executor.ensure(sample)
+    monkeypatch.delenv(START_METHOD_ENV)
+    try:
+        executor.ensure(sample)
+        assert executor._view is not None
+        np.testing.assert_array_equal(executor._view, sample)
+    finally:
+        executor.close()

@@ -1,0 +1,67 @@
+"""JSON and Prometheus exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import dump_json, to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EstimationTrace
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("backend.queries", {"backend": "numpy"}).inc(7)
+    registry.gauge("cache.entries", {"backend": "cached"}).set(12)
+    histogram = registry.histogram("latency", buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.05, 5.0):
+        histogram.observe(value)
+    registry.record_span(("estimate_batch",), 0.5, {"backend": "numpy"})
+    registry.record_trace(
+        EstimationTrace(query_id=1, predicted=0.1, backend="numpy")
+    )
+    return registry
+
+
+def test_to_json_round_trips_the_snapshot():
+    registry = _populated_registry()
+    snapshot = json.loads(to_json(registry))
+    assert snapshot["counters"]["backend.queries{backend=numpy}"] == 7.0
+    assert snapshot["gauges"]["cache.entries{backend=cached}"] == 12.0
+    assert snapshot["histograms"]["latency"]["count"] == 3
+    assert snapshot["spans"]["estimate_batch{backend=numpy}"]["seconds"] == 0.5
+    assert len(snapshot["traces"]) == 1
+    assert snapshot["traces"][0]["backend"] == "numpy"
+
+
+def test_dump_json_writes_the_file(tmp_path):
+    registry = _populated_registry()
+    path = tmp_path / "metrics.json"
+    assert dump_json(registry, str(path)) == str(path)
+    snapshot = json.loads(path.read_text())
+    assert snapshot["counters"]["backend.queries{backend=numpy}"] == 7.0
+
+
+def test_prometheus_text_format():
+    text = to_prometheus(_populated_registry())
+    lines = text.splitlines()
+    assert "# TYPE backend_queries counter" in lines
+    assert 'backend_queries{backend="numpy"} 7' in lines
+    assert 'cache_entries{backend="cached"} 12' in lines
+    # Histogram buckets are cumulative and end with +Inf.
+    assert 'latency_bucket{le="0.001"} 1' in lines
+    assert 'latency_bucket{le="0.01"} 1' in lines
+    assert 'latency_bucket{le="0.1"} 2' in lines
+    assert 'latency_bucket{le="+Inf"} 3' in lines
+    assert "latency_count 3" in lines
+    # Spans export as counter pairs labelled by path.
+    assert (
+        'span_seconds_total{path="estimate_batch{backend=numpy}"} 0.5'
+        in lines
+    )
+    assert 'span_count{path="estimate_batch{backend=numpy}"} 1' in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_empty_registry_is_empty_string():
+    assert to_prometheus(MetricsRegistry()) == ""

@@ -1,0 +1,249 @@
+"""End-to-end instrumentation: estimator, backends, device, feedback.
+
+The contract under test: with a live registry every entry point emits
+spans, counters and one :class:`EstimationTrace` per query; with the
+process default (disabled) registry, nothing is recorded anywhere.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.model import SelfTuningKDE
+from repro.db.feedback import FeedbackLoop
+from repro.db.table import Table
+from repro.device.kde_device import DeviceKDE
+from repro.device.runtime import DeviceContext
+from repro.geometry import Box, QueryBatch
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+)
+
+BACKENDS = ("numpy", "sharded", "cached")
+
+
+@pytest.fixture
+def batch(rng) -> QueryBatch:
+    centers = rng.normal(size=(6, 3))
+    widths = rng.uniform(0.2, 1.0, size=(6, 3))
+    return QueryBatch(low=centers - widths, high=centers + widths)
+
+
+def _run_backend(sample, batch, backend, registry):
+    estimator = KernelDensityEstimator(
+        sample,
+        scott_bandwidth(sample),
+        backend=backend,
+        metrics=registry,
+    )
+    with warnings.catch_warnings():
+        # The sharded backend may fall back inline in sandboxes; the
+        # instrumentation contract is identical either way.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        estimates = estimator.selectivity_batch(batch)
+    estimator.backend.close()
+    return estimates
+
+
+class TestTraceEquivalenceAcrossBackends:
+    def test_every_backend_emits_one_trace_per_query(
+        self, small_sample, batch
+    ):
+        traces = {}
+        estimates = {}
+        for backend in BACKENDS:
+            registry = MetricsRegistry()
+            estimates[backend] = _run_backend(
+                small_sample, batch, backend, registry
+            )
+            traces[backend] = list(registry.traces)
+
+        for backend in BACKENDS:
+            records = traces[backend]
+            assert len(records) == len(batch)
+            for trace in records:
+                assert trace.stage == "estimate"
+                assert trace.backend == backend
+                assert trace.bandwidth_epoch == 1  # set once at build
+                assert trace.sample_epoch == 0
+            # Trace ids are the registry's monotone query sequence.
+            assert [t.query_id for t in records] == list(
+                range(1, len(batch) + 1)
+            )
+
+        # The predicted selectivities in the traces agree across
+        # backends exactly as the estimates themselves do.
+        for backend in ("sharded", "cached"):
+            np.testing.assert_allclose(
+                [t.predicted for t in traces[backend]],
+                [t.predicted for t in traces["numpy"]],
+                atol=1e-12,
+            )
+        for backend in BACKENDS:
+            np.testing.assert_array_equal(
+                [t.predicted for t in traces[backend]], estimates[backend]
+            )
+
+    def test_backend_counters_and_spans(self, small_sample, batch):
+        for backend in BACKENDS:
+            registry = MetricsRegistry()
+            _run_backend(small_sample, batch, backend, registry)
+            assert registry.counter_value(
+                "estimator.queries", {"backend": backend}
+            ) == len(batch)
+            assert registry.counter_value(
+                "backend.queries", {"backend": backend}
+            ) == len(batch)
+            summary = registry.span_summary()
+            assert (
+                summary[f"estimate_batch{{backend={backend}}}"]["count"] == 1
+            )
+
+    def test_sharded_traces_carry_shard_seconds(self, small_sample, batch):
+        registry = MetricsRegistry()
+        _run_backend(small_sample, batch, "sharded", registry)
+        records = list(registry.traces)
+        assert records, "sharded run must emit traces"
+        for trace in records:
+            assert trace.shard_seconds is not None
+            assert len(trace.shard_seconds) >= 1
+            assert all(s >= 0.0 for s in trace.shard_seconds)
+        # Each shard's timing also lands as a child span of the batch.
+        shard_spans = [
+            key
+            for key in registry.span_summary()
+            if "/shard[" in key and key.startswith("estimate_batch")
+        ]
+        assert len(shard_spans) == len(records[0].shard_seconds)
+
+    def test_cached_traces_report_hit_miss_deltas(self, small_sample, batch):
+        registry = MetricsRegistry()
+        estimator = KernelDensityEstimator(
+            small_sample,
+            scott_bandwidth(small_sample),
+            backend="cached",
+            metrics=registry,
+        )
+        estimator.selectivity_batch(batch)
+        cold = list(registry.traces)
+        estimator.selectivity_batch(batch)
+        warm = list(registry.traces)[len(cold):]
+        assert all(t.cache_misses > 0 for t in cold)
+        assert all(t.cache_hits == 0 for t in cold)
+        assert all(t.cache_hits > 0 for t in warm)
+        assert all(t.cache_misses == 0 for t in warm)
+        assert registry.sum_counters("cache.hits") > 0
+        assert registry.counter_value(
+            "cache.misses", {"backend": "cached"}
+        ) > 0
+
+
+class TestDisabledIsSilent:
+    def test_nothing_recorded_without_enable(self, small_sample, batch):
+        assert isinstance(get_registry(), NullRegistry)
+        for backend in BACKENDS:
+            estimates = _run_backend(small_sample, batch, backend, None)
+            assert estimates.shape == (len(batch),)
+        ambient = get_registry()
+        assert list(ambient.iter_counters()) == []
+        assert list(ambient.iter_histograms()) == []
+        assert ambient.span_summary() == {}
+        assert len(ambient.traces) == 0
+
+    def test_enable_metrics_instruments_existing_models(
+        self, small_sample, batch
+    ):
+        estimator = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample)
+        )
+        assert estimator.obs is get_registry()
+        try:
+            live = enable_metrics()
+            estimator.selectivity_batch(batch)
+            assert len(live.traces) == len(batch)
+        finally:
+            disable_metrics()
+        # And stops again once disabled.
+        estimator.selectivity_batch(batch)
+        assert len(live.traces) == len(batch)
+
+
+class TestDeviceTraces:
+    def test_device_estimate_traces_carry_kernel_seconds(self, small_sample):
+        registry = MetricsRegistry()
+        context = DeviceContext.for_device("gpu", metrics=registry)
+        kde = DeviceKDE(small_sample, context, metrics=registry)
+        query = Box([-0.5] * 3, [0.5] * 3)
+        kde.estimate(query)
+        records = [
+            t for t in registry.traces if t.backend.startswith("device-")
+        ]
+        assert len(records) == 1
+        trace = records[0]
+        assert trace.device_kernel_seconds
+        assert all(
+            seconds >= 0.0
+            for seconds in trace.device_kernel_seconds.values()
+        )
+        assert registry.counter_value(
+            "device.queries", {"device": context.spec.name}
+        ) == 1
+        # The modelled kernel time also lands in the shared histograms.
+        kernel_histograms = [
+            h
+            for h in registry.iter_histograms()
+            if h.name == "device.kernel.seconds"
+        ]
+        assert kernel_histograms
+
+    def test_device_profile_unaffected_by_shared_registry(self, small_sample):
+        """profile() reads the context's own registry, not the shared one."""
+        shared = MetricsRegistry()
+        context = DeviceContext.for_device("gpu", metrics=shared)
+        kde = DeviceKDE(small_sample, context, metrics=shared)
+        kde.estimate(Box([-0.5] * 3, [0.5] * 3))
+        profile = context.profile()
+        assert profile["kernel_seconds"] > 0.0
+        assert set(profile["kernels"]) == {
+            record.kernel for record in context.launches
+        }
+
+
+class TestFeedbackTraces:
+    def test_feedback_loop_emits_completed_traces(self, rng):
+        data = rng.normal(size=(2_000, 3))
+        table = Table(3, initial_rows=data)
+        sample = table.analyze(64, rng)
+        registry = MetricsRegistry()
+        model = SelfTuningKDE(
+            sample,
+            row_source=table,
+            population_size=len(table),
+            seed=7,
+            metrics=registry,
+        )
+        loop = FeedbackLoop(table, model, metrics=registry).attach()
+        boxes = []
+        for _ in range(4):
+            center = data[rng.integers(len(data))]
+            boxes.append(Box(center - 0.5, center + 0.5))
+        observations = loop.run_workload(boxes)
+        loop.detach()
+
+        completed = [t for t in registry.traces if t.stage == "feedback"]
+        assert len(completed) == len(boxes)
+        for trace, observation in zip(completed, observations):
+            assert trace.actual == pytest.approx(observation.actual)
+            assert trace.loss is not None
+            assert trace.absolute_error is not None
+        assert registry.counter_value("feedback.cycles") == len(boxes)
+        assert "feedback_cycle" in registry.span_summary()

@@ -1,0 +1,174 @@
+"""Unit tests for the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("queries")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4.0
+
+    def test_rejects_negative_increment(self, registry):
+        with pytest.raises(ValueError, match="counters only go up"):
+            registry.counter("queries").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self, registry):
+        a = registry.counter("hits", {"backend": "cached"})
+        b = registry.counter("hits", {"backend": "cached"})
+        assert a is b
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("x", {"a": "1", "b": "2"})
+        b = registry.counter("x", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_distinct_labels_are_distinct_instruments(self, registry):
+        a = registry.counter("hits", {"backend": "cached"})
+        b = registry.counter("hits", {"backend": "numpy"})
+        assert a is not b
+
+    def test_counter_value_and_sum(self, registry):
+        registry.counter("hits", {"backend": "a"}).inc(2)
+        registry.counter("hits", {"backend": "b"}).inc(3)
+        assert registry.counter_value("hits", {"backend": "a"}) == 2.0
+        assert registry.counter_value("hits", {"backend": "zzz"}) == 0.0
+        assert registry.sum_counters("hits") == 5.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("entries")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_default_buckets_are_geometric(self):
+        assert len(DEFAULT_BUCKETS) == 15
+        ratios = [
+            b2 / b1 for b1, b2 in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        ]
+        assert all(abs(r - 4.0) < 1e-9 for r in ratios)
+
+    def test_observations_land_in_correct_buckets(self, registry):
+        histogram = registry.histogram("t", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+        assert histogram.mean == pytest.approx(555.5 / 4)
+
+    def test_boundary_value_counts_as_le(self, registry):
+        histogram = registry.histogram("t", buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_empty_histogram_mean_is_zero(self, registry):
+        assert registry.histogram("t").mean == 0.0
+
+
+class TestTimer:
+    def test_timer_observes_elapsed_seconds(self, registry):
+        with registry.timer("op"):
+            pass
+        histogram = registry.histogram("op")
+        assert histogram.count == 1
+        assert 0.0 <= histogram.sum < 1.0
+
+
+class TestSpansAndTraces:
+    def test_record_span_aggregates_by_path_and_labels(self, registry):
+        registry.record_span(("a", "b"), 0.5, {"backend": "numpy"})
+        registry.record_span(("a", "b"), 0.25, {"backend": "numpy"})
+        registry.record_span(("a",), 1.0)
+        summary = registry.span_summary()
+        entry = summary["a/b{backend=numpy}"]
+        assert entry["count"] == 2
+        assert entry["seconds"] == pytest.approx(0.75)
+        assert summary["a"]["count"] == 1
+
+    def test_query_ids_are_monotone(self, registry):
+        assert [registry.next_query_id() for _ in range(3)] == [1, 2, 3]
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", {"k": "v"}).inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(0.5)
+        registry.record_span(("top",), 0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c{k=v}": 1.0}
+        assert snapshot["gauges"] == {"g": 2.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["spans"]["top"]["count"] == 1
+        assert snapshot["traces"] == []
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        null = NullRegistry()
+        assert not null.enabled
+        # All accessors return the same shared no-op singleton.
+        assert null.counter("a") is null.gauge("b")
+        assert null.histogram("c") is null.timer("d")
+        null.counter("a").inc(5)
+        null.histogram("c").observe(1.0)
+        null.record_span(("x",), 1.0)
+        assert null.counter_value("a") == 0.0
+        assert list(null.iter_counters()) == []
+        assert null.span_summary() == {}
+        assert len(null.traces) == 0
+
+
+class TestProcessRegistry:
+    def test_enable_disable_roundtrip(self):
+        assert not metrics_enabled()
+        try:
+            live = enable_metrics()
+            assert metrics_enabled()
+            assert get_registry() is live
+        finally:
+            disable_metrics()
+        assert not metrics_enabled()
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_enable_with_explicit_registry(self):
+        mine = MetricsRegistry()
+        try:
+            assert enable_metrics(mine) is mine
+            assert get_registry() is mine
+        finally:
+            disable_metrics()
+
+    def test_set_registry_rejects_non_registry(self):
+        with pytest.raises(TypeError, match="MetricsRegistry"):
+            set_registry(object())

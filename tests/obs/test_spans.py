@@ -1,0 +1,89 @@
+"""Span nesting, context propagation, and the disabled fast path."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.spans import (
+    SpanContext,
+    current_span_context,
+    span,
+)
+
+
+def test_nested_spans_record_slash_joined_paths():
+    registry = MetricsRegistry()
+    with span("outer", registry):
+        with span("inner", registry):
+            pass
+        with span("inner", registry):
+            pass
+    summary = registry.span_summary()
+    assert summary["outer"]["count"] == 1
+    assert summary["outer/inner"]["count"] == 2
+
+
+def test_span_labels_separate_aggregates():
+    registry = MetricsRegistry()
+    with span("estimate", registry, backend="numpy"):
+        pass
+    with span("estimate", registry, backend="cached"):
+        pass
+    summary = registry.span_summary()
+    assert summary["estimate{backend=cached}"]["count"] == 1
+    assert summary["estimate{backend=numpy}"]["count"] == 1
+
+
+def test_disabled_registry_returns_shared_null_span():
+    null = NullRegistry()
+    a = span("anything", null)
+    b = span("else", null)
+    assert a is b  # the shared singleton: no allocation on the hot path
+    with a:
+        pass  # and it is inert
+    assert null.span_summary() == {}
+
+
+def test_current_span_context_snapshots_active_path():
+    registry = MetricsRegistry()
+    assert current_span_context() == SpanContext(path=())
+    with span("outer", registry):
+        with span("inner", registry):
+            context = current_span_context()
+    assert context.path == ("outer", "inner")
+    # Back outside every span the ambient path is empty again.
+    assert current_span_context().path == ()
+
+
+def test_span_context_child_paths():
+    context = SpanContext(path=("estimate_batch",))
+    assert context.child("shard[0]") == ("estimate_batch", "shard[0]")
+    assert SpanContext().child("x") == ("x",)
+
+
+def test_worker_style_record_reattaches_under_host_path():
+    """The sharded-backend protocol: ship the context, fold by value."""
+    registry = MetricsRegistry()
+    with span("estimate_batch", registry):
+        context = current_span_context()
+    # "Worker side": no registry, just the picklable context.
+    path = context.child("shard[3]")
+    # "Host side": fold the returned (path, seconds) record.
+    registry.record_span(path, 0.125, {"backend": "sharded"})
+    summary = registry.span_summary()
+    entry = summary["estimate_batch/shard[3]{backend=sharded}"]
+    assert entry["count"] == 1
+    assert entry["seconds"] == 0.125
+
+
+def test_span_exception_still_recorded():
+    registry = MetricsRegistry()
+    try:
+        with span("failing", registry):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert registry.span_summary()["failing"]["count"] == 1
+    # The stack unwound: the next span is top-level again.
+    with span("after", registry):
+        pass
+    assert "after" in registry.span_summary()

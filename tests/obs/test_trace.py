@@ -1,0 +1,62 @@
+"""Estimation-trace records and the bounded trace log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import EstimationTrace, TraceLog
+
+
+def test_minimal_trace_as_dict_drops_optionals():
+    trace = EstimationTrace(query_id=1, predicted=0.25, backend="numpy")
+    record = trace.as_dict()
+    assert record == {
+        "query_id": 1,
+        "stage": "estimate",
+        "predicted": 0.25,
+        "backend": "numpy",
+        "bandwidth_epoch": 0,
+        "sample_epoch": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+    }
+    assert trace.absolute_error is None
+
+
+def test_completed_trace_includes_error_and_loss():
+    trace = EstimationTrace(
+        query_id=2,
+        predicted=0.25,
+        backend="sharded",
+        actual=0.3,
+        loss=0.0025,
+        shard_seconds=(0.01, 0.02),
+        device_kernel_seconds={"estimate": 1e-4},
+        stage="feedback",
+    )
+    record = trace.as_dict()
+    assert record["stage"] == "feedback"
+    assert record["actual"] == 0.3
+    assert record["absolute_error"] == pytest.approx(0.05)
+    assert record["loss"] == 0.0025
+    assert record["shard_seconds"] == [0.01, 0.02]
+    assert record["device_kernel_seconds"] == {"estimate": 1e-4}
+
+
+def test_trace_log_is_bounded_but_counts_everything():
+    log = TraceLog(capacity=3)
+    for i in range(5):
+        log.append(EstimationTrace(query_id=i, predicted=0.0, backend="x"))
+    assert len(log) == 3
+    assert log.total == 5
+    assert [t.query_id for t in log] == [2, 3, 4]
+    assert log.last().query_id == 4
+    assert log[0].query_id == 2
+    log.clear()
+    assert len(log) == 0
+    assert log.total == 5  # the lifetime count survives a clear
+
+
+def test_trace_log_rejects_zero_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        TraceLog(capacity=0)

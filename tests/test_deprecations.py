@@ -1,0 +1,111 @@
+"""The 1.x deprecation shims: one warning each, identical behaviour."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.device.kde_device import DeviceKDE
+from repro.device.partition import MultiDeviceKDE
+from repro.device.runtime import DeviceContext
+from repro.geometry import Box
+
+
+def _single_deprecation(record) -> warnings.WarningMessage:
+    """The recorded list must hold exactly one DeprecationWarning."""
+    assert len(record) == 1
+    assert issubclass(record[0].category, DeprecationWarning)
+    return record[0]
+
+
+class TestReplacePointsAlias:
+    def test_warns_exactly_once_and_delegates(self, small_sample):
+        estimator = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample)
+        )
+        indices = np.array([0, 1])
+        rows = np.full((2, 3), 0.25)
+        with pytest.warns(DeprecationWarning, match="replace_rows") as record:
+            estimator.replace_points(indices, rows)
+        _single_deprecation(record)
+        np.testing.assert_array_equal(estimator.sample[indices], rows)
+
+    def test_alias_behaves_like_replace_rows(self, small_sample):
+        via_new = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample)
+        )
+        via_old = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample)
+        )
+        indices = np.array([3, 7, 11])
+        rows = np.linspace(-1.0, 1.0, 9).reshape(3, 3)
+        via_new.replace_rows(indices, rows)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_old.replace_points(indices, rows)
+        np.testing.assert_array_equal(via_new.sample, via_old.sample)
+        assert via_new.sample_epoch == via_old.sample_epoch == 1
+        # Validation errors pass through the shim unchanged.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(IndexError):
+                via_old.replace_points(np.array([10**6]), rows[:1])
+
+    def test_replace_rows_itself_does_not_warn(self, small_sample):
+        estimator = KernelDensityEstimator(
+            small_sample, scott_bandwidth(small_sample)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            estimator.replace_rows(np.array([0]), np.zeros((1, 3)))
+
+
+class TestDeviceSetBandwidthAlias:
+    def test_warns_exactly_once_and_delegates(self, small_sample):
+        context = DeviceContext.for_device("gpu")
+        kde = DeviceKDE(small_sample, context, adaptive=False)
+        updated = kde.bandwidth * 2.0
+        with pytest.warns(DeprecationWarning, match="bandwidth") as record:
+            kde.set_bandwidth(updated)
+        _single_deprecation(record)
+        np.testing.assert_allclose(kde.bandwidth, updated)
+
+    def test_property_setter_matches_old_method(self, small_sample):
+        context_a = DeviceContext.for_device("gpu")
+        context_b = DeviceContext.for_device("gpu")
+        via_new = DeviceKDE(small_sample, context_a, adaptive=False)
+        via_old = DeviceKDE(small_sample, context_b, adaptive=False)
+        updated = via_new.bandwidth * 0.5
+        via_new.bandwidth = updated
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_old.set_bandwidth(updated)
+        query = Box([-0.5] * 3, [0.5] * 3)
+        assert via_new.estimate(query) == via_old.estimate(query)
+
+    def test_setter_validates(self, small_sample):
+        kde = DeviceKDE(
+            small_sample, DeviceContext.for_device("gpu"), adaptive=False
+        )
+        with pytest.raises(ValueError, match="positive"):
+            kde.bandwidth = np.zeros(3)
+
+
+class TestMultiDeviceSetBandwidthAlias:
+    def test_warns_exactly_once_and_broadcasts(self, small_sample):
+        contexts = [
+            DeviceContext.for_device("gpu"),
+            DeviceContext.for_device("cpu"),
+        ]
+        kde = MultiDeviceKDE(small_sample, contexts)
+        updated = kde.bandwidth * 3.0
+        with pytest.warns(DeprecationWarning, match="bandwidth") as record:
+            kde.set_bandwidth(updated)
+        _single_deprecation(record)
+        np.testing.assert_allclose(kde.bandwidth, updated)
+        for model in kde._models:
+            np.testing.assert_allclose(model.bandwidth, updated)

@@ -1,0 +1,65 @@
+"""The create_estimator factory facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import ESTIMATOR_KINDS, MetricsRegistry, create_estimator
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.model import SelfTuningKDE
+from repro.device.kde_device import DeviceKDE
+from repro.device.runtime import DeviceContext
+from repro.geometry import Box
+
+
+def test_kinds_tuple_is_public():
+    assert set(ESTIMATOR_KINDS) == {"kde", "self_tuning", "device"}
+    assert repro.create_estimator is create_estimator
+
+
+def test_default_kind_is_plain_kde(small_sample):
+    estimator = create_estimator(small_sample)
+    assert isinstance(estimator, KernelDensityEstimator)
+    # Scott's rule is applied when no bandwidth is given.
+    assert np.all(estimator.bandwidth > 0)
+    value = estimator.estimate(Box([-0.5] * 3, [0.5] * 3))
+    assert 0.0 <= value <= 1.0
+
+
+def test_kde_kind_forwards_backend_and_metrics(small_sample):
+    registry = MetricsRegistry()
+    estimator = create_estimator(
+        small_sample, kind="kde", backend="cached", metrics=registry
+    )
+    assert estimator.backend.name == "cached"
+    assert estimator.obs is registry
+    estimator.estimate(Box([-0.5] * 3, [0.5] * 3))
+    assert len(registry.traces) == 1
+
+
+def test_self_tuning_kind(small_sample):
+    model = create_estimator(small_sample, kind="self_tuning", seed=3)
+    assert isinstance(model, SelfTuningKDE)
+    query = Box([-0.5] * 3, [0.5] * 3)
+    model.feedback(query, model.estimate(query))
+
+
+def test_device_kind_builds_context(small_sample):
+    kde = create_estimator(small_sample, kind="device", device="cpu")
+    assert isinstance(kde, DeviceKDE)
+    assert "cpu" in kde.context.spec.name.lower() or "xeon" in (
+        kde.context.spec.name.lower()
+    )
+
+
+def test_device_kind_accepts_existing_context(small_sample):
+    context = DeviceContext.for_device("gpu")
+    kde = create_estimator(small_sample, kind="device", context=context)
+    assert kde.context is context
+
+
+def test_unknown_kind_lists_choices(small_sample):
+    with pytest.raises(ValueError, match="self_tuning"):
+        create_estimator(small_sample, kind="histogram")

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Lint the public API surface of every ``repro`` module.
+
+Checks ``__all__`` in both directions for each module under ``repro``:
+
+* **completeness** — every public top-level symbol *defined in the
+  module* (public name, not underscore-prefixed, whose ``__module__``
+  is the module itself, plus re-exports the module's docstring claims)
+  must be listed in ``__all__`` when the module declares one;
+* **soundness** — every name in ``__all__`` must actually exist in the
+  module, with no duplicates.
+
+Modules without ``__all__`` are only checked for *having* one if they
+are packages' ``__init__`` files (the curated entry points); leaf
+modules may rely on underscore conventions.
+
+Exit status is non-zero when any violation is found, so CI can gate on
+it: ``PYTHONPATH=src python tools/check_public_api.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from types import ModuleType
+from typing import List
+
+ROOT_PACKAGE = "repro"
+
+#: Defined-elsewhere symbols a module may intentionally re-export
+#: without listing (typing helpers and the like never count as public).
+_IGNORED_TYPES = (ModuleType,)
+
+
+def iter_modules() -> List[str]:
+    package = importlib.import_module(ROOT_PACKAGE)
+    names = [ROOT_PACKAGE]
+    for info in pkgutil.walk_packages(package.__path__, f"{ROOT_PACKAGE}."):
+        names.append(info.name)
+    return names
+
+
+def locally_defined_public(module: ModuleType) -> List[str]:
+    """Public top-level names the module itself defines."""
+    names = []
+    for name, value in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(value, _IGNORED_TYPES):
+            continue
+        defined_in = getattr(value, "__module__", None)
+        if defined_in != module.__name__:
+            continue
+        if not (
+            inspect.isclass(value)
+            or inspect.isfunction(value)
+        ):
+            continue
+        names.append(name)
+    return names
+
+
+def check_module(name: str) -> List[str]:
+    module = importlib.import_module(name)
+    problems: List[str] = []
+    declared = getattr(module, "__all__", None)
+
+    is_package = hasattr(module, "__path__")
+    if declared is None:
+        if is_package:
+            problems.append(f"{name}: package has no __all__")
+        return problems
+
+    if len(set(declared)) != len(declared):
+        duplicates = sorted(
+            entry for entry in set(declared) if declared.count(entry) > 1
+        )
+        problems.append(f"{name}: duplicate __all__ entries {duplicates}")
+
+    for entry in declared:
+        if not hasattr(module, entry):
+            problems.append(
+                f"{name}: __all__ lists {entry!r} which does not exist"
+            )
+
+    missing = [
+        public
+        for public in locally_defined_public(module)
+        if public not in declared
+    ]
+    if missing:
+        problems.append(
+            f"{name}: public symbols missing from __all__: {sorted(missing)}"
+        )
+    return problems
+
+
+def main() -> int:
+    problems: List[str] = []
+    for name in iter_modules():
+        try:
+            problems.extend(check_module(name))
+        except Exception as error:  # import failure is itself a finding
+            problems.append(f"{name}: import failed: {error!r}")
+    if problems:
+        print("public API lint FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"public API lint OK ({len(iter_modules())} modules checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
