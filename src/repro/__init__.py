@@ -21,6 +21,10 @@ Subpackages
     analytic cost model) standing in for the paper's GPU.
 ``repro.datasets`` / ``repro.workloads``
     Evaluation datasets and the DT/DV/UT/UV workload generators.
+``repro.serve``
+    Snapshot-isolated serving: read-copy-update publication of immutable
+    model states, a ``(table, columns)`` model registry, and crash-safe
+    periodic checkpoints with warm start.
 ``repro.bench``
     The experiment harness regenerating every table and figure of the
     paper's evaluation (Section 6).
@@ -37,12 +41,15 @@ Most workflows start with :func:`create_estimator`::
 
 from .geometry import Box, QueryBatch, RangeQuery
 from .core import (
+    CheckpointError,
     KernelDensityEstimator,
+    ModelState,
     SelfTuningKDE,
     optimize_bandwidth,
     scott_bandwidth,
 )
 from .factory import ESTIMATOR_KINDS, create_estimator
+from .serve import CheckpointManager, ModelRegistry, SnapshotServer
 from .obs import (
     MetricsRegistry,
     disable_metrics,
@@ -55,12 +62,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Box",
+    "CheckpointError",
+    "CheckpointManager",
     "ESTIMATOR_KINDS",
     "KernelDensityEstimator",
     "MetricsRegistry",
+    "ModelRegistry",
+    "ModelState",
     "QueryBatch",
     "RangeQuery",
     "SelfTuningKDE",
+    "SnapshotServer",
     "__version__",
     "create_estimator",
     "disable_metrics",

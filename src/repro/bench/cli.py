@@ -12,11 +12,17 @@ Usage::
     python -m repro.bench batch
     python -m repro.bench backends [--scale ...] [--shards N [N ...]]
     python -m repro.bench metrics
+    python -m repro.bench serving [--scale ...] [--checkpoint PATH]
     python -m repro.bench all    [--scale ...]
 
 Any invocation accepts ``--metrics-json PATH``: the process-wide
 metrics registry is enabled for the run and its full snapshot
 (counters, histograms, spans, estimation traces) is dumped as JSON.
+
+Any invocation accepts ``--checkpoint PATH``: experiments that build a
+primary self-tuning model (currently ``serving``) warm-start it from the
+checkpoint when the file exists and save the final tuned state back to
+it, so repeated runs resume where the last one stopped.
 
 Scales trade fidelity for runtime: ``smoke`` finishes in well under a
 minute per experiment (CI-sized), ``small`` (the default) reproduces the
@@ -43,6 +49,7 @@ from .experiments import (
     run_observability,
     run_runtime_scaling,
     run_selector_shootout,
+    run_serving,
     run_static_quality,
 )
 from .metrics import win_matrix
@@ -51,6 +58,7 @@ from .reporting import (
     render_model_size,
     render_observability,
     render_runtime,
+    render_serving,
     render_static_quality,
     render_win_matrix,
 )
@@ -111,6 +119,7 @@ EXPERIMENTS = (
     "batch",
     "backends",
     "metrics",
+    "serving",
     "all",
 )
 
@@ -121,6 +130,13 @@ BACKEND_SCALE = {
     "paper": dict(
         sample_sizes=(16384, 65536, 262144), batch_size=256, repeats=3
     ),
+}
+
+#: Per-scale parameters for the ``serving`` experiment.
+SERVING_SCALE = {
+    "smoke": dict(sample_size=512, rows=10_000, feedbacks=64, readers=2),
+    "small": dict(sample_size=1024, rows=20_000, feedbacks=200, readers=4),
+    "paper": dict(sample_size=4096, rows=100_000, feedbacks=1000, readers=8),
 }
 
 
@@ -139,7 +155,11 @@ def _static(scale: Dict, dimensions: int, progress: bool):
 
 
 def run_experiment(
-    name: str, scale_name: str, progress: bool = True, shards=None
+    name: str,
+    scale_name: str,
+    progress: bool = True,
+    shards=None,
+    checkpoint=None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     scale = SCALES[scale_name]
@@ -294,6 +314,15 @@ def run_experiment(
             "Observability - metrics/span/trace summary of one "
             "instrumented serving loop"
         )
+    elif name == "serving":
+        result = run_serving(
+            checkpoint=checkpoint, **SERVING_SCALE[scale_name]
+        )
+        report = render_serving(result)
+        title = (
+            "Serving - concurrent reader throughput and snapshot "
+            "staleness under feedback"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -323,11 +352,17 @@ def main(argv=None) -> int:
         help="enable the metrics registry and dump its snapshot "
         "(counters, spans, estimation traces) to PATH as JSON",
     )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="warm-start the experiment's primary model from this "
+        "ModelState checkpoint when the file exists, and save the "
+        "final state back to it",
+    )
     args = parser.parse_args(argv)
 
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
-         "batch", "backends", "metrics"]
+         "batch", "backends", "metrics", "serving"]
         if args.experiment == "all"
         else [args.experiment]
     )
@@ -338,7 +373,7 @@ def main(argv=None) -> int:
             print(
                 run_experiment(
                     name, args.scale, progress=not args.quiet,
-                    shards=args.shards,
+                    shards=args.shards, checkpoint=args.checkpoint,
                 )
             )
             print()

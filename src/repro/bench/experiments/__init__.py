@@ -23,6 +23,7 @@ from .runtime import (
     run_batch_scaling,
     run_runtime_scaling,
 )
+from .serving import ServingResult, run_serving
 from .static_quality import StaticQualityResult, run_static_quality
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "PAPER_SIZES",
     "RuntimeResult",
     "SelectorShootout",
+    "ServingResult",
     "StaticQualityResult",
     "run_adaptive_parameter_ablation",
     "run_backend_scaling",
@@ -50,5 +52,6 @@ __all__ = [
     "run_observability",
     "run_runtime_scaling",
     "run_selector_shootout",
+    "run_serving",
     "run_static_quality",
 ]

@@ -1,0 +1,157 @@
+"""Serving experiment: concurrent readers against a tuning writer.
+
+Measures what the snapshot-isolated serving layer (:mod:`repro.serve`)
+buys: reader threads hammer :meth:`SnapshotServer.estimate` — lock-free
+reads of the published :class:`~repro.core.state.ModelState` — while the
+writer thread drives the estimate → execute → feedback cycle that
+mutates bandwidths (Section 5.2) and, through publication, makes each
+completed epoch visible.  Reported numbers:
+
+* **reader throughput** — estimates served per second across all reader
+  threads while the writer tunes;
+* **snapshot staleness** — feedback observations the writer has absorbed
+  but the served snapshot does not yet reflect, sampled at every read
+  (mean and max);
+* **publication count** — how many whole-epoch states were published.
+
+With ``checkpoint=`` the run warm-starts from an existing checkpoint
+file (when present and readable) and persists the final tuned state back
+to it, demonstrating the crash-safe restart path end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ...core.model import SelfTuningKDE
+from ...core.state import CheckpointError, ModelState
+from ...geometry import Box
+from ...obs.metrics import MetricsRegistry, get_registry
+from ...serve import SnapshotServer
+from .runtime import templated_workload
+
+__all__ = ["ServingResult", "run_serving"]
+
+
+@dataclass
+class ServingResult:
+    """Throughput and staleness summary of one serving run."""
+
+    readers: int
+    feedbacks: int
+    duration_seconds: float
+    reads_total: int
+    reads_per_second: float
+    publishes: int
+    staleness_mean: float
+    staleness_max: int
+    #: Final-snapshot mean absolute estimation error on the workload.
+    mean_absolute_error: float
+    warm_started: bool = False
+    checkpoint_path: Optional[str] = None
+    #: Per-reader read counts (to spot scheduler starvation).
+    reads_per_reader: List[int] = field(default_factory=list)
+
+
+def run_serving(
+    sample_size: int = 1024,
+    dimensions: int = 3,
+    rows: int = 20_000,
+    feedbacks: int = 200,
+    readers: int = 4,
+    seed: int = 20150601,
+    checkpoint: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> ServingResult:
+    """Run concurrent readers against one self-tuning writer.
+
+    The writer applies ``feedbacks`` query-feedback pairs through a
+    :class:`~repro.serve.SnapshotServer` while ``readers`` threads read
+    continuously.  Staleness is sampled reader-side at every estimate.
+    """
+    if registry is None:
+        ambient = get_registry()
+        registry = ambient if ambient.enabled else MetricsRegistry()
+
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, dimensions))
+    sample = data[rng.choice(rows, size=sample_size, replace=False)]
+    batch = templated_workload(data, max(feedbacks, 32), rng, template_pool=4)
+    boxes = [Box(lo, hi) for lo, hi in zip(batch.low, batch.high)]
+    truths = [float(box.contains_points(data).mean()) for box in boxes]
+
+    model = SelfTuningKDE(sample, seed=seed % (2**31), metrics=registry)
+    server = SnapshotServer(model, metrics=registry)
+
+    warm_started = False
+    if checkpoint is not None and os.path.exists(checkpoint):
+        try:
+            server.restore(ModelState.load(checkpoint))
+            warm_started = True
+        except CheckpointError:
+            # An unreadable checkpoint (crash mid-write without the
+            # atomic rename, manual corruption) falls back to cold start.
+            pass
+
+    stop = threading.Event()
+    reads_per_reader = [0] * readers
+    staleness_samples: List[List[int]] = [[] for _ in range(readers)]
+
+    def read_loop(slot: int) -> None:
+        local_rng = np.random.default_rng(seed + 1000 + slot)
+        count = 0
+        while not stop.is_set():
+            box = boxes[int(local_rng.integers(len(boxes)))]
+            server.estimate(box)
+            staleness_samples[slot].append(server.staleness)
+            count += 1
+        reads_per_reader[slot] = count
+
+    threads = [
+        threading.Thread(target=read_loop, args=(slot,), daemon=True)
+        for slot in range(readers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    try:
+        for index in range(feedbacks):
+            box = boxes[index % len(boxes)]
+            server.feedback(box, truths[index % len(truths)])
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    duration = time.perf_counter() - started
+
+    if checkpoint is not None:
+        server.snapshot().save(checkpoint)
+
+    flat_staleness = [s for samples in staleness_samples for s in samples]
+    final_estimates = server.estimate_batch(batch)
+    mean_abs_error = float(
+        np.mean(np.abs(final_estimates - np.asarray(truths)))
+    )
+    reads_total = sum(reads_per_reader)
+    return ServingResult(
+        readers=readers,
+        feedbacks=feedbacks,
+        duration_seconds=duration,
+        reads_total=reads_total,
+        reads_per_second=reads_total / duration if duration > 0 else 0.0,
+        publishes=server.publish_count,
+        staleness_mean=(
+            float(np.mean(flat_staleness)) if flat_staleness else 0.0
+        ),
+        staleness_max=max(flat_staleness, default=0),
+        mean_absolute_error=mean_abs_error,
+        warm_started=warm_started,
+        checkpoint_path=checkpoint,
+        reads_per_reader=list(reads_per_reader),
+    )

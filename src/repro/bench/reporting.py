@@ -15,6 +15,7 @@ from .experiments.dynamic_quality import DynamicQualityResult
 from .experiments.model_size import ModelSizeResult
 from .experiments.observability import ObservabilityResult
 from .experiments.runtime import RuntimeResult
+from .experiments.serving import ServingResult
 from .experiments.static_quality import StaticQualityResult
 from .metrics import WinMatrix
 
@@ -26,6 +27,7 @@ __all__ = [
     "render_observability",
     "render_runtime",
     "render_dynamic",
+    "render_serving",
 ]
 
 
@@ -168,5 +170,28 @@ def render_observability(result: ObservabilityResult) -> str:
             format_table(
                 ["device kernel", "launches", "modelled [us]"], kernel_rows
             )
+        )
+    return "\n".join(sections)
+
+
+def render_serving(result: ServingResult) -> str:
+    """Reader throughput + snapshot staleness of one serving run."""
+    per_reader = ", ".join(str(count) for count in result.reads_per_reader)
+    sections = [
+        f"readers: {result.readers} threads, "
+        f"{result.reads_total} reads in {result.duration_seconds:.2f}s "
+        f"({result.reads_per_second:,.0f} reads/s; per reader: {per_reader})",
+        f"writer: {result.feedbacks} feedback cycles, "
+        f"{result.publishes} snapshot publications "
+        f"(one per completed epoch)",
+        f"staleness at read: mean {result.staleness_mean:.2f}, "
+        f"max {result.staleness_max} feedbacks behind the writer",
+        f"final-snapshot mean abs error: {result.mean_absolute_error:.4f}",
+    ]
+    if result.checkpoint_path is not None:
+        origin = "warm-started from" if result.warm_started else "cold start;"
+        sections.append(
+            f"checkpoint: {origin} {result.checkpoint_path} "
+            "(final state saved back)"
         )
     return "\n".join(sections)

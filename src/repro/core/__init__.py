@@ -8,6 +8,8 @@ Public surface:
 * :class:`~repro.core.adaptive.RMSpropTuner` — Listing 1.
 * :class:`~repro.core.karma.KarmaTracker` — Eq. (6)-(8) & Appendix E.
 * :class:`~repro.core.model.SelfTuningKDE` — the full feedback loop.
+* :class:`~repro.core.state.ModelState` — immutable, versioned model
+  state: the snapshot/restore + checkpoint substrate.
 """
 
 from .adaptive import RMSpropTuner
@@ -53,6 +55,7 @@ from .losses import (
 from .model import ArrayRowSource, RowSource, SelfTuningKDE
 from .optimize import BandwidthOptimizer, OptimizationResult, optimize_bandwidth
 from .reservoir import ReservoirSampler, SkipReservoirSampler
+from .state import FORMAT_VERSION, CheckpointError, ModelState
 
 __all__ = [
     "AbsoluteLoss",
@@ -61,7 +64,9 @@ __all__ = [
     "BackendStats",
     "BandwidthOptimizer",
     "CachedBackend",
+    "CheckpointError",
     "EpanechnikovKernel",
+    "FORMAT_VERSION",
     "ExecutionBackend",
     "NumpyBackend",
     "ShardedBackend",
@@ -71,6 +76,7 @@ __all__ = [
     "Kernel",
     "KernelDensityEstimator",
     "Loss",
+    "ModelState",
     "OptimizationResult",
     "OrderedDiscreteKernel",
     "QueryFeedback",

@@ -224,3 +224,54 @@ class RMSpropTuner:
         """Drop the partially accumulated mini-batch (e.g. after a rebuild)."""
         self._accumulated[:] = 0.0
         self._batch_count = 0
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete learner state as a dict of arrays and counters.
+
+        Everything the update rule depends on is included — mini-batch
+        accumulator, RMSprop magnitude average, Rprop sign memory and
+        learning rates — so a restored tuner replays bit-identically.
+        """
+        return {
+            "accumulated": self._accumulated.copy(),
+            "batch_count": int(self._batch_count),
+            "running_magnitude": self._running_magnitude.copy(),
+            "previous_gradient": self._previous_gradient.copy(),
+            "learning_rate": self._learning_rate.copy(),
+            "updates_applied": int(self._updates_applied),
+            "observations": int(self._observations),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        expected = (self.dimensions,)
+        for key in (
+            "accumulated",
+            "running_magnitude",
+            "previous_gradient",
+            "learning_rate",
+        ):
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != expected:
+                raise ValueError(
+                    f"tuner state {key!r} must have shape {expected}, "
+                    f"got {value.shape}"
+                )
+        self._accumulated = np.array(
+            state["accumulated"], dtype=np.float64, copy=True
+        )
+        self._batch_count = int(state["batch_count"])
+        self._running_magnitude = np.array(
+            state["running_magnitude"], dtype=np.float64, copy=True
+        )
+        self._previous_gradient = np.array(
+            state["previous_gradient"], dtype=np.float64, copy=True
+        )
+        self._learning_rate = np.array(
+            state["learning_rate"], dtype=np.float64, copy=True
+        )
+        self._updates_applied = int(state["updates_applied"])
+        self._observations = int(state["observations"])

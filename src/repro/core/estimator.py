@@ -35,6 +35,7 @@ from ..obs.trace import EstimationTrace
 from . import chunking
 from .backends import ExecutionBackend, resolve_backend
 from .kernels import Kernel, get_kernel
+from .state import ModelState
 
 __all__ = ["KernelDensityEstimator"]
 
@@ -654,6 +655,92 @@ class KernelDensityEstimator:
             stacklevel=2,
         )
         self.replace_rows(indices, rows)
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (the state/engine split)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ModelState:
+        """Immutable :class:`~repro.core.state.ModelState` of this model.
+
+        The snapshot owns copies of the sample and bandwidth, so later
+        mutation of this estimator (tuning, row replacement) can never
+        reach through it — the invariant snapshot-isolated serving
+        (:mod:`repro.serve`) builds on.
+        """
+        self._require_named_kernels()
+        return ModelState(
+            kind="kde",
+            sample=self._sample,
+            bandwidth=self._bandwidth,
+            kernels=tuple(k.name for k in self._kernels),
+            bandwidth_epoch=self._bandwidth_epoch,
+            sample_epoch=self._sample_epoch,
+        )
+
+    def restore(self, state: ModelState) -> None:
+        """Adopt a snapshot's sample, bandwidth and kernels in place.
+
+        Estimates after ``restore`` are bit-identical to estimates at
+        snapshot time.  The epoch counters are *not* rewound: they jump
+        past both the snapshot's and the current values, so backend
+        caches keyed on ``(bandwidth_epoch, sample_epoch)`` can never
+        alias entries from a superseded lineage.
+        """
+        if state.dimensions != self.dimensions:
+            raise ValueError(
+                f"state has {state.dimensions} dimensions, "
+                f"estimator has {self.dimensions}"
+            )
+        self._sample = np.array(state.sample, dtype=np.float64, copy=True)
+        self._kernels = tuple(get_kernel(name) for name in state.kernels)
+        self._bandwidth = np.array(
+            state.bandwidth, dtype=np.float64, copy=True
+        )
+        self._bandwidth_epoch = (
+            max(self._bandwidth_epoch, state.bandwidth_epoch) + 1
+        )
+        self._sample_epoch = max(self._sample_epoch, state.sample_epoch) + 1
+        if self._backend is not None:
+            self._backend.invalidate("sample")
+            self._backend.invalidate("bandwidth")
+
+    @classmethod
+    def from_state(
+        cls,
+        state: ModelState,
+        backend: Union[str, ExecutionBackend, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "KernelDensityEstimator":
+        """Construct a fresh estimator from a snapshot (warm start).
+
+        Accepts snapshots of any kind — a ``"self_tuning"`` or
+        ``"device"`` snapshot yields the static KDE over the same
+        sample/bandwidth/kernels (what snapshot-isolated serving reads).
+        """
+        estimator = cls(
+            np.asarray(state.sample, dtype=np.float64),
+            state.bandwidth,
+            kernel=[get_kernel(name) for name in state.kernels],
+            backend=backend,
+            metrics=metrics,
+        )
+        estimator._bandwidth_epoch = state.bandwidth_epoch
+        estimator._sample_epoch = state.sample_epoch
+        return estimator
+
+    def _require_named_kernels(self) -> None:
+        """Snapshots resolve kernels by registry name at restore time."""
+        for kernel in self._kernels:
+            try:
+                registered = get_kernel(kernel.name)
+            except ValueError:
+                registered = None
+            if registered is not kernel:
+                raise ValueError(
+                    f"kernel {kernel!r} is not registered under its name "
+                    f"{kernel.name!r}; register it (see "
+                    "repro.core.kernels.register_kernel) before snapshotting"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -223,6 +223,30 @@ class KarmaTracker:
         self._replacements += indices.size
         return indices
 
+    # ------------------------------------------------------------------
+    # State snapshot / restore
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete tracker state (scores + counters) as a dict."""
+        return {
+            "karma": self._karma.copy(),
+            "replacements": int(self._replacements),
+            "queries_observed": int(self._queries_observed),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`.
+
+        The score vector's length may differ from the current one (a
+        checkpoint carries its own sample size); the tracker adopts it.
+        """
+        karma = np.array(state["karma"], dtype=np.float64, copy=True)
+        if karma.ndim != 1 or karma.shape[0] < 2:
+            raise ValueError("karma state must be a (s >= 2,) vector")
+        self._karma = karma
+        self._replacements = int(state["replacements"])
+        self._queries_observed = int(state["queries_observed"])
+
     def reset(self, indices: np.ndarray) -> None:
         """Reset Karma of freshly replaced points to zero."""
         indices = np.asarray(indices, dtype=np.intp)

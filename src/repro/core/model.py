@@ -21,22 +21,49 @@ satisfying the :class:`RowSource` protocol (the in-memory table of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Protocol
+from dataclasses import asdict, dataclass
+from typing import Optional, Protocol, Union
 
 import numpy as np
 
 from ..geometry import Box, QueryBatch
 from .adaptive import RMSpropTuner
 from .bandwidth import scott_bandwidth
-from .config import SelfTuningConfig
+from .config import AdaptiveConfig, KarmaConfig, SelfTuningConfig
 from .estimator import KernelDensityEstimator
 from .gradient import to_log_space_gradient
 from .karma import KarmaTracker
 from .losses import get_loss
 from .reservoir import ReservoirSampler
+from .state import ModelState, generator_from_state, generator_state
 
 __all__ = ["RowSource", "ArrayRowSource", "SelfTuningKDE"]
+
+
+def _config_to_dict(config: SelfTuningConfig) -> dict:
+    """Serialise a :class:`SelfTuningConfig` to a plain (JSON-able) dict."""
+    return {
+        "kernel": config.kernel,
+        "loss": config.loss,
+        "adaptive": asdict(config.adaptive),
+        "karma": asdict(config.karma),
+        "adapt_bandwidth": config.adapt_bandwidth,
+        "maintain_sample": config.maintain_sample,
+        "reservoir_inserts": config.reservoir_inserts,
+    }
+
+
+def _config_from_dict(data: dict) -> SelfTuningConfig:
+    """Rebuild a :class:`SelfTuningConfig` from its serialised dict."""
+    return SelfTuningConfig(
+        kernel=data["kernel"],
+        loss=data["loss"],
+        adaptive=AdaptiveConfig(**data["adaptive"]),
+        karma=KarmaConfig(**data["karma"]),
+        adapt_bandwidth=data["adapt_bandwidth"],
+        maintain_sample=data["maintain_sample"],
+        reservoir_inserts=data["reservoir_inserts"],
+    )
 
 
 class RowSource(Protocol):
@@ -91,7 +118,14 @@ class SelfTuningKDE:
         Initial bandwidth; defaults to Scott's rule (Eq. 3), matching the
         initialisation of both *Heuristic* and *Adaptive*.
     seed:
-        Seed for replacement sampling and reservoir decisions.
+        Seed for replacement sampling and reservoir decisions — an int,
+        a :class:`numpy.random.SeedSequence`, or ``None`` for fresh OS
+        entropy.  The model spawns *independent* child sequences for the
+        replacement RNG and the reservoir from one parent sequence, so a
+        seeded run replays deterministically end to end and two models
+        seeded differently can never collide on derived streams (the
+        former ``seed + 1`` scheme left the reservoir unseeded when
+        ``seed=None`` and collided across adjacent seeds).
     backend:
         Execution backend for the batched evaluation paths (see
         :mod:`repro.core.backends`); forwarded to the underlying
@@ -109,7 +143,7 @@ class SelfTuningKDE:
         row_source: Optional[RowSource] = None,
         population_size: Optional[int] = None,
         bandwidth: Optional[np.ndarray] = None,
-        seed: Optional[int] = None,
+        seed: Union[None, int, np.random.SeedSequence] = None,
         backend=None,
         metrics=None,
     ) -> None:
@@ -122,7 +156,16 @@ class SelfTuningKDE:
             metrics=metrics,
         )
         self._loss = get_loss(self.config.loss)
-        self._rng = np.random.default_rng(seed)
+        # One parent SeedSequence feeds independent spawned children to
+        # the replacement RNG and the reservoir: deterministic replay for
+        # any int seed, independent streams always (even for seed=None,
+        # where the parent draws fresh OS entropy).
+        if isinstance(seed, np.random.SeedSequence):
+            seed_sequence = seed
+        else:
+            seed_sequence = np.random.SeedSequence(seed)
+        replacement_seq, reservoir_seq = seed_sequence.spawn(2)
+        self._rng = np.random.default_rng(replacement_seq)
         self._row_source = row_source
         self._tuner = RMSpropTuner(
             self._estimator.dimensions, self.config.adaptive
@@ -135,7 +178,7 @@ class SelfTuningKDE:
             population_size
             if population_size is not None
             else self._estimator.sample_size,
-            seed=None if seed is None else seed + 1,
+            seed=reservoir_seq,
         )
         self._pending: Optional[_PendingQuery] = None
         self._points_replaced = 0
@@ -437,6 +480,99 @@ class SelfTuningKDE:
         """
         if self._reservoir.population_size > 0:
             self._reservoir.population_size -= 1
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (the state/engine split)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ModelState:
+        """Immutable :class:`~repro.core.state.ModelState` of this model.
+
+        Captures everything the feedback loop depends on: the sample and
+        bandwidth, the RMSprop tuner accumulators, Karma scores,
+        reservoir counters and the replacement RNG's bit-generator state
+        — so a restored model replays estimate *and* feedback behaviour
+        bit-identically.  The transient estimate→feedback buffer
+        (Fig. 3's retained contributions) is deliberately excluded: it is
+        derived state the feedback path recomputes on demand.
+        """
+        self._estimator._require_named_kernels()
+        return ModelState(
+            kind="self_tuning",
+            sample=self._estimator._sample,
+            bandwidth=self._estimator._bandwidth,
+            kernels=tuple(k.name for k in self._estimator.kernels),
+            bandwidth_epoch=self._estimator.bandwidth_epoch,
+            sample_epoch=self._estimator.sample_epoch,
+            config=_config_to_dict(self.config),
+            tuner=self._tuner.get_state(),
+            karma=self._karma.get_state(),
+            reservoir=self._reservoir.get_state(),
+            rng_state=generator_state(self._rng),
+            counters={
+                "points_replaced": self._points_replaced,
+                "feedback_count": self._feedback_count,
+            },
+        )
+
+    def restore(self, state: ModelState) -> None:
+        """Adopt a snapshot in place: model, learner, maintenance, RNG."""
+        if state.kind != "self_tuning":
+            raise ValueError(
+                f"cannot restore a {state.kind!r} state into SelfTuningKDE"
+            )
+        if state.tuner is None or state.karma is None:
+            raise ValueError("self_tuning state is missing component state")
+        if state.config is not None:
+            self.config = _config_from_dict(state.config)
+            self._loss = get_loss(self.config.loss)
+        self._estimator.restore(state)
+        self._tuner = RMSpropTuner(state.dimensions, self.config.adaptive)
+        self._tuner.set_state(state.tuner)
+        self._karma = KarmaTracker(
+            state.sample_size, self._loss, self.config.karma
+        )
+        self._karma.set_state(state.karma)
+        if state.reservoir is not None:
+            self._reservoir.set_state(state.reservoir)
+        if state.rng_state is not None:
+            self._rng = generator_from_state(state.rng_state)
+        counters = state.counters or {}
+        self._points_replaced = int(counters.get("points_replaced", 0))
+        self._feedback_count = int(counters.get("feedback_count", 0))
+        self._pending = None
+
+    @classmethod
+    def from_state(
+        cls,
+        state: ModelState,
+        row_source: Optional[RowSource] = None,
+        backend=None,
+        metrics=None,
+    ) -> "SelfTuningKDE":
+        """Construct a model from a snapshot (checkpoint warm start).
+
+        ``row_source`` is runtime wiring, not model state — supply the
+        current table (or leave ``None`` to disable replacements).
+        """
+        if state.kind != "self_tuning":
+            raise ValueError(
+                f"cannot build SelfTuningKDE from a {state.kind!r} state"
+            )
+        config = (
+            _config_from_dict(state.config)
+            if state.config is not None
+            else SelfTuningConfig()
+        )
+        model = cls(
+            np.asarray(state.sample, dtype=np.float64),
+            config=config,
+            row_source=row_source,
+            bandwidth=state.bandwidth,
+            backend=backend,
+            metrics=metrics,
+        )
+        model.restore(state)
+        return model
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

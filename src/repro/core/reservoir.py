@@ -21,11 +21,19 @@ chi-squared check.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from .state import generator_from_state, generator_state
+
 __all__ = ["ReservoirSampler", "SkipReservoirSampler"]
+
+#: Seed spelling accepted by the samplers: anything
+#: :func:`numpy.random.default_rng` takes, notably a
+#: :class:`numpy.random.SeedSequence` spawned from a parent chain so the
+#: reservoir's stream is derived (collision-free) rather than ad hoc.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
 
 class ReservoirSampler:
@@ -48,7 +56,7 @@ class ReservoirSampler:
         self,
         sample_size: int,
         population_size: int = 0,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> None:
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
@@ -63,6 +71,25 @@ class ReservoirSampler:
     def accepted(self) -> int:
         """Number of inserts that entered the reservoir (PCIe transfers)."""
         return self._accepted
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Counters + RNG bit-generator state, JSON-serialisable."""
+        return {
+            "sample_size": int(self.sample_size),
+            "population_size": int(self.population_size),
+            "accepted": int(self._accepted),
+            "rng_state": generator_state(self._rng),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot; acceptance decisions replay bit-identically."""
+        self.sample_size = int(state["sample_size"])
+        self.population_size = int(state["population_size"])
+        self._accepted = int(state["accepted"])
+        self._rng = generator_from_state(state["rng_state"])
 
     def on_insert(self) -> Optional[int]:
         """Register one inserted tuple; returns the slot to overwrite.
@@ -94,7 +121,7 @@ class SkipReservoirSampler:
         self,
         sample_size: int,
         population_size: int = 0,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ) -> None:
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
@@ -110,6 +137,29 @@ class SkipReservoirSampler:
     @property
     def accepted(self) -> int:
         return self._accepted
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Counters + skip cursor + RNG state, JSON-serialisable."""
+        return {
+            "sample_size": int(self.sample_size),
+            "population_size": int(self.population_size),
+            "accepted": int(self._accepted),
+            "skip_remaining": int(self._skip_remaining),
+            "skip_valid": bool(self._skip_valid),
+            "rng_state": generator_state(self._rng),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot; skip decisions replay bit-identically."""
+        self.sample_size = int(state["sample_size"])
+        self.population_size = int(state["population_size"])
+        self._accepted = int(state["accepted"])
+        self._skip_remaining = int(state["skip_remaining"])
+        self._skip_valid = bool(state["skip_valid"])
+        self._rng = generator_from_state(state["rng_state"])
 
     def _draw_skip(self) -> int:
         """Inversion sampling of the skip length at the current population."""

@@ -13,6 +13,7 @@ trace they plot (e.g. the error progression of Figure 8).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -75,6 +76,11 @@ class FeedbackLoop:
     #: the process-wide) registry at call time.
     metrics: Optional[MetricsRegistry] = None
     _bridge: Optional[EstimatorTableBridge] = None
+    #: Guards attach/detach so concurrent (or re-entrant) calls cannot
+    #: register the bridge twice or remove it while another attach runs.
+    _attach_lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def obs(self) -> MetricsRegistry:
@@ -86,17 +92,38 @@ class FeedbackLoop:
         return get_registry()
 
     def attach(self) -> "FeedbackLoop":
-        """Subscribe the estimator to table modification events."""
-        if self._bridge is None:
-            self._bridge = EstimatorTableBridge(self.estimator)
-            self.table.add_listener(self._bridge)
+        """Subscribe the estimator to table modification events.
+
+        Idempotent and re-entrant: repeated calls (including from
+        concurrent threads, or re-entrantly from a listener callback)
+        register exactly one bridge, so the estimator never receives
+        duplicate insert/delete events.
+        """
+        with self._attach_lock:
+            if self._bridge is None:
+                bridge = EstimatorTableBridge(self.estimator)
+                self.table.add_listener(bridge)
+                # Publish only after registration succeeded, so a failed
+                # add_listener leaves the loop cleanly detached.
+                self._bridge = bridge
         return self
 
     def detach(self) -> None:
-        """Unsubscribe from table events."""
-        if self._bridge is not None:
-            self.table.remove_listener(self._bridge)
-            self._bridge = None
+        """Unsubscribe from table events.
+
+        Idempotent counterpart of :meth:`attach`: calling it twice (or
+        without a prior attach) is a no-op rather than an error.
+        """
+        with self._attach_lock:
+            if self._bridge is not None:
+                bridge = self._bridge
+                self._bridge = None
+                self.table.remove_listener(bridge)
+
+    @property
+    def attached(self) -> bool:
+        """Whether the estimator is currently subscribed to table events."""
+        return self._bridge is not None
 
     def run_query(self, query: Box) -> Observation:
         """One full cycle; returns the recorded observation."""

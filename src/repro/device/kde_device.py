@@ -28,6 +28,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from dataclasses import asdict
+
 from ..geometry import Box, QueryBatch
 from ..core.adaptive import RMSpropTuner
 from ..core.backends.sharded import ShardedSampleExecutor
@@ -35,6 +37,7 @@ from ..core.bandwidth import scott_bandwidth
 from ..core.config import AdaptiveConfig, KarmaConfig
 from ..core.karma import KarmaTracker
 from ..core.losses import Loss, get_loss
+from ..core.state import ModelState
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import span
 from ..obs.trace import EstimationTrace
@@ -532,3 +535,123 @@ class DeviceKDE:
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (the state/engine split)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ModelState:
+        """Immutable :class:`~repro.core.state.ModelState` of this model.
+
+        The sample is captured in the device precision (the buffer's
+        native dtype), so a warm-started model's buffer is bitwise
+        identical to the snapshotted one.  The device context itself
+        (clock, transfer log) is runtime, not model state, and is not
+        captured.
+        """
+        return ModelState(
+            kind="device",
+            sample=self._sample_buffer.data,
+            bandwidth=self._bandwidth,
+            kernels=("gaussian",) * self.dimensions,
+            config={
+                "precision": self.precision,
+                "adaptive": self.adaptive,
+                "loss": self._loss.name,
+                "adaptive_config": asdict(self._tuner.config),
+                "karma_config": asdict(self._karma.config),
+            },
+            tuner=self._tuner.get_state(),
+            karma=self._karma.get_state(),
+        )
+
+    def restore(self, state: ModelState) -> None:
+        """Adopt a snapshot in place (one metered bulk re-upload).
+
+        Restoring is the warm-start analogue of construction: the
+        snapshot's sample and bandwidth travel over the modelled bus as
+        one bulk transfer each, then the host-side tuner and Karma state
+        are reinstated.  Any retained estimate→feedback buffers are
+        dropped (they described the superseded model).
+        """
+        if state.kind != "device":
+            raise ValueError(
+                f"cannot restore a {state.kind!r} state into DeviceKDE"
+            )
+        if state.dimensions != self.dimensions:
+            raise ValueError(
+                f"state has {state.dimensions} dimensions, "
+                f"model has {self.dimensions}"
+            )
+        config = state.config or {}
+        precision = config.get("precision", self.precision)
+        if precision != self.precision:
+            raise ValueError(
+                f"state precision {precision!r} does not match the "
+                f"model's {self.precision!r}"
+            )
+        self._sample_buffer = self.context.upload(
+            "sample",
+            np.asarray(state.sample, dtype=self._dtype),
+            label="sample",
+        )
+        self._bandwidth = np.array(
+            state.bandwidth, dtype=np.float64, copy=True
+        )
+        self.context.upload(
+            "bandwidth",
+            self._bandwidth.astype(self._dtype),
+            label="bandwidth",
+        )
+        if state.tuner is not None:
+            self._tuner.set_state(state.tuner)
+        if state.karma is not None:
+            self._karma.set_state(state.karma)
+        if self._executor is not None:
+            self._executor.mark_dirty()
+        self._pending_query = None
+        self._pending_contributions = None
+        self._pending_gradient = None
+        self._pending_batch = None
+        self._pending_batch_contributions = None
+        self._pending_batch_estimates = None
+        self._pending_batch_gradients = None
+
+    @classmethod
+    def from_state(
+        cls,
+        state: ModelState,
+        context: DeviceContext,
+        backend: str = "numpy",
+        shards: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "DeviceKDE":
+        """Construct a device model from a snapshot (warm start).
+
+        ``context`` is runtime wiring (which simulated device to run
+        on), so it is supplied by the caller rather than the state.
+        """
+        if state.kind != "device":
+            raise ValueError(
+                f"cannot build DeviceKDE from a {state.kind!r} state"
+            )
+        config = state.config or {}
+        model = cls(
+            np.asarray(state.sample, dtype=np.float64),
+            context,
+            bandwidth=state.bandwidth,
+            precision=config.get("precision", "float32"),
+            adaptive=bool(config.get("adaptive", True)),
+            loss=config.get("loss", "squared"),
+            adaptive_config=AdaptiveConfig(
+                **config.get("adaptive_config", {})
+            ),
+            karma_config=KarmaConfig(**config.get("karma_config", {})),
+            backend=backend,
+            shards=shards,
+            metrics=metrics,
+        )
+        if state.tuner is not None:
+            model._tuner.set_state(state.tuner)
+        if state.karma is not None:
+            model._karma.set_state(state.karma)
+        return model

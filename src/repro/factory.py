@@ -8,6 +8,7 @@ importing from three subpackages.  Examples and benchmarks use it so the
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 import numpy as np
@@ -15,6 +16,7 @@ import numpy as np
 from .core.bandwidth import scott_bandwidth
 from .core.estimator import KernelDensityEstimator
 from .core.model import SelfTuningKDE
+from .core.state import ModelState
 from .obs.metrics import MetricsRegistry
 
 __all__ = ["create_estimator", "ESTIMATOR_KINDS"]
@@ -31,6 +33,7 @@ def create_estimator(
     backend: Union[str, object, None] = None,
     metrics: Optional[MetricsRegistry] = None,
     device: str = "gpu",
+    checkpoint: Optional[str] = None,
     **kwargs,
 ):
     """Build an estimator of the requested ``kind`` from a sample.
@@ -61,25 +64,42 @@ def create_estimator(
         Preset device name for ``kind="device"`` (``"gpu"`` / ``"cpu"``);
         ignored otherwise.  Pass ``context=`` to supply a configured
         :class:`~repro.device.runtime.DeviceContext` instead.
+    checkpoint:
+        Path to a :class:`~repro.core.state.ModelState` checkpoint.  When
+        the file exists and its state kind matches ``kind``, the built
+        estimator is warm-started from it (tuned bandwidths, maintained
+        sample, tuner/RNG state) instead of starting cold; a missing file
+        builds fresh, so the same invocation works on first run and on
+        restart.  A file whose kind mismatches, or that fails checksum /
+        version validation, raises
+        :class:`~repro.core.state.CheckpointError` — silently ignoring a
+        requested-but-unusable checkpoint would hide state loss.
     kwargs:
         Forwarded to the model constructor (``kernel=``, ``config=``,
         ``row_source=``, ``precision=``, ...).
     """
     sample = np.asarray(sample, dtype=np.float64)
+    state = _load_checkpoint(checkpoint, kind)
     if kind == "kde":
         if bandwidth is None:
             bandwidth = scott_bandwidth(sample)
-        return KernelDensityEstimator(
+        estimator = KernelDensityEstimator(
             sample, bandwidth, backend=backend, metrics=metrics, **kwargs
         )
+        if state is not None:
+            estimator.restore(state)
+        return estimator
     if kind == "self_tuning":
-        return SelfTuningKDE(
+        model = SelfTuningKDE(
             sample,
             bandwidth=bandwidth,
             backend=backend,
             metrics=metrics,
             **kwargs,
         )
+        if state is not None:
+            model.restore(state)
+        return model
     if kind == "device":
         # Imported lazily: the device layer is optional at import time
         # for host-only workflows.
@@ -91,7 +111,7 @@ def create_estimator(
             context = DeviceContext.for_device(device)
         if backend is None:
             backend = "numpy"
-        return DeviceKDE(
+        model = DeviceKDE(
             sample,
             context,
             bandwidth=bandwidth,
@@ -99,7 +119,30 @@ def create_estimator(
             metrics=metrics,
             **kwargs,
         )
+        if state is not None:
+            model.restore(state)
+        return model
     known = ", ".join(ESTIMATOR_KINDS)
     raise ValueError(
         f"unknown estimator kind {kind!r}; known kinds: {known}"
     )
+
+
+def _load_checkpoint(
+    checkpoint: Optional[str], kind: str
+) -> Optional[ModelState]:
+    """Load + kind-check a warm-start checkpoint; ``None`` when absent."""
+    if checkpoint is None or not os.path.exists(checkpoint):
+        return None
+    from .core.state import CheckpointError
+
+    state = ModelState.load(checkpoint)
+    # The static KDE view can be restored from any family's state (it
+    # only needs sample/bandwidth/kernels); the stateful kinds require a
+    # matching state kind.
+    if kind != "kde" and state.kind != kind:
+        raise CheckpointError(
+            f"checkpoint {checkpoint!r} holds {state.kind!r} state, "
+            f"cannot warm-start a {kind!r} estimator"
+        )
+    return state

@@ -1,0 +1,23 @@
+"""Snapshot-isolated serving, model registry, and crash-safe checkpoints.
+
+This package is the runtime home of the state/engine split: estimators
+mutate under feedback (Sections 5.2 and 5.4 of the paper) while readers
+are served immutable :class:`~repro.core.state.ModelState` snapshots
+published per completed epoch.
+
+* :class:`SnapshotServer` — read-copy-update publication; lock-free reads.
+* :class:`ModelRegistry` — thread-safe ``(table, columns)`` → server map.
+* :class:`CheckpointManager` — periodic atomic checkpoints, last-K
+  retention, corrupt-skipping warm start.
+"""
+
+from .checkpoint import CheckpointManager
+from .registry import ModelRegistry
+from .server import PublishedSnapshot, SnapshotServer
+
+__all__ = [
+    "CheckpointManager",
+    "ModelRegistry",
+    "PublishedSnapshot",
+    "SnapshotServer",
+]

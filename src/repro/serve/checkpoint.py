@@ -1,0 +1,208 @@
+"""Crash-safe periodic checkpointing of served model state.
+
+A self-tuning model is only as good as the feedback it has absorbed;
+losing the process loses the tuned bandwidths and the maintained sample.
+:class:`CheckpointManager` persists :class:`~repro.core.state.ModelState`
+snapshots on a feedback-count cadence and warm-starts from the newest
+readable checkpoint on startup.
+
+Durability properties, all inherited from :meth:`ModelState.save`:
+
+* writes are atomic (tmp file + ``fsync`` + ``os.replace``) — a crash
+  mid-write leaves the previous checkpoint intact;
+* loads are checksum-verified — a torn or bit-rotted file is rejected
+  with :class:`~repro.core.state.CheckpointError`, and
+  :meth:`warm_start` silently falls back to the next-newest file;
+* retention keeps only the last *K* checkpoints so the directory stays
+  bounded.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..core.state import CheckpointError, ModelState
+from ..obs import MetricsRegistry, get_registry
+
+__all__ = ["CheckpointManager", "Checkpointable"]
+
+_CHECKPOINT_RE = re.compile(r"^model-(\d{8})\.ckpt$")
+
+
+@runtime_checkable
+class Checkpointable(Protocol):
+    """Anything with snapshot()/restore() — a model or a SnapshotServer."""
+
+    def snapshot(self) -> ModelState: ...
+
+    def restore(self, state: ModelState) -> None: ...
+
+
+class CheckpointManager:
+    """Periodic checkpoints with last-K retention and warm start.
+
+    Parameters
+    ----------
+    target:
+        Object whose state is persisted — any estimator family or a
+        :class:`~repro.serve.server.SnapshotServer` (whose ``snapshot``
+        takes the writer lock, so checkpoints are always whole-epoch).
+    directory:
+        Checkpoint directory; created if missing.
+    keep_last:
+        Retention: number of most recent checkpoints to keep.
+    every_feedbacks:
+        Cadence for :meth:`maybe_checkpoint`.  When the target exposes a
+        ``feedback_count`` (SnapshotServer does) a checkpoint is cut once
+        that many *new* feedbacks accumulated; otherwise every
+        ``every_feedbacks``-th call triggers one.
+    metrics:
+        Metrics registry; defaults to the process-global one.
+    """
+
+    def __init__(
+        self,
+        target: Checkpointable,
+        directory: str,
+        *,
+        keep_last: int = 3,
+        every_feedbacks: int = 100,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
+        if every_feedbacks < 1:
+            raise ValueError("every_feedbacks must be at least 1")
+        if not hasattr(target, "snapshot") or not hasattr(target, "restore"):
+            raise TypeError(
+                "target must expose snapshot() and restore(); got "
+                f"{type(target).__name__}"
+            )
+        self._target = target
+        self._directory = directory
+        self._keep_last = keep_last
+        self._every_feedbacks = every_feedbacks
+        self._metrics = metrics
+        self._calls_since_checkpoint = 0
+        self._last_feedback_count: Optional[int] = None
+        os.makedirs(directory, exist_ok=True)
+        self._next_index = 1 + max(
+            (index for index, _ in self._scan()), default=0
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def checkpoints(self) -> List[str]:
+        """Existing checkpoint paths, oldest first."""
+        return [path for _, path in self._scan()]
+
+    def latest(self) -> Optional[str]:
+        """Newest checkpoint path, or ``None`` when the directory is empty."""
+        paths = self.checkpoints()
+        return paths[-1] if paths else None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> str:
+        """Snapshot the target, persist it atomically, prune old files."""
+        registry = self._registry()
+        started = time.perf_counter()
+        state = self._target.snapshot()
+        path = os.path.join(
+            self._directory, f"model-{self._next_index:08d}.ckpt"
+        )
+        state.save(path)
+        self._next_index += 1
+        self._calls_since_checkpoint = 0
+        self._last_feedback_count = self._feedback_count()
+        self._prune()
+        registry.counter("checkpoint.writes").inc()
+        registry.histogram("checkpoint.seconds").observe(
+            time.perf_counter() - started
+        )
+        return path
+
+    def maybe_checkpoint(self) -> Optional[str]:
+        """Checkpoint when the feedback cadence elapsed; else ``None``."""
+        feedbacks = self._feedback_count()
+        if feedbacks is not None:
+            if self._last_feedback_count is None:
+                # First sighting: anchor the cadence without checkpointing.
+                self._last_feedback_count = feedbacks
+                return None
+            if feedbacks - self._last_feedback_count >= self._every_feedbacks:
+                return self.checkpoint()
+            return None
+        self._calls_since_checkpoint += 1
+        if self._calls_since_checkpoint >= self._every_feedbacks:
+            return self.checkpoint()
+        return None
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+    def warm_start(self) -> Optional[str]:
+        """Restore the target from the newest readable checkpoint.
+
+        Tries checkpoints newest-first; unreadable files (truncated by a
+        crash, checksum mismatch, future format version) are skipped and
+        counted under the ``checkpoint.corrupt_skipped`` metric.  Returns
+        the path restored from, or ``None`` when no checkpoint loaded.
+        """
+        registry = self._registry()
+        for _, path in reversed(self._scan()):
+            try:
+                state = ModelState.load(path)
+            except CheckpointError:
+                registry.counter("checkpoint.corrupt_skipped").inc()
+                continue
+            self._target.restore(state)
+            self._last_feedback_count = self._feedback_count()
+            registry.counter("checkpoint.warm_starts").inc()
+            return path
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_registry()
+
+    def _feedback_count(self) -> Optional[int]:
+        count = getattr(self._target, "feedback_count", None)
+        return int(count) if count is not None else None
+
+    def _scan(self) -> List[Tuple[int, str]]:
+        entries: List[Tuple[int, str]] = []
+        for name in os.listdir(self._directory):
+            match = _CHECKPOINT_RE.match(name)
+            if match:
+                entries.append(
+                    (int(match.group(1)), os.path.join(self._directory, name))
+                )
+        entries.sort()
+        return entries
+
+    def _prune(self) -> None:
+        entries = self._scan()
+        for _, path in entries[: -self._keep_last or None]:
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointManager(directory={self._directory!r}, "
+            f"keep_last={self._keep_last}, "
+            f"checkpoints={len(self.checkpoints())})"
+        )

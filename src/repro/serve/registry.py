@@ -1,0 +1,118 @@
+"""Registry of served models keyed by ``(table, columns)``.
+
+A selectivity estimation service holds one KDE model per indexed column
+set (the paper trains one model per table/column combination the
+optimiser asks about).  :class:`ModelRegistry` is the thread-safe map
+from that identity to the :class:`~repro.serve.server.SnapshotServer`
+wrapping the model.  Registering a bare estimator wraps it in a server
+automatically, so callers interact with one uniform snapshot-isolated
+surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .server import SnapshotModel, SnapshotServer
+
+__all__ = ["ModelRegistry"]
+
+#: Registry key: table name plus the ordered tuple of column names.
+ModelKey = Tuple[str, Tuple[str, ...]]
+
+
+def _make_key(table: str, columns: Sequence[str]) -> ModelKey:
+    if not isinstance(table, str) or not table:
+        raise ValueError("table must be a non-empty string")
+    if isinstance(columns, str):
+        raise TypeError("columns must be a sequence of names, not a string")
+    cols = tuple(str(c) for c in columns)
+    if not cols:
+        raise ValueError("columns must be non-empty")
+    return (table, cols)
+
+
+class ModelRegistry:
+    """Thread-safe ``(table, columns) -> SnapshotServer`` map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._servers: Dict[ModelKey, SnapshotServer] = {}
+
+    def register(
+        self,
+        table: str,
+        columns: Sequence[str],
+        model: "SnapshotModel | SnapshotServer",
+        *,
+        replace: bool = False,
+    ) -> SnapshotServer:
+        """Register ``model`` under ``(table, columns)``.
+
+        Bare estimators are wrapped in a :class:`SnapshotServer`; an
+        existing server instance is registered as-is.  Re-registering an
+        occupied key raises unless ``replace=True``.
+        """
+        key = _make_key(table, columns)
+        server = model if isinstance(model, SnapshotServer) else SnapshotServer(model)
+        with self._lock:
+            if not replace and key in self._servers:
+                raise KeyError(
+                    f"model already registered for table={table!r} "
+                    f"columns={key[1]!r}; pass replace=True to swap it"
+                )
+            self._servers[key] = server
+        return server
+
+    def get(self, table: str, columns: Sequence[str]) -> SnapshotServer:
+        """Return the server for ``(table, columns)``; KeyError if absent."""
+        key = _make_key(table, columns)
+        with self._lock:
+            try:
+                return self._servers[key]
+            except KeyError:
+                raise KeyError(
+                    f"no model registered for table={table!r} columns={key[1]!r}"
+                ) from None
+
+    def lookup(self, table: str, columns: Sequence[str]) -> Optional[SnapshotServer]:
+        """Like :meth:`get` but returns ``None`` when absent."""
+        key = _make_key(table, columns)
+        with self._lock:
+            return self._servers.get(key)
+
+    def unregister(self, table: str, columns: Sequence[str]) -> Optional[SnapshotServer]:
+        """Remove and return the server for the key (``None`` if absent)."""
+        key = _make_key(table, columns)
+        with self._lock:
+            return self._servers.pop(key, None)
+
+    def keys(self) -> List[ModelKey]:
+        with self._lock:
+            return sorted(self._servers)
+
+    def items(self) -> List[Tuple[ModelKey, SnapshotServer]]:
+        with self._lock:
+            return sorted(self._servers.items())
+
+    def __contains__(self, key: object) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 2):
+            return False
+        table, columns = key
+        try:
+            resolved = _make_key(table, columns)
+        except (TypeError, ValueError):
+            return False
+        with self._lock:
+            return resolved in self._servers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._servers)
+
+    def __iter__(self) -> Iterator[ModelKey]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(models={len(self)})"

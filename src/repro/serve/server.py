@@ -1,0 +1,249 @@
+"""Snapshot-isolated serving on top of :class:`~repro.core.state.ModelState`.
+
+The paper's estimator is *self-tuning*: every query-feedback pair mutates
+bandwidths (Section 5.2) and, under inserts, the sample itself
+(Section 5.4).  Serving estimates straight off the mutating model would
+let a concurrent reader observe a half-applied RMSprop step — some
+dimensions already moved, others not — which is exactly the kind of
+torn state the snapshot/engine split exists to rule out.
+
+:class:`SnapshotServer` applies read-copy-update publication:
+
+* **Readers** never lock.  :meth:`estimate` grabs ``self._published`` —
+  one attribute load, atomic under the GIL — and evaluates against the
+  immutable :class:`~repro.core.state.ModelState` captured there.  The
+  reader engine is a static :class:`~repro.core.estimator.KernelDensityEstimator`
+  built once per publication via ``from_state``.
+* **The writer** serialises feedback under a lock and, whenever the
+  model's ``(bandwidth_epoch, sample_epoch)`` pair advances, snapshots
+  the model and swaps the published record in a single assignment.
+  Readers therefore only ever see whole-epoch states: a published
+  snapshot reflects *all* of the bandwidth step that produced it.
+
+Staleness — the number of feedback observations absorbed by the writer
+but not yet visible to readers — is tracked and exported through
+:mod:`repro.obs` alongside the publication count.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..core.estimator import KernelDensityEstimator
+from ..core.state import ModelState
+from ..geometry import Box
+from ..obs import MetricsRegistry, get_registry
+
+__all__ = ["PublishedSnapshot", "SnapshotServer", "SnapshotModel"]
+
+
+@runtime_checkable
+class SnapshotModel(Protocol):
+    """Anything servable: an estimator exposing snapshot/restore/feedback."""
+
+    def snapshot(self) -> ModelState: ...
+
+    def restore(self, state: ModelState) -> None: ...
+
+    def feedback(self, query: Box, true_selectivity: float): ...
+
+
+@dataclass(frozen=True)
+class PublishedSnapshot:
+    """One immutable publication: state, reader engine, and sequence number.
+
+    Swapped wholesale so a reader can never pair the state of one
+    publication with the engine of another.
+    """
+
+    state: ModelState
+    reader: KernelDensityEstimator
+    sequence: int
+    feedback_count: int
+
+    @property
+    def epochs(self) -> Tuple[int, int]:
+        return self.state.epochs
+
+
+class SnapshotServer:
+    """Read-copy-update wrapper around one self-tuning model.
+
+    Parameters
+    ----------
+    model:
+        The writer model.  Any of the three estimator families works —
+        ``KernelDensityEstimator``, ``SelfTuningKDE`` or ``DeviceKDE`` —
+        because the reader engine is rebuilt from the published
+        :class:`ModelState` with ``KernelDensityEstimator.from_state``,
+        which accepts every state kind.
+    metrics:
+        Metrics registry; defaults to the process-global one.
+    on_publish:
+        Optional callback invoked (under the writer lock, immediately
+        *before* the record becomes visible to readers) with each newly
+        published :class:`PublishedSnapshot`.  Used by tests and by
+        checkpoint glue that wants to persist exactly the served states.
+    """
+
+    def __init__(
+        self,
+        model: SnapshotModel,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        on_publish: Optional[Callable[[PublishedSnapshot], None]] = None,
+    ) -> None:
+        if not hasattr(model, "snapshot") or not hasattr(model, "feedback"):
+            raise TypeError(
+                "model must expose snapshot() and feedback(); got "
+                f"{type(model).__name__}"
+            )
+        self._model = model
+        self._metrics = metrics
+        self._on_publish = on_publish
+        self._lock = threading.RLock()
+        self._feedback_count = 0
+        self._published: PublishedSnapshot  # assigned by _publish_locked
+        with self._lock:
+            self._publish_locked(self._model.snapshot())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> SnapshotModel:
+        """The writer model (mutate only through :meth:`feedback`)."""
+        return self._model
+
+    @property
+    def published(self) -> PublishedSnapshot:
+        """The current publication record (lock-free)."""
+        return self._published
+
+    @property
+    def published_state(self) -> ModelState:
+        """The :class:`ModelState` readers currently evaluate against."""
+        return self._published.state
+
+    @property
+    def publish_count(self) -> int:
+        """Number of publications, including the initial one."""
+        return self._published.sequence
+
+    @property
+    def feedback_count(self) -> int:
+        """Total feedback observations absorbed by the writer."""
+        return self._feedback_count
+
+    @property
+    def staleness(self) -> int:
+        """Writer feedbacks not yet reflected in the published snapshot."""
+        published = self._published
+        return max(0, self._feedback_count - published.feedback_count)
+
+    # ------------------------------------------------------------------
+    # Reader path (lock-free)
+    # ------------------------------------------------------------------
+    def estimate(self, query: Box) -> float:
+        """Selectivity estimate against the latest published snapshot."""
+        published = self._published  # single atomic attribute load
+        value = float(published.reader.selectivity(query))
+        self._registry().counter("serve.reads").inc()
+        return value
+
+    def estimate_batch(self, queries) -> np.ndarray:
+        """Batched estimates, all against one consistent snapshot."""
+        published = self._published
+        values = published.reader.selectivity_batch(queries)
+        self._registry().counter("serve.reads").inc(len(values))
+        return values
+
+    # ------------------------------------------------------------------
+    # Writer path (serialised)
+    # ------------------------------------------------------------------
+    def feedback(self, query: Box, true_selectivity: float):
+        """Apply one feedback observation and publish completed epochs.
+
+        The model mutates under the writer lock; publication happens only
+        when the model's epoch pair advanced, so readers observe either
+        the pre-step or the post-step state — never a partial step.
+        Models without epoch counters (``DeviceKDE``) publish after every
+        feedback, which is trivially whole-step for the same reason: the
+        snapshot is taken after ``feedback`` returns.
+        """
+        with self._lock:
+            result = self._model.feedback(query, true_selectivity)
+            self._feedback_count += 1
+            if self._model_epochs() != self._published.epochs:
+                self._publish_locked(self._model.snapshot())
+            else:
+                self._registry().gauge("serve.staleness").set(self.staleness)
+            return result
+
+    def publish(self) -> PublishedSnapshot:
+        """Force publication of the writer's current state."""
+        with self._lock:
+            self._publish_locked(self._model.snapshot())
+            return self._published
+
+    def restore(self, state: ModelState) -> None:
+        """Restore the writer from ``state`` and republish immediately."""
+        with self._lock:
+            self._model.restore(state)
+            self._publish_locked(self._model.snapshot())
+
+    def snapshot(self) -> ModelState:
+        """Consistent snapshot of the *writer* (for checkpointing)."""
+        with self._lock:
+            return self._model.snapshot()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_registry()
+
+    def _model_epochs(self) -> Tuple[int, int]:
+        # Fall back to (-1, -1) for models without epoch counters so the
+        # comparison against any published state always differs → publish
+        # on every feedback.
+        bandwidth = getattr(self._model, "bandwidth_epoch", None)
+        sample = getattr(self._model, "sample_epoch", None)
+        if bandwidth is None or sample is None:
+            return (-1, -1)
+        return (int(bandwidth), int(sample))
+
+    def _publish_locked(self, state: ModelState) -> None:
+        sequence = getattr(self, "_published", None)
+        next_sequence = 1 if sequence is None else sequence.sequence + 1
+        reader = KernelDensityEstimator.from_state(state)
+        record = PublishedSnapshot(
+            state=state,
+            reader=reader,
+            sequence=next_sequence,
+            feedback_count=self._feedback_count,
+        )
+        # The callback runs first, while the record is still invisible:
+        # observers that log publications (tests, checkpoint glue) are
+        # guaranteed to know about a record before any reader can see it.
+        if self._on_publish is not None:
+            self._on_publish(record)
+        # The single store below is the linearisation point: readers that
+        # loaded the old record keep a fully consistent (state, reader)
+        # pair; new readers see the new pair.
+        self._published = record
+        registry = self._registry()
+        registry.counter("serve.publishes").inc()
+        registry.gauge("serve.staleness").set(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        published = self._published
+        return (
+            f"SnapshotServer(model={type(self._model).__name__}, "
+            f"publishes={published.sequence}, feedbacks={self._feedback_count}, "
+            f"staleness={self.staleness})"
+        )

@@ -50,3 +50,29 @@ class TestCLI:
         assert "Figure 7" in report
         assert "STHoles" in report
         assert "scale=smoke" in report
+
+
+class TestServingExperiment:
+    def test_listed(self):
+        assert "serving" in EXPERIMENTS
+        from repro.bench.cli import SERVING_SCALE
+
+        assert set(SERVING_SCALE) == set(SCALES)
+
+    def test_smoke_end_to_end(self):
+        report = run_experiment("serving", "smoke", progress=False)
+        assert "Serving" in report
+        assert "reads/s" in report
+        assert "staleness" in report
+        assert "publications" in report
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        path = str(tmp_path / "serving.ckpt")
+        cold = run_experiment(
+            "serving", "smoke", progress=False, checkpoint=path
+        )
+        assert "cold start" in cold
+        warm = run_experiment(
+            "serving", "smoke", progress=False, checkpoint=path
+        )
+        assert "warm-started from" in warm

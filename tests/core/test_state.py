@@ -1,0 +1,324 @@
+"""ModelState: snapshot/restore, on-disk round trips, corrupt rejection."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.model import SelfTuningKDE
+from repro.core.state import (
+    FORMAT_VERSION,
+    CheckpointError,
+    ModelState,
+    generator_from_state,
+    generator_state,
+)
+from repro.device.kde_device import DeviceKDE
+from repro.device.runtime import DeviceContext
+from repro.device.specs import GTX460
+from repro.geometry import Box
+
+
+def make_sample(rows=200, dims=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dims))
+
+
+def make_query(dims=3):
+    return Box(low=np.full(dims, -1.0), high=np.linspace(0.5, 1.5, dims))
+
+
+def make_queries(dims=3, count=8, seed=5):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(count, dims))
+    widths = rng.uniform(0.2, 2.0, size=(count, dims))
+    return [
+        Box(low=c - w / 2, high=c + w / 2) for c, w in zip(centers, widths)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# ModelState container semantics
+# ---------------------------------------------------------------------------
+class TestModelStateContainer:
+    def test_arrays_are_frozen_copies(self):
+        sample = make_sample()
+        bandwidth = scott_bandwidth(sample)
+        state = ModelState(
+            kind="kde",
+            sample=sample,
+            bandwidth=bandwidth,
+            kernels=("gaussian",) * 3,
+        )
+        with pytest.raises(ValueError):
+            state.sample[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            state.bandwidth[0] = 99.0
+        # Mutating the originals cannot reach through the snapshot.
+        sample[0, 0] = 123.0
+        assert state.sample[0, 0] != 123.0
+
+    def test_validates_shapes_and_kinds(self):
+        sample = make_sample()
+        bandwidth = scott_bandwidth(sample)
+        with pytest.raises(ValueError):
+            ModelState(
+                kind="nonsense",
+                sample=sample,
+                bandwidth=bandwidth,
+                kernels=("gaussian",) * 3,
+            )
+        with pytest.raises(ValueError):
+            ModelState(
+                kind="kde",
+                sample=sample,
+                bandwidth=bandwidth[:2],
+                kernels=("gaussian",) * 3,
+            )
+        with pytest.raises(ValueError):
+            ModelState(
+                kind="kde",
+                sample=sample,
+                bandwidth=bandwidth,
+                kernels=("gaussian",) * 2,
+            )
+
+    def test_equals(self):
+        sample = make_sample()
+        bandwidth = scott_bandwidth(sample)
+        kw = dict(
+            kind="kde",
+            sample=sample,
+            bandwidth=bandwidth,
+            kernels=("gaussian",) * 3,
+        )
+        a, b = ModelState(**kw), ModelState(**kw)
+        assert a.equals(b)
+        c = ModelState(**{**kw, "bandwidth": bandwidth * 2})
+        assert not a.equals(c)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical snapshot -> mutate -> restore and save -> load, per family
+# ---------------------------------------------------------------------------
+class TestKdeRoundTrip:
+    def test_snapshot_mutate_restore(self):
+        sample = make_sample()
+        kde = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        query = make_query()
+        before = kde.selectivity(query)
+        state = kde.snapshot()
+        kde.bandwidth = np.full(3, 7.0)
+        assert kde.selectivity(query) != before
+        kde.restore(state)
+        assert kde.selectivity(query) == before
+
+    def test_save_load_estimates_identical(self, tmp_path):
+        sample = make_sample()
+        kde = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        path = os.path.join(tmp_path, "kde.ckpt")
+        kde.snapshot().save(path)
+        revived = KernelDensityEstimator.from_state(ModelState.load(path))
+        for query in make_queries():
+            assert revived.selectivity(query) == kde.selectivity(query)
+
+    def test_restore_bumps_epochs_past_both_lineages(self):
+        sample = make_sample()
+        kde = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        state = kde.snapshot()
+        kde.bandwidth = np.full(3, 2.0)
+        epoch_before = kde.bandwidth_epoch
+        kde.restore(state)
+        assert kde.bandwidth_epoch > epoch_before
+        assert kde.bandwidth_epoch > state.bandwidth_epoch
+
+
+class TestSelfTuningRoundTrip:
+    def test_feedback_trajectory_bit_identical_after_save_load(self, tmp_path):
+        sample = make_sample()
+        queries = make_queries()
+        model = SelfTuningKDE(sample, seed=42)
+        for query in queries:
+            model.feedback(query, 0.3)
+        path = os.path.join(tmp_path, "st.ckpt")
+        model.snapshot().save(path)
+        revived = SelfTuningKDE.from_state(ModelState.load(path))
+
+        # Not just the estimate at snapshot time: the *continuation* is
+        # bit-identical, which requires tuner accumulators, karma,
+        # reservoir counters and RNG state to all round-trip.
+        for query in queries * 3:
+            assert revived.estimate(query) == model.estimate(query)
+            model.feedback(query, 0.25)
+            revived.feedback(query, 0.25)
+        assert np.array_equal(model.bandwidth, revived.bandwidth)
+
+    def test_restore_resets_pending_and_checks_kind(self):
+        sample = make_sample()
+        model = SelfTuningKDE(sample, seed=1)
+        state = model.snapshot()
+        assert state.kind == "self_tuning"
+        kde_state = KernelDensityEstimator(
+            sample, scott_bandwidth(sample)
+        ).snapshot()
+        with pytest.raises(ValueError):
+            model.restore(kde_state)
+
+
+class TestDeviceRoundTrip:
+    def _make(self, sample):
+        return DeviceKDE(sample, context=DeviceContext(GTX460))
+
+    def test_feedback_trajectory_bit_identical_after_save_load(self, tmp_path):
+        sample = make_sample()
+        queries = make_queries()
+        device = self._make(sample)
+        for query in queries[:4]:
+            device.estimate(query)
+            device.feedback(query, 0.3)
+        path = os.path.join(tmp_path, "dev.ckpt")
+        device.snapshot().save(path)
+        revived = DeviceKDE.from_state(
+            ModelState.load(path), context=DeviceContext(GTX460)
+        )
+        for query in queries:
+            assert revived.estimate(query) == device.estimate(query)
+            device.feedback(query, 0.2)
+            revived.feedback(query, 0.2)
+        assert np.array_equal(device.bandwidth, revived.bandwidth)
+
+    def test_restore_in_place(self):
+        sample = make_sample()
+        query = make_query()
+        device = self._make(sample)
+        device.estimate(query)
+        device.feedback(query, 0.4)
+        state = device.snapshot()
+        before = device.estimate(query)
+        device.feedback(query, 0.1)
+        device.feedback(query, 0.9)
+        device.restore(state)
+        assert device.estimate(query) == before
+
+    def test_precision_preserved(self):
+        sample = make_sample()
+        state = self._make(sample).snapshot()
+        assert state.sample.dtype == np.float32
+        assert state.config["precision"] == "float32"
+
+
+# ---------------------------------------------------------------------------
+# Serialisation format: rejection of corrupt / truncated / future files
+# ---------------------------------------------------------------------------
+class TestFormatRejection:
+    @pytest.fixture
+    def saved(self, tmp_path):
+        sample = make_sample(rows=64)
+        model = SelfTuningKDE(sample, seed=3)
+        model.feedback(make_query(), 0.5)
+        path = os.path.join(tmp_path, "model.ckpt")
+        model.snapshot().save(path)
+        return path
+
+    def test_truncated_file_rejected(self, saved):
+        blob = open(saved, "rb").read()
+        for cut in (0, 4, len(blob) // 2, len(blob) - 3):
+            with open(saved, "wb") as handle:
+                handle.write(blob[:cut])
+            with pytest.raises(CheckpointError):
+                ModelState.load(saved)
+
+    def test_checksum_mismatch_rejected(self, saved):
+        blob = bytearray(open(saved, "rb").read())
+        blob[-1] ^= 0x01  # flip one payload bit
+        with open(saved, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            ModelState.load(saved)
+
+    def test_bad_magic_rejected(self, saved):
+        blob = bytearray(open(saved, "rb").read())
+        blob[0] ^= 0xFF
+        with pytest.raises(CheckpointError, match="magic"):
+            ModelState.from_bytes(bytes(blob))
+
+    def test_future_version_rejected(self, saved):
+        state = ModelState.load(saved)
+        import json
+
+        from repro.core import state as state_module
+
+        blob = state.to_bytes()
+        header_length = int.from_bytes(
+            blob[len(state_module.MAGIC):len(state_module.MAGIC) + 8],
+            "little",
+        )
+        header_start = len(state_module.MAGIC) + 8
+        header = json.loads(blob[header_start:header_start + header_length])
+        header["format_version"] = FORMAT_VERSION + 1
+        raw = json.dumps(header).encode("utf-8")
+        forged = (
+            state_module.MAGIC
+            + len(raw).to_bytes(8, "little")
+            + raw
+            + blob[header_start + header_length:]
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            ModelState.from_bytes(forged)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            ModelState.load(os.path.join(tmp_path, "nope.ckpt"))
+
+    def test_atomic_save_leaves_no_tmp_files(self, saved, tmp_path):
+        names = os.listdir(tmp_path)
+        assert names == ["model.ckpt"]
+
+
+# ---------------------------------------------------------------------------
+# RNG state helpers
+# ---------------------------------------------------------------------------
+class TestGeneratorState:
+    def test_round_trip_continues_stream(self):
+        rng = np.random.default_rng(123)
+        rng.random(10)
+        revived = generator_from_state(generator_state(rng))
+        assert np.array_equal(rng.random(100), revived.random(100))
+
+    def test_state_is_json_serialisable(self):
+        import json
+
+        rng = np.random.default_rng(7)
+        encoded = json.dumps(generator_state(rng))
+        revived = generator_from_state(json.loads(encoded))
+        assert rng.random() == revived.random()
+
+
+# ---------------------------------------------------------------------------
+# Property test: serialisation is lossless for arbitrary tuned models
+# ---------------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    feedbacks=st.integers(min_value=0, max_value=6),
+    dims=st.integers(min_value=1, max_value=4),
+)
+def test_bytes_round_trip_lossless(seed, feedbacks, dims):
+    rng = np.random.default_rng(seed)
+    sample = rng.normal(size=(50, dims))
+    model = SelfTuningKDE(sample, seed=seed)
+    query = Box(low=np.full(dims, -0.5), high=np.full(dims, 0.8))
+    for _ in range(feedbacks):
+        model.feedback(query, 0.4)
+    state = model.snapshot()
+    revived_state = ModelState.from_bytes(state.to_bytes())
+    assert state.equals(revived_state)
+    revived = SelfTuningKDE.from_state(revived_state)
+    assert revived.estimate(query) == model.estimate(query)
+    model.feedback(query, 0.6)
+    revived.feedback(query, 0.6)
+    assert np.array_equal(model.bandwidth, revived.bandwidth)

@@ -169,3 +169,70 @@ class TestRunWorkloadBatched:
         )
         assert [o.estimated for o in observations] == [0.5] * 5
         assert estimator.feedback_calls == 5
+
+
+class TestAttachDetachIdempotency:
+    """Regression: attach/detach must be idempotent and re-entrant.
+
+    A double attach used to be guarded only by a racy check-then-act;
+    a duplicated bridge would forward every insert twice, silently
+    corrupting reservoir counters.
+    """
+
+    def test_repeated_attach_registers_one_bridge(self, table, rng):
+        estimator = AdaptiveKDE(
+            sample=table.analyze(64, rng),
+            row_source=table,
+            population_size=len(table),
+            seed=0,
+        )
+        loop = FeedbackLoop(table, estimator)
+        for _ in range(5):
+            loop.attach()
+        assert loop.attached
+        population = estimator.model.reservoir.population_size
+        table.insert([0.0, 0.0])
+        # One event per insert, not five.
+        assert estimator.model.reservoir.population_size == population + 1
+
+    def test_detach_without_attach_is_noop(self, table, rng):
+        loop = FeedbackLoop(table, HeuristicKDE(table.analyze(64, rng)))
+        loop.detach()
+        loop.detach()
+        assert not loop.attached
+
+    def test_attach_detach_cycle_restores_clean_state(self, table, rng):
+        loop = FeedbackLoop(table, HeuristicKDE(table.analyze(64, rng)))
+        for _ in range(3):
+            loop.attach()
+            assert loop.attached
+            loop.detach()
+            assert not loop.attached
+        table.insert([0.0, 0.0])  # no listener left behind
+
+    def test_concurrent_attach_registers_one_bridge(self, table, rng):
+        import threading
+
+        estimator = AdaptiveKDE(
+            sample=table.analyze(64, rng),
+            row_source=table,
+            population_size=len(table),
+            seed=0,
+        )
+        loop = FeedbackLoop(table, estimator)
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            loop.attach()
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        population = estimator.model.reservoir.population_size
+        table.insert([0.0, 0.0])
+        assert estimator.model.reservoir.population_size == population + 1
+        loop.detach()
+        assert not loop.attached

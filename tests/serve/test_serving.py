@@ -1,0 +1,322 @@
+"""Serving layer: RCU publication, registry, checkpoints, concurrency."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.model import SelfTuningKDE
+from repro.core.state import ModelState
+from repro.serve import (
+    CheckpointManager,
+    ModelRegistry,
+    PublishedSnapshot,
+    SnapshotServer,
+)
+from repro.geometry import Box
+
+
+def make_sample(rows=200, dims=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dims))
+
+
+def make_query(dims=2):
+    return Box(low=np.full(dims, -1.0), high=np.full(dims, 0.8))
+
+
+def make_queries(dims=2, count=6, seed=9):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(count, dims))
+    widths = rng.uniform(0.3, 1.5, size=(count, dims))
+    return [
+        Box(low=c - w / 2, high=c + w / 2) for c, w in zip(centers, widths)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SnapshotServer publication semantics
+# ---------------------------------------------------------------------------
+class TestSnapshotServer:
+    def test_initial_publication(self):
+        server = SnapshotServer(SelfTuningKDE(make_sample(), seed=1))
+        assert server.publish_count == 1
+        assert server.staleness == 0
+        assert server.published_state.kind == "self_tuning"
+
+    def test_estimate_serves_published_snapshot_not_writer(self):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model)
+        query = make_query()
+        before = server.estimate(query)
+        # Mutate the writer outside the server's knowledge; readers keep
+        # serving the published snapshot until the next publication.
+        for _ in range(50):
+            model.feedback(query, 0.5)
+        assert server.estimate(query) == before
+        server.publish()
+        assert server.estimate(query) != before
+
+    def test_publishes_once_per_completed_epoch(self):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model)
+        query = make_query()
+        published_epochs = []
+        server._on_publish = lambda pub: published_epochs.append(pub.epochs)
+        batch_size = model.config.adaptive.batch_size
+        for _ in range(batch_size * 3):
+            server.feedback(query, 0.4)
+        # One publication per completed mini-batch step, and staleness
+        # counts only the feedbacks of the unfinished batch.
+        assert server.publish_count == 1 + len(published_epochs)
+        assert len(published_epochs) == 3
+        assert server.staleness < batch_size
+        assert len(set(published_epochs)) == len(published_epochs)
+
+    def test_on_publish_callback_receives_records(self):
+        records = []
+        server = SnapshotServer(
+            SelfTuningKDE(make_sample(), seed=1), on_publish=records.append
+        )
+        publication = server.publish()
+        assert isinstance(publication, PublishedSnapshot)
+        assert records and records[-1] is publication
+
+    def test_restore_republishes(self):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model)
+        query = make_query()
+        baseline = server.snapshot()
+        before = server.estimate(query)
+        for _ in range(40):
+            server.feedback(query, 0.9)
+        assert server.estimate(query) != before
+        server.restore(baseline)
+        assert server.estimate(query) == before
+
+    def test_works_for_static_kde(self):
+        sample = make_sample()
+        kde = KernelDensityEstimator(sample, scott_bandwidth(sample))
+        server = SnapshotServer(kde)
+        query = make_query()
+        assert server.estimate(query) == kde.selectivity(query)
+
+    def test_rejects_model_without_snapshot(self):
+        with pytest.raises(TypeError):
+            SnapshotServer(object())
+
+    def test_estimate_batch_consistent(self):
+        server = SnapshotServer(SelfTuningKDE(make_sample(), seed=1))
+        queries = make_queries()
+        batched = server.estimate_batch(queries)
+        assert np.array_equal(
+            batched, [server.estimate(q) for q in queries]
+        )
+
+
+class TestConcurrentReaders:
+    def test_readers_only_observe_whole_epoch_states(self):
+        """The RCU invariant under a real reader/writer race.
+
+        Every publication is logged (under the writer lock) with its
+        epoch pair and bandwidth.  Concurrent readers then must never
+        observe an (epochs, bandwidth) pair absent from that log — a
+        torn read of a half-applied RMSprop step would surface as an
+        unknown pair.
+        """
+        model = SelfTuningKDE(make_sample(rows=300), seed=7)
+        published = {}
+        log_lock = threading.Lock()
+
+        def record(publication):
+            with log_lock:
+                published[publication.epochs] = (
+                    publication.state.bandwidth.tobytes()
+                )
+
+        server = SnapshotServer(model, on_publish=record)
+        queries = make_queries()
+        truths = [0.1, 0.3, 0.5, 0.7, 0.2, 0.6]
+        stop = threading.Event()
+        violations = []
+
+        def read_loop():
+            while not stop.is_set():
+                publication = server.published
+                observed = (
+                    publication.epochs,
+                    publication.state.bandwidth.tobytes(),
+                    publication.reader.bandwidth.tobytes(),
+                )
+                with log_lock:
+                    expected = published.get(observed[0])
+                if expected is None or observed[1] != expected:
+                    violations.append(("unpublished state", observed[0]))
+                    return
+                if observed[2] != observed[1]:
+                    violations.append(("reader/state mismatch", observed[0]))
+                    return
+                server.estimate(queries[0])
+
+        readers = [threading.Thread(target=read_loop) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for index in range(200):
+                server.feedback(
+                    queries[index % len(queries)],
+                    truths[index % len(truths)],
+                )
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not violations
+        assert server.publish_count > 2  # the race actually exercised RCU
+
+
+# ---------------------------------------------------------------------------
+# ModelRegistry
+# ---------------------------------------------------------------------------
+class TestModelRegistry:
+    def test_register_wraps_and_retrieves(self):
+        registry = ModelRegistry()
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = registry.register("orders", ("price", "quantity"), model)
+        assert isinstance(server, SnapshotServer)
+        assert server.model is model
+        assert registry.get("orders", ["price", "quantity"]) is server
+        assert ("orders", ("price", "quantity")) in registry
+        assert len(registry) == 1
+
+    def test_register_existing_server_passthrough(self):
+        registry = ModelRegistry()
+        server = SnapshotServer(SelfTuningKDE(make_sample(), seed=1))
+        assert registry.register("t", ("a", "b"), server) is server
+
+    def test_duplicate_key_requires_replace(self):
+        registry = ModelRegistry()
+        registry.register("t", ("a", "b"), SelfTuningKDE(make_sample(), seed=1))
+        with pytest.raises(KeyError):
+            registry.register(
+                "t", ("a", "b"), SelfTuningKDE(make_sample(), seed=2)
+            )
+        replacement = registry.register(
+            "t", ("a", "b"), SelfTuningKDE(make_sample(), seed=2), replace=True
+        )
+        assert registry.get("t", ("a", "b")) is replacement
+
+    def test_missing_key(self):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.get("nope", ("x",))
+        assert registry.lookup("nope", ("x",)) is None
+        assert registry.unregister("nope", ("x",)) is None
+
+    def test_key_validation(self):
+        registry = ModelRegistry()
+        model = SelfTuningKDE(make_sample(), seed=1)
+        with pytest.raises(TypeError):
+            registry.register("t", "not-a-sequence", model)
+        with pytest.raises(ValueError):
+            registry.register("", ("a",), model)
+        with pytest.raises(ValueError):
+            registry.register("t", (), model)
+
+
+# ---------------------------------------------------------------------------
+# CheckpointManager
+# ---------------------------------------------------------------------------
+class TestCheckpointManager:
+    def _server(self, seed=1):
+        return SnapshotServer(SelfTuningKDE(make_sample(), seed=seed))
+
+    def test_checkpoint_and_retention(self, tmp_path):
+        server = self._server()
+        manager = CheckpointManager(server, str(tmp_path), keep_last=2)
+        paths = [manager.checkpoint() for _ in range(5)]
+        kept = manager.checkpoints()
+        assert len(kept) == 2
+        assert kept == paths[-2:]
+        assert manager.latest() == paths[-1]
+
+    def test_maybe_checkpoint_follows_feedback_cadence(self, tmp_path):
+        server = self._server()
+        manager = CheckpointManager(
+            server, str(tmp_path), every_feedbacks=5
+        )
+        query = make_query()
+        assert manager.maybe_checkpoint() is None  # anchors the cadence
+        written = 0
+        for _ in range(20):
+            server.feedback(query, 0.4)
+            if manager.maybe_checkpoint() is not None:
+                written += 1
+        assert written == 4
+
+    def test_warm_start_restores_newest(self, tmp_path):
+        server = self._server()
+        query = make_query()
+        manager = CheckpointManager(server, str(tmp_path))
+        for _ in range(30):
+            server.feedback(query, 0.7)
+        manager.checkpoint()
+        tuned = server.estimate(query)
+
+        fresh = self._server(seed=99)
+        restored_from = CheckpointManager(fresh, str(tmp_path)).warm_start()
+        assert restored_from == manager.latest()
+        assert fresh.estimate(query) == tuned
+
+    def test_warm_start_skips_corrupt_newest(self, tmp_path):
+        server = self._server()
+        query = make_query()
+        manager = CheckpointManager(server, str(tmp_path), keep_last=3)
+        manager.checkpoint()
+        for _ in range(30):
+            server.feedback(query, 0.7)
+        good = server.estimate(query)
+        second = manager.checkpoint()
+        for _ in range(30):
+            server.feedback(query, 0.2)
+        newest = manager.checkpoint()
+
+        # Truncate the newest checkpoint as a crash would.
+        blob = open(newest, "rb").read()
+        with open(newest, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+
+        fresh = self._server(seed=99)
+        restored_from = CheckpointManager(fresh, str(tmp_path)).warm_start()
+        assert restored_from == second
+        assert fresh.estimate(query) == good
+
+    def test_warm_start_empty_directory(self, tmp_path):
+        assert CheckpointManager(self._server(), str(tmp_path)).warm_start() is None
+
+    def test_indices_continue_after_restart(self, tmp_path):
+        first = CheckpointManager(self._server(), str(tmp_path), keep_last=10)
+        first.checkpoint()
+        first.checkpoint()
+        second = CheckpointManager(self._server(), str(tmp_path), keep_last=10)
+        path = second.checkpoint()
+        assert os.path.basename(path) == "model-00000003.ckpt"
+
+    def test_works_with_bare_model(self, tmp_path):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        manager = CheckpointManager(model, str(tmp_path))
+        path = manager.checkpoint()
+        assert ModelState.load(path).kind == "self_tuning"
+
+    def test_validates_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(self._server(), str(tmp_path), keep_last=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(
+                self._server(), str(tmp_path), every_feedbacks=0
+            )
+        with pytest.raises(TypeError):
+            CheckpointManager(object(), str(tmp_path))

@@ -63,3 +63,74 @@ def test_device_kind_accepts_existing_context(small_sample):
 def test_unknown_kind_lists_choices(small_sample):
     with pytest.raises(ValueError, match="self_tuning"):
         create_estimator(small_sample, kind="histogram")
+
+
+class TestCheckpointWarmStart:
+    def _tuned_model(self, small_sample):
+        model = create_estimator(small_sample, kind="self_tuning", seed=5)
+        dims = small_sample.shape[1]
+        query = Box([-0.5] * dims, [0.5] * dims)
+        for _ in range(25):
+            model.feedback(query, 0.4)
+        return model, query
+
+    def test_missing_checkpoint_builds_fresh(self, small_sample, tmp_path):
+        estimator = create_estimator(
+            small_sample,
+            kind="self_tuning",
+            seed=5,
+            checkpoint=str(tmp_path / "absent.ckpt"),
+        )
+        assert isinstance(estimator, SelfTuningKDE)
+
+    def test_warm_start_restores_tuned_state(self, small_sample, tmp_path):
+        model, query = self._tuned_model(small_sample)
+        path = str(tmp_path / "model.ckpt")
+        model.snapshot().save(path)
+        revived = create_estimator(
+            small_sample, kind="self_tuning", seed=99, checkpoint=path
+        )
+        assert revived.estimate(query) == model.estimate(query)
+        assert np.array_equal(revived.bandwidth, model.bandwidth)
+
+    def test_kde_kind_accepts_any_state(self, small_sample, tmp_path):
+        model, query = self._tuned_model(small_sample)
+        path = str(tmp_path / "model.ckpt")
+        model.snapshot().save(path)
+        kde = create_estimator(small_sample, kind="kde", checkpoint=path)
+        assert isinstance(kde, KernelDensityEstimator)
+        assert kde.selectivity(query) == model.estimate(query)
+
+    def test_kind_mismatch_raises(self, small_sample, tmp_path):
+        from repro import CheckpointError
+
+        model, _ = self._tuned_model(small_sample)
+        path = str(tmp_path / "model.ckpt")
+        model.snapshot().save(path)
+        with pytest.raises(CheckpointError):
+            create_estimator(small_sample, kind="device", checkpoint=path)
+
+    def test_corrupt_checkpoint_raises(self, small_sample, tmp_path):
+        from repro import CheckpointError
+
+        model, _ = self._tuned_model(small_sample)
+        path = str(tmp_path / "model.ckpt")
+        model.snapshot().save(path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            create_estimator(
+                small_sample, kind="self_tuning", checkpoint=path
+            )
+
+    def test_top_level_exports(self):
+        for name in (
+            "ModelState",
+            "CheckpointError",
+            "ModelRegistry",
+            "SnapshotServer",
+            "CheckpointManager",
+        ):
+            assert hasattr(repro, name)
+            assert name in repro.__all__

@@ -29,6 +29,18 @@ from typing import List
 
 ROOT_PACKAGE = "repro"
 
+#: Modules that must exist and be importable: subsystems other layers
+#: (serving glue, checkpoint tooling) depend on by name.  A rename or
+#: packaging slip that drops one of these should fail loudly here even
+#: though walk_packages would silently just not find it.
+REQUIRED_MODULES = (
+    "repro.core.state",
+    "repro.serve",
+    "repro.serve.checkpoint",
+    "repro.serve.registry",
+    "repro.serve.server",
+)
+
 #: Defined-elsewhere symbols a module may intentionally re-export
 #: without listing (typing helpers and the like never count as public).
 _IGNORED_TYPES = (ModuleType,)
@@ -99,7 +111,13 @@ def check_module(name: str) -> List[str]:
 
 def main() -> int:
     problems: List[str] = []
-    for name in iter_modules():
+    modules = iter_modules()
+    for required in REQUIRED_MODULES:
+        if required not in modules:
+            problems.append(
+                f"{required}: required module missing from the package tree"
+            )
+    for name in modules:
         try:
             problems.extend(check_module(name))
         except Exception as error:  # import failure is itself a finding
