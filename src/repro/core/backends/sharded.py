@@ -422,6 +422,11 @@ class ShardedBackend(ExecutionBackend):
                     return self._fold_traced(registry, records)
                 return self.executor.run(fn, sample, payload)
             except (OSError, ValueError, RuntimeError) as error:
+                # Detach the dead infrastructure *before* falling back:
+                # a broken pool would otherwise be happily reused by
+                # ``ensure()`` (the shm view still matches the sample),
+                # so any later retry would fail forever.
+                self.executor.close()
                 if not self._fallback_inline:
                     raise
                 warnings.warn(

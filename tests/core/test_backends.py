@@ -266,6 +266,33 @@ class TestShardedBackend:
         )
         kde.backend.close()
 
+    def test_pool_failure_detaches_dead_executor(self, sample, batch):
+        """A pool-level failure must close the executor, not strand it.
+
+        Regression: the inline fallback used to leave the broken pool
+        attached; ``ensure()`` then reused it (the shm view still
+        matched), so clearing the fallback latch could never recover.
+        """
+        kde = _make(sample, ShardedBackend(shards=2))
+        expected = kde.selectivity_batch(batch)
+
+        pool = kde.backend.executor._pool
+        assert pool is not None
+        for process in pool._processes.values():
+            process.kill()
+        with pytest.warns(RuntimeWarning, match="falling back to inline"):
+            np.testing.assert_allclose(
+                kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
+            )
+        # The dead pool is gone, so re-arming sharded execution works.
+        assert kde.backend.executor._pool is None
+        kde.backend._inline = False
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
+        )
+        assert kde.backend.executor._pool is not None
+        kde.backend.close()
+
     def test_close_then_reuse_respawns(self, sample, batch):
         kde = _make(sample, ShardedBackend(shards=2))
         expected = kde.selectivity_batch(batch)
