@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import re
 import time
+import warnings
 from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..core.state import CheckpointError, ModelState
@@ -197,8 +198,17 @@ class CheckpointManager:
         for _, path in entries[: -self._keep_last or None]:
             try:
                 os.remove(path)
-            except OSError:  # pragma: no cover - concurrent cleanup
+            except FileNotFoundError:  # pragma: no cover - concurrent cleanup
                 pass
+            except OSError as error:
+                # A read-only directory (or similar) must not *silently*
+                # disable retention — the directory would grow unbounded.
+                self._registry().counter("checkpoint.prune_errors").inc()
+                warnings.warn(
+                    f"checkpoint retention could not remove {path}: {error}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
