@@ -31,6 +31,11 @@ Subpackages
 ``repro.obs``
     Observability: metrics registry, span tracing, estimation traces,
     JSON/Prometheus exporters (see :func:`repro.obs.enable_metrics`).
+``repro.faults``
+    Fault injection and fault tolerance: deterministic chaos plans
+    (worker crashes, hangs, shm corruption, torn checkpoints), retry
+    policies with backoff+jitter, and the circuit breaker guarding
+    sharded execution.
 
 Most workflows start with :func:`create_estimator`::
 
@@ -49,6 +54,7 @@ from .core import (
     scott_bandwidth,
 )
 from .factory import ESTIMATOR_KINDS, create_estimator
+from .faults import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
 from .serve import CheckpointManager, ModelRegistry, SnapshotServer
 from .obs import (
     MetricsRegistry,
@@ -64,8 +70,12 @@ __all__ = [
     "Box",
     "CheckpointError",
     "CheckpointManager",
+    "CircuitBreaker",
     "ESTIMATOR_KINDS",
+    "FaultInjector",
+    "FaultPlan",
     "KernelDensityEstimator",
+    "RetryPolicy",
     "MetricsRegistry",
     "ModelRegistry",
     "ModelState",

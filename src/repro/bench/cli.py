@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench ablations [--scale ...]
     python -m repro.bench batch
     python -m repro.bench backends [--scale ...] [--shards N [N ...]]
+    python -m repro.bench chaos  [--scale ...]
     python -m repro.bench metrics
     python -m repro.bench serving [--scale ...] [--checkpoint PATH]
     python -m repro.bench all    [--scale ...]
@@ -42,6 +43,7 @@ from .experiments import (
     run_adaptive_parameter_ablation,
     run_backend_scaling,
     run_batch_scaling,
+    run_chaos,
     run_dynamic_quality,
     run_karma_ablation,
     run_log_update_ablation,
@@ -54,6 +56,7 @@ from .experiments import (
 )
 from .metrics import win_matrix
 from .reporting import (
+    render_chaos,
     render_dynamic,
     render_model_size,
     render_observability,
@@ -118,6 +121,7 @@ EXPERIMENTS = (
     "ablations",
     "batch",
     "backends",
+    "chaos",
     "metrics",
     "serving",
     "all",
@@ -129,6 +133,15 @@ BACKEND_SCALE = {
     "small": dict(sample_sizes=(16384, 65536), batch_size=128, repeats=2),
     "paper": dict(
         sample_sizes=(16384, 65536, 262144), batch_size=256, repeats=3
+    ),
+}
+
+#: Per-scale parameters for the ``chaos`` experiment.
+CHAOS_SCALE = {
+    "smoke": dict(seeds=(0, 1), sample_size=256, batches=3, batch_size=24),
+    "small": dict(seeds=(0, 1, 2), sample_size=512, batches=4, batch_size=32),
+    "paper": dict(
+        seeds=tuple(range(8)), sample_size=1024, batches=6, batch_size=64
     ),
 }
 
@@ -308,6 +321,13 @@ def run_experiment(
             "Execution backends - measured wall clock, shards x sample "
             "size (speedups vs the numpy backend)"
         )
+    elif name == "chaos":
+        result = run_chaos(progress=progress, **CHAOS_SCALE[scale_name])
+        report = render_chaos(result)
+        title = (
+            "Chaos - sharded execution under seeded fault storms "
+            "(crashes, stragglers, shm corruption)"
+        )
     elif name == "metrics":
         report = render_observability(run_observability())
         title = (
@@ -362,7 +382,7 @@ def main(argv=None) -> int:
 
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
-         "batch", "backends", "metrics", "serving"]
+         "batch", "backends", "chaos", "metrics", "serving"]
         if args.experiment == "all"
         else [args.experiment]
     )

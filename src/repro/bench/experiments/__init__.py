@@ -10,6 +10,7 @@ from .ablations import (
     run_log_update_ablation,
     run_selector_shootout,
 )
+from .chaos import ChaosResult, run_chaos
 from .dynamic_quality import DynamicQualityResult, run_dynamic_quality
 from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
 from .observability import ObservabilityResult, run_observability
@@ -30,6 +31,7 @@ __all__ = [
     "AdaptiveParameterAblation",
     "BackendScalingResult",
     "BatchScalingResult",
+    "ChaosResult",
     "DEFAULT_BATCH_SIZES",
     "DynamicQualityResult",
     "KarmaAblation",
@@ -45,6 +47,7 @@ __all__ = [
     "run_adaptive_parameter_ablation",
     "run_backend_scaling",
     "run_batch_scaling",
+    "run_chaos",
     "run_dynamic_quality",
     "run_karma_ablation",
     "run_log_update_ablation",

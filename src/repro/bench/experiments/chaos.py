@@ -1,0 +1,126 @@
+"""Chaos bench: sharded estimation quality under seeded fault storms.
+
+Runs the fault-tolerant sharded backend (see :mod:`repro.faults`) under
+a reproducible storm of injected worker crashes, stragglers and
+shared-memory corruption, and verifies the reliability contract the
+library makes everywhere else numerically: *faults never change
+results*.  Reported per storm seed: how many faults fired, how many
+retries/resurrections the executor needed, the breaker's state history,
+and the maximum deviation of every batch from the reference numpy
+backend (which must stay within the 1e-12 equivalence budget).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...core.backends import NumpyBackend, ShardedBackend
+from ...core.bandwidth import scott_bandwidth
+from ...core.estimator import KernelDensityEstimator
+from ...faults import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
+from ...geometry import QueryBatch
+
+__all__ = ["ChaosResult", "run_chaos"]
+
+
+@dataclass
+class ChaosResult:
+    """Aggregate outcome of one chaos sweep."""
+
+    seeds: Tuple[int, ...]
+    batches_per_seed: int
+    #: Per-seed counts of injected faults, keyed ``(site, kind)``.
+    injected: List[Dict[Tuple[str, str], int]] = field(default_factory=list)
+    retries: List[int] = field(default_factory=list)
+    resurrections: List[int] = field(default_factory=list)
+    republications: List[int] = field(default_factory=list)
+    timeouts: List[int] = field(default_factory=list)
+    breaker_transitions: List[int] = field(default_factory=list)
+    #: Max |sharded - numpy| across all batches, per seed.
+    max_abs_deviation: List[float] = field(default_factory=list)
+    wall_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(sum(counts.values()) for counts in self.injected)
+
+    @property
+    def worst_deviation(self) -> float:
+        return max(self.max_abs_deviation, default=0.0)
+
+
+def _storm_plan(seed: int, draws: int) -> FaultPlan:
+    """Shard crash/straggler storm plus one shm corruption per seed."""
+    base = FaultPlan.seeded(
+        seed, draws=draws, crash=0.12, slow=0.2, slow_seconds=0.01
+    )
+    return FaultPlan(
+        tuple(base) + (FaultSpec("shm", "corrupt", at=2 + seed % 3),)
+    )
+
+
+def run_chaos(
+    seeds: Tuple[int, ...] = (0, 1, 2),
+    sample_size: int = 512,
+    dimensions: int = 3,
+    batches: int = 4,
+    batch_size: int = 32,
+    shards: int = 3,
+    progress: bool = True,
+) -> ChaosResult:
+    """Run the sharded backend under one fault storm per seed."""
+    result = ChaosResult(seeds=tuple(seeds), batches_per_seed=batches)
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        sample = rng.normal(size=(sample_size, dimensions))
+        bandwidth = scott_bandwidth(sample)
+        reference = KernelDensityEstimator(
+            sample, bandwidth, backend=NumpyBackend()
+        )
+        injector = FaultInjector(_storm_plan(seed, draws=batches * shards))
+        backend = ShardedBackend(
+            shards=shards,
+            retry=RetryPolicy(
+                max_attempts=4,
+                shard_timeout=30.0,
+                backoff_base=0.0,
+                jitter=0.0,
+            ),
+            faults=injector,
+        )
+        model = KernelDensityEstimator(sample, bandwidth, backend=backend)
+        deviation = 0.0
+        started = time.perf_counter()
+        for _ in range(batches):
+            lows = rng.uniform(-2.0, 0.0, size=(batch_size, dimensions))
+            widths = rng.uniform(0.5, 2.0, size=(batch_size, dimensions))
+            batch = QueryBatch(lows, lows + widths)
+            got = model.selectivity_batch(batch)
+            want = reference.selectivity_batch(batch)
+            deviation = max(deviation, float(np.abs(got - want).max()))
+        elapsed = time.perf_counter() - started
+        backend.close()
+
+        counts: Dict[Tuple[str, str], int] = {}
+        for site, kind, _ in injector.events:
+            counts[(site, kind)] = counts.get((site, kind), 0) + 1
+        result.injected.append(counts)
+        result.retries.append(backend.executor.retry_count)
+        result.resurrections.append(backend.executor.resurrection_count)
+        result.republications.append(backend.executor.republication_count)
+        result.timeouts.append(backend.executor.timeout_count)
+        result.breaker_transitions.append(len(backend.breaker.transitions))
+        result.max_abs_deviation.append(deviation)
+        result.wall_seconds.append(elapsed)
+        if progress:
+            fired = sum(counts.values())
+            print(
+                f"[chaos] seed={seed}: {fired} faults, "
+                f"{backend.executor.resurrection_count} resurrections, "
+                f"max dev {deviation:.2e} ({elapsed:.1f}s)"
+            )
+    return result

@@ -11,6 +11,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from .experiments.chaos import ChaosResult
 from .experiments.dynamic_quality import DynamicQualityResult
 from .experiments.model_size import ModelSizeResult
 from .experiments.observability import ObservabilityResult
@@ -26,6 +27,7 @@ __all__ = [
     "render_model_size",
     "render_observability",
     "render_runtime",
+    "render_chaos",
     "render_dynamic",
     "render_serving",
 ]
@@ -195,3 +197,45 @@ def render_serving(result: ServingResult) -> str:
             "(final state saved back)"
         )
     return "\n".join(sections)
+
+
+def render_chaos(result: ChaosResult) -> str:
+    """Fault counts, recovery work and deviation per storm seed."""
+    headers = [
+        "seed",
+        "faults",
+        "retries",
+        "resurrect",
+        "republish",
+        "timeouts",
+        "breaker",
+        "max |dev|",
+        "seconds",
+    ]
+    rows = []
+    for index, seed in enumerate(result.seeds):
+        fired = sum(result.injected[index].values())
+        rows.append(
+            [
+                str(seed),
+                str(fired),
+                str(result.retries[index]),
+                str(result.resurrections[index]),
+                str(result.republications[index]),
+                str(result.timeouts[index]),
+                str(result.breaker_transitions[index]),
+                f"{result.max_abs_deviation[index]:.2e}",
+                f"{result.wall_seconds[index]:.1f}",
+            ]
+        )
+    verdict = (
+        "PASS: all batches within the 1e-12 budget"
+        if result.worst_deviation <= 1e-12
+        else f"FAIL: worst deviation {result.worst_deviation:.2e}"
+    )
+    return (
+        format_table(headers, rows)
+        + f"\n{result.total_injected} faults injected across "
+        f"{len(result.seeds)} storms x {result.batches_per_seed} batches; "
+        + verdict
+    )

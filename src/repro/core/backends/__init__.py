@@ -31,7 +31,12 @@ from typing import Callable, Dict, Optional, Union
 from .base import BackendStats, ExecutionBackend
 from .cache import CachedBackend, CDFTermCache
 from .numpy_backend import NumpyBackend
-from .sharded import ShardedBackend, ShardedSampleExecutor, default_shard_count
+from .sharded import (
+    ShardedBackend,
+    ShardedSampleExecutor,
+    ShardExecutionError,
+    default_shard_count,
+)
 
 __all__ = [
     "BackendStats",
@@ -39,6 +44,7 @@ __all__ = [
     "CachedBackend",
     "ExecutionBackend",
     "NumpyBackend",
+    "ShardExecutionError",
     "ShardedBackend",
     "ShardedSampleExecutor",
     "available_backends",

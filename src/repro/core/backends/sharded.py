@@ -21,6 +21,17 @@ the 1e-12 equivalence budget.
 In-place sample updates (Karma replacements) are write-through: the host
 rewrites the shared segment before the next evaluation, so workers never
 see stale rows and the pool never restarts.
+
+Execution is fault-tolerant (see :mod:`repro.faults`): each shard runs
+under a per-dispatch timeout with bounded retries and exponential
+backoff+jitter (:class:`~repro.faults.retry.RetryPolicy`); a crashed or
+hung worker pool is *resurrected* — segment and pool rebuilt, the sample
+re-published, and only the unfinished shards re-dispatched.  The backend
+guards the whole sharded path with a
+:class:`~repro.faults.breaker.CircuitBreaker`: when even the retry
+budget cannot save an execution it answers inline (numerically
+identical) and periodically probes the pool until sharded execution is
+healthy again.
 """
 
 from __future__ import annotations
@@ -30,16 +41,28 @@ import time
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_all_start_methods, get_context, shared_memory
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ...faults.breaker import CircuitBreaker, export_breaker_metrics
+from ...faults.injector import FaultInjector, InjectedFault
+from ...faults.plan import WorkerFault, apply_worker_fault
+from ...faults.retry import RetryPolicy
+from ...obs.metrics import get_registry
 from ...obs.spans import SpanContext, current_span_context
 from ..chunking import get_chunk_budget
 from .base import ExecutionBackend
 
-__all__ = ["ShardedBackend", "ShardedSampleExecutor", "default_shard_count"]
+__all__ = [
+    "ShardExecutionError",
+    "ShardedBackend",
+    "ShardedSampleExecutor",
+    "default_shard_count",
+]
 
 #: Environment override for the multiprocessing start method.
 START_METHOD_ENV = "REPRO_MP_START_METHOD"
@@ -81,9 +104,16 @@ def _attach_worker(shm_name: str, shape: Tuple[int, ...], dtype: str) -> None:
     _WORKER_SAMPLE = np.ndarray(shape, dtype=np.dtype(dtype), buffer=_WORKER_SHM.buf)
 
 
-def _run_shard(fn: Callable, start: int, stop: int, payload) -> np.ndarray:
+def _run_shard(
+    fn: Callable,
+    start: int,
+    stop: int,
+    payload,
+    fault: Optional[WorkerFault] = None,
+) -> np.ndarray:
     """Generic worker entry: run a shard function over [start, stop)."""
     assert _WORKER_SAMPLE is not None, "worker sample segment not attached"
+    apply_worker_fault(fault)
     return fn(_WORKER_SAMPLE, start, stop, payload)
 
 
@@ -94,6 +124,7 @@ def _run_shard_traced(
     payload,
     context: SpanContext,
     index: int,
+    fault: Optional[WorkerFault] = None,
 ):
     """Traced worker entry: run a shard and report its span by value.
 
@@ -103,6 +134,7 @@ def _run_shard_traced(
     :mod:`repro.obs.spans`).
     """
     assert _WORKER_SAMPLE is not None, "worker sample segment not attached"
+    apply_worker_fault(fault)
     path = context.child(f"shard[{index}]")
     started = time.perf_counter()
     result = fn(_WORKER_SAMPLE, start, stop, payload)
@@ -221,6 +253,16 @@ def _release(shm: Optional[shared_memory.SharedMemory],
             pass
 
 
+class ShardExecutionError(RuntimeError):
+    """Sharded execution failed even after its whole retry budget.
+
+    Raised by :meth:`ShardedSampleExecutor.run` with the last
+    infrastructure failure (broken pool, shard timeout, injected detach)
+    as ``__cause__``.  Genuine worker exceptions — the shard *function*
+    raising — are never wrapped: they surface as-is, first shard first.
+    """
+
+
 class ShardedSampleExecutor:
     """Owns the shared-memory sample segment and the worker pool.
 
@@ -228,6 +270,28 @@ class ShardedSampleExecutor:
     ``fn(sample, start, stop, payload)``, so both the core estimator and
     the simulated device layer can shard their evaluation through one
     piece of infrastructure.
+
+    Fault tolerance (``retry``, a :class:`~repro.faults.retry.RetryPolicy`):
+
+    * every shard dispatch runs under ``retry.shard_timeout`` seconds;
+    * an infrastructure failure (worker SIGKILL → ``BrokenProcessPool``,
+      a shard timeout, a detached segment) tears the suspect pool down
+      (hung workers are killed), waits out the policy's backoff+jitter,
+      rebuilds segment and pool, re-publishes the sample, and
+      re-dispatches *only the unfinished shards* — completed shard
+      results are kept across resurrections;
+    * after ``retry.max_attempts`` rounds the last infrastructure error
+      is raised wrapped in :class:`ShardExecutionError`;
+    * genuine worker exceptions (the shard function raising) are not
+      retried: outstanding futures are cancelled and the first failing
+      shard's exception surfaces unchanged.
+
+    Recovery/fault counters are kept as plain attributes
+    (``retry_count``, ``timeout_count``, ``resurrection_count``,
+    ``republication_count``) and mirrored into the ambient metrics
+    registry when one is enabled (``executor.retries`` /
+    ``executor.timeouts`` / ``executor.resurrections`` /
+    ``executor.republications``).
     """
 
     def __init__(
@@ -235,6 +299,9 @@ class ShardedSampleExecutor:
         shards: Optional[int] = None,
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        verify_publication: bool = True,
     ) -> None:
         if shards is not None and shards < 1:
             raise ValueError("shards must be at least 1")
@@ -242,6 +309,18 @@ class ShardedSampleExecutor:
         self.max_workers = max_workers or min(
             self.shards, default_shard_count()
         )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        #: Compare the published segment against the host sample before
+        #: each run and re-publish on divergence (an O(s*d) memcmp —
+        #: negligible next to the O(q*s*d) evaluation it protects).
+        #: Turns external segment corruption into a self-healed
+        #: republication instead of silently wrong estimates.
+        self.verify_publication = verify_publication
+        self.retry_count = 0
+        self.timeout_count = 0
+        self.resurrection_count = 0
+        self.republication_count = 0
         self._start_method = start_method
         self._shm: Optional[shared_memory.SharedMemory] = None
         self._view: Optional[np.ndarray] = None
@@ -260,6 +339,16 @@ class ShardedSampleExecutor:
             if self._dirty:
                 np.copyto(self._view, sample)
                 self._dirty = False
+            elif self.verify_publication and not np.array_equal(
+                self._view, sample
+            ):
+                # The segment diverged without the host marking it dirty
+                # — external corruption.  Repair and count it.
+                np.copyto(self._view, sample)
+                self.republication_count += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("executor.republications").inc()
             return
         self.close()
         shm = shared_memory.SharedMemory(create=True, size=sample.nbytes)
@@ -298,6 +387,27 @@ class ShardedSampleExecutor:
             self._finalizer = None
         self._shm = self._view = self._pool = None
 
+    def _resurrect(self) -> None:
+        """Tear a suspect pool down hard; the next :meth:`ensure` rebuilds.
+
+        The pool may contain a hung worker that a graceful
+        ``shutdown(wait=True)`` would block on forever, so workers are
+        SIGKILLed first — their shards are re-dispatched anyway.
+        """
+        pool = self._pool
+        if pool is not None:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+        self.close()
+        self.resurrection_count += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("executor.resurrections").inc()
+
     # -- execution -----------------------------------------------------
     def shard_bounds(self, rows: int) -> List[Tuple[int, int]]:
         """Contiguous, near-equal row shards (empty shards dropped)."""
@@ -308,14 +418,13 @@ class ShardedSampleExecutor:
         return [(a, b) for a, b in bounds if b > a]
 
     def run(self, fn: Callable, sample: np.ndarray, payload) -> List[np.ndarray]:
-        """Map ``fn`` over the row shards; results in shard order."""
-        self.ensure(sample)
-        assert self._pool is not None
-        futures = [
-            self._pool.submit(_run_shard, fn, start, stop, payload)
-            for start, stop in self.shard_bounds(sample.shape[0])
-        ]
-        return [future.result() for future in futures]
+        """Map ``fn`` over the row shards; results in shard order.
+
+        Retries infrastructure failures per the executor's
+        :class:`~repro.faults.retry.RetryPolicy`; see the class
+        docstring for the full recovery ladder.
+        """
+        return self._run_attempts(fn, sample, payload, context=None)
 
     def run_traced(
         self,
@@ -329,17 +438,162 @@ class ShardedSampleExecutor:
         ``context`` is the host's span snapshot; each worker parents its
         timing on it so the host can fold shard spans into the registry.
         """
-        self.ensure(sample)
+        return self._run_attempts(fn, sample, payload, context=context)
+
+    def _submit(
+        self,
+        fn: Callable,
+        index: int,
+        bounds: Tuple[int, int],
+        payload,
+        context: Optional[SpanContext],
+        fault: Optional[WorkerFault],
+    ):
+        start, stop = bounds
         assert self._pool is not None
-        futures = [
-            self._pool.submit(
-                _run_shard_traced, fn, start, stop, payload, context, index
+        if context is None:
+            return self._pool.submit(
+                _run_shard, fn, start, stop, payload, fault
             )
-            for index, (start, stop) in enumerate(
-                self.shard_bounds(sample.shape[0])
+        return self._pool.submit(
+            _run_shard_traced, fn, start, stop, payload, context, index, fault
+        )
+
+    def _draw_shm_fault(self, attempt: int) -> Optional[BaseException]:
+        """Host-side shm faults: corrupt the segment or detach it."""
+        if self.faults is None:
+            return None
+        spec = self.faults.draw("shm", attempt=attempt)
+        if spec is None:
+            return None
+        if spec.kind == "corrupt" and self._view is not None:
+            self._view.reshape(-1)[:] = np.inf  # publication guard repairs
+            return None
+        if spec.kind == "detach":
+            self._resurrect()
+            return InjectedFault(
+                "shared-memory segment detached (injected fault)"
             )
-        ]
-        return [future.result() for future in futures]
+        return None
+
+    def _run_attempts(
+        self,
+        fn: Callable,
+        sample: np.ndarray,
+        payload,
+        context: Optional[SpanContext],
+    ) -> List:
+        policy = self.retry
+        registry = get_registry()
+        bounds = self.shard_bounds(sample.shape[0])
+        results: List = [None] * len(bounds)
+        pending: Set[int] = set(range(len(bounds)))
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                delay = policy.delay(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+                self.retry_count += len(pending)
+                if registry.enabled:
+                    registry.counter("executor.retries").inc(len(pending))
+            injected = self._draw_shm_fault(attempt)
+            if injected is not None:
+                last_error = injected
+                continue
+            # (Re)build segment + pool and re-publish the sample; also
+            # repairs corrupted segments via the publication guard.
+            self.ensure(sample)
+            try:
+                futures: Dict[int, object] = {
+                    index: self._submit(
+                        fn,
+                        index,
+                        bounds[index],
+                        payload,
+                        context,
+                        self._worker_fault(index, attempt),
+                    )
+                    for index in sorted(pending)
+                }
+            except (BrokenProcessPool, RuntimeError, OSError) as error:
+                last_error = error
+                self._resurrect()
+                continue
+            infra_error = self._collect(futures, results, pending, policy)
+            if infra_error is None and not pending:
+                return results
+            # Harvest shards that finished before the failure was seen,
+            # cancel what never started, and tear the pool down.
+            for index, future in futures.items():
+                if index not in pending or not future.done():
+                    continue
+                if future.cancelled() or future.exception() is not None:
+                    continue
+                results[index] = future.result()
+                pending.discard(index)
+            for future in futures.values():
+                future.cancel()
+            last_error = infra_error
+            self._resurrect()
+        raise ShardExecutionError(
+            f"sharded execution failed after {policy.max_attempts} "
+            f"attempt(s); {len(pending)} shard(s) unfinished: {last_error}"
+        ) from last_error
+
+    def _worker_fault(
+        self, index: int, attempt: int
+    ) -> Optional[WorkerFault]:
+        if self.faults is None:
+            return None
+        spec = self.faults.draw("shard", shard=index, attempt=attempt)
+        return self.faults.worker_fault(spec)
+
+    def _collect(
+        self,
+        futures: Dict[int, object],
+        results: List,
+        pending: Set[int],
+        policy: RetryPolicy,
+    ) -> Optional[BaseException]:
+        """Collect futures in shard order; return the infra error, if any.
+
+        Genuine worker exceptions are *raised* (first failing shard
+        first), after cancelling every outstanding future so a retrying
+        caller never races leftover tasks from this generation.
+        """
+        registry = get_registry()
+        deadline = (
+            None
+            if policy.shard_timeout is None
+            else time.monotonic() + policy.shard_timeout
+        )
+        for index in sorted(futures):
+            future = futures[index]
+            try:
+                if deadline is None:
+                    outcome = future.result()
+                else:
+                    outcome = future.result(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
+            except FutureTimeoutError:
+                self.timeout_count += 1
+                if registry.enabled:
+                    registry.counter("executor.timeouts").inc()
+                return TimeoutError(
+                    f"shard {index} exceeded its {policy.shard_timeout:.3g}s "
+                    "timeout"
+                )
+            except BrokenProcessPool as error:
+                return error
+            except BaseException:
+                for other in futures.values():
+                    other.cancel()
+                raise
+            results[index] = outcome
+            pending.discard(index)
+        return None
 
 
 class ShardedBackend(ExecutionBackend):
@@ -357,8 +611,22 @@ class ShardedBackend(ExecutionBackend):
         available (overridable via ``REPRO_MP_START_METHOD``).
     fallback_inline:
         When worker infrastructure is unavailable (no ``/dev/shm``,
-        sandboxed fork), warn once and evaluate inline instead of
-        failing — the backend stays numerically correct either way.
+        sandboxed fork) even after the retry budget, warn and evaluate
+        inline instead of failing — the backend stays numerically
+        correct either way.  The demotion is governed by ``breaker``,
+        not a permanent latch: after the breaker's recovery window one
+        probe re-attempts the sharded path, and a successful probe
+        re-arms it.
+    retry:
+        :class:`~repro.faults.retry.RetryPolicy` for the executor
+        (per-shard timeout, bounded retries, backoff+jitter).
+    breaker:
+        :class:`~repro.faults.breaker.CircuitBreaker` guarding the
+        sharded path (default: open after one exhausted retry budget,
+        probe again after 30 s).
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` for
+        deterministic chaos testing.
     """
 
     name = "sharded"
@@ -369,13 +637,25 @@ class ShardedBackend(ExecutionBackend):
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
         fallback_inline: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         super().__init__()
         self.executor = ShardedSampleExecutor(
-            shards=shards, max_workers=max_workers, start_method=start_method
+            shards=shards,
+            max_workers=max_workers,
+            start_method=start_method,
+            retry=retry,
+            faults=faults,
         )
         self._fallback_inline = fallback_inline
-        self._inline = False
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(failure_threshold=1, recovery_after=30.0)
+        )
+        self._breaker_exported = 0
         #: Per-shard wall-clock seconds of the most recent traced run
         #: (``None`` until a run happens with metrics enabled).
         self.last_shard_seconds: Optional[Tuple[float, ...]] = None
@@ -405,28 +685,39 @@ class ShardedBackend(ExecutionBackend):
             get_chunk_budget(),
         )
 
+    def _export_breaker(self) -> None:
+        self._breaker_exported = export_breaker_metrics(
+            self.breaker,
+            self._registry(),
+            {"component": "backend.sharded"},
+            self._breaker_exported,
+        )
+
     def _map(self, fn: Callable, low, high) -> List[np.ndarray]:
-        """Run a shard function over the pool, inline on fallback."""
+        """Run a shard function over the pool, inline when the breaker is open."""
         estimator = self.estimator
         sample = estimator._sample
         payload = self._payload(low, high)
         registry = self._registry()
         traced = registry is not None and registry.enabled
-        if not self._inline:
+        if self.breaker.allow():
             try:
                 if traced:
                     context = current_span_context()
                     records = self.executor.run_traced(
                         fn, sample, payload, context
                     )
-                    return self._fold_traced(registry, records)
-                return self.executor.run(fn, sample, payload)
+                    outcome = self._fold_traced(registry, records)
+                else:
+                    outcome = self.executor.run(fn, sample, payload)
             except (OSError, ValueError, RuntimeError) as error:
                 # Detach the dead infrastructure *before* falling back:
                 # a broken pool would otherwise be happily reused by
                 # ``ensure()`` (the shm view still matches the sample),
-                # so any later retry would fail forever.
+                # so a later half-open probe would fail forever.
                 self.executor.close()
+                self.breaker.record_failure()
+                self._export_breaker()
                 if not self._fallback_inline:
                     raise
                 warnings.warn(
@@ -435,7 +726,12 @@ class ShardedBackend(ExecutionBackend):
                     RuntimeWarning,
                     stacklevel=3,
                 )
-                self._inline = True
+            else:
+                self.breaker.record_success()
+                self._export_breaker()
+                return outcome
+        else:
+            self._export_breaker()
         bounds = self.executor.shard_bounds(sample.shape[0])
         if traced:
             context = current_span_context()

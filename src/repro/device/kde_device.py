@@ -38,6 +38,9 @@ from ..core.config import AdaptiveConfig, KarmaConfig
 from ..core.karma import KarmaTracker
 from ..core.losses import Loss, get_loss
 from ..core.state import ModelState
+from ..faults.breaker import CircuitBreaker, export_breaker_metrics
+from ..faults.injector import FaultInjector
+from ..faults.retry import RetryPolicy
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.spans import span
 from ..obs.trace import EstimationTrace
@@ -94,6 +97,18 @@ class DeviceKDE:
     shards:
         Shard count for the ``"sharded"`` backend (default: one per
         core).
+    retry:
+        :class:`~repro.faults.retry.RetryPolicy` for the sharded
+        executor (per-shard timeout, bounded retries, backoff).
+    breaker:
+        :class:`~repro.faults.breaker.CircuitBreaker` guarding the
+        sharded path.  Replaces the old one-way demotion to inline
+        evaluation: after the recovery window a probe re-attempts the
+        pool, so a transient host fault no longer costs the rest of the
+        model's life.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` for
+        deterministic chaos testing of the sharded path.
     """
 
     def __init__(
@@ -109,6 +124,9 @@ class DeviceKDE:
         backend: str = "numpy",
         shards: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         sample = np.asarray(sample, dtype=np.float64)
         if sample.ndim != 2 or sample.shape[0] < 2:
@@ -127,7 +145,15 @@ class DeviceKDE:
         self._metrics = metrics
         self._executor: Optional[ShardedSampleExecutor] = None
         if backend == "sharded":
-            self._executor = ShardedSampleExecutor(shards=shards)
+            self._executor = ShardedSampleExecutor(
+                shards=shards, retry=retry, faults=faults
+            )
+        self._breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(failure_threshold=1, recovery_after=30.0)
+        )
+        self._breaker_exported = 0
         self._loss: Loss = get_loss(loss)
         self._dtype = np.dtype(precision)
         s, d = sample.shape
@@ -201,6 +227,19 @@ class DeviceKDE:
     def obs(self) -> MetricsRegistry:
         """The metrics registry this model reports into."""
         return self._metrics if self._metrics is not None else get_registry()
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The circuit breaker guarding the sharded host path."""
+        return self._breaker
+
+    def _export_breaker(self) -> None:
+        self._breaker_exported = export_breaker_metrics(
+            self._breaker,
+            self.obs,
+            {"component": "device.sharded"},
+            self._breaker_exported,
+        )
 
     def set_bandwidth(self, bandwidth: np.ndarray) -> None:
         """Deprecated: assign to the :attr:`bandwidth` property instead."""
@@ -308,26 +347,35 @@ class DeviceKDE:
 
         The sharded path concatenates per-shard slabs of the same
         compiled kernel along the sample axis — bitwise identical to
-        the inline launch; it falls back to inline evaluation (with a
-        warning) when worker infrastructure is unavailable.
+        the inline launch.  A failed execution (even after the
+        executor's retry budget) opens the model's circuit breaker and
+        evaluates inline; after the breaker's recovery window a probe
+        re-attempts the pool, so a transient host fault degrades one
+        window of launches, not the model's remaining lifetime.
         """
         sample = self._sample_buffer.data
-        if self._executor is not None:
+        if self._executor is not None and self._breaker.allow():
             payload = (batch.low, batch.high, self._bandwidth, self.precision)
             try:
                 slabs = self._executor.run(
                     _sharded_batch_contributions, sample, payload
                 )
-                return np.concatenate(slabs, axis=1)
             except (OSError, ValueError, RuntimeError) as error:
+                self._executor.close()
+                self._breaker.record_failure()
+                self._export_breaker()
                 warnings.warn(
                     "DeviceKDE sharded backend falling back to inline "
                     f"evaluation: {error}",
                     RuntimeWarning,
                     stacklevel=3,
                 )
-                self._executor.close()
-                self._executor = None
+            else:
+                self._breaker.record_success()
+                self._export_breaker()
+                return np.concatenate(slabs, axis=1)
+        elif self._executor is not None:
+            self._export_breaker()
         return self._batch_contribution_kernel(
             sample, batch.low, batch.high, self._bandwidth
         )

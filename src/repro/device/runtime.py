@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..faults.injector import FaultInjector, InjectedFault
 from ..obs.metrics import MetricsRegistry, get_registry
 from .buffers import DeviceBuffer, TransferLog
 from .costmodel import DeviceCostModel
@@ -54,6 +55,10 @@ class DeviceContext:
     transfers: TransferLog = field(default_factory=TransferLog)
     launches: List[LaunchRecord] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Optional fault injector; ``"device"``-site specs make metered
+    #: operations raise :class:`~repro.faults.injector.InjectedFault`
+    #: (the simulator's stand-in for a lost context / failed launch).
+    faults: Optional[FaultInjector] = None
     _buffers: Dict[str, DeviceBuffer] = field(default_factory=dict)
     _clock: float = 0.0
 
@@ -62,12 +67,26 @@ class DeviceContext:
 
     @classmethod
     def for_device(
-        cls, name: str, metrics: Optional[MetricsRegistry] = None
+        cls,
+        name: str,
+        metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> "DeviceContext":
         """Create a context for a preset device (``"gpu"`` / ``"cpu"``)."""
         if metrics is None:
-            return cls(spec=named_device(name))
-        return cls(spec=named_device(name), metrics=metrics)
+            return cls(spec=named_device(name), faults=faults)
+        return cls(spec=named_device(name), metrics=metrics, faults=faults)
+
+    def _check_fault(self, op: str, name: str) -> None:
+        """Raise if the injector schedules a device error for this op."""
+        if self.faults is None:
+            return
+        spec = self.faults.draw("device", op=op, name=name)
+        if spec is not None:
+            raise InjectedFault(
+                f"device {self.spec.name!r} failed during {op} "
+                f"of {name!r} (injected fault)"
+            )
 
     # ------------------------------------------------------------------
     # Metrics emission
@@ -141,6 +160,7 @@ class DeviceContext:
         reallocates it (release + create-with-copy), as when a batch of a
         different size reuses a bound buffer's name.
         """
+        self._check_fault("upload", name)
         data = np.asarray(data)
         existing = self._buffers.get(name)
         if existing is not None and (
@@ -164,6 +184,7 @@ class DeviceContext:
         label: Optional[str] = None,
     ) -> None:
         """Partial row update of an existing buffer (one transfer)."""
+        self._check_fault("upload", name)
         nbytes = self.buffer(name).write_rows(indices, rows)
         seconds = self.cost.transfer_seconds(nbytes)
         self.transfers.record(
@@ -174,6 +195,7 @@ class DeviceContext:
 
     def download(self, name: str, label: Optional[str] = None) -> np.ndarray:
         """Device-to-host copy of a whole buffer."""
+        self._check_fault("download", name)
         buffer = self.buffer(name)
         seconds = self.cost.transfer_seconds(buffer.nbytes)
         self.transfers.record("to_host", buffer.nbytes, label or name, seconds)
@@ -183,6 +205,7 @@ class DeviceContext:
 
     def download_value(self, value, nbytes: int, label: str):
         """Device-to-host copy of a scalar/small result (metered)."""
+        self._check_fault("download", label)
         seconds = self.cost.transfer_seconds(nbytes)
         self.transfers.record("to_host", nbytes, label, seconds)
         self._emit_transfer("to_host", nbytes, seconds)
@@ -194,6 +217,7 @@ class DeviceContext:
     # ------------------------------------------------------------------
     def launch(self, kernel: str, term_count: int) -> None:
         """Meter one kernel launch of ``term_count`` kernel terms."""
+        self._check_fault("launch", kernel)
         seconds = self.cost.kernel_seconds(term_count)
         self.launches.append(LaunchRecord(kernel, int(term_count), seconds))
         self._emit_launch(kernel, seconds)
@@ -201,6 +225,7 @@ class DeviceContext:
 
     def reduce(self, kernel: str, element_count: int) -> None:
         """Meter one parallel binary reduction."""
+        self._check_fault("reduce", kernel)
         seconds = self.cost.reduction_seconds(element_count)
         self.launches.append(LaunchRecord(kernel, int(element_count), seconds))
         self._emit_launch(kernel, seconds)

@@ -1,0 +1,68 @@
+"""``repro.faults`` — fault injection and fault-tolerance primitives.
+
+The serving stack's reliability layer, in two halves:
+
+**Injection** (deterministic chaos):
+
+* :class:`FaultPlan` / :class:`FaultSpec` — seedable, immutable plans of
+  worker crashes (SIGKILL), shard hangs, stragglers, shared-memory
+  corruption/detach, and torn checkpoint writes.
+* :class:`FaultInjector` — the runtime driver; hand it to the ``faults=``
+  knob of :class:`~repro.core.backends.ShardedBackend`,
+  :class:`~repro.device.kde_device.DeviceKDE`,
+  :class:`~repro.device.runtime.DeviceContext` or
+  :class:`~repro.serve.checkpoint.CheckpointManager`.
+
+**Tolerance** (what the injected faults exercise):
+
+* :class:`RetryPolicy` — per-shard timeouts, bounded retries,
+  exponential backoff with seeded jitter.
+* :class:`CircuitBreaker` — closed → open → half-open probe state
+  machine replacing the old one-way inline-fallback latch.
+
+Example: crash worker shard 1 on its first dispatch and watch the
+executor resurrect the pool::
+
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.core.backends import ShardedBackend
+
+    injector = FaultInjector(FaultPlan.single("shard", "crash", shard=1))
+    backend = ShardedBackend(shards=4, faults=injector)
+"""
+
+from .breaker import (
+    BREAKER_STATE_VALUES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    export_breaker_metrics,
+)
+from .injector import FaultInjector, InjectedFault
+from .plan import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    WorkerFault,
+    apply_worker_fault,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "BREAKER_STATE_VALUES",
+    "CLOSED",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "WorkerFault",
+    "apply_worker_fault",
+    "export_breaker_metrics",
+]

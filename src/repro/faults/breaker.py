@@ -1,0 +1,174 @@
+"""A circuit breaker for degraded execution paths.
+
+Replaces the one-way inline-fallback latch the sharded backends used to
+carry: instead of permanently demoting a multi-core server to one core
+after a single pool failure, the breaker *opens* on failure (callers use
+their fallback path), then after a recovery window lets exactly one
+probe through (*half-open*); a successful probe re-arms the protected
+path (*closed*), a failed one re-opens it for another window.
+
+The breaker is policy only — it never runs the protected call itself.
+Callers ask :meth:`CircuitBreaker.allow`, run the call, and report the
+outcome with :meth:`record_success` / :meth:`record_failure`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "BREAKER_STATE_VALUES",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "export_breaker_metrics",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker states (exported as ``breaker.state``).
+BREAKER_STATE_VALUES: Dict[str, float] = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Closed → open → half-open probe → closed.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that open the breaker.  The
+        sharded executor already retries internally, so the default of
+        ``1`` opens as soon as a whole retry budget is exhausted.
+    recovery_after:
+        Seconds the breaker stays open before admitting a half-open
+        probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 1,
+        recovery_after: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_after < 0:
+            raise ValueError("recovery_after must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.recovery_after = recovery_after
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Every state change, in order: ``(from_state, to_state)``.
+        self.transitions: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state (reading never advances open → half-open)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def failure_count(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether a protected call may proceed right now.
+
+        Closed: always.  Open: only once the recovery window elapsed,
+        which transitions to half-open and admits a single probe.
+        Half-open: one probe at a time.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at < self.recovery_after:
+                    return False
+                self._transition(HALF_OPEN)
+                self._probing = True
+                return True
+            # HALF_OPEN: one in-flight probe only.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """The protected call succeeded; re-arm if probing."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """The protected call failed; open (or re-open) when warranted."""
+        with self._lock:
+            self._probing = False
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._transition(OPEN)
+
+    def _transition(self, to_state: str) -> None:
+        self.transitions.append((self._state, to_state))
+        self._state = to_state
+        if to_state == OPEN:
+            self._opened_at = self._clock()
+        elif to_state == CLOSED:
+            self._failures = 0
+            self._opened_at = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.failure_count}, "
+            f"transitions={len(self.transitions)})"
+        )
+
+
+def export_breaker_metrics(
+    breaker: CircuitBreaker,
+    registry: Optional[MetricsRegistry],
+    labels: Dict[str, str],
+    exported: int = 0,
+) -> int:
+    """Export the breaker's gauge and any new transitions to ``registry``.
+
+    ``exported`` is the caller-held count of transitions already
+    exported; the updated count is returned, so repeated calls emit each
+    transition exactly once (``breaker.transitions`` counters) while the
+    ``breaker.state`` gauge always reflects the current state.
+    """
+    if registry is None or not registry.enabled:
+        return exported
+    registry.gauge("breaker.state", labels).set(
+        BREAKER_STATE_VALUES[breaker.state]
+    )
+    transitions = breaker.transitions
+    while exported < len(transitions):
+        from_state, to_state = transitions[exported]
+        registry.counter(
+            "breaker.transitions",
+            {**labels, "from_state": from_state, "to_state": to_state},
+        ).inc()
+        exported += 1
+    return exported

@@ -1,0 +1,130 @@
+"""The host-side fault injector consulted at injection sites.
+
+A :class:`FaultInjector` wraps a :class:`~repro.faults.plan.FaultPlan`
+with the mutable bookkeeping the plan itself deliberately lacks: per-spec
+draw counters, a log of fired events, and metrics emission.  Components
+that support injection take a ``faults=`` knob and call :meth:`draw`
+at each site; ``None`` (the default everywhere) keeps the hot path at a
+single attribute check.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs.metrics import MetricsRegistry, get_registry
+from .plan import FaultPlan, FaultSpec, WorkerFault
+
+__all__ = ["FaultInjector", "InjectedFault"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised at host-side injection points (device ops, detached shm)."""
+
+
+class FaultInjector:
+    """Deterministic runtime driver for a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The plan to execute (a :class:`FaultPlan` or a sequence of
+        :class:`FaultSpec`).
+    metrics:
+        Metrics registry for the ``faults.injected`` counter; defaults
+        to the process-global one at draw time.
+
+    Thread safety: draws are serialised on an internal lock, so one
+    injector can be shared by the executor's dispatch loop and the
+    serving thread without double-firing a spec.
+    """
+
+    def __init__(
+        self,
+        plan: Union[FaultPlan, Sequence[FaultSpec]],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.plan = plan if isinstance(plan, FaultPlan) else FaultPlan(plan)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._matched = [0] * len(self.plan)
+        self._events: List[Tuple[str, str, Dict[str, object]]] = []
+
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_registry()
+
+    # ------------------------------------------------------------------
+    # Drawing
+    # ------------------------------------------------------------------
+    def draw(self, site: str, **attrs) -> Optional[FaultSpec]:
+        """One draw at ``site``; returns the spec that fires, if any.
+
+        Every spec whose filters match advances its counter; the first
+        spec whose ``[at, at + times)`` window covers its counter fires.
+        """
+        fired: Optional[FaultSpec] = None
+        with self._lock:
+            for index, spec in enumerate(self.plan):
+                if spec.site != site or not spec.matches(attrs):
+                    continue
+                self._matched[index] += 1
+                count = self._matched[index]
+                if fired is None and spec.at <= count < spec.at + spec.times:
+                    fired = spec
+            if fired is not None:
+                self._events.append((site, fired.kind, dict(attrs)))
+        if fired is not None:
+            registry = self._registry()
+            if registry.enabled:
+                registry.counter(
+                    "faults.injected", {"site": site, "kind": fired.kind}
+                ).inc()
+        return fired
+
+    def worker_fault(self, spec: Optional[FaultSpec]) -> Optional[WorkerFault]:
+        """The picklable token for a fired ``"shard"`` spec (else None)."""
+        if spec is None or spec.site != "shard":
+            return None
+        return WorkerFault(kind=spec.kind, seconds=spec.seconds)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[Tuple[str, str, Dict[str, object]], ...]:
+        """Every fired fault, in firing order: ``(site, kind, attrs)``."""
+        with self._lock:
+            return tuple(self._events)
+
+    def fired(
+        self, site: Optional[str] = None, kind: Optional[str] = None
+    ) -> int:
+        """Number of fired faults, optionally filtered by site/kind."""
+        with self._lock:
+            return sum(
+                1
+                for event_site, event_kind, _ in self._events
+                if (site is None or event_site == site)
+                and (kind is None or event_kind == kind)
+            )
+
+    def exhausted(self) -> bool:
+        """True when no spec can ever fire again."""
+        with self._lock:
+            return all(
+                count >= spec.at + spec.times - 1
+                for spec, count in zip(self.plan, self._matched)
+            )
+
+    def reset(self) -> None:
+        """Rewind all draw counters and clear the event log."""
+        with self._lock:
+            self._matched = [0] * len(self.plan)
+            self._events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(specs={len(self.plan)}, "
+            f"fired={len(self._events)})"
+        )

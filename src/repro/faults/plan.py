@@ -1,0 +1,224 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is an immutable list of :class:`FaultSpec` entries
+describing *which* failure to inject *where* and *when*.  Plans are pure
+data: nothing fires until a :class:`~repro.faults.injector.FaultInjector`
+built from the plan is handed to a component (the sharded executor, the
+device context, the checkpoint manager) and that component reaches the
+matching injection site.
+
+Determinism is the whole point — the same plan against the same workload
+injects the same faults at the same operations, so chaos tests are
+regular regression tests and the chaos bench is reproducible from its
+seed alone.
+
+Injection sites and the fault kinds they understand:
+
+``"shard"``
+    One draw per shard-task dispatch in
+    :class:`~repro.core.backends.sharded.ShardedSampleExecutor`
+    (attributes: ``shard`` index, ``attempt`` number).  Kinds:
+    ``"crash"`` (SIGKILL the worker mid-shard), ``"hang"`` (sleep past
+    the shard timeout), ``"slow"`` (straggler: sleep ``seconds`` but
+    finish).
+``"shm"``
+    One draw per execution attempt, before the sample publication is
+    refreshed.  Kinds: ``"corrupt"`` (scribble over the shared-memory
+    segment — the publication guard must repair it) and ``"detach"``
+    (tear the segment and pool down as if the OS reclaimed them).
+``"checkpoint"``
+    One draw per checkpoint write.  Kind ``"torn"`` truncates the file
+    after the atomic rename, simulating storage that lied about
+    durability.
+``"device"``
+    One draw per metered device operation (attributes: ``op``,
+    ``name``).  Kind ``"error"`` raises
+    :class:`~repro.faults.injector.InjectedFault` from the operation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "WorkerFault",
+    "apply_worker_fault",
+]
+
+#: Kinds understood at each injection site.
+FAULT_SITES: Dict[str, Tuple[str, ...]] = {
+    "shard": ("crash", "hang", "slow"),
+    "shm": ("corrupt", "detach"),
+    "checkpoint": ("torn",),
+    "device": ("error",),
+}
+
+#: Every known fault kind, across all sites.
+FAULT_KINDS: Tuple[str, ...] = tuple(
+    sorted({kind for kinds in FAULT_SITES.values() for kind in kinds})
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what to inject, where, and on which draw.
+
+    Parameters
+    ----------
+    site:
+        Injection site (see :data:`FAULT_SITES`).
+    kind:
+        Fault kind; must be one the site understands.
+    at:
+        Fire on the ``at``-th draw *matching this spec's filters*
+        (1-based).  With no filters that is simply the ``at``-th draw at
+        the site.
+    times:
+        Fire on ``times`` consecutive matching draws starting at ``at``
+        (so ``times=3`` with a ``shard`` filter crashes the first three
+        dispatches of that shard — enough to exhaust a default retry
+        budget).
+    shard:
+        Only match dispatches of this shard index (``"shard"`` site).
+    seconds:
+        Sleep duration for ``"hang"``/``"slow"`` faults.
+    """
+
+    site: str
+    kind: str
+    at: int = 1
+    times: int = 1
+    shard: Optional[int] = None
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        kinds = FAULT_SITES.get(self.site)
+        if kinds is None:
+            known = ", ".join(sorted(FAULT_SITES))
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known sites: {known}"
+            )
+        if self.kind not in kinds:
+            raise ValueError(
+                f"fault kind {self.kind!r} is not valid at site "
+                f"{self.site!r} (choices: {', '.join(kinds)})"
+            )
+        if self.at < 1:
+            raise ValueError("at must be >= 1 (draws are 1-based)")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+    def matches(self, attrs: Dict[str, object]) -> bool:
+        """Whether a draw with ``attrs`` passes this spec's filters."""
+        if self.shard is not None and attrs.get("shard") != self.shard:
+            return False
+        return True
+
+
+class FaultPlan:
+    """An immutable, ordered collection of :class:`FaultSpec` entries."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        specs = tuple(specs)
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(
+                    f"plan entries must be FaultSpec, got "
+                    f"{type(spec).__name__}"
+                )
+        self.specs = specs
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({list(self.specs)!r})"
+
+    @classmethod
+    def single(cls, site: str, kind: str, **kwargs) -> "FaultPlan":
+        """Convenience: a plan with exactly one spec."""
+        return cls([FaultSpec(site, kind, **kwargs)])
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        draws: int = 64,
+        crash: float = 0.02,
+        hang: float = 0.0,
+        slow: float = 0.05,
+        hang_seconds: float = 30.0,
+        slow_seconds: float = 0.02,
+    ) -> "FaultPlan":
+        """A reproducible random plan over the ``"shard"`` site.
+
+        Walks ``draws`` consecutive shard dispatches; each independently
+        becomes a crash / hang / straggler with the given probabilities.
+        The same seed always yields the same plan, which makes a chaos
+        sweep a deterministic regression test.
+        """
+        if not 0.0 <= crash + hang + slow <= 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+        rng = np.random.default_rng(seed)
+        specs = []
+        for position in range(1, draws + 1):
+            u = float(rng.random())
+            if u < crash:
+                specs.append(FaultSpec("shard", "crash", at=position))
+            elif u < crash + hang:
+                specs.append(
+                    FaultSpec(
+                        "shard", "hang", at=position, seconds=hang_seconds
+                    )
+                )
+            elif u < crash + hang + slow:
+                specs.append(
+                    FaultSpec(
+                        "shard", "slow", at=position, seconds=slow_seconds
+                    )
+                )
+        return cls(specs)
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """The picklable fault token shipped into a worker process.
+
+    The host-side :class:`~repro.faults.injector.FaultInjector` never
+    crosses the process boundary; when a ``"shard"`` spec fires, only
+    this small token travels with the task arguments and
+    :func:`apply_worker_fault` executes it inside the worker.
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+def apply_worker_fault(fault: Optional[WorkerFault]) -> None:
+    """Execute a :class:`WorkerFault` inside the worker process."""
+    if fault is None:
+        return
+    if fault.kind == "crash":
+        # SIGKILL mid-shard: the pool observes an abrupt worker death
+        # (BrokenProcessPool), exactly like an OOM kill.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.kind in ("hang", "slow"):
+        time.sleep(fault.seconds)
+    else:  # pragma: no cover - guarded by FaultSpec validation
+        raise ValueError(f"unknown worker fault kind {fault.kind!r}")

@@ -1,0 +1,82 @@
+"""Retry budgets: bounded attempts, exponential backoff, seeded jitter.
+
+The policy object is immutable and pure — it answers "how long before
+the n-th retry" deterministically from its seed, so a fault-injection
+test replays byte-identically and two executors with the same policy
+but different seeds decorrelate their retry storms (the reason jitter
+exists at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a sharded execution retries infrastructure failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per execution, including the first (so ``1``
+        disables retries).
+    shard_timeout:
+        Per-shard wall-clock timeout in seconds, measured from dispatch;
+        a shard that misses it counts as an infrastructure failure and
+        its (possibly hung) worker pool is torn down.  ``None`` disables
+        timeouts.
+    backoff_base:
+        Backoff before the first retry; doubles per retry.
+    backoff_max:
+        Backoff ceiling.
+    jitter:
+        Jitter fraction: the backoff is scaled by a deterministic factor
+        drawn uniformly from ``[1, 1 + jitter]``.
+    seed:
+        Seed for the jitter draws (keyed per retry index, so delays are
+        reproducible individually, not just as a sequence).
+    """
+
+    max_attempts: int = 3
+    shard_timeout: Optional[float] = 60.0
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_max < self.backoff_base:
+            raise ValueError("backoff_max must be >= backoff_base")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def delay(self, retry_index: int) -> float:
+        """Seconds to wait before the ``retry_index``-th retry (1-based)."""
+        if retry_index < 1:
+            raise ValueError("retry_index is 1-based")
+        base = min(
+            self.backoff_max,
+            self.backoff_base * (2.0 ** (retry_index - 1)),
+        )
+        if base <= 0.0 or self.jitter <= 0.0:
+            return base
+        u = float(np.random.default_rng((self.seed, retry_index)).random())
+        return base * (1.0 + self.jitter * u)
+
+    def delays(self) -> Tuple[float, ...]:
+        """Every retry delay this policy will ever use, in order."""
+        return tuple(
+            self.delay(index) for index in range(1, self.max_attempts)
+        )

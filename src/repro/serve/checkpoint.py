@@ -26,6 +26,7 @@ import warnings
 from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 from ..core.state import CheckpointError, ModelState
+from ..faults.injector import FaultInjector
 from ..obs import MetricsRegistry, get_registry
 
 __all__ = ["CheckpointManager", "Checkpointable"]
@@ -62,6 +63,12 @@ class CheckpointManager:
         ``every_feedbacks``-th call triggers one.
     metrics:
         Metrics registry; defaults to the process-global one.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`;
+        ``("checkpoint", "torn")`` specs truncate the just-written file
+        mid-payload, simulating a crash between ``os.replace`` and the
+        data reaching disk on a filesystem that reorders the two.  The
+        checksum layer must then reject the file on load.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class CheckpointManager:
         keep_last: int = 3,
         every_feedbacks: int = 100,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if keep_last < 1:
             raise ValueError("keep_last must be at least 1")
@@ -87,6 +95,7 @@ class CheckpointManager:
         self._keep_last = keep_last
         self._every_feedbacks = every_feedbacks
         self._metrics = metrics
+        self._faults = faults
         self._calls_since_checkpoint = 0
         self._last_feedback_count: Optional[int] = None
         os.makedirs(directory, exist_ok=True)
@@ -122,6 +131,7 @@ class CheckpointManager:
             self._directory, f"model-{self._next_index:08d}.ckpt"
         )
         state.save(path)
+        self._maybe_tear(path)
         self._next_index += 1
         self._calls_since_checkpoint = 0
         self._last_feedback_count = self._feedback_count()
@@ -131,6 +141,41 @@ class CheckpointManager:
             time.perf_counter() - started
         )
         return path
+
+    def emergency(self, state: Optional[ModelState] = None) -> str:
+        """Cut a checkpoint outside the cadence (first-failure flush).
+
+        Called by the degradation path (see
+        :meth:`~repro.serve.server.SnapshotServer.feedback`) with the
+        last *known-good* published state, so a writer that corrupted
+        the live model mid-update never poisons the emergency file.
+        Falls back to a fresh target snapshot when no state is given.
+        Does not reset the periodic cadence.
+        """
+        registry = self._registry()
+        if state is None:
+            state = self._target.snapshot()
+        path = os.path.join(
+            self._directory, f"model-{self._next_index:08d}.ckpt"
+        )
+        state.save(path)
+        self._maybe_tear(path)
+        self._next_index += 1
+        self._prune()
+        registry.counter("checkpoint.writes").inc()
+        registry.counter("checkpoint.emergency_writes").inc()
+        return path
+
+    def _maybe_tear(self, path: str) -> None:
+        """Injected torn write: truncate the file mid-payload."""
+        if self._faults is None:
+            return
+        spec = self._faults.draw("checkpoint", path=path)
+        if spec is None or spec.kind != "torn":
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
 
     def maybe_checkpoint(self) -> Optional[str]:
         """Checkpoint when the feedback cadence elapsed; else ``None``."""

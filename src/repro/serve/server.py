@@ -23,6 +23,17 @@ torn state the snapshot/engine split exists to rule out.
 Staleness — the number of feedback observations absorbed by the writer
 but not yet visible to readers — is tracked and exported through
 :mod:`repro.obs` alongside the publication count.
+
+Degradation: the RCU split also makes the server fail *soft*.  A writer
+exception during :meth:`feedback` can leave the writer model torn, but
+it cannot touch the published snapshot — readers keep answering from the
+last good publication.  The server counts writer failures
+(``serve.writer_errors``), raises a ``serve.degraded`` gauge while the
+writer is suspect, and — when wired to a
+:class:`~repro.serve.checkpoint.CheckpointManager` — cuts an *emergency
+checkpoint* of the last published (known-good) state on the first
+failure, so the tuned model survives even if the process is about to go
+down with the writer.
 """
 
 from __future__ import annotations
@@ -88,6 +99,11 @@ class SnapshotServer:
         *before* the record becomes visible to readers) with each newly
         published :class:`PublishedSnapshot`.  Used by tests and by
         checkpoint glue that wants to persist exactly the served states.
+    checkpoints:
+        Optional :class:`~repro.serve.checkpoint.CheckpointManager`
+        (or anything with an ``emergency(state)`` method).  On the
+        *first* writer failure the server hands it the last published
+        state for an out-of-cadence emergency checkpoint.
     """
 
     def __init__(
@@ -96,6 +112,7 @@ class SnapshotServer:
         *,
         metrics: Optional[MetricsRegistry] = None,
         on_publish: Optional[Callable[[PublishedSnapshot], None]] = None,
+        checkpoints=None,
     ) -> None:
         if not hasattr(model, "snapshot") or not hasattr(model, "feedback"):
             raise TypeError(
@@ -105,8 +122,11 @@ class SnapshotServer:
         self._model = model
         self._metrics = metrics
         self._on_publish = on_publish
+        self._checkpoints = checkpoints
         self._lock = threading.RLock()
         self._feedback_count = 0
+        self._writer_errors = 0
+        self._degraded = False
         self._published: PublishedSnapshot  # assigned by _publish_locked
         with self._lock:
             self._publish_locked(self._model.snapshot())
@@ -145,6 +165,20 @@ class SnapshotServer:
         published = self._published
         return max(0, self._feedback_count - published.feedback_count)
 
+    @property
+    def writer_errors(self) -> int:
+        """Writer (feedback-path) exceptions observed so far."""
+        return self._writer_errors
+
+    @property
+    def degraded(self) -> bool:
+        """True while the writer is suspect; readers still answer.
+
+        Raised by the first writer failure, cleared by the next feedback
+        that completes (or an explicit :meth:`restore`/:meth:`publish`).
+        """
+        return self._degraded
+
     # ------------------------------------------------------------------
     # Reader path (lock-free)
     # ------------------------------------------------------------------
@@ -174,10 +208,24 @@ class SnapshotServer:
         Models without epoch counters (``DeviceKDE``) publish after every
         feedback, which is trivially whole-step for the same reason: the
         snapshot is taken after ``feedback`` returns.
+
+        A writer exception degrades, never corrupts, the served model:
+        the published snapshot is untouched (readers keep answering), the
+        failure is counted and — on the first one, if a checkpoint
+        manager is wired — the last published state is flushed as an
+        emergency checkpoint.  The exception then propagates so the
+        feedback source sees the failure.
         """
         with self._lock:
-            result = self._model.feedback(query, true_selectivity)
+            try:
+                result = self._model.feedback(query, true_selectivity)
+            except Exception:
+                self._writer_failed_locked()
+                raise
             self._feedback_count += 1
+            if self._degraded:
+                self._degraded = False
+                self._registry().gauge("serve.degraded").set(0)
             if self._model_epochs() != self._published.epochs:
                 self._publish_locked(self._model.snapshot())
             else:
@@ -191,7 +239,11 @@ class SnapshotServer:
             return self._published
 
     def restore(self, state: ModelState) -> None:
-        """Restore the writer from ``state`` and republish immediately."""
+        """Restore the writer from ``state`` and republish immediately.
+
+        Also the recovery path for a degraded writer: restoring the
+        last published state yields a consistent writer again.
+        """
         with self._lock:
             self._model.restore(state)
             self._publish_locked(self._model.snapshot())
@@ -206,6 +258,24 @@ class SnapshotServer:
     # ------------------------------------------------------------------
     def _registry(self) -> MetricsRegistry:
         return self._metrics if self._metrics is not None else get_registry()
+
+    def _writer_failed_locked(self) -> None:
+        """Account a writer failure; flush an emergency checkpoint once."""
+        first = not self._degraded
+        self._writer_errors += 1
+        self._degraded = True
+        registry = self._registry()
+        registry.counter("serve.writer_errors").inc()
+        registry.gauge("serve.degraded").set(1)
+        if first and self._checkpoints is not None:
+            emergency = getattr(self._checkpoints, "emergency", None)
+            if emergency is not None:
+                try:
+                    # The *published* state is known-good; the writer may
+                    # be mid-corruption, so never snapshot it here.
+                    emergency(self._published.state)
+                except Exception:
+                    registry.counter("serve.emergency_failures").inc()
 
     def _model_epochs(self) -> Tuple[int, int]:
         # Fall back to (-1, -1) for models without epoch counters so the
@@ -236,6 +306,9 @@ class SnapshotServer:
         # loaded the old record keep a fully consistent (state, reader)
         # pair; new readers see the new pair.
         self._published = record
+        if self._degraded:
+            self._degraded = False
+            self._registry().gauge("serve.degraded").set(0)
         registry = self._registry()
         registry.counter("serve.publishes").inc()
         registry.gauge("serve.staleness").set(0)

@@ -28,6 +28,7 @@ from repro.core.backends import (
     get_backend,
     resolve_backend,
 )
+from repro.faults import CircuitBreaker, RetryPolicy
 from repro.geometry import Box, QueryBatch
 
 
@@ -271,12 +272,18 @@ class TestShardedBackend:
 
         Regression: the inline fallback used to leave the broken pool
         attached; ``ensure()`` then reused it (the shm view still
-        matched), so clearing the fallback latch could never recover.
+        matched), so a half-open probe could never recover.
         """
-        kde = _make(sample, ShardedBackend(shards=2))
+        clock = [0.0]
+        backend = ShardedBackend(
+            shards=2,
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(recovery_after=30.0, clock=lambda: clock[0]),
+        )
+        kde = _make(sample, backend)
         expected = kde.selectivity_batch(batch)
 
-        pool = kde.backend.executor._pool
+        pool = backend.executor._pool
         assert pool is not None
         for process in pool._processes.values():
             process.kill()
@@ -284,13 +291,16 @@ class TestShardedBackend:
             np.testing.assert_allclose(
                 kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
             )
-        # The dead pool is gone, so re-arming sharded execution works.
-        assert kde.backend.executor._pool is None
-        kde.backend._inline = False
+        # The dead pool is gone; once the breaker admits a probe, the
+        # sharded path rebuilds and re-arms.
+        assert backend.executor._pool is None
+        assert backend.breaker.state == "open"
+        clock[0] = 31.0
         np.testing.assert_allclose(
             kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
         )
-        assert kde.backend.executor._pool is not None
+        assert backend.executor._pool is not None
+        assert backend.breaker.state == "closed"
         kde.backend.close()
 
     def test_close_then_reuse_respawns(self, sample, batch):

@@ -1,0 +1,120 @@
+"""Torn-checkpoint injection, emergency writes, and retention failures."""
+
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.state import CheckpointError, ModelState
+from repro.faults import FaultInjector, FaultPlan
+from repro.serve import CheckpointManager
+from repro.obs import MetricsRegistry
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    sample = rng.normal(size=(120, 2))
+    return KernelDensityEstimator(sample, scott_bandwidth(sample))
+
+
+class TestTornCheckpoint:
+    def test_torn_write_is_rejected_on_load(self, tmp_path):
+        injector = FaultInjector(FaultPlan.single("checkpoint", "torn"))
+        manager = CheckpointManager(
+            make_model(), str(tmp_path), faults=injector
+        )
+        path = manager.checkpoint()
+        assert injector.fired("checkpoint", "torn") == 1
+        with pytest.raises(CheckpointError):
+            ModelState.load(path)
+
+    def test_warm_start_skips_torn_falls_back_to_good(self, tmp_path):
+        """The acceptance warm-start scenario: good write, torn write,
+        restart — the newest readable checkpoint wins."""
+        registry = MetricsRegistry()
+        injector = FaultInjector(FaultPlan.single("checkpoint", "torn", at=2))
+        model = make_model()
+        manager = CheckpointManager(
+            model, str(tmp_path), faults=injector, metrics=registry
+        )
+        good = manager.checkpoint()  # draw 1: intact
+        model.bandwidth = model.bandwidth * 1.5
+        manager.checkpoint()  # draw 2: torn
+
+        restarted = make_model(seed=1)
+        fresh_manager = CheckpointManager(restarted, str(tmp_path))
+        restored_from = fresh_manager.warm_start()
+        assert restored_from == good
+        good_state = ModelState.load(good)
+        np.testing.assert_array_equal(
+            restarted.bandwidth, good_state.bandwidth
+        )
+        # The torn file was counted, not silently ignored (the fresh
+        # manager reports into the ambient registry, so count via the
+        # writer-side one after a second warm start with metrics).
+        metered = CheckpointManager(
+            make_model(seed=2), str(tmp_path), metrics=registry
+        )
+        metered.warm_start()
+        assert registry.counter_value("checkpoint.corrupt_skipped") == 1
+
+
+class TestEmergency:
+    def test_emergency_writes_given_state_outside_cadence(self, tmp_path):
+        registry = MetricsRegistry()
+        model = make_model()
+        manager = CheckpointManager(
+            model,
+            str(tmp_path),
+            every_feedbacks=1000,
+            metrics=registry,
+        )
+        state = model.snapshot()
+        path = manager.emergency(state)
+        loaded = ModelState.load(path)
+        np.testing.assert_array_equal(loaded.sample, state.sample)
+        assert registry.counter_value("checkpoint.emergency_writes") == 1
+        assert registry.counter_value("checkpoint.writes") == 1
+
+    def test_emergency_defaults_to_target_snapshot(self, tmp_path):
+        model = make_model()
+        manager = CheckpointManager(model, str(tmp_path))
+        path = manager.emergency()
+        loaded = ModelState.load(path)
+        np.testing.assert_array_equal(
+            loaded.sample, model.snapshot().sample
+        )
+
+    def test_emergency_respects_retention(self, tmp_path):
+        manager = CheckpointManager(
+            make_model(), str(tmp_path), keep_last=2
+        )
+        for _ in range(4):
+            manager.emergency()
+        assert len(manager.checkpoints()) == 2
+
+
+class TestPruneFailures:
+    def test_prune_failure_warns_and_counts(self, tmp_path):
+        """Satellite regression: retention errors must be loud.
+
+        (chmod tricks don't work as root, so the removal itself is
+        patched to fail.)
+        """
+        registry = MetricsRegistry()
+        manager = CheckpointManager(
+            make_model(), str(tmp_path), keep_last=1, metrics=registry
+        )
+        manager.checkpoint()
+        with mock.patch(
+            "repro.serve.checkpoint.os.remove",
+            side_effect=PermissionError("read-only"),
+        ):
+            with pytest.warns(RuntimeWarning, match="could not remove"):
+                manager.checkpoint()
+        assert registry.counter_value("checkpoint.prune_errors") == 1
+        # Retention resumes once removal works again.
+        manager.checkpoint()
+        assert len(manager.checkpoints()) == 1

@@ -1,0 +1,213 @@
+"""Unit tests for the fault-tolerance primitives in :mod:`repro.faults`.
+
+Plans, the injector's draw semantics, the retry policy's deterministic
+backoff, and the circuit breaker state machine — all host-side, no
+process pools involved.
+"""
+
+import pytest
+
+from repro.faults import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    WorkerFault,
+    export_breaker_metrics,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("nonsense", "crash")
+        with pytest.raises(ValueError, match="not valid at site"):
+            FaultSpec("checkpoint", "crash")
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("shard", "crash", at=0)
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("shard", "crash", times=0)
+
+    def test_seeded_plans_are_reproducible(self):
+        a = FaultPlan.seeded(42, draws=32, crash=0.2, slow=0.2)
+        b = FaultPlan.seeded(42, draws=32, crash=0.2, slow=0.2)
+        assert a.specs == b.specs
+        assert len(a) > 0
+        # A different seed yields a different plan (with these rates,
+        # 32 i.i.d. draws collide with negligible probability).
+        c = FaultPlan.seeded(43, draws=32, crash=0.2, slow=0.2)
+        assert a.specs != c.specs
+
+    def test_shard_filter(self):
+        spec = FaultSpec("shard", "crash", shard=2)
+        assert spec.matches({"shard": 2})
+        assert not spec.matches({"shard": 0})
+
+
+class TestFaultInjector:
+    def test_fires_on_the_nth_matching_draw(self):
+        injector = FaultInjector(FaultPlan.single("shard", "crash", at=3))
+        assert injector.draw("shard", shard=0) is None
+        assert injector.draw("shard", shard=1) is None
+        fired = injector.draw("shard", shard=2)
+        assert fired is not None and fired.kind == "crash"
+        assert injector.draw("shard", shard=3) is None
+        assert injector.fired() == 1
+        assert injector.exhausted()
+
+    def test_filters_gate_the_counter(self):
+        injector = FaultInjector(
+            FaultPlan.single("shard", "crash", shard=1, at=2)
+        )
+        # Draws for other shards never advance the matching counter.
+        assert injector.draw("shard", shard=0) is None
+        assert injector.draw("shard", shard=1) is None
+        assert injector.draw("shard", shard=0) is None
+        assert injector.draw("shard", shard=1) is not None
+
+    def test_times_spans_consecutive_draws(self):
+        injector = FaultInjector(FaultPlan.single("shm", "detach", times=2))
+        assert injector.draw("shm") is not None
+        assert injector.draw("shm") is not None
+        assert injector.draw("shm") is None
+        assert injector.fired("shm", "detach") == 2
+
+    def test_reset_rewinds(self):
+        injector = FaultInjector(FaultPlan.single("device", "error"))
+        assert injector.draw("device", op="launch") is not None
+        assert injector.draw("device", op="launch") is None
+        injector.reset()
+        assert injector.draw("device", op="launch") is not None
+
+    def test_worker_fault_token(self):
+        injector = FaultInjector(
+            FaultPlan.single("shard", "slow", seconds=0.5)
+        )
+        spec = injector.draw("shard", shard=0)
+        token = injector.worker_fault(spec)
+        assert token == WorkerFault(kind="slow", seconds=0.5)
+        assert injector.worker_fault(None) is None
+
+    def test_metrics_emission(self):
+        registry = MetricsRegistry()
+        injector = FaultInjector(
+            FaultPlan.single("shard", "crash"), metrics=registry
+        )
+        injector.draw("shard", shard=0)
+        assert (
+            registry.counter_value(
+                "faults.injected", {"site": "shard", "kind": "crash"}
+            )
+            == 1
+        )
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(shard_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_max=0.01, backoff_base=0.05)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_delays_are_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.1, backoff_max=0.5, jitter=0.5
+        )
+        delays = policy.delays()
+        assert delays == policy.delays()  # same seed, same delays
+        bases = [0.1, 0.2, 0.4, 0.5]
+        for delay, base in zip(delays, bases):
+            assert base <= delay <= base * 1.5
+        # Different seeds decorrelate the jitter.
+        other = RetryPolicy(
+            max_attempts=5,
+            backoff_base=0.1,
+            backoff_max=0.5,
+            jitter=0.5,
+            seed=1,
+        )
+        assert other.delays() != delays
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=0.05, backoff_max=10.0, jitter=0.0
+        )
+        assert policy.delays() == (0.05, 0.1, 0.2)
+
+
+class TestCircuitBreaker:
+    def test_full_cycle(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(recovery_after=10.0, clock=lambda: clock[0])
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # window not elapsed
+        clock[0] = 11.0
+        assert breaker.allow()  # admits exactly one probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # second probe refused
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(recovery_after=5.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # fresh window from the re-open
+        clock[0] = 12.0
+        assert breaker.allow()
+
+    def test_failure_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_export_emits_each_transition_once(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(recovery_after=1.0, clock=lambda: clock[0])
+        registry = MetricsRegistry()
+        labels = {"component": "test"}
+        exported = export_breaker_metrics(breaker, registry, labels)
+        assert registry.gauge("breaker.state", labels).value == 0.0
+        breaker.record_failure()
+        exported = export_breaker_metrics(breaker, registry, labels, exported)
+        exported = export_breaker_metrics(breaker, registry, labels, exported)
+        assert registry.gauge("breaker.state", labels).value == 1.0
+        assert (
+            registry.counter_value(
+                "breaker.transitions",
+                {**labels, "from_state": CLOSED, "to_state": OPEN},
+            )
+            == 1  # second export did not re-emit the transition
+        )
+        assert exported == 1

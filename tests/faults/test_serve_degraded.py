@@ -1,0 +1,183 @@
+"""Graceful serving degradation: readers survive writer failures."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import scott_bandwidth
+from repro.core.estimator import KernelDensityEstimator
+from repro.core.model import SelfTuningKDE
+from repro.core.state import ModelState
+from repro.geometry import Box
+from repro.obs import MetricsRegistry
+from repro.serve import CheckpointManager, SnapshotServer
+
+
+def make_sample(seed=0):
+    return np.random.default_rng(seed).normal(size=(150, 2))
+
+
+def make_query():
+    return Box(low=np.array([-1.0, -1.0]), high=np.array([0.8, 0.8]))
+
+
+class FlakyModel:
+    """A servable model whose feedback fails on command."""
+
+    def __init__(self, sample):
+        self._inner = SelfTuningKDE(sample, seed=3)
+        self.fail_next = 0
+
+    def snapshot(self) -> ModelState:
+        return self._inner.snapshot()
+
+    def restore(self, state: ModelState) -> None:
+        self._inner.restore(state)
+
+    def feedback(self, query, true_selectivity):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise RuntimeError("writer exploded mid-update")
+        return self._inner.feedback(query, true_selectivity)
+
+
+class TestDegradedServing:
+    def test_readers_survive_writer_failure(self):
+        registry = MetricsRegistry()
+        model = FlakyModel(make_sample())
+        server = SnapshotServer(model, metrics=registry)
+        query = make_query()
+        before = server.estimate(query)
+
+        model.fail_next = 1
+        with pytest.raises(RuntimeError, match="writer exploded"):
+            server.feedback(query, 0.4)
+
+        # Readers keep answering from the untouched publication.
+        assert server.estimate(query) == before
+        assert server.degraded
+        assert server.writer_errors == 1
+        assert registry.gauge("serve.degraded").value == 1.0
+        assert registry.counter_value("serve.writer_errors") == 1
+
+    def test_successful_feedback_clears_degraded(self):
+        registry = MetricsRegistry()
+        model = FlakyModel(make_sample())
+        server = SnapshotServer(model, metrics=registry)
+        query = make_query()
+        model.fail_next = 1
+        with pytest.raises(RuntimeError):
+            server.feedback(query, 0.4)
+        assert server.degraded
+        server.feedback(query, 0.4)
+        assert not server.degraded
+        assert registry.gauge("serve.degraded").value == 0.0
+        assert server.feedback_count == 1  # the failed one never counted
+
+    def test_first_failure_cuts_emergency_checkpoint(self, tmp_path):
+        registry = MetricsRegistry()
+        model = FlakyModel(make_sample())
+        server = SnapshotServer(model, metrics=registry)
+        manager = CheckpointManager(
+            server,
+            str(tmp_path),
+            every_feedbacks=10_000,
+            metrics=registry,
+        )
+        server._checkpoints = manager
+        query = make_query()
+        published = server.published_state
+
+        model.fail_next = 2
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                server.feedback(query, 0.4)
+
+        # Exactly one emergency file, holding the known-good published
+        # state (not whatever the torn writer might snapshot to).
+        assert registry.counter_value("checkpoint.emergency_writes") == 1
+        paths = manager.checkpoints()
+        assert len(paths) == 1
+        saved = ModelState.load(paths[0])
+        np.testing.assert_array_equal(saved.sample, published.sample)
+        np.testing.assert_array_equal(saved.bandwidth, published.bandwidth)
+
+    def test_checkpoints_constructor_knob(self, tmp_path):
+        """The ``checkpoints=`` parameter wires the emergency path."""
+        registry = MetricsRegistry()
+        model = FlakyModel(make_sample())
+        # The manager snapshots the *server* (whole-epoch states).
+        server = SnapshotServer(model, metrics=registry)
+        manager = CheckpointManager(
+            server, str(tmp_path), metrics=registry
+        )
+        server_with = SnapshotServer(
+            model, metrics=registry, checkpoints=manager
+        )
+        model.fail_next = 1
+        with pytest.raises(RuntimeError):
+            server_with.feedback(make_query(), 0.5)
+        assert registry.counter_value("checkpoint.emergency_writes") == 1
+
+    def test_emergency_failure_does_not_mask_writer_error(self, tmp_path):
+        """If even the emergency write fails, the original writer error
+        still propagates (and the secondary failure is counted)."""
+        registry = MetricsRegistry()
+        model = FlakyModel(make_sample())
+        server = SnapshotServer(model, metrics=registry)
+
+        class ExplodingManager:
+            def emergency(self, state=None):
+                raise OSError("disk full")
+
+        server._checkpoints = ExplodingManager()
+        model.fail_next = 1
+        with pytest.raises(RuntimeError, match="writer exploded"):
+            server.feedback(make_query(), 0.4)
+        assert registry.counter_value("serve.emergency_failures") == 1
+
+    def test_restore_recovers_degraded_writer(self):
+        registry = MetricsRegistry()
+        model = FlakyModel(make_sample())
+        server = SnapshotServer(model, metrics=registry)
+        query = make_query()
+        model.fail_next = 1
+        with pytest.raises(RuntimeError):
+            server.feedback(query, 0.4)
+        assert server.degraded
+        server.restore(server.published_state)
+        assert not server.degraded
+        assert registry.gauge("serve.degraded").value == 0.0
+        # The recovered writer absorbs feedback again.
+        server.feedback(query, 0.4)
+        assert server.feedback_count == 1
+
+
+class TestEndToEndWarmStartAfterCrash:
+    def test_emergency_checkpoint_warm_starts_a_fresh_server(self, tmp_path):
+        """Degradation ladder end-to-end: writer dies, emergency file is
+        cut, a restarted process warm-starts from it and serves the same
+        estimates."""
+        model = FlakyModel(make_sample())
+        server = SnapshotServer(model)
+        manager = CheckpointManager(
+            server, str(tmp_path), every_feedbacks=10_000
+        )
+        server._checkpoints = manager
+        query = make_query()
+        for _ in range(3):
+            server.feedback(query, 0.4)
+        server.publish()
+        expected = server.estimate(query)
+
+        model.fail_next = 1
+        with pytest.raises(RuntimeError):
+            server.feedback(query, 0.4)
+
+        # "Restart": a brand-new model + server warm-started from disk.
+        fresh = SelfTuningKDE(make_sample(seed=9), seed=4)
+        fresh_server = SnapshotServer(fresh)
+        fresh_manager = CheckpointManager(fresh_server, str(tmp_path))
+        assert fresh_manager.warm_start() is not None
+        assert fresh_server.estimate(query) == pytest.approx(
+            expected, abs=1e-12
+        )

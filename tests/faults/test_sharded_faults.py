@@ -1,0 +1,354 @@
+"""Chaos regression tests for the fault-tolerant sharded execution path.
+
+Every fault here is injected deterministically (see
+:mod:`repro.faults.plan`), so these are ordinary regression tests: the
+same plan crashes the same worker at the same dispatch on every run.
+The invariant under test is always the same — *whatever* the injected
+infrastructure failure, batched results stay within the 1e-12 budget of
+the reference numpy backend (and usually bit-match, since per-shard math
+is identical).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import KernelDensityEstimator, scott_bandwidth
+from repro.core.backends import NumpyBackend, ShardedBackend
+from repro.core.backends.sharded import (
+    ShardedSampleExecutor,
+    ShardExecutionError,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.geometry import QueryBatch
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def sample(rng):
+    return rng.normal(size=(300, 3))
+
+
+@pytest.fixture
+def batch(rng):
+    lows = rng.uniform(-2.0, 0.0, size=(40, 3))
+    highs = lows + rng.uniform(0.5, 2.5, size=(40, 3))
+    return QueryBatch(lows, highs)
+
+
+#: A retry policy tuned for tests: fast timeouts, no backoff sleeps.
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, shard_timeout=20.0, backoff_base=0.0, jitter=0.0
+)
+
+
+def _expected(sample, batch):
+    return KernelDensityEstimator(
+        sample, scott_bandwidth(sample), backend=NumpyBackend()
+    ).selectivity_batch(batch)
+
+
+def _sharded(sample, **kwargs):
+    kwargs.setdefault("shards", 3)
+    kwargs.setdefault("retry", FAST_RETRY)
+    backend = ShardedBackend(**kwargs)
+    kde = KernelDensityEstimator(
+        sample, scott_bandwidth(sample), backend=backend
+    )
+    return kde, backend
+
+
+class TestWorkerFaults:
+    def test_sigkill_resurrects_pool_and_bit_matches(self, sample, batch):
+        """The acceptance scenario: SIGKILL at a seeded shard dispatch.
+
+        The executor must observe the broken pool, resurrect it
+        (rebuild segment + pool, re-publish the sample) and re-dispatch,
+        with batched results equal to the numpy backend within 1e-12 —
+        all without opening the breaker, because the retry budget
+        absorbed the fault.
+        """
+        injector = FaultInjector(
+            FaultPlan.single("shard", "crash", shard=1)
+        )
+        kde, backend = _sharded(sample, faults=injector)
+        values = kde.selectivity_batch(batch)
+        np.testing.assert_allclose(
+            values, _expected(sample, batch), rtol=0, atol=1e-12
+        )
+        assert injector.fired("shard", "crash") == 1
+        assert backend.executor.resurrection_count == 1
+        assert backend.executor.retry_count >= 1
+        assert backend.breaker.state == "closed"
+        # The resurrected pool keeps serving subsequent batches.
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch),
+            _expected(sample, batch),
+            rtol=0,
+            atol=1e-12,
+        )
+        backend.close()
+
+    def test_resurrection_visible_in_shard_metrics(self, sample, batch):
+        """After a crash+retry, every shard reports a traced duration —
+        proof the full shard set ran on the resurrected pool."""
+        registry = MetricsRegistry()
+        injector = FaultInjector(
+            FaultPlan.single("shard", "crash", shard=0)
+        )
+        backend = ShardedBackend(
+            shards=3, retry=FAST_RETRY, faults=injector
+        )
+        kde = KernelDensityEstimator(
+            sample,
+            scott_bandwidth(sample),
+            backend=backend,
+            metrics=registry,
+        )
+        values = kde.selectivity_batch(batch)
+        np.testing.assert_allclose(
+            values, _expected(sample, batch), rtol=0, atol=1e-12
+        )
+        assert backend.executor.resurrection_count == 1
+        assert backend.last_shard_seconds is not None
+        assert len(backend.last_shard_seconds) == 3
+        histogram = registry.histogram(
+            "backend.shard_seconds", {"backend": "sharded"}
+        )
+        assert histogram.count == 3
+        backend.close()
+
+    def test_hang_times_out_and_retries(self, sample, batch):
+        """A hung shard trips the per-shard timeout; the pool (with its
+        stuck worker) is killed and the execution retried."""
+        injector = FaultInjector(
+            FaultPlan.single("shard", "hang", shard=0, seconds=30.0)
+        )
+        retry = RetryPolicy(
+            max_attempts=2, shard_timeout=0.5, backoff_base=0.0, jitter=0.0
+        )
+        kde, backend = _sharded(sample, faults=injector, retry=retry)
+        values = kde.selectivity_batch(batch)
+        np.testing.assert_allclose(
+            values, _expected(sample, batch), rtol=0, atol=1e-12
+        )
+        assert backend.executor.timeout_count == 1
+        assert backend.executor.resurrection_count == 1
+        backend.close()
+
+    def test_straggler_finishes(self, sample, batch):
+        """A slow shard is not an error — it just finishes late."""
+        injector = FaultInjector(
+            FaultPlan.single("shard", "slow", shard=2, seconds=0.05)
+        )
+        kde, backend = _sharded(sample, faults=injector)
+        values = kde.selectivity_batch(batch)
+        np.testing.assert_allclose(
+            values, _expected(sample, batch), rtol=0, atol=1e-12
+        )
+        assert injector.fired("shard", "slow") == 1
+        assert backend.executor.retry_count == 0
+        backend.close()
+
+
+class TestSharedMemoryFaults:
+    def test_corruption_is_self_healed(self, sample, batch):
+        """Scribbled shared memory is repaired by the publication guard
+        before dispatch, not served as wrong estimates."""
+        injector = FaultInjector(FaultPlan.single("shm", "corrupt", at=2))
+        kde, backend = _sharded(sample, faults=injector)
+        first = kde.selectivity_batch(batch)  # draw 1: publishes cleanly
+        second = kde.selectivity_batch(batch)  # draw 2: corrupt + repair
+        np.testing.assert_array_equal(first, second)
+        assert backend.executor.republication_count == 1
+        backend.close()
+
+    def test_detach_consumes_an_attempt(self, sample, batch):
+        injector = FaultInjector(FaultPlan.single("shm", "detach"))
+        kde, backend = _sharded(sample, faults=injector)
+        values = kde.selectivity_batch(batch)
+        np.testing.assert_allclose(
+            values, _expected(sample, batch), rtol=0, atol=1e-12
+        )
+        assert backend.executor.retry_count >= 1
+        backend.close()
+
+
+class TestRetryExhaustion:
+    def test_exhausted_budget_raises_shard_execution_error(self, sample):
+        """A fault that outlives the whole retry budget surfaces as
+        ShardExecutionError with the infra failure as its cause."""
+        executor = ShardedSampleExecutor(
+            shards=2,
+            retry=RetryPolicy(
+                max_attempts=2, backoff_base=0.0, jitter=0.0
+            ),
+            faults=FaultInjector(
+                FaultPlan.single("shard", "crash", shard=0, times=2)
+            ),
+        )
+        with pytest.raises(ShardExecutionError, match="2 attempt"):
+            executor.run(_shard_sum, sample, None)
+        assert executor.resurrection_count == 2
+        executor.close()
+
+
+# ----------------------------------------------------------------------
+# Worker-exception semantics (satellite: cancel + first exception)
+# ----------------------------------------------------------------------
+def _shard_sum(sample, start, stop, payload):
+    return sample[start:stop].sum(axis=0)
+
+
+def _failing_shard(sample, start, stop, payload):
+    """Raises on shard 0; later shards record a marker then compute."""
+    marker_dir = payload
+    if start == 0:
+        raise ValueError(f"bad shard [{start}:{stop})")
+    with open(
+        os.path.join(marker_dir, f"{start}-{stop}.ran"), "w"
+    ) as handle:
+        handle.write("ran")
+    return sample[start:stop].sum(axis=0)
+
+
+class TestWorkerExceptions:
+    def test_first_exception_surfaces_unwrapped_without_retry(
+        self, sample, tmp_path
+    ):
+        executor = ShardedSampleExecutor(
+            shards=3, retry=FAST_RETRY
+        )
+        with pytest.raises(ValueError, match=r"bad shard \[0:"):
+            executor.run(_failing_shard, sample, str(tmp_path))
+        assert executor.retry_count == 0
+        executor.close()
+
+    def test_outstanding_shards_are_cancelled(self, sample, tmp_path):
+        """With one worker and many shards, the failure of shard 0 must
+        cancel the queued tail instead of running it to completion."""
+        executor = ShardedSampleExecutor(
+            shards=8, max_workers=1, retry=FAST_RETRY
+        )
+        with pytest.raises(ValueError, match="bad shard"):
+            executor.run(_failing_shard, sample, str(tmp_path))
+        # The pool pre-queues at most a couple of tasks past the running
+        # one; everything still pending must have been cancelled.
+        ran = list(tmp_path.glob("*.ran"))
+        assert len(ran) <= 3, f"expected cancelled tail, got {ran}"
+        executor.close()
+
+
+class TestBreakerIntegration:
+    def test_breaker_cycle_in_exported_metrics(self, sample, batch):
+        """Acceptance: closed → open → half-open → closed, with every
+        transition exported exactly once and inline answers in between."""
+        clock = [0.0]
+        registry = MetricsRegistry()
+        backend = ShardedBackend(
+            shards=2,
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(
+                recovery_after=30.0, clock=lambda: clock[0]
+            ),
+        )
+        kde = KernelDensityEstimator(
+            sample,
+            scott_bandwidth(sample),
+            backend=backend,
+            metrics=registry,
+        )
+        expected = _expected(sample, batch)
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
+        )
+
+        # Kill the pool; with a one-attempt budget the breaker opens.
+        pool = backend.executor._pool
+        for process in pool._processes.values():
+            process.kill()
+        with pytest.warns(RuntimeWarning, match="falling back to inline"):
+            np.testing.assert_allclose(
+                kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
+            )
+        labels = {"component": "backend.sharded"}
+        assert registry.gauge("breaker.state", labels).value == 1.0
+
+        # While open, answers come from the inline path (no pool).
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
+        )
+        assert backend.executor._pool is None
+
+        # After the window, the half-open probe succeeds and re-arms.
+        clock[0] = 31.0
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch), expected, rtol=0, atol=1e-12
+        )
+        assert backend.breaker.state == "closed"
+        assert backend.executor._pool is not None
+        assert registry.gauge("breaker.state", labels).value == 0.0
+        for from_state, to_state in (
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ):
+            assert (
+                registry.counter_value(
+                    "breaker.transitions",
+                    {
+                        **labels,
+                        "from_state": from_state,
+                        "to_state": to_state,
+                    },
+                )
+                == 1
+            ), (from_state, to_state)
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Seeded chaos sweep (Benchmarks workflow only)
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_seeded_chaos_sweep_stays_correct(seed, rng):
+    """Random (but reproducible) crash/straggler storms never change
+    results: every batch stays within 1e-12 of the numpy reference."""
+    sample = rng.normal(size=(250, 3))
+    plan = FaultPlan.seeded(
+        seed, draws=24, crash=0.15, slow=0.2, slow_seconds=0.01
+    )
+    injector = FaultInjector(plan)
+    retry = RetryPolicy(
+        max_attempts=4, shard_timeout=20.0, backoff_base=0.0, jitter=0.0
+    )
+    backend = ShardedBackend(shards=3, retry=retry, faults=injector)
+    kde = KernelDensityEstimator(
+        sample, scott_bandwidth(sample), backend=backend
+    )
+    reference = KernelDensityEstimator(
+        sample, scott_bandwidth(sample), backend=NumpyBackend()
+    )
+    for round_index in range(4):
+        lows = rng.uniform(-2.0, 0.0, size=(20, 3))
+        batch = QueryBatch(lows, lows + rng.uniform(0.5, 2.0, size=(20, 3)))
+        np.testing.assert_allclose(
+            kde.selectivity_batch(batch),
+            reference.selectivity_batch(batch),
+            rtol=0,
+            atol=1e-12,
+        )
+    backend.close()

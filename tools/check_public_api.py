@@ -35,6 +35,7 @@ ROOT_PACKAGE = "repro"
 #: though walk_packages would silently just not find it.
 REQUIRED_MODULES = (
     "repro.core.state",
+    "repro.faults",
     "repro.serve",
     "repro.serve.checkpoint",
     "repro.serve.registry",
