@@ -23,8 +23,9 @@ Subpackages
     Evaluation datasets and the DT/DV/UT/UV workload generators.
 ``repro.serve``
     Snapshot-isolated serving: read-copy-update publication of immutable
-    model states, a ``(table, columns)`` model registry, and crash-safe
-    periodic checkpoints with warm start.
+    model states, a ``(table, columns)`` model registry, crash-safe
+    periodic checkpoints with warm start, and an asyncio micro-batching
+    front end coalescing concurrent clients into batched evaluations.
 ``repro.bench``
     The experiment harness regenerating every table and figure of the
     paper's evaluation (Section 6).
@@ -55,7 +56,14 @@ from .core import (
 )
 from .factory import ESTIMATOR_KINDS, create_estimator
 from .faults import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
-from .serve import CheckpointManager, ModelRegistry, SnapshotServer
+from .serve import (
+    CheckpointManager,
+    EstimatorFrontend,
+    FrontendConfig,
+    ModelRegistry,
+    Overloaded,
+    SnapshotServer,
+)
 from .obs import (
     MetricsRegistry,
     disable_metrics,
@@ -72,13 +80,16 @@ __all__ = [
     "CheckpointManager",
     "CircuitBreaker",
     "ESTIMATOR_KINDS",
+    "EstimatorFrontend",
     "FaultInjector",
     "FaultPlan",
+    "FrontendConfig",
     "KernelDensityEstimator",
     "RetryPolicy",
     "MetricsRegistry",
     "ModelRegistry",
     "ModelState",
+    "Overloaded",
     "QueryBatch",
     "RangeQuery",
     "SelfTuningKDE",

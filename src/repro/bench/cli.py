@@ -14,6 +14,7 @@ Usage::
     python -m repro.bench chaos  [--scale ...]
     python -m repro.bench metrics
     python -m repro.bench serving [--scale ...] [--checkpoint PATH]
+                                  [--clients N [N ...]]
     python -m repro.bench all    [--scale ...]
 
 Any invocation accepts ``--metrics-json PATH``: the process-wide
@@ -45,6 +46,7 @@ from .experiments import (
     run_batch_scaling,
     run_chaos,
     run_dynamic_quality,
+    run_frontend_load,
     run_karma_ablation,
     run_log_update_ablation,
     run_model_size_quality,
@@ -58,6 +60,7 @@ from .metrics import win_matrix
 from .reporting import (
     render_chaos,
     render_dynamic,
+    render_frontend_load,
     render_model_size,
     render_observability,
     render_runtime,
@@ -152,6 +155,26 @@ SERVING_SCALE = {
     "paper": dict(sample_size=4096, rows=100_000, feedbacks=1000, readers=8),
 }
 
+#: Per-scale parameters for the ``serving`` experiment's concurrency
+#: axis (the closed-loop front-end load sweep).  Each scale includes a
+#: cell with more clients than the admission-queue depth, so the sweep
+#: always exercises load shedding.
+FRONTEND_SCALE = {
+    "smoke": dict(
+        sample_size=1024, rows=8_000, clients=(2, 8, 24),
+        rates=(None,), requests_per_client=40, max_queue_depth=12,
+    ),
+    "small": dict(
+        sample_size=2048, rows=20_000, clients=(2, 8, 32),
+        rates=(None, 100.0), requests_per_client=80, max_queue_depth=16,
+    ),
+    "paper": dict(
+        sample_size=4096, rows=100_000, clients=(2, 8, 32, 128),
+        rates=(None, 100.0, 1000.0), requests_per_client=200,
+        max_queue_depth=32,
+    ),
+}
+
 
 def _static(scale: Dict, dimensions: int, progress: bool):
     return run_static_quality(
@@ -173,6 +196,7 @@ def run_experiment(
     progress: bool = True,
     shards=None,
     checkpoint=None,
+    clients=None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     scale = SCALES[scale_name]
@@ -338,10 +362,18 @@ def run_experiment(
         result = run_serving(
             checkpoint=checkpoint, **SERVING_SCALE[scale_name]
         )
-        report = render_serving(result)
+        frontend_params = dict(FRONTEND_SCALE[scale_name])
+        if clients:
+            frontend_params["clients"] = tuple(clients)
+        load = run_frontend_load(**frontend_params)
+        report = (
+            render_serving(result)
+            + "\n\n[concurrency axis]\n"
+            + render_frontend_load(load)
+        )
         title = (
-            "Serving - concurrent reader throughput and snapshot "
-            "staleness under feedback"
+            "Serving - reader throughput, snapshot staleness, and the "
+            "micro-batching front end under closed-loop load"
         )
     else:
         raise ValueError(f"unknown experiment {name!r}")
@@ -366,6 +398,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--shards", type=int, nargs="+", default=None,
         help="shard counts swept by the backends experiment",
+    )
+    parser.add_argument(
+        "--clients", type=int, nargs="+", default=None,
+        help="client counts swept by the serving experiment's "
+        "closed-loop front-end load generator",
     )
     parser.add_argument(
         "--metrics-json", metavar="PATH", default=None,
@@ -394,6 +431,7 @@ def main(argv=None) -> int:
                 run_experiment(
                     name, args.scale, progress=not args.quiet,
                     shards=args.shards, checkpoint=args.checkpoint,
+                    clients=args.clients,
                 )
             )
             print()

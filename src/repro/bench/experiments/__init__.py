@@ -12,6 +12,11 @@ from .ablations import (
 )
 from .chaos import ChaosResult, run_chaos
 from .dynamic_quality import DynamicQualityResult, run_dynamic_quality
+from .frontend_load import (
+    FrontendLoadCell,
+    FrontendLoadResult,
+    run_frontend_load,
+)
 from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
 from .observability import ObservabilityResult, run_observability
 from .runtime import (
@@ -34,6 +39,8 @@ __all__ = [
     "ChaosResult",
     "DEFAULT_BATCH_SIZES",
     "DynamicQualityResult",
+    "FrontendLoadCell",
+    "FrontendLoadResult",
     "KarmaAblation",
     "LogUpdateAblation",
     "ModelSizeResult",
@@ -49,6 +56,7 @@ __all__ = [
     "run_batch_scaling",
     "run_chaos",
     "run_dynamic_quality",
+    "run_frontend_load",
     "run_karma_ablation",
     "run_log_update_ablation",
     "run_model_size_quality",

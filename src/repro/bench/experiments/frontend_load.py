@@ -1,0 +1,197 @@
+"""Closed-loop multi-client load generation against the asyncio front end.
+
+The serving experiment's concurrency axis: sweep ``clients × arrival
+rate`` against one :class:`~repro.serve.EstimatorFrontend` and measure
+what the admission queue buys (and costs) end to end —
+
+* **p50/p99 request latency** — closed-loop, measured client-side around
+  each awaited estimate;
+* **coalescing factor** — requests answered per evaluated batch; > 1
+  means concurrent singles are riding shared evaluations;
+* **shed rate** — fraction of attempts rejected by admission control
+  (:class:`~repro.serve.Overloaded`), the price of keeping admitted
+  p99 bounded under overload.
+
+Each client is closed-loop: it issues a request, awaits the response,
+optionally sleeps an exponential think time (``rate`` requests/second
+per client; ``None`` = no think time, maximum pressure), and repeats.
+Shed attempts back off briefly and count against the client's attempt
+budget, so overload cells terminate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.model import SelfTuningKDE
+from ...geometry import Box
+from ...serve import EstimatorFrontend, FrontendConfig, ModelRegistry, Overloaded
+from .runtime import templated_workload
+
+__all__ = ["FrontendLoadCell", "FrontendLoadResult", "run_frontend_load"]
+
+#: Seconds a shed client waits before retrying.
+SHED_BACKOFF_SECONDS = 0.002
+
+TABLE = "bench"
+COLUMNS = ("c0", "c1", "c2")
+
+
+@dataclass
+class FrontendLoadCell:
+    """One (clients, rate) sweep point."""
+
+    clients: int
+    #: Per-client arrival rate (requests/s); ``None`` = unthrottled.
+    rate: Optional[float]
+    attempts: int
+    completed: int
+    shed: int
+    shed_rate: float
+    p50_ms: float
+    p99_ms: float
+    coalescing_factor: float
+    batches: int
+    stale_batches: int
+    duration_seconds: float
+    #: Completed requests per second across all clients.
+    throughput: float
+
+
+@dataclass
+class FrontendLoadResult:
+    """Full clients × rate sweep."""
+
+    sample_size: int
+    dimensions: int
+    max_queue_depth: int
+    max_batch_size: int
+    cells: List[FrontendLoadCell] = field(default_factory=list)
+
+
+async def _run_cell(
+    frontend: EstimatorFrontend,
+    boxes: Sequence[Box],
+    clients: int,
+    rate: Optional[float],
+    requests_per_client: int,
+    seed: int,
+) -> Tuple[int, int, List[float]]:
+    """Drive one closed-loop cell; returns (attempts, shed, latencies)."""
+
+    async def client(slot: int) -> Tuple[int, int, List[float]]:
+        rng = np.random.default_rng(seed + 7919 * slot)
+        latencies: List[float] = []
+        shed = 0
+        attempts = 0
+        async with frontend.session() as session:
+            while attempts < requests_per_client:
+                if rate is not None:
+                    await asyncio.sleep(float(rng.exponential(1.0 / rate)))
+                box = boxes[int(rng.integers(len(boxes)))]
+                attempts += 1
+                started = time.perf_counter()
+                try:
+                    await session.estimate(TABLE, COLUMNS, box)
+                except Overloaded:
+                    shed += 1
+                    await asyncio.sleep(SHED_BACKOFF_SECONDS)
+                else:
+                    latencies.append(time.perf_counter() - started)
+        return attempts, shed, latencies
+
+    outcomes = await asyncio.gather(*[client(slot) for slot in range(clients)])
+    attempts = sum(a for a, _, _ in outcomes)
+    shed = sum(s for _, s, _ in outcomes)
+    latencies = [l for _, _, ls in outcomes for l in ls]
+    return attempts, shed, latencies
+
+
+def run_frontend_load(
+    sample_size: int = 2048,
+    rows: int = 20_000,
+    clients: Sequence[int] = (2, 8, 32),
+    rates: Sequence[Optional[float]] = (None,),
+    requests_per_client: int = 60,
+    max_queue_depth: int = 16,
+    max_batch_size: int = 256,
+    query_pool: int = 64,
+    seed: int = 20150601,
+) -> FrontendLoadResult:
+    """Sweep clients × arrival rate against one micro-batching front end.
+
+    Every cell gets a fresh :class:`~repro.serve.SnapshotServer` and
+    front end over the same data, so cells are independent and the
+    reported coalescing factor and shed rate are per-cell measurements.
+    """
+    dimensions = len(COLUMNS)
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, dimensions))
+    sample = data[rng.choice(rows, size=sample_size, replace=False)]
+    batch = templated_workload(data, query_pool, rng, template_pool=4)
+    boxes = [Box(lo, hi) for lo, hi in zip(batch.low, batch.high)]
+
+    result = FrontendLoadResult(
+        sample_size=sample_size,
+        dimensions=dimensions,
+        max_queue_depth=max_queue_depth,
+        max_batch_size=max_batch_size,
+    )
+    config = FrontendConfig(
+        max_batch_size=max_batch_size, max_queue_depth=max_queue_depth
+    )
+    for count in clients:
+        for rate in rates:
+            registry = ModelRegistry()
+            registry.register(
+                TABLE,
+                COLUMNS,
+                SelfTuningKDE(sample, seed=seed % (2**31)),
+            )
+            frontend = EstimatorFrontend(registry, config=config)
+
+            async def cell():
+                # Stats must be read inside the context: stop() clears
+                # the lanes (and their counters) on the way out.
+                async with frontend:
+                    started = time.perf_counter()
+                    attempts, shed, latencies = await _run_cell(
+                        frontend,
+                        boxes,
+                        count,
+                        rate,
+                        requests_per_client,
+                        seed,
+                    )
+                    duration = time.perf_counter() - started
+                    return attempts, shed, latencies, duration, frontend.stats()
+
+            attempts, shed, latencies, duration, stats = asyncio.run(cell())
+            quantiles = (
+                np.percentile(latencies, (50, 99)) if latencies else (0.0, 0.0)
+            )
+            result.cells.append(
+                FrontendLoadCell(
+                    clients=count,
+                    rate=rate,
+                    attempts=attempts,
+                    completed=len(latencies),
+                    shed=shed,
+                    shed_rate=shed / attempts if attempts else 0.0,
+                    p50_ms=float(quantiles[0]) * 1e3,
+                    p99_ms=float(quantiles[1]) * 1e3,
+                    coalescing_factor=stats.coalescing_factor,
+                    batches=stats.batches,
+                    stale_batches=stats.stale_batches,
+                    duration_seconds=duration,
+                    throughput=(
+                        len(latencies) / duration if duration > 0 else 0.0
+                    ),
+                )
+            )
+    return result

@@ -13,6 +13,7 @@ import numpy as np
 
 from .experiments.chaos import ChaosResult
 from .experiments.dynamic_quality import DynamicQualityResult
+from .experiments.frontend_load import FrontendLoadResult
 from .experiments.model_size import ModelSizeResult
 from .experiments.observability import ObservabilityResult
 from .experiments.runtime import RuntimeResult
@@ -29,6 +30,7 @@ __all__ = [
     "render_runtime",
     "render_chaos",
     "render_dynamic",
+    "render_frontend_load",
     "render_serving",
 ]
 
@@ -197,6 +199,43 @@ def render_serving(result: ServingResult) -> str:
             "(final state saved back)"
         )
     return "\n".join(sections)
+
+
+def render_frontend_load(result: FrontendLoadResult) -> str:
+    """Clients × arrival-rate sweep of the micro-batching front end."""
+    headers = [
+        "clients",
+        "rate/s",
+        "attempts",
+        "done",
+        "shed%",
+        "p50 ms",
+        "p99 ms",
+        "coalesce",
+        "req/s",
+    ]
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            [
+                str(cell.clients),
+                "max" if cell.rate is None else f"{cell.rate:g}",
+                str(cell.attempts),
+                str(cell.completed),
+                f"{100 * cell.shed_rate:.1f}",
+                f"{cell.p50_ms:.2f}",
+                f"{cell.p99_ms:.2f}",
+                f"{cell.coalescing_factor:.2f}",
+                f"{cell.throughput:,.0f}",
+            ]
+        )
+    header = (
+        f"front end: sample={result.sample_size}, "
+        f"queue depth={result.max_queue_depth}, "
+        f"max batch={result.max_batch_size} "
+        "(closed-loop clients; rate is per-client think-rate)"
+    )
+    return header + "\n" + format_table(headers, rows)
 
 
 def render_chaos(result: ChaosResult) -> str:

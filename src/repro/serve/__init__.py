@@ -9,15 +9,31 @@ published per completed epoch.
 * :class:`ModelRegistry` — thread-safe ``(table, columns)`` → server map.
 * :class:`CheckpointManager` — periodic atomic checkpoints, last-K
   retention, corrupt-skipping warm start.
+* :class:`EstimatorFrontend` — asyncio micro-batching front end:
+  admission queues coalescing concurrent single-query requests into one
+  batched evaluation per model, load shedding (:class:`Overloaded`),
+  and a watchdog degrading to stale-snapshot serving.
 """
 
 from .checkpoint import CheckpointManager
+from .frontend import (
+    EstimatorFrontend,
+    FrontendConfig,
+    FrontendSession,
+    LaneStats,
+    Overloaded,
+)
 from .registry import ModelRegistry
 from .server import PublishedSnapshot, SnapshotServer
 
 __all__ = [
     "CheckpointManager",
+    "EstimatorFrontend",
+    "FrontendConfig",
+    "FrontendSession",
+    "LaneStats",
     "ModelRegistry",
+    "Overloaded",
     "PublishedSnapshot",
     "SnapshotServer",
 ]

@@ -1,0 +1,592 @@
+"""Asyncio micro-batching front end over the model registry.
+
+The paper measures per-query estimation latency (Section 6), but a
+selectivity service faces *concurrent* single-query clients — and PR 1
+made batched evaluation cheap precisely so that concurrency could be
+turned into throughput.  :class:`EstimatorFrontend` is the piece in
+between: an asyncio admission layer that
+
+* accepts single estimates from many client sessions,
+* **coalesces** requests that arrive while a batch is in flight into one
+  :class:`~repro.geometry.QueryBatch` per ``(table, columns)`` model,
+* answers each batch with a single
+  :meth:`~repro.serve.server.SnapshotServer.estimate_batch`-equivalent
+  evaluation against **one consistent published snapshot**, and
+* fans the per-query results back to the waiting futures.
+
+Coalescing needs no artificial delay: batch evaluation runs on the
+default thread-pool executor, so the event loop stays live and every
+request admitted while an evaluation is running joins the next batch.
+Under closed-loop load the batch size therefore tracks the number of
+concurrent clients.
+
+Backpressure and load shedding
+------------------------------
+Each model lane bounds its admission queue at
+:attr:`FrontendConfig.max_queue_depth`.  A request arriving at a full
+queue is **shed**: it fails fast with :class:`Overloaded` (a typed
+error clients can catch and retry) and increments the
+``frontend.shed`` counter.  Shedding keeps the latency of admitted
+requests bounded — the alternative, an unbounded queue, converts
+overload into unbounded p99.
+
+Degraded serving
+----------------
+A watchdog task samples every lane each
+:attr:`FrontendConfig.watchdog_interval` seconds.  When recent batch
+latency exceeds :attr:`FrontendConfig.latency_threshold` or the lane's
+writer reports new errors, the watchdog trips the lane's
+:class:`~repro.faults.breaker.CircuitBreaker` (the PR 5 machinery).
+While the breaker is open the lane serves from its *pinned* last
+known-good publication — stale but consistent answers instead of
+errors — and the breaker's half-open probe re-arms live serving once a
+probe batch succeeds.  A live batch that raises falls back to the
+pinned snapshot the same way, so clients of a degraded lane still get
+answers.
+
+Metrics (``repro.obs``)
+-----------------------
+Per-lane labels are ``{"model": "table/col1,col2"}``.
+
+===================================  =========  =================================
+``frontend.requests``                counter    requests admitted
+``frontend.shed``                    counter    requests shed by admission control
+``frontend.batches``                 counter    coalesced batches evaluated
+``frontend.stale_batches``           counter    batches served from the pinned snapshot
+``frontend.queue_depth``             gauge      admission-queue depth
+``frontend.coalescing``              histogram  batch size (coalescing factor)
+``frontend.batch_seconds``           histogram  batch evaluation latency (p50/p99)
+``frontend.watchdog_trips``          counter    watchdog trips, labelled ``reason=``
+``frontend.sessions``                gauge      open client sessions
+``breaker.state``/``.transitions``   gauge/ctr  per-lane breaker telemetry
+===================================  =========  =================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.breaker import CLOSED, CircuitBreaker, export_breaker_metrics
+from ..geometry import Box, QueryBatch
+from ..obs import MetricsRegistry, get_registry
+from .registry import ModelRegistry
+from .server import PublishedSnapshot, SnapshotServer
+
+__all__ = [
+    "COALESCING_BUCKETS",
+    "EstimatorFrontend",
+    "FrontendConfig",
+    "FrontendSession",
+    "LaneStats",
+    "Overloaded",
+]
+
+#: Buckets for the coalescing-factor histogram: batch sizes are small
+#: integers, so a power-of-two ladder reads better than the default
+#: microsecond ladder shared by the latency timers.
+COALESCING_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(11))
+
+
+class Overloaded(RuntimeError):
+    """Request shed by admission control (queue full or front end down).
+
+    Typed so clients can distinguish load shedding — safe to retry after
+    backing off — from estimation errors, which are not.
+    """
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Tuning knobs for :class:`EstimatorFrontend`.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Upper bound on requests coalesced into one evaluation.  Bounds
+        the latency cost a request can pay for riding a large batch.
+    max_queue_depth:
+        Admission-queue bound per model lane; arrivals beyond it are
+        shed with :class:`Overloaded`.
+    watchdog_interval:
+        Seconds between watchdog health sweeps.
+    latency_threshold:
+        Recent batch latency (seconds) above which the watchdog trips
+        the lane to degraded serving.
+    latency_window:
+        Number of recent batches the latency check considers.
+    writer_error_threshold:
+        New writer errors observed between two sweeps that trip the lane.
+    breaker_recovery:
+        Seconds a tripped lane stays degraded before the breaker admits
+        a half-open live probe.
+    """
+
+    max_batch_size: int = 256
+    max_queue_depth: int = 1024
+    watchdog_interval: float = 0.25
+    latency_threshold: float = 0.5
+    latency_window: int = 16
+    writer_error_threshold: int = 1
+    breaker_recovery: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
+        if self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be positive")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be at least 1")
+        if self.writer_error_threshold < 1:
+            raise ValueError("writer_error_threshold must be at least 1")
+        if self.breaker_recovery < 0:
+            raise ValueError("breaker_recovery must be non-negative")
+
+
+@dataclass
+class LaneStats:
+    """Point-in-time counters for one model lane (or the whole front end)."""
+
+    requests: int = 0
+    answered: int = 0
+    shed: int = 0
+    batches: int = 0
+    stale_batches: int = 0
+    watchdog_trips: int = 0
+    queue_depth: int = 0
+    #: Mean requests answered per evaluated batch.
+    coalescing_factor: float = 0.0
+
+    def _merge(self, other: "LaneStats") -> None:
+        self.requests += other.requests
+        self.answered += other.answered
+        self.shed += other.shed
+        self.batches += other.batches
+        self.stale_batches += other.stale_batches
+        self.watchdog_trips += other.watchdog_trips
+        self.queue_depth += other.queue_depth
+
+
+class _Lane:
+    """One model's admission queue, dispatcher task, and breaker."""
+
+    def __init__(
+        self,
+        key: Tuple[str, Tuple[str, ...]],
+        server: SnapshotServer,
+        config: FrontendConfig,
+    ) -> None:
+        self.key = key
+        self.server = server
+        self.labels = {"model": f"{key[0]}/{','.join(key[1])}"}
+        self.queue: Deque[Tuple[Box, asyncio.Future]] = deque()
+        self.wakeup = asyncio.Event()
+        self.breaker = CircuitBreaker(
+            failure_threshold=1, recovery_after=config.breaker_recovery
+        )
+        #: Last known-good publication; degraded serving answers from it.
+        self.pinned: PublishedSnapshot = server.published
+        self.dimensions = int(server.published.state.sample.shape[1])
+        self.seen_writer_errors = server.writer_errors
+        self.recent_seconds: Deque[float] = deque(maxlen=config.latency_window)
+        self.exported_transitions = 0
+        self.task: Optional[asyncio.Task] = None
+        self.stats = LaneStats()
+
+    def trip(self) -> None:
+        """Force the breaker open; degraded serving from the pinned snapshot."""
+        self.breaker.record_failure()
+        self.recent_seconds.clear()
+
+
+class FrontendSession:
+    """One client's handle on the front end.
+
+    Sessions are bookkeeping, not isolation: they give the service a
+    per-client identity (connection accounting, the ``frontend.sessions``
+    gauge) while every estimate still flows through the shared admission
+    queues.  Use as an async context manager or call :meth:`close`.
+    """
+
+    def __init__(self, frontend: "EstimatorFrontend", session_id: int) -> None:
+        self._frontend = frontend
+        self.session_id = session_id
+        self.requests = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def estimate(
+        self, table: str, columns: Sequence[str], query: Box
+    ) -> float:
+        if self._closed:
+            raise RuntimeError(f"session {self.session_id} is closed")
+        self.requests += 1
+        return await self._frontend.estimate(table, columns, query)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._frontend._session_closed(self)
+
+    async def __aenter__(self) -> "FrontendSession":
+        return self
+
+    async def __aexit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class EstimatorFrontend:
+    """Asyncio estimator service in front of a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The ``(table, columns) -> SnapshotServer`` map to serve from.
+    config:
+        Tuning knobs; defaults are service-sized (see
+        :class:`FrontendConfig`).
+    metrics:
+        Metrics registry; ``None`` defers to the process-wide one at
+        call time, like every other instrumented component.
+
+    Usage::
+
+        frontend = EstimatorFrontend(registry)
+        await frontend.start()
+        value = await frontend.estimate("orders", ("price", "qty"), box)
+        await frontend.stop()
+
+    or ``async with EstimatorFrontend(registry) as frontend: ...``.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        config: Optional[FrontendConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._registry_map = registry
+        self._config = config if config is not None else FrontendConfig()
+        self._metrics = metrics
+        self._lanes: Dict[Tuple[str, Tuple[str, ...]], _Lane] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._session_ids = itertools.count(1)
+        self._open_sessions = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> FrontendConfig:
+        return self._config
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    async def start(self) -> "EstimatorFrontend":
+        """Bind to the running event loop and start the watchdog."""
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._started = True
+        self._watchdog_task = self._loop.create_task(self._watchdog_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Stop dispatchers and fail queued requests with :class:`Overloaded`."""
+        if not self._started:
+            return
+        self._started = False
+        tasks: List[asyncio.Task] = []
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            tasks.append(self._watchdog_task)
+            self._watchdog_task = None
+        for lane in self._lanes.values():
+            if lane.task is not None:
+                lane.task.cancel()
+                tasks.append(lane.task)
+                lane.task = None
+            while lane.queue:
+                _, future = lane.queue.popleft()
+                if not future.done():
+                    future.set_exception(Overloaded("front end stopped"))
+            self._gauge("frontend.queue_depth", lane).set(0)
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._lanes.clear()
+
+    async def __aenter__(self) -> "EstimatorFrontend":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.stop()
+        return False
+
+    def session(self) -> FrontendSession:
+        """Open a new client session."""
+        session = FrontendSession(self, next(self._session_ids))
+        self._open_sessions += 1
+        self._registry().gauge("frontend.sessions").set(self._open_sessions)
+        return session
+
+    def _session_closed(self, session: FrontendSession) -> None:
+        self._open_sessions -= 1
+        self._registry().gauge("frontend.sessions").set(self._open_sessions)
+
+    # ------------------------------------------------------------------
+    # Client path
+    # ------------------------------------------------------------------
+    async def estimate(
+        self, table: str, columns: Sequence[str], query: Box
+    ) -> float:
+        """Estimate one query's selectivity through the admission queue.
+
+        Raises :class:`Overloaded` when the model's queue is at
+        ``max_queue_depth`` (shed; retry after backoff) and ``KeyError``
+        when no model is registered for ``(table, columns)``.
+        """
+        if not self._started:
+            raise RuntimeError("EstimatorFrontend.start() has not been called")
+        lane = self._lane(table, columns)
+        if not isinstance(query, Box):
+            raise TypeError(
+                f"query must be a Box, got {type(query).__name__}"
+            )
+        if query.dimensions != lane.dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} dimensions, model "
+                f"{lane.labels['model']} has {lane.dimensions}"
+            )
+        if len(lane.queue) >= self._config.max_queue_depth:
+            lane.stats.shed += 1
+            self._registry().counter("frontend.shed", lane.labels).inc()
+            raise Overloaded(
+                f"admission queue for {lane.labels['model']} is at "
+                f"{self._config.max_queue_depth}; retry after backoff"
+            )
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        lane.queue.append((query, future))
+        lane.stats.requests += 1
+        registry = self._registry()
+        registry.counter("frontend.requests", lane.labels).inc()
+        self._gauge("frontend.queue_depth", lane).set(len(lane.queue))
+        lane.wakeup.set()
+        return await future
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(
+        self,
+        table: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> LaneStats:
+        """Counters for one model lane, or aggregated over all lanes."""
+        if table is not None:
+            if columns is None:
+                raise ValueError("columns is required when table is given")
+            lane = self._lanes[(table, tuple(str(c) for c in columns))]
+            return self._lane_stats(lane)
+        total = LaneStats()
+        for lane in self._lanes.values():
+            total._merge(self._lane_stats(lane))
+        if total.batches:
+            total.coalescing_factor = total.answered / total.batches
+        return total
+
+    def degraded(self, table: str, columns: Sequence[str]) -> bool:
+        """Whether the lane currently serves from its pinned snapshot."""
+        lane = self._lanes[(table, tuple(str(c) for c in columns))]
+        return lane.breaker.state != CLOSED
+
+    def trip(self, table: str, columns: Sequence[str], reason: str = "manual") -> None:
+        """Trip one lane to degraded (stale-snapshot) serving now.
+
+        The operator/testing entry point to the same mechanism the
+        watchdog uses; the lane recovers through the breaker's half-open
+        probe like any other trip.
+        """
+        lane = self._lane(table, columns)
+        self._trip_lane(lane, reason)
+
+    def _lane_stats(self, lane: _Lane) -> LaneStats:
+        stats = LaneStats(
+            requests=lane.stats.requests,
+            answered=lane.stats.answered,
+            shed=lane.stats.shed,
+            batches=lane.stats.batches,
+            stale_batches=lane.stats.stale_batches,
+            watchdog_trips=lane.stats.watchdog_trips,
+            queue_depth=len(lane.queue),
+        )
+        if stats.batches:
+            stats.coalescing_factor = stats.answered / stats.batches
+        return stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_registry()
+
+    def _gauge(self, name: str, lane: _Lane):
+        return self._registry().gauge(name, lane.labels)
+
+    def _lane(self, table: str, columns: Sequence[str]) -> _Lane:
+        key = (table, tuple(str(c) for c in columns))
+        lane = self._lanes.get(key)
+        if lane is None:
+            server = self._registry_map.get(table, columns)  # KeyError if absent
+            lane = _Lane(key, server, self._config)
+            assert self._loop is not None
+            lane.task = self._loop.create_task(self._run_lane(lane))
+            self._lanes[key] = lane
+        return lane
+
+    async def _run_lane(self, lane: _Lane) -> None:
+        """Dispatcher: drain the queue, evaluate one batch, fan out."""
+        assert self._loop is not None
+        while True:
+            while not lane.queue:
+                lane.wakeup.clear()
+                await lane.wakeup.wait()
+            count = min(len(lane.queue), self._config.max_batch_size)
+            requests = [lane.queue.popleft() for _ in range(count)]
+            self._gauge("frontend.queue_depth", lane).set(len(lane.queue))
+            batch = QueryBatch(
+                np.stack([box.low for box, _ in requests]),
+                np.stack([box.high for box, _ in requests]),
+            )
+            registry = self._registry()
+            started = time.perf_counter()
+            stale = False
+            try:
+                live = lane.breaker.allow()
+                if live:
+                    publication = lane.server.published
+                    try:
+                        values = await self._loop.run_in_executor(
+                            None, publication.reader.selectivity_batch, batch
+                        )
+                    except Exception:
+                        lane.breaker.record_failure()
+                        registry.counter(
+                            "frontend.live_errors", lane.labels
+                        ).inc()
+                        stale = True
+                    else:
+                        lane.breaker.record_success()
+                        lane.pinned = publication
+                else:
+                    stale = True
+                if stale:
+                    # Degraded: answer from the pinned last known-good
+                    # publication — stale but consistent, never an error.
+                    values = await self._loop.run_in_executor(
+                        None, lane.pinned.reader.selectivity_batch, batch
+                    )
+            except asyncio.CancelledError:
+                # Only stop() cancels dispatchers; the in-flight batch
+                # can't be re-queued (stop has already drained the
+                # queue), so its clients get the shutdown error too.
+                for _, future in requests:
+                    if not future.done():
+                        future.set_exception(Overloaded("front end stopped"))
+                raise
+            except Exception as error:
+                # Even the pinned engine failed (poisoned batch?): the
+                # waiting clients get the error, the lane stays up.
+                for _, future in requests:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            seconds = time.perf_counter() - started
+            lane.recent_seconds.append(seconds)
+            lane.stats.batches += 1
+            lane.stats.answered += len(requests)
+            if stale:
+                lane.stats.stale_batches += 1
+                registry.counter("frontend.stale_batches", lane.labels).inc()
+            registry.counter("frontend.batches", lane.labels).inc()
+            registry.histogram(
+                "frontend.coalescing", lane.labels, buckets=COALESCING_BUCKETS
+            ).observe(float(len(requests)))
+            registry.histogram(
+                "frontend.batch_seconds", lane.labels
+            ).observe(seconds)
+            for (_, future), value in zip(requests, values):
+                if not future.done():
+                    future.set_result(float(value))
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    async def _watchdog_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._config.watchdog_interval)
+            self.check_health()
+
+    def check_health(self) -> List[Tuple[str, str]]:
+        """One watchdog sweep over every lane; returns ``(model, reason)`` trips.
+
+        Runs automatically every ``watchdog_interval`` seconds while the
+        front end is started; callable directly for deterministic tests
+        and operational probes.
+        """
+        trips: List[Tuple[str, str]] = []
+        registry = self._registry()
+        for lane in self._lanes.values():
+            writer_errors = lane.server.writer_errors
+            new_errors = writer_errors - lane.seen_writer_errors
+            lane.seen_writer_errors = writer_errors
+            reason = None
+            if new_errors >= self._config.writer_error_threshold:
+                reason = "writer_errors"
+            elif (
+                lane.recent_seconds
+                and max(lane.recent_seconds) > self._config.latency_threshold
+            ):
+                reason = "latency"
+            if reason is not None and lane.breaker.state == CLOSED:
+                self._trip_lane(lane, reason)
+                trips.append((lane.labels["model"], reason))
+            lane.exported_transitions = export_breaker_metrics(
+                lane.breaker, registry, lane.labels, lane.exported_transitions
+            )
+        return trips
+
+    def _trip_lane(self, lane: _Lane, reason: str) -> None:
+        lane.trip()
+        lane.stats.watchdog_trips += 1
+        self._registry().counter(
+            "frontend.watchdog_trips", {**lane.labels, "reason": reason}
+        ).inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EstimatorFrontend(lanes={len(self._lanes)}, "
+            f"started={self._started}, sessions={self._open_sessions})"
+        )

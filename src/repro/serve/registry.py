@@ -47,15 +47,49 @@ class ModelRegistry:
         model: "SnapshotModel | SnapshotServer",
         *,
         replace: bool = False,
+        metrics=None,
+        checkpoints=None,
+        on_publish=None,
     ) -> SnapshotServer:
         """Register ``model`` under ``(table, columns)``.
 
         Bare estimators are wrapped in a :class:`SnapshotServer`; an
         existing server instance is registered as-is.  Re-registering an
         occupied key raises unless ``replace=True``.
+
+        ``metrics``, ``checkpoints`` and ``on_publish`` are forwarded to
+        the :class:`SnapshotServer` constructor when a bare estimator is
+        wrapped, so registry-created servers keep emergency-checkpoint
+        protection and publication observers.  Passing any of them with
+        an already-constructed server raises: the server was configured
+        at construction and silently ignoring the kwargs would drop
+        exactly that protection.
         """
         key = _make_key(table, columns)
-        server = model if isinstance(model, SnapshotServer) else SnapshotServer(model)
+        if isinstance(model, SnapshotServer):
+            rejected = [
+                name
+                for name, value in (
+                    ("metrics", metrics),
+                    ("checkpoints", checkpoints),
+                    ("on_publish", on_publish),
+                )
+                if value is not None
+            ]
+            if rejected:
+                raise ValueError(
+                    f"cannot apply {', '.join(rejected)} to an "
+                    "already-constructed SnapshotServer; configure the "
+                    "server at construction instead"
+                )
+            server = model
+        else:
+            server = SnapshotServer(
+                model,
+                metrics=metrics,
+                checkpoints=checkpoints,
+                on_publish=on_publish,
+            )
         with self._lock:
             if not replace and key in self._servers:
                 raise KeyError(

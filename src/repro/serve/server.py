@@ -126,6 +126,7 @@ class SnapshotServer:
         self._lock = threading.RLock()
         self._feedback_count = 0
         self._writer_errors = 0
+        self._publish_callback_errors = 0
         self._degraded = False
         self._published: PublishedSnapshot  # assigned by _publish_locked
         with self._lock:
@@ -169,6 +170,16 @@ class SnapshotServer:
     def writer_errors(self) -> int:
         """Writer (feedback-path) exceptions observed so far."""
         return self._writer_errors
+
+    @property
+    def publish_callback_errors(self) -> int:
+        """``on_publish`` callback exceptions swallowed so far.
+
+        A raising callback never aborts a publication (the writer has
+        already advanced by then); it is counted here and in the
+        ``serve.publish_callback_errors`` metric instead.
+        """
+        return self._publish_callback_errors
 
     @property
     def degraded(self) -> bool:
@@ -300,8 +311,16 @@ class SnapshotServer:
         # The callback runs first, while the record is still invisible:
         # observers that log publications (tests, checkpoint glue) are
         # guaranteed to know about a record before any reader can see it.
+        # A raising callback must not abort publication: by this point
+        # the writer model has already advanced, so bailing out would
+        # leave readers permanently stale relative to the writer.  The
+        # failure is counted instead and publication proceeds.
         if self._on_publish is not None:
-            self._on_publish(record)
+            try:
+                self._on_publish(record)
+            except Exception:
+                self._publish_callback_errors += 1
+                self._registry().counter("serve.publish_callback_errors").inc()
         # The single store below is the linearisation point: readers that
         # loaded the old record keep a fully consistent (state, reader)
         # pair; new readers see the new pair.

@@ -1,0 +1,68 @@
+"""Closed-loop front-end load sweep (slow; excluded from tier-1)."""
+
+import pytest
+
+from repro.bench.experiments import run_frontend_load
+from repro.bench.reporting import render_frontend_load
+
+pytestmark = pytest.mark.slow
+
+
+def test_closed_loop_sweep_coalesces_and_sheds():
+    result = run_frontend_load(
+        sample_size=512,
+        rows=4_000,
+        clients=(8, 24),
+        rates=(None,),
+        requests_per_client=30,
+        max_queue_depth=8,
+    )
+    cells = {cell.clients: cell for cell in result.cells}
+
+    # Accounting is closed: every attempt either completed or shed.
+    for cell in result.cells:
+        assert cell.completed + cell.shed == cell.attempts
+        assert cell.coalescing_factor >= 1.0
+
+    # >= 8 concurrent closed-loop clients ride shared batches.
+    assert cells[8].coalescing_factor > 1.0
+    assert cells[8].shed == 0
+
+    # Overload (clients > queue depth) sheds a nonzero fraction while
+    # keeping the p99 of admitted requests bounded.
+    overload = cells[24]
+    assert overload.shed > 0
+    assert overload.shed_rate > 0.0
+    assert overload.completed > 0
+    assert overload.p99_ms < 1_000.0
+
+
+def test_think_time_reduces_pressure():
+    result = run_frontend_load(
+        sample_size=512,
+        rows=4_000,
+        clients=(8,),
+        rates=(None, 50.0),
+        requests_per_client=20,
+        max_queue_depth=8,
+    )
+    unthrottled, throttled = result.cells
+    assert unthrottled.rate is None and throttled.rate == 50.0
+    # Think time spreads arrivals, so batches coalesce less.
+    assert (
+        throttled.coalescing_factor <= unthrottled.coalescing_factor
+    )
+
+
+def test_render_frontend_load_reports_every_cell():
+    result = run_frontend_load(
+        sample_size=256,
+        rows=2_000,
+        clients=(2, 8),
+        rates=(None,),
+        requests_per_client=10,
+        max_queue_depth=8,
+    )
+    report = render_frontend_load(result)
+    assert "clients" in report and "coalesce" in report
+    assert report.count("\n") >= 2 + len(result.cells)

@@ -1,0 +1,389 @@
+"""Asyncio micro-batching front end: coalescing, shedding, degradation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.model import SelfTuningKDE
+from repro.geometry import Box
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    EstimatorFrontend,
+    FrontendConfig,
+    ModelRegistry,
+    Overloaded,
+)
+
+TABLE = "orders"
+COLUMNS = ("price", "qty", "disc")
+
+
+def make_sample(rows=400, dims=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dims))
+
+
+def make_boxes(dims=3, count=12, seed=9):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(count, dims))
+    widths = rng.uniform(0.3, 1.6, size=(count, dims))
+    return [
+        Box(low=c - w / 2, high=c + w / 2) for c, w in zip(centers, widths)
+    ]
+
+
+def make_registry(seed=1):
+    registry = ModelRegistry()
+    model = SelfTuningKDE(make_sample(seed=seed), seed=seed)
+    server = registry.register(TABLE, COLUMNS, model)
+    return registry, server, model
+
+
+# ---------------------------------------------------------------------------
+# (a) Consistency: front-end answers == direct snapshot reads
+# ---------------------------------------------------------------------------
+class TestConsistency:
+    def test_concurrent_clients_match_direct_estimates(self):
+        registry, server, _ = make_registry()
+        boxes = make_boxes()
+        direct = {i: server.estimate(box) for i, box in enumerate(boxes)}
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                async def client(slot):
+                    values = []
+                    for i in range(len(boxes)):
+                        index = (slot + i) % len(boxes)
+                        value = await frontend.estimate(
+                            TABLE, COLUMNS, boxes[index]
+                        )
+                        values.append((index, value))
+                    return values
+                return await asyncio.gather(*[client(s) for s in range(6)])
+
+        for per_client in asyncio.run(main()):
+            for index, value in per_client:
+                assert value == direct[index]
+
+    def test_unknown_model_raises_keyerror(self):
+        registry, _, _ = make_registry()
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                with pytest.raises(KeyError):
+                    await frontend.estimate("nope", ("a",), make_boxes()[0])
+
+        asyncio.run(main())
+
+    def test_dimension_mismatch_rejected_at_admission(self):
+        registry, _, _ = make_registry()
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                bad = Box(low=np.zeros(2), high=np.ones(2))
+                with pytest.raises(ValueError):
+                    await frontend.estimate(TABLE, COLUMNS, bad)
+                with pytest.raises(TypeError):
+                    await frontend.estimate(TABLE, COLUMNS, "not a box")
+
+        asyncio.run(main())
+
+    def test_estimate_requires_start(self):
+        registry, _, _ = make_registry()
+        frontend = EstimatorFrontend(registry)
+
+        async def main():
+            with pytest.raises(RuntimeError):
+                await frontend.estimate(TABLE, COLUMNS, make_boxes()[0])
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# (b) Coalescing under concurrent load
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def test_concurrent_load_coalesces_into_shared_batches(self):
+        registry, _, _ = make_registry()
+        boxes = make_boxes()
+        clients, rounds = 8, 6
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                async def client(slot):
+                    for i in range(rounds):
+                        await frontend.estimate(
+                            TABLE, COLUMNS, boxes[(slot + i) % len(boxes)]
+                        )
+                await asyncio.gather(*[client(s) for s in range(clients)])
+                return frontend.stats()
+
+        stats = asyncio.run(main())
+        assert stats.answered == clients * rounds
+        assert stats.coalescing_factor > 1.0
+        assert stats.batches < stats.answered
+
+    def test_batch_size_cap_respected(self):
+        registry, _, _ = make_registry()
+        box = make_boxes()[0]
+        config = FrontendConfig(max_batch_size=3, max_queue_depth=64)
+        metrics = MetricsRegistry()
+
+        async def main():
+            frontend = EstimatorFrontend(
+                registry, config=config, metrics=metrics
+            )
+            async with frontend:
+                await asyncio.gather(
+                    *[frontend.estimate(TABLE, COLUMNS, box) for _ in range(9)]
+                )
+                return frontend.stats()
+
+        stats = asyncio.run(main())
+        assert stats.answered == 9
+        assert stats.batches >= 3  # 9 requests can't fit fewer 3-caps
+        histogram = metrics.histogram(
+            "frontend.coalescing", {"model": f"{TABLE}/{','.join(COLUMNS)}"}
+        )
+        assert histogram.count == stats.batches
+
+
+# ---------------------------------------------------------------------------
+# (c) Backpressure and load shedding
+# ---------------------------------------------------------------------------
+class TestShedding:
+    def test_overflow_sheds_fast_while_admitted_complete(self):
+        registry, server, _ = make_registry()
+        box = make_boxes()[0]
+        depth = 4
+        config = FrontendConfig(max_queue_depth=depth)
+        metrics = MetricsRegistry()
+
+        async def main():
+            frontend = EstimatorFrontend(
+                registry, config=config, metrics=metrics
+            )
+            async with frontend:
+                # All 12 submissions enqueue before the dispatcher first
+                # runs, so exactly `depth` are admitted and the rest shed.
+                outcomes = await asyncio.gather(
+                    *[
+                        frontend.estimate(TABLE, COLUMNS, box)
+                        for _ in range(12)
+                    ],
+                    return_exceptions=True,
+                )
+                return outcomes, frontend.stats()
+
+        outcomes, stats = asyncio.run(main())
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        served = [o for o in outcomes if isinstance(o, float)]
+        assert len(shed) == 12 - depth
+        assert len(served) == depth
+        assert all(value == server.estimate(box) for value in served)
+        assert stats.shed == len(shed)
+        assert metrics.counter_value(
+            "frontend.shed", {"model": f"{TABLE}/{','.join(COLUMNS)}"}
+        ) == len(shed)
+
+    def test_stop_fails_queued_requests_with_overloaded(self):
+        registry, _, _ = make_registry()
+        box = make_boxes()[0]
+
+        async def main():
+            frontend = EstimatorFrontend(registry)
+            await frontend.start()
+            pending = [
+                asyncio.ensure_future(
+                    frontend.estimate(TABLE, COLUMNS, box)
+                )
+                for _ in range(3)
+            ]
+            # One yield lets the clients enqueue; the dispatcher task is
+            # scheduled behind this coroutine, so nothing drains yet.
+            await asyncio.sleep(0)
+            lane = frontend._lanes[(TABLE, COLUMNS)]
+            assert len(lane.queue) == 3
+            await frontend.stop()
+            return await asyncio.gather(*pending, return_exceptions=True)
+
+        outcomes = asyncio.run(main())
+        assert all(isinstance(o, Overloaded) for o in outcomes)
+
+
+# ---------------------------------------------------------------------------
+# (d) Watchdog: degraded stale-snapshot serving via the breaker
+# ---------------------------------------------------------------------------
+class TestWatchdogDegradation:
+    def test_tripped_lane_serves_pinned_stale_snapshot(self):
+        registry, server, model = make_registry()
+        boxes = make_boxes()
+        query = boxes[0]
+        # A recovery window far longer than the test keeps the lane open.
+        config = FrontendConfig(breaker_recovery=300.0)
+
+        async def main():
+            async with EstimatorFrontend(registry, config=config) as frontend:
+                baseline = await frontend.estimate(TABLE, COLUMNS, query)
+                frontend.trip(TABLE, COLUMNS)
+                assert frontend.degraded(TABLE, COLUMNS)
+                # The writer moves on and publishes a new snapshot...
+                for _ in range(60):
+                    model.feedback(query, 0.9)
+                server.publish()
+                live = server.estimate(query)
+                # ...but the tripped lane answers from the pinned one.
+                stale = await frontend.estimate(TABLE, COLUMNS, query)
+                stats = frontend.stats(TABLE, COLUMNS)
+                return baseline, live, stale, stats
+
+        baseline, live, stale, stats = asyncio.run(main())
+        assert stale == baseline
+        assert live != baseline
+        assert stats.stale_batches >= 1
+
+    def test_watchdog_trips_on_writer_errors(self):
+        registry, server, model = make_registry()
+        query = make_boxes()[0]
+        config = FrontendConfig(breaker_recovery=300.0)
+        metrics = MetricsRegistry()
+
+        async def main():
+            frontend = EstimatorFrontend(
+                registry, config=config, metrics=metrics
+            )
+            async with frontend:
+                await frontend.estimate(TABLE, COLUMNS, query)
+                assert frontend.check_health() == []
+                # Break the writer; the server records the error and
+                # keeps serving (PR 5 degradation), the watchdog trips.
+                model.feedback = _exploding_feedback
+                with pytest.raises(RuntimeError):
+                    server.feedback(query, 0.5)
+                trips = frontend.check_health()
+                assert trips == [
+                    (f"{TABLE}/{','.join(COLUMNS)}", "writer_errors")
+                ]
+                assert frontend.degraded(TABLE, COLUMNS)
+                # Degraded serving still answers instead of erroring.
+                value = await frontend.estimate(TABLE, COLUMNS, query)
+                assert isinstance(value, float)
+                return frontend.stats(TABLE, COLUMNS)
+
+        stats = asyncio.run(main())
+        assert stats.watchdog_trips == 1
+        assert stats.stale_batches >= 1
+        assert (
+            metrics.counter_value(
+                "frontend.watchdog_trips",
+                {
+                    "model": f"{TABLE}/{','.join(COLUMNS)}",
+                    "reason": "writer_errors",
+                },
+            )
+            == 1
+        )
+
+    def test_watchdog_trips_on_latency_spike(self):
+        registry, _, _ = make_registry()
+        query = make_boxes()[0]
+        # Any real batch exceeds a 1ns threshold.
+        config = FrontendConfig(
+            latency_threshold=1e-9, breaker_recovery=300.0
+        )
+
+        async def main():
+            async with EstimatorFrontend(registry, config=config) as frontend:
+                await frontend.estimate(TABLE, COLUMNS, query)
+                trips = frontend.check_health()
+                assert [reason for _, reason in trips] == ["latency"]
+                assert frontend.degraded(TABLE, COLUMNS)
+                # An already-open lane is not re-tripped by the next sweep.
+                assert frontend.check_health() == []
+
+        asyncio.run(main())
+
+    def test_breaker_probe_restores_live_serving(self):
+        registry, _, _ = make_registry()
+        query = make_boxes()[0]
+        # Zero recovery: the batch after a trip is a half-open probe.
+        config = FrontendConfig(breaker_recovery=0.0)
+
+        async def main():
+            async with EstimatorFrontend(registry, config=config) as frontend:
+                await frontend.estimate(TABLE, COLUMNS, query)
+                frontend.trip(TABLE, COLUMNS)
+                assert frontend.degraded(TABLE, COLUMNS)
+                await frontend.estimate(TABLE, COLUMNS, query)
+                assert not frontend.degraded(TABLE, COLUMNS)
+                return frontend.stats(TABLE, COLUMNS)
+
+        stats = asyncio.run(main())
+        assert stats.stale_batches == 0  # the probe served live
+
+
+def _exploding_feedback(query, true_selectivity):
+    raise RuntimeError("writer down")
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+class TestSessions:
+    def test_session_counts_and_closes(self):
+        registry, _, _ = make_registry()
+        query = make_boxes()[0]
+        metrics = MetricsRegistry()
+
+        async def main():
+            frontend = EstimatorFrontend(registry, metrics=metrics)
+            async with frontend:
+                async with frontend.session() as session:
+                    await session.estimate(TABLE, COLUMNS, query)
+                    await session.estimate(TABLE, COLUMNS, query)
+                    assert session.requests == 2
+                    assert metrics.gauge("frontend.sessions").value == 1
+                assert metrics.gauge("frontend.sessions").value == 0
+                with pytest.raises(RuntimeError):
+                    await session.estimate(TABLE, COLUMNS, query)
+
+        asyncio.run(main())
+
+    def test_session_ids_are_distinct(self):
+        registry, _, _ = make_registry()
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                first, second = frontend.session(), frontend.session()
+                assert first.session_id != second.session_id
+                first.close()
+                second.close()
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_batch_size=0),
+            dict(max_queue_depth=0),
+            dict(watchdog_interval=0.0),
+            dict(latency_threshold=0.0),
+            dict(latency_window=0),
+            dict(writer_error_threshold=0),
+            dict(breaker_recovery=-1.0),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            FrontendConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        config = FrontendConfig()
+        assert config.max_batch_size >= 1
+        assert config.max_queue_depth >= 1

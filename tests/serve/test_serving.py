@@ -320,3 +320,146 @@ class TestCheckpointManager:
             )
         with pytest.raises(TypeError):
             CheckpointManager(object(), str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# Regression: on_publish exceptions must not abort publication
+# ---------------------------------------------------------------------------
+class TestPublishCallbackErrors:
+    def test_raising_callback_does_not_abort_publication(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        calls = []
+
+        def callback(publication):
+            calls.append(publication)
+            if len(calls) > 1:  # let the constructor's publication succeed
+                raise RuntimeError("observer down")
+
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model, metrics=metrics, on_publish=callback)
+        before = server.publish_count
+        publication = server.publish()  # callback raises; must still publish
+        assert server.publish_count == before + 1
+        assert server.published is publication
+        assert server.publish_callback_errors == 1
+        assert metrics.counter_value("serve.publish_callback_errors") == 1
+
+    def test_raising_callback_keeps_feedback_path_publishing(self):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(
+            model,
+            on_publish=lambda publication: (_ for _ in ()).throw(
+                RuntimeError("observer down")
+            ),
+        )
+        query = make_query()
+        batch_size = model.config.adaptive.batch_size
+        before = server.estimate(query)
+        for _ in range(batch_size * 2):
+            server.feedback(query, 0.4)  # must not raise
+        # The writer advanced AND readers followed: no permanent staleness.
+        assert server.publish_count >= 3
+        assert server.staleness < batch_size
+        assert server.estimate(query) != before
+        assert not server.degraded
+        assert server.publish_callback_errors >= 2
+
+
+# ---------------------------------------------------------------------------
+# Regression: registry-created servers keep their serving kwargs
+# ---------------------------------------------------------------------------
+class TestRegistryServerKwargs:
+    def test_register_forwards_kwargs_to_wrapped_server(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        records = []
+        metrics = MetricsRegistry()
+        model = SelfTuningKDE(make_sample(), seed=1)
+        manager = CheckpointManager(model, str(tmp_path))
+        registry = ModelRegistry()
+        server = registry.register(
+            "orders",
+            ("a", "b"),
+            model,
+            metrics=metrics,
+            checkpoints=manager,
+            on_publish=records.append,
+        )
+        # on_publish observed the initial publication...
+        assert records and records[-1] is server.published
+        # ...metrics flow into the injected registry...
+        server.estimate(make_query())
+        assert metrics.counter_value("serve.reads") == 1
+        # ...and a writer failure cuts the emergency checkpoint the
+        # registry-created server used to silently drop.
+        model.feedback = _raise_feedback
+        with pytest.raises(RuntimeError):
+            server.feedback(make_query(), 0.5)
+        assert any(tmp_path.iterdir())
+        assert metrics.counter_value("serve.writer_errors") == 1
+
+    def test_register_rejects_kwargs_for_prebuilt_server(self):
+        from repro.obs import MetricsRegistry
+
+        server = SnapshotServer(SelfTuningKDE(make_sample(), seed=1))
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="already-constructed"):
+            registry.register(
+                "orders", ("a", "b"), server, metrics=MetricsRegistry()
+            )
+        with pytest.raises(ValueError, match="checkpoints"):
+            registry.register(
+                "orders", ("a", "b"), server, checkpoints=object()
+            )
+        # No kwargs: the prebuilt server registers as-is.
+        assert registry.register("orders", ("a", "b"), server) is server
+
+
+def _raise_feedback(query, true_selectivity):
+    raise RuntimeError("writer down")
+
+
+# ---------------------------------------------------------------------------
+# Staleness bookkeeping across restore()/publish()
+# ---------------------------------------------------------------------------
+class TestStalenessAfterRestore:
+    def test_restore_resets_staleness(self):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model)
+        baseline = server.snapshot()
+        query = make_query()
+        for _ in range(5):  # fewer than a mini-batch: no publication
+            server.feedback(query, 0.4)
+        assert server.staleness == 5
+        server.restore(baseline)
+        assert server.staleness == 0
+        # The restored lineage publishes cleanly from here.
+        assert server.published.feedback_count == server.feedback_count
+
+    def test_publish_resets_staleness(self):
+        server = SnapshotServer(SelfTuningKDE(make_sample(), seed=1))
+        query = make_query()
+        for _ in range(5):
+            server.feedback(query, 0.4)
+        assert server.staleness == 5
+        server.publish()
+        assert server.staleness == 0
+
+    def test_restore_after_writer_error_recovers_bookkeeping(self):
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model)
+        query = make_query()
+        for _ in range(3):
+            server.feedback(query, 0.4)
+        good = server.published.state
+        original_feedback = model.feedback
+        model.feedback = _raise_feedback
+        with pytest.raises(RuntimeError):
+            server.feedback(query, 0.5)
+        assert server.degraded
+        model.feedback = original_feedback
+        server.restore(good)
+        assert not server.degraded
+        assert server.staleness == 0

@@ -38,6 +38,7 @@ REQUIRED_MODULES = (
     "repro.faults",
     "repro.serve",
     "repro.serve.checkpoint",
+    "repro.serve.frontend",
     "repro.serve.registry",
     "repro.serve.server",
 )
