@@ -202,9 +202,14 @@ class _Lane:
         self.exported_transitions = 0
         self.task: Optional[asyncio.Task] = None
         self.stats = LaneStats()
+        #: Bumped on every trip; the dispatcher compares generations so a
+        #: trip landing while a batch is in flight is not undone by that
+        #: batch's ``record_success``.
+        self.trip_generation = 0
 
     def trip(self) -> None:
         """Force the breaker open; degraded serving from the pinned snapshot."""
+        self.trip_generation += 1
         self.breaker.record_failure()
         self.recent_seconds.clear()
 
@@ -364,21 +369,38 @@ class EstimatorFrontend:
         """Estimate one query's selectivity through the admission queue.
 
         Raises :class:`Overloaded` when the model's queue is at
-        ``max_queue_depth`` (shed; retry after backoff) and ``KeyError``
-        when no model is registered for ``(table, columns)``.
+        ``max_queue_depth`` (shed; retry after backoff), ``KeyError``
+        when no model is registered for ``(table, columns)``, and
+        ``ValueError`` for dimension mismatches or non-finite bounds.
         """
         if not self._started:
             raise RuntimeError("EstimatorFrontend.start() has not been called")
-        lane = self._lane(table, columns)
+        # Validate before resolving the lane so a bad request can't spawn
+        # a dispatcher task, and reject non-finite bounds per-client here:
+        # Box tolerates inf/NaN but QueryBatch does not, so an admitted
+        # poisoned box would otherwise fail the whole coalesced batch.
         if not isinstance(query, Box):
             raise TypeError(
                 f"query must be a Box, got {type(query).__name__}"
             )
-        if query.dimensions != lane.dimensions:
+        if not (
+            np.all(np.isfinite(query.low)) and np.all(np.isfinite(query.high))
+        ):
+            raise ValueError("query bounds must be finite")
+        key = (table, tuple(str(c) for c in columns))
+        lane = self._lanes.get(key)
+        if lane is None:
+            server = self._registry_map.get(table, columns)  # KeyError if absent
+            dimensions = int(server.published.state.sample.shape[1])
+        else:
+            dimensions = lane.dimensions
+        if query.dimensions != dimensions:
             raise ValueError(
                 f"query has {query.dimensions} dimensions, model "
-                f"{lane.labels['model']} has {lane.dimensions}"
+                f"{key[0]}/{','.join(key[1])} has {dimensions}"
             )
+        if lane is None:
+            lane = self._lane(table, columns)
         if len(lane.queue) >= self._config.max_queue_depth:
             lane.stats.shed += 1
             self._registry().counter("frontend.shed", lane.labels).inc()
@@ -404,11 +426,18 @@ class EstimatorFrontend:
         table: Optional[str] = None,
         columns: Optional[Sequence[str]] = None,
     ) -> LaneStats:
-        """Counters for one model lane, or aggregated over all lanes."""
+        """Counters for one model lane, or aggregated over all lanes.
+
+        A registered model that has not yet received traffic reports
+        all-zero stats; an unregistered one raises ``KeyError``.
+        """
         if table is not None:
             if columns is None:
                 raise ValueError("columns is required when table is given")
-            lane = self._lanes[(table, tuple(str(c) for c in columns))]
+            lane = self._lanes.get((table, tuple(str(c) for c in columns)))
+            if lane is None:
+                self._registry_map.get(table, columns)  # KeyError if absent
+                return LaneStats()
             return self._lane_stats(lane)
         total = LaneStats()
         for lane in self._lanes.values():
@@ -418,8 +447,15 @@ class EstimatorFrontend:
         return total
 
     def degraded(self, table: str, columns: Sequence[str]) -> bool:
-        """Whether the lane currently serves from its pinned snapshot."""
-        lane = self._lanes[(table, tuple(str(c) for c in columns))]
+        """Whether the lane currently serves from its pinned snapshot.
+
+        A registered model with no traffic yet is not degraded; an
+        unregistered one raises ``KeyError``.
+        """
+        lane = self._lanes.get((table, tuple(str(c) for c in columns)))
+        if lane is None:
+            self._registry_map.get(table, columns)  # KeyError if absent
+            return False
         return lane.breaker.state != CLOSED
 
     def trip(self, table: str, columns: Sequence[str], reason: str = "manual") -> None:
@@ -476,14 +512,18 @@ class EstimatorFrontend:
             count = min(len(lane.queue), self._config.max_batch_size)
             requests = [lane.queue.popleft() for _ in range(count)]
             self._gauge("frontend.queue_depth", lane).set(len(lane.queue))
-            batch = QueryBatch(
-                np.stack([box.low for box, _ in requests]),
-                np.stack([box.high for box, _ in requests]),
-            )
             registry = self._registry()
             started = time.perf_counter()
             stale = False
             try:
+                # Inside the try: a batch that fails validation (despite
+                # admission checks) must fail its own futures below, not
+                # kill the dispatcher and strand every queued client.
+                batch = QueryBatch(
+                    np.stack([box.low for box, _ in requests]),
+                    np.stack([box.high for box, _ in requests]),
+                )
+                generation = lane.trip_generation
                 live = lane.breaker.allow()
                 if live:
                     publication = lane.server.published
@@ -498,8 +538,12 @@ class EstimatorFrontend:
                         ).inc()
                         stale = True
                     else:
-                        lane.breaker.record_success()
-                        lane.pinned = publication
+                        if lane.trip_generation == generation:
+                            lane.breaker.record_success()
+                            lane.pinned = publication
+                        # else: a watchdog/manual trip landed while this
+                        # batch was in flight — the success predates the
+                        # trip, so it must not close the breaker.
                 else:
                     stale = True
                 if stale:

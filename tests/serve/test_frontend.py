@@ -89,6 +89,62 @@ class TestConsistency:
 
         asyncio.run(main())
 
+    def test_nonfinite_bounds_rejected_at_admission(self):
+        # Box tolerates inf/NaN bounds but QueryBatch does not; without
+        # admission-time rejection one poisoned request killed the lane's
+        # dispatcher and stranded every coalesced client forever.
+        registry, server, _ = make_registry()
+        good = make_boxes()[0]
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                inf_box = Box(low=np.zeros(3), high=np.full(3, np.inf))
+                nan_box = Box(low=np.full(3, np.nan), high=np.full(3, np.nan))
+                with pytest.raises(ValueError, match="finite"):
+                    await frontend.estimate(TABLE, COLUMNS, inf_box)
+                with pytest.raises(ValueError, match="finite"):
+                    await frontend.estimate(TABLE, COLUMNS, nan_box)
+                # The lane is alive and well for valid requests.
+                return await frontend.estimate(TABLE, COLUMNS, good)
+
+        assert asyncio.run(main()) == server.estimate(good)
+
+    def test_invalid_request_does_not_spawn_lane(self):
+        registry, _, _ = make_registry()
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                with pytest.raises(TypeError):
+                    await frontend.estimate(TABLE, COLUMNS, "not a box")
+                bad = Box(low=np.zeros(2), high=np.ones(2))
+                with pytest.raises(ValueError):
+                    await frontend.estimate(TABLE, COLUMNS, bad)
+                assert frontend._lanes == {}
+
+        asyncio.run(main())
+
+    def test_poisoned_batch_fails_futures_not_lane(self):
+        # Defense in depth behind admission validation: if batch
+        # construction or evaluation raises, the batch's own futures get
+        # the error and the dispatcher keeps serving later requests.
+        registry, server, _ = make_registry()
+        good = make_boxes()[0]
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                await frontend.estimate(TABLE, COLUMNS, good)
+                lane = frontend._lanes[(TABLE, COLUMNS)]
+                poisoned = Box(low=np.zeros(3), high=np.full(3, np.inf))
+                future = asyncio.get_running_loop().create_future()
+                lane.queue.append((poisoned, future))
+                lane.wakeup.set()
+                with pytest.raises(ValueError):
+                    await future
+                # The dispatcher survived; the lane still answers.
+                return await frontend.estimate(TABLE, COLUMNS, good)
+
+        assert asyncio.run(main()) == server.estimate(good)
+
     def test_estimate_requires_start(self):
         registry, _, _ = make_registry()
         frontend = EstimatorFrontend(registry)
@@ -301,6 +357,64 @@ class TestWatchdogDegradation:
                 assert frontend.degraded(TABLE, COLUMNS)
                 # An already-open lane is not re-tripped by the next sweep.
                 assert frontend.check_health() == []
+
+        asyncio.run(main())
+
+    def test_trip_during_inflight_batch_sticks(self):
+        # A trip landing while a batch is in the executor must not be
+        # undone by that batch's success: the success predates the trip.
+        import threading
+
+        registry, _, _ = make_registry()
+        query = make_boxes()[0]
+        config = FrontendConfig(breaker_recovery=300.0)
+
+        async def main():
+            async with EstimatorFrontend(registry, config=config) as frontend:
+                await frontend.estimate(TABLE, COLUMNS, query)
+                lane = frontend._lanes[(TABLE, COLUMNS)]
+                reader = lane.server.published.reader
+                real = reader.selectivity_batch
+                entered, release = threading.Event(), threading.Event()
+
+                def slow_batch(batch):
+                    entered.set()
+                    release.wait(5.0)
+                    return real(batch)
+
+                reader.selectivity_batch = slow_batch
+                task = asyncio.ensure_future(
+                    frontend.estimate(TABLE, COLUMNS, query)
+                )
+                while not entered.is_set():
+                    await asyncio.sleep(0.001)
+                # Batch is mid-flight in the executor; the watchdog
+                # (here: a manual trip) opens the breaker.
+                frontend.trip(TABLE, COLUMNS)
+                assert frontend.degraded(TABLE, COLUMNS)
+                release.set()
+                value = await task
+                assert isinstance(value, float)
+                # The completed batch did not silently close the breaker.
+                assert frontend.degraded(TABLE, COLUMNS)
+
+        asyncio.run(main())
+
+    def test_pre_traffic_models_are_queryable(self):
+        registry, _, _ = make_registry()
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                # Registered but never queried: introspection works and
+                # reports healthy, all-zero state — matching trip().
+                assert not frontend.degraded(TABLE, COLUMNS)
+                stats = frontend.stats(TABLE, COLUMNS)
+                assert stats.requests == 0 and stats.batches == 0
+                # Unregistered models still raise KeyError.
+                with pytest.raises(KeyError):
+                    frontend.degraded("nope", ("a",))
+                with pytest.raises(KeyError):
+                    frontend.stats("nope", ("a",))
 
         asyncio.run(main())
 
