@@ -146,6 +146,38 @@ def test_cached_beats_numpy_on_templated_workload(setup):
     )
 
 
+def test_grid_sublinear_speedup_at_million_rows():
+    """The ISSUE 7 acceptance bar: >= 10x per-query at 10^6 rows.
+
+    The grid backend answers from per-dimension CDF tables (no sample
+    rows touched), so its margin over the linear scan is orders of
+    magnitude; 10x is the floor the PR promises, with the accuracy
+    documented by the Q-error axis of the same sweep.
+    """
+    result = run_backend_scaling(
+        sample_sizes=(4096,),
+        batch_size=64,
+        shard_counts=(1,),
+        repeats=1,
+        sublinear_sizes=(1_000_000,),
+        reference_queries=8,
+    )
+    speedup = float(result.sublinear_speedup("grid")[0])
+    assert speedup >= 10.0, (
+        f"grid only {speedup:.1f}x vs numpy at 10^6 rows "
+        f"({result.sublinear_seconds_per_query['grid'][0] * 1e6:.1f}us vs "
+        f"{result.sublinear_seconds_per_query['numpy'][0] * 1e6:.1f}us "
+        "per query)"
+    )
+    # The speedup is real sublinearity, not measurement noise: the grid
+    # backend evaluates kernel terms for zero sample rows per query.
+    assert result.sublinear_rows_per_query["grid"][0] == 0.0
+    # Hashing must also beat the scan while touching a strict minority
+    # of the sample on the selective workload.
+    assert float(result.sublinear_speedup("hashing")[0]) > 1.0
+    assert result.sublinear_rows_per_query["hashing"][0] < 1_000_000 / 2
+
+
 def test_backend_scaling_experiment_smoke(benchmark):
     """The full experiment runs end to end and stays within budget."""
     result = benchmark.pedantic(
@@ -164,3 +196,12 @@ def test_backend_scaling_experiment_smoke(benchmark):
     assert result.device_profile["kernel_seconds"] > 0
     # Warm cache passes must beat the numpy baseline at every size.
     assert np.all(result.speedup("cached-warm") > 1.0)
+    # The sublinear backends join the sweep with an accuracy axis.
+    for series in ("grid", "hashing"):
+        assert len(result.wall_seconds[series]) == 2
+        assert len(result.qerror[series]) == 2
+        assert all(q >= 1.0 for q in result.qerror[series])
+    assert result.rows_per_query["grid"] == [0.0, 0.0]
+    payload = result.as_dict()
+    assert payload["sublinear"]["sizes"] == []
+    assert "grid" in payload["qerror"]

@@ -47,10 +47,15 @@ Most workflows start with :func:`create_estimator`::
 
 from .geometry import Box, QueryBatch, RangeQuery
 from .core import (
+    CachedBackend,
     CheckpointError,
+    GridBackend,
+    HashingBackend,
     KernelDensityEstimator,
     ModelState,
+    NumpyBackend,
     SelfTuningKDE,
+    ShardedBackend,
     optimize_bandwidth,
     scott_bandwidth,
 )
@@ -76,6 +81,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Box",
+    "CachedBackend",
     "CheckpointError",
     "CheckpointManager",
     "CircuitBreaker",
@@ -84,15 +90,19 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FrontendConfig",
+    "GridBackend",
+    "HashingBackend",
     "KernelDensityEstimator",
     "RetryPolicy",
     "MetricsRegistry",
     "ModelRegistry",
     "ModelState",
+    "NumpyBackend",
     "Overloaded",
     "QueryBatch",
     "RangeQuery",
     "SelfTuningKDE",
+    "ShardedBackend",
     "SnapshotServer",
     "__version__",
     "create_estimator",

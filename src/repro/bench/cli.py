@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench ablations [--scale ...]
     python -m repro.bench batch
     python -m repro.bench backends [--scale ...] [--shards N [N ...]]
+                                   [--sublinear-sizes N [N ...]]
     python -m repro.bench chaos  [--scale ...]
     python -m repro.bench metrics
     python -m repro.bench serving [--scale ...] [--checkpoint PATH]
@@ -35,6 +36,7 @@ paper's qualitative shapes in minutes, ``paper`` runs the full protocol
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Dict
@@ -131,13 +133,27 @@ EXPERIMENTS = (
 )
 
 #: Per-scale sweep parameters for the ``backends`` experiment.
+#: ``sublinear_sizes`` is the million-row regime where only the
+#: sublinear backends run the full batch (the numpy baseline is timed
+#: on ``reference_queries`` queries).
 BACKEND_SCALE = {
-    "smoke": dict(sample_sizes=(4096, 16384), batch_size=64, repeats=1),
-    "small": dict(sample_sizes=(16384, 65536), batch_size=128, repeats=2),
+    "smoke": dict(
+        sample_sizes=(4096, 16384), batch_size=64, repeats=1,
+        sublinear_sizes=(100_000,), reference_queries=8,
+    ),
+    "small": dict(
+        sample_sizes=(16384, 65536), batch_size=128, repeats=2,
+        sublinear_sizes=(1_000_000,), reference_queries=16,
+    ),
     "paper": dict(
-        sample_sizes=(16384, 65536, 262144), batch_size=256, repeats=3
+        sample_sizes=(16384, 65536, 262144), batch_size=256, repeats=3,
+        sublinear_sizes=(1_000_000, 10_000_000), reference_queries=16,
     ),
 }
+
+#: Trajectory file the ``backends`` experiment writes next to the report
+#: so perf regressions are diffable across PRs.
+BACKENDS_JSON = "BENCH_backends.json"
 
 #: Per-scale parameters for the ``chaos`` experiment.
 CHAOS_SCALE = {
@@ -197,6 +213,7 @@ def run_experiment(
     shards=None,
     checkpoint=None,
     clients=None,
+    sublinear_sizes=None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     scale = SCALES[scale_name]
@@ -303,6 +320,8 @@ def run_experiment(
         params = dict(BACKEND_SCALE[scale_name])
         if shards:
             params["shard_counts"] = tuple(shards)
+        if sublinear_sizes is not None:
+            params["sublinear_sizes"] = tuple(sublinear_sizes)
         result = run_backend_scaling(progress=progress, **params)
         lines = []
         for series, values in result.wall_seconds.items():
@@ -329,6 +348,55 @@ def run_experiment(
             f"max |deviation| vs numpy backend: "
             f"{result.max_abs_deviation:.2e}"
         )
+        for series, qerrors in result.qerror.items():
+            lines.append(
+                f"{series} accuracy: Q-error (max/mean) "
+                + ", ".join(
+                    f"s={size}: {q:.2f}/{m:.2f}"
+                    for size, q, m in zip(
+                        result.sample_sizes,
+                        qerrors,
+                        result.qerror_mean[series],
+                    )
+                )
+                + "; rows/query "
+                + ", ".join(
+                    f"s={size}: {rows:.0f}"
+                    for size, rows in zip(
+                        result.sample_sizes, result.rows_per_query[series]
+                    )
+                )
+            )
+        if result.sublinear_sizes:
+            lines.append(
+                f"[million-row sweep, selective workload: full batch on "
+                f"sublinear backends, numpy timed on "
+                f"{result.reference_queries} queries]"
+            )
+            for series, values in result.sublinear_seconds_per_query.items():
+                entries = []
+                for i, size in enumerate(result.sublinear_sizes):
+                    entry = f"s={size}: {values[i] * 1e6:.0f}us/query"
+                    if series != "numpy":
+                        speedup = result.sublinear_speedup(series)[i]
+                        qmax = result.sublinear_qerror[series][i]
+                        qmean = result.sublinear_qerror_mean[series][i]
+                        entry += (
+                            f" ({speedup:.0f}x, Q-err {qmax:.2f}/{qmean:.2f},"
+                            f" {result.sublinear_rows_per_query[series][i]:.0f}"
+                            " rows/q)"
+                        )
+                    entries.append(entry)
+                lines.append(f"{series}: " + ", ".join(entries))
+        with open(BACKENDS_JSON, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"experiment": "backends", "scale": scale_name,
+                 "result": result.as_dict()},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        lines.append(f"trajectory written to {BACKENDS_JSON}")
         profile = result.device_profile
         lines.append(
             f"modelled device profile ({profile['device']}): "
@@ -400,6 +468,11 @@ def main(argv=None) -> int:
         help="shard counts swept by the backends experiment",
     )
     parser.add_argument(
+        "--sublinear-sizes", type=int, nargs="*", default=None,
+        help="sample sizes for the backends experiment's million-row "
+        "sublinear sweep (pass no values to skip it)",
+    )
+    parser.add_argument(
         "--clients", type=int, nargs="+", default=None,
         help="client counts swept by the serving experiment's "
         "closed-loop front-end load generator",
@@ -432,6 +505,7 @@ def main(argv=None) -> int:
                     name, args.scale, progress=not args.quiet,
                     shards=args.shards, checkpoint=args.checkpoint,
                     clients=args.clients,
+                    sublinear_sizes=args.sublinear_sizes,
                 )
             )
             print()

@@ -24,7 +24,12 @@ import numpy as np
 
 from ...baselines.stholes import sthole_bucket_budget
 from ...core import KernelDensityEstimator, scott_bandwidth
-from ...core.backends import CachedBackend, ShardedBackend
+from ...core.backends import (
+    CachedBackend,
+    GridBackend,
+    HashingBackend,
+    ShardedBackend,
+)
 from ...datasets import gunopulos_synthetic
 from ...device import DeviceContext, DeviceKDE, STHolesCostModel
 from ...geometry import Box, QueryBatch
@@ -234,6 +239,34 @@ class BackendScalingResult:
     cache_hit_rates: List[float] = field(default_factory=list)
     max_abs_deviation: float = 0.0
     device_profile: Dict[str, object] = field(default_factory=dict)
+    #: Accuracy axis of the sublinear backends at the regular sizes:
+    #: series -> per-size max Q-error vs the ``numpy`` reference.  The
+    #: exact backends are held to the 1e-12 ``max_abs_deviation`` budget
+    #: instead and do not appear here.
+    qerror: Dict[str, List[float]] = field(default_factory=dict)
+    qerror_mean: Dict[str, List[float]] = field(default_factory=dict)
+    #: series -> per-size mean kernel-evaluated sample rows per query
+    #: (``BackendStats.rows_touched_per_query``) — the observed
+    #: sublinearity.
+    rows_per_query: Dict[str, List[float]] = field(default_factory=dict)
+    #: Big-sample sweep (10^6-10^7 rows): the numpy baseline runs only
+    #: ``reference_queries`` queries there (linear cost makes the full
+    #: batch infeasible), so this section stores *per-query* seconds.
+    sublinear_sizes: List[int] = field(default_factory=list)
+    reference_queries: int = 0
+    sublinear_seconds_per_query: Dict[str, List[float]] = field(
+        default_factory=dict
+    )
+    sublinear_qerror: Dict[str, List[float]] = field(default_factory=dict)
+    sublinear_qerror_mean: Dict[str, List[float]] = field(
+        default_factory=dict
+    )
+    sublinear_build_seconds: Dict[str, List[float]] = field(
+        default_factory=dict
+    )
+    sublinear_rows_per_query: Dict[str, List[float]] = field(
+        default_factory=dict
+    )
 
     def series(self, name: str) -> np.ndarray:
         return np.array(self.wall_seconds[name], dtype=np.float64)
@@ -242,12 +275,75 @@ class BackendScalingResult:
         """Per-sample-size wall-clock speedup of ``name`` over ``baseline``."""
         return self.series(baseline) / self.series(name)
 
+    def sublinear_speedup(self, name: str) -> np.ndarray:
+        """Per-query speedup of ``name`` over numpy in the big-sample sweep."""
+        baseline = np.array(
+            self.sublinear_seconds_per_query["numpy"], dtype=np.float64
+        )
+        series = np.array(
+            self.sublinear_seconds_per_query[name], dtype=np.float64
+        )
+        return baseline / series
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready trajectory record (``BENCH_backends.json``)."""
+        return {
+            "sample_sizes": list(self.sample_sizes),
+            "batch_size": self.batch_size,
+            "shard_counts": list(self.shard_counts),
+            "repeats": self.repeats,
+            "wall_seconds": {k: list(v) for k, v in self.wall_seconds.items()},
+            "speedup_vs_numpy": {
+                name: [float(x) for x in self.speedup(name)]
+                for name in self.wall_seconds
+                if name != "numpy"
+            },
+            "cache_hit_rates": list(self.cache_hit_rates),
+            "max_abs_deviation": self.max_abs_deviation,
+            "qerror": {k: list(v) for k, v in self.qerror.items()},
+            "qerror_mean": {
+                k: list(v) for k, v in self.qerror_mean.items()
+            },
+            "rows_per_query": {
+                k: list(v) for k, v in self.rows_per_query.items()
+            },
+            "sublinear": {
+                "sizes": list(self.sublinear_sizes),
+                "reference_queries": self.reference_queries,
+                "seconds_per_query": {
+                    k: list(v)
+                    for k, v in self.sublinear_seconds_per_query.items()
+                },
+                "speedup_vs_numpy": {
+                    name: [float(x) for x in self.sublinear_speedup(name)]
+                    for name in self.sublinear_seconds_per_query
+                    if name != "numpy"
+                },
+                "qerror": {
+                    k: list(v) for k, v in self.sublinear_qerror.items()
+                },
+                "qerror_mean": {
+                    k: list(v)
+                    for k, v in self.sublinear_qerror_mean.items()
+                },
+                "build_seconds": {
+                    k: list(v) for k, v in self.sublinear_build_seconds.items()
+                },
+                "rows_per_query": {
+                    k: list(v)
+                    for k, v in self.sublinear_rows_per_query.items()
+                },
+            },
+            "device_profile": dict(self.device_profile),
+        }
+
 
 def templated_workload(
     data: np.ndarray,
     queries: int,
     rng: np.random.Generator,
     template_pool: int = 8,
+    width_range: tuple = (0.05, 0.5),
 ) -> QueryBatch:
     """A bound-reusing workload: per-dimension interval templates.
 
@@ -258,6 +354,10 @@ def templated_workload(
     ``template_pool`` bounds — the reuse pattern (templated predicates,
     dashboards sweeping one attribute) that the per-dimension CDF-term
     cache exploits.
+
+    ``width_range`` scales interval widths relative to each dimension's
+    data range; narrow it (e.g. ``(0.01, 0.05)``) for a *selective*
+    workload — the regime where bucket-pruning backends shine.
     """
     d = data.shape[1]
     lows = np.empty((queries, d))
@@ -267,7 +367,7 @@ def templated_workload(
             data[:, j].min(), data[:, j].max(), size=template_pool
         )
         widths = rng.uniform(
-            0.05, 0.5, size=template_pool
+            width_range[0], width_range[1], size=template_pool
         ) * (data[:, j].max() - data[:, j].min())
         choice = rng.integers(template_pool, size=queries)
         lows[:, j] = lo_candidates[choice]
@@ -285,6 +385,19 @@ def _best_wall_seconds(fn, repeats: int) -> float:
     return best
 
 
+def _qerror(
+    estimates: np.ndarray, reference: np.ndarray, floor: float
+) -> np.ndarray:
+    """Per-query multiplicative deviation, floored like the paper's Q-error."""
+    a = np.maximum(np.asarray(estimates, dtype=np.float64), floor)
+    b = np.maximum(np.asarray(reference, dtype=np.float64), floor)
+    return np.maximum(a / b, b / a)
+
+
+#: The sublinear backends swept alongside the exact ones.
+_SUBLINEAR_BACKENDS = (("grid", GridBackend), ("hashing", HashingBackend))
+
+
 def run_backend_scaling(
     sample_sizes: Sequence[int] = (16384, 65536),
     batch_size: int = 128,
@@ -294,6 +407,8 @@ def run_backend_scaling(
     repeats: int = 2,
     seed: int = 0,
     progress: bool = False,
+    sublinear_sizes: Sequence[int] = (),
+    reference_queries: int = 16,
 ) -> BackendScalingResult:
     """Sweep execution backends over shards x sample size (wall clock).
 
@@ -303,6 +418,14 @@ def run_backend_scaling(
     partials pipeline still works, it just has nothing to parallelise
     over), and the cached backend's speedup tracks the workload's bound
     reuse (reported as the cache hit rate).
+
+    The sublinear backends (``grid``, ``hashing``) join the regular
+    sweep with an accuracy axis: their per-size max Q-error against the
+    numpy reference and the observed kernel-evaluated rows per query.
+    ``sublinear_sizes`` additionally sweeps them at million-row scale
+    (the ROADMAP item 2 regime); there the numpy baseline is timed on
+    only ``reference_queries`` queries — its linear cost is the point —
+    and the section reports *per-query* seconds for every series.
     """
     rng = np.random.default_rng(seed)
     data = gunopulos_synthetic(
@@ -317,13 +440,20 @@ def run_backend_scaling(
         shard_counts=list(shard_counts),
         repeats=repeats,
     )
+    result.sublinear_sizes = list(sublinear_sizes)
+    result.reference_queries = int(reference_queries)
     series_names = (
         ["numpy"]
         + [f"sharded[{n}]" for n in shard_counts]
         + ["cached", "cached-warm"]
+        + [name for name, _ in _SUBLINEAR_BACKENDS]
     )
     for name in series_names:
         result.wall_seconds[name] = []
+    for name, _ in _SUBLINEAR_BACKENDS:
+        result.qerror[name] = []
+        result.qerror_mean[name] = []
+        result.rows_per_query[name] = []
 
     for size in sample_sizes:
         sample = data[rng.choice(data.shape[0], size=size, replace=False)]
@@ -372,6 +502,21 @@ def run_backend_scaling(
             )
         )
         result.cache_hit_rates.append(kde.backend.stats.cache_hit_rate)
+
+        for name, factory in _SUBLINEAR_BACKENDS:
+            kde = KernelDensityEstimator(sample, bandwidth, backend=factory())
+            estimates = kde.selectivity_batch(batch)  # builds tables/index
+            qerrors = _qerror(estimates, expected, floor=1.0 / size)
+            result.qerror[name].append(float(qerrors.max()))
+            result.qerror_mean[name].append(float(qerrors.mean()))
+            result.wall_seconds[name].append(
+                _best_wall_seconds(
+                    lambda: kde.selectivity_batch(batch), repeats
+                )
+            )
+            result.rows_per_query[name].append(
+                kde.backend.stats.rows_touched_per_query
+            )
         if progress:
             row = {
                 name: f"{values[-1] * 1e3:.1f}ms"
@@ -382,6 +527,75 @@ def run_backend_scaling(
                 f"(hit rate {result.cache_hit_rates[-1]:.2f})",
                 flush=True,
             )
+
+    # Million-row regime: sublinear backends answer the full batch; the
+    # numpy baseline is timed on a small query subset (its per-query
+    # cost is what the sublinear backends are beating).
+    if sublinear_sizes:
+        for name in ("numpy",) + tuple(n for n, _ in _SUBLINEAR_BACKENDS):
+            result.sublinear_seconds_per_query[name] = []
+        for name, _ in _SUBLINEAR_BACKENDS:
+            result.sublinear_qerror[name] = []
+            result.sublinear_qerror_mean[name] = []
+            result.sublinear_build_seconds[name] = []
+            result.sublinear_rows_per_query[name] = []
+        # Million-row serving is about *selective* predicates — the
+        # regime where the hashing backend's bucket pruning pays; the
+        # wide default templates would make its near stratum the whole
+        # sample.
+        selective_batch = templated_workload(
+            data, batch_size, rng, template_pool, width_range=(0.01, 0.05)
+        )
+        reference_batch = selective_batch[: max(1, reference_queries)]
+        for size in sublinear_sizes:
+            # Generate the sample directly at the target size instead of
+            # subsampling a 2x pool: at 10^7 rows the pool would double
+            # the resident footprint for nothing.
+            sample = gunopulos_synthetic(
+                rows=size, dimensions=dimensions, seed=seed + size
+            )
+            bandwidth = scott_bandwidth(sample)
+            reference = KernelDensityEstimator(sample, bandwidth)
+            started = time.perf_counter()
+            expected = reference.selectivity_batch(reference_batch)
+            result.sublinear_seconds_per_query["numpy"].append(
+                (time.perf_counter() - started) / len(reference_batch)
+            )
+            for name, factory in _SUBLINEAR_BACKENDS:
+                kde = KernelDensityEstimator(
+                    sample, bandwidth, backend=factory()
+                )
+                estimates = kde.selectivity_batch(selective_batch)  # + build
+                result.sublinear_build_seconds[name].append(
+                    kde.backend.last_build_seconds
+                )
+                qerrors = _qerror(
+                    estimates[: len(reference_batch)],
+                    expected,
+                    floor=1.0 / size,
+                )
+                result.sublinear_qerror[name].append(float(qerrors.max()))
+                result.sublinear_qerror_mean[name].append(
+                    float(qerrors.mean())
+                )
+                result.sublinear_seconds_per_query[name].append(
+                    _best_wall_seconds(
+                        lambda: kde.selectivity_batch(selective_batch),
+                        repeats,
+                    )
+                    / len(selective_batch)
+                )
+                result.sublinear_rows_per_query[name].append(
+                    kde.backend.stats.rows_touched_per_query
+                )
+            if progress:
+                row = {
+                    name: f"{values[-1] * 1e6:.1f}us/q"
+                    for name, values in (
+                        result.sublinear_seconds_per_query.items()
+                    )
+                }
+                print(f"  sublinear size {size}: {row}", flush=True)
 
     # Where the modelled device time goes for the same workload shape at
     # the largest size (per-kernel seconds from DeviceContext.profile).

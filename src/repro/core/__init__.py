@@ -17,6 +17,8 @@ from .backends import (
     BackendStats,
     CachedBackend,
     ExecutionBackend,
+    GridBackend,
+    HashingBackend,
     NumpyBackend,
     ShardedBackend,
     available_backends,
@@ -68,6 +70,8 @@ __all__ = [
     "EpanechnikovKernel",
     "FORMAT_VERSION",
     "ExecutionBackend",
+    "GridBackend",
+    "HashingBackend",
     "NumpyBackend",
     "ShardedBackend",
     "GaussianKernel",

@@ -16,6 +16,20 @@ et al.):
     column masses are memoised on ``(dimension, lo, hi, bandwidth_epoch,
     sample_epoch)`` and reused across queries sharing bounds.
 
+Two *sublinear* strategies trade bounded error for per-query cost that
+no longer scales with the sample (ROADMAP item 2):
+
+``grid``
+    Snap the sample to a per-dimension grid at build time and answer
+    selectivities from precomputed kernel-CDF tables — O(dims) per
+    query, no sample rows touched (binned route of Andrzejewski et
+    al.).
+``hashing``
+    Bucket the sample by coarse spatial hash; evaluate near-the-box
+    buckets exactly and certify the far remainder by Hoeffding-sized
+    importance sampling under an ``epsilon``/``delta`` relative-error
+    knob (after Charikar & Siminelakis).
+
 Select one with the ``backend=`` knob on
 :class:`~repro.core.estimator.KernelDensityEstimator`,
 :class:`~repro.core.model.SelfTuningKDE`,
@@ -30,6 +44,8 @@ from typing import Callable, Dict, Optional, Union
 
 from .base import BackendStats, ExecutionBackend
 from .cache import CachedBackend, CDFTermCache
+from .grid import GridBackend
+from .hashing import HashingBackend
 from .numpy_backend import NumpyBackend
 from .sharded import (
     ShardedBackend,
@@ -43,6 +59,8 @@ __all__ = [
     "CDFTermCache",
     "CachedBackend",
     "ExecutionBackend",
+    "GridBackend",
+    "HashingBackend",
     "NumpyBackend",
     "ShardExecutionError",
     "ShardedBackend",
@@ -61,6 +79,8 @@ _REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {
     "numpy": NumpyBackend,
     "sharded": ShardedBackend,
     "cached": CachedBackend,
+    "grid": GridBackend,
+    "hashing": HashingBackend,
 }
 
 
@@ -86,7 +106,7 @@ def get_backend(name: str) -> ExecutionBackend:
         known = ", ".join(available_backends())
         raise ValueError(
             f"unknown execution backend {name!r}; known backends: {known}"
-        )
+        ) from None
     return factory()
 
 

@@ -34,6 +34,13 @@ class BackendStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: Sample rows whose kernel terms were actually evaluated on the
+    #: selectivity path.  The reference backends touch ``s`` rows per
+    #: query; the sublinear backends (``grid``, ``hashing``) touch fewer
+    #: — this counter is how that sublinearity is *observed* rather than
+    #: asserted.  Backends that never report it leave it at zero.
+    rows_touched: int = 0
+    builds: int = 0
     invalidations: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -41,6 +48,13 @@ class BackendStats:
         """Fraction of column lookups served from the cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def rows_touched_per_query(self) -> float:
+        """Mean kernel-evaluated rows per selectivity query."""
+        if not self.queries_evaluated:
+            return 0.0
+        return self.rows_touched / self.queries_evaluated
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -50,6 +64,9 @@ class BackendStats:
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
+            "rows_touched": self.rows_touched,
+            "rows_touched_per_query": self.rows_touched_per_query,
+            "builds": self.builds,
             "invalidations": dict(self.invalidations),
         }
 
@@ -140,6 +157,15 @@ class ExecutionBackend:
             labels = {"backend": self.name}
             registry.counter("backend.blocks", labels).inc()
             registry.counter("backend.queries", labels).inc(int(queries))
+
+    def _count_rows_touched(self, rows: int) -> None:
+        """Account ``rows`` kernel-evaluated sample rows (see stats)."""
+        self.stats.rows_touched += int(rows)
+        registry = self._registry()
+        if registry is not None and registry.enabled:
+            registry.counter(
+                "backend.rows_touched", {"backend": self.name}
+            ).inc(int(rows))
 
     def _registry(self):
         """The bound estimator's metrics registry (None when unbound)."""

@@ -1,0 +1,342 @@
+"""Hashing-based estimator: bucket importance sampling with an (ε, δ) knob.
+
+The second sublinear route of ROADMAP item 2, after Charikar &
+Siminelakis ("Hashing-Based-Estimators for Kernel Density in High
+Dimensions", PAPERS.md): instead of scanning all ``s`` rows per query,
+hash the sample into spatial buckets once, then answer each query from
+the buckets that can matter plus a small importance sample of the rest.
+
+Build (lazy, per ``sample_epoch`` — the bucket geometry depends only on
+the sample, not the bandwidth):
+
+* quantise every row to a coarse per-dimension cell id (``cells_per_dim``
+  cells over the sample's range) — the hash,
+* group rows by cell: a ``(c, d)`` matrix of occupied cell bounds plus a
+  permutation that makes each bucket's rows a contiguous slice.
+
+Query — for the range ``[l, u]`` with bandwidths ``h``:
+
+* expand the box by ``tail_radius * h_j`` per dimension and select the
+  buckets whose cells intersect it (vectorised bound comparisons over
+  the ``c`` occupied cells; no kernel math).  Rows in those buckets are
+  the **near stratum** and are evaluated exactly.
+* every far row lies outside the expanded box in at least one
+  dimension, so its contribution is at most ``B = F(-tail_radius)``
+  (symmetric kernel CDF tail; *exactly zero* for compactly supported
+  kernels like Epanechnikov with ``tail_radius >= 1``).  The far
+  stratum is handled by certified importance sampling against the
+  per-query error budget ``t = max(epsilon * S_near, epsilon * floor)``
+  (``S_near`` = the exact near partial selectivity — a lower bound on
+  the estimate — so ``epsilon`` acts as a *relative* error knob):
+
+  - if the worst case ``(n_far / s) * B <= t``, the stratum is skipped
+    outright (a deterministic bound, no sampling, no rows touched);
+  - else draw ``m = ceil(B^2 (n_far/s)^2 ln(2/δ) / (2 t^2))`` far rows
+    uniformly *with replacement* (rejection sampling against the near
+    set, so no O(s) index materialisation per query) — Hoeffding over
+    the iid draws gives ``P(|error| > t) <= δ`` — and add the unbiased
+    term ``(n_far / s) * mean(sampled contributions)``;
+  - if that ``m`` is not actually sublinear (``m >= n_far``), evaluate
+    the far stratum exactly instead.
+
+Rows touched per query (near + sampled + fallback rows) feed the
+``backend.rows_touched`` counter, so the sublinearity claim is a
+measurement, not an assertion.
+
+Fallback: below ``exact_threshold`` sample rows the bucket machinery
+cannot pay for itself; the whole block delegates to the reference
+chunked evaluation (inherited from :class:`~repro.core.backends.
+numpy_backend.NumpyBackend`), which is also what the non-selectivity
+primitives (contributions, masses, gradients — the tuning paths) always
+use.
+"""
+
+from __future__ import annotations
+
+import math
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+__all__ = ["HashingBackend"]
+
+
+class _BucketIndex:
+    """Rows grouped by coarse spatial cell; buckets are contiguous slices."""
+
+    def __init__(self, sample: np.ndarray, cells_per_dim: int) -> None:
+        s, d = sample.shape
+        low = sample.min(axis=0)
+        high = sample.max(axis=0)
+        span = high - low
+        span[span == 0.0] = 1.0  # constant column: everything in cell 0
+        step = span / cells_per_dim
+        cells = np.clip(
+            ((sample - low) / step).astype(np.intp), 0, cells_per_dim - 1
+        )
+        # Group rows by cell id: unique occupied cells + a permutation
+        # making each bucket a contiguous index slice.
+        unique, inverse = np.unique(cells, axis=0, return_inverse=True)
+        self.order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[self.order]
+        self.starts = np.searchsorted(
+            sorted_inverse, np.arange(unique.shape[0] + 1)
+        )
+        #: Geometric bounds of each occupied cell, (c, d) each.
+        self.cell_low = low + unique * step
+        self.cell_high = self.cell_low + step
+        self.buckets = unique.shape[0]
+
+    def near_rows(self, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """Row indices whose cell intersects ``[low, high]`` (1-D bounds)."""
+        mask = np.all(
+            (self.cell_low <= high) & (self.cell_high >= low), axis=1
+        )
+        hits = np.flatnonzero(mask)
+        if hits.size == 0:
+            return np.empty(0, dtype=np.intp)
+        # Vectorised multi-range gather of the hit buckets' contiguous
+        # slices (a python-level concatenate over thousands of tiny
+        # buckets would dominate the whole query).
+        begins = self.starts[hits]
+        lengths = self.starts[hits + 1] - begins
+        total = int(lengths.sum())
+        within = np.arange(total) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        return self.order[np.repeat(begins, lengths) + within]
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.order.nbytes
+            + self.starts.nbytes
+            + self.cell_low.nbytes
+            + self.cell_high.nbytes
+        )
+
+
+class HashingBackend(NumpyBackend):
+    """LSH-bucket importance sampling for the selectivity hot path.
+
+    Parameters
+    ----------
+    epsilon:
+        Relative-error knob: the far-stratum error is certified below
+        ``epsilon * max(S_near, floor)`` with probability ``1 - delta``
+        (``S_near`` = the exactly evaluated near mass).
+    delta:
+        Failure probability of the Hoeffding certificate.
+    tail_radius:
+        Near/far split distance in bandwidth units.  The far-row
+        contribution bound is ``F(-tail_radius)``: 4 keeps the Gaussian
+        bound at ~3e-5 (far sampling rarely triggers); smaller radii
+        shrink the near stratum and lean on the sampler instead.  Any
+        value >= 1 makes compact kernels (Epanechnikov) exact.
+    cells_per_dim:
+        Hash resolution per dimension.  More cells tighten the near
+        stratum but grow the per-query bucket scan (O(occupied cells)).
+    exact_threshold:
+        Sample sizes at or below this delegate to the reference
+        evaluation outright.
+    seed:
+        Seed of the far-stratum sampler (deterministic by default).
+    """
+
+    name = "hashing"
+
+    def __init__(
+        self,
+        epsilon: float = 0.05,
+        delta: float = 1e-3,
+        tail_radius: float = 4.0,
+        cells_per_dim: int = 16,
+        exact_threshold: int = 4096,
+        seed: Optional[int] = 0,
+        selectivity_floor: float = 1e-4,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must lie in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must lie in (0, 1)")
+        if tail_radius <= 0.0:
+            raise ValueError("tail_radius must be positive")
+        if cells_per_dim < 1:
+            raise ValueError("cells_per_dim must be at least 1")
+        if exact_threshold < 0:
+            raise ValueError("exact_threshold must be non-negative")
+        if selectivity_floor <= 0.0:
+            raise ValueError("selectivity_floor must be positive")
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.tail_radius = float(tail_radius)
+        self.cells_per_dim = int(cells_per_dim)
+        self.exact_threshold = int(exact_threshold)
+        self.selectivity_floor = float(selectivity_floor)
+        self._rng = np.random.default_rng(seed)
+        self._index: Optional[_BucketIndex] = None
+        self._index_epoch: Optional[int] = None
+        self.last_build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table_nbytes(self) -> int:
+        """Resident bytes of the bucket index."""
+        return self._index.nbytes if self._index is not None else 0
+
+    @property
+    def index_epoch(self) -> Optional[int]:
+        """``sample_epoch`` the bucket index was built for (``None`` = none)."""
+        return self._index_epoch
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self, reason: str) -> None:
+        super().invalidate(reason)
+        if reason == "sample":
+            # Bucket geometry depends only on the sample; bandwidth
+            # updates only move the per-query expansion radius.
+            self._index = None
+            self._index_epoch = None
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> _BucketIndex:
+        estimator = self.estimator
+        epoch = estimator.sample_epoch
+        if self._index is None or self._index_epoch != epoch:
+            started = perf_counter()
+            self._index = _BucketIndex(estimator._sample, self.cells_per_dim)
+            self._index_epoch = epoch
+            self.last_build_seconds = perf_counter() - started
+            self.stats.builds += 1
+            registry = self._registry()
+            if registry is not None and registry.enabled:
+                labels = {"backend": self.name}
+                registry.histogram(
+                    "backend.build_seconds", labels
+                ).observe(self.last_build_seconds)
+                registry.gauge("backend.table_bytes", labels).set(
+                    float(self._index.nbytes)
+                )
+                registry.counter("backend.builds", labels).inc()
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Per-row contributions on an index subset
+    # ------------------------------------------------------------------
+    def _subset_contributions(self, rows: np.ndarray, low, high) -> np.ndarray:
+        """Exact Eq. (13) contributions of ``rows`` for 1-D bounds."""
+        estimator = self.estimator
+        out: Optional[np.ndarray] = None
+        subset = estimator._sample[rows]
+        for j in range(estimator.dimensions):
+            mass = estimator.kernels[j].interval_mass(
+                low[j], high[j], subset[:, j], estimator._bandwidth[j]
+            )
+            out = mass if out is None else np.multiply(out, mass, out=out)
+        assert out is not None
+        return out
+
+    # ------------------------------------------------------------------
+    # Far-stratum sampling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _far_rows(s: int, near: np.ndarray) -> np.ndarray:
+        """All far row indices (exact fallback; the only O(s) path)."""
+        mask = np.ones(s, dtype=bool)
+        mask[near] = False
+        return np.flatnonzero(mask)
+
+    def _sample_far(
+        self, s: int, near: np.ndarray, n_far: int, m: int
+    ) -> np.ndarray:
+        """``m`` iid uniform draws from the far stratum, O(m) expected.
+
+        Rejection sampling against the (sorted) near set: draw uniform
+        row ids, drop the near hits, repeat.  Falls back to exact
+        materialisation when the far stratum is a small minority and
+        rejection would thrash.
+        """
+        if n_far < s // 2:
+            far = self._far_rows(s, near)
+            return self._rng.choice(far, size=m, replace=True)
+        near_sorted = np.sort(near)
+        accepted: list = []
+        remaining = m
+        while remaining > 0:
+            batch = int(remaining * s / n_far * 1.2) + 16
+            draws = self._rng.integers(0, s, size=batch)
+            positions = np.searchsorted(near_sorted, draws)
+            positions = np.minimum(positions, near_sorted.size - 1)
+            keep = (
+                draws[near_sorted[positions] != draws]
+                if near_sorted.size
+                else draws
+            )
+            accepted.append(keep[:remaining])
+            remaining -= min(keep.size, remaining)
+        return np.concatenate(accepted)
+
+    # ------------------------------------------------------------------
+    # Block primitives
+    # ------------------------------------------------------------------
+    def selectivity_block(
+        self, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        estimator = self.estimator
+        s = estimator.sample_size
+        if s <= self.exact_threshold:
+            # Reference path (which accounts its own rows touched).
+            return super().selectivity_block(low, high)
+        self._count(low.shape[0])
+        index = self._ensure_index()
+        expand = self.tail_radius * estimator._bandwidth
+        #: Worst-case contribution of a row outside the expanded box in
+        #: >= 1 dimension: that dimension's interval mass is capped by
+        #: the CDF tail, every other factor by 1.
+        tail_bound = max(
+            float(kernel.cdf(np.float64(-self.tail_radius)))
+            for kernel in estimator.kernels
+        )
+        log_term = math.log(2.0 / self.delta)
+        out = np.empty(low.shape[0], dtype=np.float64)
+        touched = 0
+        for q in range(low.shape[0]):
+            near = index.near_rows(low[q] - expand, high[q] + expand)
+            near_contrib = self._subset_contributions(near, low[q], high[q])
+            s_near = float(near_contrib.sum()) / s
+            touched += near.size
+            n_far = s - near.size
+            estimate = s_near
+            if n_far > 0 and tail_bound > 0.0:
+                budget = self.epsilon * max(s_near, self.selectivity_floor)
+                far_fraction = n_far / s
+                if far_fraction * tail_bound > budget:
+                    m = math.ceil(
+                        (tail_bound * far_fraction) ** 2
+                        * log_term
+                        / (2.0 * budget * budget)
+                    )
+                    if m >= n_far:
+                        chosen = self._far_rows(s, near)  # go exact
+                    else:
+                        chosen = self._sample_far(s, near, n_far, m)
+                    far_contrib = self._subset_contributions(
+                        chosen, low[q], high[q]
+                    )
+                    estimate += far_fraction * float(far_contrib.mean())
+                    touched += chosen.size
+                # else: skipped outright — the deterministic bound
+                # (n_far / s) * tail_bound already fits the budget.
+            out[q] = min(estimate, 1.0)
+        self._count_rows_touched(touched)
+        return out

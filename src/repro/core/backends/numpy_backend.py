@@ -46,6 +46,7 @@ class NumpyBackend(ExecutionBackend):
     ) -> np.ndarray:
         estimator = self.estimator
         self._count(low.shape[0])
+        self._count_rows_touched(low.shape[0] * estimator.sample_size)
         out = np.empty(low.shape[0], dtype=np.float64)
         chunk = estimator._batch_chunk()
         for start in range(0, low.shape[0], chunk):

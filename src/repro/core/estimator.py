@@ -62,11 +62,15 @@ class KernelDensityEstimator:
         Kernel name or instance; defaults to the Gaussian of Eq. (9).
     backend:
         Execution backend for the batched evaluation paths: a registry
-        name (``"numpy"``, ``"sharded"``, ``"cached"``), a configured
+        name (``"numpy"``, ``"sharded"``, ``"cached"``, ``"grid"``,
+        ``"hashing"``), a configured
         :class:`~repro.core.backends.ExecutionBackend` instance, or
-        ``None`` for the default single-thread numpy strategy.  All
-        backends are numerically equivalent (within 1e-12); the knob
-        only changes how the work is scheduled.
+        ``None`` for the default single-thread numpy strategy.  The
+        exact backends (numpy/sharded/cached) are numerically
+        equivalent within 1e-12 — the knob only changes how the work
+        is scheduled; the sublinear pair (grid/hashing) trades a
+        documented, bounded error for per-query cost that no longer
+        scales with the sample (see their class docstrings).
     metrics:
         Metrics registry the estimation entry points report into (see
         :mod:`repro.obs`).  ``None`` (the default) defers to the

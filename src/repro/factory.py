@@ -53,10 +53,11 @@ def create_estimator(
         Initial bandwidth vector; Scott's rule when omitted.
     backend:
         Execution backend knob (``"numpy"`` / ``"sharded"`` /
-        ``"cached"`` or an :class:`~repro.core.backends.
-        ExecutionBackend` instance) for the host kinds; for
-        ``kind="device"`` it selects the host strategy of the batched
-        contribution kernel (``"numpy"`` / ``"sharded"``).
+        ``"cached"`` / ``"grid"`` / ``"hashing"`` or an
+        :class:`~repro.core.backends.ExecutionBackend` instance) for
+        the host kinds; for ``kind="device"`` it selects the host
+        strategy of the batched contribution kernel (``"numpy"`` /
+        ``"sharded"``).
     metrics:
         Metrics registry to report into; ``None`` defers to the
         process-wide registry (see :func:`repro.obs.enable_metrics`).

@@ -73,6 +73,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.backends import get_backend
 from ..faults.breaker import CLOSED, CircuitBreaker, export_breaker_metrics
 from ..geometry import Box, QueryBatch
 from ..obs import MetricsRegistry, get_registry
@@ -126,6 +127,14 @@ class FrontendConfig:
     breaker_recovery:
         Seconds a tripped lane stays degraded before the breaker admits
         a half-open live probe.
+    reader_backend:
+        Execution-backend registry name the front end applies to served
+        models that do not already pin one (e.g. ``"grid"`` to serve
+        every lane from the sublinear grid backend).  Applied to a
+        lane's :class:`~repro.serve.server.SnapshotServer` on first use
+        via :meth:`~repro.serve.server.SnapshotServer.set_reader_backend`;
+        a server constructed with its own ``reader_backend`` wins over
+        this default.  ``None`` leaves servers untouched.
     """
 
     max_batch_size: int = 256
@@ -135,6 +144,7 @@ class FrontendConfig:
     latency_window: int = 16
     writer_error_threshold: int = 1
     breaker_recovery: float = 5.0
+    reader_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -151,6 +161,13 @@ class FrontendConfig:
             raise ValueError("writer_error_threshold must be at least 1")
         if self.breaker_recovery < 0:
             raise ValueError("breaker_recovery must be non-negative")
+        if self.reader_backend is not None:
+            if not isinstance(self.reader_backend, str):
+                raise TypeError(
+                    "reader_backend must be a registry name or None; got "
+                    f"{type(self.reader_backend).__name__}"
+                )
+            get_backend(self.reader_backend)  # fail fast on unknown names
 
 
 @dataclass
@@ -496,6 +513,12 @@ class EstimatorFrontend:
         lane = self._lanes.get(key)
         if lane is None:
             server = self._registry_map.get(table, columns)  # KeyError if absent
+            if (
+                self._config.reader_backend is not None
+                and server.reader_backend is None
+            ):
+                # Config default; a server that pinned its own spec wins.
+                server.set_reader_backend(self._config.reader_backend)
             lane = _Lane(key, server, self._config)
             assert self._loop is not None
             lane.task = self._loop.create_task(self._run_lane(lane))

@@ -50,6 +50,7 @@ class ModelRegistry:
         metrics=None,
         checkpoints=None,
         on_publish=None,
+        backend=None,
     ) -> SnapshotServer:
         """Register ``model`` under ``(table, columns)``.
 
@@ -57,13 +58,16 @@ class ModelRegistry:
         existing server instance is registered as-is.  Re-registering an
         occupied key raises unless ``replace=True``.
 
-        ``metrics``, ``checkpoints`` and ``on_publish`` are forwarded to
-        the :class:`SnapshotServer` constructor when a bare estimator is
-        wrapped, so registry-created servers keep emergency-checkpoint
-        protection and publication observers.  Passing any of them with
-        an already-constructed server raises: the server was configured
-        at construction and silently ignoring the kwargs would drop
-        exactly that protection.
+        ``metrics``, ``checkpoints``, ``on_publish`` and ``backend``
+        (the server's ``reader_backend`` — a registry name or factory,
+        e.g. ``backend="grid"`` to serve reads from the sublinear grid
+        backend) are forwarded to the :class:`SnapshotServer`
+        constructor when a bare estimator is wrapped, so
+        registry-created servers keep emergency-checkpoint protection,
+        publication observers and the chosen read path.  Passing any of
+        them with an already-constructed server raises: the server was
+        configured at construction and silently ignoring the kwargs
+        would drop exactly that configuration.
         """
         key = _make_key(table, columns)
         if isinstance(model, SnapshotServer):
@@ -73,6 +77,7 @@ class ModelRegistry:
                     ("metrics", metrics),
                     ("checkpoints", checkpoints),
                     ("on_publish", on_publish),
+                    ("backend", backend),
                 )
                 if value is not None
             ]
@@ -89,6 +94,7 @@ class ModelRegistry:
                 metrics=metrics,
                 checkpoints=checkpoints,
                 on_publish=on_publish,
+                reader_backend=backend,
             )
         with self._lock:
             if not replace and key in self._servers:

@@ -40,16 +40,44 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Callable,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
+from ..core.backends import ExecutionBackend, get_backend
 from ..core.estimator import KernelDensityEstimator
 from ..core.state import ModelState
 from ..geometry import Box
 from ..obs import MetricsRegistry, get_registry
 
 __all__ = ["PublishedSnapshot", "SnapshotServer", "SnapshotModel"]
+
+
+def _validate_reader_spec(spec) -> None:
+    """Reject invalid ``reader_backend`` specs early, with a clear error."""
+    if spec is None:
+        return
+    if isinstance(spec, ExecutionBackend):
+        raise TypeError(
+            "reader_backend must be a registry name or zero-argument "
+            "factory, not a backend instance: every publication builds "
+            "a fresh reader, and a backend binds to exactly one estimator"
+        )
+    if isinstance(spec, str):
+        get_backend(spec)  # fail fast on unknown names
+        return
+    if not callable(spec):
+        raise TypeError(
+            "reader_backend must be None, a registry name, or a "
+            f"zero-argument factory; got {type(spec).__name__}"
+        )
 
 
 @runtime_checkable
@@ -104,6 +132,14 @@ class SnapshotServer:
         (or anything with an ``emergency(state)`` method).  On the
         *first* writer failure the server hands it the last published
         state for an out-of-cadence emergency checkpoint.
+    reader_backend:
+        Execution backend for the *reader* engines: a registry name
+        (``"grid"``, ``"hashing"``, ...) or a zero-argument factory
+        returning a fresh :class:`~repro.core.backends.ExecutionBackend`.
+        ``None`` (default) keeps the reference backend.  A backend
+        *instance* is rejected: every publication builds a fresh reader
+        and a backend binds to exactly one estimator, so an instance
+        could only serve the first publication.
     """
 
     def __init__(
@@ -113,16 +149,19 @@ class SnapshotServer:
         metrics: Optional[MetricsRegistry] = None,
         on_publish: Optional[Callable[[PublishedSnapshot], None]] = None,
         checkpoints=None,
+        reader_backend: Union[str, Callable[[], ExecutionBackend], None] = None,
     ) -> None:
         if not hasattr(model, "snapshot") or not hasattr(model, "feedback"):
             raise TypeError(
                 "model must expose snapshot() and feedback(); got "
                 f"{type(model).__name__}"
             )
+        _validate_reader_spec(reader_backend)
         self._model = model
         self._metrics = metrics
         self._on_publish = on_publish
         self._checkpoints = checkpoints
+        self._reader_backend = reader_backend
         self._lock = threading.RLock()
         self._feedback_count = 0
         self._writer_errors = 0
@@ -144,6 +183,26 @@ class SnapshotServer:
     def published(self) -> PublishedSnapshot:
         """The current publication record (lock-free)."""
         return self._published
+
+    @property
+    def reader_backend(self) -> Union[str, Callable[[], ExecutionBackend], None]:
+        """The backend spec fresh reader engines are built with."""
+        return self._reader_backend
+
+    def set_reader_backend(
+        self, spec: Union[str, Callable[[], ExecutionBackend], None]
+    ) -> None:
+        """Swap the reader backend spec and republish with it immediately.
+
+        Republication rebuilds the reader for the *currently published*
+        state (not the writer's possibly mid-epoch state), so readers
+        keep seeing whole-epoch snapshots — only the evaluation strategy
+        changes.
+        """
+        _validate_reader_spec(spec)
+        with self._lock:
+            self._reader_backend = spec
+            self._publish_locked(self._published.state)
 
     @property
     def published_state(self) -> ModelState:
@@ -301,7 +360,14 @@ class SnapshotServer:
     def _publish_locked(self, state: ModelState) -> None:
         sequence = getattr(self, "_published", None)
         next_sequence = 1 if sequence is None else sequence.sequence + 1
-        reader = KernelDensityEstimator.from_state(state)
+        spec = self._reader_backend
+        if spec is None:
+            backend = None
+        elif isinstance(spec, str):
+            backend = get_backend(spec)
+        else:
+            backend = spec()
+        reader = KernelDensityEstimator.from_state(state, backend=backend)
         record = PublishedSnapshot(
             state=state,
             reader=reader,

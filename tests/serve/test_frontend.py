@@ -501,3 +501,58 @@ class TestConfig:
         config = FrontendConfig()
         assert config.max_batch_size >= 1
         assert config.max_queue_depth >= 1
+
+
+# ---------------------------------------------------------------------------
+# Reader backend threading (ISSUE 7): config -> lane -> snapshot server
+# ---------------------------------------------------------------------------
+class TestReaderBackendConfig:
+    def test_unknown_backend_name_rejected_at_config_time(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(reader_backend="no-such-backend")
+        with pytest.raises(TypeError):
+            FrontendConfig(reader_backend=object())
+
+    def test_config_backend_applied_to_lane_servers(self):
+        from repro.core.backends import GridBackend
+
+        registry, server, _ = make_registry()
+        boxes = make_boxes()
+        direct = [server.estimate(box) for box in boxes]
+        config = FrontendConfig(reader_backend="grid")
+
+        async def main():
+            async with EstimatorFrontend(
+                registry, config=config
+            ) as frontend:
+                return [
+                    await frontend.estimate(TABLE, COLUMNS, box)
+                    for box in boxes
+                ]
+
+        served = asyncio.run(main())
+        # Spinning up the lane switched the server's reader engine...
+        assert server.reader_backend == "grid"
+        assert isinstance(server.published.reader.backend, GridBackend)
+        # ...and the grid answers approximate the exact reader.
+        assert np.allclose(served, direct, rtol=0, atol=0.05)
+
+    def test_server_pinned_backend_wins_over_config(self):
+        from repro.core.backends import HashingBackend
+
+        registry = ModelRegistry()
+        model = SelfTuningKDE(make_sample(seed=1), seed=1)
+        server = registry.register(
+            TABLE, COLUMNS, model, backend="hashing"
+        )
+        config = FrontendConfig(reader_backend="grid")
+
+        async def main():
+            async with EstimatorFrontend(
+                registry, config=config
+            ) as frontend:
+                await frontend.estimate(TABLE, COLUMNS, make_boxes()[0])
+
+        asyncio.run(main())
+        assert server.reader_backend == "hashing"
+        assert isinstance(server.published.reader.backend, HashingBackend)

@@ -463,3 +463,92 @@ class TestStalenessAfterRestore:
         server.restore(good)
         assert not server.degraded
         assert server.staleness == 0
+
+
+# ---------------------------------------------------------------------------
+# Reader execution backends (ISSUE 7): registry threading + republication
+# ---------------------------------------------------------------------------
+class TestReaderBackends:
+    def test_server_builds_readers_with_named_backend(self):
+        from repro.core.backends import GridBackend
+
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model, reader_backend="grid")
+        assert server.reader_backend == "grid"
+        assert isinstance(server.published.reader.backend, GridBackend)
+        # Every publication rebuilds the reader on the same backend.
+        server.publish()
+        assert isinstance(server.published.reader.backend, GridBackend)
+
+    def test_factory_spec_builds_fresh_backend_per_publication(self):
+        from repro.core.backends import HashingBackend
+
+        built = []
+
+        def factory():
+            backend = HashingBackend(exact_threshold=64)
+            built.append(backend)
+            return backend
+
+        server = SnapshotServer(
+            SelfTuningKDE(make_sample(), seed=1), reader_backend=factory
+        )
+        server.publish()
+        assert len(built) == 2
+        assert built[0] is not built[1]
+        assert server.published.reader.backend is built[-1]
+
+    def test_unknown_backend_name_fails_fast(self):
+        with pytest.raises(ValueError, match="no-such"):
+            SnapshotServer(
+                SelfTuningKDE(make_sample(), seed=1),
+                reader_backend="no-such-backend",
+            )
+
+    def test_backend_instance_rejected(self):
+        from repro.core.backends import GridBackend
+
+        with pytest.raises(TypeError, match="instance"):
+            SnapshotServer(
+                SelfTuningKDE(make_sample(), seed=1),
+                reader_backend=GridBackend(),
+            )
+
+    def test_set_reader_backend_republishes_published_state(self):
+        from repro.core.backends import GridBackend, NumpyBackend
+
+        model = SelfTuningKDE(make_sample(), seed=1)
+        server = SnapshotServer(model)
+        assert isinstance(server.published.reader.backend, NumpyBackend)
+        query = make_query()
+        before = server.estimate(query)
+        published_epochs = server.published.epochs
+        # Mutate the writer but do not publish: the backend swap must
+        # rebuild the reader for the *published* state, not leak the
+        # writer's in-progress epoch.
+        for _ in range(3):
+            model.feedback(query, 0.5)
+        server.set_reader_backend("grid")
+        assert isinstance(server.published.reader.backend, GridBackend)
+        assert server.published.epochs == published_epochs
+        # Grid answers approximate the exact reader on the same state.
+        assert abs(server.estimate(query) - before) < 0.05
+
+    def test_registry_register_threads_backend(self):
+        from repro.core.backends import GridBackend
+
+        registry = ModelRegistry()
+        server = registry.register(
+            "orders",
+            ("a", "b"),
+            SelfTuningKDE(make_sample(), seed=1),
+            backend="grid",
+        )
+        assert server.reader_backend == "grid"
+        assert isinstance(server.published.reader.backend, GridBackend)
+
+    def test_registry_rejects_backend_for_prebuilt_server(self):
+        server = SnapshotServer(SelfTuningKDE(make_sample(), seed=1))
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="backend"):
+            registry.register("orders", ("a", "b"), server, backend="grid")

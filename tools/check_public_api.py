@@ -34,6 +34,8 @@ ROOT_PACKAGE = "repro"
 #: packaging slip that drops one of these should fail loudly here even
 #: though walk_packages would silently just not find it.
 REQUIRED_MODULES = (
+    "repro.core.backends.grid",
+    "repro.core.backends.hashing",
     "repro.core.state",
     "repro.faults",
     "repro.serve",
