@@ -31,7 +31,14 @@ Subpackages
     paper's evaluation (Section 6).
 ``repro.obs``
     Observability: metrics registry, span tracing, estimation traces,
-    JSON/Prometheus exporters (see :func:`repro.obs.enable_metrics`).
+    and the unified exporter :func:`repro.obs.export_metrics`
+    (JSON/Prometheus; see :func:`repro.obs.enable_metrics`).
+``repro.forecast``
+    Workload forecasting and proactive control: moving-average / EWMA /
+    linear-trend forecasters over the observability stream, predicate-
+    region drift detection, and the :class:`ProactiveController`
+    driving shard autoscaling, eager reader warming, scheduled
+    publication and drift-triggered bandwidth retuning.
 ``repro.faults``
     Fault injection and fault tolerance: deterministic chaos plans
     (worker crashes, hangs, shm corruption, torn checkpoints), retry
@@ -61,6 +68,7 @@ from .core import (
 )
 from .factory import ESTIMATOR_KINDS, create_estimator
 from .faults import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
+from .forecast import DriftDetector, Forecaster, ProactiveController
 from .serve import (
     CheckpointManager,
     EstimatorFrontend,
@@ -73,6 +81,7 @@ from .obs import (
     MetricsRegistry,
     disable_metrics,
     enable_metrics,
+    export_metrics,
     get_registry,
     metrics_enabled,
 )
@@ -85,10 +94,12 @@ __all__ = [
     "CheckpointError",
     "CheckpointManager",
     "CircuitBreaker",
+    "DriftDetector",
     "ESTIMATOR_KINDS",
     "EstimatorFrontend",
     "FaultInjector",
     "FaultPlan",
+    "Forecaster",
     "FrontendConfig",
     "GridBackend",
     "HashingBackend",
@@ -99,6 +110,7 @@ __all__ = [
     "ModelState",
     "NumpyBackend",
     "Overloaded",
+    "ProactiveController",
     "QueryBatch",
     "RangeQuery",
     "SelfTuningKDE",
@@ -108,6 +120,7 @@ __all__ = [
     "create_estimator",
     "disable_metrics",
     "enable_metrics",
+    "export_metrics",
     "get_registry",
     "metrics_enabled",
     "optimize_bandwidth",

@@ -16,6 +16,7 @@ Usage::
     python -m repro.bench metrics
     python -m repro.bench serving [--scale ...] [--checkpoint PATH]
                                   [--clients N [N ...]]
+    python -m repro.bench forecast [--scale ...]
     python -m repro.bench all    [--scale ...]
 
 Any invocation accepts ``--metrics-json PATH``: the process-wide
@@ -41,13 +42,14 @@ import sys
 import time
 from typing import Dict
 
-from ..obs import disable_metrics, dump_json, enable_metrics, get_registry
+from ..obs import disable_metrics, enable_metrics, export_metrics, get_registry
 from .experiments import (
     run_adaptive_parameter_ablation,
     run_backend_scaling,
     run_batch_scaling,
     run_chaos,
     run_dynamic_quality,
+    run_forecast,
     run_frontend_load,
     run_karma_ablation,
     run_log_update_ablation,
@@ -62,6 +64,7 @@ from .metrics import win_matrix
 from .reporting import (
     render_chaos,
     render_dynamic,
+    render_forecast,
     render_frontend_load,
     render_model_size,
     render_observability,
@@ -129,6 +132,7 @@ EXPERIMENTS = (
     "chaos",
     "metrics",
     "serving",
+    "forecast",
     "all",
 )
 
@@ -188,6 +192,28 @@ FRONTEND_SCALE = {
         sample_size=4096, rows=100_000, clients=(2, 8, 32, 128),
         rates=(None, 100.0, 1000.0), requests_per_client=200,
         max_queue_depth=32,
+    ),
+}
+
+
+#: Per-scale parameters for the ``forecast`` experiment (reactive vs
+#: proactive serving under phased load, plus the clock-injected
+#: autoscale ramp).
+FORECAST_SCALE = {
+    "smoke": dict(
+        sample_size=16384, rows=30_000, phases=3, clients=24,
+        rate=100.0, requests_per_client=10, max_queue_depth=6,
+        offered_rates=(30, 90, 200, 330, 330),
+    ),
+    "small": dict(
+        sample_size=32768, rows=50_000, phases=4, clients=32,
+        rate=100.0, requests_per_client=15, max_queue_depth=6,
+    ),
+    "paper": dict(
+        sample_size=32768, rows=100_000, phases=8, clients=48,
+        rate=150.0, requests_per_client=40, max_queue_depth=8,
+        offered_rates=(40, 120, 260, 420, 600, 600, 600, 600),
+        max_shards=8,
     ),
 }
 
@@ -443,6 +469,12 @@ def run_experiment(
             "Serving - reader throughput, snapshot staleness, and the "
             "micro-batching front end under closed-loop load"
         )
+    elif name == "forecast":
+        report = render_forecast(run_forecast(**FORECAST_SCALE[scale_name]))
+        title = (
+            "Forecast - proactive (forecast-driven warming/publication/"
+            "autoscaling) vs reactive serving under phased load"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -492,7 +524,7 @@ def main(argv=None) -> int:
 
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
-         "batch", "backends", "chaos", "metrics", "serving"]
+         "batch", "backends", "chaos", "metrics", "serving", "forecast"]
         if args.experiment == "all"
         else [args.experiment]
     )
@@ -510,7 +542,7 @@ def main(argv=None) -> int:
             )
             print()
         if args.metrics_json:
-            dump_json(get_registry(), args.metrics_json)
+            export_metrics(get_registry(), path=args.metrics_json)
             print(f"metrics snapshot written to {args.metrics_json}")
     finally:
         if args.metrics_json:

@@ -12,6 +12,12 @@ from .ablations import (
 )
 from .chaos import ChaosResult, run_chaos
 from .dynamic_quality import DynamicQualityResult, run_dynamic_quality
+from .forecast import (
+    AutoscaleStep,
+    ForecastModeResult,
+    ForecastResult,
+    run_forecast,
+)
 from .frontend_load import (
     FrontendLoadCell,
     FrontendLoadResult,
@@ -34,11 +40,14 @@ from .static_quality import StaticQualityResult, run_static_quality
 
 __all__ = [
     "AdaptiveParameterAblation",
+    "AutoscaleStep",
     "BackendScalingResult",
     "BatchScalingResult",
     "ChaosResult",
     "DEFAULT_BATCH_SIZES",
     "DynamicQualityResult",
+    "ForecastModeResult",
+    "ForecastResult",
     "FrontendLoadCell",
     "FrontendLoadResult",
     "KarmaAblation",
@@ -56,6 +65,7 @@ __all__ = [
     "run_batch_scaling",
     "run_chaos",
     "run_dynamic_quality",
+    "run_forecast",
     "run_frontend_load",
     "run_karma_ablation",
     "run_log_update_ablation",

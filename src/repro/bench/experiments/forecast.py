@@ -1,0 +1,392 @@
+"""Reactive vs proactive serving under phased load with publications.
+
+The forecast experiment quantifies what :class:`~repro.forecast.
+ProactiveController` buys over the paper's reactive §4 loop.  Both modes
+run the *same* phased schedule against the asyncio front end:
+
+1. **Feedback burst** — the writer absorbs feedback, epochs advance and
+   new snapshots publish; every publication's reader starts cold (the
+   per-publication CDF-term cache of the ``cached`` backend is empty).
+2. **Query burst** — closed-loop clients hammer the lane; in *reactive*
+   mode the first post-publication batches pay the cold cache misses on
+   the serving path (latency spikes back the admission queue up into
+   sheds), in *proactive* mode the controller stepped between the
+   bursts and pre-warmed the fresh reader with the lane's recent query
+   boxes, so the bursts land on a warm cache.
+
+A second, clock-injected segment demonstrates the demand forecaster
+driving shard autoscaling: a ramping synthetic query rate against a
+sharded reader, with the controller resizing the pool ahead of the ramp
+(``scale`` actions, recorded per step).
+
+Everything the controller decides is also visible in the metrics
+registry (``controller.*`` counters, ``forecast.*`` gauges) when metrics
+are enabled, so ``--metrics-json`` exports the decision trail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.backends.sharded import ShardedBackend
+from ...core.model import SelfTuningKDE
+from ...forecast import ControllerConfig, ProactiveController
+from ...geometry import Box
+from ...obs import MetricsRegistry, get_registry, metrics_enabled
+from ...serve import (
+    EstimatorFrontend,
+    FrontendConfig,
+    ModelRegistry,
+    Overloaded,
+    SnapshotServer,
+)
+from .runtime import templated_workload
+
+__all__ = [
+    "AutoscaleStep",
+    "ForecastModeResult",
+    "ForecastResult",
+    "run_forecast",
+]
+
+#: Seconds a shed client waits before retrying.
+SHED_BACKOFF_SECONDS = 0.002
+
+TABLE = "bench"
+COLUMNS = ("c0", "c1", "c2")
+
+
+@dataclass
+class ForecastModeResult:
+    """One serving mode (reactive or proactive) over the full schedule."""
+
+    mode: str
+    attempts: int
+    completed: int
+    shed: int
+    shed_rate: float
+    p50_ms: float
+    p99_ms: float
+    duration_seconds: float
+    publications: int
+    #: Controller action counts by kind (empty for the reactive mode).
+    actions: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class AutoscaleStep:
+    """One step of the clock-injected autoscale ramp."""
+
+    step: int
+    offered_rate: float
+    measured_rate: float
+    predicted_rate: float
+    shards: int
+
+
+@dataclass
+class ForecastResult:
+    """Reactive vs proactive comparison plus the autoscale trajectory."""
+
+    sample_size: int
+    dimensions: int
+    phases: int
+    clients: int
+    reactive: ForecastModeResult
+    proactive: ForecastModeResult
+    autoscale: List[AutoscaleStep] = field(default_factory=list)
+    scale_events: int = 0
+
+    @property
+    def p99_improvement(self) -> float:
+        """Fractional p99 reduction of proactive vs reactive."""
+        if self.reactive.p99_ms <= 0:
+            return 0.0
+        return 1.0 - self.proactive.p99_ms / self.reactive.p99_ms
+
+
+def _bench_registry() -> MetricsRegistry:
+    """The process registry when instrumentation is on, else a private one.
+
+    The controller's trace tap and decision counters need *a* live
+    registry; using the process-wide one when the run is instrumented
+    makes every decision visible in the exported snapshot.
+    """
+    return get_registry() if metrics_enabled() else MetricsRegistry()
+
+
+async def _query_burst(
+    frontend: EstimatorFrontend,
+    boxes: Sequence[Box],
+    clients: int,
+    rate: float,
+    requests_per_client: int,
+    seed: int,
+) -> Tuple[int, int, List[float]]:
+    """One think-time burst; returns (attempts, shed, latencies).
+
+    Clients pace themselves (exponential think time at ``rate``
+    requests/second each), so under a *warm* reader the admission queue
+    stays short and nothing sheds; a cold-reader stall lets arrivals
+    pile past the queue depth — sheds then measure exactly the cost of
+    serving cold.
+    """
+
+    async def client(slot: int) -> Tuple[int, int, List[float]]:
+        rng = np.random.default_rng(seed + 7919 * slot)
+        latencies: List[float] = []
+        shed = 0
+        attempts = 0
+        async with frontend.session() as session:
+            while attempts < requests_per_client:
+                await asyncio.sleep(float(rng.exponential(1.0 / rate)))
+                box = boxes[int(rng.integers(len(boxes)))]
+                attempts += 1
+                started = time.perf_counter()
+                try:
+                    await session.estimate(TABLE, COLUMNS, box)
+                except Overloaded:
+                    shed += 1
+                    await asyncio.sleep(SHED_BACKOFF_SECONDS)
+                else:
+                    latencies.append(time.perf_counter() - started)
+        return attempts, shed, latencies
+
+    outcomes = await asyncio.gather(*[client(s) for s in range(clients)])
+    return (
+        sum(a for a, _, _ in outcomes),
+        sum(s for _, s, _ in outcomes),
+        [l for _, _, ls in outcomes for l in ls],
+    )
+
+
+def _run_mode(
+    mode: str,
+    sample: np.ndarray,
+    boxes: Sequence[Box],
+    feedback_plan: Sequence[Sequence[Tuple[Box, float]]],
+    clients: int,
+    rate: float,
+    requests_per_client: int,
+    max_queue_depth: int,
+    max_batch_size: int,
+    seed: int,
+) -> ForecastModeResult:
+    """Run the phased schedule in one mode against a fresh stack."""
+    metrics = _bench_registry()
+    model = SelfTuningKDE(sample, seed=seed % (2**31), metrics=metrics)
+    server = SnapshotServer(model, metrics=metrics, reader_backend="cached")
+    registry = ModelRegistry()
+    registry.register(TABLE, COLUMNS, server)
+    frontend = EstimatorFrontend(
+        registry,
+        config=FrontendConfig(
+            max_batch_size=max_batch_size,
+            max_queue_depth=max_queue_depth,
+        ),
+    )
+    controller = (
+        ProactiveController(
+            registry,
+            # Serving A/B isolates the warming/publication actuators;
+            # drift retunes are exercised by their own tests and would
+            # perturb the model mid-comparison.
+            config=ControllerConfig(drift_threshold=float("inf"),
+                                    volume_factor=None),
+            metrics=metrics,
+            frontend=frontend,
+        )
+        if mode == "proactive"
+        else None
+    )
+
+    async def schedule() -> Tuple[int, int, List[float], float]:
+        async with frontend:
+            started = time.perf_counter()
+            attempts = shed = 0
+            latencies: List[float] = []
+            if controller is not None:
+                controller.step()  # baseline counters before any burst
+            for burst in feedback_plan:
+                for box, actual in burst:
+                    server.feedback(box, actual)
+                # Maintenance-cadence publication (same in both modes):
+                # the writer's absorbed feedback becomes visible even
+                # when mini-batched bandwidth steps haven't crossed an
+                # epoch boundary — and the fresh reader starts cold.
+                server.publish()
+                if controller is not None:
+                    # The proactive moment: between bursts the
+                    # controller warms the freshly published reader
+                    # with the lane's recent boxes.
+                    controller.step()
+                a, s, ls = await _query_burst(
+                    frontend, boxes, clients, rate, requests_per_client, seed
+                )
+                attempts += a
+                shed += s
+                latencies.extend(ls)
+            return attempts, shed, latencies, time.perf_counter() - started
+
+    attempts, shed, latencies, duration = asyncio.run(schedule())
+    quantiles = (
+        np.percentile(latencies, (50, 99)) if latencies else (0.0, 0.0)
+    )
+    actions: Dict[str, int] = {}
+    if controller is not None:
+        for action in controller.actions:
+            actions[action.kind] = actions.get(action.kind, 0) + 1
+    return ForecastModeResult(
+        mode=mode,
+        attempts=attempts,
+        completed=len(latencies),
+        shed=shed,
+        shed_rate=shed / attempts if attempts else 0.0,
+        p50_ms=float(quantiles[0]) * 1e3,
+        p99_ms=float(quantiles[1]) * 1e3,
+        duration_seconds=duration,
+        publications=server.publish_count,
+        actions=actions,
+    )
+
+
+def _run_autoscale(
+    sample: np.ndarray,
+    offered_rates: Sequence[float],
+    queries_per_shard: float,
+    max_shards: int,
+    seed: int,
+) -> Tuple[List[AutoscaleStep], int]:
+    """Clock-injected demand ramp against a sharded reader.
+
+    Demand is driven through the cheap single-query reader path (which
+    never touches the shard pool), so the trajectory isolates the
+    *decisions*: measured rate, forecast, and the shard count the
+    controller chose ahead of the ramp.
+    """
+    metrics = _bench_registry()
+    model = SelfTuningKDE(sample, seed=seed % (2**31), metrics=metrics)
+    server = SnapshotServer(
+        model,
+        metrics=metrics,
+        reader_backend=lambda: ShardedBackend(shards=1),
+    )
+    registry = ModelRegistry()
+    registry.register(TABLE, COLUMNS, server)
+    clock = [0.0]
+    controller = ProactiveController(
+        registry,
+        config=ControllerConfig(
+            queries_per_shard=queries_per_shard,
+            max_shards=max_shards,
+            warm_on_publish=False,  # decisions only; keep the pool cold
+        ),
+        metrics=metrics,
+        clock=lambda: clock[0],
+    )
+    controller.step()  # baseline
+    dims = sample.shape[1]
+    probe = Box((-0.1,) * dims, (0.1,) * dims)
+    steps: List[AutoscaleStep] = []
+    for index, rate in enumerate(offered_rates):
+        for _ in range(int(rate)):
+            server.estimate(probe)
+        clock[0] += 1.0
+        controller.step()
+        backend = server.published.reader._backend
+        label = {"model": f"{TABLE}/{','.join(COLUMNS)}"}
+        steps.append(
+            AutoscaleStep(
+                step=index,
+                offered_rate=float(rate),
+                measured_rate=metrics.gauge("forecast.rate", label).value,
+                predicted_rate=metrics.gauge(
+                    "forecast.predicted_rate", label
+                ).value,
+                shards=backend.shards,
+            )
+        )
+    scale_events = sum(
+        1 for action in controller.actions if action.kind == "scale"
+    )
+    return steps, scale_events
+
+
+def run_forecast(
+    sample_size: int = 32768,
+    rows: int = 50_000,
+    phases: int = 4,
+    feedbacks_per_phase: int = 4,
+    clients: int = 32,
+    rate: float = 100.0,
+    requests_per_client: int = 15,
+    max_queue_depth: int = 6,
+    max_batch_size: int = 64,
+    query_pool: int = 96,
+    template_pool: int = 4,
+    offered_rates: Sequence[float] = (40, 120, 260, 420, 420, 420),
+    queries_per_shard: float = 128.0,
+    max_shards: int = 4,
+    seed: int = 20150601,
+) -> ForecastResult:
+    """Reactive vs proactive under an identical phased schedule.
+
+    Both modes get fresh stacks over the same data, the same feedback
+    plan (so the same publication points) and the same closed-loop
+    query bursts; the only difference is the controller stepping
+    between bursts in proactive mode.
+    """
+    dimensions = len(COLUMNS)
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, dimensions))
+    sample = data[rng.choice(rows, size=sample_size, replace=False)]
+    batch = templated_workload(
+        data, query_pool, rng, template_pool=template_pool
+    )
+    boxes = [Box(lo, hi) for lo, hi in zip(batch.low, batch.high)]
+
+    # One shared feedback plan: drawn once so both modes publish at the
+    # same points with the same query boxes.
+    feedback_plan: List[List[Tuple[Box, float]]] = []
+    for _ in range(phases):
+        burst = []
+        for _ in range(feedbacks_per_phase):
+            box = boxes[int(rng.integers(len(boxes)))]
+            burst.append((box, float(rng.uniform(0.01, 0.5))))
+        feedback_plan.append(burst)
+
+    common = dict(
+        sample=sample,
+        boxes=boxes,
+        feedback_plan=feedback_plan,
+        clients=clients,
+        rate=rate,
+        requests_per_client=requests_per_client,
+        max_queue_depth=max_queue_depth,
+        max_batch_size=max_batch_size,
+        seed=seed,
+    )
+    reactive = _run_mode("reactive", **common)
+    proactive = _run_mode("proactive", **common)
+    autoscale, scale_events = _run_autoscale(
+        sample[: min(512, sample_size)],
+        offered_rates,
+        queries_per_shard,
+        max_shards,
+        seed,
+    )
+    return ForecastResult(
+        sample_size=sample_size,
+        dimensions=dimensions,
+        phases=phases,
+        clients=clients,
+        reactive=reactive,
+        proactive=proactive,
+        autoscale=autoscale,
+        scale_events=scale_events,
+    )

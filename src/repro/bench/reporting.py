@@ -13,6 +13,7 @@ import numpy as np
 
 from .experiments.chaos import ChaosResult
 from .experiments.dynamic_quality import DynamicQualityResult
+from .experiments.forecast import ForecastResult
 from .experiments.frontend_load import FrontendLoadResult
 from .experiments.model_size import ModelSizeResult
 from .experiments.observability import ObservabilityResult
@@ -30,6 +31,7 @@ __all__ = [
     "render_runtime",
     "render_chaos",
     "render_dynamic",
+    "render_forecast",
     "render_frontend_load",
     "render_serving",
 ]
@@ -236,6 +238,69 @@ def render_frontend_load(result: FrontendLoadResult) -> str:
         "(closed-loop clients; rate is per-client think-rate)"
     )
     return header + "\n" + format_table(headers, rows)
+
+
+def render_forecast(result: ForecastResult) -> str:
+    """Reactive vs proactive serving, plus the autoscale trajectory."""
+    headers = [
+        "mode",
+        "attempts",
+        "done",
+        "shed%",
+        "p50 ms",
+        "p99 ms",
+        "pubs",
+        "actions",
+    ]
+    rows = []
+    for mode in (result.reactive, result.proactive):
+        actions = (
+            ", ".join(
+                f"{kind}x{count}"
+                for kind, count in sorted(mode.actions.items())
+            )
+            or "-"
+        )
+        rows.append(
+            [
+                mode.mode,
+                str(mode.attempts),
+                str(mode.completed),
+                f"{100 * mode.shed_rate:.1f}",
+                f"{mode.p50_ms:.2f}",
+                f"{mode.p99_ms:.2f}",
+                str(mode.publications),
+                actions,
+            ]
+        )
+    header = (
+        f"forecast: sample={result.sample_size}, phases={result.phases}, "
+        f"clients={result.clients} (identical schedules; proactive adds "
+        "the controller stepping between bursts)"
+    )
+    lines = [header, format_table(headers, rows)]
+    lines.append(
+        f"p99 improvement: {100 * result.p99_improvement:.0f}% "
+        f"(proactive vs reactive)"
+    )
+    if result.autoscale:
+        scale_headers = ["step", "offered/s", "measured/s", "predicted/s", "shards"]
+        scale_rows = [
+            [
+                str(step.step),
+                f"{step.offered_rate:.0f}",
+                f"{step.measured_rate:.1f}",
+                f"{step.predicted_rate:.1f}",
+                str(step.shards),
+            ]
+            for step in result.autoscale
+        ]
+        lines.append(
+            f"[autoscale ramp: {result.scale_events} scale events, "
+            "clock-injected]"
+        )
+        lines.append(format_table(scale_headers, scale_rows))
+    return "\n".join(lines)
 
 
 def render_chaos(result: ChaosResult) -> str:

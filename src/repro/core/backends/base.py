@@ -121,6 +121,26 @@ class ExecutionBackend:
     def close(self) -> None:
         """Release external resources (pools, shared memory).  Idempotent."""
 
+    def warm(
+        self,
+        low: Optional[np.ndarray] = None,
+        high: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Eagerly build whatever derived state the next query would build.
+
+        ``low``/``high`` are optional ``(q, d)`` bound matrices of
+        *forecast* queries; region-aware backends (the CDF-term cache)
+        pre-compute exactly their terms, while table-based backends
+        (grid, hashing) build their tables regardless of the region.
+        Returns ``True`` when the backend did (or could have done) any
+        eager work — the proactive controller uses the return value to
+        know whether warming is worth scheduling for this backend at
+        all.  The base implementation does nothing and returns
+        ``False``; warming never changes results, only *when* the cost
+        is paid.
+        """
+        return False
+
     # ------------------------------------------------------------------
     # Block primitives
     # ------------------------------------------------------------------

@@ -109,6 +109,28 @@ class CachedBackend(ExecutionBackend):
         # eagerly frees the dead generation's memory.
         self.cache.clear()
 
+    def warm(
+        self,
+        low: Optional[np.ndarray] = None,
+        high: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Pre-compute the column masses the given forecast queries need.
+
+        The cache is region-keyed, so warming without bounds has nothing
+        to compute — returns ``False``.  With ``(q, d)`` bounds, every
+        per-dimension ``(lo, hi)`` column is resolved through the normal
+        miss path (and is therefore epoch-stamped with the *current*
+        ``(bandwidth_epoch, sample_epoch)``): a later epoch bump simply
+        orphans the warmed entries, it can never cause them to be served.
+        """
+        if low is None or high is None:
+            return False
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        for j in range(self.estimator.dimensions):
+            self._column_masses(j, low[:, j], high[:, j])
+        return True
+
     def _sync_stats(self) -> None:
         self.stats.cache_hits = self.cache.hits
         self.stats.cache_misses = self.cache.misses

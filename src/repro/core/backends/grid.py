@@ -132,6 +132,21 @@ class GridBackend(NumpyBackend):
         self._tables = []
         self._table_key = None
 
+    def warm(
+        self,
+        low: Optional[np.ndarray] = None,
+        high: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Build the CDF tables for the current epochs ahead of traffic.
+
+        The tables cover the whole sample range, so the forecast region
+        is irrelevant; a no-op when the current generation's tables
+        already exist.
+        """
+        del low, high
+        self._ensure_tables()
+        return True
+
     # ------------------------------------------------------------------
     # Table construction
     # ------------------------------------------------------------------

@@ -206,6 +206,16 @@ class HashingBackend(NumpyBackend):
             self._index = None
             self._index_epoch = None
 
+    def warm(self, low=None, high=None) -> bool:
+        """Build the bucket index for the current sample epoch eagerly.
+
+        The index depends only on the sample, not the query region; a
+        no-op when the current epoch's index already exists.
+        """
+        del low, high
+        self._ensure_index()
+        return True
+
     # ------------------------------------------------------------------
     # Index construction
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ healthy again.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 import weakref
@@ -327,6 +328,13 @@ class ShardedSampleExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._dirty = False
         self._finalizer = None
+        #: Guards the run-generation bookkeeping below (see :meth:`resize`).
+        self._run_cv = threading.Condition()
+        #: Runs currently inside :meth:`_run_attempts`.
+        self._active_runs = 0
+        #: Completed-run counter; ``resize`` waits on it so a topology
+        #: change never races a batch that is mid-flight.
+        self.run_generation = 0
 
     # -- lifecycle -----------------------------------------------------
     def ensure(self, sample: np.ndarray) -> None:
@@ -476,7 +484,66 @@ class ShardedSampleExecutor:
             )
         return None
 
+    def resize(
+        self,
+        shards: int,
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Change the shard count, never racing an in-flight batch.
+
+        The method waits until every run that was inside
+        :meth:`_run_attempts` when ``resize`` was called has completed
+        (tracked by :attr:`run_generation`), then updates the topology
+        while still holding the run lock — a run arriving during the
+        mutation blocks on the same lock and sees the new topology
+        atomically.  The worker pool is only torn down when the pool
+        *width* actually changes; the next :meth:`ensure` rebuilds it at
+        the new size.  Results are invariant to the shard count (within
+        the documented 1e-12 reduction budget), so resizing is purely a
+        capacity action.
+
+        Returns the effective shard count.  Raises ``TimeoutError`` if
+        the in-flight generation does not drain within ``timeout``
+        seconds (``None`` waits indefinitely).
+        """
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        with self._run_cv:
+            target = self.run_generation + self._active_runs
+            while self.run_generation < target:
+                if not self._run_cv.wait(timeout=timeout):
+                    raise TimeoutError(
+                        "resize timed out waiting for in-flight batches"
+                    )
+            workers = max_workers or min(shards, default_shard_count())
+            rebuild = workers != self.max_workers
+            self.shards = shards
+            self.max_workers = workers
+            if rebuild:
+                # Pool width changes need a rebuild; shard-count-only
+                # changes reuse the live pool (shard_bounds re-splits).
+                self.close()
+            return self.shards
+
     def _run_attempts(
+        self,
+        fn: Callable,
+        sample: np.ndarray,
+        payload,
+        context: Optional[SpanContext],
+    ) -> List:
+        with self._run_cv:
+            self._active_runs += 1
+        try:
+            return self._run_attempts_inner(fn, sample, payload, context)
+        finally:
+            with self._run_cv:
+                self._active_runs -= 1
+                self.run_generation += 1
+                self._run_cv.notify_all()
+
+    def _run_attempts_inner(
         self,
         fn: Callable,
         sample: np.ndarray,
@@ -663,6 +730,39 @@ class ShardedBackend(ExecutionBackend):
     @property
     def shards(self) -> int:
         return self.executor.shards
+
+    def resize(
+        self, shards: int, max_workers: Optional[int] = None
+    ) -> int:
+        """Autoscale the shard count (see :meth:`ShardedSampleExecutor.resize`).
+
+        Safe against in-flight batches and bitwise-neutral per shard:
+        per-element math is shard-local, so any fixed-shard run and any
+        resize schedule agree within the backend's 1e-12 reduction
+        budget (and bit-for-bit when the shard count at evaluation time
+        matches).  Returns the effective shard count.
+        """
+        effective = self.executor.resize(shards, max_workers=max_workers)
+        registry = self._registry()
+        if registry is not None and registry.enabled:
+            registry.gauge("backend.shards", {"backend": self.name}).set(
+                float(effective)
+            )
+        return effective
+
+    def warm(self, low=None, high=None) -> bool:
+        """Pre-spin the worker pool and publish the sample segment.
+
+        The first sharded evaluation otherwise pays pool start-up and
+        the one-time sample publication; warming moves that cost ahead
+        of the forecast spike.  Region bounds are irrelevant (workers
+        map the whole sample).
+        """
+        del low, high
+        if self._estimator is None:
+            return False
+        self.executor.ensure(self.estimator._sample)
+        return True
 
     # -- lifecycle -----------------------------------------------------
     def invalidate(self, reason: str) -> None:

@@ -250,7 +250,12 @@ class KernelDensityEstimator:
         snapshot = self._cache_snapshot()
         with span("estimate", registry, backend=backend_name):
             value = float(self.contributions(query).mean())
-        self._emit_traces(registry, (value,), snapshot)
+        self._emit_traces(
+            registry,
+            (value,),
+            snapshot,
+            QueryBatch(query.low[None, :], query.high[None, :]),
+        )
         return value
 
     # ------------------------------------------------------------------
@@ -433,7 +438,7 @@ class KernelDensityEstimator:
         registry.histogram(
             "estimator.batch_seconds", {"backend": backend_name}
         ).observe(batch_span.seconds)
-        self._emit_traces(registry, estimates, snapshot)
+        self._emit_traces(registry, estimates, snapshot, batch)
         return estimates
 
     # ------------------------------------------------------------------
@@ -444,21 +449,29 @@ class KernelDensityEstimator:
         stats = self.backend.stats
         return stats.cache_hits, stats.cache_misses
 
-    def _emit_traces(self, registry, estimates, cache_snapshot) -> None:
+    def _emit_traces(
+        self, registry, estimates, cache_snapshot, batch=None
+    ) -> None:
         """Record one :class:`~repro.obs.trace.EstimationTrace` per query.
 
         Cache hit/miss counts are the *evaluation's* delta against
         ``cache_snapshot``; queries evaluated in the same batch share it
         (per-query attribution inside one fused block is meaningless).
         Per-shard worker seconds, when the sharded backend just ran,
-        likewise describe the whole evaluation.
+        likewise describe the whole evaluation.  ``batch`` (when given)
+        supplies the per-query box bounds so drift detectors can follow
+        the predicate region.
         """
         stats = self.backend.stats
         hits = stats.cache_hits - cache_snapshot[0]
         misses = stats.cache_misses - cache_snapshot[1]
         shard_seconds = getattr(self.backend, "last_shard_seconds", None)
         backend_name = self.backend.name
-        for value in estimates:
+        for index, value in enumerate(estimates):
+            low = high = None
+            if batch is not None:
+                low = tuple(float(v) for v in batch.low[index])
+                high = tuple(float(v) for v in batch.high[index])
             registry.record_trace(
                 EstimationTrace(
                     query_id=registry.next_query_id(),
@@ -469,6 +482,8 @@ class KernelDensityEstimator:
                     cache_hits=hits,
                     cache_misses=misses,
                     shard_seconds=shard_seconds,
+                    query_low=low,
+                    query_high=high,
                 )
             )
 

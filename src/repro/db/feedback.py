@@ -245,6 +245,12 @@ class FeedbackLoop:
                     ),
                     sample_epoch=getattr(self.estimator, "sample_epoch", 0),
                     stage="feedback",
+                    query_low=tuple(
+                        float(v) for v in observation.query.low
+                    ),
+                    query_high=tuple(
+                        float(v) for v in observation.query.high
+                    ),
                 )
             )
 

@@ -249,50 +249,16 @@ class DeviceContext:
     def profile(self) -> Dict[str, object]:
         """Where the modelled time went — a thin view over ``metrics``.
 
-        Returns a dict with one entry per kernel (launch count + total
-        modelled seconds), per-direction transfer totals (bytes +
-        seconds), and the aggregate split between compute and transfer
-        time.  Every number is read back from the context's registry
-        (``device.kernel.seconds`` / ``device.transfer.*`` aggregates),
-        so it reflects everything metered since construction
-        (``reset_clock`` only rewinds the clock, not the registry).
+        Delegates to :func:`repro.obs.device_profile` for this context's
+        registry and device name; every number is read back from the
+        registry (``device.kernel.seconds`` / ``device.transfer.*``
+        aggregates), so it reflects everything metered since
+        construction (``reset_clock`` only rewinds the clock, not the
+        registry).  The unified exporter,
+        :func:`repro.obs.export_metrics`, embeds the same profile in its
+        JSON ``"devices"`` section — prefer it when exporting more than
+        one surface.
         """
-        device = self.spec.name
-        kernels: Dict[str, Dict[str, float]] = {}
-        transfers: Dict[str, Dict[str, float]] = {
-            direction: {"count": 0, "bytes": 0, "seconds": 0.0}
-            for direction in ("to_device", "to_host")
-        }
-        for histogram in self.metrics.iter_histograms():
-            labels = dict(histogram.labels)
-            if labels.get("device") != device:
-                continue
-            if histogram.name == "device.kernel.seconds":
-                kernels[labels["kernel"]] = {
-                    "launches": histogram.count,
-                    "seconds": histogram.sum,
-                }
-            elif histogram.name == "device.transfer.seconds":
-                entry = transfers.get(labels.get("direction"))
-                if entry is not None:
-                    entry["count"] = histogram.count
-                    entry["seconds"] = histogram.sum
-        for direction, entry in transfers.items():
-            entry["bytes"] = int(
-                self.metrics.counter_value(
-                    "device.transfer.bytes",
-                    {"device": device, "direction": direction},
-                )
-            )
-        kernel_total = sum(entry["seconds"] for entry in kernels.values())
-        transfer_total = sum(
-            entry["seconds"] for entry in transfers.values()
-        )
-        return {
-            "device": device,
-            "kernels": kernels,
-            "transfers": transfers,
-            "kernel_seconds": kernel_total,
-            "transfer_seconds": transfer_total,
-            "total_seconds": kernel_total + transfer_total,
-        }
+        from ..obs.export import device_profile
+
+        return device_profile(self.metrics, self.spec.name)

@@ -1,0 +1,51 @@
+"""``repro.forecast`` — workload forecasting and proactive control.
+
+The predictive rung on top of the paper's reactive §4 loop (see DESIGN
+§9): lightweight forecasters over the :mod:`repro.obs` stream predict
+per-model query volume and predicate-region drift, and a
+:class:`ProactiveController` drives the serving stack's actuators —
+shard autoscaling (:meth:`~repro.core.backends.sharded.ShardedBackend.
+resize`), eager reader warming (:meth:`~repro.serve.server.
+SnapshotServer.warm`), scheduled publication ahead of predicted spikes,
+and drift-triggered bandwidth re-optimisation — *before* load or error
+arrives instead of after.
+
+* :class:`Forecaster` family — moving-average, EWMA, linear-trend
+  (:func:`make_forecaster` by name).
+* :class:`DriftDetector` — query-box centroid/volume shift against the
+  served sample distribution.
+* :class:`TraceTap` — incremental, loss-accounted reader over the
+  registry's bounded trace log.
+* :class:`ProactiveController` — the control loop tying them to the
+  actuators.
+"""
+
+from .controller import (
+    ControllerAction,
+    ControllerConfig,
+    ProactiveController,
+)
+from .drift import DriftDetector, DriftReport
+from .forecasters import (
+    EwmaForecaster,
+    Forecaster,
+    LinearTrendForecaster,
+    MovingAverageForecaster,
+    make_forecaster,
+)
+from .taps import TapSample, TraceTap
+
+__all__ = [
+    "ControllerAction",
+    "ControllerConfig",
+    "DriftDetector",
+    "DriftReport",
+    "EwmaForecaster",
+    "Forecaster",
+    "LinearTrendForecaster",
+    "MovingAverageForecaster",
+    "ProactiveController",
+    "TapSample",
+    "TraceTap",
+    "make_forecaster",
+]

@@ -1,0 +1,639 @@
+"""The proactive control loop: forecast, then provision.
+
+The paper's §4 feedback loop is reactive — bandwidths move *after*
+errors are observed, caches warm *after* misses, breakers trip *after*
+failures.  :class:`ProactiveController` adds the predictive rung: it
+periodically polls each served model's demand and predicate-region
+signals, forecasts the next interval, and drives three actuators
+*before* the load or drift arrives:
+
+1. **Shard autoscaling** — when a model's published reader runs the
+   sharded backend, the controller resizes its process pool to
+   ``ceil(predicted_rate / queries_per_shard)`` (clamped), growing
+   eagerly and shrinking only after ``scale_down_patience`` consecutive
+   below-target forecasts (hysteresis, so a noisy forecast cannot
+   thrash the pool).  :meth:`~repro.core.backends.sharded.
+   ShardedSampleExecutor.resize` waits out in-flight batches, so the
+   resize is invisible to concurrent readers.
+2. **Eager warming** — every new publication's reader starts cold
+   (empty CDF-term cache, unbuilt grid tables / hash index, unspun
+   pool).  The controller calls :meth:`~repro.serve.server.
+   SnapshotServer.warm` with the lane's recent query boxes whenever the
+   publication sequence advances, so the first post-publication query
+   pays a lookup, not a build.
+3. **Scheduled publication** — when the forecast predicts a spike
+   (``predicted >= spike_factor * current``) and the writer holds
+   unpublished feedback, the controller publishes *now* (and warms the
+   fresh reader), instead of letting the spike land on a stale snapshot
+   that the first feedback of the burst would then republish mid-storm.
+
+A :class:`~repro.forecast.drift.DriftDetector` per model watches
+query-box centroids/volumes against the served sample distribution;
+sustained drift triggers a bandwidth re-optimisation from the recent
+feedback workload (Eq. 17 via :func:`~repro.core.optimize.
+optimize_bandwidth`) — retuning *before* Q-error degrades rather than
+after.
+
+Every decision is observable: ``forecast.*`` gauges expose the measured
+and predicted rates and the drift score, ``controller.*`` counters the
+actions taken, all labelled ``{"model": "table/col1,col2"}``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.backends.sharded import ShardedBackend
+from ..core.gradient import QueryFeedback
+from ..core.optimize import optimize_bandwidth
+from ..geometry import Box
+from ..obs import MetricsRegistry, get_registry
+from ..serve.registry import ModelRegistry
+from ..serve.server import SnapshotServer
+from .drift import DriftDetector
+from .forecasters import Forecaster, make_forecaster
+from .taps import TraceTap
+
+__all__ = ["ControllerAction", "ControllerConfig", "ProactiveController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning knobs for :class:`ProactiveController`.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between control steps when running threaded
+        (:meth:`ProactiveController.start`); :meth:`step` can also be
+        driven manually at any cadence.
+    horizon:
+        Seconds ahead the demand forecast targets (the provisioning
+        lead time).  Defaults to one interval.
+    forecaster:
+        Forecaster kind for per-model demand: ``"moving-average"``,
+        ``"ewma"`` or ``"linear"`` (see :mod:`repro.forecast.forecasters`).
+    window:
+        Forecaster window (ignored by ``"ewma"``).
+    ewma_alpha:
+        EWMA smoothing factor (ignored by the windowed forecasters).
+    queries_per_shard:
+        Autoscaling setpoint: one shard per this many predicted
+        queries/second.
+    min_shards / max_shards:
+        Clamp on the autoscaled shard count.
+    scale_down_patience:
+        Consecutive below-target forecasts required before shrinking
+        (scale-up is immediate; hysteresis only guards the shrink).
+    spike_factor:
+        Publish ahead of a predicted spike of at least this multiple of
+        the current rate.
+    min_publish_staleness:
+        Unpublished writer feedbacks required before a scheduled
+        publication (publishing an unchanged state is a no-op cost).
+    warm_on_publish:
+        Warm every newly observed publication's reader eagerly.
+    drift_threshold / drift_window / min_drift_samples / volume_factor:
+        Forwarded to each model's :class:`~repro.forecast.drift.
+        DriftDetector`.
+    retune_cooldown:
+        Minimum seconds between drift-triggered bandwidth retunes per
+        model.
+    min_retune_feedbacks:
+        Feedback observations required in the retune workload before a
+        re-optimisation is attempted.
+    retune_starts / retune_seed:
+        Forwarded to :func:`~repro.core.optimize.optimize_bandwidth`
+        (few starts — a retune refines a tuned model, it does not train
+        from scratch).
+    """
+
+    interval: float = 1.0
+    horizon: Optional[float] = None
+    forecaster: str = "linear"
+    window: int = 8
+    ewma_alpha: float = 0.3
+    queries_per_shard: float = 256.0
+    min_shards: int = 1
+    max_shards: int = 8
+    scale_down_patience: int = 3
+    spike_factor: float = 2.0
+    min_publish_staleness: int = 1
+    warm_on_publish: bool = True
+    drift_threshold: float = 3.0
+    drift_window: int = 64
+    min_drift_samples: int = 16
+    volume_factor: Optional[float] = 8.0
+    retune_cooldown: float = 30.0
+    min_retune_feedbacks: int = 8
+    retune_starts: int = 2
+    retune_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.horizon is not None and self.horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if self.queries_per_shard <= 0:
+            raise ValueError("queries_per_shard must be positive")
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be at least 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.scale_down_patience < 1:
+            raise ValueError("scale_down_patience must be at least 1")
+        if self.spike_factor <= 1.0:
+            raise ValueError("spike_factor must exceed 1")
+        if self.min_publish_staleness < 1:
+            raise ValueError("min_publish_staleness must be at least 1")
+        if self.retune_cooldown < 0:
+            raise ValueError("retune_cooldown must be non-negative")
+        if self.min_retune_feedbacks < 1:
+            raise ValueError("min_retune_feedbacks must be at least 1")
+        make_forecaster(
+            self.forecaster,
+            **(
+                {"alpha": self.ewma_alpha}
+                if self.forecaster == "ewma"
+                else {"window": self.window}
+            ),
+        )  # fail fast on bad forecaster specs
+
+    @property
+    def effective_horizon(self) -> float:
+        return self.interval if self.horizon is None else self.horizon
+
+
+@dataclass(frozen=True)
+class ControllerAction:
+    """One actuator decision, for logs/tests/bench reporting."""
+
+    #: ``"scale"``, ``"warm"``, ``"publish"`` or ``"retune"``.
+    kind: str
+    #: ``"table/col1,col2"`` label of the model acted on.
+    model: str
+    #: Actuator-specific detail (old/new shard counts, drift score, ...).
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class _ModelState:
+    """Per-served-model controller bookkeeping."""
+
+    def __init__(
+        self, server: SnapshotServer, config: ControllerConfig
+    ) -> None:
+        self.server = server
+        if config.forecaster == "ewma":
+            options = {"alpha": config.ewma_alpha}
+        else:
+            options = {"window": config.window}
+        self.forecaster: Forecaster = make_forecaster(
+            config.forecaster, **options
+        )
+        self.drift = DriftDetector(
+            threshold=config.drift_threshold,
+            window=config.drift_window,
+            min_samples=config.min_drift_samples,
+            volume_factor=config.volume_factor,
+        )
+        self.drift.set_reference_from_sample(server.published.state.sample)
+        self.last_time: Optional[float] = None
+        self.last_reads = 0
+        self.last_frontend_requests = 0
+        self.below_target_streak = 0
+        self.warmed_sequence = 0
+        self.last_retune: Optional[float] = None
+        self.feedbacks: List[QueryFeedback] = []
+
+
+class ProactiveController:
+    """Forecast-driven actuator loop over a :class:`ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The served-model map to control.  Models registered after
+        construction are picked up on the next step.
+    config:
+        Tuning knobs (see :class:`ControllerConfig`).
+    metrics:
+        Registry for the controller's own telemetry *and* the trace tap
+        feeding drift detection; ``None`` uses the process-wide one.
+        Drift detection and trace-driven retuning need metrics enabled
+        (the trace log lives in the registry); demand forecasting and
+        autoscaling work either way via
+        :attr:`~repro.serve.server.SnapshotServer.read_count`.
+    frontend:
+        Optional :class:`~repro.serve.frontend.EstimatorFrontend`.  The
+        front end answers queries from the published reader directly
+        (bypassing ``server.estimate_batch``), so when one is attached
+        the controller reads demand from the lane's request counters and
+        regions from :meth:`~repro.serve.frontend.EstimatorFrontend.
+        recent_queries` instead of the server-side read counter.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    retune:
+        Override for the drift actuator: called as
+        ``retune(server, feedbacks)`` with the recent
+        :class:`~repro.core.gradient.QueryFeedback` workload; the
+        default re-optimises the writer's bandwidths and republishes.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        config: Optional[ControllerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        frontend=None,
+        clock: Callable[[], float] = time.monotonic,
+        retune: Optional[Callable[[SnapshotServer, List[QueryFeedback]], None]] = None,
+    ) -> None:
+        self._registry_map = registry
+        self.config = config if config is not None else ControllerConfig()
+        self._metrics = metrics
+        self._frontend = frontend
+        self._clock = clock
+        self._retune = retune
+        self._states: Dict[Tuple[str, Tuple[str, ...]], _ModelState] = {}
+        self._tap = TraceTap(self._registry())
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._lock = threading.Lock()
+        #: Every action ever taken, oldest first (bench/test evidence).
+        self.actions: List[ControllerAction] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ProactiveController":
+        """Run :meth:`step` every ``config.interval`` seconds in a thread."""
+        if self._thread is not None:
+            return self
+        self._stop_event.clear()
+
+        def _loop() -> None:
+            while not self._stop_event.wait(self.config.interval):
+                try:
+                    self.step()
+                except Exception:
+                    # The control loop must never die silently mid-run;
+                    # a failed step is counted and the loop continues —
+                    # the actuators are all idempotent.
+                    self._registry().counter("controller.step_errors").inc()
+
+        self._thread = threading.Thread(
+            target=_loop, name="proactive-controller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ProactiveController":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # The control step
+    # ------------------------------------------------------------------
+    def step(self, now: Optional[float] = None) -> List[ControllerAction]:
+        """One forecast-and-actuate pass over every served model.
+
+        Returns the actions taken this step (also appended to
+        :attr:`actions`).  The first step for a model only baselines its
+        counters — forecasts need a measured interval.
+        """
+        with self._lock:
+            now = self._clock() if now is None else float(now)
+            actions: List[ControllerAction] = []
+            self._ingest_traces()
+            for key, server in self._registry_map.items():
+                state = self._states.get(key)
+                if state is None:
+                    state = _ModelState(server, self.config)
+                    self._states[key] = state
+                elif state.server is not server:
+                    # The key was re-registered with a different server;
+                    # stale forecasts would mis-provision it.
+                    state = _ModelState(server, self.config)
+                    self._states[key] = state
+                actions.extend(self._step_model(key, state, now))
+            self.actions.extend(actions)
+            return actions
+
+    def _step_model(
+        self,
+        key: Tuple[str, Tuple[str, ...]],
+        state: _ModelState,
+        now: float,
+    ) -> List[ControllerAction]:
+        label = f"{key[0]}/{','.join(key[1])}"
+        labels = {"model": label}
+        registry = self._registry()
+        actions: List[ControllerAction] = []
+        server = state.server
+
+        demand = self._demand(key, server)
+        if state.last_time is None:
+            # Baseline step: record counters, no rate measurable yet.
+            state.last_time = now
+            state.last_reads = demand
+            return actions
+        elapsed = now - state.last_time
+        if elapsed <= 0:
+            return actions
+        rate = max(0.0, (demand - state.last_reads) / elapsed)
+        state.last_time = now
+        state.last_reads = demand
+        state.forecaster.observe(now, rate)
+        predicted = max(
+            0.0, state.forecaster.forecast(self.config.effective_horizon)
+        )
+        registry.gauge("forecast.rate", labels).set(rate)
+        registry.gauge("forecast.predicted_rate", labels).set(predicted)
+
+        # Region signal: the frontend's recent boxes feed the drift
+        # detector directly (trace-driven ingestion covers the
+        # server-side path in _ingest_traces).
+        recent_boxes = self._recent_boxes(key)
+        for box in recent_boxes:
+            center = tuple(
+                (float(lo) + float(hi)) / 2.0
+                for lo, hi in zip(box.low, box.high)
+            )
+            volume = 1.0
+            for lo, hi in zip(box.low, box.high):
+                volume *= max(0.0, float(hi) - float(lo))
+            state.drift.observe(center, volume)
+
+        # Warm runs last so it covers whatever publication the earlier
+        # actuators (publish-ahead, retune) just created — a reader the
+        # controller itself published must never be left cold.
+        actions.extend(self._autoscale(state, predicted, labels))
+        actions.extend(self._publish_ahead(state, rate, predicted, labels))
+        actions.extend(self._retune_on_drift(state, now, labels))
+        actions.extend(self._warm(state, recent_boxes, labels))
+        for action in actions:
+            registry.counter(
+                f"controller.{action.kind}_events", labels
+            ).inc()
+        return actions
+
+    # -- signals --------------------------------------------------------
+    def _demand(
+        self, key: Tuple[str, Tuple[str, ...]], server: SnapshotServer
+    ) -> int:
+        """Cumulative queries answered for this model.
+
+        The front end evaluates published readers directly, so its lane
+        counters see traffic ``server.read_count`` never does; both are
+        cumulative, so their sum differences cleanly.
+        """
+        demand = server.read_count
+        if self._frontend is not None:
+            try:
+                demand += self._frontend.stats(key[0], key[1]).requests
+            except KeyError:
+                pass
+        return demand
+
+    def _recent_boxes(self, key: Tuple[str, Tuple[str, ...]]) -> List[Box]:
+        if self._frontend is None:
+            return []
+        try:
+            return self._frontend.recent_queries(key[0], key[1])
+        except KeyError:
+            return []
+
+    def _ingest_traces(self) -> None:
+        """Fold new estimation traces into every model's drift/retune state.
+
+        Traces are not labelled per model (the registry is shared), so
+        region records are attributed to the model whose dimensionality
+        matches — exact when served models have distinct dimensions, and
+        a conservative broadcast (same record to all same-dimension
+        models) otherwise.
+        """
+        sample = self._tap.poll()
+        if not sample.traces:
+            return
+        by_dim: Dict[int, List[_ModelState]] = {}
+        for state in self._states.values():
+            dims = int(state.server.published.state.sample.shape[1])
+            by_dim.setdefault(dims, []).append(state)
+        for trace in sample.traces:
+            if trace.query_low is None or trace.query_high is None:
+                continue
+            states = by_dim.get(len(trace.query_low), ())
+            for state in states:
+                # Every bounded trace is region signal, whatever its
+                # stage: a drifted feedback workload must register as
+                # drift even when the query path bypasses tracing.
+                center = trace.query_center
+                if center is not None:
+                    state.drift.observe(center, trace.query_volume)
+                if trace.stage == "feedback" and trace.actual is not None:
+                    try:
+                        feedback = QueryFeedback(
+                            Box(
+                                np.asarray(trace.query_low),
+                                np.asarray(trace.query_high),
+                            ),
+                            float(trace.actual),
+                        )
+                    except ValueError:
+                        continue
+                    state.feedbacks.append(feedback)
+                    del state.feedbacks[: -4 * self.config.drift_window]
+
+    # -- actuators ------------------------------------------------------
+    def _autoscale(
+        self,
+        state: _ModelState,
+        predicted: float,
+        labels: Dict[str, str],
+    ) -> List[ControllerAction]:
+        backend = getattr(state.server.published.reader, "_backend", None)
+        if not isinstance(backend, ShardedBackend):
+            return []
+        config = self.config
+        target = max(
+            config.min_shards,
+            min(
+                config.max_shards,
+                int(math.ceil(predicted / config.queries_per_shard)) or 1,
+            ),
+        )
+        current = backend.shards
+        self._registry().gauge("controller.target_shards", labels).set(
+            float(target)
+        )
+        if target > current:
+            state.below_target_streak = 0
+            backend.resize(target)
+        elif target < current:
+            # Hysteresis: shrink only after sustained low forecasts.
+            state.below_target_streak += 1
+            if state.below_target_streak < config.scale_down_patience:
+                return []
+            state.below_target_streak = 0
+            backend.resize(target)
+        else:
+            state.below_target_streak = 0
+            return []
+        return [
+            ControllerAction(
+                kind="scale",
+                model=labels["model"],
+                detail={
+                    "from": current,
+                    "to": target,
+                    "predicted_rate": predicted,
+                },
+            )
+        ]
+
+    def _publish_ahead(
+        self,
+        state: _ModelState,
+        rate: float,
+        predicted: float,
+        labels: Dict[str, str],
+    ) -> List[ControllerAction]:
+        config = self.config
+        server = state.server
+        if server.staleness < config.min_publish_staleness:
+            return []
+        spiking = predicted >= config.spike_factor * max(rate, 1e-9)
+        if not (spiking and predicted > 0.0):
+            return []
+        server.publish()
+        return [
+            ControllerAction(
+                kind="publish",
+                model=labels["model"],
+                detail={"rate": rate, "predicted_rate": predicted},
+            )
+        ]
+
+    def _warm(
+        self,
+        state: _ModelState,
+        recent_boxes: List[Box],
+        labels: Dict[str, str],
+    ) -> List[ControllerAction]:
+        if not self.config.warm_on_publish:
+            return []
+        server = state.server
+        sequence = server.published.sequence
+        if sequence == state.warmed_sequence:
+            return []
+        warmed = server.warm(recent_boxes if recent_boxes else None)
+        state.warmed_sequence = sequence
+        if not warmed:
+            return []
+        return [
+            ControllerAction(
+                kind="warm",
+                model=labels["model"],
+                detail={
+                    "sequence": sequence,
+                    "queries": len(recent_boxes),
+                },
+            )
+        ]
+
+    def _retune_on_drift(
+        self,
+        state: _ModelState,
+        now: float,
+        labels: Dict[str, str],
+    ) -> List[ControllerAction]:
+        config = self.config
+        registry = self._registry()
+        if not state.drift.has_reference:
+            return []
+        report = state.drift.check()
+        registry.gauge("forecast.drift_score", labels).set(report.score)
+        if not report.drifted:
+            return []
+        if (
+            state.last_retune is not None
+            and now - state.last_retune < config.retune_cooldown
+        ):
+            return []
+        workload = state.feedbacks[-config.drift_window:]
+        if len(workload) < config.min_retune_feedbacks:
+            return []
+        state.last_retune = now
+        if self._retune is not None:
+            self._retune(state.server, list(workload))
+        elif not self._default_retune(state.server, workload):
+            return []
+        state.drift.rebase()
+        return [
+            ControllerAction(
+                kind="retune",
+                model=labels["model"],
+                detail={
+                    "drift_score": report.score,
+                    "volume_ratio": report.volume_ratio,
+                    "feedbacks": len(workload),
+                },
+            )
+        ]
+
+    def _default_retune(
+        self, server: SnapshotServer, workload: List[QueryFeedback]
+    ) -> bool:
+        """Re-optimise the writer's bandwidths from the recent workload.
+
+        Runs a short multi-start optimisation (Eq. 17 gradients) on the
+        published state's sample, assigns the result through the writer
+        model's bandwidth setter (which bumps the epoch and invalidates
+        backends), and republishes so readers see the retuned model
+        immediately.  Returns ``False`` — no action — for models
+        without a settable ``bandwidth`` property.
+        """
+        model = server.model
+        prop = getattr(type(model), "bandwidth", None)
+        if not isinstance(prop, property) or prop.fset is None:
+            return False
+        sample = server.published.state.sample
+        result = optimize_bandwidth(
+            np.asarray(sample, dtype=np.float64),
+            workload,
+            starts=self.config.retune_starts,
+            seed=self.config.retune_seed,
+        )
+        model.bandwidth = result.bandwidth
+        server.publish()
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics if self._metrics is not None else get_registry()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProactiveController(models={len(self._states)}, "
+            f"actions={len(self.actions)}, "
+            f"running={self._thread is not None})"
+        )

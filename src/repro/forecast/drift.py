@@ -1,0 +1,223 @@
+"""Predicate-region drift detection against the model's sample.
+
+Learned estimators retrain when the *queried* region walks away from the
+distribution the model was fitted on (the staleness triggers of Naru-
+style estimators, PAPERS.md).  The KDE analogue: the bandwidth vector
+was tuned for the feedback workload seen so far, so when query-box
+centroids shift — measured in units of the sample's per-dimension spread
+— the current bandwidths are tuned for the wrong region and Q-error will
+degrade *after* the shift hits.  :class:`DriftDetector` raises that flag
+early so the :class:`~repro.forecast.ProactiveController` can re-optimise
+bandwidths before the errors arrive, upgrading the paper's reactive §4
+loop to a predictive one.
+
+Mechanics: the detector holds a per-dimension *reference* (mean and
+scale, usually taken from the served model's sample) and a bounded
+window of recent query-box centers/volumes.  ``check()`` scores the
+shift of the recent center mean against the reference in scale units
+(a z-score per dimension; the max is the headline score) and tracks the
+ratio of recent mean query volume to the reference volume.  ``rebase``
+re-anchors the reference after a retune so one drift episode fires one
+retune, not an endless train of them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DriftDetector", "DriftReport"]
+
+#: Scale floor so a constant dimension can't blow the z-score up.
+_SCALE_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift check: headline score, per-dimension detail, verdict."""
+
+    #: Max per-dimension z-score of the recent center mean.
+    score: float
+    #: Per-dimension z-scores, reference-scale units.
+    dimension_scores: Tuple[float, ...]
+    #: Recent mean query volume / reference volume (1.0 when unknown).
+    volume_ratio: float
+    #: Recent centers the verdict was computed over.
+    samples: int
+    #: True when the detector considers the workload drifted.
+    drifted: bool
+
+
+class DriftDetector:
+    """Centroid/volume drift of recent query boxes vs a reference.
+
+    Parameters
+    ----------
+    threshold:
+        Headline z-score at or above which ``check()`` reports drift.
+    window:
+        Recent query centers/volumes retained (bounded deque).
+    min_samples:
+        Minimum recent centers before a verdict; below it ``check()``
+        reports ``drifted=False`` regardless of the score.
+    volume_factor:
+        Also report drift when the recent/reference volume ratio leaves
+        ``[1/volume_factor, volume_factor]`` — a workload that suddenly
+        asks much wider (or narrower) boxes needs retuned bandwidths
+        even if its centroid stayed put.  ``None`` disables the volume
+        criterion.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 3.0,
+        window: int = 64,
+        min_samples: int = 16,
+        volume_factor: Optional[float] = 8.0,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if volume_factor is not None and volume_factor <= 1.0:
+            raise ValueError("volume_factor must exceed 1")
+        self.threshold = float(threshold)
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.volume_factor = volume_factor
+        self._reference_mean: Optional[np.ndarray] = None
+        self._reference_scale: Optional[np.ndarray] = None
+        self._reference_volume: Optional[float] = None
+        self._centers: Deque[Tuple[float, ...]] = deque(maxlen=self.window)
+        self._volumes: Deque[float] = deque(maxlen=self.window)
+
+    # ------------------------------------------------------------------
+    # Reference management
+    # ------------------------------------------------------------------
+    def set_reference(
+        self,
+        mean: Sequence[float],
+        scale: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Anchor the reference centroid (and optional per-dim scale)."""
+        self._reference_mean = np.asarray(mean, dtype=np.float64)
+        if scale is None:
+            self._reference_scale = np.ones_like(self._reference_mean)
+        else:
+            self._reference_scale = np.maximum(
+                np.asarray(scale, dtype=np.float64), _SCALE_FLOOR
+            )
+        if self._reference_mean.shape != self._reference_scale.shape:
+            raise ValueError("mean and scale must have the same shape")
+
+    def set_reference_from_sample(self, sample: np.ndarray) -> None:
+        """Reference = the model sample's per-dimension mean and std.
+
+        This is the anchoring the controller uses: "drift" then means
+        the queried region walking away from the data distribution the
+        served model represents, in units of that distribution's spread.
+        """
+        sample = np.asarray(sample, dtype=np.float64)
+        self.set_reference(sample.mean(axis=0), sample.std(axis=0))
+
+    @property
+    def has_reference(self) -> bool:
+        return self._reference_mean is not None
+
+    # ------------------------------------------------------------------
+    # Observation + verdict
+    # ------------------------------------------------------------------
+    def observe(
+        self, center: Sequence[float], volume: Optional[float] = None
+    ) -> None:
+        """Record one query box's center (and optionally its volume)."""
+        self._centers.append(tuple(float(c) for c in center))
+        if volume is not None:
+            self._volumes.append(float(volume))
+
+    @property
+    def samples(self) -> int:
+        return len(self._centers)
+
+    def check(self) -> DriftReport:
+        """Score the recent window against the reference."""
+        if self._reference_mean is None:
+            raise RuntimeError(
+                "set_reference (or set_reference_from_sample) first"
+            )
+        n = len(self._centers)
+        if n == 0:
+            return DriftReport(
+                score=0.0,
+                dimension_scores=tuple(
+                    0.0 for _ in range(self._reference_mean.shape[0])
+                ),
+                volume_ratio=1.0,
+                samples=0,
+                drifted=False,
+            )
+        centers = np.asarray(self._centers, dtype=np.float64)
+        if centers.shape[1] != self._reference_mean.shape[0]:
+            raise ValueError(
+                f"centers have {centers.shape[1]} dimensions, reference "
+                f"has {self._reference_mean.shape[0]}"
+            )
+        recent_mean = centers.mean(axis=0)
+        scores = np.abs(recent_mean - self._reference_mean) / np.maximum(
+            self._reference_scale, _SCALE_FLOOR
+        )
+        score = float(scores.max())
+        volume_ratio = 1.0
+        volume_drift = False
+        if self._volumes:
+            recent_volume = float(np.mean(self._volumes))
+            if self._reference_volume is None:
+                # First window with volumes anchors the volume reference.
+                self._reference_volume = recent_volume
+            reference = max(self._reference_volume, _SCALE_FLOOR)
+            volume_ratio = recent_volume / reference
+            if self.volume_factor is not None:
+                volume_drift = (
+                    volume_ratio >= self.volume_factor
+                    or volume_ratio <= 1.0 / self.volume_factor
+                )
+        drifted = n >= self.min_samples and (
+            score >= self.threshold or volume_drift
+        )
+        return DriftReport(
+            score=score,
+            dimension_scores=tuple(float(s) for s in scores),
+            volume_ratio=volume_ratio,
+            samples=n,
+            drifted=drifted,
+        )
+
+    def rebase(self, sample: Optional[np.ndarray] = None) -> None:
+        """Re-anchor after a retune: new reference, empty recent window.
+
+        With ``sample`` given the reference is re-derived from it;
+        otherwise the recent center mean becomes the new reference
+        centroid (scales are kept — the sample spread did not change
+        just because the workload moved).
+        """
+        if sample is not None:
+            self.set_reference_from_sample(sample)
+        elif self._centers:
+            centers = np.asarray(self._centers, dtype=np.float64)
+            self._reference_mean = centers.mean(axis=0)
+        if self._volumes:
+            self._reference_volume = float(np.mean(self._volumes))
+        self._centers.clear()
+        self._volumes.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DriftDetector(threshold={self.threshold}, "
+            f"samples={len(self._centers)}, "
+            f"reference={'set' if self.has_reference else 'unset'})"
+        )

@@ -1,0 +1,233 @@
+"""Lightweight time-series forecasters for the proactive control loop.
+
+The controller needs *cheap, explainable* one-step-ahead predictions of
+per-model query volume — the forecast-then-provision shape of
+provisioning systems — not a learned model: each forecaster is O(window)
+memory, O(1)–O(window) per observation, and fully deterministic.  Three
+classical estimators cover the workload shapes the bench drives:
+
+* :class:`MovingAverageForecaster` — robust level estimate; lags trends.
+* :class:`EwmaForecaster` — exponentially weighted level; tracks bursts
+  faster for the same memory, still horizon-flat.
+* :class:`LinearTrendForecaster` — least-squares line over the recent
+  ``(t, v)`` window; the only one whose forecast *extrapolates* with the
+  horizon, so ramps are anticipated rather than chased.
+
+All three share one contract: feed ``observe(t, value)`` with a
+monotonic timestamp (see :class:`~repro.obs.trace.EstimationTrace`'s
+``timestamp`` field — rates must come from timestamp spans, never record
+counts) and read ``forecast(horizon)`` for the predicted value
+``horizon`` seconds past the latest observation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = [
+    "EwmaForecaster",
+    "Forecaster",
+    "LinearTrendForecaster",
+    "MovingAverageForecaster",
+    "make_forecaster",
+]
+
+
+class Forecaster:
+    """Base contract: observe ``(t, value)`` points, predict ahead.
+
+    ``observe`` timestamps must be non-decreasing (monotonic clock);
+    ``forecast(horizon)`` predicts the series value ``horizon`` seconds
+    after the most recent observation and raises ``ValueError`` before
+    any observation arrived (a forecast from nothing is a bug in the
+    caller, not a zero).
+    """
+
+    #: Registry name, set by subclasses.
+    kind: str = ""
+
+    def __init__(self) -> None:
+        self._last_t: Optional[float] = None
+
+    @property
+    def observations(self) -> int:
+        """Observations absorbed since construction / the last reset."""
+        raise NotImplementedError
+
+    def observe(self, t: float, value: float) -> None:
+        if self._last_t is not None and t < self._last_t:
+            raise ValueError(
+                f"observation timestamps must be non-decreasing "
+                f"({t} < {self._last_t}); use a monotonic clock"
+            )
+        self._last_t = float(t)
+        self._observe(float(t), float(value))
+
+    def forecast(self, horizon: float = 0.0) -> float:
+        if self._last_t is None:
+            raise ValueError("forecast() before any observation")
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        return self._forecast(float(horizon))
+
+    def reset(self) -> None:
+        self._last_t = None
+
+    # -- subclass hooks -------------------------------------------------
+    def _observe(self, t: float, value: float) -> None:
+        raise NotImplementedError
+
+    def _forecast(self, horizon: float) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(observations={self.observations})"
+
+
+class MovingAverageForecaster(Forecaster):
+    """Mean of the last ``window`` values; horizon-flat."""
+
+    kind = "moving-average"
+
+    def __init__(self, window: int = 8) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = int(window)
+        self._values: Deque[float] = deque(maxlen=self.window)
+
+    @property
+    def observations(self) -> int:
+        return len(self._values)
+
+    def _observe(self, t: float, value: float) -> None:
+        self._values.append(value)
+
+    def _forecast(self, horizon: float) -> float:
+        return sum(self._values) / len(self._values)
+
+    def reset(self) -> None:
+        super().reset()
+        self._values.clear()
+
+
+class EwmaForecaster(Forecaster):
+    """Exponentially weighted moving average; horizon-flat.
+
+    ``level <- alpha * value + (1 - alpha) * level`` per observation —
+    larger ``alpha`` chases bursts faster at the price of more noise.
+    """
+
+    kind = "ewma"
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = float(alpha)
+        self._level: Optional[float] = None
+        self._count = 0
+
+    @property
+    def observations(self) -> int:
+        return self._count
+
+    def _observe(self, t: float, value: float) -> None:
+        if self._level is None:
+            self._level = value
+        else:
+            self._level += self.alpha * (value - self._level)
+        self._count += 1
+
+    def _forecast(self, horizon: float) -> float:
+        assert self._level is not None
+        return self._level
+
+    def reset(self) -> None:
+        super().reset()
+        self._level = None
+        self._count = 0
+
+
+class LinearTrendForecaster(Forecaster):
+    """Least-squares line over the last ``window`` ``(t, value)`` points.
+
+    The only forecaster here that uses the horizon: on an exactly linear
+    series it recovers the slope exactly (the known-answer tests pin
+    this) and ``forecast(h)`` extrapolates ``value(t_last + h)``.  With
+    a single point (or zero time spread) it degrades to the level.
+    """
+
+    kind = "linear"
+
+    def __init__(self, window: int = 8) -> None:
+        super().__init__()
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.window = int(window)
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=self.window)
+
+    @property
+    def observations(self) -> int:
+        return len(self._points)
+
+    def _observe(self, t: float, value: float) -> None:
+        self._points.append((t, value))
+
+    def _fit(self) -> Tuple[float, float, float]:
+        """``(intercept, slope, t_last)`` of the least-squares line.
+
+        Times are centred on their mean before fitting so monotonic
+        timestamps (large absolute values) cost no precision.
+        """
+        points = self._points
+        n = len(points)
+        t_last = points[-1][0]
+        t_mean = sum(t for t, _ in points) / n
+        v_mean = sum(v for _, v in points) / n
+        stt = sum((t - t_mean) ** 2 for t, _ in points)
+        if stt == 0.0:
+            return v_mean, 0.0, t_last
+        stv = sum((t - t_mean) * (v - v_mean) for t, v in points)
+        slope = stv / stt
+        return v_mean - slope * t_mean, slope, t_last
+
+    @property
+    def slope(self) -> float:
+        """Fitted values-per-second slope (0.0 with <2 distinct times)."""
+        if not self._points:
+            return 0.0
+        return self._fit()[1]
+
+    def _forecast(self, horizon: float) -> float:
+        intercept, slope, t_last = self._fit()
+        return intercept + slope * (t_last + horizon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._points.clear()
+
+
+_FORECASTERS = {
+    MovingAverageForecaster.kind: MovingAverageForecaster,
+    EwmaForecaster.kind: EwmaForecaster,
+    LinearTrendForecaster.kind: LinearTrendForecaster,
+}
+
+
+def make_forecaster(kind: str, **options) -> Forecaster:
+    """Instantiate a forecaster by registry name.
+
+    ``kind`` is one of ``"moving-average"``, ``"ewma"``, ``"linear"``;
+    ``options`` are forwarded to the constructor (``window=``,
+    ``alpha=``).
+    """
+    try:
+        cls = _FORECASTERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown forecaster {kind!r} "
+            f"(choices: {', '.join(sorted(_FORECASTERS))})"
+        ) from None
+    return cls(**options)

@@ -1,0 +1,146 @@
+"""Forecastable taps over the observability stream.
+
+:class:`TraceTap` turns the bounded, append-only
+:class:`~repro.obs.trace.TraceLog` into an *incremental* feed: each
+:meth:`TraceTap.poll` returns exactly the records appended since the
+previous poll (and an honest count of records the log's capacity bound
+evicted before they could be read).  The forecast layer consumes the
+feed for two signals:
+
+* **region** — estimate-stage traces carry the query-box bounds the
+  estimator saw (``query_low``/``query_high``), which
+  :meth:`TapSample.centers` / :meth:`TapSample.volumes` project into the
+  drift detector's inputs;
+* **workload** — feedback-stage traces carry ``(bounds, actual)``
+  pairs, exactly the :class:`~repro.core.gradient.QueryFeedback`
+  observations a bandwidth re-optimisation needs
+  (:meth:`TapSample.feedback_pairs`).
+
+Rates are *never* inferred from record counts alone: records carry a
+monotonic ``timestamp`` and :meth:`TapSample.rate` divides by the
+timestamp span (the log bound silently evicts records, so counts say
+nothing about elapsed time — the bug the timestamp field exists to
+prevent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import EstimationTrace
+
+__all__ = ["TapSample", "TraceTap"]
+
+
+@dataclass(frozen=True)
+class TapSample:
+    """One poll's worth of new traces, plus honest loss accounting."""
+
+    #: Records returned in :attr:`traces` (appended since the last poll
+    #: and still resident in the log).
+    count: int
+    #: Records appended since the last poll but already evicted by the
+    #: log's capacity bound — counted so a slow poller knows its view
+    #: is lossy instead of silently under-measuring.
+    dropped: int
+    traces: Tuple[EstimationTrace, ...]
+
+    @property
+    def observed(self) -> int:
+        """Total records appended since the last poll (read + evicted)."""
+        return self.count + self.dropped
+
+    def rate(self) -> float:
+        """Records per second over this sample's *timestamp* span.
+
+        0.0 with fewer than two records (no span to divide by).
+        """
+        if len(self.traces) < 2:
+            return 0.0
+        span = self.traces[-1].timestamp - self.traces[0].timestamp
+        if span <= 0.0:
+            return 0.0
+        return (len(self.traces) - 1) / span
+
+    def centers(self) -> List[Tuple[float, ...]]:
+        """Query-box centers of the traces that carried bounds."""
+        return [
+            t.query_center for t in self.traces if t.query_center is not None
+        ]
+
+    def volumes(self) -> List[float]:
+        """Query-box volumes of the traces that carried bounds."""
+        return [
+            t.query_volume for t in self.traces if t.query_volume is not None
+        ]
+
+    def feedback_pairs(
+        self,
+    ) -> List[Tuple[Tuple[float, ...], Tuple[float, ...], float]]:
+        """``(low, high, actual)`` triples from feedback-stage traces.
+
+        The raw material of a bandwidth retune: the controller rebuilds
+        :class:`~repro.core.gradient.QueryFeedback` objects from these.
+        Actuals are clamped-checked by ``QueryFeedback`` itself, so the
+        tap passes them through untouched.
+        """
+        return [
+            (t.query_low, t.query_high, t.actual)
+            for t in self.traces
+            if (
+                t.stage == "feedback"
+                and t.actual is not None
+                and t.query_low is not None
+                and t.query_high is not None
+            )
+        ]
+
+
+class TraceTap:
+    """Incremental reader over a registry's trace log.
+
+    Each instance keeps its own high-water mark (``TraceLog.total`` at
+    the last poll), so several independent consumers — one controller
+    per model group, a bench reporter — can tap the same log without
+    stealing each other's records.  Construction starts the mark at the
+    log's *current* total: a tap reads traffic from its own lifetime,
+    not history it never asked for (pass ``from_start=True`` to include
+    whatever the log still holds).
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, *, from_start: bool = False
+    ) -> None:
+        self._registry = registry
+        log = registry.traces
+        self._seen = 0 if from_start else log.total
+
+    @property
+    def pending(self) -> int:
+        """Records appended since the last poll (including any evicted)."""
+        return max(0, self._registry.traces.total - self._seen)
+
+    def poll(self, stage: Optional[str] = None) -> TapSample:
+        """Consume everything appended since the previous poll.
+
+        ``stage`` filters the returned traces (``"estimate"``,
+        ``"feedback"``) without affecting the high-water mark — a
+        stage-filtered poll still consumes the whole interval.
+        """
+        log = self._registry.traces
+        total = log.total
+        new = max(0, total - self._seen)
+        self._seen = total
+        if new == 0:
+            return TapSample(count=0, dropped=0, traces=())
+        resident = len(log)
+        readable = min(new, resident)
+        dropped = new - readable
+        records = list(log)[resident - readable:]
+        if stage is not None:
+            records = [t for t in records if t.stage == stage]
+        return TapSample(
+            count=readable, dropped=dropped, traces=tuple(records)
+        )

@@ -11,7 +11,9 @@ One instrumentation layer that every component reports into:
 * :class:`EstimationTrace` — the structured per-query record (predicted
   vs. true selectivity, loss, model epochs, backend, cache counters,
   per-shard / per-device-kernel seconds).
-* :func:`to_json` / :func:`to_prometheus` — exporters.
+* :func:`export_metrics` — the one exporter front door (JSON with an
+  embedded per-device profile section, or Prometheus text format);
+  :func:`to_json` / :func:`to_prometheus` are its underlying renderers.
 
 Enable with :func:`enable_metrics`; everything instrumented picks the
 live registry up on its next operation::
@@ -19,10 +21,16 @@ live registry up on its next operation::
     from repro import obs
     registry = obs.enable_metrics()
     ...  # run queries
-    print(obs.to_prometheus(registry))
+    print(obs.export_metrics(registry, format="prometheus"))
 """
 
-from .export import dump_json, to_json, to_prometheus
+from .export import (
+    device_profile,
+    dump_json,
+    export_metrics,
+    to_json,
+    to_prometheus,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -53,9 +61,11 @@ __all__ = [
     "Timer",
     "TraceLog",
     "current_span_context",
+    "device_profile",
     "disable_metrics",
     "dump_json",
     "enable_metrics",
+    "export_metrics",
     "get_registry",
     "metrics_enabled",
     "set_registry",

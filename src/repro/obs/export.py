@@ -1,21 +1,39 @@
-"""Exporters: JSON dump and Prometheus text exposition format.
+"""Exporters: one front door (:func:`export_metrics`) over two formats.
 
-Both render a :class:`~repro.obs.metrics.MetricsRegistry` snapshot —
-JSON for offline analysis (the bench CLI's ``--metrics-json``) and the
-Prometheus `text format
+:func:`export_metrics` is the canonical way to get metrics out of the
+process — JSON for offline analysis (the bench CLI's ``--metrics-json``)
+or the Prometheus `text format
 <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ for
-scraping a long-lived serving process.
+scraping a long-lived serving process.  The JSON payload is the registry
+snapshot plus a ``"devices"`` section (per-device
+:func:`device_profile`), so the forecast taps and bench reporting read
+everything — serving counters, breaker state, device time split — from
+one document instead of stitching three ad-hoc surfaces together.
+
+:func:`to_json` / :func:`to_prometheus` remain as the underlying
+renderers; :func:`dump_json` is a deprecated alias for
+``export_metrics(..., path=...)``.
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import Dict, Optional
+import warnings
+from typing import Dict, List, Optional
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, get_registry
 
-__all__ = ["to_json", "dump_json", "to_prometheus"]
+__all__ = [
+    "device_profile",
+    "dump_json",
+    "export_metrics",
+    "to_json",
+    "to_prometheus",
+]
+
+#: Single-shot flag for the ``dump_json`` deprecation shim.
+_warned_dump_json = False
 
 
 def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
@@ -26,11 +44,140 @@ def to_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
 def dump_json(
     registry: MetricsRegistry, path: str, indent: Optional[int] = 2
 ) -> str:
-    """Write the JSON snapshot to ``path``; returns the path."""
+    """Deprecated: use ``export_metrics(registry, path=path)`` instead.
+
+    Kept as a thin shim (warns once per process) because it predates the
+    unified exporter; note it returns the *path* where
+    :func:`export_metrics` returns the rendered document.
+    """
+    global _warned_dump_json
+    if not _warned_dump_json:
+        _warned_dump_json = True
+        warnings.warn(
+            "dump_json is deprecated; use "
+            'export_metrics(registry, format="json", path=path)',
+            DeprecationWarning,
+            stacklevel=2,
+        )
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(to_json(registry, indent=indent))
         handle.write("\n")
     return path
+
+
+def _device_names(registry: MetricsRegistry) -> List[str]:
+    """Devices that metered anything into ``registry``, sorted."""
+    names = set()
+    for histogram in registry.iter_histograms():
+        if histogram.name in (
+            "device.kernel.seconds",
+            "device.transfer.seconds",
+        ):
+            device = dict(histogram.labels).get("device")
+            if device:
+                names.add(device)
+    return sorted(names)
+
+
+def device_profile(
+    registry: MetricsRegistry, device: str
+) -> Dict[str, object]:
+    """Where one device's modelled time went — a view over ``registry``.
+
+    Returns a dict with one entry per kernel (launch count + total
+    modelled seconds), per-direction transfer totals (bytes + seconds),
+    and the aggregate split between compute and transfer time, all read
+    back from the ``device.kernel.seconds`` / ``device.transfer.*``
+    aggregates labelled ``device=<device>``.
+    :meth:`~repro.device.runtime.DeviceContext.profile` is a thin
+    wrapper over this for the context's own registry and device name.
+    """
+    kernels: Dict[str, Dict[str, float]] = {}
+    transfers: Dict[str, Dict[str, float]] = {
+        direction: {"count": 0, "bytes": 0, "seconds": 0.0}
+        for direction in ("to_device", "to_host")
+    }
+    for histogram in registry.iter_histograms():
+        labels = dict(histogram.labels)
+        if labels.get("device") != device:
+            continue
+        if histogram.name == "device.kernel.seconds":
+            kernels[labels["kernel"]] = {
+                "launches": histogram.count,
+                "seconds": histogram.sum,
+            }
+        elif histogram.name == "device.transfer.seconds":
+            entry = transfers.get(labels.get("direction"))
+            if entry is not None:
+                entry["count"] = histogram.count
+                entry["seconds"] = histogram.sum
+    for direction, entry in transfers.items():
+        entry["bytes"] = int(
+            registry.counter_value(
+                "device.transfer.bytes",
+                {"device": device, "direction": direction},
+            )
+        )
+    kernel_total = sum(entry["seconds"] for entry in kernels.values())
+    transfer_total = sum(entry["seconds"] for entry in transfers.values())
+    return {
+        "device": device,
+        "kernels": kernels,
+        "transfers": transfers,
+        "kernel_seconds": kernel_total,
+        "transfer_seconds": transfer_total,
+        "total_seconds": kernel_total + transfer_total,
+    }
+
+
+def export_metrics(
+    registry: Optional[MetricsRegistry] = None,
+    format: str = "json",
+    *,
+    path: Optional[str] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """Render every metric surface of ``registry`` in one document.
+
+    Parameters
+    ----------
+    registry:
+        Registry to export; ``None`` uses the process-wide one.
+    format:
+        ``"json"`` — the registry snapshot (counters, gauges,
+        histograms, spans, traces) plus a ``"devices"`` section with one
+        :func:`device_profile` per device that metered work; or
+        ``"prometheus"`` — the text exposition format (device metrics
+        appear as their underlying histograms/counters there).
+    path:
+        When given, the rendered document is also written to this file
+        (with a trailing newline).
+    indent:
+        JSON indentation (ignored for Prometheus).
+
+    Returns the rendered document.
+    """
+    if registry is None:
+        registry = get_registry()
+    if format == "json":
+        payload = registry.snapshot()
+        payload["devices"] = {
+            device: device_profile(registry, device)
+            for device in _device_names(registry)
+        }
+        rendered = json.dumps(payload, indent=indent, sort_keys=False)
+    elif format == "prometheus":
+        rendered = to_prometheus(registry)
+    else:
+        raise ValueError(
+            f'format must be "json" or "prometheus", got {format!r}'
+        )
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+    return rendered
 
 
 _NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_:]")

@@ -12,6 +12,7 @@ its trace memory without bound.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
@@ -29,6 +30,15 @@ class EstimationTrace:
     ``shard_seconds`` holds per-shard worker wall seconds (sharded
     backend only) and ``device_kernel_seconds`` the per-kernel modelled
     seconds of a device evaluation (device layer only).
+
+    ``timestamp`` is ``time.monotonic()`` at record construction: rate
+    estimation over a trace window divides counts by the *timestamp*
+    span, never by the record count (records are evicted by the log
+    bound, so counts alone say nothing about elapsed time).
+
+    ``query_low``/``query_high`` are the query box bounds when the
+    emitter had them — the predicate-region signal the drift detectors
+    in :mod:`repro.forecast` consume (centroid shift, volume drift).
     """
 
     query_id: int
@@ -43,6 +53,10 @@ class EstimationTrace:
     shard_seconds: Optional[Tuple[float, ...]] = None
     device_kernel_seconds: Optional[Dict[str, float]] = None
     stage: str = "estimate"
+    #: Monotonic emission time; never compare against wall clocks.
+    timestamp: float = field(default_factory=time.monotonic)
+    query_low: Optional[Tuple[float, ...]] = None
+    query_high: Optional[Tuple[float, ...]] = None
 
     @property
     def absolute_error(self) -> Optional[float]:
@@ -50,11 +64,32 @@ class EstimationTrace:
             return None
         return abs(self.predicted - self.actual)
 
+    @property
+    def query_center(self) -> Optional[Tuple[float, ...]]:
+        """Per-dimension centroid of the query box (``None`` when unknown)."""
+        if self.query_low is None or self.query_high is None:
+            return None
+        return tuple(
+            (lo + hi) / 2.0
+            for lo, hi in zip(self.query_low, self.query_high)
+        )
+
+    @property
+    def query_volume(self) -> Optional[float]:
+        """Volume of the query box (``None`` when bounds are unknown)."""
+        if self.query_low is None or self.query_high is None:
+            return None
+        volume = 1.0
+        for lo, hi in zip(self.query_low, self.query_high):
+            volume *= max(0.0, hi - lo)
+        return volume
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready dict (drops ``None`` optionals for compactness)."""
         record: Dict[str, object] = {
             "query_id": self.query_id,
             "stage": self.stage,
+            "timestamp": self.timestamp,
             "predicted": self.predicted,
             "backend": self.backend,
             "bandwidth_epoch": self.bandwidth_epoch,
@@ -62,6 +97,9 @@ class EstimationTrace:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }
+        if self.query_low is not None and self.query_high is not None:
+            record["query_low"] = list(self.query_low)
+            record["query_high"] = list(self.query_high)
         if self.actual is not None:
             record["actual"] = self.actual
             record["absolute_error"] = self.absolute_error

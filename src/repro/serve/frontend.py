@@ -69,7 +69,7 @@ import itertools
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -128,13 +128,22 @@ class FrontendConfig:
         Seconds a tripped lane stays degraded before the breaker admits
         a half-open live probe.
     reader_backend:
-        Execution-backend registry name the front end applies to served
-        models that do not already pin one (e.g. ``"grid"`` to serve
-        every lane from the sublinear grid backend).  Applied to a
-        lane's :class:`~repro.serve.server.SnapshotServer` on first use
-        via :meth:`~repro.serve.server.SnapshotServer.set_reader_backend`;
+        Execution backend the front end applies to served models that do
+        not already pin one: a registry name (e.g. ``"grid"`` to serve
+        every lane from the sublinear grid backend) or a zero-argument
+        factory returning a fresh backend — the same spelling
+        :class:`~repro.serve.server.SnapshotServer` and
+        :meth:`~repro.serve.registry.ModelRegistry.register` accept.
+        Applied to a lane's :class:`~repro.serve.server.SnapshotServer`
+        on first use via
+        :meth:`~repro.serve.server.SnapshotServer.set_reader_backend`;
         a server constructed with its own ``reader_backend`` wins over
         this default.  ``None`` leaves servers untouched.
+    recent_query_window:
+        Per-lane bound on the recently admitted query boxes retained for
+        :meth:`EstimatorFrontend.recent_queries` — the predicate-region
+        tap the :mod:`repro.forecast` drift detector and cache-warming
+        actuator consume.
     """
 
     max_batch_size: int = 256
@@ -144,7 +153,8 @@ class FrontendConfig:
     latency_window: int = 16
     writer_error_threshold: int = 1
     breaker_recovery: float = 5.0
-    reader_backend: Optional[str] = None
+    reader_backend: Union[str, Callable[[], object], None] = None
+    recent_query_window: int = 256
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -161,13 +171,17 @@ class FrontendConfig:
             raise ValueError("writer_error_threshold must be at least 1")
         if self.breaker_recovery < 0:
             raise ValueError("breaker_recovery must be non-negative")
+        if self.recent_query_window < 1:
+            raise ValueError("recent_query_window must be at least 1")
         if self.reader_backend is not None:
-            if not isinstance(self.reader_backend, str):
+            if isinstance(self.reader_backend, str):
+                get_backend(self.reader_backend)  # fail fast on unknown names
+            elif not callable(self.reader_backend):
                 raise TypeError(
-                    "reader_backend must be a registry name or None; got "
+                    "reader_backend must be a registry name, a "
+                    "zero-argument factory, or None; got "
                     f"{type(self.reader_backend).__name__}"
                 )
-            get_backend(self.reader_backend)  # fail fast on unknown names
 
 
 @dataclass
@@ -216,6 +230,10 @@ class _Lane:
         self.dimensions = int(server.published.state.sample.shape[1])
         self.seen_writer_errors = server.writer_errors
         self.recent_seconds: Deque[float] = deque(maxlen=config.latency_window)
+        #: Recently admitted query boxes — the forecast taps' region signal.
+        self.recent_queries: Deque[Box] = deque(
+            maxlen=config.recent_query_window
+        )
         self.exported_transitions = 0
         self.task: Optional[asyncio.Task] = None
         self.stats = LaneStats()
@@ -428,6 +446,7 @@ class EstimatorFrontend:
         assert self._loop is not None
         future: asyncio.Future = self._loop.create_future()
         lane.queue.append((query, future))
+        lane.recent_queries.append(query)
         lane.stats.requests += 1
         registry = self._registry()
         registry.counter("frontend.requests", lane.labels).inc()
@@ -462,6 +481,24 @@ class EstimatorFrontend:
         if total.batches:
             total.coalescing_factor = total.answered / total.batches
         return total
+
+    def recent_queries(
+        self, table: str, columns: Sequence[str]
+    ) -> List[Box]:
+        """Recently admitted query boxes for one model lane (oldest first).
+
+        Bounded by :attr:`FrontendConfig.recent_query_window`.  The
+        forecast controller feeds these to
+        :meth:`~repro.serve.server.SnapshotServer.warm` (region-aware
+        cache warming) and to its drift detector.  A registered model
+        with no traffic yet returns an empty list; an unregistered one
+        raises ``KeyError``.
+        """
+        lane = self._lanes.get((table, tuple(str(c) for c in columns)))
+        if lane is None:
+            self._registry_map.get(table, columns)  # KeyError if absent
+            return []
+        return list(lane.recent_queries)
 
     def degraded(self, table: str, columns: Sequence[str]) -> bool:
         """Whether the lane currently serves from its pinned snapshot.

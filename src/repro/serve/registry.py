@@ -12,11 +12,41 @@ surface.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .server import SnapshotModel, SnapshotServer
 
 __all__ = ["ModelRegistry"]
+
+#: Single-shot flag for the ``backend=`` → ``reader_backend=`` shim.
+_warned_backend_kwarg = False
+
+
+def _coerce_reader_backend(reader_backend, backend):
+    """Resolve the 1.1 ``reader_backend=`` spelling against the old kwarg.
+
+    ``backend=`` was the pre-forecast spelling of the same knob; it
+    warns once per process and keeps working.  Passing both is an error
+    — silently preferring either would hide a caller bug.
+    """
+    global _warned_backend_kwarg
+    if backend is None:
+        return reader_backend
+    if reader_backend is not None:
+        raise TypeError(
+            "pass reader_backend= only; backend= is its deprecated alias"
+        )
+    if not _warned_backend_kwarg:
+        _warned_backend_kwarg = True
+        warnings.warn(
+            "ModelRegistry.register(backend=...) is deprecated; use "
+            "reader_backend=... (the same spelling SnapshotServer and "
+            "FrontendConfig use)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return backend
 
 #: Registry key: table name plus the ordered tuple of column names.
 ModelKey = Tuple[str, Tuple[str, ...]]
@@ -50,6 +80,7 @@ class ModelRegistry:
         metrics=None,
         checkpoints=None,
         on_publish=None,
+        reader_backend=None,
         backend=None,
     ) -> SnapshotServer:
         """Register ``model`` under ``(table, columns)``.
@@ -58,18 +89,22 @@ class ModelRegistry:
         existing server instance is registered as-is.  Re-registering an
         occupied key raises unless ``replace=True``.
 
-        ``metrics``, ``checkpoints``, ``on_publish`` and ``backend``
-        (the server's ``reader_backend`` — a registry name or factory,
-        e.g. ``backend="grid"`` to serve reads from the sublinear grid
-        backend) are forwarded to the :class:`SnapshotServer`
-        constructor when a bare estimator is wrapped, so
-        registry-created servers keep emergency-checkpoint protection,
-        publication observers and the chosen read path.  Passing any of
+        ``metrics``, ``checkpoints``, ``on_publish`` and
+        ``reader_backend`` (a registry name or zero-argument factory,
+        e.g. ``reader_backend="grid"`` to serve reads from the sublinear
+        grid backend — the same spelling :class:`SnapshotServer` and
+        :class:`~repro.serve.frontend.FrontendConfig` use) are forwarded
+        to the :class:`SnapshotServer` constructor when a bare estimator
+        is wrapped, so registry-created servers keep
+        emergency-checkpoint protection, publication observers and the
+        chosen read path.  ``backend=`` is the deprecated pre-1.1 alias
+        of ``reader_backend=`` (warns once per process).  Passing any of
         them with an already-constructed server raises: the server was
         configured at construction and silently ignoring the kwargs
         would drop exactly that configuration.
         """
         key = _make_key(table, columns)
+        reader_backend = _coerce_reader_backend(reader_backend, backend)
         if isinstance(model, SnapshotServer):
             rejected = [
                 name
@@ -77,7 +112,7 @@ class ModelRegistry:
                     ("metrics", metrics),
                     ("checkpoints", checkpoints),
                     ("on_publish", on_publish),
-                    ("backend", backend),
+                    ("reader_backend", reader_backend),
                 )
                 if value is not None
             ]
@@ -94,7 +129,7 @@ class ModelRegistry:
                 metrics=metrics,
                 checkpoints=checkpoints,
                 on_publish=on_publish,
-                reader_backend=backend,
+                reader_backend=reader_backend,
             )
         with self._lock:
             if not replace and key in self._servers:

@@ -56,6 +56,7 @@ from ..core.estimator import KernelDensityEstimator
 from ..core.state import ModelState
 from ..geometry import Box
 from ..obs import MetricsRegistry, get_registry
+from ..obs.trace import EstimationTrace
 
 __all__ = ["PublishedSnapshot", "SnapshotServer", "SnapshotModel"]
 
@@ -78,6 +79,23 @@ def _validate_reader_spec(spec) -> None:
             "reader_backend must be None, a registry name, or a "
             f"zero-argument factory; got {type(spec).__name__}"
         )
+
+
+def _query_bounds(queries):
+    """``(q, d)`` low/high float matrices from a batch or Box iterable."""
+    if hasattr(queries, "low") and hasattr(queries, "high"):
+        return (
+            np.asarray(queries.low, dtype=np.float64),
+            np.asarray(queries.high, dtype=np.float64),
+        )
+    lows = []
+    highs = []
+    for query in queries:
+        lows.append(np.asarray(query.low, dtype=np.float64))
+        highs.append(np.asarray(query.high, dtype=np.float64))
+    if not lows:
+        return None, None
+    return np.stack(lows), np.stack(highs)
 
 
 @runtime_checkable
@@ -163,6 +181,7 @@ class SnapshotServer:
         self._checkpoints = checkpoints
         self._reader_backend = reader_backend
         self._lock = threading.RLock()
+        self._reads = 0
         self._feedback_count = 0
         self._writer_errors = 0
         self._publish_callback_errors = 0
@@ -256,6 +275,7 @@ class SnapshotServer:
         """Selectivity estimate against the latest published snapshot."""
         published = self._published  # single atomic attribute load
         value = float(published.reader.selectivity(query))
+        self._reads += 1
         self._registry().counter("serve.reads").inc()
         return value
 
@@ -263,8 +283,49 @@ class SnapshotServer:
         """Batched estimates, all against one consistent snapshot."""
         published = self._published
         values = published.reader.selectivity_batch(queries)
+        self._reads += len(values)
         self._registry().counter("serve.reads").inc(len(values))
         return values
+
+    @property
+    def read_count(self) -> int:
+        """Queries answered through this server's reader path.
+
+        A plain demand counter (kept even when metrics are disabled) —
+        the signal the :class:`~repro.forecast.ProactiveController`
+        differences to estimate per-model query rate.  Best-effort under
+        concurrency: the lock-free reader path never synchronises, so a
+        rare lost increment is possible and acceptable for a rate
+        signal.
+        """
+        return self._reads
+
+    def warm(self, queries=None) -> bool:
+        """Eagerly build the published reader's derived state.
+
+        Delegates to the reader backend's
+        :meth:`~repro.core.backends.ExecutionBackend.warm`: grid/hashing
+        readers build their tables/index for the published epochs,
+        cached readers pre-compute the CDF columns of the given forecast
+        ``queries`` (a :class:`~repro.geometry.QueryBatch` or an
+        iterable of :class:`~repro.geometry.Box`), sharded readers
+        pre-spin their pool.  Returns ``True`` when the backend did any
+        eager work.  Warming races publications harmlessly: it operates
+        on one loaded publication record, and a backend warmed for a
+        superseded epoch pair simply holds orphaned state that can never
+        be served (epoch-keyed lookups miss it).
+        """
+        published = self._published
+        backend = getattr(published.reader, "_backend", None)
+        if backend is None:
+            return False
+        low = high = None
+        if queries is not None:
+            low, high = _query_bounds(queries)
+        warmed = bool(backend.warm(low, high))
+        if warmed:
+            self._registry().counter("serve.warms").inc()
+        return warmed
 
     # ------------------------------------------------------------------
     # Writer path (serialised)
@@ -287,6 +348,11 @@ class SnapshotServer:
         feedback source sees the failure.
         """
         with self._lock:
+            registry = self._registry()
+            if registry.enabled:
+                # Pre-step: predicted against the reader the feedback
+                # source actually saw (the current publication).
+                self._record_feedback_trace(registry, query, true_selectivity)
             try:
                 result = self._model.feedback(query, true_selectivity)
             except Exception:
@@ -328,6 +394,39 @@ class SnapshotServer:
     # ------------------------------------------------------------------
     def _registry(self) -> MetricsRegistry:
         return self._metrics if self._metrics is not None else get_registry()
+
+    def _record_feedback_trace(
+        self, registry: MetricsRegistry, query: Box, actual: float
+    ) -> None:
+        """Emit one completed ``stage="feedback"`` trace for this cycle.
+
+        The serving-path analogue of the trace
+        :class:`~repro.db.feedback.FeedbackLoop` emits: predicted comes
+        from the *published* reader (one extra read-path evaluation,
+        metrics-on only), carrying the query bounds the forecast layer's
+        drift detector and retune workload builder consume.
+        ``read_count`` is deliberately not bumped — the demand signal
+        stays pure query traffic.  Trace failures never fail feedback.
+        """
+        published = self._published
+        try:
+            predicted = float(published.reader.selectivity(query))
+            registry.record_trace(
+                EstimationTrace(
+                    query_id=registry.next_query_id(),
+                    predicted=predicted,
+                    backend=type(published.reader._backend).__name__,
+                    actual=float(actual),
+                    loss=(predicted - float(actual)) ** 2,
+                    bandwidth_epoch=published.epochs[0],
+                    sample_epoch=published.epochs[1],
+                    stage="feedback",
+                    query_low=tuple(float(v) for v in query.low),
+                    query_high=tuple(float(v) for v in query.high),
+                )
+            )
+        except Exception:
+            registry.counter("serve.trace_errors").inc()
 
     def _writer_failed_locked(self) -> None:
         """Account a writer failure; flush an emergency checkpoint once."""

@@ -13,6 +13,8 @@ The correctness contract of :mod:`repro.core.backends` is strict:
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     KernelDensityEstimator,
@@ -198,6 +200,47 @@ class TestCachedBackend:
         assert len(backend.cache) <= 8
         assert backend.stats.cache_evictions > 0
 
+    def test_warm_precomputes_the_serving_columns(self, sample, batch):
+        backend = CachedBackend()
+        kde = _make(sample, backend)
+        assert backend.warm(batch.low, batch.high)
+        plain = _make(sample)
+        misses_after_warm = backend.cache.misses
+        np.testing.assert_array_equal(
+            kde.selectivity_batch(batch), plain.selectivity_batch(batch)
+        )
+        # Every column the batch needs was resolved during the warm.
+        assert backend.cache.misses == misses_after_warm
+        assert backend.cache.hits > 0
+        assert not backend.warm(None, None)  # region-keyed: no bounds, no work
+
+    def test_warmed_entries_of_a_superseded_epoch_are_never_served(
+        self, sample, batch, monkeypatch
+    ):
+        """Regression: epoch-stamped keys, not eager clearing, are the guard.
+
+        A warm that races a bandwidth update can leave entries stamped
+        with the old epoch resident (model that by disabling the eager
+        invalidation-clear).  Those entries must be orphaned — zero
+        hits — never served into the new-epoch evaluation.
+        """
+        plain = _make(sample)
+        backend = CachedBackend()
+        cached = _make(sample, backend)
+        assert backend.warm(batch.low, batch.high)
+        resident = len(backend.cache)
+        assert resident > 0
+        monkeypatch.setattr(backend, "invalidate", lambda reason: None)
+        new_bandwidth = plain.bandwidth * 1.3
+        plain.bandwidth = new_bandwidth
+        cached.bandwidth = new_bandwidth
+        assert len(backend.cache) == resident  # stale entries still resident
+        hits_before = backend.cache.hits
+        np.testing.assert_array_equal(
+            cached.selectivity_batch(batch), plain.selectivity_batch(batch)
+        )
+        assert backend.cache.hits == hits_before  # not one stale hit
+
     def test_stats_as_dict(self, sample, batch):
         kde = _make(sample, CachedBackend())
         kde.selectivity_batch(batch)
@@ -311,6 +354,46 @@ class TestShardedBackend:
             kde.selectivity_batch(batch), expected
         )
         kde.backend.close()
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        start=st.integers(min_value=1, max_value=4),
+        intermediate=st.lists(
+            st.integers(min_value=1, max_value=5), min_size=1, max_size=3
+        ),
+    )
+    def test_resize_round_trip_is_bit_identical(self, start, intermediate):
+        """Autoscaling is purely a capacity action: any resize schedule
+        that returns to the starting shard count reproduces the original
+        results bit for bit (same partials, same reduction order)."""
+        rng = np.random.default_rng(11)
+        sample = rng.normal(size=(200, 2))
+        low = rng.uniform(-2.0, 0.0, size=(12, 2))
+        batch = QueryBatch(low, low + rng.uniform(0.5, 2.0, size=(12, 2)))
+        kde = _make(sample, ShardedBackend(shards=start))
+        try:
+            baseline_sel = kde.selectivity_batch(batch)
+            baseline_con = kde.contributions_batch(batch)
+            plain = _make(sample)
+            for shards in intermediate:
+                kde.backend.resize(shards)
+                # Intermediate sizes still serve, inside the 1e-12
+                # reduction budget of the reference backend.
+                np.testing.assert_allclose(
+                    kde.selectivity_batch(batch),
+                    plain.selectivity_batch(batch),
+                    rtol=0,
+                    atol=1e-12,
+                )
+            kde.backend.resize(start)
+            np.testing.assert_array_equal(
+                kde.selectivity_batch(batch), baseline_sel
+            )
+            np.testing.assert_array_equal(
+                kde.contributions_batch(batch), baseline_con
+            )
+        finally:
+            kde.backend.close()
 
 
 # ----------------------------------------------------------------------

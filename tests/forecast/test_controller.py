@@ -1,0 +1,358 @@
+"""ProactiveController: forecast-driven actuation, deterministic clock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backends.sharded import ShardedBackend
+from repro.core.model import SelfTuningConfig, SelfTuningKDE
+from repro.forecast import ControllerConfig, ProactiveController
+from repro.geometry import Box
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ModelRegistry, SnapshotServer
+
+TABLE = "t"
+COLUMNS = ("a", "b")
+
+
+class _StubLaneStats:
+    def __init__(self, requests):
+        self.requests = requests
+
+
+class _StubFrontend:
+    """Just enough surface for the controller's demand/region taps."""
+
+    def __init__(self):
+        self.requests = 0
+        self.boxes = []
+
+    def stats(self, table, columns):
+        return _StubLaneStats(self.requests)
+
+    def recent_queries(self, table, columns):
+        return list(self.boxes)
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+def _stack(metrics, reader_backend=None, model_config=None, sample=None):
+    rng = np.random.default_rng(7)
+    sample = (
+        sample
+        if sample is not None
+        else rng.normal(0.3, 0.1, size=(128, len(COLUMNS)))
+    )
+    model = SelfTuningKDE(
+        sample,
+        model_config,
+        bandwidth=np.full(sample.shape[1], 0.05),
+        seed=0,
+        metrics=metrics,
+    )
+    server = SnapshotServer(
+        model, metrics=metrics, reader_backend=reader_backend
+    )
+    registry = ModelRegistry()
+    registry.register(TABLE, COLUMNS, server)
+    return model, server, registry
+
+
+def _controller(registry, metrics, clock, frontend=None, **overrides):
+    return ProactiveController(
+        registry,
+        config=ControllerConfig(**overrides),
+        metrics=metrics,
+        frontend=frontend,
+        clock=lambda: clock[0],
+    )
+
+
+class TestForecastScaling:
+    def test_scales_ahead_of_a_ramp(self, metrics):
+        model, server, registry = _stack(
+            metrics, reader_backend=lambda: ShardedBackend(shards=1)
+        )
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock,
+            queries_per_shard=100.0, max_shards=4, warm_on_publish=False,
+        )
+        controller.step()  # baseline
+        probe = Box((0.2, 0.2), (0.4, 0.4))
+        shards_seen = []
+        for demand in (100, 200, 300):
+            for _ in range(demand):
+                server.estimate(probe)
+            clock[0] += 1.0
+            controller.step()
+            shards_seen.append(server.published.reader._backend.shards)
+        # The linear forecaster extrapolates the ramp: by the 300/s step
+        # the predicted rate exceeds the measured one, so the pool is
+        # sized for the forecast, not the past.
+        assert shards_seen[-1] == 4
+        assert shards_seen == sorted(shards_seen)
+        assert any(a.kind == "scale" for a in controller.actions)
+
+    def test_scale_down_needs_patience(self, metrics):
+        model, server, registry = _stack(
+            metrics, reader_backend=lambda: ShardedBackend(shards=1)
+        )
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock,
+            forecaster="moving-average", window=1,
+            queries_per_shard=100.0, max_shards=4,
+            scale_down_patience=2, warm_on_publish=False,
+        )
+        controller.step()
+        probe = Box((0.2, 0.2), (0.4, 0.4))
+        for _ in range(400):
+            server.estimate(probe)
+        clock[0] += 1.0
+        controller.step()
+        backend = server.published.reader._backend
+        assert backend.shards == 4
+        # One quiet interval must NOT shrink (patience 2)...
+        clock[0] += 1.0
+        controller.step()
+        assert backend.shards == 4
+        # ...the second consecutive one does.
+        clock[0] += 1.0
+        controller.step()
+        assert backend.shards == 1
+
+    def test_first_step_only_baselines(self, metrics):
+        model, server, registry = _stack(
+            metrics, reader_backend=lambda: ShardedBackend(shards=1)
+        )
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock, warm_on_publish=False
+        )
+        assert controller.step() == []
+
+
+class TestWarming:
+    def test_warms_each_new_publication(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="grid")
+        clock = [0.0]
+        controller = _controller(registry, metrics, clock)
+        assert controller.step() == []  # baseline: counters only
+        clock[0] += 1.0
+        # First real step warms the initial publication.
+        actions = controller.step()
+        assert [a.kind for a in actions] == ["warm"]
+        clock[0] += 1.0
+        assert controller.step() == []  # same sequence → no rewarm
+        server.publish()
+        clock[0] += 1.0
+        actions = controller.step()
+        assert [a.kind for a in actions] == ["warm"]
+
+    def test_cached_reader_warms_with_frontend_boxes(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="cached")
+        frontend = _StubFrontend()
+        frontend.boxes = [Box((0.1, 0.1), (0.5, 0.5))]
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock, frontend=frontend
+        )
+        controller.step()  # baseline
+        clock[0] += 1.0
+        actions = controller.step()
+        assert [a.kind for a in actions] == ["warm"]
+        assert actions[0].detail["queries"] == 1
+        # The warmed CDF terms serve the very boxes that were forecast.
+        backend = server.published.reader._backend
+        assert len(backend.cache) > 0
+
+    def test_cached_reader_without_boxes_reports_no_warm(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="cached")
+        clock = [0.0]
+        controller = _controller(registry, metrics, clock)
+        controller.step()  # baseline
+        clock[0] += 1.0
+        assert controller.step() == []  # nothing to warm a cache with
+
+
+class TestPublishAhead:
+    def test_publishes_before_a_predicted_spike(self, metrics):
+        config = SelfTuningConfig(adapt_bandwidth=False, maintain_sample=False)
+        model, server, registry = _stack(
+            metrics, reader_backend="grid", model_config=config
+        )
+        clock = [0.0]
+        # The linear forecaster predicts rate + slope * horizon, so on a
+        # measured ramp 10 -> 60 the prediction (~110/s) clears a 1.5x
+        # spike factor but not 2x.
+        controller = _controller(registry, metrics, clock, spike_factor=1.5)
+        controller.step()
+        # Feedback absorbed but (epochs frozen) never auto-published.
+        server.feedback(Box((0.2, 0.2), (0.4, 0.4)), 0.3)
+        assert server.staleness == 1
+        probe = Box((0.2, 0.2), (0.4, 0.4))
+        publications = server.publish_count
+        # Ramping demand → linear forecast predicts >= 2x current rate.
+        for demand in (10, 60, 160):
+            for _ in range(demand):
+                server.estimate(probe)
+            clock[0] += 1.0
+            controller.step()
+        assert server.publish_count > publications
+        assert any(a.kind == "publish" for a in controller.actions)
+        assert server.staleness == 0
+
+    def test_no_publish_when_not_stale(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="grid")
+        clock = [0.0]
+        controller = _controller(registry, metrics, clock)
+        controller.step()
+        probe = Box((0.2, 0.2), (0.4, 0.4))
+        for demand in (10, 60, 160):
+            for _ in range(demand):
+                server.estimate(probe)
+            clock[0] += 1.0
+            controller.step()
+        assert not any(a.kind == "publish" for a in controller.actions)
+
+
+class TestDriftRetune:
+    def _drifted_stack(self, metrics):
+        config = SelfTuningConfig(adapt_bandwidth=False, maintain_sample=False)
+        model, server, registry = _stack(
+            metrics, reader_backend="grid", model_config=config
+        )
+        return model, server, registry
+
+    def _drive_drifted_feedback(self, server, count=12):
+        # Query boxes far from the sample mean (0.3 +/- 0.1): the
+        # serving-path feedback traces carry these bounds into the
+        # controller's drift detector and retune workload.
+        for i in range(count):
+            lo = 0.75 + 0.01 * (i % 3)
+            box = Box((lo, lo), (lo + 0.1, lo + 0.1))
+            server.feedback(box, 0.02)
+
+    def test_retunes_bandwidth_on_drift(self, metrics):
+        model, server, registry = self._drifted_stack(metrics)
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock,
+            drift_threshold=2.0, min_drift_samples=8, drift_window=16,
+            min_retune_feedbacks=4, retune_cooldown=0.0, retune_starts=1,
+        )
+        controller.step()
+        before = model.bandwidth.copy()
+        self._drive_drifted_feedback(server)
+        clock[0] += 1.0
+        actions = controller.step()
+        kinds = [a.kind for a in actions]
+        assert "retune" in kinds
+        assert not np.allclose(before, model.bandwidth)
+        # The retuned state is published, and warm runs after retune so
+        # the controller-published reader is never left cold.
+        assert server.staleness == 0
+        assert kinds.index("retune") < kinds.index("warm")
+        # Rebase: the same drifted region must not retune again.
+        clock[0] += 1.0
+        assert not any(a.kind == "retune" for a in controller.step())
+
+    def test_custom_retune_override(self, metrics):
+        model, server, registry = self._drifted_stack(metrics)
+        clock = [0.0]
+        seen = []
+        controller = ProactiveController(
+            registry,
+            config=ControllerConfig(
+                drift_threshold=2.0, min_drift_samples=8,
+                min_retune_feedbacks=4, retune_cooldown=0.0,
+            ),
+            metrics=metrics,
+            clock=lambda: clock[0],
+            retune=lambda srv, workload: seen.append((srv, len(workload))),
+        )
+        controller.step()
+        self._drive_drifted_feedback(server)
+        clock[0] += 1.0
+        controller.step()
+        assert seen and seen[0][0] is server and seen[0][1] >= 4
+
+    def test_cooldown_blocks_repeat_retunes(self, metrics):
+        model, server, registry = self._drifted_stack(metrics)
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock,
+            drift_threshold=2.0, min_drift_samples=4, drift_window=16,
+            min_retune_feedbacks=4, retune_cooldown=100.0, retune_starts=1,
+        )
+        controller.step()
+        self._drive_drifted_feedback(server)
+        clock[0] += 1.0
+        assert any(a.kind == "retune" for a in controller.step())
+        # Fresh drift inside the cooldown window: no second retune.
+        self._drive_drifted_feedback(server, count=8)
+        clock[0] += 1.0
+        assert not any(a.kind == "retune" for a in controller.step())
+
+
+class TestLifecycle:
+    def test_reregistered_server_resets_state(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="grid")
+        clock = [0.0]
+        controller = _controller(registry, metrics, clock)
+        controller.step()
+        replacement = SnapshotServer(
+            SelfTuningKDE(
+                np.random.default_rng(1).normal(size=(64, 2)),
+                seed=1,
+                metrics=metrics,
+            ),
+            metrics=metrics,
+            reader_backend="grid",
+        )
+        registry.register(TABLE, COLUMNS, replacement, replace=True)
+        clock[0] += 1.0
+        # Fresh state: the replacement gets its own baseline step first,
+        # then its initial publication is warmed.
+        assert controller.step() == []
+        clock[0] += 1.0
+        actions = controller.step()
+        assert [a.kind for a in actions] == ["warm"]
+
+    def test_threaded_loop_runs_and_stops(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="grid")
+        controller = ProactiveController(
+            registry,
+            config=ControllerConfig(interval=0.01),
+            metrics=metrics,
+        )
+        import time as _time
+
+        with controller:
+            deadline = _time.monotonic() + 2.0
+            while not controller.actions and _time.monotonic() < deadline:
+                _time.sleep(0.005)
+        assert any(a.kind == "warm" for a in controller.actions)
+
+    def test_demand_sums_server_and_frontend(self, metrics):
+        model, server, registry = _stack(metrics, reader_backend="grid")
+        frontend = _StubFrontend()
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock, frontend=frontend,
+            warm_on_publish=False,
+        )
+        controller.step()
+        frontend.requests = 50
+        server.estimate(Box((0.2, 0.2), (0.4, 0.4)))
+        clock[0] += 1.0
+        controller.step()
+        label = {"model": f"{TABLE}/{','.join(COLUMNS)}"}
+        assert metrics.gauge("forecast.rate", label).value == pytest.approx(
+            51.0
+        )

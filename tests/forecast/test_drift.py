@@ -1,0 +1,121 @@
+"""Drift detector: z-score mechanics, volume criterion, rebase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast import DriftDetector
+
+
+@pytest.fixture
+def detector():
+    d = DriftDetector(threshold=3.0, window=32, min_samples=4)
+    d.set_reference(mean=(0.0, 0.0), scale=(1.0, 2.0))
+    return d
+
+
+class TestScoring:
+    def test_no_drift_at_reference(self, detector):
+        for _ in range(8):
+            detector.observe((0.1, -0.1))
+        report = detector.check()
+        assert report.score < 1.0
+        assert not report.drifted
+
+    def test_zscore_uses_per_dimension_scale(self, detector):
+        # Shift of 4 in dim 0 (scale 1) vs 4 in dim 1 (scale 2):
+        # dimension scores must be 4 and 2.
+        for _ in range(4):
+            detector.observe((4.0, 4.0))
+        report = detector.check()
+        assert report.dimension_scores == pytest.approx((4.0, 2.0))
+        assert report.score == pytest.approx(4.0)
+        assert report.drifted
+
+    def test_min_samples_gate(self, detector):
+        detector.observe((100.0, 100.0))
+        report = detector.check()
+        assert report.score > 3.0
+        assert not report.drifted  # only 1 < min_samples=4 centers
+
+    def test_reference_from_sample(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(5.0, 2.0, size=(4096, 3))
+        d = DriftDetector(threshold=3.0, min_samples=2)
+        d.set_reference_from_sample(sample)
+        d.observe((5.0, 5.0, 5.0))
+        d.observe((5.0, 5.0, 5.0))
+        assert d.check().score < 0.5
+        d.observe((25.0, 5.0, 5.0))  # 10 sigma away in dim 0
+        d.observe((25.0, 5.0, 5.0))
+        assert d.check().drifted
+
+    def test_check_requires_reference(self):
+        with pytest.raises(RuntimeError):
+            DriftDetector().check()
+
+    def test_empty_window_is_clean(self, detector):
+        report = detector.check()
+        assert report.samples == 0
+        assert not report.drifted
+
+
+class TestVolume:
+    def test_volume_blowup_is_drift(self, detector):
+        # Anchor the volume reference near 1, then blow it up 10x:
+        # centroid stays put but the detector must still flag it.
+        for _ in range(4):
+            detector.observe((0.0, 0.0), volume=1.0)
+        detector.check()  # anchors the volume reference
+        for _ in range(32):  # roll the window over to wide boxes
+            detector.observe((0.0, 0.0), volume=10.0)
+        report = detector.check()
+        assert report.score < 3.0
+        assert report.volume_ratio > 8.0
+        assert report.drifted
+
+    def test_volume_criterion_disabled(self):
+        d = DriftDetector(threshold=3.0, min_samples=2, volume_factor=None)
+        d.set_reference((0.0,), (1.0,))
+        for _ in range(4):
+            d.observe((0.0,), volume=1.0)
+        d.check()
+        for _ in range(64):
+            d.observe((0.0,), volume=1000.0)
+        assert not d.check().drifted
+
+
+class TestRebase:
+    def test_rebase_clears_drift(self, detector):
+        for _ in range(8):
+            detector.observe((10.0, 10.0))
+        assert detector.check().drifted
+        detector.rebase()
+        assert detector.samples == 0
+        for _ in range(4):
+            detector.observe((10.0, 10.0))
+        # The recent mean became the new reference centroid.
+        assert not detector.check().drifted
+
+    def test_rebase_from_sample(self, detector):
+        rng = np.random.default_rng(1)
+        detector.rebase(sample=rng.normal(50.0, 1.0, size=(1024, 2)))
+        for _ in range(4):
+            detector.observe((50.0, 50.0))
+        assert not detector.check().drifted
+
+    def test_dimension_mismatch_raises(self, detector):
+        detector.observe((1.0, 2.0, 3.0))
+        with pytest.raises(ValueError, match="dimensions"):
+            detector.check()
+
+
+class TestValidation:
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+
+    def test_volume_factor_exceeds_one(self):
+        with pytest.raises(ValueError):
+            DriftDetector(volume_factor=1.0)

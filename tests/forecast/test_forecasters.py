@@ -1,0 +1,107 @@
+"""Known-answer tests for the demand forecasters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forecast import (
+    EwmaForecaster,
+    LinearTrendForecaster,
+    MovingAverageForecaster,
+    make_forecaster,
+)
+
+
+class TestMovingAverage:
+    def test_mean_of_window(self):
+        f = MovingAverageForecaster(window=3)
+        for t, v in enumerate([10.0, 20.0, 30.0, 40.0]):
+            f.observe(float(t), v)
+        # Window of 3 → mean(20, 30, 40) = 30, horizon-flat.
+        assert f.forecast(0.0) == pytest.approx(30.0)
+        assert f.forecast(5.0) == pytest.approx(30.0)
+
+    def test_partial_window(self):
+        f = MovingAverageForecaster(window=8)
+        f.observe(0.0, 4.0)
+        f.observe(1.0, 8.0)
+        assert f.forecast() == pytest.approx(6.0)
+
+
+class TestEwma:
+    def test_recursive_level(self):
+        f = EwmaForecaster(alpha=0.5)
+        f.observe(0.0, 10.0)
+        f.observe(1.0, 20.0)
+        # level = 10 + 0.5 * (20 - 10) = 15
+        assert f.forecast() == pytest.approx(15.0)
+        f.observe(2.0, 15.0)
+        assert f.forecast() == pytest.approx(15.0)
+
+    def test_alpha_one_tracks_last_value(self):
+        f = EwmaForecaster(alpha=1.0)
+        for t, v in enumerate([3.0, 9.0, 27.0]):
+            f.observe(float(t), v)
+        assert f.forecast(10.0) == pytest.approx(27.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaForecaster(alpha=1.5)
+
+
+class TestLinearTrend:
+    def test_exact_line_extrapolates(self):
+        f = LinearTrendForecaster(window=4)
+        for t in range(4):
+            f.observe(float(t), 5.0 + 2.0 * t)  # value = 5 + 2t
+        assert f.slope == pytest.approx(2.0)
+        # At t_last=3 value is 11; horizon 2 → 5 + 2*5 = 15.
+        assert f.forecast(2.0) == pytest.approx(15.0)
+
+    def test_flat_series_has_zero_slope(self):
+        f = LinearTrendForecaster(window=3)
+        for t in range(5):
+            f.observe(float(t), 7.0)
+        assert f.slope == pytest.approx(0.0)
+        assert f.forecast(100.0) == pytest.approx(7.0)
+
+    def test_single_observation_is_flat(self):
+        f = LinearTrendForecaster()
+        f.observe(0.0, 42.0)
+        assert f.forecast(3.0) == pytest.approx(42.0)
+
+
+class TestContract:
+    @pytest.mark.parametrize(
+        "kind", ["moving-average", "ewma", "linear"]
+    )
+    def test_forecast_before_observe_raises(self, kind):
+        f = make_forecaster(kind)
+        with pytest.raises(ValueError):
+            f.forecast()
+
+    def test_timestamps_must_not_decrease(self):
+        f = MovingAverageForecaster()
+        f.observe(5.0, 1.0)
+        with pytest.raises(ValueError):
+            f.observe(4.0, 1.0)
+
+    def test_negative_horizon_rejected(self):
+        f = EwmaForecaster()
+        f.observe(0.0, 1.0)
+        with pytest.raises(ValueError):
+            f.forecast(-1.0)
+
+    def test_reset_forgets_history(self):
+        f = LinearTrendForecaster()
+        f.observe(0.0, 1.0)
+        f.reset()
+        assert f.observations == 0
+        f.observe(0.0, 2.0)  # earlier timestamp fine after reset
+        assert f.forecast() == pytest.approx(2.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown forecaster"):
+            make_forecaster("arima")

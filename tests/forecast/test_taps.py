@@ -1,0 +1,107 @@
+"""TraceTap: incremental polling, loss accounting, stage filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.forecast import TraceTap
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EstimationTrace
+
+
+def _trace(registry, stage="estimate", ts=None, bounds=None, actual=None):
+    low, high = (bounds, tuple(b + 1.0 for b in bounds)) if bounds else (None, None)
+    trace = EstimationTrace(
+        query_id=registry.next_query_id(),
+        predicted=0.25,
+        backend="numpy",
+        stage=stage,
+        actual=actual,
+        query_low=low,
+        query_high=high,
+        **({"timestamp": ts} if ts is not None else {}),
+    )
+    registry.record_trace(trace)
+    return trace
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(trace_capacity=8)
+
+
+class TestPolling:
+    def test_poll_returns_only_new_records(self, registry):
+        tap = TraceTap(registry)
+        _trace(registry)
+        _trace(registry)
+        sample = tap.poll()
+        assert sample.count == 2
+        assert sample.dropped == 0
+        assert tap.poll().count == 0  # nothing new
+
+    def test_tap_starts_at_current_total(self, registry):
+        _trace(registry)
+        tap = TraceTap(registry)
+        assert tap.pending == 0
+        assert tap.poll().count == 0
+
+    def test_from_start_reads_history(self, registry):
+        _trace(registry)
+        tap = TraceTap(registry, from_start=True)
+        assert tap.poll().count == 1
+
+    def test_eviction_is_counted_not_silent(self, registry):
+        tap = TraceTap(registry)
+        for _ in range(12):  # capacity 8 → 4 evicted before the poll
+            _trace(registry)
+        sample = tap.poll()
+        assert sample.count == 8
+        assert sample.dropped == 4
+        assert sample.observed == 12
+
+    def test_independent_consumers(self, registry):
+        tap_a = TraceTap(registry)
+        tap_b = TraceTap(registry)
+        _trace(registry)
+        assert tap_a.poll().count == 1
+        assert tap_b.poll().count == 1  # b's mark is its own
+
+    def test_stage_filter_still_consumes_interval(self, registry):
+        tap = TraceTap(registry)
+        _trace(registry, stage="estimate")
+        _trace(registry, stage="feedback", bounds=(0.0,), actual=0.5)
+        sample = tap.poll(stage="feedback")
+        assert len(sample.traces) == 1
+        assert sample.count == 2  # whole interval consumed
+        assert tap.poll().count == 0
+
+
+class TestSampleProjections:
+    def test_rate_from_timestamp_span(self, registry):
+        tap = TraceTap(registry)
+        for ts in (10.0, 11.0, 12.0):
+            _trace(registry, ts=ts)
+        # 3 records over 2 seconds → (3 - 1) / 2 = 1 record/second.
+        assert tap.poll().rate() == pytest.approx(1.0)
+
+    def test_rate_with_single_record_is_zero(self, registry):
+        tap = TraceTap(registry)
+        _trace(registry)
+        assert tap.poll().rate() == 0.0
+
+    def test_centers_and_volumes_skip_unbounded(self, registry):
+        tap = TraceTap(registry)
+        _trace(registry, bounds=(0.0, 2.0))
+        _trace(registry)  # no bounds
+        sample = tap.poll()
+        assert sample.centers() == [(0.5, 2.5)]
+        assert sample.volumes() == [pytest.approx(1.0)]
+
+    def test_feedback_pairs(self, registry):
+        tap = TraceTap(registry)
+        _trace(registry, stage="feedback", bounds=(1.0,), actual=0.3)
+        _trace(registry, stage="feedback", actual=0.4)  # no bounds → skipped
+        _trace(registry, stage="estimate", bounds=(2.0,))  # wrong stage
+        pairs = tap.poll().feedback_pairs()
+        assert pairs == [((1.0,), (2.0,), 0.3)]

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import json
 
-from repro.obs.export import dump_json, to_json, to_prometheus
+import pytest
+
+from repro.obs.export import dump_json, export_metrics, to_json, to_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import EstimationTrace
 
@@ -34,12 +36,22 @@ def test_to_json_round_trips_the_snapshot():
     assert snapshot["traces"][0]["backend"] == "numpy"
 
 
-def test_dump_json_writes_the_file(tmp_path):
+def test_dump_json_writes_the_file_and_warns_once(tmp_path, monkeypatch):
+    from repro.obs import export as export_module
+
+    monkeypatch.setattr(export_module, "_warned_dump_json", False)
     registry = _populated_registry()
     path = tmp_path / "metrics.json"
-    assert dump_json(registry, str(path)) == str(path)
+    with pytest.warns(DeprecationWarning, match="export_metrics"):
+        assert dump_json(registry, str(path)) == str(path)
     snapshot = json.loads(path.read_text())
     assert snapshot["counters"]["backend.queries{backend=numpy}"] == 7.0
+    # Single shot: the second call stays quiet.
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", DeprecationWarning)
+        dump_json(registry, str(path))
 
 
 def test_prometheus_text_format():
@@ -65,3 +77,43 @@ def test_prometheus_text_format():
 
 def test_prometheus_empty_registry_is_empty_string():
     assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestExportMetrics:
+    """The unified exporter the CLI and bench harness now go through."""
+
+    def test_json_format_subsumes_the_snapshot(self):
+        registry = _populated_registry()
+        document = json.loads(export_metrics(registry, format="json"))
+        assert document["counters"]["backend.queries{backend=numpy}"] == 7.0
+        assert document["gauges"]["cache.entries{backend=cached}"] == 12.0
+        # The devices section is always present, even with no device work.
+        assert document["devices"] == {}
+
+    def test_json_includes_device_profiles(self):
+        registry = _populated_registry()
+        registry.histogram(
+            "device.kernel.seconds",
+            {"device": "gpu", "kernel": "contribution"},
+        ).observe(0.25)
+        document = json.loads(export_metrics(registry, format="json"))
+        profile = document["devices"]["gpu"]
+        assert profile["kernels"]["contribution"]["launches"] == 1
+        assert profile["kernel_seconds"] == pytest.approx(0.25)
+
+    def test_prometheus_format_matches_to_prometheus(self):
+        registry = _populated_registry()
+        assert export_metrics(registry, format="prometheus") == to_prometheus(
+            registry
+        )
+
+    def test_path_writes_the_document(self, tmp_path):
+        registry = _populated_registry()
+        path = tmp_path / "metrics.json"
+        rendered = export_metrics(registry, path=str(path))
+        assert path.read_text() == rendered + "\n"
+        assert json.loads(path.read_text())["counters"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="prometheus"):
+            export_metrics(MetricsRegistry(), format="xml")

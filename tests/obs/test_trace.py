@@ -13,6 +13,7 @@ def test_minimal_trace_as_dict_drops_optionals():
     assert record == {
         "query_id": 1,
         "stage": "estimate",
+        "timestamp": trace.timestamp,
         "predicted": 0.25,
         "backend": "numpy",
         "bandwidth_epoch": 0,
@@ -21,6 +22,8 @@ def test_minimal_trace_as_dict_drops_optionals():
         "cache_misses": 0,
     }
     assert trace.absolute_error is None
+    assert trace.query_center is None
+    assert trace.query_volume is None
 
 
 def test_completed_trace_includes_error_and_loss():

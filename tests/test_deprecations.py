@@ -9,10 +9,13 @@ import pytest
 
 from repro.core.bandwidth import scott_bandwidth
 from repro.core.estimator import KernelDensityEstimator
+from repro.core.model import SelfTuningKDE
 from repro.device.kde_device import DeviceKDE
 from repro.device.partition import MultiDeviceKDE
 from repro.device.runtime import DeviceContext
 from repro.geometry import Box
+from repro.serve import ModelRegistry
+from repro.serve import registry as registry_module
 
 
 def _single_deprecation(record) -> warnings.WarningMessage:
@@ -93,6 +96,58 @@ class TestDeviceSetBandwidthAlias:
         )
         with pytest.raises(ValueError, match="positive"):
             kde.bandwidth = np.zeros(3)
+
+
+class TestRegisterBackendAlias:
+    """``register(backend=...)`` → ``reader_backend=`` (1.1 rename)."""
+
+    @pytest.fixture(autouse=True)
+    def _rearm_single_shot(self, monkeypatch):
+        # The shim warns once per process; rearm it so each test sees
+        # deterministic behaviour regardless of execution order.
+        monkeypatch.setattr(registry_module, "_warned_backend_kwarg", False)
+
+    def _model(self, small_sample):
+        return SelfTuningKDE(small_sample, seed=0)
+
+    def test_warns_exactly_once_and_delegates(self, small_sample):
+        registry = ModelRegistry()
+        with pytest.warns(DeprecationWarning, match="reader_backend") as record:
+            server = registry.register(
+                "t", ("a", "b", "c"), self._model(small_sample), backend="grid"
+            )
+        _single_deprecation(record)
+        assert server.reader_backend == "grid"
+        # Single shot: the second use stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            other = registry.register(
+                "u", ("a", "b", "c"), self._model(small_sample), backend="grid"
+            )
+        assert other.reader_backend == "grid"
+
+    def test_both_spellings_is_an_error(self, small_sample):
+        registry = ModelRegistry()
+        with pytest.raises(TypeError, match="deprecated alias"):
+            registry.register(
+                "t",
+                ("a", "b", "c"),
+                self._model(small_sample),
+                reader_backend="grid",
+                backend="cached",
+            )
+
+    def test_new_spelling_does_not_warn(self, small_sample):
+        registry = ModelRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            server = registry.register(
+                "t",
+                ("a", "b", "c"),
+                self._model(small_sample),
+                reader_backend="grid",
+            )
+        assert server.reader_backend == "grid"
 
 
 class TestMultiDeviceSetBandwidthAlias:

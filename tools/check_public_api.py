@@ -38,6 +38,11 @@ REQUIRED_MODULES = (
     "repro.core.backends.hashing",
     "repro.core.state",
     "repro.faults",
+    "repro.forecast",
+    "repro.forecast.controller",
+    "repro.forecast.drift",
+    "repro.forecast.forecasters",
+    "repro.forecast.taps",
     "repro.serve",
     "repro.serve.checkpoint",
     "repro.serve.frontend",
