@@ -23,9 +23,12 @@ Subpackages
     Evaluation datasets and the DT/DV/UT/UV workload generators.
 ``repro.serve``
     Snapshot-isolated serving: read-copy-update publication of immutable
-    model states, a ``(table, columns)`` model registry, crash-safe
-    periodic checkpoints with warm start, and an asyncio micro-batching
-    front end coalescing concurrent clients into batched evaluations.
+    model states, a join-signature-keyed model registry
+    (:class:`ModelKey`; legacy ``(table, columns)`` spellings coerce),
+    crash-safe periodic checkpoints with warm start, and an asyncio
+    micro-batching front end coalescing concurrent clients into batched
+    evaluations — including plan-level batched pricing for the
+    optimizer (:class:`RegistryCostModel`, :func:`optimize_join_order`).
 ``repro.bench``
     The experiment harness regenerating every table and figure of the
     paper's evaluation (Section 6).
@@ -66,6 +69,11 @@ from .core import (
     optimize_bandwidth,
     scott_bandwidth,
 )
+from .db.optimizer import (
+    RegistryCostModel,
+    optimize_join_order,
+    plan_quality_ratio,
+)
 from .factory import ESTIMATOR_KINDS, create_estimator
 from .faults import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
 from .forecast import DriftDetector, Forecaster, ProactiveController
@@ -73,6 +81,7 @@ from .serve import (
     CheckpointManager,
     EstimatorFrontend,
     FrontendConfig,
+    ModelKey,
     ModelRegistry,
     Overloaded,
     SnapshotServer,
@@ -106,6 +115,7 @@ __all__ = [
     "KernelDensityEstimator",
     "RetryPolicy",
     "MetricsRegistry",
+    "ModelKey",
     "ModelRegistry",
     "ModelState",
     "NumpyBackend",
@@ -113,6 +123,7 @@ __all__ = [
     "ProactiveController",
     "QueryBatch",
     "RangeQuery",
+    "RegistryCostModel",
     "SelfTuningKDE",
     "ShardedBackend",
     "SnapshotServer",
@@ -124,5 +135,7 @@ __all__ = [
     "get_registry",
     "metrics_enabled",
     "optimize_bandwidth",
+    "optimize_join_order",
+    "plan_quality_ratio",
     "scott_bandwidth",
 ]

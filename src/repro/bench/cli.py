@@ -17,6 +17,7 @@ Usage::
     python -m repro.bench serving [--scale ...] [--checkpoint PATH]
                                   [--clients N [N ...]]
     python -m repro.bench forecast [--scale ...]
+    python -m repro.bench plans  [--scale ...]
     python -m repro.bench all    [--scale ...]
 
 Any invocation accepts ``--metrics-json PATH``: the process-wide
@@ -55,6 +56,7 @@ from .experiments import (
     run_log_update_ablation,
     run_model_size_quality,
     run_observability,
+    run_plans,
     run_runtime_scaling,
     run_selector_shootout,
     run_serving,
@@ -68,6 +70,7 @@ from .reporting import (
     render_frontend_load,
     render_model_size,
     render_observability,
+    render_plans,
     render_runtime,
     render_serving,
     render_static_quality,
@@ -133,6 +136,7 @@ EXPERIMENTS = (
     "metrics",
     "serving",
     "forecast",
+    "plans",
     "all",
 )
 
@@ -195,6 +199,23 @@ FRONTEND_SCALE = {
     ),
 }
 
+
+#: Per-scale parameters for the ``plans`` experiment (optimizer in
+#: the loop: plan quality per estimator family on a correlated star).
+PLANS_SCALE = {
+    "smoke": dict(
+        fact_rows=10_000, dim_rows=1_500, sample_size=256,
+        feedback_queries=30, dp_tables=10,
+    ),
+    "small": dict(
+        fact_rows=40_000, dim_rows=4_000, sample_size=512,
+        feedback_queries=100, dp_tables=11,
+    ),
+    "paper": dict(
+        fact_rows=200_000, dim_rows=20_000, sample_size=2048,
+        feedback_queries=400, dp_tables=14,
+    ),
+}
 
 #: Per-scale parameters for the ``forecast`` experiment (reactive vs
 #: proactive serving under phased load, plus the clock-injected
@@ -475,6 +496,13 @@ def run_experiment(
             "Forecast - proactive (forecast-driven warming/publication/"
             "autoscaling) vs reactive serving under phased load"
         )
+    elif name == "plans":
+        result = run_plans(progress=progress, **PLANS_SCALE[scale_name])
+        report = render_plans(result)
+        title = (
+            "Plans - join-order quality per estimator family "
+            "(RegistryCostModel over served snapshots)"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -524,7 +552,8 @@ def main(argv=None) -> int:
 
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
-         "batch", "backends", "chaos", "metrics", "serving", "forecast"]
+         "batch", "backends", "chaos", "metrics", "serving", "forecast",
+         "plans"]
         if args.experiment == "all"
         else [args.experiment]
     )

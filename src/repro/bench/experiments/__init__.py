@@ -25,6 +25,7 @@ from .frontend_load import (
 )
 from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
 from .observability import ObservabilityResult, run_observability
+from .plans import PlanModeResult, PlansResult, run_plans
 from .runtime import (
     DEFAULT_BATCH_SIZES,
     PAPER_MODEL_SIZES,
@@ -56,6 +57,8 @@ __all__ = [
     "ObservabilityResult",
     "PAPER_MODEL_SIZES",
     "PAPER_SIZES",
+    "PlanModeResult",
+    "PlansResult",
     "RuntimeResult",
     "SelectorShootout",
     "ServingResult",
@@ -71,6 +74,7 @@ __all__ = [
     "run_log_update_ablation",
     "run_model_size_quality",
     "run_observability",
+    "run_plans",
     "run_runtime_scaling",
     "run_selector_shootout",
     "run_serving",

@@ -17,6 +17,7 @@ from .experiments.forecast import ForecastResult
 from .experiments.frontend_load import FrontendLoadResult
 from .experiments.model_size import ModelSizeResult
 from .experiments.observability import ObservabilityResult
+from .experiments.plans import PlansResult
 from .experiments.runtime import RuntimeResult
 from .experiments.serving import ServingResult
 from .experiments.static_quality import StaticQualityResult
@@ -28,6 +29,7 @@ __all__ = [
     "render_win_matrix",
     "render_model_size",
     "render_observability",
+    "render_plans",
     "render_runtime",
     "render_chaos",
     "render_dynamic",
@@ -343,3 +345,44 @@ def render_chaos(result: ChaosResult) -> str:
         f"{len(result.seeds)} storms x {result.batches_per_seed} batches; "
         + verdict
     )
+
+
+def render_plans(result: PlansResult) -> str:
+    """Optimizer-in-the-loop: chosen orders and true plan quality."""
+    headers = [
+        "mode",
+        "chosen order",
+        "ratio",
+        "max node Q-err",
+        "pricing rungs",
+    ]
+    rows = []
+    for mode in result.modes:
+        rungs = ", ".join(
+            f"{rung}:{count}"
+            for rung, count in sorted(mode.rung_counts.items())
+        )
+        rows.append(
+            [
+                mode.mode,
+                " > ".join(mode.order),
+                f"{mode.quality_ratio:.2f}",
+                f"{mode.max_qerror:.2f}",
+                rungs,
+            ]
+        )
+    lines = [format_table(headers, rows)]
+    lines.append(
+        "true optimum: "
+        + " > ".join(result.optimal_order)
+        + f" (C_out = {result.optimal_cost:,.0f}); ratio = true cost of "
+        "chosen plan / true cost of optimum"
+    )
+    lines.append(
+        ("PASS" if result.dp_matches_exhaustive else "FAIL")
+        + ": DP plan == exhaustive plan on the 4-table star; "
+        f"{result.dp_tables}-table chain enumerated in "
+        f"{result.dp_seconds:.2f}s (factorial sweep would need "
+        f"{result.dp_tables}! orders)"
+    )
+    return "\n".join(lines)

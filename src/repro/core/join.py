@@ -36,6 +36,7 @@ from typing import Sequence, Tuple, Union
 
 import numpy as np
 
+from .chunking import get_density_chunk_budget
 from .estimator import KernelDensityEstimator
 from .kernels import GaussianKernel
 
@@ -44,9 +45,6 @@ __all__ = [
     "equi_join_density",
     "independence_band_join_selectivity",
 ]
-
-#: Pairwise work per chunk of the O(s_R * s_S) join kernels.
-_PAIR_BUDGET = 4_000_000
 
 
 def _check_join_inputs(
@@ -113,7 +111,10 @@ def band_join_selectivity(
     s_r, s_s = t.shape[0], u.shape[0]
     kernel = GaussianKernel()
     total = 0.0
-    chunk = max(1, _PAIR_BUDGET // max(1, s_s))
+    # Pairwise work per chunk rides the L2-derived density budget — the
+    # same policy (set_chunk_budget / REPRO_CHUNK_BUDGET) as every other
+    # O(n*m) hot path; its default matches the historical 4M-pair budget.
+    chunk = max(1, get_density_chunk_budget() // max(1, s_s))
     for start in range(0, s_r, chunk):
         block = t[start : start + chunk]           # (b, k)
         pair = np.ones((block.shape[0], s_s), dtype=np.float64)
@@ -161,7 +162,8 @@ def equi_join_density(
         np.log(variance).sum()
     )
     total = 0.0
-    chunk = max(1, _PAIR_BUDGET // max(1, s_s))
+    # Same L2-derived pair budget as band_join_selectivity above.
+    chunk = max(1, get_density_chunk_budget() // max(1, s_s))
     for start in range(0, s_r, chunk):
         block = t[start : start + chunk]
         exponent = np.zeros((block.shape[0], s_s), dtype=np.float64)

@@ -14,13 +14,55 @@ and experiments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
 from .table import Table
 
-__all__ = ["hash_join", "pk_fk_join_sample", "band_join_count"]
+__all__ = [
+    "hash_join",
+    "pk_fk_join_sample",
+    "pk_fk_join_sample_stats",
+    "band_join_count",
+    "JoinSampleResult",
+]
+
+
+@dataclass(frozen=True)
+class JoinSampleResult:
+    """A PK-FK join sample together with its cardinality evidence.
+
+    The sampler draws fact tuples uniformly, so the fraction of draws
+    that found a dimension partner is an unbiased estimate of the
+    fraction of fact rows participating in the join — and in a PK-FK
+    join each participating fact row contributes exactly one result
+    row, so ``match_rate * len(fact)`` estimates the join cardinality.
+    This is the number the optimizer's join-sample pricing rung needs
+    alongside the sample itself.
+    """
+
+    #: ``(n, d_fact + d_dim)`` sampled join-result rows.
+    rows: np.ndarray
+    #: Uniform fact-row draws made (including dangling-key misses).
+    draws: int
+    #: Draws that found a dimension partner.
+    matches: int
+    #: Size of the fact (foreign-key) side at sampling time.
+    fact_rows: int
+
+    @property
+    def match_rate(self) -> float:
+        """Estimated fraction of fact rows with a join partner."""
+        if self.draws == 0:
+            return 0.0
+        return self.matches / self.draws
+
+    @property
+    def estimated_join_rows(self) -> float:
+        """Estimated join-result cardinality (``match_rate * |fact|``)."""
+        return self.match_rate * self.fact_rows
 
 
 def _key_index(table: Table, key_column: int) -> Dict[float, int]:
@@ -76,6 +118,28 @@ def pk_fk_join_sample(
     Returns ``(sample_size, d_fact + d_dim)`` rows; fewer if the join is
     highly selective and the fact table runs out of matching tuples.
     """
+    return pk_fk_join_sample_stats(
+        fact, dimension, fact_key, dimension_key, sample_size, rng
+    ).rows
+
+
+def pk_fk_join_sample_stats(
+    fact: Table,
+    dimension: Table,
+    fact_key: int,
+    dimension_key: int,
+    sample_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> JoinSampleResult:
+    """Like :func:`pk_fk_join_sample`, also returning cardinality evidence.
+
+    The :class:`JoinSampleResult` records how many uniform fact draws
+    were needed and how many matched, from which
+    :attr:`~JoinSampleResult.estimated_join_rows` estimates the join
+    cardinality — the input the optimizer's
+    :class:`~repro.db.optimizer.RegistryCostModel` join-sample rung
+    prices edges with.
+    """
     if sample_size < 1:
         raise ValueError("sample_size must be at least 1")
     if len(fact) == 0 or len(dimension) == 0:
@@ -87,6 +151,7 @@ def pk_fk_join_sample(
 
     out = []
     attempts = 0
+    matches = 0
     max_attempts = 50 * sample_size
     while len(out) < sample_size and attempts < max_attempts:
         attempts += 1
@@ -94,10 +159,15 @@ def pk_fk_join_sample(
         position = index.get(float(row[fact_key]))
         if position is None:
             continue
+        matches += 1
         out.append(np.concatenate([row, dimension_rows[position]]))
     if not out:
-        return np.empty((0, fact.dimensions + dimension.dimensions))
-    return np.vstack(out)
+        rows = np.empty((0, fact.dimensions + dimension.dimensions))
+    else:
+        rows = np.vstack(out)
+    return JoinSampleResult(
+        rows=rows, draws=attempts, matches=matches, fact_rows=len(fact)
+    )
 
 
 def band_join_count(

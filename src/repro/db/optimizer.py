@@ -8,20 +8,50 @@ join-order optimizer whose cost model is the classic ``C_out`` metric
 (the sum of intermediate result cardinalities [31]), fed by pluggable
 per-table selectivity estimators and join selectivities.
 
-The experiment pattern it enables: optimise the same query once with a
+Two enumeration strategies are provided by :func:`optimize_join_order`:
+the textbook dynamic program over table subsets (default — ``O(2^n)``
+states, practical well past ten tables) and the original exhaustive
+``permutations`` sweep (``O(n!)``, kept for cross-checking the DP on
+small queries).  Both price orders with the same ``C_out`` accounting,
+and on ties both return the lexicographically first optimal order, so
+the DP is an exact drop-in for the exhaustive search.
+
+:class:`RegistryCostModel` is the serving-stack integration: it prices
+every plan node from *served snapshots* in a
+:class:`~repro.serve.registry.ModelRegistry`, falling through a ladder
+of estimation rungs — join-sample models, then
+:func:`~repro.core.join.equi_join_density` /
+:func:`~repro.core.join.band_join_selectivity` joint integrals over two
+single-table models, then the histogram independence baseline — and
+records which rung answered each node (:attr:`RegistryCostModel.pricing`).
+
+The experiment pattern this enables: optimise the same query once with a
 good estimator (the self-tuning KDE) and once with a bad one (AVI, or a
 stale model), execute both chosen orders against the true data, and
 compare the *true* costs — the end-to-end impact of estimation errors.
+``repro.bench plans`` runs exactly that comparison.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from itertools import permutations
-from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..geometry import Box
+import numpy as np
+
 from ..baselines.base import SelectivityEstimator
+from ..geometry import Box
+from ..serve.keys import JOIN_SAMPLE, TABLE, JoinEdge, ModelKey
 from .table import Table
 
 __all__ = [
@@ -31,9 +61,17 @@ __all__ = [
     "CostModel",
     "EstimatedCostModel",
     "TrueCostModel",
+    "RegistryCostModel",
+    "NodePricing",
     "optimize_join_order",
     "plan_quality_ratio",
+    "price_order",
 ]
+
+#: Bitmask-DP state count grows as ``2^n``; past this the DP itself is
+#: the bottleneck and a real system would switch to greedy/genetic
+#: enumeration.
+_DP_TABLE_CAP = 18
 
 
 @dataclass(frozen=True)
@@ -49,7 +87,11 @@ class JoinQuery:
     joins:
         Equi-join edges ``(left table, left column, right table, right
         column)``.  Tables without a join edge to the current prefix are
-        combined as cross products (and priced accordingly).
+        combined as cross products (and priced accordingly).  Self-join
+        edges (``left == right``) are rejected: the left-deep enumerator
+        joins each table in exactly once, so an intra-table edge could
+        never connect a prefix to a new table and would silently price
+        as a cross product.
     """
 
     tables: Mapping[str, Table]
@@ -65,6 +107,14 @@ class JoinQuery:
         for left, left_col, right, right_col in self.joins:
             if left not in self.tables or right not in self.tables:
                 raise ValueError("join edge references unknown table")
+            if left == right:
+                raise ValueError(
+                    f"self-join edge on table {left!r}: the left-deep "
+                    "enumerator joins each table once, so an intra-table "
+                    "edge would never match a prefix and would silently "
+                    "be priced as a cross product; alias the table under "
+                    "a second name instead"
+                )
             if not 0 <= left_col < self.tables[left].dimensions:
                 raise ValueError("join column out of range")
             if not 0 <= right_col < self.tables[right].dimensions:
@@ -203,10 +253,441 @@ class TrueCostModel(CostModel):
         return matches / pairs
 
 
-def _plan_for_order(
+@dataclass(frozen=True)
+class NodePricing:
+    """Which estimation rung priced one plan node, and with what.
+
+    ``subject`` is ``"table:<name>"`` for base cardinalities and
+    ``"edge:<L>.<col>=<R>.<col>"`` (column names) for join edges;
+    ``rung`` names the route that answered (``"rows"``,
+    ``"frontend-batch"``, ``"served-snapshot"``, ``"static-estimator"``,
+    ``"join-sample"``, ``"joint-integral"``, ``"independence"``);
+    ``value`` is the selectivity (edges) or cardinality (tables) it
+    produced.
+    """
+
+    subject: str
+    rung: str
+    value: float
+
+
+class RegistryCostModel(CostModel):
+    """Cost model answering from served snapshots in a model registry.
+
+    The optimizer-in-the-loop oracle: every plan node is priced by a
+    registry lookup and a snapshot read, falling through the estimation
+    rungs the paper's Section 8 sketches.
+
+    **Base cardinalities** (per-table predicates), first rung that
+    answers wins:
+
+    1. ``frontend-batch`` — a selectivity pre-answered through
+       :meth:`~repro.serve.frontend.EstimatorFrontend.plan_cardinalities`
+       (passed as ``base_selectivities``);
+    2. ``served-snapshot`` — the registered single-table model covering
+       the most predicate columns, read via
+       :meth:`~repro.serve.server.SnapshotServer.estimate`;
+    3. ``static-estimator`` — a plain
+       :class:`~repro.baselines.base.SelectivityEstimator` from
+       ``estimators`` (how the AVI/sampling baselines ride the same
+       harness);
+    4. no rung answers → ``KeyError`` (a predicate the service cannot
+       price is a caller bug, matching :class:`EstimatedCostModel`).
+
+    Unpredicated tables price as ``rows`` directly.
+
+    **Join selectivities**, falling from model-based to assumption-based:
+
+    1. ``join-sample`` — a registered join-sample model whose signature
+       covers the edge, scaled by its estimated join cardinality
+       (``join_rows``; see
+       :func:`~repro.db.join.pk_fk_join_sample_stats`) and corrected
+       for predicate correlation with a joint snapshot read over the
+       join-result distribution;
+    2. ``joint-integral`` — the closed-form
+       :func:`~repro.core.join.equi_join_density` (or
+       :func:`~repro.core.join.band_join_selectivity` when
+       ``band_epsilon`` is set) over the two tables' served single-table
+       snapshots, scaled by ``key_width``;
+    3. ``independence`` — the histogram baseline
+       :func:`~repro.core.join.independence_band_join_selectivity` over
+       the raw key columns.
+
+    Every answer is recorded in :attr:`pricing` (and cached — the
+    enumerator prices the same node many times).
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.serve.registry.ModelRegistry` (or any mapping
+        with ``items()`` yielding ``(ModelKey, server)``); ``None``
+        disables the served rungs.
+    estimators:
+        Optional table name -> estimator fallbacks for base
+        cardinalities.
+    key_width:
+        Discretisation width of the equi-join key domain: the factor
+        converting the joint *density* of rung 2 into a selectivity,
+        and (halved) the band the independence baseline integrates.
+        Use the key domain's value spacing (1.0 for integer keys).
+    band_epsilon:
+        When set, edges are priced as band joins ``|l - r| <= eps``
+        instead of equalities (rungs 2 and 3).
+    join_rows:
+        Estimated join-result cardinalities for the join-sample rung,
+        keyed by join-sample :class:`~repro.serve.keys.ModelKey`, by
+        :class:`~repro.serve.keys.JoinEdge`, or by a query-style
+        ``(left, left_col, right, right_col)`` tuple (either
+        orientation, column indices or names).
+    base_selectivities:
+        Pre-answered per-table predicate selectivities (the
+        front end's batched answers); highest-priority base rung.
+    """
+
+    def __init__(
+        self,
+        registry=None,
+        *,
+        estimators: Optional[Mapping[str, SelectivityEstimator]] = None,
+        key_width: float = 1.0,
+        band_epsilon: Optional[float] = None,
+        join_rows: Optional[Mapping] = None,
+        base_selectivities: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if key_width <= 0:
+            raise ValueError("key_width must be positive")
+        if band_epsilon is not None and band_epsilon <= 0:
+            raise ValueError("band_epsilon must be positive when given")
+        self._registry = registry
+        self._estimators = dict(estimators) if estimators else {}
+        self._key_width = float(key_width)
+        self._band_epsilon = band_epsilon
+        self._join_rows = dict(join_rows) if join_rows else {}
+        self._base_selectivities = (
+            dict(base_selectivities) if base_selectivities else {}
+        )
+        #: Per-node pricing records, in first-pricing order.
+        self.pricing: List[NodePricing] = []
+        self._base_cache: Dict[str, float] = {}
+        self._edge_cache: Dict[JoinEdge, float] = {}
+
+    # -- shared resolution helpers -------------------------------------
+    @staticmethod
+    def _served_items(registry) -> List[Tuple[ModelKey, object]]:
+        if registry is None:
+            return []
+        return list(registry.items())
+
+    @classmethod
+    def resolve_table_model(cls, registry, query: JoinQuery, table: str):
+        """The served single-table model for a predicate, plus its box.
+
+        Picks the ``table``-kind key covering the most of the table's
+        columns (full-layout models win) and projects the table's
+        predicate onto the model's column order.  Raises ``KeyError``
+        when no registered model can price the predicate — the same
+        contract as a front-end estimate for an unregistered model.
+        """
+        predicate = query.predicates.get(table)
+        if predicate is None:
+            raise ValueError(f"table {table!r} has no predicate to price")
+        names = list(query.tables[table].column_names)
+        best: Optional[ModelKey] = None
+        for key, _ in cls._served_items(registry):
+            if key.kind != TABLE or key.tables[0] != table:
+                continue
+            if not all(column in names for column in key.columns):
+                continue
+            if best is None or len(key.columns) > len(best.columns):
+                best = key
+        if best is None:
+            raise KeyError(
+                f"no single-table model registered for table {table!r}"
+            )
+        indices = [names.index(column) for column in best.columns]
+        low = np.asarray(predicate.low, dtype=np.float64)[indices]
+        high = np.asarray(predicate.high, dtype=np.float64)[indices]
+        return best, Box(low, high)
+
+    def _server_for(self, key: ModelKey):
+        for candidate, server in self._served_items(self._registry):
+            if candidate == key:
+                return server
+        raise KeyError(f"no model registered for {key.label!r}")
+
+    def _edge_names(
+        self, query: JoinQuery, edge: Tuple[str, int, str, int]
+    ) -> Tuple[str, str, str, str]:
+        left, left_col, right, right_col = edge
+        return (
+            left,
+            str(query.tables[left].column_names[left_col]),
+            right,
+            str(query.tables[right].column_names[right_col]),
+        )
+
+    def rung_counts(self) -> Dict[str, int]:
+        """How many nodes each rung priced (from :attr:`pricing`)."""
+        return dict(Counter(record.rung for record in self.pricing))
+
+    def _record(self, subject: str, rung: str, value: float) -> float:
+        self.pricing.append(NodePricing(subject, rung, float(value)))
+        return float(value)
+
+    # -- base cardinalities --------------------------------------------
+    def base_cardinality(self, query: JoinQuery, table: str) -> float:
+        if table in self._base_cache:
+            return self._base_cache[table]
+        rows = float(len(query.tables[table]))
+        predicate = query.predicates.get(table)
+        subject = f"table:{table}"
+        if predicate is None:
+            value = self._record(subject, "rows", rows)
+        elif table in self._base_selectivities:
+            selectivity = float(self._base_selectivities[table])
+            self._record(subject, "frontend-batch", selectivity)
+            value = rows * selectivity
+        else:
+            value = None
+            try:
+                key, box = self.resolve_table_model(
+                    self._registry, query, table
+                )
+            except KeyError:
+                pass
+            else:
+                server = self._server_for(key)
+                selectivity = float(server.estimate(box))
+                self._record(subject, "served-snapshot", selectivity)
+                value = rows * selectivity
+            if value is None:
+                estimator = self._estimators.get(table)
+                if estimator is None:
+                    raise KeyError(
+                        f"no served model or estimator can price the "
+                        f"predicate on table {table!r}"
+                    )
+                selectivity = float(estimator.estimate(predicate))
+                self._record(subject, "static-estimator", selectivity)
+                value = rows * selectivity
+        self._base_cache[table] = value
+        return value
+
+    # -- join selectivities --------------------------------------------
+    def join_selectivity(
+        self, query: JoinQuery, edge: Tuple[str, int, str, int]
+    ) -> float:
+        left, left_name, right, right_name = self._edge_names(query, edge)
+        canonical = JoinEdge.of(left, left_name, right, right_name)
+        if canonical in self._edge_cache:
+            return self._edge_cache[canonical]
+        subject = f"edge:{canonical}"
+        value = self._join_sample_rung(query, edge, canonical, subject)
+        if value is None:
+            value = self._joint_integral_rung(query, edge, canonical, subject)
+        if value is None:
+            value = self._independence_rung(query, edge, subject)
+        self._edge_cache[canonical] = value
+        return value
+
+    def _lookup_join_rows(
+        self, key: ModelKey, edge: Tuple[str, int, str, int], canonical: JoinEdge
+    ) -> Optional[float]:
+        left, left_col, right, right_col = edge
+        for candidate in (
+            key,
+            canonical,
+            edge,
+            (right, right_col, left, left_col),
+            (
+                canonical.left_table,
+                canonical.left_column,
+                canonical.right_table,
+                canonical.right_column,
+            ),
+        ):
+            try:
+                if candidate in self._join_rows:
+                    return float(self._join_rows[candidate])
+            except TypeError:  # unhashable candidate form
+                continue
+        return None
+
+    def _join_sample_rung(
+        self,
+        query: JoinQuery,
+        edge: Tuple[str, int, str, int],
+        canonical: JoinEdge,
+        subject: str,
+    ) -> Optional[float]:
+        left, _, right, _ = edge
+        for key, server in self._served_items(self._registry):
+            if key.kind != JOIN_SAMPLE or not key.covers_edge(canonical):
+                continue
+            join_rows = self._lookup_join_rows(key, edge, canonical)
+            if join_rows is None:
+                continue  # a sample without cardinality evidence can't price
+            rows_left = float(len(query.tables[left]))
+            rows_right = float(len(query.tables[right]))
+            pairs = rows_left * rows_right
+            if pairs <= 0:
+                return self._record(subject, "join-sample", 0.0)
+            selectivity = join_rows / pairs
+            correction = self._join_sample_correction(
+                query, key, server, left, right
+            )
+            if correction is not None:
+                selectivity *= correction
+            return self._record(
+                subject, "join-sample", min(max(selectivity, 0.0), 1.0)
+            )
+        return None
+
+    def _join_sample_correction(
+        self, query: JoinQuery, key: ModelKey, server, left: str, right: str
+    ) -> Optional[float]:
+        """Correlation correction from the join-result distribution.
+
+        ``C_out`` multiplies predicate-filtered base cardinalities by
+        the edge selectivity, which implicitly assumes the predicates
+        are independent of the join.  The join-sample model sees the
+        *post-join* distribution, so
+        ``P_join(pred_L and pred_R) / (p_L * p_R)`` rescales the edge to
+        make the product come out at the correlated truth.
+        """
+        if left not in query.predicates and right not in query.predicates:
+            return None
+        low: List[float] = []
+        high: List[float] = []
+        state = server.published.state
+        sample = np.asarray(state.sample, dtype=np.float64)
+        bandwidth = np.asarray(state.bandwidth, dtype=np.float64)
+        for position, qualified in enumerate(key.columns):
+            table_name, _, column = qualified.partition(".")
+            predicate = query.predicates.get(table_name)
+            index = None
+            if predicate is not None and table_name in query.tables:
+                names = list(query.tables[table_name].column_names)
+                if column in names:
+                    index = names.index(column)
+            if predicate is not None and index is not None:
+                low.append(float(predicate.low[index]))
+                high.append(float(predicate.high[index]))
+            else:
+                # Unconstrained dimension: cover the model's mass so the
+                # joint read marginalises it out.
+                margin = 6.0 * float(bandwidth[position])
+                low.append(float(sample[:, position].min()) - margin)
+                high.append(float(sample[:, position].max()) + margin)
+        joint = float(server.estimate(Box(np.array(low), np.array(high))))
+        independent = 1.0
+        for name in (left, right):
+            if name in query.predicates:
+                rows = float(len(query.tables[name]))
+                if rows <= 0:
+                    return None
+                try:
+                    independent *= self.base_cardinality(query, name) / rows
+                except KeyError:
+                    # The predicate itself is unpriceable here — skip the
+                    # correction rather than fail the whole edge.
+                    return None
+        if independent <= 0.0:
+            return None
+        return joint / independent
+
+    def _joint_integral_rung(
+        self,
+        query: JoinQuery,
+        edge: Tuple[str, int, str, int],
+        canonical: JoinEdge,
+        subject: str,
+    ) -> Optional[float]:
+        from ..core.join import band_join_selectivity, equi_join_density
+
+        left, left_col, right, right_col = edge
+        left_name = str(query.tables[left].column_names[left_col])
+        right_name = str(query.tables[right].column_names[right_col])
+        sides = []
+        for table, column in ((left, left_name), (right, right_name)):
+            found = None
+            for key, server in self._served_items(self._registry):
+                if key.kind != TABLE or key.tables[0] != table:
+                    continue
+                if column not in key.columns:
+                    continue
+                found = (key.columns.index(column), server)
+                break
+            if found is None:
+                return None
+            sides.append(found)
+        (l_index, l_server), (r_index, r_server) = sides
+        l_reader = l_server.published.reader
+        r_reader = r_server.published.reader
+        try:
+            if self._band_epsilon is not None:
+                selectivity = band_join_selectivity(
+                    l_reader,
+                    r_reader,
+                    [l_index],
+                    [r_index],
+                    self._band_epsilon,
+                )
+            else:
+                selectivity = self._key_width * equi_join_density(
+                    l_reader, r_reader, [l_index], [r_index]
+                )
+        except ValueError:
+            # Non-Gaussian kernels have no closed form — fall through.
+            return None
+        return self._record(
+            subject, "joint-integral", min(max(selectivity, 0.0), 1.0)
+        )
+
+    def _independence_rung(
+        self, query: JoinQuery, edge: Tuple[str, int, str, int], subject: str
+    ) -> float:
+        from ..core.join import independence_band_join_selectivity
+
+        left, left_col, right, right_col = edge
+        epsilon = (
+            self._band_epsilon
+            if self._band_epsilon is not None
+            else self._key_width / 2.0
+        )
+        selectivity = independence_band_join_selectivity(
+            query.tables[left].rows()[:, left_col],
+            query.tables[right].rows()[:, right_col],
+            epsilon=epsilon,
+        )
+        return self._record(
+            subject, "independence", min(max(selectivity, 0.0), 1.0)
+        )
+
+
+def _canonical_edge(
+    query: JoinQuery, edge: Tuple[str, int, str, int]
+) -> Tuple[str, int, str, int]:
+    """Map an oriented edge back to the query's stored tuple form."""
+    left, left_col, right, right_col = edge
+    for candidate in query.joins:
+        if candidate in (
+            (left, left_col, right, right_col),
+            (right, right_col, left, left_col),
+        ):
+            return candidate
+    raise AssertionError(f"edge {edge!r} is not part of the query")
+
+
+def price_order(
     query: JoinQuery, order: Sequence[str], model: CostModel
 ) -> Plan:
-    """Price one left-deep order under a cost model (C_out)."""
+    """Price one left-deep order under a cost model (C_out).
+
+    Useful for pricing a plan *chosen* by one model under another —
+    e.g. the true cost of the order an estimator-driven optimizer
+    picked, which is how the plan-quality experiments compare modes.
+    """
     prefix: FrozenSet[str] = frozenset([order[0]])
     cardinality = model.base_cardinality(query, order[0])
     nodes = [PlanNode(order[0], cardinality)]
@@ -215,18 +696,9 @@ def _plan_for_order(
         base = model.base_cardinality(query, table)
         selectivity = 1.0
         for edge in query.join_edges_between(prefix, table):
-            # Edge tuples are canonicalised back to the query's form.
-            left, left_col, right, right_col = edge
-            canonical = None
-            for candidate in query.joins:
-                if candidate in (
-                    (left, left_col, right, right_col),
-                    (right, right_col, left, left_col),
-                ):
-                    canonical = candidate
-                    break
-            assert canonical is not None
-            selectivity *= model.join_selectivity(query, canonical)
+            selectivity *= model.join_selectivity(
+                query, _canonical_edge(query, edge)
+            )
         cardinality = cardinality * base * selectivity
         cost += cardinality
         nodes.append(PlanNode(table, cardinality))
@@ -234,20 +706,110 @@ def _plan_for_order(
     return Plan(order=tuple(order), nodes=tuple(nodes), cost=cost)
 
 
-def optimize_join_order(
-    query: JoinQuery, model: CostModel
+def _optimize_exhaustive(
+    query: JoinQuery, model: CostModel, names: Sequence[str]
 ) -> Plan:
-    """Exhaustive left-deep join ordering under the given cost model."""
-    names = sorted(query.tables)
-    if len(names) > 8:
-        raise ValueError("exhaustive enumeration is capped at 8 tables")
     best: Optional[Plan] = None
     for order in permutations(names):
-        plan = _plan_for_order(query, order, model)
+        plan = price_order(query, order, model)
         if best is None or plan.cost < best.cost:
             best = plan
     assert best is not None
     return best
+
+
+def _optimize_dp(
+    query: JoinQuery, model: CostModel, names: Sequence[str]
+) -> Plan:
+    """Dynamic program over table subsets (left-deep, C_out).
+
+    ``C_out`` of a left-deep order decomposes over its prefix *sets*:
+    the cardinality of a prefix is order-independent (a product of base
+    cardinalities and intra-set edge selectivities), so
+    ``cost(S) = min_t cost(S - t) + card(S)``.  States are bitmask
+    subsets; ties are broken toward the lexicographically first order,
+    which makes the DP return exactly the plan the exhaustive
+    ``permutations`` sweep would.
+    """
+    n = len(names)
+    full = (1 << n) - 1
+
+    base = [model.base_cardinality(query, name) for name in names]
+
+    def edge_selectivity(prefix_bits: int, table_index: int) -> float:
+        prefix = frozenset(
+            names[i] for i in range(n) if prefix_bits & (1 << i)
+        )
+        selectivity = 1.0
+        for edge in query.join_edges_between(prefix, names[table_index]):
+            selectivity *= model.join_selectivity(
+                query, _canonical_edge(query, edge)
+            )
+        return selectivity
+
+    # card[mask]: cardinality of the joined subset — order-independent,
+    # computed by peeling the lowest set bit.
+    card = [0.0] * (full + 1)
+    best_cost: List[Optional[float]] = [None] * (full + 1)
+    best_order: List[Optional[Tuple[str, ...]]] = [None] * (full + 1)
+    for index in range(n):
+        mask = 1 << index
+        card[mask] = base[index]
+        best_cost[mask] = 0.0
+        best_order[mask] = (names[index],)
+
+    for mask in range(1, full + 1):
+        if mask & (mask - 1) == 0:  # singleton, seeded above
+            continue
+        lowest = (mask & -mask).bit_length() - 1
+        rest = mask ^ (1 << lowest)
+        card[mask] = (
+            card[rest] * base[lowest] * edge_selectivity(rest, lowest)
+        )
+        choice: Optional[Tuple[float, Tuple[str, ...]]] = None
+        for index in range(n):
+            bit = 1 << index
+            if not mask & bit:
+                continue
+            previous = mask ^ bit
+            prev_cost = best_cost[previous]
+            prev_order = best_order[previous]
+            assert prev_cost is not None and prev_order is not None
+            candidate = (prev_cost + card[mask], prev_order + (names[index],))
+            if choice is None or candidate < choice:
+                choice = candidate
+        assert choice is not None
+        best_cost[mask], best_order[mask] = choice
+
+    order = best_order[full]
+    assert order is not None
+    return price_order(query, order, model)
+
+
+def optimize_join_order(
+    query: JoinQuery, model: CostModel, *, method: str = "dp"
+) -> Plan:
+    """Optimal left-deep join ordering under the given cost model.
+
+    ``method="dp"`` (default) runs the ``O(2^n)`` subset dynamic
+    program — exact, and practical for 10+ table queries where the
+    factorial sweep is not.  ``method="exhaustive"`` keeps the original
+    ``permutations`` enumeration (capped at 8 tables) for
+    cross-checking; both return identical plans, including on cost
+    ties, where the lexicographically first optimal order wins.
+    """
+    names = sorted(query.tables)
+    if method == "exhaustive":
+        if len(names) > 8:
+            raise ValueError("exhaustive enumeration is capped at 8 tables")
+        return _optimize_exhaustive(query, model, names)
+    if method == "dp":
+        if len(names) > _DP_TABLE_CAP:
+            raise ValueError(
+                f"DP enumeration is capped at {_DP_TABLE_CAP} tables"
+            )
+        return _optimize_dp(query, model, names)
+    raise ValueError(f"unknown enumeration method {method!r}")
 
 
 def plan_quality_ratio(
@@ -261,7 +823,7 @@ def plan_quality_ratio(
     """
     truth = truth or TrueCostModel()
     optimal = optimize_join_order(query, truth)
-    chosen_true = _plan_for_order(query, chosen.order, truth)
+    chosen_true = price_order(query, chosen.order, truth)
     if optimal.cost <= 0.0:
         return 1.0
     return max(chosen_true.cost / optimal.cost, 1.0)

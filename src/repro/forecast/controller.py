@@ -54,6 +54,8 @@ from ..core.gradient import QueryFeedback
 from ..core.optimize import optimize_bandwidth
 from ..geometry import Box
 from ..obs import MetricsRegistry, get_registry
+from ..serve.keys import TABLE as TABLE_KIND
+from ..serve.keys import ModelKey
 from ..serve.registry import ModelRegistry
 from ..serve.server import SnapshotServer
 from .drift import DriftDetector
@@ -261,7 +263,7 @@ class ProactiveController:
         self._frontend = frontend
         self._clock = clock
         self._retune = retune
-        self._states: Dict[Tuple[str, Tuple[str, ...]], _ModelState] = {}
+        self._states: Dict[ModelKey, _ModelState] = {}
         self._tap = TraceTap(self._registry())
         self._thread: Optional[threading.Thread] = None
         self._stop_event = threading.Event()
@@ -338,12 +340,11 @@ class ProactiveController:
 
     def _step_model(
         self,
-        key: Tuple[str, Tuple[str, ...]],
+        key: ModelKey,
         state: _ModelState,
         now: float,
     ) -> List[ControllerAction]:
-        label = f"{key[0]}/{','.join(key[1])}"
-        labels = {"model": label}
+        labels = {"model": key.label}
         registry = self._registry()
         actions: List[ControllerAction] = []
         server = state.server
@@ -395,28 +396,37 @@ class ProactiveController:
         return actions
 
     # -- signals --------------------------------------------------------
-    def _demand(
-        self, key: Tuple[str, Tuple[str, ...]], server: SnapshotServer
-    ) -> int:
-        """Cumulative queries answered for this model.
+    def _demand(self, key: ModelKey, server: SnapshotServer) -> int:
+        """Cumulative queries answered for this model (any key kind).
 
         The front end evaluates published readers directly, so its lane
         counters see traffic ``server.read_count`` never does; both are
-        cumulative, so their sum differences cleanly.
+        cumulative, so their sum differences cleanly.  Single-table keys
+        query the front end with the legacy ``(table, columns)``
+        spelling (so simple stub frontends keep working); join-signature
+        keys address their lane by :class:`ModelKey` directly.
         """
         demand = server.read_count
         if self._frontend is not None:
             try:
-                demand += self._frontend.stats(key[0], key[1]).requests
+                if key.kind == TABLE_KIND:
+                    stats = self._frontend.stats(key.tables[0], key.columns)
+                else:
+                    stats = self._frontend.stats(key)
+                demand += stats.requests
             except KeyError:
                 pass
         return demand
 
-    def _recent_boxes(self, key: Tuple[str, Tuple[str, ...]]) -> List[Box]:
+    def _recent_boxes(self, key: ModelKey) -> List[Box]:
         if self._frontend is None:
             return []
         try:
-            return self._frontend.recent_queries(key[0], key[1])
+            if key.kind == TABLE_KIND:
+                return self._frontend.recent_queries(
+                    key.tables[0], key.columns
+                )
+            return self._frontend.recent_queries(key)
         except KeyError:
             return []
 

@@ -5,14 +5,19 @@ mutate under feedback (Sections 5.2 and 5.4 of the paper) while readers
 are served immutable :class:`~repro.core.state.ModelState` snapshots
 published per completed epoch.
 
+* :class:`ModelKey` / :class:`JoinEdge` — canonical join-signature
+  model identity: single-table column sets, PK-FK join samples, and
+  theta-join pairs (``repro.serve.keys``).
 * :class:`SnapshotServer` — read-copy-update publication; lock-free reads.
-* :class:`ModelRegistry` — thread-safe ``(table, columns)`` → server map.
+* :class:`ModelRegistry` — thread-safe ``ModelKey`` → server map
+  (legacy ``(table, columns)`` spellings coerce).
 * :class:`CheckpointManager` — periodic atomic checkpoints, last-K
-  retention, corrupt-skipping warm start.
+  retention, corrupt-skipping warm start; key-namespaced directories.
 * :class:`EstimatorFrontend` — asyncio micro-batching front end:
   admission queues coalescing concurrent single-query requests into one
   batched evaluation per model, load shedding (:class:`Overloaded`),
-  and a watchdog degrading to stale-snapshot serving.
+  a watchdog degrading to stale-snapshot serving, and the plan-level
+  :meth:`~EstimatorFrontend.plan_cardinalities` entry point.
 """
 
 from .checkpoint import CheckpointManager
@@ -22,7 +27,9 @@ from .frontend import (
     FrontendSession,
     LaneStats,
     Overloaded,
+    PlanEstimate,
 )
+from .keys import JoinEdge, ModelKey
 from .registry import ModelRegistry
 from .server import PublishedSnapshot, SnapshotServer
 
@@ -31,9 +38,12 @@ __all__ = [
     "EstimatorFrontend",
     "FrontendConfig",
     "FrontendSession",
+    "JoinEdge",
     "LaneStats",
+    "ModelKey",
     "ModelRegistry",
     "Overloaded",
+    "PlanEstimate",
     "PublishedSnapshot",
     "SnapshotServer",
 ]

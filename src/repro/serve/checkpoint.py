@@ -28,6 +28,7 @@ from typing import List, Optional, Protocol, Tuple, runtime_checkable
 from ..core.state import CheckpointError, ModelState
 from ..faults.injector import FaultInjector
 from ..obs import MetricsRegistry, get_registry
+from .keys import ModelKey
 
 __all__ = ["CheckpointManager", "Checkpointable"]
 
@@ -69,6 +70,14 @@ class CheckpointManager:
         mid-payload, simulating a crash between ``os.replace`` and the
         data reaching disk on a filesystem that reorders the two.  The
         checksum layer must then reject the file on load.
+    key:
+        Optional model identity — a :class:`~repro.serve.keys.ModelKey`
+        or a legacy ``(table, columns)`` pair.  When given, checkpoints
+        live under ``directory/<key.slug>/`` so one checkpoint root can
+        hold every served model (single-table and join-signature alike)
+        without filename collisions.  When the target is a
+        :class:`~repro.serve.server.SnapshotServer` that already carries
+        a key, that key is used automatically.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class CheckpointManager:
         every_feedbacks: int = 100,
         metrics: Optional[MetricsRegistry] = None,
         faults: Optional[FaultInjector] = None,
+        key=None,
     ) -> None:
         if keep_last < 1:
             raise ValueError("keep_last must be at least 1")
@@ -90,6 +100,12 @@ class CheckpointManager:
                 "target must expose snapshot() and restore(); got "
                 f"{type(target).__name__}"
             )
+        if key is None:
+            key = getattr(target, "key", None)
+        if key is not None:
+            key = ModelKey.coerce(key)
+            directory = os.path.join(directory, key.slug)
+        self._key: Optional[ModelKey] = key
         self._target = target
         self._directory = directory
         self._keep_last = keep_last
@@ -108,7 +124,18 @@ class CheckpointManager:
     # ------------------------------------------------------------------
     @property
     def directory(self) -> str:
+        """The effective directory (key-namespaced when a key is bound)."""
         return self._directory
+
+    @property
+    def key(self) -> Optional[ModelKey]:
+        """The model identity namespacing this manager, or ``None``.
+
+        A warm start of a *fresh* target must name the same identity
+        (pass ``key=`` or restore through a keyed server) to find the
+        files a keyed manager wrote.
+        """
+        return self._key
 
     def checkpoints(self) -> List[str]:
         """Existing checkpoint paths, oldest first."""
@@ -256,8 +283,9 @@ class CheckpointManager:
                 )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = f"key={self._key.label!r}, " if self._key is not None else ""
         return (
-            f"CheckpointManager(directory={self._directory!r}, "
+            f"CheckpointManager({who}directory={self._directory!r}, "
             f"keep_last={self._keep_last}, "
             f"checkpoints={len(self.checkpoints())})"
         )

@@ -8,7 +8,9 @@ between: an asyncio admission layer that
 
 * accepts single estimates from many client sessions,
 * **coalesces** requests that arrive while a batch is in flight into one
-  :class:`~repro.geometry.QueryBatch` per ``(table, columns)`` model,
+  :class:`~repro.geometry.QueryBatch` per served model — lanes are keyed
+  by :class:`~repro.serve.keys.ModelKey`, with the legacy
+  ``(table, columns)`` spelling coerced at admission,
 * answers each batch with a single
   :meth:`~repro.serve.server.SnapshotServer.estimate_batch`-equivalent
   evaluation against **one consistent published snapshot**, and
@@ -77,6 +79,7 @@ from ..core.backends import get_backend
 from ..faults.breaker import CLOSED, CircuitBreaker, export_breaker_metrics
 from ..geometry import Box, QueryBatch
 from ..obs import MetricsRegistry, get_registry
+from .keys import ModelKey
 from .registry import ModelRegistry
 from .server import PublishedSnapshot, SnapshotServer
 
@@ -87,6 +90,7 @@ __all__ = [
     "FrontendSession",
     "LaneStats",
     "Overloaded",
+    "PlanEstimate",
 ]
 
 #: Buckets for the coalescing-factor histogram: batch sizes are small
@@ -213,13 +217,13 @@ class _Lane:
 
     def __init__(
         self,
-        key: Tuple[str, Tuple[str, ...]],
+        key: ModelKey,
         server: SnapshotServer,
         config: FrontendConfig,
     ) -> None:
         self.key = key
         self.server = server
-        self.labels = {"model": f"{key[0]}/{','.join(key[1])}"}
+        self.labels = {"model": key.label}
         self.queue: Deque[Tuple[Box, asyncio.Future]] = deque()
         self.wakeup = asyncio.Event()
         self.breaker = CircuitBreaker(
@@ -249,6 +253,32 @@ class _Lane:
         self.recent_seconds.clear()
 
 
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Result of :meth:`EstimatorFrontend.plan_cardinalities`.
+
+    Carries the optimiser's chosen plan together with the evidence used
+    to price it: the per-table predicate selectivities answered through
+    the admission batch, and the cost model's rung log recording which
+    estimation route priced each plan node.
+    """
+
+    #: The chosen join plan (a ``JoinPlan`` from :mod:`repro.db.optimizer`).
+    plan: object
+    #: ``table -> predicate selectivity`` answered by the front end.
+    base_selectivities: Dict[str, float]
+    #: The cost model's per-node pricing records, in pricing order.
+    pricing: Tuple[object, ...]
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        return self.plan.order
+
+    @property
+    def cardinalities(self) -> Tuple[float, ...]:
+        return tuple(node.cardinality for node in self.plan.nodes)
+
+
 class FrontendSession:
     """One client's handle on the front end.
 
@@ -269,7 +299,10 @@ class FrontendSession:
         return self._closed
 
     async def estimate(
-        self, table: str, columns: Sequence[str], query: Box
+        self,
+        table: "Union[str, ModelKey]",
+        columns: Optional[Sequence[str]] = None,
+        query: Optional[Box] = None,
     ) -> float:
         if self._closed:
             raise RuntimeError(f"session {self.session_id} is closed")
@@ -295,7 +328,8 @@ class EstimatorFrontend:
     Parameters
     ----------
     registry:
-        The ``(table, columns) -> SnapshotServer`` map to serve from.
+        The :class:`~repro.serve.registry.ModelRegistry` of
+        ``ModelKey -> SnapshotServer`` entries to serve from.
     config:
         Tuning knobs; defaults are service-sized (see
         :class:`FrontendConfig`).
@@ -323,7 +357,7 @@ class EstimatorFrontend:
         self._registry_map = registry
         self._config = config if config is not None else FrontendConfig()
         self._metrics = metrics
-        self._lanes: Dict[Tuple[str, Tuple[str, ...]], _Lane] = {}
+        self._lanes: Dict[ModelKey, _Lane] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._watchdog_task: Optional[asyncio.Task] = None
         self._started = False
@@ -399,17 +433,30 @@ class EstimatorFrontend:
     # Client path
     # ------------------------------------------------------------------
     async def estimate(
-        self, table: str, columns: Sequence[str], query: Box
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+        query: Optional[Box] = None,
     ) -> float:
         """Estimate one query's selectivity through the admission queue.
 
+        Call as ``estimate(table, columns, box)`` (legacy spelling) or
+        ``estimate(key, box)`` with any
+        :class:`~repro.serve.keys.ModelKey` — join-signature lanes
+        (join-sample and theta-join models) are addressable only through
+        the key form.
+
         Raises :class:`Overloaded` when the model's queue is at
         ``max_queue_depth`` (shed; retry after backoff), ``KeyError``
-        when no model is registered for ``(table, columns)``, and
-        ``ValueError`` for dimension mismatches or non-finite bounds.
+        when no model is registered for the key, and ``ValueError`` for
+        dimension mismatches or non-finite bounds.
         """
         if not self._started:
             raise RuntimeError("EstimatorFrontend.start() has not been called")
+        if isinstance(table, ModelKey) and query is None:
+            query = columns  # estimate(key, box)
+            columns = None
+        key = ModelKey.coerce(table, columns)
         # Validate before resolving the lane so a bad request can't spawn
         # a dispatcher task, and reject non-finite bounds per-client here:
         # Box tolerates inf/NaN but QueryBatch does not, so an admitted
@@ -422,20 +469,19 @@ class EstimatorFrontend:
             np.all(np.isfinite(query.low)) and np.all(np.isfinite(query.high))
         ):
             raise ValueError("query bounds must be finite")
-        key = (table, tuple(str(c) for c in columns))
         lane = self._lanes.get(key)
         if lane is None:
-            server = self._registry_map.get(table, columns)  # KeyError if absent
+            server = self._registry_map.get(key)  # KeyError if absent
             dimensions = int(server.published.state.sample.shape[1])
         else:
             dimensions = lane.dimensions
         if query.dimensions != dimensions:
             raise ValueError(
                 f"query has {query.dimensions} dimensions, model "
-                f"{key[0]}/{','.join(key[1])} has {dimensions}"
+                f"{key.label} has {dimensions}"
             )
         if lane is None:
-            lane = self._lane(table, columns)
+            lane = self._lane(key)
         if len(lane.queue) >= self._config.max_queue_depth:
             lane.stats.shed += 1
             self._registry().counter("frontend.shed", lane.labels).inc()
@@ -454,25 +500,89 @@ class EstimatorFrontend:
         lane.wakeup.set()
         return await future
 
+    async def plan_cardinalities(
+        self,
+        query,
+        *,
+        key_width: float = 1.0,
+        join_rows=None,
+        method: str = "dp",
+    ) -> PlanEstimate:
+        """Price every node of a ``JoinQuery`` in one admission batch.
+
+        The plan-level entry point: all per-table predicate
+        selectivities are admitted *concurrently*, so they coalesce into
+        the in-flight batch of their lane (one evaluation per served
+        model rather than one per plan node), then a
+        :class:`~repro.db.optimizer.RegistryCostModel` seeded with those
+        answers prices the join edges from served snapshots and
+        :func:`~repro.db.optimizer.optimize_join_order` (DP by default)
+        picks the plan on the event loop's executor.
+
+        Parameters mirror :class:`~repro.db.optimizer.RegistryCostModel`:
+        ``key_width`` is the equi-join key width used by the joint
+        integral rung, ``join_rows`` optionally maps join-sample
+        :class:`~repro.serve.keys.ModelKey` (or edge tuples) to
+        estimated join cardinalities.
+
+        Raises ``KeyError`` when a predicated table has no registered
+        model, like :meth:`estimate` does for a single query.
+        """
+        from ..db.optimizer import RegistryCostModel, optimize_join_order
+
+        if not self._started:
+            raise RuntimeError("EstimatorFrontend.start() has not been called")
+        resolved = []
+        for name in sorted(query.predicates):
+            key, box = RegistryCostModel.resolve_table_model(
+                self._registry_map, query, name
+            )
+            resolved.append((name, key, box))
+        values = await asyncio.gather(
+            *(self.estimate(key, box) for _, key, box in resolved)
+        )
+        base_selectivities = {
+            name: float(value)
+            for (name, _, _), value in zip(resolved, values)
+        }
+        model = RegistryCostModel(
+            self._registry_map,
+            key_width=key_width,
+            join_rows=join_rows,
+            base_selectivities=base_selectivities,
+        )
+        assert self._loop is not None
+        plan = await self._loop.run_in_executor(
+            None, lambda: optimize_join_order(query, model, method=method)
+        )
+        return PlanEstimate(
+            plan=plan,
+            base_selectivities=base_selectivities,
+            pricing=tuple(model.pricing),
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(
         self,
-        table: Optional[str] = None,
+        table: "Union[str, ModelKey, None]" = None,
         columns: Optional[Sequence[str]] = None,
     ) -> LaneStats:
         """Counters for one model lane, or aggregated over all lanes.
 
-        A registered model that has not yet received traffic reports
-        all-zero stats; an unregistered one raises ``KeyError``.
+        Addresses a lane by ``(table, columns)`` or by
+        :class:`~repro.serve.keys.ModelKey`.  A registered model that
+        has not yet received traffic reports all-zero stats; an
+        unregistered one raises ``KeyError``.
         """
         if table is not None:
-            if columns is None:
+            if columns is None and not isinstance(table, ModelKey):
                 raise ValueError("columns is required when table is given")
-            lane = self._lanes.get((table, tuple(str(c) for c in columns)))
+            key = ModelKey.coerce(table, columns)
+            lane = self._lanes.get(key)
             if lane is None:
-                self._registry_map.get(table, columns)  # KeyError if absent
+                self._registry_map.get(key)  # KeyError if absent
                 return LaneStats()
             return self._lane_stats(lane)
         total = LaneStats()
@@ -483,7 +593,9 @@ class EstimatorFrontend:
         return total
 
     def recent_queries(
-        self, table: str, columns: Sequence[str]
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
     ) -> List[Box]:
         """Recently admitted query boxes for one model lane (oldest first).
 
@@ -494,32 +606,47 @@ class EstimatorFrontend:
         with no traffic yet returns an empty list; an unregistered one
         raises ``KeyError``.
         """
-        lane = self._lanes.get((table, tuple(str(c) for c in columns)))
+        key = ModelKey.coerce(table, columns)
+        lane = self._lanes.get(key)
         if lane is None:
-            self._registry_map.get(table, columns)  # KeyError if absent
+            self._registry_map.get(key)  # KeyError if absent
             return []
         return list(lane.recent_queries)
 
-    def degraded(self, table: str, columns: Sequence[str]) -> bool:
+    def degraded(
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+    ) -> bool:
         """Whether the lane currently serves from its pinned snapshot.
 
         A registered model with no traffic yet is not degraded; an
         unregistered one raises ``KeyError``.
         """
-        lane = self._lanes.get((table, tuple(str(c) for c in columns)))
+        key = ModelKey.coerce(table, columns)
+        lane = self._lanes.get(key)
         if lane is None:
-            self._registry_map.get(table, columns)  # KeyError if absent
+            self._registry_map.get(key)  # KeyError if absent
             return False
         return lane.breaker.state != CLOSED
 
-    def trip(self, table: str, columns: Sequence[str], reason: str = "manual") -> None:
+    def trip(
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+        reason: str = "manual",
+    ) -> None:
         """Trip one lane to degraded (stale-snapshot) serving now.
 
         The operator/testing entry point to the same mechanism the
         watchdog uses; the lane recovers through the breaker's half-open
-        probe like any other trip.
+        probe like any other trip.  With a :class:`ModelKey` first
+        argument the second positional may be the reason string.
         """
-        lane = self._lane(table, columns)
+        if isinstance(table, ModelKey) and isinstance(columns, str):
+            reason = columns  # trip(key, "reason")
+            columns = None
+        lane = self._lane(ModelKey.coerce(table, columns))
         self._trip_lane(lane, reason)
 
     def _lane_stats(self, lane: _Lane) -> LaneStats:
@@ -545,11 +672,10 @@ class EstimatorFrontend:
     def _gauge(self, name: str, lane: _Lane):
         return self._registry().gauge(name, lane.labels)
 
-    def _lane(self, table: str, columns: Sequence[str]) -> _Lane:
-        key = (table, tuple(str(c) for c in columns))
+    def _lane(self, key: ModelKey) -> _Lane:
         lane = self._lanes.get(key)
         if lane is None:
-            server = self._registry_map.get(table, columns)  # KeyError if absent
+            server = self._registry_map.get(key)  # KeyError if absent
             if (
                 self._config.reader_backend is not None
                 and server.reader_backend is None

@@ -1,0 +1,323 @@
+"""Canonical model identity: the join-signature-aware :class:`ModelKey`.
+
+The paper trains one estimator per table/column combination the
+optimiser asks about, and its Section 8 sketches two further model
+families over *join* results: KDEs built from PK-FK join samples, and
+theta-join pairs priced by joint integrals over two single-table
+models.  A registry keyed by a bare ``(table, columns)`` tuple cannot
+name the join families, so every layer that identifies a served model —
+:class:`~repro.serve.registry.ModelRegistry`,
+:class:`~repro.serve.server.SnapshotServer` naming,
+:class:`~repro.serve.checkpoint.CheckpointManager` directories,
+front-end admission lanes, the forecast controller's demand accounting —
+keys on the :class:`ModelKey` defined here instead.
+
+A :class:`ModelKey` is a frozen, hashable, totally ordered value with
+three kinds:
+
+``table``
+    A single-table column set — the classic ``(table, columns)``
+    identity.  :meth:`ModelKey.coerce` converts legacy pairs, so every
+    pre-existing call site keeps working unchanged.
+``join-sample``
+    A model built over a sample of a join *result* (the PK-FK route):
+    identified by the set of joined tables plus the canonicalised join
+    edges, with the sample's column layout recorded as qualified
+    ``table.column`` names.
+``theta-join``
+    A pair of single-table models priced together through the joint
+    integral route: identified by exactly one canonicalised edge.
+
+Canonicalisation makes structurally equal signatures compare equal:
+edge orientation is normalised (``fact.k = dim.k`` and ``dim.k =
+fact.k`` are the same edge), edges are sorted, and the table set is
+sorted — so a key built from a query always finds the key a model was
+registered under, whichever way round the join was written.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple, Union
+
+__all__ = ["JoinEdge", "ModelKey", "TABLE", "JOIN_SAMPLE", "THETA_JOIN"]
+
+#: The three model-identity kinds.
+TABLE = "table"
+JOIN_SAMPLE = "join-sample"
+THETA_JOIN = "theta-join"
+
+_KINDS = (TABLE, JOIN_SAMPLE, THETA_JOIN)
+
+#: Characters that survive into a filesystem slug unchanged.
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _check_name(value: str, what: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{what} must be a non-empty string, got {value!r}")
+    return value
+
+
+def _columns_tuple(columns: Sequence[str], what: str) -> Tuple[str, ...]:
+    if isinstance(columns, str):
+        raise TypeError(f"{what} must be a sequence of names, not a string")
+    cols = tuple(str(c) for c in columns)
+    if not cols:
+        raise ValueError(f"{what} must be non-empty")
+    return cols
+
+
+@dataclass(frozen=True, order=True)
+class JoinEdge:
+    """One canonicalised equi/theta join edge between two table columns.
+
+    Construct through :meth:`of`, which normalises orientation so the
+    lexicographically smaller ``(table, column)`` endpoint is always on
+    the left — a key built from either spelling of the edge compares
+    equal.
+    """
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def __post_init__(self) -> None:
+        _check_name(self.left_table, "left_table")
+        _check_name(self.right_table, "right_table")
+        _check_name(self.left_column, "left_column")
+        _check_name(self.right_column, "right_column")
+        if (self.left_table, self.left_column) > (
+            self.right_table,
+            self.right_column,
+        ):
+            raise ValueError(
+                "JoinEdge endpoints are not canonicalised; build edges "
+                "with JoinEdge.of(...)"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        left_table: str,
+        left_column: Union[str, int],
+        right_table: str,
+        right_column: Union[str, int],
+    ) -> "JoinEdge":
+        """Build an edge with normalised endpoint order."""
+        a = (_check_name(left_table, "left_table"), str(left_column))
+        b = (_check_name(right_table, "right_table"), str(right_column))
+        if a > b:
+            a, b = b, a
+        return cls(a[0], a[1], b[0], b[1])
+
+    @property
+    def tables(self) -> Tuple[str, str]:
+        return (self.left_table, self.right_table)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_table}.{self.left_column}"
+            f"={self.right_table}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True, order=True)
+class ModelKey:
+    """Canonical, hashable identity of one served estimator.
+
+    Build through the classmethods — :meth:`for_table`,
+    :meth:`for_join_sample`, :meth:`for_theta_join`, or the legacy
+    coercion :meth:`coerce` — rather than the raw constructor; they
+    perform the canonicalisation the equality/hash semantics rely on.
+    """
+
+    kind: str
+    #: Sorted tuple of the tables the model covers (one for ``table``).
+    tables: Tuple[str, ...]
+    #: Ordered column names; qualified ``table.column`` for join kinds.
+    columns: Tuple[str, ...]
+    #: Canonicalised, sorted join edges (empty for ``table`` keys).
+    edges: Tuple[JoinEdge, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not self.tables:
+            raise ValueError("a ModelKey needs at least one table")
+        for table in self.tables:
+            _check_name(table, "table")
+        if tuple(sorted(set(self.tables))) != self.tables:
+            raise ValueError("tables must be sorted and unique")
+        if not self.columns:
+            raise ValueError("a ModelKey needs at least one column")
+        if self.kind == TABLE:
+            if len(self.tables) != 1:
+                raise ValueError("a table key covers exactly one table")
+            if self.edges:
+                raise ValueError("a table key has no join edges")
+        else:
+            if not self.edges:
+                raise ValueError(f"a {self.kind} key needs join edges")
+            if self.kind == THETA_JOIN and len(self.edges) != 1:
+                raise ValueError("a theta-join key has exactly one edge")
+            if tuple(sorted(self.edges)) != self.edges:
+                raise ValueError("edges must be sorted")
+            referenced = {t for edge in self.edges for t in edge.tables}
+            if not referenced.issubset(set(self.tables)):
+                raise ValueError("edge references a table outside the key")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_table(cls, table: str, columns: Sequence[str]) -> "ModelKey":
+        """The single-table column-set identity (the legacy key)."""
+        return cls(
+            kind=TABLE,
+            tables=(_check_name(table, "table"),),
+            columns=_columns_tuple(columns, "columns"),
+        )
+
+    @classmethod
+    def for_join_sample(
+        cls,
+        edges: Iterable[Union[JoinEdge, Tuple]],
+        columns: Sequence[str],
+    ) -> "ModelKey":
+        """Identity of a model built over a join-result sample.
+
+        ``edges`` accepts :class:`JoinEdge` instances or raw
+        ``(left_table, left_column, right_table, right_column)`` tuples
+        (the :class:`~repro.db.optimizer.JoinQuery` spelling, column
+        indices included); orientation and order are canonicalised.
+        ``columns`` is the sample's column layout as qualified
+        ``table.column`` names, in sample order.
+        """
+        canonical = tuple(sorted(cls._as_edges(edges)))
+        if not canonical:
+            raise ValueError("a join-sample key needs at least one edge")
+        tables = tuple(sorted({t for e in canonical for t in e.tables}))
+        return cls(
+            kind=JOIN_SAMPLE,
+            tables=tables,
+            columns=_columns_tuple(columns, "columns"),
+            edges=canonical,
+        )
+
+    @classmethod
+    def for_theta_join(
+        cls,
+        left_table: str,
+        left_column: Union[str, int],
+        right_table: str,
+        right_column: Union[str, int],
+    ) -> "ModelKey":
+        """Identity of a theta-join pair priced via joint integrals."""
+        edge = JoinEdge.of(left_table, left_column, right_table, right_column)
+        tables = tuple(sorted(set(edge.tables)))
+        columns = (
+            f"{edge.left_table}.{edge.left_column}",
+            f"{edge.right_table}.{edge.right_column}",
+        )
+        return cls(
+            kind=THETA_JOIN, tables=tables, columns=columns, edges=(edge,)
+        )
+
+    @classmethod
+    def coerce(cls, key, columns=None) -> "ModelKey":
+        """Canonicalise any accepted key spelling to a :class:`ModelKey`.
+
+        Accepts a :class:`ModelKey` (returned unchanged), a legacy
+        ``(table, columns)`` pair — either as one 2-tuple or as two
+        arguments — and raises ``TypeError``/``ValueError`` for
+        anything else.  This is the single choke point through which
+        every pre-refactor ``(table, columns)`` call site reaches the
+        re-keyed registry.
+        """
+        if isinstance(key, ModelKey):
+            if columns is not None:
+                raise TypeError(
+                    "columns must be omitted when a ModelKey is given"
+                )
+            return key
+        if columns is not None:
+            return cls.for_table(key, columns)
+        if isinstance(key, tuple) and len(key) == 2:
+            table, cols = key
+            return cls.for_table(table, cols)
+        raise TypeError(
+            "expected a ModelKey or a (table, columns) pair, got "
+            f"{key!r}"
+        )
+
+    @staticmethod
+    def _as_edges(edges: Iterable) -> Tuple[JoinEdge, ...]:
+        out = []
+        for edge in edges:
+            if isinstance(edge, JoinEdge):
+                out.append(edge)
+            elif isinstance(edge, tuple) and len(edge) == 4:
+                out.append(JoinEdge.of(*edge))
+            else:
+                raise TypeError(
+                    "edges must be JoinEdge or 4-tuples "
+                    "(left_table, left_column, right_table, right_column); "
+                    f"got {edge!r}"
+                )
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Derived identities
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> str:
+        """The single table of a ``table`` key (ValueError otherwise)."""
+        if self.kind != TABLE:
+            raise ValueError(f"a {self.kind} key spans {self.tables}")
+        return self.tables[0]
+
+    @property
+    def label(self) -> str:
+        """Human/metrics label.
+
+        Table keys keep the historical ``table/col1,col2`` spelling (so
+        per-model metric labels are stable across the re-keying); join
+        kinds read ``t1*t2[kind:edge;edge]``.
+        """
+        if self.kind == TABLE:
+            return f"{self.tables[0]}/{','.join(self.columns)}"
+        edges = ";".join(str(edge) for edge in self.edges)
+        return f"{'*'.join(self.tables)}[{self.kind}:{edges}]"
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe name, unique per key.
+
+        The sanitised label keeps directories readable; the appended
+        digest keeps distinct keys distinct even when sanitisation
+        collides (e.g. columns ``a,b`` vs ``a.b``).
+        """
+        text = _SLUG_UNSAFE.sub("_", self.label).strip("_")[:80]
+        digest = hashlib.sha1(
+            repr(
+                (self.kind, self.tables, self.columns, self.edges)
+            ).encode("utf-8")
+        ).hexdigest()[:8]
+        return f"{text}-{digest}"
+
+    def covers_edge(self, edge: Union[JoinEdge, Tuple]) -> bool:
+        """Whether this key's signature contains the given join edge."""
+        (candidate,) = self._as_edges([edge])
+        return candidate in self.edges
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelKey({self.label!r})"

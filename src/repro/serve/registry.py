@@ -1,20 +1,34 @@
-"""Registry of served models keyed by ``(table, columns)``.
+"""Registry of served models keyed by join signature.
 
-A selectivity estimation service holds one KDE model per indexed column
-set (the paper trains one model per table/column combination the
-optimiser asks about).  :class:`ModelRegistry` is the thread-safe map
-from that identity to the :class:`~repro.serve.server.SnapshotServer`
-wrapping the model.  Registering a bare estimator wraps it in a server
-automatically, so callers interact with one uniform snapshot-isolated
-surface.
+A selectivity estimation service holds one KDE model per identity the
+optimiser asks about.  Historically that identity was a bare
+``(table, columns)`` pair; the paper's Section 8 join routes add models
+built over PK-FK join samples and theta-join pairs, so the registry now
+keys on the canonical :class:`~repro.serve.keys.ModelKey` — which
+covers all three kinds — while every legacy ``(table, columns)`` call
+site keeps working through :meth:`ModelKey.coerce`.
+
+:class:`ModelRegistry` is the thread-safe map from that identity to the
+:class:`~repro.serve.server.SnapshotServer` wrapping the model.
+Registering a bare estimator wraps it in a server automatically, so
+callers interact with one uniform snapshot-isolated surface.  Every
+accessor accepts either spelling::
+
+    registry.register("orders", ("price", "qty"), model)      # legacy
+    registry.register(ModelKey.for_table("orders", ("price", "qty")), model)
+    registry.register(ModelKey.for_join_sample(edges, cols), join_model)
+
+    registry.get("orders", ("price", "qty"))
+    registry.get(ModelKey.for_join_sample(edges, cols))
 """
 
 from __future__ import annotations
 
 import threading
 import warnings
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from .keys import ModelKey
 from .server import SnapshotModel, SnapshotServer
 
 __all__ = ["ModelRegistry"]
@@ -48,23 +62,24 @@ def _coerce_reader_backend(reader_backend, backend):
         )
     return backend
 
-#: Registry key: table name plus the ordered tuple of column names.
-ModelKey = Tuple[str, Tuple[str, ...]]
 
+def _resolve_key(key_or_table, columns) -> ModelKey:
+    """Coerce the two accepted spellings to a canonical :class:`ModelKey`.
 
-def _make_key(table: str, columns: Sequence[str]) -> ModelKey:
-    if not isinstance(table, str) or not table:
-        raise ValueError("table must be a non-empty string")
-    if isinstance(columns, str):
-        raise TypeError("columns must be a sequence of names, not a string")
-    cols = tuple(str(c) for c in columns)
-    if not cols:
-        raise ValueError("columns must be non-empty")
-    return (table, cols)
+    ``(ModelKey, None)`` and ``(table, columns)`` are both valid;
+    everything else raises the same TypeError/ValueError the legacy
+    ``_make_key`` validation raised.
+    """
+    return ModelKey.coerce(key_or_table, columns)
 
 
 class ModelRegistry:
-    """Thread-safe ``(table, columns) -> SnapshotServer`` map."""
+    """Thread-safe ``ModelKey -> SnapshotServer`` map.
+
+    Keys are join signatures (:class:`~repro.serve.keys.ModelKey`);
+    every accessor also accepts the legacy ``(table, columns)``
+    spelling, which coerces to a ``table``-kind key.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
@@ -72,9 +87,9 @@ class ModelRegistry:
 
     def register(
         self,
-        table: str,
-        columns: Sequence[str],
-        model: "SnapshotModel | SnapshotServer",
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+        model: "SnapshotModel | SnapshotServer | None" = None,
         *,
         replace: bool = False,
         metrics=None,
@@ -83,11 +98,14 @@ class ModelRegistry:
         reader_backend=None,
         backend=None,
     ) -> SnapshotServer:
-        """Register ``model`` under ``(table, columns)``.
+        """Register ``model`` under a key.
 
-        Bare estimators are wrapped in a :class:`SnapshotServer`; an
-        existing server instance is registered as-is.  Re-registering an
-        occupied key raises unless ``replace=True``.
+        Call as ``register(table, columns, model)`` (legacy spelling) or
+        ``register(key, model)`` with a :class:`ModelKey` — the second
+        positional argument is the model when the first is already a
+        key.  Bare estimators are wrapped in a :class:`SnapshotServer`;
+        an existing server instance is registered as-is.
+        Re-registering an occupied key raises unless ``replace=True``.
 
         ``metrics``, ``checkpoints``, ``on_publish`` and
         ``reader_backend`` (a registry name or zero-argument factory,
@@ -103,7 +121,19 @@ class ModelRegistry:
         configured at construction and silently ignoring the kwargs
         would drop exactly that configuration.
         """
-        key = _make_key(table, columns)
+        if isinstance(table, ModelKey):
+            if model is None:
+                model = columns
+                columns = None
+            if model is None:
+                raise TypeError("register(key, model): model is required")
+            key = _resolve_key(table, columns)
+        else:
+            key = _resolve_key(table, columns)
+            if model is None:
+                raise TypeError(
+                    "register(table, columns, model): model is required"
+                )
         reader_backend = _coerce_reader_backend(reader_backend, backend)
         if isinstance(model, SnapshotServer):
             rejected = [
@@ -131,35 +161,49 @@ class ModelRegistry:
                 on_publish=on_publish,
                 reader_backend=reader_backend,
             )
+        if server.key is None:
+            server.key = key
         with self._lock:
             if not replace and key in self._servers:
                 raise KeyError(
-                    f"model already registered for table={table!r} "
-                    f"columns={key[1]!r}; pass replace=True to swap it"
+                    f"model already registered for {key.label!r}; "
+                    "pass replace=True to swap it"
                 )
             self._servers[key] = server
         return server
 
-    def get(self, table: str, columns: Sequence[str]) -> SnapshotServer:
-        """Return the server for ``(table, columns)``; KeyError if absent."""
-        key = _make_key(table, columns)
+    def get(
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+    ) -> SnapshotServer:
+        """Return the server for the key; KeyError if absent."""
+        key = _resolve_key(table, columns)
         with self._lock:
             try:
                 return self._servers[key]
             except KeyError:
                 raise KeyError(
-                    f"no model registered for table={table!r} columns={key[1]!r}"
+                    f"no model registered for {key.label!r}"
                 ) from None
 
-    def lookup(self, table: str, columns: Sequence[str]) -> Optional[SnapshotServer]:
+    def lookup(
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+    ) -> Optional[SnapshotServer]:
         """Like :meth:`get` but returns ``None`` when absent."""
-        key = _make_key(table, columns)
+        key = _resolve_key(table, columns)
         with self._lock:
             return self._servers.get(key)
 
-    def unregister(self, table: str, columns: Sequence[str]) -> Optional[SnapshotServer]:
+    def unregister(
+        self,
+        table: Union[str, ModelKey],
+        columns: Optional[Sequence[str]] = None,
+    ) -> Optional[SnapshotServer]:
         """Remove and return the server for the key (``None`` if absent)."""
-        key = _make_key(table, columns)
+        key = _resolve_key(table, columns)
         with self._lock:
             return self._servers.pop(key, None)
 
@@ -172,15 +216,15 @@ class ModelRegistry:
             return sorted(self._servers.items())
 
     def __contains__(self, key: object) -> bool:
-        if not (isinstance(key, tuple) and len(key) == 2):
-            return False
-        table, columns = key
-        try:
-            resolved = _make_key(table, columns)
-        except (TypeError, ValueError):
-            return False
+        if not isinstance(key, ModelKey):
+            if not (isinstance(key, tuple) and len(key) == 2):
+                return False
+            try:
+                key = ModelKey.coerce(key)
+            except (TypeError, ValueError):
+                return False
         with self._lock:
-            return resolved in self._servers
+            return key in self._servers
 
     def __len__(self) -> int:
         with self._lock:

@@ -57,8 +57,14 @@ from ..core.state import ModelState
 from ..geometry import Box
 from ..obs import MetricsRegistry, get_registry
 from ..obs.trace import EstimationTrace
+from .keys import ModelKey
 
 __all__ = ["PublishedSnapshot", "SnapshotServer", "SnapshotModel"]
+
+
+def _as_model_key(value) -> ModelKey:
+    """Coerce a server identity (ModelKey or ``(table, columns)``)."""
+    return ModelKey.coerce(value)
 
 
 def _validate_reader_spec(spec) -> None:
@@ -158,6 +164,13 @@ class SnapshotServer:
         *instance* is rejected: every publication builds a fresh reader
         and a backend binds to exactly one estimator, so an instance
         could only serve the first publication.
+    key:
+        Optional :class:`~repro.serve.keys.ModelKey` identity.  Purely
+        nominal — it names the server in ``repr`` and lets operational
+        glue (checkpoint directories, dashboards) identify which join
+        signature a server answers for.  When ``None``, the registry
+        assigns its key at registration time; once set it is immutable
+        (a server serving two identities would corrupt both names).
     """
 
     def __init__(
@@ -168,6 +181,7 @@ class SnapshotServer:
         on_publish: Optional[Callable[[PublishedSnapshot], None]] = None,
         checkpoints=None,
         reader_backend: Union[str, Callable[[], ExecutionBackend], None] = None,
+        key=None,
     ) -> None:
         if not hasattr(model, "snapshot") or not hasattr(model, "feedback"):
             raise TypeError(
@@ -175,6 +189,9 @@ class SnapshotServer:
                 f"{type(model).__name__}"
             )
         _validate_reader_spec(reader_backend)
+        if key is not None:
+            key = _as_model_key(key)
+        self._key = key
         self._model = model
         self._metrics = metrics
         self._on_publish = on_publish
@@ -197,6 +214,26 @@ class SnapshotServer:
     def model(self) -> SnapshotModel:
         """The writer model (mutate only through :meth:`feedback`)."""
         return self._model
+
+    @property
+    def key(self):
+        """The server's :class:`~repro.serve.keys.ModelKey`, or ``None``.
+
+        Set once — at construction or by the first
+        :meth:`~repro.serve.registry.ModelRegistry.register` that binds
+        the server to an identity.
+        """
+        return self._key
+
+    @key.setter
+    def key(self, value) -> None:
+        value = _as_model_key(value)
+        if self._key is not None and self._key != value:
+            raise ValueError(
+                f"server already keyed as {self._key.label!r}; "
+                f"cannot re-key as {value.label!r}"
+            )
+        self._key = value
 
     @property
     def published(self) -> PublishedSnapshot:
@@ -499,8 +536,9 @@ class SnapshotServer:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         published = self._published
+        who = f"key={self._key.label!r}, " if self._key is not None else ""
         return (
-            f"SnapshotServer(model={type(self._model).__name__}, "
+            f"SnapshotServer({who}model={type(self._model).__name__}, "
             f"publishes={published.sequence}, feedbacks={self._feedback_count}, "
             f"staleness={self.staleness})"
         )

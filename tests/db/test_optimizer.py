@@ -5,14 +5,18 @@ import pytest
 
 from repro.geometry import Box
 from repro.baselines import HeuristicKDE, SampleCountEstimator
+from repro.core.model import SelfTuningKDE
 from repro.db import Table
+from repro.db.join import pk_fk_join_sample_stats
 from repro.db.optimizer import (
     EstimatedCostModel,
     JoinQuery,
+    RegistryCostModel,
     TrueCostModel,
     optimize_join_order,
     plan_quality_ratio,
 )
+from repro.serve import ModelKey, ModelRegistry
 
 
 @pytest.fixture
@@ -65,6 +69,17 @@ class TestJoinQuery:
             JoinQuery(
                 tables={"a": table, "b": other},
                 joins=[("a", 5, "b", 0)],
+            )
+
+    def test_self_join_edge_rejected(self, rng):
+        """Regression: an intra-table edge used to be accepted silently
+        and then priced as a cross product by the left-deep enumerator."""
+        a = Table(2, initial_rows=rng.normal(size=(10, 2)))
+        b = Table(1, initial_rows=rng.normal(size=(10, 1)))
+        with pytest.raises(ValueError, match="self-join"):
+            JoinQuery(
+                tables={"a": a, "b": b},
+                joins=[("a", 0, "a", 1)],
             )
 
     def test_join_edges_between(self, star_schema):
@@ -185,11 +200,232 @@ class TestOptimization:
         plan = optimize_join_order(query, TrueCostModel())
         assert plan.cost == pytest.approx(1000.0)
 
-    def test_table_cap(self, rng):
+    def test_exhaustive_table_cap(self, rng):
+        """The factorial sweep stays capped at 8 tables; the DP default
+        handles the same query without complaint."""
         tables = {
             f"t{i}": Table(1, initial_rows=rng.normal(size=(5, 1)))
             for i in range(9)
         }
         query = JoinQuery(tables=tables)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="exhaustive"):
+            optimize_join_order(query, TrueCostModel(), method="exhaustive")
+        plan = optimize_join_order(query, TrueCostModel())
+        assert len(plan.order) == 9
+
+    def test_unknown_method_rejected(self, star_schema):
+        with pytest.raises(ValueError, match="method"):
+            optimize_join_order(star_schema, TrueCostModel(), method="greedy")
+
+
+class TestDPEnumeration:
+    def _chain_query(self, rng, n, rows=40):
+        """A chain join t0 - t1 - ... - t(n-1) with varied predicates."""
+        tables = {}
+        for i in range(n):
+            keys = np.arange(float(rows))
+            rng.shuffle(keys)
+            tables[f"t{i}"] = Table(
+                2,
+                initial_rows=np.column_stack(
+                    [keys, rng.normal(size=rows)]
+                ),
+            )
+        predicates = {
+            f"t{i}": Box([-1.0, -3.0], [rows * (0.2 + 0.6 * rng.random()), 3.0])
+            for i in range(0, n, 2)
+        }
+        joins = [(f"t{i}", 0, f"t{i + 1}", 0) for i in range(n - 1)]
+        return JoinQuery(tables=tables, predicates=predicates, joins=joins)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_dp_matches_exhaustive(self, rng, n):
+        """The subset DP returns the identical plan (order AND cost) as
+        the factorial sweep, including lexicographic tie-breaks."""
+        query = self._chain_query(rng, n)
+        truth = TrueCostModel()
+        dp = optimize_join_order(query, truth, method="dp")
+        exhaustive = optimize_join_order(query, truth, method="exhaustive")
+        assert dp.order == exhaustive.order
+        assert dp.cost == pytest.approx(exhaustive.cost)
+
+    def test_dp_ties_break_lexicographically(self, rng):
+        """Symmetric tables make every order cost the same; both methods
+        must return the sorted-first permutation."""
+        rows = rng.normal(size=(10, 1))
+        tables = {name: Table(1, initial_rows=rows) for name in "dcba"}
+        query = JoinQuery(tables=tables)
+        truth = TrueCostModel()
+        dp = optimize_join_order(query, truth, method="dp")
+        exhaustive = optimize_join_order(query, truth, method="exhaustive")
+        assert dp.order == exhaustive.order == ("a", "b", "c", "d")
+
+    def test_dp_handles_ten_plus_tables(self, rng):
+        """10! permutations would be 3.6M plans; the DP prices 2^10
+        subsets and still picks a join order that puts selective
+        tables early."""
+        query = self._chain_query(rng, 11, rows=20)
+        plan = optimize_join_order(query, TrueCostModel())
+        assert len(plan.order) == 11
+        assert plan.cost >= 0.0
+
+    def test_dp_cap(self, rng):
+        rows = rng.normal(size=(2, 1))
+        tables = {f"t{i:02d}": Table(1, initial_rows=rows) for i in range(19)}
+        query = JoinQuery(tables=tables)
+        with pytest.raises(ValueError, match="DP"):
             optimize_join_order(query, TrueCostModel())
+
+
+class TestRegistryCostModel:
+    @pytest.fixture
+    def keyed_query(self, rng):
+        """Fact-dimension pair with integer join keys and predicates."""
+        fact_rows = np.column_stack(
+            [
+                rng.integers(0, 100, 2_000).astype(float),
+                rng.normal(size=2_000),
+            ]
+        )
+        dim_rows = np.column_stack(
+            [np.arange(100.0), rng.normal(size=100)]
+        )
+        fact = Table(2, ["k", "v"], initial_rows=fact_rows)
+        dim = Table(2, ["k", "w"], initial_rows=dim_rows)
+        return JoinQuery(
+            tables={"fact": fact, "dim": dim},
+            predicates={
+                "fact": Box([-1.0, -1.0], [101.0, 1.0]),
+                "dim": Box([-1.0, -0.5], [101.0, 0.5]),
+            },
+            joins=[("fact", 0, "dim", 0)],
+        )
+
+    def _register_tables(self, registry, query, rng):
+        for name, table in query.tables.items():
+            model = SelfTuningKDE(
+                table.rows()[
+                    rng.choice(len(table), min(256, len(table)), replace=False)
+                ],
+                seed=7,
+            )
+            registry.register(name, tuple(table.column_names), model)
+
+    def test_served_snapshot_base_rung(self, keyed_query, rng):
+        registry = ModelRegistry()
+        self._register_tables(registry, keyed_query, rng)
+        model = RegistryCostModel(registry)
+        fact_rows = model.base_cardinality(keyed_query, "fact")
+        assert 0 < fact_rows <= 2_000
+        rungs = model.rung_counts()
+        assert rungs.get("served-snapshot") == 1
+
+    def test_frontend_batch_overrides_snapshot(self, keyed_query, rng):
+        registry = ModelRegistry()
+        self._register_tables(registry, keyed_query, rng)
+        model = RegistryCostModel(
+            registry, base_selectivities={"fact": 0.25}
+        )
+        assert model.base_cardinality(keyed_query, "fact") == pytest.approx(
+            500.0
+        )
+        assert model.rung_counts() == {"frontend-batch": 1}
+
+    def test_static_estimator_fallback(self, keyed_query):
+        estimators = {
+            name: SampleCountEstimator(table.rows())
+            for name, table in keyed_query.tables.items()
+        }
+        model = RegistryCostModel(estimators=estimators)
+        value = model.base_cardinality(keyed_query, "dim")
+        assert 0 < value <= 100
+        assert model.rung_counts() == {"static-estimator": 1}
+
+    def test_unpriceable_predicate_raises(self, keyed_query):
+        model = RegistryCostModel()
+        with pytest.raises(KeyError):
+            model.base_cardinality(keyed_query, "fact")
+
+    def test_joint_integral_edge_rung(self, keyed_query, rng):
+        """With both sides served, the edge prices through the Gaussian
+        joint integral at roughly the true 1/|dim| selectivity."""
+        registry = ModelRegistry()
+        self._register_tables(registry, keyed_query, rng)
+        model = RegistryCostModel(registry, key_width=1.0)
+        selectivity = model.join_selectivity(
+            keyed_query, ("fact", 0, "dim", 0)
+        )
+        assert selectivity == pytest.approx(1.0 / 100.0, rel=1.0)
+        assert model.rung_counts() == {"joint-integral": 1}
+        # Cached: pricing the flipped orientation re-uses the record.
+        again = model.join_selectivity(keyed_query, ("fact", 0, "dim", 0))
+        assert again == selectivity
+        assert model.rung_counts() == {"joint-integral": 1}
+
+    def test_independence_edge_fallback(self, keyed_query):
+        model = RegistryCostModel(key_width=1.0)
+        selectivity = model.join_selectivity(
+            keyed_query, ("fact", 0, "dim", 0)
+        )
+        assert 0.0 < selectivity < 1.0
+        assert model.rung_counts() == {"independence": 1}
+
+    def test_join_sample_edge_rung(self, keyed_query, rng):
+        """A registered join-sample model with cardinality evidence wins
+        over the joint-integral and independence rungs."""
+        fact = keyed_query.tables["fact"]
+        dim = keyed_query.tables["dim"]
+        stats = pk_fk_join_sample_stats(
+            fact, dim, 0, 0, 512, rng=np.random.default_rng(3)
+        )
+        key = ModelKey.for_join_sample(
+            [("fact", "k", "dim", "k")],
+            ("fact.k", "fact.v", "dim.k", "dim.w"),
+        )
+        registry = ModelRegistry()
+        registry.register(key, SelfTuningKDE(stats.rows, seed=5))
+        model = RegistryCostModel(
+            registry, join_rows={key: stats.estimated_join_rows}
+        )
+        selectivity = model.join_selectivity(
+            keyed_query, ("fact", 0, "dim", 0)
+        )
+        # True edge selectivity is 1/100 (every fact key matches once).
+        assert selectivity == pytest.approx(1.0 / 100.0, rel=0.5)
+        assert "join-sample" in model.rung_counts()
+
+    def test_join_sample_rows_by_edge_tuple(self, keyed_query, rng):
+        """join_rows may be keyed by the query's raw edge tuple too."""
+        fact = keyed_query.tables["fact"]
+        dim = keyed_query.tables["dim"]
+        stats = pk_fk_join_sample_stats(
+            fact, dim, 0, 0, 256, rng=np.random.default_rng(4)
+        )
+        key = ModelKey.for_join_sample(
+            [("fact", "k", "dim", "k")],
+            ("fact.k", "fact.v", "dim.k", "dim.w"),
+        )
+        registry = ModelRegistry()
+        registry.register(key, SelfTuningKDE(stats.rows, seed=5))
+        model = RegistryCostModel(
+            registry,
+            join_rows={("fact", 0, "dim", 0): stats.estimated_join_rows},
+        )
+        selectivity = model.join_selectivity(
+            keyed_query, ("fact", 0, "dim", 0)
+        )
+        assert selectivity > 0.0
+        assert "join-sample" in model.rung_counts()
+
+    def test_full_plan_records_every_node(self, keyed_query, rng):
+        registry = ModelRegistry()
+        self._register_tables(registry, keyed_query, rng)
+        model = RegistryCostModel(registry)
+        plan = optimize_join_order(keyed_query, model)
+        assert len(plan.order) == 2
+        subjects = {record.subject for record in model.pricing}
+        assert subjects == {
+            "table:fact",
+            "table:dim",
+            "edge:dim.k=fact.k",
+        }

@@ -356,3 +356,73 @@ class TestLifecycle:
         assert metrics.gauge("forecast.rate", label).value == pytest.approx(
             51.0
         )
+
+
+class TestJoinKeyAccounting:
+    def test_join_sample_model_gets_its_own_demand_state(self, metrics):
+        """A join-signature-keyed server is tracked per ModelKey: the
+        controller passes the key itself to the front-end taps and
+        exports its demand gauge under the join label."""
+        from repro.serve import ModelKey
+
+        class _KeyAwareFrontend:
+            def __init__(self):
+                self.stat_calls = []
+                self.requests = 0
+
+            def stats(self, *args):
+                self.stat_calls.append(args)
+                return _StubLaneStats(self.requests)
+
+            def recent_queries(self, *args):
+                return []
+
+        rng = np.random.default_rng(5)
+        key = ModelKey.for_join_sample(
+            [("fact", "k", "dim", "k")], ("fact.k", "dim.k")
+        )
+        server = SnapshotServer(
+            SelfTuningKDE(rng.normal(size=(64, 2)), seed=2, metrics=metrics),
+            metrics=metrics,
+        )
+        registry = ModelRegistry()
+        registry.register(key, server)
+        frontend = _KeyAwareFrontend()
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock, frontend=frontend,
+            warm_on_publish=False,
+        )
+        controller.step()
+        frontend.requests = 30
+        clock[0] += 1.0
+        controller.step()
+        # Join kinds are passed as the key itself (no (table, columns)
+        # legacy splitting is possible for a multi-table signature).
+        assert (key,) in frontend.stat_calls
+        label = {"model": key.label}
+        assert metrics.gauge("forecast.rate", label).value == pytest.approx(
+            30.0
+        )
+
+    def test_table_kind_keeps_legacy_two_arg_taps(self, metrics):
+        """Single-table keys keep calling stats(table, columns), so
+        pre-refactor front-end doubles (and the real front end's legacy
+        spelling) still work."""
+        model, server, registry = _stack(metrics, reader_backend="grid")
+
+        calls = []
+
+        class _Recording(_StubFrontend):
+            def stats(self, table, columns):
+                calls.append((table, columns))
+                return super().stats(table, columns)
+
+        frontend = _Recording()
+        clock = [0.0]
+        controller = _controller(
+            registry, metrics, clock, frontend=frontend,
+            warm_on_publish=False,
+        )
+        controller.step()
+        assert (TABLE, COLUMNS) in calls

@@ -11,6 +11,7 @@ from repro.obs import MetricsRegistry
 from repro.serve import (
     EstimatorFrontend,
     FrontendConfig,
+    ModelKey,
     ModelRegistry,
     Overloaded,
 )
@@ -133,7 +134,7 @@ class TestConsistency:
         async def main():
             async with EstimatorFrontend(registry) as frontend:
                 await frontend.estimate(TABLE, COLUMNS, good)
-                lane = frontend._lanes[(TABLE, COLUMNS)]
+                lane = frontend._lanes[ModelKey.for_table(TABLE, COLUMNS)]
                 poisoned = Box(low=np.zeros(3), high=np.full(3, np.inf))
                 future = asyncio.get_running_loop().create_future()
                 lane.queue.append((poisoned, future))
@@ -259,7 +260,7 @@ class TestShedding:
             # One yield lets the clients enqueue; the dispatcher task is
             # scheduled behind this coroutine, so nothing drains yet.
             await asyncio.sleep(0)
-            lane = frontend._lanes[(TABLE, COLUMNS)]
+            lane = frontend._lanes[ModelKey.for_table(TABLE, COLUMNS)]
             assert len(lane.queue) == 3
             await frontend.stop()
             return await asyncio.gather(*pending, return_exceptions=True)
@@ -372,7 +373,7 @@ class TestWatchdogDegradation:
         async def main():
             async with EstimatorFrontend(registry, config=config) as frontend:
                 await frontend.estimate(TABLE, COLUMNS, query)
-                lane = frontend._lanes[(TABLE, COLUMNS)]
+                lane = frontend._lanes[ModelKey.for_table(TABLE, COLUMNS)]
                 reader = lane.server.published.reader
                 real = reader.selectivity_batch
                 entered, release = threading.Event(), threading.Event()
@@ -556,3 +557,132 @@ class TestReaderBackendConfig:
         asyncio.run(main())
         assert server.reader_backend == "hashing"
         assert isinstance(server.published.reader.backend, HashingBackend)
+
+
+# ---------------------------------------------------------------------------
+# ModelKey lanes and plan-level estimation
+# ---------------------------------------------------------------------------
+class TestKeyedLanes:
+    def test_key_and_legacy_spellings_share_a_lane(self):
+        registry, server, _ = make_registry()
+        key = ModelKey.for_table(TABLE, COLUMNS)
+        box = make_boxes()[0]
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                legacy = await frontend.estimate(TABLE, COLUMNS, box)
+                keyed = await frontend.estimate(key, box)
+                return legacy, keyed, len(frontend._lanes)
+
+        legacy, keyed, lanes = asyncio.run(main())
+        assert legacy == keyed == server.estimate(box)
+        assert lanes == 1
+
+    def test_stats_accept_model_keys(self):
+        registry, _, _ = make_registry()
+        key = ModelKey.for_table(TABLE, COLUMNS)
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                await frontend.estimate(key, make_boxes()[0])
+                return (
+                    frontend.stats(key).requests,
+                    frontend.stats(TABLE, COLUMNS).requests,
+                    frontend.degraded(key),
+                    frontend.recent_queries(key),
+                )
+
+        keyed, legacy, degraded, recent = asyncio.run(main())
+        assert keyed == legacy == 1
+        assert degraded is False
+        assert len(recent) == 1
+
+
+class TestPlanCardinalities:
+    def _plan_fixture(self, seed=11):
+        from repro.db import Table
+        from repro.db.optimizer import JoinQuery
+
+        rng = np.random.default_rng(seed)
+        fact = Table(
+            2,
+            ["k", "v"],
+            initial_rows=np.column_stack(
+                [
+                    rng.integers(0, 50, 1_000).astype(float),
+                    rng.normal(size=1_000),
+                ]
+            ),
+        )
+        dim = Table(
+            2,
+            ["k", "w"],
+            initial_rows=np.column_stack(
+                [np.arange(50.0), rng.normal(size=50)]
+            ),
+        )
+        query = JoinQuery(
+            tables={"fact": fact, "dim": dim},
+            predicates={
+                "fact": Box([-1.0, -1.0], [51.0, 1.0]),
+                "dim": Box([-1.0, -0.5], [51.0, 0.5]),
+            },
+            joins=[("fact", 0, "dim", 0)],
+        )
+        registry = ModelRegistry()
+        for name, table in query.tables.items():
+            rows = table.rows()
+            sample = rows[rng.choice(len(rows), min(200, len(rows)), replace=False)]
+            registry.register(
+                name, tuple(table.column_names), SelfTuningKDE(sample, seed=3)
+            )
+        return registry, query
+
+    def test_plan_estimate_batches_and_prices_all_nodes(self):
+        registry, query = self._plan_fixture()
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                return await frontend.plan_cardinalities(query)
+
+        estimate = asyncio.run(main())
+        assert estimate.order in (("dim", "fact"), ("fact", "dim"))
+        assert len(estimate.cardinalities) == 2
+        assert set(estimate.base_selectivities) == {"fact", "dim"}
+        for value in estimate.base_selectivities.values():
+            assert 0.0 <= value <= 1.0
+        rungs = {record.rung for record in estimate.pricing}
+        # Predicates answered through the admission batch; the edge
+        # priced from the served snapshots' joint integral.
+        assert "frontend-batch" in rungs
+        assert "joint-integral" in rungs
+
+    def test_plan_answers_match_single_query_path(self):
+        registry, query = self._plan_fixture()
+        from repro.db.optimizer import RegistryCostModel
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                estimate = await frontend.plan_cardinalities(query)
+                singles = {}
+                for name in query.predicates:
+                    key, box = RegistryCostModel.resolve_table_model(
+                        registry, query, name
+                    )
+                    singles[name] = await frontend.estimate(key, box)
+                return estimate, singles
+
+        estimate, singles = asyncio.run(main())
+        for name, value in singles.items():
+            assert estimate.base_selectivities[name] == value
+
+    def test_unregistered_predicate_table_raises(self):
+        registry, query = self._plan_fixture()
+        registry.unregister("dim", ("k", "w"))
+
+        async def main():
+            async with EstimatorFrontend(registry) as frontend:
+                with pytest.raises(KeyError):
+                    await frontend.plan_cardinalities(query)
+
+        asyncio.run(main())

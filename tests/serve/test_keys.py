@@ -1,0 +1,228 @@
+"""Join-signature model identity: ModelKey/JoinEdge and their plumbing.
+
+Covers canonicalisation and ordering of the keys themselves, the legacy
+``(table, columns)`` coercion choke point, and the round-trips through
+the layers re-keyed on ModelKey: registry, snapshot-server naming,
+checkpoint directory namespacing, and front-end lanes.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.model import SelfTuningKDE
+from repro.geometry import Box
+from repro.serve import (
+    CheckpointManager,
+    JoinEdge,
+    ModelKey,
+    ModelRegistry,
+    SnapshotServer,
+)
+from repro.serve.keys import JOIN_SAMPLE, TABLE, THETA_JOIN
+
+
+def make_model(dims=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return SelfTuningKDE(rng.normal(size=(64, dims)), seed=seed)
+
+
+class TestJoinEdge:
+    def test_of_canonicalises_orientation(self):
+        a = JoinEdge.of("fact", "k", "dim", "k")
+        b = JoinEdge.of("dim", "k", "fact", "k")
+        assert a == b
+        assert a.left_table == "dim"  # lexicographically smaller endpoint
+        assert str(a) == "dim.k=fact.k"
+
+    def test_integer_columns_stringified(self):
+        edge = JoinEdge.of("a", 0, "b", 1)
+        assert edge.left_column == "0"
+        assert edge.right_column == "1"
+
+    def test_non_canonical_direct_construction_rejected(self):
+        with pytest.raises(ValueError, match="canonicalised"):
+            JoinEdge("z", "k", "a", "k")
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            JoinEdge.of("", "k", "b", "k")
+
+
+class TestModelKey:
+    def test_for_table_round_trip(self):
+        key = ModelKey.for_table("orders", ("price", "qty"))
+        assert key.kind == TABLE
+        assert key.table == "orders"
+        assert key.columns == ("price", "qty")
+        assert key.label == "orders/price,qty"
+
+    def test_table_label_matches_legacy_metric_spelling(self):
+        key = ModelKey.for_table("t", ("a", "b", "c"))
+        assert key.label == "t/a,b,c"
+
+    def test_coerce_spellings_agree(self):
+        direct = ModelKey.for_table("t", ("a", "b"))
+        assert ModelKey.coerce(direct) is direct
+        assert ModelKey.coerce("t", ("a", "b")) == direct
+        assert ModelKey.coerce(("t", ("a", "b"))) == direct
+
+    def test_coerce_rejects_key_plus_columns(self):
+        key = ModelKey.for_table("t", ("a",))
+        with pytest.raises(TypeError):
+            ModelKey.coerce(key, ("a",))
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ModelKey.coerce(42)
+
+    def test_join_sample_edge_order_is_canonical(self):
+        cols = ("dim.k", "fact.k")
+        a = ModelKey.for_join_sample([("fact", "k", "dim", "k")], cols)
+        b = ModelKey.for_join_sample([("dim", "k", "fact", "k")], cols)
+        assert a == b
+        assert a.kind == JOIN_SAMPLE
+        assert a.tables == ("dim", "fact")
+        assert a.covers_edge(("dim", "k", "fact", "k"))
+        assert a.covers_edge(JoinEdge.of("fact", "k", "dim", "k"))
+        assert not a.covers_edge(("dim", "k", "fact", "other"))
+
+    def test_theta_join_key(self):
+        key = ModelKey.for_theta_join("s", "b", "r", "a")
+        assert key.kind == THETA_JOIN
+        assert key.tables == ("r", "s")
+        assert key.columns == ("r.a", "s.b")
+        assert "theta-join" in key.label
+
+    def test_join_kinds_have_no_single_table(self):
+        key = ModelKey.for_theta_join("r", "a", "s", "b")
+        with pytest.raises(ValueError):
+            key.table
+
+    def test_keys_are_hashable_and_ordered(self):
+        keys = {
+            ModelKey.for_table("t", ("a",)),
+            ModelKey.for_table("t", ("a",)),
+            ModelKey.for_table("t", ("b",)),
+        }
+        assert len(keys) == 2
+        assert sorted(keys)  # total order exists
+
+    def test_slug_is_filesystem_safe_and_distinct(self):
+        # Sanitisation alone would collide these two; the digest must not.
+        a = ModelKey.for_table("t", ("a", "b"))
+        b = ModelKey.for_table("t", ("a.b",))
+        assert a.slug != b.slug
+        for key in (a, b):
+            assert "/" not in key.slug
+            assert "," not in key.slug
+
+    def test_raw_constructor_validates(self):
+        with pytest.raises(ValueError):
+            ModelKey(kind="nope", tables=("t",), columns=("a",))
+        with pytest.raises(ValueError):
+            ModelKey(kind=TABLE, tables=("b", "a"), columns=("x",))
+        with pytest.raises(ValueError):
+            ModelKey(kind=TABLE, tables=("t",), columns=())
+        edge = JoinEdge.of("a", "k", "b", "k")
+        with pytest.raises(ValueError, match="outside"):
+            ModelKey(
+                kind=JOIN_SAMPLE,
+                tables=("a", "c"),
+                columns=("a.k",),
+                edges=(edge,),
+            )
+
+
+class TestRegistryKeying:
+    def test_legacy_and_key_spellings_hit_same_entry(self):
+        registry = ModelRegistry()
+        registry.register("orders", ("price", "qty"), make_model())
+        key = ModelKey.for_table("orders", ("price", "qty"))
+        assert registry.get("orders", ("price", "qty")) is registry.get(key)
+        assert key in registry
+        assert ("orders", ("price", "qty")) in registry
+        assert registry.keys() == [key]
+
+    def test_join_sample_key_round_trip(self):
+        registry = ModelRegistry()
+        key = ModelKey.for_join_sample(
+            [("fact", "k", "dim", "k")], ("fact.k", "dim.k")
+        )
+        server = registry.register(key, make_model())
+        assert registry.get(key) is server
+        # Whichever way round the caller spells the edge, same entry.
+        flipped = ModelKey.for_join_sample(
+            [("dim", "k", "fact", "k")], ("fact.k", "dim.k")
+        )
+        assert registry.get(flipped) is server
+        registry.unregister(flipped)
+        assert key not in registry
+
+    def test_register_assigns_server_key(self):
+        registry = ModelRegistry()
+        server = registry.register("t", ("a", "b"), make_model())
+        assert server.key == ModelKey.for_table("t", ("a", "b"))
+
+
+class TestServerKey:
+    def test_key_is_set_once(self):
+        server = SnapshotServer(make_model())
+        assert server.key is None
+        key = ModelKey.for_table("t", ("a", "b"))
+        server.key = key
+        server.key = key  # idempotent re-assignment is fine
+        with pytest.raises(ValueError):
+            server.key = ModelKey.for_table("t", ("c",))
+
+    def test_key_accepted_at_construction(self):
+        server = SnapshotServer(
+            make_model(), key=ModelKey.for_table("t", ("a", "b"))
+        )
+        assert server.key.label == "t/a,b"
+
+
+class TestCheckpointKeyNamespacing:
+    def test_directories_namespaced_by_slug(self, tmp_path):
+        base = str(tmp_path)
+        key_a = ModelKey.for_table("t", ("a",))
+        key_b = ModelKey.for_table("t", ("b",))
+        manager_a = CheckpointManager(
+            SnapshotServer(make_model(dims=1, seed=1)), base, key=key_a
+        )
+        manager_b = CheckpointManager(
+            SnapshotServer(make_model(dims=1, seed=2)), base, key=key_b
+        )
+        assert manager_a.directory != manager_b.directory
+        assert manager_a.directory == os.path.join(base, key_a.slug)
+        manager_a.checkpoint()
+        manager_b.checkpoint()
+        assert manager_a.latest() != manager_b.latest()
+
+    def test_key_inherited_from_keyed_target(self, tmp_path):
+        key = ModelKey.for_table("orders", ("price",))
+        server = SnapshotServer(make_model(dims=1), key=key)
+        manager = CheckpointManager(server, str(tmp_path))
+        assert manager.key == key
+        assert manager.directory == os.path.join(str(tmp_path), key.slug)
+
+    def test_unkeyed_target_keeps_flat_directory(self, tmp_path):
+        manager = CheckpointManager(
+            SnapshotServer(make_model(dims=1)), str(tmp_path)
+        )
+        assert manager.key is None
+        assert manager.directory == str(tmp_path)
+
+    def test_warm_start_round_trip_through_keyed_directory(self, tmp_path):
+        key = ModelKey.for_table("t", ("a", "b"))
+        server = SnapshotServer(make_model(seed=3), key=key)
+        manager = CheckpointManager(server, str(tmp_path))
+        manager.checkpoint()
+        query = Box(low=np.array([-1.0, -1.0]), high=np.array([0.5, 0.5]))
+        expected = server.estimate(query)
+
+        fresh = SnapshotServer(make_model(seed=99), key=key)
+        restored = CheckpointManager(fresh, str(tmp_path))
+        assert restored.warm_start()
+        assert fresh.estimate(query) == pytest.approx(expected)

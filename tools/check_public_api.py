@@ -36,7 +36,9 @@ ROOT_PACKAGE = "repro"
 REQUIRED_MODULES = (
     "repro.core.backends.grid",
     "repro.core.backends.hashing",
+    "repro.core.join",
     "repro.core.state",
+    "repro.db.optimizer",
     "repro.faults",
     "repro.forecast",
     "repro.forecast.controller",
@@ -46,6 +48,7 @@ REQUIRED_MODULES = (
     "repro.serve",
     "repro.serve.checkpoint",
     "repro.serve.frontend",
+    "repro.serve.keys",
     "repro.serve.registry",
     "repro.serve.server",
 )
