@@ -13,9 +13,15 @@ Subpackages
 ``repro.baselines``
     The compared estimators: STHoles, SCV-tuned KDE, plus AVI-histogram
     and naive-sampling extension baselines.
+``repro.learned``
+    Learned-estimator baselines (numpy-only): the Naru-style
+    autoregressive model and the MSCN-style feedback-trained regressor,
+    registered as ``kind="naru"`` / ``kind="mscn"``.
 ``repro.db``
     In-memory relational substrate standing in for the paper's Postgres
-    integration (ANALYZE sampling, range queries, feedback events).
+    integration (ANALYZE sampling, range queries, feedback events), plus
+    the workload-replay harness (:func:`repro.db.replay_workload`)
+    driving any estimator through a logged query trace from disk.
 ``repro.device``
     Simulated OpenCL-like device layer (buffers, transfers, launches,
     analytic cost model) standing in for the paper's GPU.
@@ -74,7 +80,9 @@ from .db.optimizer import (
     optimize_join_order,
     plan_quality_ratio,
 )
+from .db.replay import replay_workload
 from .factory import ESTIMATOR_KINDS, create_estimator
+from .learned import MSCNRegressor, NaruEstimator
 from .faults import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
 from .forecast import DriftDetector, Forecaster, ProactiveController
 from .serve import (
@@ -113,6 +121,8 @@ __all__ = [
     "GridBackend",
     "HashingBackend",
     "KernelDensityEstimator",
+    "MSCNRegressor",
+    "NaruEstimator",
     "RetryPolicy",
     "MetricsRegistry",
     "ModelKey",
@@ -137,5 +147,6 @@ __all__ = [
     "optimize_bandwidth",
     "optimize_join_order",
     "plan_quality_ratio",
+    "replay_workload",
     "scott_bandwidth",
 ]

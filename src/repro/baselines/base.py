@@ -84,8 +84,14 @@ class SelectivityEstimator(ABC):
 
         The default forwards to :meth:`feedback` per query; self-tuning
         estimators with a batched gradient accumulator override it.
+
+        Both arguments may be arbitrary (including one-shot) iterables;
+        they are materialized before the length check, so a generator of
+        truths produces the intended mismatch ``ValueError`` instead of
+        a bare ``TypeError`` from ``len()``.
         """
         queries = list(queries)
+        true_selectivities = list(true_selectivities)
         if len(queries) != len(true_selectivities):
             raise ValueError(
                 "need exactly one true selectivity per query, got "

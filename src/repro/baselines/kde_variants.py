@@ -175,6 +175,7 @@ class AdaptiveKDE(SelectivityEstimator):
     ) -> None:
         """Batched override consuming the whole feedback batch at once."""
         queries = list(queries)
+        true_selectivities = list(true_selectivities)
         if len(queries) != len(true_selectivities):
             raise ValueError(
                 "need exactly one true selectivity per query, got "

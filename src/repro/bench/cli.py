@@ -18,6 +18,8 @@ Usage::
                                   [--clients N [N ...]]
     python -m repro.bench forecast [--scale ...]
     python -m repro.bench plans  [--scale ...]
+    python -m repro.bench replay [--scale ...] [--replay-table CSV]
+                                 [--replay-log PATH]
     python -m repro.bench all    [--scale ...]
 
 Any invocation accepts ``--metrics-json PATH``: the process-wide
@@ -57,6 +59,7 @@ from .experiments import (
     run_model_size_quality,
     run_observability,
     run_plans,
+    run_replay,
     run_runtime_scaling,
     run_selector_shootout,
     run_serving,
@@ -71,6 +74,7 @@ from .reporting import (
     render_model_size,
     render_observability,
     render_plans,
+    render_replay,
     render_runtime,
     render_serving,
     render_static_quality,
@@ -137,6 +141,7 @@ EXPERIMENTS = (
     "serving",
     "forecast",
     "plans",
+    "replay",
     "all",
 )
 
@@ -239,6 +244,26 @@ FORECAST_SCALE = {
 }
 
 
+#: Per-scale parameters for the ``replay`` experiment (workload replay
+#: head-to-head across every estimator family on a drifting log).
+REPLAY_SCALE = {
+    "smoke": dict(
+        rows=10_000, queries=120, dimensions=3, drift_at=0.5, target=0.02,
+    ),
+    "small": dict(
+        rows=20_000, queries=240, dimensions=4, drift_at=0.5, target=0.02,
+    ),
+    "paper": dict(
+        rows=100_000, queries=1_000, dimensions=5, drift_at=0.5,
+        target=0.01,
+    ),
+}
+
+#: Machine-readable result the ``replay`` experiment writes next to the
+#: report, so learned-vs-KDE quality is diffable across PRs.
+REPLAY_JSON = "BENCH_replay.json"
+
+
 def _static(scale: Dict, dimensions: int, progress: bool):
     return run_static_quality(
         dimensions=dimensions,
@@ -261,6 +286,8 @@ def run_experiment(
     checkpoint=None,
     clients=None,
     sublinear_sizes=None,
+    replay_table=None,
+    replay_log=None,
 ) -> str:
     """Run one experiment and return its rendered report."""
     scale = SCALES[scale_name]
@@ -503,6 +530,27 @@ def run_experiment(
             "Plans - join-order quality per estimator family "
             "(RegistryCostModel over served snapshots)"
         )
+    elif name == "replay":
+        result = run_replay(
+            progress=progress,
+            table_path=replay_table,
+            log_path=replay_log,
+            **REPLAY_SCALE[scale_name],
+        )
+        report = render_replay(result)
+        with open(REPLAY_JSON, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"experiment": "replay", "scale": scale_name,
+                 "result": result.as_dict()},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        report += f"\nresults written to {REPLAY_JSON}"
+        title = (
+            "Replay - workload replay head-to-head (KDE vs classic vs "
+            "learned baselines on one drifting log)"
+        )
     else:
         raise ValueError(f"unknown experiment {name!r}")
     elapsed = time.time() - started
@@ -538,6 +586,16 @@ def main(argv=None) -> int:
         "closed-loop front-end load generator",
     )
     parser.add_argument(
+        "--replay-table", metavar="CSV", default=None,
+        help="existing CSV table dump for the replay experiment "
+        "(default: generate a two-cluster synthetic table)",
+    )
+    parser.add_argument(
+        "--replay-log", metavar="PATH", default=None,
+        help="existing query log (CSV or SQL-lite) for the replay "
+        "experiment (default: generate a drifting log)",
+    )
+    parser.add_argument(
         "--metrics-json", metavar="PATH", default=None,
         help="enable the metrics registry and dump its snapshot "
         "(counters, spans, estimation traces) to PATH as JSON",
@@ -553,7 +611,7 @@ def main(argv=None) -> int:
     names = (
         ["fig4", "fig5", "table1", "fig6", "fig7", "fig8", "ablations",
          "batch", "backends", "chaos", "metrics", "serving", "forecast",
-         "plans"]
+         "plans", "replay"]
         if args.experiment == "all"
         else [args.experiment]
     )
@@ -567,6 +625,8 @@ def main(argv=None) -> int:
                     shards=args.shards, checkpoint=args.checkpoint,
                     clients=args.clients,
                     sublinear_sizes=args.sublinear_sizes,
+                    replay_table=args.replay_table,
+                    replay_log=args.replay_log,
                 )
             )
             print()

@@ -26,6 +26,12 @@ from .frontend_load import (
 from .model_size import PAPER_SIZES, ModelSizeResult, run_model_size_quality
 from .observability import ObservabilityResult, run_observability
 from .plans import PlanModeResult, PlansResult, run_plans
+from .replay import (
+    REPLAY_ESTIMATORS,
+    ReplayEstimatorResult,
+    ReplayResult,
+    run_replay,
+)
 from .runtime import (
     DEFAULT_BATCH_SIZES,
     PAPER_MODEL_SIZES,
@@ -59,6 +65,9 @@ __all__ = [
     "PAPER_SIZES",
     "PlanModeResult",
     "PlansResult",
+    "REPLAY_ESTIMATORS",
+    "ReplayEstimatorResult",
+    "ReplayResult",
     "RuntimeResult",
     "SelectorShootout",
     "ServingResult",
@@ -75,6 +84,7 @@ __all__ = [
     "run_model_size_quality",
     "run_observability",
     "run_plans",
+    "run_replay",
     "run_runtime_scaling",
     "run_selector_shootout",
     "run_serving",

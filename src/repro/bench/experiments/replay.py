@@ -1,0 +1,362 @@
+"""Workload replay head-to-head: every estimator family on one log.
+
+The §6 experiments compare estimators on freshly generated query
+streams.  This experiment instead goes through the
+:mod:`repro.db.replay` harness end-to-end: it *materializes* a table
+dump and a drifting query log as CSV files, ingests them back through
+:func:`~repro.db.replay.load_table_csv` /
+:func:`~repro.db.replay.load_query_log` (so the disk round-trip is part
+of what is measured), and replays the identical log — with feedback —
+through every compared estimator family: the paper's KDE (static and
+self-tuning), the classic baselines (STHoles, AVI, sampling) and the
+learned baselines (:mod:`repro.learned`'s Naru and MSCN).
+
+The log drifts: its first ``drift_at`` fraction targets one cluster of
+the data, the rest another.  Static estimators keep their construction-
+time view; feedback-driven ones (Adaptive, STHoles, MSCN) see the drift
+as it unfolds, which the post-drift tail window isolates.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...baselines import (
+    AdaptiveKDE,
+    AVIEstimator,
+    HeuristicKDE,
+    STHolesHistogram,
+    SampleCountEstimator,
+    kde_sample_size,
+    memory_budget_bytes,
+    sthole_bucket_budget,
+)
+from ...baselines.base import SelectivityEstimator
+from ...db import Table
+from ...db.replay import (
+    ReplayReport,
+    load_query_log,
+    load_table_csv,
+    replay_workload,
+)
+from ...learned import MSCNRegressor, NaruEstimator
+from ...workloads import generate_workload
+
+__all__ = ["REPLAY_ESTIMATORS", "ReplayEstimatorResult", "ReplayResult", "run_replay"]
+
+#: Estimator families of the replay head-to-head.  ``Heuristic``, AVI,
+#: ``Sampling`` and ``Naru`` are static (feedback is a no-op for them);
+#: ``Adaptive``, STHoles and MSCN learn from the replayed feedback.
+REPLAY_ESTIMATORS = (
+    "Heuristic",
+    "Adaptive",
+    "STHoles",
+    "AVI",
+    "Sampling",
+    "Naru",
+    "MSCN",
+)
+
+#: The feedback-driven subset of :data:`REPLAY_ESTIMATORS`.
+ADAPTIVE_ESTIMATORS = frozenset({"Adaptive", "STHoles", "MSCN"})
+
+
+@dataclass
+class ReplayEstimatorResult:
+    """One estimator's record over the replayed log."""
+
+    name: str
+    #: Whether the estimator consumes feedback (vs ignoring it).
+    adaptive: bool
+    #: Q-error percentiles over the whole log and over the post-drift
+    #: tail window (where feedback-driven estimators have caught up).
+    qerror: Dict[str, float]
+    tail_qerror: Dict[str, float]
+    mean_latency_seconds: float
+    memory_bytes: int
+    within_budget: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "adaptive": self.adaptive,
+            "qerror": dict(self.qerror),
+            "tail_qerror": dict(self.tail_qerror),
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "memory_bytes": self.memory_bytes,
+            "within_budget": self.within_budget,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of the replay head-to-head."""
+
+    estimators: List[ReplayEstimatorResult]
+    queries: int
+    drift_index: int
+    dimensions: int
+    rows: int
+    budget_bytes: int
+    table_path: str
+    log_path: str
+
+    def result_for(self, name: str) -> ReplayEstimatorResult:
+        for entry in self.estimators:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "drift_index": self.drift_index,
+            "dimensions": self.dimensions,
+            "rows": self.rows,
+            "budget_bytes": self.budget_bytes,
+            "estimators": [entry.as_dict() for entry in self.estimators],
+        }
+
+
+def _make_dataset(
+    rows: int, dimensions: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Two correlated Gaussian clusters of equal weight."""
+    half = rows // 2
+    offsets = (-2.0, 2.0)
+    blocks = []
+    for cluster, offset in enumerate(offsets):
+        count = half if cluster == 0 else rows - half
+        base = rng.normal(size=(count, dimensions))
+        # Correlate neighbouring attributes, like the paper's synthetic
+        # generator, so independence assumptions (AVI) are stressed.
+        for dim in range(1, dimensions):
+            base[:, dim] = 0.6 * base[:, dim - 1] + 0.8 * base[:, dim]
+        scales = 1.0 + 0.5 * np.arange(dimensions)
+        blocks.append(offset + base * scales)
+    return np.concatenate(blocks, axis=0)
+
+
+def _write_table_csv(path: str, data: np.ndarray) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"a{i}" for i in range(data.shape[1])])
+        writer.writerows(data.tolist())
+
+
+def _write_query_log_csv(
+    path: str,
+    columns: Sequence[str],
+    queries: Sequence,
+    selectivities: Sequence[float],
+) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        header: List[str] = []
+        for column in columns:
+            header.extend([f"{column}_lo", f"{column}_hi"])
+        header.append("selectivity")
+        writer.writerow(header)
+        for query, truth in zip(queries, selectivities):
+            record = []
+            for dim in range(len(columns)):
+                record.extend([query.low[dim], query.high[dim]])
+            record.append(truth)
+            writer.writerow(record)
+
+
+def _build_estimator(
+    name: str,
+    table: Table,
+    sample: np.ndarray,
+    budget: int,
+    seed: int,
+) -> SelectivityEstimator:
+    dimensions = table.dimensions
+    if name == "Heuristic":
+        return HeuristicKDE(sample)
+    if name == "Adaptive":
+        return AdaptiveKDE(
+            sample,
+            row_source=table,
+            population_size=len(table),
+            seed=seed,
+        )
+    if name == "STHoles":
+        return STHolesHistogram(
+            table.bounds(margin=1e-9),
+            row_count=len(table),
+            max_buckets=sthole_bucket_budget(dimensions, budget),
+            region_count=table.count,
+        )
+    if name == "AVI":
+        # Each 1-D histogram stores ``buckets`` fractions plus
+        # ``buckets + 1`` edges: d * (2B + 1) floats in total.
+        buckets = max(4, (budget // (dimensions * 4) - 1) // 2)
+        return AVIEstimator(table.rows(), buckets_per_dimension=buckets)
+    if name == "Sampling":
+        return SampleCountEstimator(sample)
+    if name == "Naru":
+        return NaruEstimator(sample, budget_bytes=budget, seed=seed)
+    if name == "MSCN":
+        return MSCNRegressor(
+            sample=sample, budget_bytes=budget, seed=seed
+        )
+    raise ValueError(f"unknown replay estimator {name!r}")
+
+
+def run_replay(
+    rows: int = 20_000,
+    queries: int = 200,
+    dimensions: int = 4,
+    drift_at: float = 0.5,
+    target: float = 0.02,
+    estimators: Sequence[str] = REPLAY_ESTIMATORS,
+    budget_bytes: Optional[int] = None,
+    seed: int = 0,
+    table_path: Optional[str] = None,
+    log_path: Optional[str] = None,
+    workdir: Optional[str] = None,
+    progress: bool = True,
+) -> ReplayResult:
+    """Run the replay head-to-head.
+
+    With the default ``table_path=None`` / ``log_path=None``, a
+    two-cluster dataset and a drifting query log are generated, written
+    to CSV under ``workdir`` (a temporary directory when omitted) and
+    read back through the ingest functions.  Passing existing paths
+    replays a user-supplied dump/log instead (no generation; ``rows``,
+    ``drift_at`` and ``target`` are ignored, the tail window defaults to
+    the last half of the log).
+    """
+    if not 0.0 < drift_at < 1.0:
+        raise ValueError("drift_at must lie strictly between 0 and 1")
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if table_path is None or log_path is None:
+            if workdir is None:
+                cleanup = tempfile.TemporaryDirectory(prefix="replay-")
+                workdir = cleanup.name
+            os.makedirs(workdir, exist_ok=True)
+            table_path, log_path, drift_index = _generate_inputs(
+                workdir,
+                rows=rows,
+                queries=queries,
+                dimensions=dimensions,
+                drift_at=drift_at,
+                target=target,
+                rng=rng,
+            )
+        else:
+            drift_index = None
+
+        table = load_table_csv(table_path)
+        log = load_query_log(log_path, table)
+        if drift_index is None:
+            drift_index = len(log) // 2
+        tail = len(log) - drift_index
+
+        budget = budget_bytes or memory_budget_bytes(table.dimensions)
+        sample = table.analyze(
+            kde_sample_size(table.dimensions, budget), seed=seed
+        )
+
+        results: List[ReplayEstimatorResult] = []
+        for name in estimators:
+            estimator = _build_estimator(name, table, sample, budget, seed)
+            report = replay_workload(table, estimator, log, feedback=True)
+            results.append(_summarize(name, report, tail, budget))
+            if progress:
+                print(
+                    f"  [replay] {name}: p50={results[-1].qerror['p50']:.2f} "
+                    f"tail p50={results[-1].tail_qerror['p50']:.2f}",
+                    flush=True,
+                )
+        return ReplayResult(
+            estimators=results,
+            queries=len(log),
+            drift_index=drift_index,
+            dimensions=table.dimensions,
+            rows=len(table),
+            budget_bytes=budget,
+            table_path=table_path,
+            log_path=log_path,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def _generate_inputs(
+    workdir: str,
+    *,
+    rows: int,
+    queries: int,
+    dimensions: int,
+    drift_at: float,
+    target: float,
+    rng: np.random.Generator,
+) -> Tuple[str, str, int]:
+    """Materialize the table dump and drifting log; return their paths."""
+    data = _make_dataset(rows, dimensions, rng)
+    table = Table(dimensions, initial_rows=data)
+    bounds = table.bounds(margin=1e-9)
+    drift_index = int(round(queries * drift_at))
+    drift_index = min(max(drift_index, 1), queries - 1)
+
+    # Phase 1 centers on the first cluster, phase 2 on the second; the
+    # selectivity-target bisection counts against the full table either
+    # way, so both phases hit the same ~target selectivity.
+    half = rows // 2
+    phase_data = (data[:half], data[half:])
+    phase_counts = (drift_index, queries - drift_index)
+    log_queries: List = []
+    for cluster_rows, count in zip(phase_data, phase_counts):
+        log_queries.extend(
+            generate_workload(
+                cluster_rows,
+                "DT",
+                count,
+                rng,
+                target=target,
+                bounds=bounds,
+                search_data=data[
+                    rng.choice(rows, size=min(rows, 20_000), replace=False)
+                ],
+            )
+        )
+    truths = [table.selectivity(query) for query in log_queries]
+
+    table_path = os.path.join(workdir, "replay_table.csv")
+    log_path = os.path.join(workdir, "replay_log.csv")
+    _write_table_csv(table_path, data)
+    _write_query_log_csv(
+        log_path,
+        [f"a{i}" for i in range(dimensions)],
+        log_queries,
+        truths,
+    )
+    return table_path, log_path, drift_index
+
+
+def _summarize(
+    name: str, report: ReplayReport, tail: int, budget: int
+) -> ReplayEstimatorResult:
+    return ReplayEstimatorResult(
+        name=name,
+        adaptive=name in ADAPTIVE_ESTIMATORS,
+        qerror=report.qerror_percentiles(),
+        tail_qerror=report.tail(tail).qerror_percentiles(),
+        mean_latency_seconds=(
+            float(report.latencies.mean()) if len(report) else 0.0
+        ),
+        memory_bytes=report.memory_bytes,
+        within_budget=report.memory_bytes <= budget,
+    )

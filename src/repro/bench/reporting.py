@@ -18,6 +18,7 @@ from .experiments.frontend_load import FrontendLoadResult
 from .experiments.model_size import ModelSizeResult
 from .experiments.observability import ObservabilityResult
 from .experiments.plans import PlansResult
+from .experiments.replay import ReplayResult
 from .experiments.runtime import RuntimeResult
 from .experiments.serving import ServingResult
 from .experiments.static_quality import StaticQualityResult
@@ -35,6 +36,7 @@ __all__ = [
     "render_dynamic",
     "render_forecast",
     "render_frontend_load",
+    "render_replay",
     "render_serving",
 ]
 
@@ -92,6 +94,45 @@ def render_win_matrix(matrix: WinMatrix) -> str:
     return (
         f"{table}\n({matrix.experiments} experiments; cells: % of runs the "
         "row estimator beat the column estimator)"
+    )
+
+
+def render_replay(result: ReplayResult) -> str:
+    """Workload replay head-to-head: one row per estimator family."""
+    headers = [
+        "estimator",
+        "mode",
+        "q-err p50",
+        "p90",
+        "p99",
+        "tail p50",
+        "tail p90",
+        "us/query",
+        "bytes",
+        "budget",
+    ]
+    rows: List[List[str]] = []
+    for entry in result.estimators:
+        rows.append(
+            [
+                entry.name,
+                "adaptive" if entry.adaptive else "static",
+                f"{entry.qerror['p50']:.2f}",
+                f"{entry.qerror['p90']:.2f}",
+                f"{entry.qerror['p99']:.2f}",
+                f"{entry.tail_qerror['p50']:.2f}",
+                f"{entry.tail_qerror['p90']:.2f}",
+                f"{entry.mean_latency_seconds * 1e6:.0f}",
+                str(entry.memory_bytes),
+                "ok" if entry.within_budget else "OVER",
+            ]
+        )
+    table = format_table(headers, rows)
+    return (
+        f"{table}\n"
+        f"({result.queries} logged queries over {result.rows} rows "
+        f"({result.dimensions}D), drift at query {result.drift_index}; "
+        f"tail = post-drift window; budget {result.budget_bytes} bytes)"
     )
 
 

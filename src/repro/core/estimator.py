@@ -300,6 +300,51 @@ class KernelDensityEstimator:
         self._check_batch(queries)
         return self.selectivity_batch(queries)
 
+    def estimate_many(
+        self, queries: Union[QueryBatch, Sequence[Box]]
+    ) -> np.ndarray:
+        """Batched estimates — the estimator-protocol spelling.
+
+        Alias of :meth:`selectivity_many`, mirroring how
+        :meth:`estimate` aliases :meth:`selectivity`: the evaluation
+        harness drives every model through the same
+        ``estimate_many``/``feedback_many`` surface.
+        """
+        return self.selectivity_many(queries)
+
+    def feedback_many(
+        self,
+        queries: Union[QueryBatch, Sequence[Box]],
+        true_selectivities: Sequence[float],
+    ) -> None:
+        """Batched feedback — validation only, like :meth:`feedback`.
+
+        The static model learns nothing, but the batch is still checked
+        (one truth per query, truths in ``[0, 1]``) so a miswired
+        harness fails loudly here exactly as it would on the tuning
+        models.  Empty batches are a no-op.
+        """
+        queries = (
+            list(queries) if not isinstance(queries, QueryBatch) else queries
+        )
+        truths = np.asarray(list(true_selectivities), dtype=np.float64)
+        if truths.shape != (len(queries),):
+            raise ValueError(
+                "need exactly one true selectivity per query, got "
+                f"{len(queries)} queries and {truths.size} values"
+            )
+        if truths.size and (truths.min() < 0.0 or truths.max() > 1.0):
+            raise ValueError("true selectivities must lie in [0, 1]")
+
+    def memory_bytes(self) -> int:
+        """Model footprint for §6.2 budget accounting.
+
+        A KDE model is essentially its sample: ``s × d`` values at the
+        4-byte single precision the paper's device buffers use
+        (Section 5.1) — the same accounting as the baseline wrappers.
+        """
+        return self.sample_size * self.dimensions * 4
+
     # ------------------------------------------------------------------
     # Batched estimation
     # ------------------------------------------------------------------

@@ -309,6 +309,43 @@ class SelfTuningKDE:
         """
         return self._estimator.selectivity_batch(queries)
 
+    def estimate_many(self, queries) -> np.ndarray:
+        """Batched estimates — the estimator-protocol spelling.
+
+        Same numerics as :meth:`estimate_batch`, but tolerant of plain
+        box sequences *including empty ones* (``QueryBatch`` requires at
+        least one query), so harnesses can drive every model through one
+        ``estimate_many``/``feedback_many`` surface.
+        """
+        if not isinstance(queries, QueryBatch):
+            queries = list(queries)
+            if not queries:
+                return np.empty(0, dtype=np.float64)
+        return self.estimate_batch(queries)
+
+    def feedback_many(self, queries, true_selectivities) -> None:
+        """Batched feedback — the estimator-protocol spelling.
+
+        Forwards to :meth:`feedback_batch` (numerically equivalent to
+        the query-by-query loop); an empty batch is a no-op.
+        """
+        if not isinstance(queries, QueryBatch):
+            queries = list(queries)
+            truths = list(true_selectivities)
+            if len(queries) != len(truths):
+                raise ValueError(
+                    "need exactly one true selectivity per query, got "
+                    f"{len(queries)} queries and {len(truths)} values"
+                )
+            if not queries:
+                return
+            true_selectivities = truths
+        self.feedback_batch(queries, true_selectivities)
+
+    def memory_bytes(self) -> int:
+        """Model footprint for §6.2 budget accounting (sample bytes)."""
+        return self._estimator.memory_bytes()
+
     def feedback_batch(self, queries, true_selectivities) -> None:
         """Process a whole batch of (query, true selectivity) feedback.
 

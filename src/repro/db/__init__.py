@@ -9,16 +9,28 @@ with true-selectivity feedback (:meth:`Table.execute`,
 
 from .feedback import EstimatorTableBridge, FeedbackLoop, Observation
 from .join import band_join_count, hash_join, pk_fk_join_sample
+from .replay import (
+    LoggedQuery,
+    ReplayReport,
+    load_query_log,
+    load_table_csv,
+    replay_workload,
+)
 from .table import QueryResult, Table, TableListener
 
 __all__ = [
     "EstimatorTableBridge",
     "FeedbackLoop",
+    "LoggedQuery",
     "Observation",
     "QueryResult",
+    "ReplayReport",
     "Table",
     "TableListener",
     "band_join_count",
     "hash_join",
+    "load_query_log",
+    "load_table_csv",
     "pk_fk_join_sample",
+    "replay_workload",
 ]

@@ -1,0 +1,413 @@
+"""Workload replay: drive an estimator through a logged query trace.
+
+The paper evaluates its estimator inside a live Postgres, where the
+workload arrives as real queries and the engine hands back true
+selectivities after execution (Section 5).  This module is the offline
+equivalent: ingest a table dump and a query log from disk, then replay
+the log against any registered estimator — estimate first (what the
+optimizer would consume), execute against the table for the truth,
+feed the truth back — collecting the Q-error/latency/footprint record
+the §6 experiments report.
+
+Two log formats are accepted, sniffed from the first non-blank line:
+
+* **CSV** — header ``<col>_lo,<col>_hi,...[,selectivity]``; one range
+  query per row.  A ``selectivity`` column replays *recorded* truths
+  (a trace captured on another system); without it truths are computed
+  by executing each query against the table.
+* **SQL-lite** — one ``SELECT``statement per line with a conjunctive
+  ``WHERE`` clause of ``BETWEEN`` / ``>=`` / ``<=`` / ``>`` / ``<`` /
+  ``=`` predicates over the table's columns.  Unconstrained columns
+  default to the table's bounds (the query is open in that dimension),
+  matching how a real optimizer sees partial predicates.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..baselines.base import SelectivityEstimator
+from ..geometry import Box
+from .table import Table
+
+__all__ = [
+    "LoggedQuery",
+    "ReplayReport",
+    "load_query_log",
+    "load_table_csv",
+    "qerror",
+    "replay_workload",
+]
+
+
+@dataclass(frozen=True)
+class LoggedQuery:
+    """One entry of a workload log: a range query, optionally with the
+    true selectivity recorded when the query originally executed."""
+
+    query: Box
+    #: Recorded true selectivity, or ``None`` to compute it by executing
+    #: the query against the replay table.
+    selectivity: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# Ingest: table dumps
+# ----------------------------------------------------------------------
+def load_table_csv(path: str) -> Table:
+    """Load a CSV table dump (header = column names) into a :class:`Table`.
+
+    Every value must parse as a finite float — the substrate models
+    real-valued attributes without NULLs, so a missing cell is a loud
+    error, not a silent zero.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"table dump {path!r} is empty") from None
+        columns = [name.strip() for name in header]
+        if not columns or any(not name for name in columns):
+            raise ValueError(
+                f"table dump {path!r} needs a header row of column names"
+            )
+        rows: List[List[float]] = []
+        for lineno, record in enumerate(reader, start=2):
+            if not record or (len(record) == 1 and not record[0].strip()):
+                continue
+            if len(record) != len(columns):
+                raise ValueError(
+                    f"{path!r} line {lineno}: expected {len(columns)} "
+                    f"values, got {len(record)}"
+                )
+            try:
+                rows.append([float(value) for value in record])
+            except ValueError:
+                raise ValueError(
+                    f"{path!r} line {lineno}: non-numeric value in "
+                    f"{record!r}"
+                ) from None
+    if not rows:
+        raise ValueError(f"table dump {path!r} has a header but no rows")
+    return Table(
+        dimensions=len(columns),
+        column_names=columns,
+        initial_rows=np.asarray(rows, dtype=np.float64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ingest: query logs
+# ----------------------------------------------------------------------
+#: One conjunct of a SQL-lite WHERE clause: ``col OP literal`` or
+#: ``col BETWEEN lo AND hi``.
+_NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
+_BETWEEN_RE = re.compile(
+    rf"(\w+)\s+between\s+({_NUMBER})\s+and\s+({_NUMBER})", re.IGNORECASE
+)
+_COMPARE_RE = re.compile(rf"^(\w+)\s*(<=|>=|<|>|=)\s*({_NUMBER})$")
+_WHERE_RE = re.compile(r"\bwhere\b(.*?)(?:;|$)", re.IGNORECASE | re.DOTALL)
+
+
+def _parse_sql_query(
+    line: str, lineno: int, path: str, table: Table
+) -> LoggedQuery:
+    """Parse one SQL-lite SELECT into a :class:`LoggedQuery`."""
+    match = _WHERE_RE.search(line)
+    if match is None:
+        raise ValueError(
+            f"{path!r} line {lineno}: SELECT without a WHERE clause "
+            "(an unconstrained scan has no selectivity to estimate)"
+        )
+    bounds = table.bounds()
+    low = bounds.low.copy()
+    high = bounds.high.copy()
+    index = {name: i for i, name in enumerate(table.column_names)}
+
+    # BETWEEN predicates contain an AND of their own, so they are peeled
+    # off first; the remaining clause splits cleanly on conjunction ANDs.
+    def _consume_between(between: "re.Match[str]") -> str:
+        name, lo, hi = between.groups()
+        dim = _column_index(name, index, path, lineno)
+        low[dim] = max(low[dim], float(lo))
+        high[dim] = min(high[dim], float(hi))
+        return ""
+
+    clause = _BETWEEN_RE.sub(_consume_between, match.group(1))
+    for conjunct in re.split(r"\band\b", clause, flags=re.IGNORECASE):
+        conjunct = conjunct.strip()
+        if not conjunct:
+            continue
+        compare = _COMPARE_RE.match(conjunct)
+        if compare is None:
+            raise ValueError(
+                f"{path!r} line {lineno}: unsupported predicate "
+                f"{conjunct!r} (supported: BETWEEN, <=, >=, <, >, =)"
+            )
+        name, op, literal = compare.groups()
+        dim = _column_index(name, index, path, lineno)
+        value = float(literal)
+        # Strict comparisons are treated as their closed counterparts:
+        # over real-valued data the boundary has measure zero, and every
+        # estimator here models closed boxes.
+        if op in (">=", ">"):
+            low[dim] = max(low[dim], value)
+        elif op in ("<=", "<"):
+            high[dim] = min(high[dim], value)
+        else:  # "=" — a point constraint, a zero-width range
+            low[dim] = max(low[dim], value)
+            high[dim] = min(high[dim], value)
+    # An over-constrained dimension (contradictory predicates) yields an
+    # empty box; clamp so Box's low <= high invariant holds and the
+    # query's true selectivity is simply zero-ish.
+    high = np.maximum(low, high)
+    return LoggedQuery(query=Box(low=low, high=high))
+
+
+def _column_index(
+    name: str, index: Dict[str, int], path: str, lineno: int
+) -> int:
+    try:
+        return index[name]
+    except KeyError:
+        known = ", ".join(index)
+        raise ValueError(
+            f"{path!r} line {lineno}: unknown column {name!r} "
+            f"(table columns: {known})"
+        ) from None
+
+
+def _parse_csv_log(path: str, table: Table) -> List[LoggedQuery]:
+    """Parse a CSV query log with ``<col>_lo``/``<col>_hi`` headers."""
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"query log {path!r} is empty")
+        fields = [name.strip() for name in reader.fieldnames]
+        has_truth = "selectivity" in fields
+        pairs: List[Tuple[str, str]] = []
+        for column in table.column_names:
+            lo_field, hi_field = f"{column}_lo", f"{column}_hi"
+            if lo_field not in fields or hi_field not in fields:
+                raise ValueError(
+                    f"query log {path!r} is missing {lo_field!r}/"
+                    f"{hi_field!r} for table column {column!r}"
+                )
+            pairs.append((lo_field, hi_field))
+        entries: List[LoggedQuery] = []
+        for lineno, record in enumerate(reader, start=2):
+            try:
+                low = [float(record[lo]) for lo, _ in pairs]
+                high = [float(record[hi]) for _, hi in pairs]
+                truth = (
+                    float(record["selectivity"]) if has_truth else None
+                )
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path!r} line {lineno}: non-numeric bound in "
+                    f"{record!r}"
+                ) from None
+            if truth is not None and not 0.0 <= truth <= 1.0:
+                raise ValueError(
+                    f"{path!r} line {lineno}: recorded selectivity "
+                    f"{truth} outside [0, 1]"
+                )
+            entries.append(
+                LoggedQuery(query=Box(low=low, high=high), selectivity=truth)
+            )
+    if not entries:
+        raise ValueError(f"query log {path!r} has a header but no queries")
+    return entries
+
+
+def load_query_log(path: str, table: Table) -> List[LoggedQuery]:
+    """Load a workload log (CSV or SQL-lite, sniffed) for ``table``.
+
+    The table supplies column names (for both formats) and per-column
+    default bounds for SQL predicates that leave a dimension open.
+    """
+    with open(path) as handle:
+        first = ""
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("--"):
+                first = stripped
+                break
+    if first.lower().startswith("select"):
+        entries: List[LoggedQuery] = []
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("--"):
+                    continue
+                entries.append(_parse_sql_query(line, lineno, path, table))
+        if not entries:
+            raise ValueError(f"query log {path!r} has no queries")
+        return entries
+    return _parse_csv_log(path, table)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayReport:
+    """Per-query record and summary of one workload replay."""
+
+    #: Estimator display name (``estimator.name``).
+    estimator: str
+    #: ``(n,)`` estimates, truths, Q-errors and per-query latencies
+    #: (seconds, estimation call only — execution is the table's cost).
+    estimates: np.ndarray
+    truths: np.ndarray
+    qerrors: np.ndarray
+    latencies: np.ndarray
+    #: Q-error floor applied to both sides (default ``1 / |table|``).
+    floor: float
+    #: Whether feedback was driven after each query.
+    feedback: bool
+    #: Estimator footprint after the replay (bytes; 0 when unreported).
+    memory_bytes: int = 0
+
+    def __len__(self) -> int:
+        return int(self.estimates.shape[0])
+
+    def qerror_percentiles(
+        self, percentiles: Sequence[float] = (50.0, 90.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """Named Q-error percentiles, e.g. ``{"p50": 1.2, ...}``."""
+        if self.qerrors.size == 0:
+            return {f"p{p:g}": float("nan") for p in percentiles}
+        values = np.percentile(self.qerrors, list(percentiles))
+        return {
+            f"p{p:g}": float(v) for p, v in zip(percentiles, values)
+        }
+
+    def tail(self, count: int) -> "ReplayReport":
+        """Report restricted to the last ``count`` queries (post-drift /
+        post-training windows of the adaptivity experiments)."""
+        count = max(0, min(count, len(self)))
+        return ReplayReport(
+            estimator=self.estimator,
+            estimates=self.estimates[len(self) - count :],
+            truths=self.truths[len(self) - count :],
+            qerrors=self.qerrors[len(self) - count :],
+            latencies=self.latencies[len(self) - count :],
+            floor=self.floor,
+            feedback=self.feedback,
+            memory_bytes=self.memory_bytes,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (no per-query arrays)."""
+        return {
+            "estimator": self.estimator,
+            "queries": len(self),
+            "feedback": self.feedback,
+            "floor": self.floor,
+            "qerror": self.qerror_percentiles(),
+            "mean_latency_seconds": (
+                float(self.latencies.mean()) if len(self) else 0.0
+            ),
+            "memory_bytes": int(self.memory_bytes),
+        }
+
+
+def qerror(
+    estimates: np.ndarray, truths: np.ndarray, floor: float
+) -> np.ndarray:
+    """Elementwise Q-error ``max(est/true, true/est)`` with a floor.
+
+    Both sides are floored at ``floor`` (conventionally one tuple's
+    worth of selectivity) so empty queries and zero estimates compare
+    finitely, the same convention as :mod:`repro.bench`.
+    """
+    if floor <= 0.0:
+        raise ValueError("floor must be positive")
+    est = np.maximum(np.asarray(estimates, dtype=np.float64), floor)
+    true = np.maximum(np.asarray(truths, dtype=np.float64), floor)
+    return np.maximum(est / true, true / est)
+
+
+def replay_workload(
+    table: Table,
+    estimator: SelectivityEstimator,
+    log: Sequence[LoggedQuery],
+    *,
+    feedback: bool = True,
+    batch_size: Optional[int] = None,
+    floor: Optional[float] = None,
+) -> ReplayReport:
+    """Replay a query log against an estimator, optionally with feedback.
+
+    For each logged query, in order: ask the estimator for its estimate
+    (timed — this is the optimizer-facing latency), obtain the truth
+    (the recorded selectivity when the log carries one, otherwise by
+    executing against ``table``), and — when ``feedback`` is on — hand
+    the truth back so self-tuning estimators learn as the log unfolds.
+
+    ``batch_size`` drives the estimator ``batch_size`` queries at a time
+    through ``estimate_many``/``feedback_many`` instead of the per-query
+    calls — the serving-path configuration.  Order is preserved either
+    way, so drift in the log reaches adaptive estimators in log order.
+    """
+    entries = list(log)
+    floor_value = (
+        float(floor)
+        if floor is not None
+        else 1.0 / max(1, table.row_count)
+    )
+    estimates = np.empty(len(entries), dtype=np.float64)
+    truths = np.empty(len(entries), dtype=np.float64)
+    latencies = np.empty(len(entries), dtype=np.float64)
+    if batch_size is not None and int(batch_size) < 1:
+        raise ValueError("batch_size must be at least 1")
+    step = 1 if batch_size is None else int(batch_size)
+    for start in range(0, len(entries), step):
+        chunk = entries[start : start + step]
+        boxes = [entry.query for entry in chunk]
+        begin = time.perf_counter()
+        if batch_size is None:
+            chunk_estimates = np.array(
+                [estimator.estimate(boxes[0])], dtype=np.float64
+            )
+        else:
+            chunk_estimates = np.asarray(
+                estimator.estimate_many(boxes), dtype=np.float64
+            )
+        elapsed = time.perf_counter() - begin
+        chunk_truths = np.array(
+            [
+                entry.selectivity
+                if entry.selectivity is not None
+                else table.selectivity(entry.query)
+                for entry in chunk
+            ],
+            dtype=np.float64,
+        )
+        if feedback:
+            if batch_size is None:
+                estimator.feedback(boxes[0], float(chunk_truths[0]))
+            else:
+                estimator.feedback_many(boxes, chunk_truths)
+        stop = start + len(chunk)
+        estimates[start:stop] = chunk_estimates
+        truths[start:stop] = chunk_truths
+        latencies[start:stop] = elapsed / len(chunk)
+    return ReplayReport(
+        estimator=getattr(estimator, "name", type(estimator).__name__),
+        estimates=estimates,
+        truths=truths,
+        qerrors=qerror(estimates, truths, floor_value),
+        latencies=latencies,
+        floor=floor_value,
+        feedback=feedback,
+        memory_bytes=int(getattr(estimator, "memory_bytes", lambda: 0)()),
+    )

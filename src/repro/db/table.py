@@ -16,7 +16,7 @@ cheap numpy reductions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -283,19 +283,39 @@ class Table:
         return self._rows[indices].copy()
 
     def analyze(
-        self, sample_size: int, rng: Optional[np.random.Generator] = None
+        self,
+        sample_size: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Union[None, int, np.random.SeedSequence] = None,
     ) -> np.ndarray:
         """Collect a simple random sample without replacement (ANALYZE).
 
         Mirrors the paper's model construction: Postgres' internal
         sampling routines gather the requested number of rows, which are
         then shipped to the device in one bulk transfer.
+
+        Determinism contract: pass either an explicit ``rng`` or a
+        ``seed`` (an int or a :class:`numpy.random.SeedSequence`, like
+        :class:`~repro.core.model.SelfTuningKDE` accepts) and two
+        ANALYZE passes over the same table contents return the same
+        sample — so two warm starts built from the same table agree
+        bit-for-bit.  With neither, the sample draws fresh OS entropy
+        (the pre-seeding-discipline behaviour).  ``rng`` and ``seed``
+        are mutually exclusive; an ``rng`` that arrived alongside a
+        ``seed`` would silently win, hiding the caller's intent.
         """
         if sample_size < 1:
             raise ValueError("sample_size must be at least 1")
         if self._size == 0:
             raise ValueError("cannot ANALYZE an empty table")
-        rng = rng or np.random.default_rng()
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng= or seed=, not both")
+        if rng is None:
+            if isinstance(seed, np.random.SeedSequence):
+                rng = np.random.default_rng(seed)
+            else:
+                rng = np.random.default_rng(np.random.SeedSequence(seed))
         size = min(sample_size, self._size)
         indices = rng.choice(self._size, size=size, replace=False)
         return self._rows[indices].copy()

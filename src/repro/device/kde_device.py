@@ -513,6 +513,51 @@ class DeviceKDE:
         return flagged
 
     # ------------------------------------------------------------------
+    # Estimator-protocol spellings
+    # ------------------------------------------------------------------
+    def estimate_many(self, queries) -> np.ndarray:
+        """Batched estimates — the estimator-protocol spelling.
+
+        Same device choreography as :meth:`estimate_batch`, but tolerant
+        of empty box sequences (``QueryBatch`` requires at least one
+        query), so one harness surface drives every model.
+        """
+        if not isinstance(queries, QueryBatch):
+            queries = list(queries)
+            if not queries:
+                return np.empty(0, dtype=np.float64)
+        return self.estimate_batch(queries)
+
+    def feedback_many(self, queries, true_selectivities) -> List[np.ndarray]:
+        """Batched feedback — the estimator-protocol spelling.
+
+        Forwards to :meth:`feedback_batch`, returning its per-query
+        flagged-index arrays (like :meth:`feedback`, the caller performs
+        the actual row replacement).  An empty batch is a no-op.
+        """
+        if not isinstance(queries, QueryBatch):
+            queries = list(queries)
+            truths = list(true_selectivities)
+            if len(queries) != len(truths):
+                raise ValueError(
+                    "need exactly one true selectivity per query, got "
+                    f"{len(queries)} queries and {len(truths)} values"
+                )
+            if not queries:
+                return []
+            true_selectivities = truths
+        return self.feedback_batch(queries, true_selectivities)
+
+    def memory_bytes(self) -> int:
+        """Device-resident model footprint for §6.2 budget accounting.
+
+        The device model is its sample buffer: ``s × d`` values at the
+        configured device precision (``float32`` by default).
+        """
+        s, d = self._sample_buffer.shape
+        return s * d * self._dtype.itemsize
+
+    # ------------------------------------------------------------------
     # Feedback (Figure 3, steps 7-9)
     # ------------------------------------------------------------------
     def feedback(self, query: Box, true_selectivity: float) -> np.ndarray:

@@ -9,6 +9,7 @@ importing from three subpackages.  Examples and benchmarks use it so the
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Optional, Union
 
 import numpy as np
@@ -21,8 +22,9 @@ from .obs.metrics import MetricsRegistry
 
 __all__ = ["create_estimator", "ESTIMATOR_KINDS"]
 
-#: Model kinds :func:`create_estimator` understands.
-ESTIMATOR_KINDS = ("kde", "self_tuning", "device")
+#: Model kinds :func:`create_estimator` understands.  ``"naru"`` and
+#: ``"mscn"`` are the learned baselines of :mod:`repro.learned`.
+ESTIMATOR_KINDS = ("kde", "self_tuning", "device", "naru", "mscn")
 
 
 def create_estimator(
@@ -48,7 +50,10 @@ def create_estimator(
         :class:`~repro.core.model.SelfTuningKDE` (feedback-driven
         bandwidth tuning + Karma sample maintenance); ``"device"`` — a
         :class:`~repro.device.kde_device.DeviceKDE` running on the
-        simulated device.
+        simulated device; ``"naru"`` — the sample-trained autoregressive
+        :class:`~repro.learned.NaruEstimator`; ``"mscn"`` — the
+        feedback-trained :class:`~repro.learned.MSCNRegressor` (the
+        sample only supplies its feature-normalization bounds).
     bandwidth:
         Initial bandwidth vector; Scott's rule when omitted.
     backend:
@@ -123,6 +128,24 @@ def create_estimator(
         if state is not None:
             model.restore(state)
         return model
+    if kind in ("naru", "mscn"):
+        # Imported lazily, mirroring the device layer: the learned
+        # baselines are an evaluation extra, not a core dependency.
+        from .learned import MSCNRegressor, NaruEstimator
+
+        if checkpoint is not None:
+            raise ValueError(
+                f"kind={kind!r} does not support checkpoint warm starts; "
+                "the learned baselines train from their constructor inputs"
+            )
+        if metrics is not None or backend is not None:
+            raise ValueError(
+                f"kind={kind!r} takes neither backend= nor metrics=; "
+                "the learned baselines run a plain numpy forward pass"
+            )
+        if kind == "naru":
+            return NaruEstimator(sample, **kwargs)
+        return MSCNRegressor(sample=sample, **kwargs)
     known = ", ".join(ESTIMATOR_KINDS)
     raise ValueError(
         f"unknown estimator kind {kind!r}; known kinds: {known}"
@@ -145,5 +168,21 @@ def _load_checkpoint(
         raise CheckpointError(
             f"checkpoint {checkpoint!r} holds {state.kind!r} state, "
             f"cannot warm-start a {kind!r} estimator"
+        )
+    if kind == "kde" and state.kind != "kde":
+        # Restoring a stateful family's checkpoint into the static view
+        # keeps the tuned sample/bandwidth but discards the rest of the
+        # tuning state (RMSprop accumulators, Karma scores, RNG).  That
+        # is a legitimate read-only use, but it must not pass silently:
+        # a caller who meant to *resume* the stateful model would lose
+        # its learning progress without a trace.
+        warnings.warn(
+            f"checkpoint {checkpoint!r} holds {state.kind!r} state; "
+            "building a static 'kde' view keeps its sample and bandwidth "
+            f"but drops the {state.kind!r} tuning state (tuner "
+            "accumulators, Karma scores, RNG state). Pass "
+            f"kind={state.kind!r} to resume the full model.",
+            UserWarning,
+            stacklevel=3,
         )
     return state

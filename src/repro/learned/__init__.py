@@ -1,0 +1,31 @@
+"""Learned selectivity-estimator baselines (numpy-only compact versions).
+
+The §6 evaluation compares the paper's KDE against its contemporaries
+(STHoles, AVI, sampling).  This package adds the two deep-learning
+baselines the field moved to afterwards, reduced to framework-free,
+memory-budgeted forms that plug into the same
+:class:`~repro.baselines.base.SelectivityEstimator` protocol:
+
+* :class:`NaruEstimator` — an *unsupervised* discretized autoregressive
+  chain trained by maximum likelihood on the ANALYZE sample, answering
+  range queries by progressive sampling (à la "Deep Unsupervised
+  Cardinality Estimation", Yang et al.).
+* :class:`MSCNRegressor` — a *supervised* featurized query→selectivity
+  MLP trained online from executed-query feedback (à la
+  "Multi-Attribute Selectivity Estimation Using Deep Learning", Hasan
+  et al.), exercising the batched ``feedback_many`` protocol.
+
+Both honour the §6.2 memory budget via ``memory_bytes()`` and are
+registered with :func:`repro.create_estimator` as ``kind="naru"`` and
+``kind="mscn"``.
+"""
+
+from .mscn import MSCNRegressor, mscn_hidden_budget
+from .naru import NaruEstimator, naru_bin_budget
+
+__all__ = [
+    "MSCNRegressor",
+    "NaruEstimator",
+    "mscn_hidden_budget",
+    "naru_bin_budget",
+]

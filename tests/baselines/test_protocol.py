@@ -1,0 +1,126 @@
+"""Protocol conformance: every estimator behind one harness surface.
+
+The replay harness, the feedback loop and the bench experiments drive
+every estimator through the same five calls — ``estimate``,
+``estimate_many``, ``feedback``, ``feedback_many``, ``memory_bytes``.
+This suite pins that surface for every registered factory kind *and*
+every baseline wrapper, including the edge cases harnesses hit in
+practice: empty batches, dimension mismatches, and one-shot (generator)
+feedback iterables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AVIEstimator,
+    AdaptiveKDE,
+    HeuristicKDE,
+    STHolesHistogram,
+    SampleCountEstimator,
+)
+from repro.factory import ESTIMATOR_KINDS, create_estimator
+from repro.geometry import Box
+
+DIMENSIONS = 3
+
+
+def _sample():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(128, DIMENSIONS))
+
+
+def _queries(count=6):
+    rng = np.random.default_rng(7)
+    queries = []
+    for _ in range(count):
+        center = rng.normal(size=DIMENSIONS)
+        width = rng.uniform(0.5, 1.5, size=DIMENSIONS)
+        queries.append(Box(center - width, center + width))
+    return queries
+
+
+BUILDERS = {
+    **{
+        kind: (lambda kind=kind: create_estimator(_sample(), kind=kind))
+        for kind in ESTIMATOR_KINDS
+    },
+    "heuristic-wrapper": lambda: HeuristicKDE(_sample()),
+    "adaptive-wrapper": lambda: AdaptiveKDE(_sample(), seed=0),
+    "sthole": lambda: STHolesHistogram(
+        Box.bounding(_sample(), margin=1.0), row_count=128, max_buckets=32
+    ),
+    "avi": lambda: AVIEstimator(_sample(), buckets_per_dimension=16),
+    "sampling": lambda: SampleCountEstimator(_sample()),
+}
+
+
+@pytest.fixture(params=sorted(BUILDERS))
+def estimator(request):
+    return BUILDERS[request.param]()
+
+
+def test_factory_kinds_are_all_covered():
+    assert set(ESTIMATOR_KINDS) <= set(BUILDERS)
+
+
+def test_estimate_returns_probability(estimator):
+    for query in _queries():
+        value = estimator.estimate(query)
+        assert isinstance(value, float)
+        assert 0.0 <= value <= 1.0
+
+
+def test_estimate_many_matches_looped_estimates(estimator):
+    queries = _queries()
+    batched = np.asarray(estimator.estimate_many(queries), dtype=np.float64)
+    looped = np.array([estimator.estimate(q) for q in queries])
+    assert batched.shape == (len(queries),)
+    np.testing.assert_allclose(batched, looped, rtol=1e-9, atol=1e-12)
+
+
+def test_estimate_many_empty_batch(estimator):
+    result = np.asarray(estimator.estimate_many([]))
+    assert result.shape == (0,)
+
+
+def test_feedback_roundtrip(estimator):
+    queries = _queries()
+    for query in queries:
+        estimator.estimate(query)
+        estimator.feedback(query, 0.25)
+    # Feedback must not push subsequent estimates out of [0, 1].
+    for query in queries:
+        assert 0.0 <= estimator.estimate(query) <= 1.0
+
+
+def test_feedback_many_accepts_generators(estimator):
+    """Regression: one-shot iterables must work (or fail on *mismatch*
+    with ValueError), never die in ``len()`` with a TypeError."""
+    queries = _queries(4)
+    truths = (0.1 for _ in range(4))
+    estimator.feedback_many(iter(queries), truths)
+
+
+def test_feedback_many_generator_mismatch_is_value_error(estimator):
+    queries = _queries(4)
+    with pytest.raises(ValueError):
+        estimator.feedback_many(queries, (0.1 for _ in range(3)))
+
+
+def test_feedback_many_empty_batch_is_noop(estimator):
+    estimator.feedback_many([], [])
+
+
+def test_dimension_mismatch_raises(estimator):
+    bad = Box(low=np.zeros(DIMENSIONS + 1), high=np.ones(DIMENSIONS + 1))
+    with pytest.raises(ValueError):
+        estimator.estimate(bad)
+
+
+def test_memory_bytes_reports_a_positive_footprint(estimator):
+    footprint = estimator.memory_bytes()
+    assert isinstance(footprint, int)
+    assert footprint > 0

@@ -1,0 +1,278 @@
+"""Workload-replay harness: CSV/SQL ingest and the replay loop."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.baselines import HeuristicKDE
+from repro.baselines.base import SelectivityEstimator
+from repro.db import Table
+from repro.db.replay import (
+    LoggedQuery,
+    load_query_log,
+    load_table_csv,
+    qerror,
+    replay_workload,
+)
+from repro.geometry import Box
+
+
+@pytest.fixture
+def table_csv(tmp_path):
+    rng = np.random.default_rng(0)
+    rows = rng.normal(size=(500, 2))
+    path = tmp_path / "table.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y"])
+        writer.writerows(rows.tolist())
+    return str(path), rows
+
+
+def _write_log_csv(path, records, header):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(records)
+
+
+# ----------------------------------------------------------------------
+# Table ingest
+# ----------------------------------------------------------------------
+def test_load_table_csv_roundtrip(table_csv):
+    path, rows = table_csv
+    table = load_table_csv(path)
+    assert table.column_names == ["x", "y"]
+    assert len(table) == 500
+    np.testing.assert_allclose(table.rows(), rows)
+
+
+def test_load_table_csv_rejects_garbage(tmp_path):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_table_csv(str(empty))
+
+    header_only = tmp_path / "header.csv"
+    header_only.write_text("x,y\n")
+    with pytest.raises(ValueError, match="no rows"):
+        load_table_csv(str(header_only))
+
+    ragged = tmp_path / "ragged.csv"
+    ragged.write_text("x,y\n1.0,2.0\n3.0\n")
+    with pytest.raises(ValueError, match="expected 2 values"):
+        load_table_csv(str(ragged))
+
+    textual = tmp_path / "textual.csv"
+    textual.write_text("x,y\n1.0,banana\n")
+    with pytest.raises(ValueError, match="non-numeric"):
+        load_table_csv(str(textual))
+
+
+# ----------------------------------------------------------------------
+# Query-log ingest: CSV
+# ----------------------------------------------------------------------
+def test_load_csv_log_with_recorded_truths(table_csv, tmp_path):
+    path, _ = table_csv
+    table = load_table_csv(path)
+    log_path = tmp_path / "log.csv"
+    _write_log_csv(
+        log_path,
+        [[-1.0, 1.0, -1.0, 1.0, 0.25], [0.0, 2.0, 0.0, 2.0, 0.1]],
+        ["x_lo", "x_hi", "y_lo", "y_hi", "selectivity"],
+    )
+    log = load_query_log(str(log_path), table)
+    assert len(log) == 2
+    assert log[0].selectivity == pytest.approx(0.25)
+    np.testing.assert_allclose(log[1].query.low, [0.0, 0.0])
+
+
+def test_load_csv_log_without_truths(table_csv, tmp_path):
+    path, _ = table_csv
+    table = load_table_csv(path)
+    log_path = tmp_path / "log.csv"
+    _write_log_csv(
+        log_path,
+        [[-1.0, 1.0, -1.0, 1.0]],
+        ["x_lo", "x_hi", "y_lo", "y_hi"],
+    )
+    log = load_query_log(str(log_path), table)
+    assert log[0].selectivity is None
+
+
+def test_load_csv_log_rejects_missing_columns(table_csv, tmp_path):
+    path, _ = table_csv
+    table = load_table_csv(path)
+    log_path = tmp_path / "log.csv"
+    _write_log_csv(log_path, [[-1.0, 1.0]], ["x_lo", "x_hi"])
+    with pytest.raises(ValueError, match="y_lo"):
+        load_query_log(str(log_path), table)
+
+
+def test_load_csv_log_rejects_bad_selectivity(table_csv, tmp_path):
+    path, _ = table_csv
+    table = load_table_csv(path)
+    log_path = tmp_path / "log.csv"
+    _write_log_csv(
+        log_path,
+        [[-1.0, 1.0, -1.0, 1.0, 1.5]],
+        ["x_lo", "x_hi", "y_lo", "y_hi", "selectivity"],
+    )
+    with pytest.raises(ValueError, match=r"outside \[0, 1\]"):
+        load_query_log(str(log_path), table)
+
+
+# ----------------------------------------------------------------------
+# Query-log ingest: SQL-lite
+# ----------------------------------------------------------------------
+def test_load_sql_log(table_csv, tmp_path):
+    path, rows = table_csv
+    table = load_table_csv(path)
+    log_path = tmp_path / "log.sql"
+    log_path.write_text(
+        "-- replayed trace\n"
+        "\n"
+        "SELECT * FROM t WHERE x BETWEEN -1 AND 1 AND y >= 0;\n"
+        "SELECT count(*) FROM t WHERE y <= 0.5;\n"
+    )
+    log = load_query_log(str(log_path), table)
+    assert len(log) == 2
+    first, second = log
+    np.testing.assert_allclose(first.query.low[0], -1.0)
+    np.testing.assert_allclose(first.query.high[0], 1.0)
+    assert first.query.low[1] == pytest.approx(0.0)
+    # Unconstrained dimensions default to the table bounds.
+    bounds = table.bounds()
+    assert second.query.low[0] == pytest.approx(bounds.low[0])
+    assert second.query.high[1] == pytest.approx(0.5)
+
+
+def test_sql_equality_predicate_is_a_point_range(table_csv, tmp_path):
+    path, _ = table_csv
+    table = load_table_csv(path)
+    log_path = tmp_path / "log.sql"
+    log_path.write_text("SELECT * FROM t WHERE x = 0.25 AND y <= 1;\n")
+    (entry,) = load_query_log(str(log_path), table)
+    assert entry.query.low[0] == pytest.approx(0.25)
+    assert entry.query.high[0] == pytest.approx(0.25)
+
+
+def test_sql_rejects_unknown_columns_and_predicates(table_csv, tmp_path):
+    path, _ = table_csv
+    table = load_table_csv(path)
+
+    unknown = tmp_path / "unknown.sql"
+    unknown.write_text("SELECT * FROM t WHERE z >= 1;\n")
+    with pytest.raises(ValueError, match="unknown column 'z'"):
+        load_query_log(str(unknown), table)
+
+    unsupported = tmp_path / "unsupported.sql"
+    unsupported.write_text("SELECT * FROM t WHERE x LIKE 'foo';\n")
+    with pytest.raises(ValueError, match="unsupported predicate"):
+        load_query_log(str(unsupported), table)
+
+    scan = tmp_path / "scan.sql"
+    scan.write_text("SELECT * FROM t;\n")
+    with pytest.raises(ValueError, match="WHERE"):
+        load_query_log(str(scan), table)
+
+
+# ----------------------------------------------------------------------
+# The replay loop
+# ----------------------------------------------------------------------
+class _Recorder(SelectivityEstimator):
+    """Constant estimator recording the feedback it receives."""
+
+    name = "Recorder"
+
+    def __init__(self, value=0.2):
+        self.value = value
+        self.received = []
+
+    def estimate(self, query):
+        return self.value
+
+    def feedback(self, query, true_selectivity):
+        self.received.append((query, true_selectivity))
+
+
+def _table_and_log(rows=400, queries=10, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(rows, 2))
+    table = Table(2, initial_rows=data)
+    log = []
+    for _ in range(queries):
+        center = data[rng.integers(rows)]
+        width = rng.uniform(0.5, 1.0, size=2)
+        log.append(LoggedQuery(Box(center - width, center + width)))
+    return table, log
+
+
+def test_replay_computes_truths_and_feeds_back():
+    table, log = _table_and_log()
+    recorder = _Recorder()
+    report = replay_workload(table, recorder, log)
+    assert len(report) == len(log)
+    assert len(recorder.received) == len(log)
+    for (query, truth), entry in zip(recorder.received, log):
+        assert truth == pytest.approx(table.selectivity(entry.query))
+    np.testing.assert_allclose(report.estimates, 0.2)
+    assert report.floor == pytest.approx(1.0 / len(table))
+
+
+def test_replay_prefers_recorded_truths():
+    table, log = _table_and_log()
+    log = [LoggedQuery(entry.query, selectivity=0.42) for entry in log]
+    recorder = _Recorder()
+    report = replay_workload(table, recorder, log)
+    np.testing.assert_allclose(report.truths, 0.42)
+    assert all(t == pytest.approx(0.42) for _, t in recorder.received)
+
+
+def test_replay_without_feedback_is_silent():
+    table, log = _table_and_log()
+    recorder = _Recorder()
+    report = replay_workload(table, recorder, log, feedback=False)
+    assert recorder.received == []
+    assert report.feedback is False
+
+
+def test_replay_batched_matches_perquery_for_static_estimators():
+    table, log = _table_and_log(queries=12)
+    sample = table.analyze(128, seed=0)
+    looped = replay_workload(
+        table, HeuristicKDE(sample), log, feedback=False
+    )
+    batched = replay_workload(
+        table, HeuristicKDE(sample), log, feedback=False, batch_size=5
+    )
+    np.testing.assert_allclose(batched.estimates, looped.estimates)
+    np.testing.assert_allclose(batched.qerrors, looped.qerrors)
+
+
+def test_replay_report_summaries():
+    table, log = _table_and_log()
+    report = replay_workload(table, _Recorder(), log)
+    summary = report.as_dict()
+    assert summary["queries"] == len(log)
+    assert set(summary["qerror"]) == {"p50", "p90", "p95", "p99"}
+    tail = report.tail(3)
+    assert len(tail) == 3
+    np.testing.assert_allclose(tail.estimates, report.estimates[-3:])
+    assert len(report.tail(10_000)) == len(report)
+
+
+def test_replay_rejects_bad_batch_size():
+    table, log = _table_and_log()
+    with pytest.raises(ValueError, match="batch_size"):
+        replay_workload(table, _Recorder(), log, batch_size=0)
+
+
+def test_qerror_floor():
+    values = qerror(np.array([0.0, 0.5]), np.array([0.5, 0.0]), floor=0.01)
+    np.testing.assert_allclose(values, [50.0, 50.0])
+    with pytest.raises(ValueError, match="floor"):
+        qerror(np.array([0.1]), np.array([0.1]), floor=0.0)

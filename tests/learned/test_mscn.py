@@ -1,0 +1,102 @@
+"""MSCNRegressor: featurized query -> selectivity regression from feedback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import memory_budget_bytes
+from repro.geometry import Box
+from repro.learned import MSCNRegressor, mscn_hidden_budget
+
+
+def _sample(rows=512, dimensions=2, seed=0):
+    return np.random.default_rng(seed).normal(size=(rows, dimensions))
+
+
+def _training_queries(sample, count, seed=1):
+    rng = np.random.default_rng(seed)
+    queries, truths = [], []
+    for _ in range(count):
+        center = sample[rng.integers(sample.shape[0])]
+        width = rng.uniform(0.4, 1.2, size=sample.shape[1])
+        query = Box(center - width, center + width)
+        truth = float(
+            np.all((sample >= query.low) & (sample <= query.high), axis=1)
+            .mean()
+        )
+        queries.append(query)
+        truths.append(truth)
+    return queries, truths
+
+
+def test_hidden_budget_respects_the_memory_budget():
+    for dimensions in (1, 2, 4, 8):
+        budget = memory_budget_bytes(dimensions)
+        hidden = mscn_hidden_budget(dimensions, budget)
+        assert hidden >= 2
+        model = MSCNRegressor(
+            sample=_sample(dimensions=dimensions), budget_bytes=budget
+        )
+        assert model.memory_bytes() <= budget
+
+
+def test_untrained_prediction_is_the_prior():
+    model = MSCNRegressor(sample=_sample(), prior=0.05)
+    query = Box(low=[-1.0, -1.0], high=[1.0, 1.0])
+    assert model.estimate(query) == pytest.approx(0.05, abs=1e-9)
+
+
+def test_feedback_reduces_error_on_a_stable_workload():
+    sample = _sample()
+    model = MSCNRegressor(sample=sample, seed=0)
+    queries, truths = _training_queries(sample, 200)
+    before = np.mean(
+        [abs(model.estimate(q) - t) for q, t in zip(queries, truths)]
+    )
+    model.feedback_many(queries, truths)
+    after = np.mean(
+        [abs(model.estimate(q) - t) for q, t in zip(queries, truths)]
+    )
+    assert after < before
+    assert model.feedback_count == 200
+
+
+def test_single_feedback_matches_protocol():
+    model = MSCNRegressor(sample=_sample())
+    query = Box(low=[-1.0, -1.0], high=[1.0, 1.0])
+    model.estimate(query)
+    model.feedback(query, 0.3)
+    assert model.feedback_count == 1
+    with pytest.raises(ValueError):
+        model.feedback(query, -0.1)
+
+
+def test_feedback_many_accepts_generators():
+    model = MSCNRegressor(sample=_sample())
+    queries, truths = _training_queries(_sample(), 8)
+    model.feedback_many(iter(queries), iter(truths))
+    with pytest.raises(ValueError):
+        model.feedback_many(queries, (t for t in truths[:-1]))
+
+
+def test_estimates_stay_probabilities_under_training():
+    sample = _sample()
+    model = MSCNRegressor(sample=sample, seed=0, learning_rate=0.2)
+    queries, truths = _training_queries(sample, 100)
+    model.feedback_many(queries, truths)
+    for query in queries[:20]:
+        assert 0.0 <= model.estimate(query) <= 1.0
+
+
+def test_bounds_can_be_passed_explicitly():
+    bounds = Box(low=[-3.0, -3.0], high=[3.0, 3.0])
+    model = MSCNRegressor(bounds=bounds)
+    assert 0.0 <= model.estimate(Box(low=[-1.0, -1.0], high=[1.0, 1.0])) <= 1.0
+
+
+def test_rejects_bad_construction():
+    with pytest.raises(ValueError):
+        MSCNRegressor()  # neither bounds nor sample
+    with pytest.raises(ValueError):
+        MSCNRegressor(sample=_sample(), hidden=0)

@@ -1,0 +1,104 @@
+"""NaruEstimator: discretized autoregressive chain + progressive sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import memory_budget_bytes
+from repro.geometry import Box
+from repro.learned import NaruEstimator, naru_bin_budget
+
+
+def _correlated_sample(rows=1024, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(rows, 3))
+    base[:, 1] = 0.8 * base[:, 0] + 0.2 * base[:, 1]
+    base[:, 2] = 0.5 * base[:, 1] + 0.5 * base[:, 2]
+    return base
+
+
+def test_bin_budget_respects_the_memory_budget():
+    for dimensions in (1, 2, 3, 5, 8):
+        budget = memory_budget_bytes(dimensions)
+        bins = naru_bin_budget(dimensions, budget)
+        assert bins >= 2
+        model = NaruEstimator(
+            np.random.default_rng(0).normal(size=(256, dimensions)),
+            budget_bytes=budget,
+        )
+        assert model.memory_bytes() <= budget
+
+
+def test_estimates_are_deterministic_per_query():
+    model = NaruEstimator(_correlated_sample(), seed=3)
+    query = Box(low=[-1.0, -1.0, -1.0], high=[1.0, 1.0, 1.0])
+    first = model.estimate(query)
+    # Interleave another query: the per-call RNG must not drift.
+    model.estimate(Box(low=[0.0, 0.0, 0.0], high=[0.5, 0.5, 0.5]))
+    assert model.estimate(query) == first
+
+
+def test_full_domain_query_has_selectivity_one():
+    sample = _correlated_sample()
+    model = NaruEstimator(sample)
+    bounds = Box.bounding(sample, margin=1.0)
+    assert model.estimate(bounds) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_empty_region_has_selectivity_zero():
+    model = NaruEstimator(_correlated_sample())
+    assert model.estimate(
+        Box(low=[50.0, 50.0, 50.0], high=[60.0, 60.0, 60.0])
+    ) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_tracks_true_selectivity_on_correlated_data():
+    sample = _correlated_sample(rows=2048)
+    model = NaruEstimator(sample, paths=256, seed=0)
+    rng = np.random.default_rng(9)
+    errors = []
+    for _ in range(30):
+        center = sample[rng.integers(sample.shape[0])]
+        width = rng.uniform(0.6, 1.4, size=3)
+        query = Box(center - width, center + width)
+        truth = float(
+            np.all((sample >= query.low) & (sample <= query.high), axis=1)
+            .mean()
+        )
+        errors.append(abs(model.estimate(query) - truth))
+    # The chain models the sample itself, so it should track the
+    # sample's own selectivities closely (the Markov truncation and the
+    # in-bin uniformity assumption bound how close).
+    assert float(np.mean(errors)) < 0.08
+
+
+def test_feedback_validates_then_discards():
+    model = NaruEstimator(_correlated_sample())
+    query = Box(low=[-1.0, -1.0, -1.0], high=[1.0, 1.0, 1.0])
+    before = model.estimate(query)
+    model.feedback(query, 0.5)
+    assert model.estimate(query) == before
+    with pytest.raises(ValueError):
+        model.feedback(query, 1.5)
+
+
+def test_constant_column_is_handled():
+    sample = _correlated_sample(rows=256)
+    sample[:, 1] = 2.0
+    model = NaruEstimator(sample)
+    hit = Box(low=[-10.0, 1.5, -10.0], high=[10.0, 2.5, 10.0])
+    miss = Box(low=[-10.0, 3.0, -10.0], high=[10.0, 4.0, 10.0])
+    assert model.estimate(hit) == pytest.approx(1.0, abs=1e-6)
+    assert model.estimate(miss) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_rejects_bad_construction():
+    with pytest.raises(ValueError):
+        NaruEstimator(np.empty((0, 3)))
+    with pytest.raises(ValueError):
+        NaruEstimator(_correlated_sample(), bins=1)
+    with pytest.raises(ValueError):
+        NaruEstimator(_correlated_sample(), paths=0)
+    with pytest.raises(ValueError):
+        NaruEstimator(_correlated_sample(), smoothing=-1.0)

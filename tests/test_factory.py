@@ -15,8 +15,40 @@ from repro.geometry import Box
 
 
 def test_kinds_tuple_is_public():
-    assert set(ESTIMATOR_KINDS) == {"kde", "self_tuning", "device"}
+    assert set(ESTIMATOR_KINDS) == {
+        "kde",
+        "self_tuning",
+        "device",
+        "naru",
+        "mscn",
+    }
     assert repro.create_estimator is create_estimator
+
+
+def test_learned_kinds_build_protocol_estimators(small_sample):
+    from repro.learned import MSCNRegressor, NaruEstimator
+
+    naru = create_estimator(small_sample, kind="naru", seed=1)
+    mscn = create_estimator(small_sample, kind="mscn", seed=1)
+    assert isinstance(naru, NaruEstimator)
+    assert isinstance(mscn, MSCNRegressor)
+    query = Box([-0.5] * 3, [0.5] * 3)
+    for estimator in (naru, mscn):
+        assert 0.0 <= estimator.estimate(query) <= 1.0
+        assert estimator.memory_bytes() > 0
+
+
+def test_learned_kinds_reject_engine_knobs(small_sample):
+    with pytest.raises(ValueError, match="backend"):
+        create_estimator(small_sample, kind="naru", backend="cached")
+    with pytest.raises(ValueError, match="backend"):
+        create_estimator(
+            small_sample, kind="mscn", metrics=MetricsRegistry()
+        )
+    with pytest.raises(ValueError, match="checkpoint"):
+        create_estimator(
+            small_sample, kind="naru", checkpoint="anywhere.ckpt"
+        )
 
 
 def test_default_kind_is_plain_kde(small_sample):
@@ -97,9 +129,32 @@ class TestCheckpointWarmStart:
         model, query = self._tuned_model(small_sample)
         path = str(tmp_path / "model.ckpt")
         model.snapshot().save(path)
-        kde = create_estimator(small_sample, kind="kde", checkpoint=path)
+        with pytest.warns(UserWarning):
+            kde = create_estimator(small_sample, kind="kde", checkpoint=path)
         assert isinstance(kde, KernelDensityEstimator)
         assert kde.selectivity(query) == model.estimate(query)
+
+    def test_kde_view_of_stateful_checkpoint_warns(
+        self, small_sample, tmp_path
+    ):
+        """Regression: restoring a self-tuning checkpoint into the
+        static 'kde' view used to drop the tuning state silently."""
+        model, _ = self._tuned_model(small_sample)
+        path = str(tmp_path / "model.ckpt")
+        model.snapshot().save(path)
+        with pytest.warns(UserWarning, match="self_tuning"):
+            create_estimator(small_sample, kind="kde", checkpoint=path)
+
+    def test_kde_checkpoint_into_kde_does_not_warn(
+        self, small_sample, tmp_path, recwarn
+    ):
+        kde = create_estimator(small_sample, kind="kde")
+        path = str(tmp_path / "kde.ckpt")
+        kde.snapshot().save(path)
+        create_estimator(small_sample, kind="kde", checkpoint=path)
+        assert not [
+            w for w in recwarn if issubclass(w.category, UserWarning)
+        ]
 
     def test_kind_mismatch_raises(self, small_sample, tmp_path):
         from repro import CheckpointError

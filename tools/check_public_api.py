@@ -39,12 +39,16 @@ REQUIRED_MODULES = (
     "repro.core.join",
     "repro.core.state",
     "repro.db.optimizer",
+    "repro.db.replay",
     "repro.faults",
     "repro.forecast",
     "repro.forecast.controller",
     "repro.forecast.drift",
     "repro.forecast.forecasters",
     "repro.forecast.taps",
+    "repro.learned",
+    "repro.learned.mscn",
+    "repro.learned.naru",
     "repro.serve",
     "repro.serve.checkpoint",
     "repro.serve.frontend",
